@@ -1,0 +1,120 @@
+// Ablations of the design choices the reproduction's conclusions rest on:
+//
+//  A. the optimizer's blind index-preference for parameterized predicates
+//     (Table 6 collapses without it);
+//  B. index-nested-loops joins (selective nested reports depend on them);
+//  C. the RDBMS buffer size (the paper's 10 MB default, swept — the I/O
+//     cliff that shapes every scan-heavy number).
+#include "bench/bench_util.h"
+#include "sap/schema.h"
+#include "tpcd/queries.h"
+
+namespace r3 {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+  if (flags.sf > 0.005) flags.sf = 0.005;  // ablations are many runs; keep small
+  PrintHeader("Ablations: blind plans, index-NL joins, buffer size", flags);
+  tpcd::DbGen gen(flags.sf, flags.seed);
+  tpcd::QueryParams params = tpcd::QueryParams::Defaults(flags.sf);
+
+  // --- A. Blind index preference --------------------------------------------
+  std::printf("\n[A] parameterized one-table query (Table 6 scenario), "
+              "blind_prefers_index on/off:\n");
+  for (bool blind : {true, false}) {
+    // A standalone VBAP-shaped table with the experiment's index, under a
+    // planner with the knob flipped.
+    rdbms::DatabaseOptions opts = ScaledDbOptions(flags.sf);
+    opts.planner.blind_prefers_index = blind;
+    rdbms::Database db(nullptr, opts);
+    BENCH_CHECK_OK(db.Execute(
+        "CREATE TABLE VBAP (MANDT CHAR(3), VBELN CHAR(10), POSNR CHAR(6), "
+        "KWMENG DECIMAL, NETWR DECIMAL, PAD CHAR(120), "
+        "PRIMARY KEY (MANDT, VBELN, POSNR))"));
+    BENCH_CHECK_OK(db.Execute(
+        "CREATE INDEX VBAPQ ON VBAP (MANDT, KWMENG)"));
+    int64_t i = 0;
+    BENCH_CHECK_OK(gen.ForEachOrder([&](const tpcd::OrderRec& o) -> Status {
+      for (const tpcd::LineItemRec& l : o.lines) {
+        R3_RETURN_IF_ERROR(db.InsertRow(
+            "VBAP",
+            {rdbms::Value::Str("301"), rdbms::Value::Str(sap::Vbeln(o.orderkey)),
+             rdbms::Value::Str(sap::Posnr(l.linenumber)),
+             rdbms::Value::DecimalFromCents(l.quantity * 100),
+             rdbms::Value::DecimalFromCents(l.extendedprice_cents),
+             rdbms::Value::Str("")}));
+        ++i;
+      }
+      return Status::OK();
+    }));
+    BENCH_CHECK_OK(db.Analyze());
+    auto stmt = db.Prepare(
+        "SELECT KWMENG, NETWR FROM VBAP WHERE MANDT = ? AND KWMENG < ?");
+    BENCH_CHECK_OK(stmt.status());
+    SimTimer t(*db.clock());
+    auto res = db.ExecutePrepared(
+        stmt.value(), {rdbms::Value::Str("301"), rdbms::Value::Int(9999)});
+    BENCH_CHECK_OK(res.status());
+    std::printf("  blind=%-5s -> %-10s (%zu rows)  plan: %s\n",
+                blind ? "on" : "off", FormatDuration(t.ElapsedUs()).c_str(),
+                res.value().rows.size(),
+                stmt.value()->ExplainPlan().substr(
+                    stmt.value()->ExplainPlan().find('\n') + 1).c_str());
+  }
+
+  // --- B. Index-nested-loops joins -------------------------------------------
+  std::printf("\n[B] 50 point-joins (one order's lineitems each) with/without "
+              "index-NL joins:\n");
+  for (bool inl : {true, false}) {
+    rdbms::DatabaseOptions opts = ScaledDbOptions(flags.sf);
+    opts.planner.enable_index_nl_join = inl;
+    rdbms::Database db(nullptr, opts);
+    BENCH_CHECK_OK(tpcd::CreateTpcdSchema(&db));
+    BENCH_CHECK_OK(tpcd::LoadTpcdDatabase(&db, &gen));
+    auto stmt = db.Prepare(
+        "SELECT O_ORDERDATE, L_LINENUMBER, L_QUANTITY FROM ORDERS, LINEITEM "
+        "WHERE O_ORDERKEY = ? AND L_ORDERKEY = O_ORDERKEY");
+    BENCH_CHECK_OK(stmt.status());
+    SimTimer t(*db.clock());
+    for (int64_t k = 0; k < 50; ++k) {
+      int64_t orderkey = k / 8 * 32 + k % 8 + 1;  // existing sparse keys
+      BENCH_CHECK_OK(db.ExecutePrepared(stmt.value(),
+                                        {rdbms::Value::Int(orderkey)})
+                         .status());
+    }
+    std::printf("  index_nl=%-5s -> %s\n", inl ? "on" : "off",
+                FormatDuration(t.ElapsedUs()).c_str());
+  }
+
+  // --- C. Buffer-pool sweep ----------------------------------------------------
+  std::printf("\n[C] Q1 (full lineitem scan + aggregate) vs. RDBMS buffer "
+              "size:\n");
+  for (double mb : {0.25, 0.5, 1.0, 2.0, 8.0}) {
+    rdbms::DatabaseOptions opts;
+    opts.buffer_pool_bytes = static_cast<size_t>(mb * 1024 * 1024);
+    rdbms::Database db(nullptr, opts);
+    BENCH_CHECK_OK(tpcd::CreateTpcdSchema(&db));
+    BENCH_CHECK_OK(tpcd::LoadTpcdDatabase(&db, &gen));
+    auto qs = tpcd::MakeRdbmsQuerySet(&db);
+    // Warm once, measure second execution (steady state).
+    BENCH_CHECK_OK(qs->RunQuery(1, params).status());
+    db.pool()->ResetStats();
+    SimTimer t(*db.clock());
+    BENCH_CHECK_OK(qs->RunQuery(1, params).status());
+    const rdbms::BufferPoolStats& st = db.pool()->stats();
+    std::printf("  %5.2f MB -> %-10s  (hit ratio %.0f%%, %llu physical "
+                "reads)\n",
+                mb, FormatDuration(t.ElapsedUs()).c_str(),
+                st.HitRatio() * 100.0,
+                static_cast<unsigned long long>(st.physical_reads));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace r3
+
+int main(int argc, char** argv) { return r3::bench::Run(argc, argv); }

@@ -1,0 +1,181 @@
+// google-benchmark micro-benchmarks of the embedded RDBMS: B+-tree insert
+// and point lookup, heap scan throughput, hash-join build/probe, prepared
+// vs. unprepared execution (the cursor-caching payoff), and pool/cluster
+// decode throughput. These measure *wall-clock* performance of the engine
+// itself (the paper tables measure simulated time).
+#include <benchmark/benchmark.h>
+
+#include "appsys/app_server.h"
+#include "common/str_util.h"
+#include "rdbms/db.h"
+#include "rdbms/index/key_codec.h"
+
+namespace r3 {
+namespace {
+
+using rdbms::Database;
+using rdbms::Row;
+using rdbms::Value;
+
+std::unique_ptr<Database> MakeDbWithTable(int64_t rows) {
+  auto db = std::make_unique<Database>();
+  Status st = db->Execute(
+      "CREATE TABLE t (id INT, grp INT, payload CHAR(32), val DECIMAL, "
+      "PRIMARY KEY (id))");
+  if (!st.ok()) std::abort();
+  for (int64_t i = 0; i < rows; ++i) {
+    st = db->InsertRow("t", Row{Value::Int(i), Value::Int(i % 100),
+                                Value::Str(str::Format("payload-%lld",
+                                                       static_cast<long long>(i))),
+                                Value::Decimal(static_cast<double>(i) / 7.0)});
+    if (!st.ok()) std::abort();
+  }
+  st = db->Analyze("t");
+  if (!st.ok()) std::abort();
+  return db;
+}
+
+void BM_BTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    rdbms::Disk disk;
+    SimClock clock;
+    rdbms::BufferPool pool(&disk, &clock, 8u << 20);
+    auto tree = rdbms::BTree::Create(&pool);
+    if (!tree.ok()) std::abort();
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      std::string key = rdbms::key_codec::Encode(Value::Int(i * 2654435761 % 1000003));
+      benchmark::DoNotOptimize(
+          tree.value().Insert(key, static_cast<uint64_t>(i)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  rdbms::Disk disk;
+  SimClock clock;
+  rdbms::BufferPool pool(&disk, &clock, 8u << 20);
+  auto tree = rdbms::BTree::Create(&pool);
+  if (!tree.ok()) std::abort();
+  const int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) {
+    std::string key = rdbms::key_codec::Encode(Value::Int(i));
+    if (!tree.value().Insert(key, static_cast<uint64_t>(i)).ok()) std::abort();
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    std::string key = rdbms::key_codec::Encode(Value::Int(i++ % n));
+    benchmark::DoNotOptimize(tree.value().Contains(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookup)->Arg(10000);
+
+void BM_SeqScanQuery(benchmark::State& state) {
+  auto db = MakeDbWithTable(state.range(0));
+  for (auto _ : state) {
+    auto res = db->Query("SELECT COUNT(*) FROM t WHERE val > 100.0");
+    if (!res.ok()) std::abort();
+    benchmark::DoNotOptimize(res.value().rows[0][0].AsInt());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SeqScanQuery)->Arg(10000);
+
+void BM_IndexPointQuery(benchmark::State& state) {
+  auto db = MakeDbWithTable(10000);
+  auto stmt = db->Prepare("SELECT payload FROM t WHERE id = ?");
+  if (!stmt.ok()) std::abort();
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto res = db->ExecutePrepared(stmt.value(), {Value::Int(i++ % 10000)});
+    if (!res.ok()) std::abort();
+    benchmark::DoNotOptimize(res.value().rows.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexPointQuery);
+
+void BM_UnpreparedPointQuery(benchmark::State& state) {
+  // The hard-parse path Native SQL pays per statement.
+  auto db = MakeDbWithTable(10000);
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto res = db->Query(str::Format("SELECT payload FROM t WHERE id = %lld",
+                                     static_cast<long long>(i++ % 10000)));
+    if (!res.ok()) std::abort();
+    benchmark::DoNotOptimize(res.value().rows.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnpreparedPointQuery);
+
+void BM_HashJoinQuery(benchmark::State& state) {
+  auto db = std::make_unique<Database>();
+  if (!db->Execute("CREATE TABLE a (id INT, x INT, PRIMARY KEY (id))").ok() ||
+      !db->Execute("CREATE TABLE b (id INT, a_id INT, y INT, PRIMARY KEY (id))")
+           .ok()) {
+    std::abort();
+  }
+  for (int64_t i = 0; i < 1000; ++i) {
+    if (!db->InsertRow("a", Row{Value::Int(i), Value::Int(i * 3)}).ok()) {
+      std::abort();
+    }
+  }
+  for (int64_t i = 0; i < 5000; ++i) {
+    if (!db->InsertRow("b", Row{Value::Int(i), Value::Int(i % 1000),
+                                Value::Int(i)})
+             .ok()) {
+      std::abort();
+    }
+  }
+  if (!db->Analyze().ok()) std::abort();
+  for (auto _ : state) {
+    auto res = db->Query(
+        "SELECT COUNT(*) FROM a, b WHERE a.id = b.a_id AND a.x > 10");
+    if (!res.ok()) std::abort();
+    benchmark::DoNotOptimize(res.value().rows[0][0].AsInt());
+  }
+}
+BENCHMARK(BM_HashJoinQuery);
+
+void BM_ClusterDecode(benchmark::State& state) {
+  // Pool/cluster blob decode throughput (the dictionary's hot path).
+  appsys::R3System sys;
+  if (!sys.app.Bootstrap().ok()) std::abort();
+  rdbms::Schema konv({rdbms::ColChar("MANDT", 3), rdbms::ColChar("KNUMV", 10),
+                      rdbms::ColInt("KPOSN", 4), rdbms::ColDecimal("KBETR")});
+  if (!sys.app.dictionary()
+           ->DefineCluster("KONV", konv, {"MANDT", "KNUMV", "KPOSN"}, 2,
+                           "KOCLU")
+           .ok()) {
+    std::abort();
+  }
+  for (int64_t d = 0; d < 50; ++d) {
+    for (int64_t i = 0; i < 5; ++i) {
+      Row row{Value::Str("301"), Value::Str(str::SapKey(d, 10)), Value::Int(i),
+              Value::Decimal(static_cast<double>(i))};
+      if (!sys.app.dictionary()->InsertLogical("KONV", row).ok()) std::abort();
+    }
+  }
+  int64_t d = 0;
+  for (auto _ : state) {
+    auto rows = sys.app.dictionary()->ReadLogical(
+        "KONV",
+        {appsys::DictCond{"MANDT", rdbms::CmpOp::kEq, Value::Str("301")},
+         appsys::DictCond{"KNUMV", rdbms::CmpOp::kEq,
+                          Value::Str(str::SapKey(d++ % 50, 10))}});
+    if (!rows.ok()) std::abort();
+    benchmark::DoNotOptimize(rows.value().size());
+  }
+  state.SetItemsProcessed(state.iterations() * 5);
+}
+BENCHMARK(BM_ClusterDecode);
+
+}  // namespace
+}  // namespace r3
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+#ifndef R3DB_BENCH_POWER_COMMON_H_
+#define R3DB_BENCH_POWER_COMMON_H_
+
+// Shared machinery for the two power-test benches (Tables 4 and 5).
+
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "tpcd/power_test.h"
+#include "tpcd/qgen.h"
+#include "tpcd/update_functions.h"
+
+namespace r3 {
+namespace bench {
+
+struct PaperPower {
+  const char* label;
+  const char* rdbms;
+  const char* native;
+  const char* open;
+};
+
+// Paper Table 4 (Release 2.2G), SF = 0.2.
+inline const PaperPower kPaperTable4[] = {
+    {"Q1", "5m 17s", "2h 14m 56s", "2h 15m 33s"},
+    {"Q2", "34s", "1m 16s", "3m 19s"},
+    {"Q3", "5m 55s", "19m 42s", "3h 12m 57s"},
+    {"Q4", "3m 01s", "7m 12s", "8m 31s"},
+    {"Q5", "21m 13s", "22m 05s", "1h 08m 22s"},
+    {"Q6", "1m 18s", "8m 22s", "10m 52s"},
+    {"Q7", "5m 02s", "39m 13s", "38m 31s"},
+    {"Q8", "2m 44s", "16m 02s", "28m 26s"},
+    {"Q9", "9m 14s", "36m 06s", "2h 31m 36s"},
+    {"Q10", "5m 00s", "22m 42s", "25m 41s"},
+    {"Q11", "5s", "2m 02s", "1m 55s"},
+    {"Q12", "2m 59s", "36m 35s", "1h 17m 25s"},
+    {"Q13", "8s", "21s", "23s"},
+    {"Q14", "5m 01s", "9m 13s", "11m 27s"},
+    {"Q15", "3m 46s", "12m 24s", "19m 18s"},
+    {"Q16", "15m 00s", "8m 56s", "8m 29s"},
+    {"Q17", "14s", "9m 12s", "12m 07s"},
+    {"UF1", "1m 59s", "44m 26s", "44m 26s"},
+    {"UF2", "1m 48s", "8m 49s", "8m 49s"},
+};
+
+// Paper Table 5 (Release 3.0E), SF = 0.2.
+inline const PaperPower kPaperTable5[] = {
+    {"Q1", "6m 09s", "58m 59s", "56m 18s"},
+    {"Q2", "53s", "3m 09s", "34s"},
+    {"Q3", "4m 03s", "9m 02s", "11m 51s"},
+    {"Q4", "1m 45s", "6m 18s", "6m 38s"},
+    {"Q5", "6m 39s", "14m 42s", "37m 27s"},
+    {"Q6", "1m 20s", "7m 28s", "14m 06s"},
+    {"Q7", "9m 03s", "23m 05s", "29m 24s"},
+    {"Q8", "1m 54s", "19m 04s", "16m 37s"},
+    {"Q9", "8m 42s", "31m 33s", "1h 7m 14s"},
+    {"Q10", "5m 18s", "33m 06s", "57m 49s"},
+    {"Q11", "5s", "4m 37s", "2m 23s"},
+    {"Q12", "3m 15s", "9m 48s", "9m 36s"},
+    {"Q13", "8s", "19s", "25s"},
+    {"Q14", "6m 23s", "10m 25s", "21m 54s"},
+    {"Q15", "3m 25s", "13m 51s", "28m 31s"},
+    {"Q16", "13m 24s", "3m 16s", "3m 22s"},
+    {"Q17", "11s", "1m 50s", "2m 13s"},
+    {"UF1", "1m 40s", "1h 46m 54s", "1h 46m 54s"},
+    {"UF2", "1m 48s", "11m 35s", "11m 35s"},
+};
+
+inline void PrintPowerTable(const PaperPower* paper, size_t paper_rows,
+                            const tpcd::PowerResult& rdbms,
+                            const tpcd::PowerResult& native,
+                            const tpcd::PowerResult& open) {
+  std::printf("%-5s | %-11s %-12s | %-11s %-12s | %-11s %-12s\n", "", "RDBMS",
+              "(paper)", "Native SQL", "(paper)", "Open SQL", "(paper)");
+  for (size_t i = 0; i < paper_rows; ++i) {
+    const PaperPower& row = paper[i];
+    const tpcd::PowerItem* a = rdbms.Find(row.label);
+    const tpcd::PowerItem* b = native.Find(row.label);
+    const tpcd::PowerItem* c = open.Find(row.label);
+    std::printf("%-5s | %-11s %-12s | %-11s %-12s | %-11s %-12s\n", row.label,
+                a != nullptr ? FormatDuration(a->sim_us).c_str() : "-",
+                row.rdbms,
+                b != nullptr ? FormatDuration(b->sim_us).c_str() : "-",
+                row.native,
+                c != nullptr ? FormatDuration(c->sim_us).c_str() : "-",
+                row.open);
+  }
+  std::printf("%-5s | %-24s | %-24s | %-24s\n", "TotQ",
+              FormatDuration(rdbms.TotalQueriesSimUs()).c_str(),
+              FormatDuration(native.TotalQueriesSimUs()).c_str(),
+              FormatDuration(open.TotalQueriesSimUs()).c_str());
+  std::printf("%-5s | %-24s | %-24s | %-24s\n", "TotA",
+              FormatDuration(rdbms.TotalAllSimUs()).c_str(),
+              FormatDuration(native.TotalAllSimUs()).c_str(),
+              FormatDuration(open.TotalAllSimUs()).c_str());
+  double n_over_r = static_cast<double>(native.TotalQueriesSimUs()) /
+                    std::max<int64_t>(1, rdbms.TotalQueriesSimUs());
+  double o_over_r = static_cast<double>(open.TotalQueriesSimUs()) /
+                    std::max<int64_t>(1, rdbms.TotalQueriesSimUs());
+  std::printf(
+      "\nShape check (queries total): Native/RDBMS = %.1fx, Open/RDBMS = "
+      "%.1fx\n",
+      n_over_r, o_over_r);
+}
+
+}  // namespace bench
+}  // namespace r3
+
+#endif  // R3DB_BENCH_POWER_COMMON_H_

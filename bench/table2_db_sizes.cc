@@ -1,0 +1,129 @@
+// Regenerates Table 2 of the paper: database sizes (data + indexes, KB) of
+// the original TPC-D database vs. the SAP database holding the same
+// business data. The paper's headline: the SAP database is ~10x the data
+// and ~8x the index volume, from vertical partitioning, filler columns, and
+// CHAR-coded keys.
+#include <map>
+
+#include "bench/bench_util.h"
+
+namespace r3 {
+namespace bench {
+namespace {
+
+// Which SAP tables roll up into which original table (Table 1 mapping; AUSP
+// and STXL are apportioned to the entity their rows describe — we simply
+// attribute them to the owning entity by row share, like the paper's totals
+// implicitly do; for the per-entity rows we list the primary tables).
+const std::map<std::string, std::vector<std::string>> kRollup = {
+    {"REGION", {"T005U"}},
+    {"NATION", {"T005", "T005T"}},
+    {"SUPPLIER", {"LFA1"}},
+    {"PART", {"MARA", "MAKT", "KAPOL", "KONP"}},
+    {"PARTSUPP", {"EINA", "EINE"}},
+    {"CUSTOMER", {"KNA1"}},
+    {"ORDERS", {"VBAK"}},
+    {"LINEITEM", {"VBAP", "VBEP", "KOCLU"}},
+};
+
+// Paper values (KB) at SF = 0.2 for shape comparison.
+struct PaperSizes {
+  const char* table;
+  int64_t orig_data, orig_idx, sap_data, sap_idx;
+};
+const PaperSizes kPaper[] = {
+    {"REGION", 16, 0, 320, 400},
+    {"NATION", 16, 0, 400, 400},
+    {"SUPPLIER", 451, 120, 2127, 1884},
+    {"PART", 6144, 1792, 79485, 83525},
+    {"PARTSUPP", 32310, 5275, 102045, 44455},
+    {"CUSTOMER", 7929, 1463, 37805, 26355},
+    {"ORDERS", 52578, 21312, 399190, 125243},
+    {"LINEITEM", 171704, 72860, 2191844, 558746},
+};
+
+int Run(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+  PrintHeader("Table 2: DB sizes in KB — original TPC-D DB vs SAP DB", flags);
+
+  tpcd::DbGen gen(flags.sf, flags.seed);
+  auto rdb = BuildRdbmsSystem(&gen);
+  auto sap = BuildSapSystem(&gen, appsys::Release::kRelease22,
+                            /*convert_konv=*/false);
+
+  auto sizes_of = [](rdbms::Database* db) {
+    std::map<std::string, rdbms::Database::TableSize> out;
+    auto sizes = db->TableSizes();
+    BENCH_CHECK_OK(sizes.status());
+    for (auto& s : sizes.value()) out[s.name] = s;
+    return out;
+  };
+  auto orig = sizes_of(rdb.get());
+  auto sapsz = sizes_of(&sap->db);
+
+  // AUSP and STXL hold rows of several entities; report them separately and
+  // fold them only into the totals (like the paper's "Total" row).
+  std::printf("%-10s | %10s %10s | %10s %10s | paper SAP/orig (data)\n",
+              "table", "orig data", "orig idx", "SAP data", "SAP idx");
+  int64_t to_d = 0, to_i = 0, ts_d = 0, ts_i = 0;
+  for (const PaperSizes& row : kPaper) {
+    const auto& o = orig[row.table];
+    int64_t sd = 0, si = 0;
+    for (const std::string& t : kRollup.at(row.table)) {
+      sd += static_cast<int64_t>(sapsz[t].data_kb);
+      si += static_cast<int64_t>(sapsz[t].index_kb);
+    }
+    to_d += static_cast<int64_t>(o.data_kb);
+    to_i += static_cast<int64_t>(o.index_kb);
+    ts_d += sd;
+    ts_i += si;
+    double paper_ratio = row.orig_data > 0
+                             ? static_cast<double>(row.sap_data) / row.orig_data
+                             : 0;
+    std::printf("%-10s | %10llu %10llu | %10lld %10lld | %.1fx\n", row.table,
+                static_cast<unsigned long long>(o.data_kb),
+                static_cast<unsigned long long>(o.index_kb),
+                static_cast<long long>(sd), static_cast<long long>(si),
+                paper_ratio);
+  }
+  int64_t ausp_d = static_cast<int64_t>(sapsz["AUSP"].data_kb);
+  int64_t ausp_i = static_cast<int64_t>(sapsz["AUSP"].index_kb);
+  int64_t stxl_d = static_cast<int64_t>(sapsz["STXL"].data_kb);
+  int64_t stxl_i = static_cast<int64_t>(sapsz["STXL"].index_kb);
+  std::printf("%-10s |  (not in orig schema)  | %10lld %10lld |\n", "AUSP",
+              static_cast<long long>(ausp_d), static_cast<long long>(ausp_i));
+  std::printf("%-10s |  (comments in-line)    | %10lld %10lld |\n", "STXL",
+              static_cast<long long>(stxl_d), static_cast<long long>(stxl_i));
+  ts_d += ausp_d + stxl_d;
+  ts_i += ausp_i + stxl_i;
+  std::printf("%-10s | %10lld %10lld | %10lld %10lld |\n", "Total",
+              static_cast<long long>(to_d), static_cast<long long>(to_i),
+              static_cast<long long>(ts_d), static_cast<long long>(ts_i));
+  std::printf(
+      "\nMeasured inflation: data %.1fx (paper: 10.4x), indexes %.1fx "
+      "(paper: 8.2x)\n",
+      to_d > 0 ? static_cast<double>(ts_d) / to_d : 0,
+      to_i > 0 ? static_cast<double>(ts_i) / to_i : 0);
+
+  // The 3.0 upgrade effect: converting KONV to transparent ~triples it
+  // (the paper: ~200 MB -> ~600 MB, DB +10%).
+  int64_t koclu = static_cast<int64_t>(sapsz["KOCLU"].data_kb +
+                                       sapsz["KOCLU"].index_kb);
+  BENCH_CHECK_OK(sap->app.dictionary()->ConvertToTransparent(
+      "KONV", appsys::Release::kRelease30));
+  auto after = sizes_of(&sap->db);
+  int64_t konv = static_cast<int64_t>(after["KONV"].data_kb +
+                                      after["KONV"].index_kb);
+  std::printf(
+      "KONV conversion (2.2 cluster -> 3.0 transparent): %lld KB -> %lld KB "
+      "(%.1fx; paper: ~3x)\n",
+      static_cast<long long>(koclu), static_cast<long long>(konv),
+      koclu > 0 ? static_cast<double>(konv) / koclu : 0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace r3
+
+int main(int argc, char** argv) { return r3::bench::Run(argc, argv); }

@@ -1,0 +1,103 @@
+// Decision support, three ways: runs a TPC-D query through the isolated
+// RDBMS, through Native SQL, and through Open SQL, validates that all three
+// agree, and reports what each strategy cost — the paper's core experiment
+// in miniature.
+//
+//   ./decision_support [query-number] [--sf=0.005]
+#include <cstdio>
+#include <cstring>
+
+#include "sap/loader.h"
+#include "sap/schema.h"
+#include "sap/views.h"
+#include "tpcd/loader.h"
+#include "tpcd/queries.h"
+#include "tpcd/schema.h"
+#include "tpcd/validate.h"
+
+using r3::Status;
+
+#define CHECK_OK(expr)                                             \
+  do {                                                             \
+    Status _st = (expr);                                           \
+    if (!_st.ok()) {                                               \
+      std::fprintf(stderr, "error: %s\n", _st.ToString().c_str()); \
+      return 1;                                                    \
+    }                                                              \
+  } while (false)
+
+int main(int argc, char** argv) {
+  int query = 3;
+  double sf = 0.005;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--sf=", 5) == 0) {
+      sf = std::strtod(argv[i] + 5, nullptr);
+    } else {
+      query = std::atoi(argv[i]);
+    }
+  }
+  if (query < 1 || query > r3::tpcd::kNumQueries) {
+    std::fprintf(stderr, "query must be 1..17\n");
+    return 1;
+  }
+
+  r3::tpcd::DbGen gen(sf);
+  r3::tpcd::QueryParams params = r3::tpcd::QueryParams::Defaults(sf);
+
+  std::printf("Loading the original TPC-D database (SF=%.3f)...\n", sf);
+  r3::rdbms::Database rdb;
+  CHECK_OK(r3::tpcd::CreateTpcdSchema(&rdb));
+  CHECK_OK(r3::tpcd::LoadTpcdDatabase(&rdb, &gen));
+
+  std::printf("Installing the application system (Release 3.0)...\n");
+  r3::appsys::AppServerOptions opts;
+  opts.release = r3::appsys::Release::kRelease30;
+  r3::appsys::R3System sap(opts);
+  CHECK_OK(sap.app.Bootstrap());
+  CHECK_OK(r3::sap::CreateSapSchema(&sap.app));
+  CHECK_OK(r3::sap::CreateJoinViews(&sap.app));
+  r3::sap::SapLoader loader(&sap.app, &gen);
+  CHECK_OK(loader.FastLoadAll());
+  CHECK_OK(sap.app.dictionary()->ConvertToTransparent(
+      "KONV", r3::appsys::Release::kRelease30));
+
+  struct Variant {
+    const char* name;
+    std::unique_ptr<r3::tpcd::IQuerySet> set;
+    r3::SimClock* clock;
+  };
+  Variant variants[3];
+  variants[0] = {"isolated RDBMS", r3::tpcd::MakeRdbmsQuerySet(&rdb),
+                 rdb.clock()};
+  variants[1] = {"Native SQL    ", r3::tpcd::MakeNativeQuerySet(&sap.app),
+                 sap.app.clock()};
+  variants[2] = {"Open SQL 3.0  ", r3::tpcd::MakeOpen30QuerySet(&sap.app),
+                 sap.app.clock()};
+
+  r3::rdbms::QueryResult reference;
+  std::printf("\nQ%d results:\n", query);
+  for (Variant& v : variants) {
+    r3::SimTimer timer(*v.clock);
+    auto res = v.set->RunQuery(query, params);
+    CHECK_OK(res.status());
+    std::printf("  %s  %4zu rows   simulated %s\n", v.name,
+                res.value().rows.size(),
+                r3::FormatDuration(timer.ElapsedUs()).c_str());
+    if (&v == &variants[0]) {
+      reference = std::move(res).value();
+    } else {
+      std::string diff;
+      if (!r3::tpcd::ResultsEquivalent(reference, res.value(),
+                                       /*ordered=*/false, &diff)) {
+        std::fprintf(stderr, "  MISMATCH vs reference: %s\n", diff.c_str());
+        return 1;
+      }
+    }
+  }
+  std::printf("\nAll three strategies returned equivalent answers.\n");
+  if (!reference.rows.empty()) {
+    std::printf("First result row: %s\n",
+                r3::rdbms::RowToString(reference.rows[0]).c_str());
+  }
+  return 0;
+}

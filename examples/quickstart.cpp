@@ -1,0 +1,77 @@
+// Quickstart: bring up a complete single-node installation — embedded
+// RDBMS + application server — define a business table, enter data through
+// the application layer, and query it through both interfaces.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "appsys/app_server.h"
+
+using r3::Status;
+using r3::appsys::OpenSqlQuery;
+using r3::appsys::OsqlCond;
+using r3::rdbms::ColChar;
+using r3::rdbms::ColDecimal;
+using r3::rdbms::QueryResult;
+using r3::rdbms::Row;
+using r3::rdbms::Schema;
+using r3::rdbms::Value;
+
+#define CHECK_OK(expr)                                      \
+  do {                                                      \
+    Status _st = (expr);                                    \
+    if (!_st.ok()) {                                        \
+      std::fprintf(stderr, "error: %s\n", _st.ToString().c_str()); \
+      return 1;                                             \
+    }                                                       \
+  } while (false)
+
+int main() {
+  // One installation: a shared simulated clock, the database, the app tier.
+  r3::appsys::R3System sys;
+  CHECK_OK(sys.app.Bootstrap());
+
+  // Define a logical table in the data dictionary. Transparent tables map
+  // 1:1 onto the RDBMS; pool/cluster tables would be encapsulated.
+  Schema mara({ColChar("MANDT", 3), ColChar("MATNR", 16),
+               ColChar("MAKTX", 40), ColDecimal("BRGEW")});
+  CHECK_OK(sys.app.dictionary()->DefineTransparent("MARA", mara,
+                                                   {"MANDT", "MATNR"}));
+
+  // Enter data through the application layer: the client (MANDT) is
+  // stamped automatically.
+  r3::appsys::OpenSql* osql = sys.app.open_sql();
+  CHECK_OK(osql->Insert("MARA", Row{Value::Str(""), Value::Str("BOLT-M8"),
+                                    Value::Str("hex bolt M8"),
+                                    Value::Decimal(0.13)}));
+  CHECK_OK(osql->Insert("MARA", Row{Value::Str(""), Value::Str("NUT-M8"),
+                                    Value::Str("hex nut M8"),
+                                    Value::Decimal(0.05)}));
+
+  // Query through Open SQL: portable, client-safe, literals parameterized.
+  OpenSqlQuery q;
+  q.table = "MARA";
+  q.columns = {"MATNR", "MAKTX", "BRGEW"};
+  q.where = {OsqlCond::Cmp("BRGEW", r3::rdbms::CmpOp::kGt,
+                           Value::Decimal(0.1))};
+  auto open_result = osql->Select(q);
+  CHECK_OK(open_result.status());
+  std::printf("Open SQL (heavy parts):\n");
+  for (const Row& row : open_result.value().rows) {
+    std::printf("  %-16s %-20s %s kg\n", row[0].string_value().c_str(),
+                row[1].string_value().c_str(), row[2].ToString().c_str());
+  }
+
+  // Query through Native SQL: full SQL, but the client predicate is the
+  // report author's problem.
+  auto native_result = sys.app.native_sql()->ExecSql(
+      "SELECT COUNT(*), SUM(BRGEW) FROM MARA WHERE MANDT = '301'");
+  CHECK_OK(native_result.status());
+  std::printf("Native SQL: %s parts, %s kg total\n",
+              native_result.value().rows[0][0].ToString().c_str(),
+              native_result.value().rows[0][1].ToString().c_str());
+
+  std::printf("Simulated elapsed time: %s\n",
+              r3::FormatDuration(sys.clock.NowMicros()).c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "appsys/app_server.h"
+
+namespace r3 {
+namespace appsys {
+
+using rdbms::ColChar;
+using rdbms::ColInt;
+using rdbms::Schema;
+using rdbms::Value;
+
+AppServer::AppServer(rdbms::Database* db, AppServerOptions options)
+    : db_(db), options_(std::move(options)) {
+  dict_ = std::make_unique<DataDictionary>(db_);
+  conn_ = std::make_unique<DbConnection>(db_, db_->clock());
+  buffer_ = std::make_unique<TableBuffer>(db_->clock(),
+                                          options_.table_buffer_bytes);
+  open_sql_ = std::make_unique<OpenSql>(dict_.get(), conn_.get(), buffer_.get(),
+                                        db_->clock(), options_.release,
+                                        options_.client);
+  native_sql_ = std::make_unique<NativeSql>(conn_.get());
+  batch_input_ = std::make_unique<BatchInput>(open_sql_.get(), conn_.get(),
+                                              db_->clock());
+}
+
+Status AppServer::Bootstrap() {
+  R3_RETURN_IF_ERROR(dict_->Bootstrap());
+  if (!dict_->Exists("NRIV")) {
+    Schema nriv({ColChar("MANDT", 3), ColChar("OBJECT", 10),
+                 ColInt("NRLEVEL", 8)});
+    R3_RETURN_IF_ERROR(
+        dict_->DefineTransparent("NRIV", nriv, {"MANDT", "OBJECT"}));
+  }
+  return Status::OK();
+}
+
+Status AppServer::CreateNumberRange(const std::string& object,
+                                    int64_t initial) {
+  rdbms::Row row{Value::Str(options_.client), Value::Str(object),
+                 Value::Int(initial)};
+  return dict_->InsertLogical("NRIV", row);
+}
+
+Status AppServer::UpgradeTo30() {
+  if (options_.release == Release::kRelease30) {
+    return Status::InvalidArgument("already at Release 3.0");
+  }
+  options_.release = Release::kRelease30;
+  // The Open SQL interface gains the 3.0 features; existing reports keep
+  // running (and keep their 2.2 performance) until rewritten.
+  open_sql_ = std::make_unique<OpenSql>(dict_.get(), conn_.get(), buffer_.get(),
+                                        db_->clock(), options_.release,
+                                        options_.client);
+  batch_input_ = std::make_unique<BatchInput>(open_sql_.get(), conn_.get(),
+                                              db_->clock());
+  return Status::OK();
+}
+
+R3System::R3System(AppServerOptions app_options,
+                   rdbms::DatabaseOptions db_options)
+    : clock(), db(&clock, db_options), app(&db, std::move(app_options)) {}
+
+}  // namespace appsys
+}  // namespace r3

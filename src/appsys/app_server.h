@@ -1,0 +1,84 @@
+#ifndef R3DB_APPSYS_APP_SERVER_H_
+#define R3DB_APPSYS_APP_SERVER_H_
+
+#include <memory>
+#include <string>
+
+#include "appsys/batch_input.h"
+#include "appsys/connection.h"
+#include "appsys/data_dictionary.h"
+#include "appsys/native_sql.h"
+#include "appsys/open_sql.h"
+#include "appsys/release.h"
+#include "appsys/report.h"
+#include "appsys/table_buffer.h"
+#include "common/sim_clock.h"
+#include "rdbms/db.h"
+
+namespace r3 {
+namespace appsys {
+
+struct AppServerOptions {
+  Release release = Release::kRelease30;
+  std::string client = "301";  ///< the paper's TPC-D Inc. business client
+  size_t table_buffer_bytes = 0;  ///< 0 disables application-server buffering
+};
+
+/// The application tier (Figure 1, layer 2): data dictionary, Open/Native
+/// SQL interfaces, table buffering, and batch input, over one back-end
+/// Database and one shared SimClock.
+class AppServer {
+ public:
+  AppServer(rdbms::Database* db, AppServerOptions options);
+
+  AppServer(const AppServer&) = delete;
+  AppServer& operator=(const AppServer&) = delete;
+
+  /// Creates the system's own control tables (DD02L, NRIV).
+  Status Bootstrap();
+
+  /// Defines an NRIV number range starting at `initial`.
+  Status CreateNumberRange(const std::string& object, int64_t initial = 0);
+
+  /// Switches to Release 3.0 (models the upgrade; schema data stays as-is —
+  /// converting KONV etc. is a separate, explicit step, exactly like the
+  /// real two-week upgrade the paper describes).
+  Status UpgradeTo30();
+
+  rdbms::Database* db() { return db_; }
+  SimClock* clock() { return db_->clock(); }
+  DataDictionary* dictionary() { return dict_.get(); }
+  DbConnection* connection() { return conn_.get(); }
+  TableBuffer* buffer() { return buffer_.get(); }
+  OpenSql* open_sql() { return open_sql_.get(); }
+  NativeSql* native_sql() { return native_sql_.get(); }
+  BatchInput* batch_input() { return batch_input_.get(); }
+
+  Release release() const { return options_.release; }
+  const std::string& client() const { return options_.client; }
+
+ private:
+  rdbms::Database* db_;
+  AppServerOptions options_;
+  std::unique_ptr<DataDictionary> dict_;
+  std::unique_ptr<DbConnection> conn_;
+  std::unique_ptr<TableBuffer> buffer_;
+  std::unique_ptr<OpenSql> open_sql_;
+  std::unique_ptr<NativeSql> native_sql_;
+  std::unique_ptr<BatchInput> batch_input_;
+};
+
+/// Owns a complete single-node installation: clock + database + app server.
+struct R3System {
+  explicit R3System(AppServerOptions app_options = {},
+                    rdbms::DatabaseOptions db_options = {});
+
+  SimClock clock;
+  rdbms::Database db;
+  AppServer app;
+};
+
+}  // namespace appsys
+}  // namespace r3
+
+#endif  // R3DB_APPSYS_APP_SERVER_H_

@@ -1,0 +1,74 @@
+#include "appsys/batch_input.h"
+
+namespace r3 {
+namespace appsys {
+
+using rdbms::Value;
+
+BatchInput::Transaction BatchInput::Begin(const std::string& tcode) {
+  (void)tcode;
+  ++stats_.transactions;
+  return Transaction(this);
+}
+
+void BatchInput::Transaction::Screen() {
+  ++bi_->stats_.screens;
+  bi_->clock_->ChargeBatchInputStep();
+}
+
+Status BatchInput::Transaction::CheckExists(
+    const std::string& table, const std::vector<OsqlCond>& key_conds) {
+  ++bi_->stats_.checks;
+  R3_ASSIGN_OR_RETURN(std::optional<rdbms::Row> row,
+                      bi_->osql_->SelectSingle(table, key_conds));
+  if (!row.has_value()) {
+    failed_ = true;
+    ++bi_->stats_.failed_transactions;
+    return Status::ConstraintViolation("batch input: referenced " + table +
+                                       " record does not exist");
+  }
+  return Status::OK();
+}
+
+Result<std::optional<rdbms::Row>> BatchInput::Transaction::Lookup(
+    const std::string& table, const std::vector<OsqlCond>& key_conds) {
+  ++bi_->stats_.checks;
+  return bi_->osql_->SelectSingle(table, key_conds);
+}
+
+Result<int64_t> BatchInput::Transaction::NextNumber(const std::string& object) {
+  // The classic NRIV protocol: read the level, bump it, hand it out. (The
+  // real system can buffer intervals per app server; the unbuffered protocol
+  // is what batch input uses for exactly-once document numbers.)
+  R3_ASSIGN_OR_RETURN(
+      std::optional<rdbms::Row> row,
+      bi_->osql_->SelectSingle(
+          "NRIV", {OsqlCond::Eq("OBJECT", Value::Str(object))}));
+  if (!row.has_value()) {
+    return Status::NotFound("no number range object '" + object + "'");
+  }
+  int64_t level = (*row)[2].AsInt() + 1;
+  int64_t affected = 0;
+  R3_RETURN_IF_ERROR(bi_->conn_->ExecuteDml(
+      "UPDATE NRIV SET NRLEVEL = ? WHERE MANDT = ? AND OBJECT = ?",
+      {Value::Int(level), Value::Str(bi_->osql_->client()), Value::Str(object)},
+      &affected));
+  return level;
+}
+
+Status BatchInput::Transaction::Insert(const std::string& table,
+                                       rdbms::Row row) {
+  ++bi_->stats_.inserts;
+  return bi_->osql_->Insert(table, std::move(row));
+}
+
+Status BatchInput::Transaction::Commit() {
+  if (failed_) {
+    return Status::ConstraintViolation("transaction had failed checks");
+  }
+  bi_->clock_->ChargeRoundTrip();  // commit
+  return Status::OK();
+}
+
+}  // namespace appsys
+}  // namespace r3

@@ -1,0 +1,45 @@
+#include "appsys/connection.h"
+
+namespace r3 {
+namespace appsys {
+
+void DbConnection::ChargeShipment(const rdbms::QueryResult& result) {
+  stats_.rows_shipped += static_cast<int64_t>(result.rows.size());
+  clock_->ChargeTupleShip(static_cast<int64_t>(result.rows.size()));
+}
+
+Result<rdbms::QueryResult> DbConnection::ExecuteSql(
+    const std::string& sql, const std::vector<rdbms::Value>& params) {
+  ++stats_.round_trips;
+  clock_->ChargeRoundTrip();
+  R3_ASSIGN_OR_RETURN(rdbms::QueryResult result, db_->Query(sql, params));
+  ChargeShipment(result);
+  return result;
+}
+
+Result<rdbms::QueryResult> DbConnection::ExecuteCursor(
+    const std::string& sql, const std::vector<rdbms::Value>& params) {
+  ++stats_.round_trips;
+  clock_->ChargeRoundTrip();
+  if (seen_statements_.insert(sql).second) {
+    ++stats_.cursor_cache_misses;
+  } else {
+    ++stats_.cursor_cache_hits;
+  }
+  R3_ASSIGN_OR_RETURN(rdbms::PreparedStatement * stmt, db_->Prepare(sql));
+  R3_ASSIGN_OR_RETURN(rdbms::QueryResult result,
+                      db_->ExecutePrepared(stmt, params));
+  ChargeShipment(result);
+  return result;
+}
+
+Status DbConnection::ExecuteDml(const std::string& sql,
+                                const std::vector<rdbms::Value>& params,
+                                int64_t* affected_rows) {
+  ++stats_.round_trips;
+  clock_->ChargeRoundTrip();
+  return db_->Execute(sql, params, nullptr, affected_rows);
+}
+
+}  // namespace appsys
+}  // namespace r3

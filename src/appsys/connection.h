@@ -1,0 +1,64 @@
+#ifndef R3DB_APPSYS_CONNECTION_H_
+#define R3DB_APPSYS_CONNECTION_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "rdbms/db.h"
+
+namespace r3 {
+namespace appsys {
+
+/// The application-server-to-RDBMS wire (Figure 2's "database interface").
+///
+/// Every call crosses the process boundary (charged as a round trip) and
+/// every result tuple crossing back is charged a ship cost — this is the
+/// per-tuple "crossing the interface" overhead the paper identifies for
+/// nested-SELECT joins. Open SQL's cursor cache rides on the database's
+/// prepared-statement cache: a repeated statement skips the hard parse.
+class DbConnection {
+ public:
+  DbConnection(rdbms::Database* db, SimClock* clock) : db_(db), clock_(clock) {}
+
+  /// Native SQL path: statement text with literals, no cursor caching
+  /// (EXEC SQL re-parses each time).
+  Result<rdbms::QueryResult> ExecuteSql(const std::string& sql,
+                                        const std::vector<rdbms::Value>& params = {});
+
+  /// Open SQL path: parameterized text, cursor-cached. The first execution
+  /// pays the hard parse; re-executions with new bindings reopen the cursor.
+  Result<rdbms::QueryResult> ExecuteCursor(const std::string& sql,
+                                           const std::vector<rdbms::Value>& params);
+
+  /// DML through the interface.
+  Status ExecuteDml(const std::string& sql,
+                    const std::vector<rdbms::Value>& params,
+                    int64_t* affected_rows = nullptr);
+
+  struct Stats {
+    int64_t round_trips = 0;
+    int64_t rows_shipped = 0;
+    int64_t cursor_cache_hits = 0;
+    int64_t cursor_cache_misses = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  rdbms::Database* db() { return db_; }
+
+ private:
+  void ChargeShipment(const rdbms::QueryResult& result);
+
+  rdbms::Database* db_;
+  SimClock* clock_;
+  Stats stats_;
+  std::unordered_set<std::string> seen_statements_;
+};
+
+}  // namespace appsys
+}  // namespace r3
+
+#endif  // R3DB_APPSYS_CONNECTION_H_

@@ -1,0 +1,18 @@
+#include "appsys/native_sql.h"
+
+namespace r3 {
+namespace appsys {
+
+Result<rdbms::QueryResult> NativeSql::ExecSql(
+    const std::string& sql, const std::vector<rdbms::Value>& params) {
+  return conn_->ExecuteSql(sql, params);
+}
+
+Status NativeSql::ExecDml(const std::string& sql,
+                          const std::vector<rdbms::Value>& params,
+                          int64_t* affected) {
+  return conn_->ExecuteDml(sql, params, affected);
+}
+
+}  // namespace appsys
+}  // namespace r3

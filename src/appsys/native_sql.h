@@ -1,0 +1,43 @@
+#ifndef R3DB_APPSYS_NATIVE_SQL_H_
+#define R3DB_APPSYS_NATIVE_SQL_H_
+
+#include <string>
+#include <vector>
+
+#include "appsys/connection.h"
+#include "common/status.h"
+
+namespace r3 {
+namespace appsys {
+
+/// The Native SQL interface (ABAP's `EXEC SQL ... ENDEXEC`): statements go
+/// to the RDBMS verbatim — literals stay visible to the optimizer, vendor
+/// SQL is usable, but:
+///  * encapsulated (pool/cluster) tables are unreachable — they don't exist
+///    under their logical names in the RDBMS schema, so such statements fail
+///    naturally with NotFound;
+///  * no automatic client handling — reports must write `MANDT = '301'`
+///    themselves (forgetting it silently reads other clients' data, the
+///    paper's safety argument);
+///  * no cursor caching — each EXEC SQL pays the hard parse.
+class NativeSql {
+ public:
+  explicit NativeSql(DbConnection* conn) : conn_(conn) {}
+
+  /// Runs a SELECT verbatim.
+  Result<rdbms::QueryResult> ExecSql(const std::string& sql,
+                                     const std::vector<rdbms::Value>& params = {});
+
+  /// Runs DML verbatim.
+  Status ExecDml(const std::string& sql,
+                 const std::vector<rdbms::Value>& params = {},
+                 int64_t* affected = nullptr);
+
+ private:
+  DbConnection* conn_;
+};
+
+}  // namespace appsys
+}  // namespace r3
+
+#endif  // R3DB_APPSYS_NATIVE_SQL_H_

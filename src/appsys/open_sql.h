@@ -1,0 +1,142 @@
+#ifndef R3DB_APPSYS_OPEN_SQL_H_
+#define R3DB_APPSYS_OPEN_SQL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "appsys/connection.h"
+#include "appsys/data_dictionary.h"
+#include "appsys/release.h"
+#include "appsys/table_buffer.h"
+#include "common/status.h"
+
+namespace r3 {
+namespace appsys {
+
+/// One Open SQL WHERE condition: a column against a *literal*. Open SQL has
+/// no way to express arbitrary SQL expressions, and every literal is turned
+/// into a `?` parameter during translation (cursor caching), hiding it from
+/// the RDBMS optimizer.
+struct OsqlCond {
+  std::string column;  ///< "COL" or "ALIAS~COL"
+  rdbms::CmpOp op = rdbms::CmpOp::kEq;
+  rdbms::Value value;
+  rdbms::Value value2;  ///< BETWEEN upper bound
+  bool between = false;
+  bool like = false;
+
+  static OsqlCond Eq(std::string col, rdbms::Value v) {
+    return OsqlCond{std::move(col), rdbms::CmpOp::kEq, std::move(v), {}, false,
+                    false};
+  }
+  static OsqlCond Cmp(std::string col, rdbms::CmpOp op, rdbms::Value v) {
+    return OsqlCond{std::move(col), op, std::move(v), {}, false, false};
+  }
+  static OsqlCond Between(std::string col, rdbms::Value lo, rdbms::Value hi) {
+    return OsqlCond{std::move(col), rdbms::CmpOp::kGe, std::move(lo),
+                    std::move(hi), true, false};
+  }
+  static OsqlCond Like(std::string col, std::string pattern) {
+    return OsqlCond{std::move(col), rdbms::CmpOp::kEq,
+                    rdbms::Value::Str(std::move(pattern)), {}, false, true};
+  }
+};
+
+/// One joined table of a Release 3.0 Open SQL join (equality ON clauses of
+/// plain columns only — SAP's join syntax).
+struct OsqlJoinTable {
+  std::string table;
+  std::string alias;  ///< empty: the table name
+  /// Pairs of fully qualified columns: ("VBAP~VBELN", "VBAK~VBELN").
+  std::vector<std::pair<std::string, std::string>> on;
+  bool left_outer = false;  ///< syntactically possible, rejected at runtime
+                            ///< (the paper: "users cannot yet use this")
+};
+
+/// A *simple* aggregate: a function over a single plain column. Aggregates
+/// over arithmetic expressions are inexpressible (Section 4.2) — reports
+/// must compute those client-side (see report.h).
+struct OsqlAggregate {
+  rdbms::AggFunc func = rdbms::AggFunc::kCountStar;
+  std::string column;  ///< ignored for COUNT(*)
+  bool distinct = false;
+};
+
+/// A complete Open SQL SELECT. Which fields may be used depends on the
+/// release (joins/aggregates: 3.0 only).
+struct OpenSqlQuery {
+  std::string table;
+  std::string alias;  ///< optional alias for the base table
+  std::vector<OsqlJoinTable> joins;
+  std::vector<std::string> columns;  ///< empty + no aggregates = all columns
+  std::vector<OsqlAggregate> aggregates;
+  std::vector<std::string> group_by;
+  std::vector<OsqlCond> where;
+  std::vector<std::string> order_by;
+  std::vector<bool> order_desc;  ///< parallel to order_by (empty = all asc)
+  bool single = false;           ///< SELECT SINGLE
+  int64_t up_to = -1;            ///< UP TO n ROWS
+};
+
+/// The Open SQL interface of the application server: portable, safe,
+/// dictionary-mediated access to logical tables of any kind. The *only*
+/// interface that reaches pool and cluster tables.
+class OpenSql {
+ public:
+  OpenSql(DataDictionary* dict, DbConnection* conn, TableBuffer* buffer,
+          SimClock* clock, Release release, std::string client)
+      : dict_(dict),
+        conn_(conn),
+        buffer_(buffer),
+        clock_(clock),
+        release_(release),
+        client_(std::move(client)) {}
+
+  /// Executes a SELECT. The client (MANDT) predicate is injected
+  /// automatically for every referenced table that has a MANDT column.
+  Result<rdbms::QueryResult> Select(const OpenSqlQuery& q);
+
+  /// SELECT SINGLE by (full-key) conditions; served from the table buffer
+  /// when the table is buffer-enabled.
+  Result<std::optional<rdbms::Row>> SelectSingle(
+      const std::string& table, const std::vector<OsqlCond>& key_conds);
+
+  /// Inserts one logical row (buffer invalidation included). The MANDT
+  /// column, if present, is overwritten with the session client.
+  Status Insert(const std::string& table, rdbms::Row row);
+
+  /// Deletes logical rows matching equality conditions (transparent tables
+  /// only — sufficient for the update functions).
+  Status Delete(const std::string& table, const std::vector<OsqlCond>& conds,
+                int64_t* affected = nullptr);
+
+  Release release() const { return release_; }
+  const std::string& client() const { return client_; }
+
+  /// Renders the SQL an Open SQL query translates to (tests/debugging) —
+  /// all literals appear as '?' placeholders.
+  Result<std::string> TranslateForDisplay(const OpenSqlQuery& q);
+
+ private:
+  struct Translation {
+    std::string sql;
+    std::vector<rdbms::Value> params;
+  };
+
+  Status Validate(const OpenSqlQuery& q) const;
+  Result<Translation> Translate(const OpenSqlQuery& q) const;
+  Result<rdbms::QueryResult> SelectEncapsulated(const OpenSqlQuery& q);
+
+  DataDictionary* dict_;
+  DbConnection* conn_;
+  TableBuffer* buffer_;
+  SimClock* clock_;
+  Release release_;
+  std::string client_;
+};
+
+}  // namespace appsys
+}  // namespace r3
+
+#endif  // R3DB_APPSYS_OPEN_SQL_H_

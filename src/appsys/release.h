@@ -1,0 +1,42 @@
+#ifndef R3DB_APPSYS_RELEASE_H_
+#define R3DB_APPSYS_RELEASE_H_
+
+namespace r3 {
+namespace appsys {
+
+/// The two application-system releases the paper measures. Release 3.0
+/// extends the Open SQL interface (join and simple-aggregate push-down) and
+/// lets cluster tables be converted to transparent ones; Release 2.2 can
+/// convert only pool tables and evaluates all joins/aggregations in the
+/// application server.
+enum class Release {
+  kRelease22,
+  kRelease30,
+};
+
+/// Open SQL may express JOIN ... ON in the FROM clause.
+inline bool SupportsJoinPushdown(Release r) { return r == Release::kRelease30; }
+
+/// Open SQL may express GROUP BY plus *simple* single-column aggregates
+/// (never aggregates over arithmetic expressions — in either release).
+inline bool SupportsAggregatePushdown(Release r) {
+  return r == Release::kRelease30;
+}
+
+/// Which table kinds can be converted to transparent.
+inline bool CanConvertPoolTables(Release r) {
+  (void)r;
+  return true;  // both releases
+}
+inline bool CanConvertClusterTables(Release r) {
+  return r == Release::kRelease30;
+}
+
+inline const char* ReleaseName(Release r) {
+  return r == Release::kRelease22 ? "2.2G" : "3.0E";
+}
+
+}  // namespace appsys
+}  // namespace r3
+
+#endif  // R3DB_APPSYS_RELEASE_H_

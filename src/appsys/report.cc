@@ -1,0 +1,142 @@
+#include "appsys/report.h"
+
+#include <algorithm>
+
+#include "rdbms/storage/disk.h"
+
+namespace r3 {
+namespace appsys {
+
+using rdbms::Row;
+using rdbms::Value;
+
+namespace {
+
+size_t ApproxRowBytes(const Row& row) {
+  size_t n = 8;
+  for (const Value& v : row) {
+    n += 9;
+    if (v.type() == rdbms::DataType::kString) n += v.string_value().size();
+  }
+  return n;
+}
+
+int CompareByKeys(const Row& a, const Row& b,
+                  const std::vector<size_t>& keys) {
+  for (size_t k : keys) {
+    int c = a[k].Compare(b[k]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void InternalTable::Append(Row row) {
+  clock_->ChargeAbapTuple();
+  rows_.push_back(std::move(row));
+}
+
+void InternalTable::Sort(const std::vector<size_t>& key_columns, bool desc) {
+  clock_->ChargeAbapTuple(static_cast<int64_t>(rows_.size()));
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [&](const Row& a, const Row& b) {
+                     int c = CompareByKeys(a, b, key_columns);
+                     return desc ? c > 0 : c < 0;
+                   });
+}
+
+int64_t InternalTable::BinarySearch(const std::vector<size_t>& key_columns,
+                                    const Row& key_values) const {
+  clock_->ChargeAbapTuple();
+  int64_t lo = 0;
+  int64_t hi = static_cast<int64_t>(rows_.size());
+  while (lo < hi) {
+    int64_t mid = (lo + hi) / 2;
+    bool less = false;
+    for (size_t i = 0; i < key_columns.size(); ++i) {
+      int c = rows_[static_cast<size_t>(mid)][key_columns[i]].Compare(
+          key_values[i]);
+      if (c < 0) {
+        less = true;
+        break;
+      }
+      if (c > 0) break;
+    }
+    if (less) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo >= static_cast<int64_t>(rows_.size())) return -1;
+  for (size_t i = 0; i < key_columns.size(); ++i) {
+    if (rows_[static_cast<size_t>(lo)][key_columns[i]].Compare(key_values[i]) !=
+        0) {
+      return -1;
+    }
+  }
+  return lo;
+}
+
+Status InternalTable::Loop(
+    const std::function<Status(const Row&)>& body) const {
+  for (const Row& row : rows_) {
+    clock_->ChargeAbapTuple();
+    R3_RETURN_IF_ERROR(body(row));
+  }
+  return Status::OK();
+}
+
+void Extract::Append(Row record) {
+  clock_->ChargeAbapTuple();
+  byte_size_ += ApproxRowBytes(record);
+  rows_.push_back(std::move(record));
+}
+
+int64_t Extract::SpoolPages() const {
+  return static_cast<int64_t>((byte_size_ + rdbms::kPageSize - 1) /
+                              rdbms::kPageSize);
+}
+
+Status Extract::Sort() {
+  clock_->ChargeAbapTuple(static_cast<int64_t>(rows_.size()));
+  std::stable_sort(rows_.begin(), rows_.end(), [this](const Row& a, const Row& b) {
+    return CompareByKeys(a, b, key_columns_) < 0;
+  });
+  // Phase 1 of the two-phase client-side grouping: the sorted dataset is
+  // written to secondary storage (always, unlike the RDBMS's pipelined
+  // sort+group).
+  int64_t pages = SpoolPages();
+  for (int64_t i = 0; i < pages; ++i) clock_->ChargePageWrite();
+  sorted_ = true;
+  return Status::OK();
+}
+
+Status Extract::LoopGroups(
+    const std::function<Status(const std::vector<Row>&)>& group_body) {
+  if (!sorted_) {
+    return Status::InvalidArgument("LOOP over an unsorted EXTRACT dataset");
+  }
+  // Phase 2: re-read the spooled dataset.
+  int64_t pages = SpoolPages();
+  for (int64_t i = 0; i < pages; ++i) clock_->ChargeSeqPageRead();
+
+  std::vector<Row> group;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    clock_->ChargeAbapTuple();
+    if (!group.empty() &&
+        CompareByKeys(group.back(), rows_[i], key_columns_) != 0) {
+      R3_RETURN_IF_ERROR(group_body(group));
+      group.clear();
+    }
+    group.push_back(rows_[i]);
+  }
+  if (!group.empty()) {
+    R3_RETURN_IF_ERROR(group_body(group));
+  }
+  return Status::OK();
+}
+
+}  // namespace appsys
+}  // namespace r3

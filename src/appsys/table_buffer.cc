@@ -1,0 +1,88 @@
+#include "appsys/table_buffer.h"
+
+#include "common/str_util.h"
+
+namespace r3 {
+namespace appsys {
+
+void TableBuffer::EnableFor(const std::string& table) {
+  enabled_.insert(str::ToUpper(table));
+}
+
+bool TableBuffer::IsEnabled(const std::string& table) const {
+  return enabled_.count(str::ToUpper(table)) > 0;
+}
+
+void TableBuffer::SetCapacity(size_t capacity_bytes) {
+  capacity_ = capacity_bytes;
+  Clear();
+}
+
+size_t TableBuffer::RowBytes(const rdbms::Row& row) {
+  size_t n = 32;  // entry overhead
+  for (const rdbms::Value& v : row) {
+    n += 16;
+    if (v.type() == rdbms::DataType::kString) n += v.string_value().size();
+  }
+  return n;
+}
+
+std::optional<rdbms::Row> TableBuffer::Get(const std::string& table,
+                                           const std::string& key) {
+  ++stats_.probes;
+  clock_->ChargeBufferProbe();
+  std::string full_key = str::ToUpper(table) + '\x00' + key;
+  auto it = map_.find(full_key);
+  if (it == map_.end()) return std::nullopt;
+  ++stats_.hits;
+  // Move to MRU position.
+  lru_.splice(lru_.end(), lru_, it->second);
+  return it->second->row;
+}
+
+void TableBuffer::Put(const std::string& table, const std::string& key,
+                      rdbms::Row row) {
+  std::string full_key = str::ToUpper(table) + '\x00' + key;
+  auto it = map_.find(full_key);
+  if (it != map_.end()) {
+    size_ -= it->second->bytes;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  Entry e;
+  e.full_key = full_key;
+  e.bytes = RowBytes(row) + full_key.size();
+  e.row = std::move(row);
+  if (e.bytes > capacity_) return;  // cannot fit at all
+  while (size_ + e.bytes > capacity_ && !lru_.empty()) {
+    Entry& victim = lru_.front();
+    size_ -= victim.bytes;
+    map_.erase(victim.full_key);
+    lru_.pop_front();
+  }
+  size_ += e.bytes;
+  lru_.push_back(std::move(e));
+  map_[lru_.back().full_key] = std::prev(lru_.end());
+}
+
+void TableBuffer::InvalidateTable(const std::string& table) {
+  std::string prefix = str::ToUpper(table) + '\x00';
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->full_key.rfind(prefix, 0) == 0) {
+      size_ -= it->bytes;
+      map_.erase(it->full_key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TableBuffer::Clear() {
+  lru_.clear();
+  map_.clear();
+  size_ = 0;
+}
+
+}  // namespace appsys
+}  // namespace r3

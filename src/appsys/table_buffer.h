@@ -1,0 +1,82 @@
+#ifndef R3DB_APPSYS_TABLE_BUFFER_H_
+#define R3DB_APPSYS_TABLE_BUFFER_H_
+
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/sim_clock.h"
+#include "rdbms/row.h"
+
+namespace r3 {
+namespace appsys {
+
+/// Application-server table buffering (Section 2.3 / Table 8 of the paper).
+///
+/// Caches single rows of buffer-enabled tables by primary key, within a
+/// byte budget, LRU-evicted. Every probe — hit or miss — pays a management
+/// cost, which is why a too-small cache can be slower than no cache (the
+/// paper's 2 MB configuration). Coherency is the real system's weak
+/// "periodic sync": Invalidate() models a local write; remote writers are
+/// not modeled (single app server).
+class TableBuffer {
+ public:
+  TableBuffer(SimClock* clock, size_t capacity_bytes)
+      : clock_(clock), capacity_(capacity_bytes) {}
+
+  /// Buffering is opt-in per table (SAP's "buffered table" attribute).
+  void EnableFor(const std::string& table);
+  bool IsEnabled(const std::string& table) const;
+
+  /// Resizes (and clears) the buffer.
+  void SetCapacity(size_t capacity_bytes);
+  size_t capacity() const { return capacity_; }
+
+  /// Probes the cache; charges the probe cost either way.
+  std::optional<rdbms::Row> Get(const std::string& table,
+                                const std::string& key);
+
+  /// Admits a row (evicting LRU entries to fit).
+  void Put(const std::string& table, const std::string& key, rdbms::Row row);
+
+  /// Drops all entries of a table (local write).
+  void InvalidateTable(const std::string& table);
+
+  void Clear();
+
+  struct Stats {
+    int64_t probes = 0;
+    int64_t hits = 0;
+    double HitRatio() const {
+      return probes == 0 ? 0.0 : static_cast<double>(hits) / probes;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  size_t size_bytes() const { return size_; }
+
+ private:
+  struct Entry {
+    std::string full_key;  ///< table + '\x00' + key
+    rdbms::Row row;
+    size_t bytes = 0;
+  };
+
+  static size_t RowBytes(const rdbms::Row& row);
+
+  SimClock* clock_;
+  size_t capacity_;
+  size_t size_ = 0;
+  std::unordered_set<std::string> enabled_;
+  std::list<Entry> lru_;  ///< back = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  Stats stats_;
+};
+
+}  // namespace appsys
+}  // namespace r3
+
+#endif  // R3DB_APPSYS_TABLE_BUFFER_H_

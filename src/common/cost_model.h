@@ -1,0 +1,70 @@
+#ifndef R3DB_COMMON_COST_MODEL_H_
+#define R3DB_COMMON_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace r3 {
+
+/// Calibrated costs (in microseconds) for the simulated 1996-era platform
+/// (Sun SPARCstation 20/612MP, Seagate ST15230N drives) used by the paper.
+///
+/// Every observable event in the engine — a physical page transfer, an
+/// application-server <-> RDBMS round trip, interpreting a tuple in the
+/// report runtime — charges one of these constants to the SimClock. The
+/// benchmark harness reports the accumulated simulated time next to the real
+/// wall-clock time; the paper's *ratios* are reproduced by counting the same
+/// events the authors' hardware paid for, while absolute values depend only
+/// on this table.
+///
+/// Calibration notes (see EXPERIMENTS.md for the derivation):
+///  * A 1996 SCSI drive sustained roughly 5 MB/s sequentially and ~9 ms per
+///    random access; with an 8 KB page that is ~1.6 ms/seq page, ~11 ms/rand.
+///  * SQL round trips between two local processes (shared-memory IPC plus
+///    parse/lookup in the DBMS) cost a fraction of a millisecond.
+///  * ABAP/4 is interpreted: per-tuple handling in the application server is
+///    an order of magnitude costlier than compiled per-tuple DBMS code.
+///  * SAP's batch input runs a whole dialog-transaction's worth of checks
+///    per record (dozens of round trips), which is where the paper's
+///    25-day LINEITEM load comes from.
+struct CostModel {
+  /// Reading a page that immediately follows the previous read of that file.
+  int64_t seq_page_read_us = 1600;
+  /// Reading a page anywhere else (seek + rotational latency dominated).
+  int64_t random_page_read_us = 11000;
+  /// Writing a page back to disk (writes are mostly sequential/deferred).
+  int64_t page_write_us = 2000;
+  /// CPU cost for the DBMS to process one tuple inside an operator
+  /// (~3000 instructions on a 60 MHz SuperSPARC).
+  int64_t dbms_tuple_cpu_us = 50;
+  /// Fixed overhead of one application-server -> RDBMS call (open/execute/
+  /// reopen a cursor, ship the statement, context switch).
+  int64_t rpc_round_trip_us = 800;
+  /// Shipping one result tuple across the DBMS/application-server boundary.
+  int64_t tuple_ship_us = 25;
+  /// Handling one tuple in the interpreted ABAP-style report runtime
+  /// (the 4GL interpreter is an order of magnitude above compiled code).
+  int64_t abap_tuple_cpu_us = 300;
+  /// Hard parse + optimization of a new statement in the DBMS.
+  int64_t statement_compile_us = 4000;
+  /// Probing the application-server table buffer once (hash lookup plus
+  /// buffer-management bookkeeping in the interpreted runtime); charged on
+  /// hits *and* misses — why the paper's 2 MB cache gained nothing.
+  int64_t app_buffer_probe_us = 700;
+  /// Executing one dynpro screen of a batch-input dialog transaction —
+  /// field transport, validation logic, document-flow bookkeeping —
+  /// excluding the SQL calls it issues (charged separately). Real R/3
+  /// dialog steps ran one to two seconds on mid-90s hardware; this is what
+  /// makes the paper's load take a month (Table 3).
+  int64_t batch_input_step_us = 2000000;
+};
+
+/// The default model used by all benchmarks (kept in one place so ablation
+/// benches can perturb a copy).
+inline const CostModel& DefaultCostModel() {
+  static const CostModel kModel;
+  return kModel;
+}
+
+}  // namespace r3
+
+#endif  // R3DB_COMMON_COST_MODEL_H_

@@ -1,0 +1,113 @@
+#include "common/date.h"
+
+#include <cstdio>
+
+namespace r3 {
+namespace date {
+
+namespace {
+
+bool IsLeap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeap(year)) return 29;
+  return kDays[month - 1];
+}
+
+// Howard Hinnant's days-from-civil algorithm (public domain).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+                       static_cast<unsigned>(d) - 1;                    // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* yy, int* mm, int* dd) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);          // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);          // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                               // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                       // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                            // [1, 12]
+  *yy = static_cast<int>(y + (m <= 2));
+  *mm = static_cast<int>(m);
+  *dd = static_cast<int>(d);
+}
+
+}  // namespace
+
+bool IsValid(int year, int month, int day) {
+  if (year < -9999 || year > 9999) return false;
+  if (month < 1 || month > 12) return false;
+  if (day < 1 || day > DaysInMonth(year, month)) return false;
+  return true;
+}
+
+int32_t FromYmd(int year, int month, int day) {
+  return static_cast<int32_t>(DaysFromCivil(year, month, day));
+}
+
+void ToYmd(int32_t day_number, int* year, int* month, int* day) {
+  CivilFromDays(day_number, year, month, day);
+}
+
+Result<int32_t> Parse(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  char extra = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d%c", &y, &m, &d, &extra) != 3) {
+    return Status::InvalidArgument("bad date literal: '" + text + "'");
+  }
+  if (!IsValid(y, m, d)) {
+    return Status::OutOfRange("date out of range: '" + text + "'");
+  }
+  return FromYmd(y, m, d);
+}
+
+std::string ToString(int32_t day_number) {
+  int y, m, d;
+  ToYmd(day_number, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+int Year(int32_t day_number) {
+  int y, m, d;
+  ToYmd(day_number, &y, &m, &d);
+  return y;
+}
+
+int Month(int32_t day_number) {
+  int y, m, d;
+  ToYmd(day_number, &y, &m, &d);
+  return m;
+}
+
+int32_t AddMonths(int32_t day_number, int n) {
+  int y, m, d;
+  ToYmd(day_number, &y, &m, &d);
+  int total = (y * 12 + (m - 1)) + n;
+  int ny = total / 12;
+  int nm = total % 12;
+  if (nm < 0) {
+    nm += 12;
+    ny -= 1;
+  }
+  nm += 1;
+  int nd = d;
+  int dim = DaysInMonth(ny, nm);
+  if (nd > dim) nd = dim;
+  return FromYmd(ny, nm, nd);
+}
+
+}  // namespace date
+}  // namespace r3

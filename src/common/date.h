@@ -1,0 +1,44 @@
+#ifndef R3DB_COMMON_DATE_H_
+#define R3DB_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace r3 {
+
+/// Calendar-date helpers. Dates are represented throughout the system as
+/// int32 "day numbers": days since 1970-01-01 (negative before). This keeps
+/// Value small and makes date arithmetic (+/- interval days) trivial.
+namespace date {
+
+/// True iff y/m/d is a valid proleptic-Gregorian calendar date.
+bool IsValid(int year, int month, int day);
+
+/// Day number for y/m/d. Requires IsValid(y, m, d).
+int32_t FromYmd(int year, int month, int day);
+
+/// Inverse of FromYmd.
+void ToYmd(int32_t day_number, int* year, int* month, int* day);
+
+/// Parses "YYYY-MM-DD".
+Result<int32_t> Parse(const std::string& text);
+
+/// Formats as "YYYY-MM-DD".
+std::string ToString(int32_t day_number);
+
+/// Extracts the year of a day number.
+int Year(int32_t day_number);
+
+/// Extracts the month (1-12) of a day number.
+int Month(int32_t day_number);
+
+/// Adds n calendar months, clamping the day-of-month (1996-01-31 + 1mo ->
+/// 1996-02-29).
+int32_t AddMonths(int32_t day_number, int n);
+
+}  // namespace date
+}  // namespace r3
+
+#endif  // R3DB_COMMON_DATE_H_

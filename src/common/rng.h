@@ -1,0 +1,56 @@
+#ifndef R3DB_COMMON_RNG_H_
+#define R3DB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace r3 {
+
+/// Deterministic 64-bit PRNG (splitmix64-seeded xorshift128+).
+///
+/// DBGEN-style data generation must be reproducible across runs and
+/// platforms, so we avoid std::mt19937's distribution wrappers (which are
+/// implementation-defined for some distributions) and implement the few
+/// draws we need directly.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability p (0 <= p <= 1).
+  bool Bernoulli(double p);
+
+  /// Picks a uniformly random element index of a container of size n (n>0).
+  size_t Index(size_t n) { return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1)); }
+
+  /// Random a-z string of length in [min_len, max_len].
+  std::string AlphaString(int min_len, int max_len);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Index(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s0_ = 0;
+  uint64_t s1_ = 0;
+};
+
+}  // namespace r3
+
+#endif  // R3DB_COMMON_RNG_H_

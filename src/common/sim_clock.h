@@ -1,0 +1,69 @@
+#ifndef R3DB_COMMON_SIM_CLOCK_H_
+#define R3DB_COMMON_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/cost_model.h"
+
+namespace r3 {
+
+/// Deterministic virtual clock.
+///
+/// All layers charge their simulated costs here. One SimClock instance is
+/// shared by a Database and the AppServer running on top of it, so simulated
+/// times compose across the tiers exactly like wall-clock time would.
+class SimClock {
+ public:
+  explicit SimClock(const CostModel& model = DefaultCostModel())
+      : model_(model) {}
+
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  /// Adds `us` microseconds of simulated elapsed time.
+  void Charge(int64_t us) { now_us_ += us; }
+
+  void ChargeSeqPageRead() { Charge(model_.seq_page_read_us); }
+  void ChargeRandomPageRead() { Charge(model_.random_page_read_us); }
+  void ChargePageWrite() { Charge(model_.page_write_us); }
+  void ChargeDbmsTuple(int64_t n = 1) { Charge(n * model_.dbms_tuple_cpu_us); }
+  void ChargeRoundTrip() { Charge(model_.rpc_round_trip_us); }
+  void ChargeTupleShip(int64_t n = 1) { Charge(n * model_.tuple_ship_us); }
+  void ChargeAbapTuple(int64_t n = 1) { Charge(n * model_.abap_tuple_cpu_us); }
+  void ChargeStatementCompile() { Charge(model_.statement_compile_us); }
+  void ChargeBufferProbe() { Charge(model_.app_buffer_probe_us); }
+  void ChargeBatchInputStep() { Charge(model_.batch_input_step_us); }
+
+  /// Current simulated time in microseconds since construction/reset.
+  int64_t NowMicros() const { return now_us_; }
+
+  void Reset() { now_us_ = 0; }
+
+  const CostModel& model() const { return model_; }
+
+ private:
+  const CostModel model_;
+  int64_t now_us_ = 0;
+};
+
+/// Measures a span of simulated time: `SimTimer t(clock); ...; t.ElapsedUs()`.
+class SimTimer {
+ public:
+  explicit SimTimer(const SimClock& clock)
+      : clock_(clock), start_us_(clock.NowMicros()) {}
+
+  int64_t ElapsedUs() const { return clock_.NowMicros() - start_us_; }
+
+ private:
+  const SimClock& clock_;
+  int64_t start_us_;
+};
+
+/// Formats microseconds in the paper's style: "25d 19h 55m", "2h 14m 56s",
+/// "5m 17s", "34s", or "<1s".
+std::string FormatDuration(int64_t us);
+
+}  // namespace r3
+
+#endif  // R3DB_COMMON_SIM_CLOCK_H_

@@ -1,0 +1,134 @@
+#ifndef R3DB_COMMON_STATUS_H_
+#define R3DB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace r3 {
+
+/// Error categories used across all layers of the system.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (bad SQL, bad parameter, ...)
+  kNotFound,          ///< table/column/index/row does not exist
+  kAlreadyExists,     ///< duplicate table/index/key
+  kOutOfRange,        ///< value outside the representable/declared range
+  kConstraintViolation,  ///< business or integrity check failed
+  kUnsupported,       ///< feature not available (e.g. in this R/3 release)
+  kInternal,          ///< invariant breach inside the engine
+  kIoError,           ///< simulated-storage failure
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Cheap, copyable result-of-operation type (RocksDB/Arrow idiom).
+///
+/// The project does not use exceptions; every fallible operation returns a
+/// Status (or a Result<T>, below). An OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-error holder. Access to value() requires ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return some_t;` in Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::NotFound(...);`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace r3
+
+/// Propagates a non-OK Status to the caller.
+#define R3_RETURN_IF_ERROR(expr)            \
+  do {                                      \
+    ::r3::Status _r3_st = (expr);           \
+    if (!_r3_st.ok()) return _r3_st;        \
+  } while (false)
+
+#define R3_CONCAT_INNER_(a, b) a##b
+#define R3_CONCAT_(a, b) R3_CONCAT_INNER_(a, b)
+
+/// Evaluates a Result<T> expression; on error returns the status, otherwise
+/// moves the value into `lhs` (which may include a declaration).
+#define R3_ASSIGN_OR_RETURN(lhs, expr)                              \
+  auto R3_CONCAT_(_r3_res_, __LINE__) = (expr);                     \
+  if (!R3_CONCAT_(_r3_res_, __LINE__).ok())                         \
+    return R3_CONCAT_(_r3_res_, __LINE__).status();                 \
+  lhs = std::move(R3_CONCAT_(_r3_res_, __LINE__)).value()
+
+#endif  // R3DB_COMMON_STATUS_H_

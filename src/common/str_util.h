@@ -1,0 +1,49 @@
+#ifndef R3DB_COMMON_STR_UTIL_H_
+#define R3DB_COMMON_STR_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace r3 {
+namespace str {
+
+/// Uppercases ASCII in place-copy.
+std::string ToUpper(std::string_view s);
+
+/// Lowercases ASCII in place-copy.
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Removes leading/trailing spaces and tabs.
+std::string Trim(std::string_view s);
+
+/// Right-pads with spaces to `width` (truncates if longer) — CHAR semantics.
+std::string PadTo(std::string_view s, size_t width);
+
+/// Removes trailing spaces — reading a CHAR field back.
+std::string RTrim(std::string_view s);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// SQL LIKE with '%' and '_' wildcards (case sensitive, no escape char).
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+/// Printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Zero-padded decimal rendering of `v` to exactly `width` digits, e.g.
+/// SapKey(42, 10) == "0000000042". SAP-style CHAR-coded numeric keys.
+std::string SapKey(int64_t v, int width);
+
+}  // namespace str
+}  // namespace r3
+
+#endif  // R3DB_COMMON_STR_UTIL_H_

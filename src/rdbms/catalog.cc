@@ -1,0 +1,168 @@
+#include "rdbms/catalog.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "rdbms/index/key_codec.h"
+#include "rdbms/row.h"
+
+namespace r3 {
+namespace rdbms {
+
+Result<TableInfo*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  std::string key = str::ToUpper(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  if (views_.count(key) > 0) {
+    return Status::AlreadyExists("a view named '" + name + "' exists");
+  }
+  auto info = std::make_unique<TableInfo>();
+  info->name = name;
+  info->schema = std::move(schema);
+  uint32_t file_id = pool_->disk()->CreateFile();
+  info->heap = std::make_unique<HeapFile>(pool_, file_id);
+  TableInfo* raw = info.get();
+  tables_.emplace(key, std::move(info));
+  table_order_.push_back(key);
+  return raw;
+}
+
+Result<TableInfo*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(str::ToUpper(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(str::ToUpper(name)) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::string key = str::ToUpper(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  // Drop dependent indexes first.
+  std::vector<std::string> doomed;
+  for (const auto& [iname, idx] : indexes_) {
+    if (str::EqualsIgnoreCase(idx->table, name)) doomed.push_back(iname);
+  }
+  for (const std::string& iname : doomed) {
+    R3_RETURN_IF_ERROR(DropIndex(iname));
+  }
+  R3_RETURN_IF_ERROR(pool_->disk()->TruncateFile(it->second->heap->file_id()));
+  tables_.erase(it);
+  table_order_.erase(std::remove(table_order_.begin(), table_order_.end(), key),
+                     table_order_.end());
+  return Status::OK();
+}
+
+Result<IndexInfo*> Catalog::CreateIndex(const std::string& index_name,
+                                        const std::string& table,
+                                        const std::vector<std::string>& columns,
+                                        bool unique) {
+  std::string key = str::ToUpper(index_name);
+  if (indexes_.count(key) > 0) {
+    return Status::AlreadyExists("index '" + index_name + "' already exists");
+  }
+  R3_ASSIGN_OR_RETURN(TableInfo * tbl, GetTable(table));
+  auto info = std::make_unique<IndexInfo>();
+  info->name = index_name;
+  info->table = tbl->name;
+  info->unique = unique;
+  for (const std::string& col : columns) {
+    R3_ASSIGN_OR_RETURN(size_t idx, tbl->schema.IndexOf(col));
+    info->column_indices.push_back(idx);
+  }
+  R3_ASSIGN_OR_RETURN(BTree tree, BTree::Create(pool_));
+  info->btree = std::make_unique<BTree>(std::move(tree));
+
+  // Backfill from existing rows.
+  HeapFile::Iterator it(tbl->heap.get());
+  Rid rid;
+  std::string rec;
+  Row row;
+  while (true) {
+    R3_ASSIGN_OR_RETURN(bool ok, it.Next(&rid, &rec));
+    if (!ok) break;
+    R3_RETURN_IF_ERROR(DeserializeRow(tbl->schema, rec, &row));
+    R3_RETURN_IF_ERROR(
+        info->btree->Insert(IndexKeyForRow(*info, row), rid.Pack(), unique));
+  }
+
+  IndexInfo* raw = info.get();
+  indexes_.emplace(key, std::move(info));
+  tbl->indexes.push_back(raw);
+  return raw;
+}
+
+Result<IndexInfo*> Catalog::GetIndex(const std::string& name) const {
+  auto it = indexes_.find(str::ToUpper(name));
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Status Catalog::DropIndex(const std::string& name) {
+  std::string key = str::ToUpper(name);
+  auto it = indexes_.find(key);
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index named '" + name + "'");
+  }
+  IndexInfo* raw = it->second.get();
+  auto tbl = GetTable(raw->table);
+  if (tbl.ok()) {
+    auto& vec = tbl.value()->indexes;
+    vec.erase(std::remove(vec.begin(), vec.end(), raw), vec.end());
+  }
+  R3_RETURN_IF_ERROR(pool_->disk()->TruncateFile(raw->btree->file_id()));
+  indexes_.erase(it);
+  return Status::OK();
+}
+
+Status Catalog::CreateView(const std::string& name, const std::string& sql) {
+  std::string key = str::ToUpper(name);
+  if (views_.count(key) > 0 || tables_.count(key) > 0) {
+    return Status::AlreadyExists("name '" + name + "' already in use");
+  }
+  views_.emplace(key, ViewInfo{name, sql});
+  return Status::OK();
+}
+
+Result<const ViewInfo*> Catalog::GetView(const std::string& name) const {
+  auto it = views_.find(str::ToUpper(name));
+  if (it == views_.end()) {
+    return Status::NotFound("no view named '" + name + "'");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasView(const std::string& name) const {
+  return views_.count(str::ToUpper(name)) > 0;
+}
+
+std::vector<const TableInfo*> Catalog::AllTables() const {
+  std::vector<const TableInfo*> out;
+  out.reserve(table_order_.size());
+  for (const std::string& key : table_order_) {
+    auto it = tables_.find(key);
+    if (it != tables_.end()) out.push_back(it->second.get());
+  }
+  return out;
+}
+
+std::string IndexKeyForRow(const IndexInfo& index, const Row& row) {
+  std::string key;
+  for (size_t col : index.column_indices) {
+    key_codec::EncodeValue(row[col], &key);
+  }
+  return key;
+}
+
+}  // namespace rdbms
+}  // namespace r3

@@ -1,0 +1,100 @@
+#ifndef R3DB_RDBMS_CATALOG_H_
+#define R3DB_RDBMS_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rdbms/index/btree.h"
+#include "rdbms/optimizer/stats.h"
+#include "rdbms/row.h"
+#include "rdbms/schema.h"
+#include "rdbms/storage/heap_file.h"
+
+namespace r3 {
+namespace rdbms {
+
+/// A secondary (or primary) index over a table.
+struct IndexInfo {
+  std::string name;
+  std::string table;
+  std::vector<size_t> column_indices;  ///< key columns, in key order
+  bool unique = false;
+  std::unique_ptr<BTree> btree;
+};
+
+/// A stored table.
+struct TableInfo {
+  std::string name;
+  Schema schema;
+  std::unique_ptr<HeapFile> heap;
+  /// Indices into `Catalog::indexes_` of this table's indexes.
+  std::vector<IndexInfo*> indexes;
+  TableStats stats;
+  uint64_t row_count = 0;   ///< maintained on insert/delete
+  uint64_t data_bytes = 0;  ///< live record bytes (approximate after updates)
+};
+
+/// A named view: the SQL text is re-parsed and inlined at bind time.
+struct ViewInfo {
+  std::string name;
+  std::string sql;  ///< a SELECT statement
+};
+
+/// Name -> object directory for one database instance.
+class Catalog {
+ public:
+  explicit Catalog(BufferPool* pool) : pool_(pool) {}
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table (and its heap file).
+  Result<TableInfo*> CreateTable(const std::string& name, Schema schema);
+
+  /// Looks up a table (case-insensitive). kNotFound if absent.
+  Result<TableInfo*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// Removes a table and its indexes. The underlying Disk files are
+  /// truncated (ids are not reused).
+  Status DropTable(const std::string& name);
+
+  /// Creates a B+-tree index over existing rows of `table`.
+  Result<IndexInfo*> CreateIndex(const std::string& index_name,
+                                 const std::string& table,
+                                 const std::vector<std::string>& columns,
+                                 bool unique);
+
+  Result<IndexInfo*> GetIndex(const std::string& name) const;
+
+  /// Drops an index by name.
+  Status DropIndex(const std::string& name);
+
+  Status CreateView(const std::string& name, const std::string& sql);
+  Result<const ViewInfo*> GetView(const std::string& name) const;
+  bool HasView(const std::string& name) const;
+
+  /// All tables, for size reporting.
+  std::vector<const TableInfo*> AllTables() const;
+
+  BufferPool* pool() const { return pool_; }
+
+ private:
+  BufferPool* pool_;
+  std::unordered_map<std::string, std::unique_ptr<TableInfo>> tables_;
+  std::unordered_map<std::string, std::unique_ptr<IndexInfo>> indexes_;
+  std::unordered_map<std::string, ViewInfo> views_;
+  std::vector<std::string> table_order_;  // creation order for reporting
+};
+
+/// Builds the memcomparable index key for `row` under `index`.
+std::string IndexKeyForRow(const IndexInfo& index, const Row& row);
+
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_CATALOG_H_

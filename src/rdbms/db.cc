@@ -1,0 +1,578 @@
+#include "rdbms/db.h"
+
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "rdbms/expr/eval.h"
+#include "rdbms/index/key_codec.h"
+#include "rdbms/sql/binder.h"
+#include "rdbms/sql/parser.h"
+
+namespace r3 {
+namespace rdbms {
+
+Database::Database(SimClock* clock, DatabaseOptions options)
+    : options_(options) {
+  if (clock == nullptr) {
+    owned_clock_ = std::make_unique<SimClock>();
+    clock_ = owned_clock_.get();
+  } else {
+    clock_ = clock;
+  }
+  disk_ = std::make_unique<Disk>();
+  pool_ = std::make_unique<BufferPool>(disk_.get(), clock_,
+                                       options_.buffer_pool_bytes);
+  catalog_ = std::make_unique<Catalog>(pool_.get());
+  options_.planner.work_mem_bytes = options_.work_mem_bytes;
+}
+
+ExecContext Database::MakeExecContext(SubqueryRunnerImpl* runner,
+                                      const std::vector<Value>* params) {
+  ExecContext ctx;
+  ctx.pool = pool_.get();
+  ctx.clock = clock_;
+  ctx.params = params;
+  ctx.subqueries = runner;
+  ctx.work_mem_bytes = options_.work_mem_bytes;
+  return ctx;
+}
+
+Status Database::Execute(const std::string& sql,
+                         const std::vector<Value>& params, QueryResult* result,
+                         int64_t* affected_rows) {
+  R3_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  int64_t affected = 0;
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect: {
+      QueryResult local;
+      R3_RETURN_IF_ERROR(
+          ExecuteSelect(*stmt.select, params, result != nullptr ? result : &local));
+      return Status::OK();
+    }
+    case Statement::Kind::kInsert:
+      R3_RETURN_IF_ERROR(ExecuteInsert(*stmt.insert, params, &affected));
+      break;
+    case Statement::Kind::kDelete:
+      R3_RETURN_IF_ERROR(ExecuteDelete(*stmt.del, params, &affected));
+      break;
+    case Statement::Kind::kUpdate:
+      R3_RETURN_IF_ERROR(ExecuteUpdate(*stmt.update, params, &affected));
+      break;
+    case Statement::Kind::kCreateTable:
+      R3_RETURN_IF_ERROR(ExecuteCreateTable(*stmt.create_table));
+      break;
+    case Statement::Kind::kCreateIndex: {
+      clock_->ChargeStatementCompile();
+      R3_RETURN_IF_ERROR(catalog_
+                             ->CreateIndex(stmt.create_index->index,
+                                           stmt.create_index->table,
+                                           stmt.create_index->columns,
+                                           stmt.create_index->unique)
+                             .status());
+      break;
+    }
+    case Statement::Kind::kCreateView:
+      R3_RETURN_IF_ERROR(catalog_->CreateView(stmt.create_view->view,
+                                              stmt.create_view->select_sql));
+      break;
+    case Statement::Kind::kDrop:
+      prepared_.clear();  // plans may reference the dropped object
+      switch (stmt.drop->target) {
+        case DropStmt::Target::kTable:
+          R3_RETURN_IF_ERROR(catalog_->DropTable(stmt.drop->name));
+          break;
+        case DropStmt::Target::kIndex:
+          R3_RETURN_IF_ERROR(catalog_->DropIndex(stmt.drop->name));
+          break;
+        case DropStmt::Target::kView:
+          return Status::Unsupported("DROP VIEW not implemented");
+      }
+      break;
+    case Statement::Kind::kAnalyze:
+      R3_RETURN_IF_ERROR(Analyze(stmt.analyze->table));
+      break;
+  }
+  if (affected_rows != nullptr) *affected_rows = affected;
+  return Status::OK();
+}
+
+Result<QueryResult> Database::Query(const std::string& sql,
+                                    const std::vector<Value>& params) {
+  QueryResult result;
+  R3_RETURN_IF_ERROR(Execute(sql, params, &result, nullptr));
+  return result;
+}
+
+Status Database::ExecuteSelect(const SelectStmt& stmt,
+                               const std::vector<Value>& params,
+                               QueryResult* result) {
+  clock_->ChargeStatementCompile();
+  Binder binder(catalog_.get());
+  R3_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bq, binder.BindSelect(stmt));
+  Optimizer opt(catalog_.get(), options_.planner);
+  R3_ASSIGN_OR_RETURN(PhysicalPlan plan, opt.Plan(std::move(bq)));
+
+  plan.runner->BindExecution(pool_.get(), clock_, &params,
+                             options_.work_mem_bytes);
+  ExecContext ctx = MakeExecContext(plan.runner.get(), &params);
+  result->schema = plan.output_schema;
+  result->column_names = plan.column_names;
+  result->rows.clear();
+  R3_RETURN_IF_ERROR(plan.root->Open(&ctx));
+  Row row;
+  while (true) {
+    R3_ASSIGN_OR_RETURN(bool ok, plan.root->Next(&row));
+    if (!ok) break;
+    result->rows.push_back(std::move(row));
+  }
+  return plan.root->Close();
+}
+
+Result<PreparedStatement*> Database::Prepare(const std::string& sql) {
+  auto it = prepared_.find(sql);
+  if (it != prepared_.end()) return it->second.get();
+
+  clock_->ChargeStatementCompile();
+  R3_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, ParseSelect(sql));
+  Binder binder(catalog_.get());
+  R3_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bq, binder.BindSelect(*sel));
+  Optimizer opt(catalog_.get(), options_.planner);
+  R3_ASSIGN_OR_RETURN(PhysicalPlan plan, opt.Plan(std::move(bq)));
+
+  auto stmt = std::make_unique<PreparedStatement>();
+  stmt->sql_ = sql;
+  stmt->plan_ = std::move(plan);
+  PreparedStatement* raw = stmt.get();
+  prepared_.emplace(sql, std::move(stmt));
+  return raw;
+}
+
+Result<QueryResult> Database::ExecutePrepared(PreparedStatement* stmt,
+                                              const std::vector<Value>& params) {
+  stmt->plan_.runner->BindExecution(pool_.get(), clock_, &params,
+                                    options_.work_mem_bytes);
+  ExecContext ctx = MakeExecContext(stmt->plan_.runner.get(), &params);
+  QueryResult result;
+  result.schema = stmt->plan_.output_schema;
+  result.column_names = stmt->plan_.column_names;
+  R3_RETURN_IF_ERROR(stmt->plan_.root->Open(&ctx));
+  Row row;
+  while (true) {
+    R3_ASSIGN_OR_RETURN(bool ok, stmt->plan_.root->Next(&row));
+    if (!ok) break;
+    result.rows.push_back(std::move(row));
+  }
+  R3_RETURN_IF_ERROR(stmt->plan_.root->Close());
+  return result;
+}
+
+Result<std::string> Database::Explain(const std::string& sql) {
+  R3_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, ParseSelect(sql));
+  Binder binder(catalog_.get());
+  R3_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bq, binder.BindSelect(*sel));
+  Optimizer opt(catalog_.get(), options_.planner);
+  R3_ASSIGN_OR_RETURN(PhysicalPlan plan, opt.Plan(std::move(bq)));
+  return plan.Explain();
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+Status Database::BindTableExpr(const TableInfo& table, Expr* e) const {
+  if (e->kind == ExprKind::kColumnRef) {
+    R3_ASSIGN_OR_RETURN(size_t idx, table.schema.IndexOf(e->column_name));
+    e->column_index = idx;
+    e->result_type = table.schema.column(idx).type;
+    return Status::OK();
+  }
+  if (e->kind == ExprKind::kAggCall || e->subquery_ast != nullptr) {
+    return Status::Unsupported("aggregates/subqueries not allowed in DML");
+  }
+  for (ExprPtr& c : e->children) {
+    R3_RETURN_IF_ERROR(BindTableExpr(table, c.get()));
+  }
+  if (e->kind == ExprKind::kCompare || e->kind == ExprKind::kLogic ||
+      e->kind == ExprKind::kNot || e->kind == ExprKind::kIsNull ||
+      e->kind == ExprKind::kLike || e->kind == ExprKind::kInList ||
+      e->kind == ExprKind::kBetween) {
+    e->result_type = DataType::kBool;
+  }
+  return Status::OK();
+}
+
+Status Database::InsertRowChecked(TableInfo* table, Row row, Rid* rid_out) {
+  const Schema& schema = table->schema;
+  if (row.size() != schema.NumColumns()) {
+    return Status::InvalidArgument(
+        str::Format("row has %zu values but %s has %zu columns", row.size(),
+                    table->name.c_str(), schema.NumColumns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Column& col = schema.column(i);
+    if (row[i].is_null()) {
+      if (!col.nullable) {
+        return Status::ConstraintViolation("column " + col.name +
+                                           " must not be NULL");
+      }
+      row[i] = Value::Null(col.type);
+      continue;
+    }
+    if (row[i].type() != col.type) {
+      R3_ASSIGN_OR_RETURN(row[i], row[i].CastTo(col.type));
+    }
+    if (col.type == DataType::kString && col.length > 0) {
+      if (row[i].string_value().size() > col.length) {
+        return Status::OutOfRange(
+            str::Format("value too long for %s.%s CHAR(%u)",
+                        table->name.c_str(), col.name.c_str(), col.length));
+      }
+      // CHAR semantics: storage blank-pads and reads trim, so normalize now
+      // to keep index keys identical before and after a round trip.
+      std::string trimmed = str::RTrim(row[i].string_value());
+      if (trimmed.size() != row[i].string_value().size()) {
+        row[i] = Value::Str(std::move(trimmed));
+      }
+    }
+  }
+  std::string rec;
+  R3_RETURN_IF_ERROR(SerializeRow(schema, row, &rec));
+  R3_ASSIGN_OR_RETURN(Rid rid, table->heap->Insert(rec));
+  clock_->ChargeDbmsTuple();
+
+  // Maintain indexes; undo on unique violation.
+  std::vector<IndexInfo*> done;
+  for (IndexInfo* idx : table->indexes) {
+    Status st = idx->btree->Insert(IndexKeyForRow(*idx, row), rid.Pack(),
+                                   idx->unique);
+    if (!st.ok()) {
+      for (IndexInfo* u : done) {
+        (void)u->btree->Delete(IndexKeyForRow(*u, row), rid.Pack());
+      }
+      (void)table->heap->Delete(rid);
+      if (st.code() == StatusCode::kAlreadyExists) {
+        return Status::ConstraintViolation("duplicate key for index " +
+                                           idx->name);
+      }
+      return st;
+    }
+    done.push_back(idx);
+  }
+  table->row_count += 1;
+  table->data_bytes += rec.size();
+  if (rid_out != nullptr) *rid_out = rid;
+  return Status::OK();
+}
+
+Status Database::InsertRow(const std::string& table, const Row& row) {
+  R3_ASSIGN_OR_RETURN(TableInfo * ti, catalog_->GetTable(table));
+  return InsertRowChecked(ti, row, nullptr);
+}
+
+Status Database::DeleteRowAt(TableInfo* table, Rid rid, const Row& row) {
+  R3_RETURN_IF_ERROR(table->heap->Delete(rid));
+  for (IndexInfo* idx : table->indexes) {
+    R3_RETURN_IF_ERROR(idx->btree->Delete(IndexKeyForRow(*idx, row), rid.Pack()));
+  }
+  if (table->row_count > 0) table->row_count -= 1;
+  size_t bytes = SerializedRowSize(table->schema, row);
+  table->data_bytes = table->data_bytes > bytes ? table->data_bytes - bytes : 0;
+  clock_->ChargeDbmsTuple();
+  return Status::OK();
+}
+
+Status Database::ExecuteInsert(const InsertStmt& stmt,
+                               const std::vector<Value>& params,
+                               int64_t* affected) {
+  R3_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(stmt.table));
+  const Schema& schema = table->schema;
+  std::vector<size_t> targets;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.NumColumns(); ++i) targets.push_back(i);
+  } else {
+    for (const std::string& c : stmt.columns) {
+      R3_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(c));
+      targets.push_back(idx);
+    }
+  }
+  EvalContext ec;
+  ec.params = &params;
+  for (const auto& exprs : stmt.rows) {
+    if (exprs.size() != targets.size()) {
+      return Status::InvalidArgument("VALUES arity mismatch");
+    }
+    Row row(schema.NumColumns(), Value::Null());
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      Value v;
+      R3_RETURN_IF_ERROR(EvalExpr(*exprs[i], ec, &v));
+      row[targets[i]] = std::move(v);
+    }
+    R3_RETURN_IF_ERROR(InsertRowChecked(table, std::move(row), nullptr));
+    ++*affected;
+  }
+  return Status::OK();
+}
+
+Status Database::CollectMatches(TableInfo* table, const Expr* where,
+                                const std::vector<Value>& params,
+                                std::vector<std::pair<Rid, Row>>* out) {
+  EvalContext ec;
+  ec.params = &params;
+
+  // Index assist: if the WHERE conjuncts constrain a prefix of some index
+  // by equality against runtime constants, range-scan that index instead of
+  // the heap (crucial for tuple-at-a-time application workloads).
+  const IndexInfo* best_index = nullptr;
+  std::string best_prefix;
+  size_t best_cols = 0;
+  if (where != nullptr) {
+    // Gather col = const candidates.
+    std::vector<std::pair<size_t, const Expr*>> eqs;
+    std::function<void(const Expr&)> gather = [&](const Expr& e) {
+      if (e.kind == ExprKind::kLogic && e.logic_op == LogicOp::kAnd) {
+        gather(*e.children[0]);
+        gather(*e.children[1]);
+        return;
+      }
+      if (e.kind == ExprKind::kCompare && e.cmp_op == CmpOp::kEq) {
+        const Expr& l = *e.children[0];
+        const Expr& r = *e.children[1];
+        if (l.kind == ExprKind::kColumnRef && !ExprHasColumnRefs(r)) {
+          eqs.emplace_back(l.column_index, &r);
+        } else if (r.kind == ExprKind::kColumnRef && !ExprHasColumnRefs(l)) {
+          eqs.emplace_back(r.column_index, &l);
+        }
+      }
+    };
+    gather(*where);
+    for (const IndexInfo* idx : table->indexes) {
+      std::string prefix;
+      size_t covered = 0;
+      for (size_t col : idx->column_indices) {
+        const Expr* value = nullptr;
+        for (const auto& [c, v] : eqs) {
+          if (c == col) {
+            value = v;
+            break;
+          }
+        }
+        if (value == nullptr) break;
+        Value v;
+        Status st = EvalExpr(*value, ec, &v);
+        if (!st.ok()) {
+          prefix.clear();
+          covered = 0;
+          break;
+        }
+        auto cast = v.CastTo(table->schema.column(col).type);
+        if (!cast.ok()) {
+          prefix.clear();
+          covered = 0;
+          break;
+        }
+        key_codec::EncodeValue(cast.value(), &prefix);
+        ++covered;
+      }
+      if (covered > best_cols) {
+        best_cols = covered;
+        best_index = idx;
+        best_prefix = prefix;
+      }
+    }
+  }
+
+  Row row;
+  std::string rec;
+  if (best_index != nullptr && best_cols > 0) {
+    std::string stop = key_codec::PrefixUpperBound(best_prefix);
+    R3_ASSIGN_OR_RETURN(BTree::Cursor cursor, best_index->btree->Seek(best_prefix));
+    std::string key;
+    uint64_t payload = 0;
+    while (true) {
+      R3_ASSIGN_OR_RETURN(bool ok, cursor.Next(&key, &payload));
+      if (!ok || (!stop.empty() && key >= stop)) break;
+      clock_->ChargeDbmsTuple();
+      Rid rid = Rid::Unpack(payload);
+      R3_RETURN_IF_ERROR(table->heap->Get(rid, &rec));
+      R3_RETURN_IF_ERROR(DeserializeRow(table->schema, rec, &row));
+      ec.row = &row;
+      R3_ASSIGN_OR_RETURN(bool match, EvalPredicate(*where, ec));
+      if (match) out->emplace_back(rid, row);
+    }
+    return Status::OK();
+  }
+
+  HeapFile::Iterator it(table->heap.get());
+  Rid rid;
+  while (true) {
+    R3_ASSIGN_OR_RETURN(bool ok, it.Next(&rid, &rec));
+    if (!ok) break;
+    clock_->ChargeDbmsTuple();
+    R3_RETURN_IF_ERROR(DeserializeRow(table->schema, rec, &row));
+    if (where != nullptr) {
+      ec.row = &row;
+      R3_ASSIGN_OR_RETURN(bool match, EvalPredicate(*where, ec));
+      if (!match) continue;
+    }
+    out->emplace_back(rid, row);
+  }
+  return Status::OK();
+}
+
+Status Database::ExecuteDelete(const DeleteStmt& stmt,
+                               const std::vector<Value>& params,
+                               int64_t* affected) {
+  R3_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(stmt.table));
+  ExprPtr where;
+  if (stmt.where != nullptr) {
+    where = stmt.where->Clone();
+    R3_RETURN_IF_ERROR(BindTableExpr(*table, where.get()));
+  }
+  std::vector<std::pair<Rid, Row>> victims;
+  R3_RETURN_IF_ERROR(CollectMatches(table, where.get(), params, &victims));
+  for (auto& [vrid, vrow] : victims) {
+    R3_RETURN_IF_ERROR(DeleteRowAt(table, vrid, vrow));
+    ++*affected;
+  }
+  return Status::OK();
+}
+
+Status Database::ExecuteUpdate(const UpdateStmt& stmt,
+                               const std::vector<Value>& params,
+                               int64_t* affected) {
+  R3_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(stmt.table));
+  ExprPtr where;
+  if (stmt.where != nullptr) {
+    where = stmt.where->Clone();
+    R3_RETURN_IF_ERROR(BindTableExpr(*table, where.get()));
+  }
+  std::vector<std::pair<size_t, ExprPtr>> sets;
+  for (const auto& [name, expr] : stmt.assignments) {
+    R3_ASSIGN_OR_RETURN(size_t idx, table->schema.IndexOf(name));
+    ExprPtr bound = expr->Clone();
+    R3_RETURN_IF_ERROR(BindTableExpr(*table, bound.get()));
+    sets.emplace_back(idx, std::move(bound));
+  }
+  std::vector<std::pair<Rid, Row>> targets;
+  R3_RETURN_IF_ERROR(CollectMatches(table, where.get(), params, &targets));
+  for (auto& [rid, old_row] : targets) {
+    Row new_row = old_row;
+    EvalContext ec;
+    ec.params = &params;
+    ec.row = &old_row;
+    for (auto& [idx, expr] : sets) {
+      Value v;
+      R3_RETURN_IF_ERROR(EvalExpr(*expr, ec, &v));
+      if (!v.is_null()) {
+        R3_ASSIGN_OR_RETURN(v, v.CastTo(table->schema.column(idx).type));
+      }
+      new_row[idx] = std::move(v);
+    }
+    std::string rec;
+    R3_RETURN_IF_ERROR(SerializeRow(table->schema, new_row, &rec));
+    R3_ASSIGN_OR_RETURN(Rid new_rid, table->heap->Update(rid, rec));
+    clock_->ChargeDbmsTuple();
+    for (IndexInfo* idx : table->indexes) {
+      std::string old_key = IndexKeyForRow(*idx, old_row);
+      std::string new_key = IndexKeyForRow(*idx, new_row);
+      if (old_key != new_key || !(new_rid == rid)) {
+        R3_RETURN_IF_ERROR(idx->btree->Delete(old_key, rid.Pack()));
+        R3_RETURN_IF_ERROR(idx->btree->Insert(new_key, new_rid.Pack(), false));
+      }
+    }
+    ++*affected;
+  }
+  return Status::OK();
+}
+
+Status Database::ExecuteCreateTable(const CreateTableStmt& stmt) {
+  R3_RETURN_IF_ERROR(catalog_->CreateTable(stmt.table, Schema(stmt.columns)).status());
+  if (!stmt.primary_key.empty()) {
+    R3_RETURN_IF_ERROR(catalog_
+                           ->CreateIndex("PK_" + str::ToUpper(stmt.table),
+                                         stmt.table, stmt.primary_key,
+                                         /*unique=*/true)
+                           .status());
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ANALYZE / introspection
+// ---------------------------------------------------------------------------
+
+Status Database::AnalyzeTable(TableInfo* table) {
+  TableStats stats;
+  stats.columns.resize(table->schema.NumColumns());
+  std::vector<std::unordered_set<std::string>> distinct(
+      table->schema.NumColumns());
+  HeapFile::Iterator it(table->heap.get());
+  Rid rid;
+  std::string rec;
+  Row row;
+  while (true) {
+    R3_ASSIGN_OR_RETURN(bool ok, it.Next(&rid, &rec));
+    if (!ok) break;
+    clock_->ChargeDbmsTuple();
+    R3_RETURN_IF_ERROR(DeserializeRow(table->schema, rec, &row));
+    ++stats.row_count;
+    stats.total_bytes += rec.size();
+    for (size_t i = 0; i < row.size(); ++i) {
+      ColumnStats& cs = stats.columns[i];
+      if (row[i].is_null()) {
+        ++cs.null_count;
+        continue;
+      }
+      if (!cs.valid) {
+        cs.valid = true;
+        cs.min = row[i];
+        cs.max = row[i];
+      } else {
+        if (row[i].Compare(cs.min) < 0) cs.min = row[i];
+        if (row[i].Compare(cs.max) > 0) cs.max = row[i];
+      }
+      distinct[i].insert(key_codec::Encode(row[i]));
+    }
+  }
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    stats.columns[i].ndv = distinct[i].size();
+  }
+  stats.valid = true;
+  table->stats = std::move(stats);
+  return Status::OK();
+}
+
+Status Database::Analyze(const std::string& table) {
+  if (!table.empty()) {
+    R3_ASSIGN_OR_RETURN(TableInfo * ti, catalog_->GetTable(table));
+    return AnalyzeTable(ti);
+  }
+  for (const TableInfo* t : catalog_->AllTables()) {
+    R3_RETURN_IF_ERROR(AnalyzeTable(const_cast<TableInfo*>(t)));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Database::TableSize>> Database::TableSizes() const {
+  std::vector<TableSize> out;
+  for (const TableInfo* t : catalog_->AllTables()) {
+    TableSize ts;
+    ts.name = t->name;
+    ts.rows = t->row_count;
+    R3_ASSIGN_OR_RETURN(uint64_t data_bytes,
+                        pool_->disk()->FileSizeBytes(t->heap->file_id()));
+    ts.data_kb = data_bytes / 1024;
+    uint64_t index_bytes = 0;
+    for (const IndexInfo* idx : t->indexes) {
+      R3_ASSIGN_OR_RETURN(uint64_t b,
+                          pool_->disk()->FileSizeBytes(idx->btree->file_id()));
+      index_bytes += b;
+    }
+    ts.index_kb = index_bytes / 1024;
+    out.push_back(std::move(ts));
+  }
+  return out;
+}
+
+}  // namespace rdbms
+}  // namespace r3

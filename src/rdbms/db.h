@@ -1,0 +1,157 @@
+#ifndef R3DB_RDBMS_DB_H_
+#define R3DB_RDBMS_DB_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "rdbms/catalog.h"
+#include "rdbms/optimizer/optimizer.h"
+#include "rdbms/sql/ast.h"
+#include "rdbms/storage/buffer_pool.h"
+#include "rdbms/storage/disk.h"
+
+namespace r3 {
+namespace rdbms {
+
+struct DatabaseOptions {
+  /// RDBMS buffer cache. 10 MB is what SAP R/3 configures by default for
+  /// its back-end (Section 3.3 of the paper); benches keep this setting.
+  size_t buffer_pool_bytes = 10u << 20;
+  size_t work_mem_bytes = 4u << 20;
+  PlannerOptions planner;
+};
+
+/// A materialized query result.
+struct QueryResult {
+  Schema schema;
+  std::vector<std::string> column_names;
+  std::vector<Row> rows;
+};
+
+/// A compiled statement, reusable with different parameter bindings —
+/// the substrate for SAP R/3's cursor caching.
+class PreparedStatement {
+ public:
+  const Schema& output_schema() const { return plan_.output_schema; }
+  const std::vector<std::string>& column_names() const {
+    return plan_.column_names;
+  }
+  size_t num_params() const { return plan_.num_params; }
+  std::string ExplainPlan() const { return plan_.Explain(); }
+
+ private:
+  friend class Database;
+  std::string sql_;
+  PhysicalPlan plan_;
+};
+
+/// The embedded relational database: the stand-in for the paper's unnamed
+/// commercial back-end RDBMS.
+///
+/// Not thread-safe (one session), autocommit semantics: every statement
+/// either fully applies or reports an error with best-effort cleanup of
+/// partial index entries.
+class Database {
+ public:
+  /// `clock` is shared with whatever runs on top (the application server);
+  /// pass null to let the database own a private clock.
+  explicit Database(SimClock* clock = nullptr, DatabaseOptions options = {});
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog* catalog() { return catalog_.get(); }
+  const Catalog* catalog() const { return catalog_.get(); }
+  BufferPool* pool() { return pool_.get(); }
+  SimClock* clock() { return clock_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  // -- SQL entry points -----------------------------------------------------
+
+  /// Parses, plans, and runs a statement of any kind. For SELECTs the rows
+  /// land in `*result` (if non-null); DML sets `*affected_rows`.
+  Status Execute(const std::string& sql, const std::vector<Value>& params = {},
+                 QueryResult* result = nullptr, int64_t* affected_rows = nullptr);
+
+  /// SELECT convenience wrapper.
+  Result<QueryResult> Query(const std::string& sql,
+                            const std::vector<Value>& params = {});
+
+  /// Compiles a SELECT once; cached by statement text (a hard parse is
+  /// charged only on the first call — parameterized re-execution is what
+  /// makes cursor caching pay).
+  Result<PreparedStatement*> Prepare(const std::string& sql);
+
+  /// Runs a prepared SELECT with the given parameter bindings.
+  Result<QueryResult> ExecutePrepared(PreparedStatement* stmt,
+                                      const std::vector<Value>& params = {});
+
+  /// Plans a SELECT and renders the physical plan without running it.
+  Result<std::string> Explain(const std::string& sql);
+
+  // -- Direct (non-SQL) row interface; used by bulk loaders ------------------
+
+  /// Validates NOT NULL + CHAR widths, casts values to the declared column
+  /// types, inserts, and maintains all indexes.
+  Status InsertRow(const std::string& table, const Row& row);
+
+  /// Refreshes optimizer statistics (empty name = all tables).
+  Status Analyze(const std::string& table = "");
+
+  // -- Introspection ----------------------------------------------------------
+
+  struct TableSize {
+    std::string name;
+    uint64_t rows = 0;
+    uint64_t data_kb = 0;
+    uint64_t index_kb = 0;
+  };
+
+  /// Allocated sizes per table (Table 2 of the paper).
+  Result<std::vector<TableSize>> TableSizes() const;
+
+ private:
+  Status ExecuteSelect(const SelectStmt& stmt, const std::vector<Value>& params,
+                       QueryResult* result);
+  Status ExecuteInsert(const InsertStmt& stmt, const std::vector<Value>& params,
+                       int64_t* affected);
+  Status ExecuteDelete(const DeleteStmt& stmt, const std::vector<Value>& params,
+                       int64_t* affected);
+  Status ExecuteUpdate(const UpdateStmt& stmt, const std::vector<Value>& params,
+                       int64_t* affected);
+  Status ExecuteCreateTable(const CreateTableStmt& stmt);
+
+  /// Binds an expression against a single table's schema (for DML WHERE /
+  /// SET clauses; no subqueries or aggregates).
+  Status BindTableExpr(const TableInfo& table, Expr* e) const;
+
+  /// Finds rows matching `where` (index-assisted when its equality
+  /// conjuncts cover an index prefix; heap scan otherwise).
+  Status CollectMatches(TableInfo* table, const Expr* where,
+                        const std::vector<Value>& params,
+                        std::vector<std::pair<Rid, Row>>* out);
+
+  Status InsertRowChecked(TableInfo* table, Row row, Rid* rid_out);
+  Status DeleteRowAt(TableInfo* table, Rid rid, const Row& row);
+  Status AnalyzeTable(TableInfo* table);
+
+  ExecContext MakeExecContext(SubqueryRunnerImpl* runner,
+                              const std::vector<Value>* params);
+
+  DatabaseOptions options_;
+  std::unique_ptr<SimClock> owned_clock_;
+  SimClock* clock_;
+  std::unique_ptr<Disk> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unordered_map<std::string, std::unique_ptr<PreparedStatement>> prepared_;
+};
+
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_DB_H_

@@ -1,0 +1,190 @@
+#include <map>
+#include <set>
+
+#include "common/str_util.h"
+#include "rdbms/exec/executor.h"
+#include "rdbms/index/key_codec.h"
+
+namespace r3 {
+namespace rdbms {
+
+namespace {
+
+std::string Indent(const std::string& s) {
+  std::string out;
+  size_t start = 0;
+  while (start < s.size()) {
+    size_t end = s.find('\n', start);
+    if (end == std::string::npos) end = s.size();
+    out += "  " + s.substr(start, end - start) + "\n";
+    start = end + 1;
+  }
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+/// Accumulator for one aggregate call within one group.
+struct HashAggOp::AggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  bool sum_is_int = true;
+  int64_t isum = 0;
+  Value min;
+  Value max;
+  std::set<std::string> distinct;  // encoded values, for DISTINCT aggs
+
+  void Accumulate(const Expr& call, const Value& v) {
+    if (call.agg_func == AggFunc::kCountStar) {
+      ++count;
+      return;
+    }
+    if (v.is_null()) return;  // SQL: aggregates ignore NULLs
+    if (call.agg_distinct) {
+      if (!distinct.insert(key_codec::Encode(v)).second) return;
+    }
+    ++count;
+    switch (call.agg_func) {
+      case AggFunc::kCountStar:
+      case AggFunc::kCount:
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        if (v.type() == DataType::kInt64 && sum_is_int) {
+          isum += v.int_value();
+        } else {
+          sum_is_int = false;
+        }
+        sum += v.AsDouble();
+        break;
+      case AggFunc::kMin:
+        if (min.is_null() || v.Compare(min) < 0) min = v;
+        break;
+      case AggFunc::kMax:
+        if (max.is_null() || v.Compare(max) > 0) max = v;
+        break;
+    }
+  }
+
+  Value Finalize(const Expr& call) const {
+    switch (call.agg_func) {
+      case AggFunc::kCountStar:
+      case AggFunc::kCount:
+        return Value::Int(count);
+      case AggFunc::kSum:
+        if (count == 0) return Value::Null(DataType::kDouble);
+        if (sum_is_int) return Value::Int(isum);
+        return Value::Dbl(sum);
+      case AggFunc::kAvg:
+        if (count == 0) return Value::Null(DataType::kDouble);
+        return Value::Dbl(sum / static_cast<double>(count));
+      case AggFunc::kMin:
+        return min;
+      case AggFunc::kMax:
+        return max;
+    }
+    return Value::Null();
+  }
+};
+
+HashAggOp::HashAggOp(OperatorPtr child, std::vector<const Expr*> group_exprs,
+                     std::vector<const Expr*> agg_calls)
+    : child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      agg_calls_(std::move(agg_calls)) {}
+
+Status HashAggOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  results_.clear();
+  pos_ = 0;
+  R3_RETURN_IF_ERROR(child_->Open(ctx));
+
+  struct Group {
+    Row keys;
+    std::vector<AggState> states;
+  };
+  // std::map keeps groups in key order — harmless determinism bonus.
+  std::map<std::string, Group> groups;
+
+  Row row;
+  size_t input_rows = 0;
+  while (true) {
+    R3_ASSIGN_OR_RETURN(bool ok, child_->Next(&row));
+    if (!ok) break;
+    ++input_rows;
+    ctx_->clock->ChargeDbmsTuple();
+    EvalContext ec = ctx_->MakeEvalContext(&row);
+    Row keys;
+    keys.reserve(group_exprs_.size());
+    for (const Expr* g : group_exprs_) {
+      Value v;
+      R3_RETURN_IF_ERROR(EvalExpr(*g, ec, &v));
+      keys.push_back(std::move(v));
+    }
+    std::string key = key_codec::Encode(keys);
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) {
+      it->second.keys = std::move(keys);
+      it->second.states.resize(agg_calls_.size());
+    }
+    for (size_t i = 0; i < agg_calls_.size(); ++i) {
+      const Expr& call = *agg_calls_[i];
+      Value arg;
+      if (call.agg_func != AggFunc::kCountStar) {
+        R3_RETURN_IF_ERROR(EvalExpr(*call.children[0], ec, &arg));
+      }
+      it->second.states[i].Accumulate(call, arg);
+    }
+  }
+  R3_RETURN_IF_ERROR(child_->Close());
+
+  if (groups.empty() && group_exprs_.empty()) {
+    // Aggregates over empty input without GROUP BY: one row of "empties".
+    Row out;
+    for (const Expr* call : agg_calls_) {
+      AggState empty;
+      out.push_back(empty.Finalize(*call));
+    }
+    results_.push_back(std::move(out));
+    return Status::OK();
+  }
+  results_.reserve(groups.size());
+  for (auto& [key, g] : groups) {
+    Row out = std::move(g.keys);
+    for (size_t i = 0; i < agg_calls_.size(); ++i) {
+      out.push_back(g.states[i].Finalize(*agg_calls_[i]));
+    }
+    results_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Result<bool> HashAggOp::Next(Row* out) {
+  if (pos_ >= results_.size()) return false;
+  *out = results_[pos_++];
+  return true;
+}
+
+Status HashAggOp::Close() {
+  results_.clear();
+  pos_ = 0;
+  return Status::OK();
+}
+
+std::string HashAggOp::DebugString() const {
+  std::string out = "HashAggregate(groups=[";
+  for (size_t i = 0; i < group_exprs_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += group_exprs_[i]->ToString();
+  }
+  out += "], aggs=[";
+  for (size_t i = 0; i < agg_calls_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += agg_calls_[i]->ToString();
+  }
+  return out + "])\n" + Indent(child_->DebugString());
+}
+
+}  // namespace rdbms
+}  // namespace r3

@@ -1,0 +1,350 @@
+#include "rdbms/exec/executor.h"
+
+#include "common/str_util.h"
+#include "rdbms/index/key_codec.h"
+
+namespace r3 {
+namespace rdbms {
+
+namespace {
+
+/// Indents every line of a child's debug string.
+std::string Indent(const std::string& s) {
+  std::string out;
+  size_t start = 0;
+  while (start < s.size()) {
+    size_t end = s.find('\n', start);
+    if (end == std::string::npos) end = s.size();
+    out += "  " + s.substr(start, end - start) + "\n";
+    start = end + 1;
+  }
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+Result<bool> PassesAll(const std::vector<const Expr*>& preds,
+                       const EvalContext& ec) {
+  for (const Expr* p : preds) {
+    R3_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*p, ec));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ExplainPlan(const Operator& root) { return root.DebugString(); }
+
+std::string RowKey(const Row& row) { return key_codec::Encode(row); }
+std::string ValuesKey(const std::vector<Value>& values) {
+  return key_codec::Encode(values);
+}
+
+// ---------------------------------------------------------------------------
+// SeqScanOp
+// ---------------------------------------------------------------------------
+
+SeqScanOp::SeqScanOp(const TableInfo* table, size_t offset, size_t wide_width,
+                     std::vector<const Expr*> filters)
+    : table_(table),
+      offset_(offset),
+      wide_width_(wide_width),
+      filters_(std::move(filters)) {}
+
+Status SeqScanOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  it_ = std::make_unique<HeapFile::Iterator>(table_->heap.get());
+  return Status::OK();
+}
+
+Result<bool> SeqScanOp::Next(Row* out) {
+  Rid rid;
+  std::string rec;
+  Row table_row;
+  while (true) {
+    R3_ASSIGN_OR_RETURN(bool ok, it_->Next(&rid, &rec));
+    if (!ok) return false;
+    ctx_->clock->ChargeDbmsTuple();
+    R3_RETURN_IF_ERROR(DeserializeRow(table_->schema, rec, &table_row));
+    out->assign(wide_width_, Value::Null());
+    for (size_t i = 0; i < table_row.size(); ++i) {
+      (*out)[offset_ + i] = std::move(table_row[i]);
+    }
+    EvalContext ec = ctx_->MakeEvalContext(out);
+    R3_ASSIGN_OR_RETURN(bool pass, PassesAll(filters_, ec));
+    if (pass) return true;
+  }
+}
+
+Status SeqScanOp::Close() {
+  it_.reset();
+  return Status::OK();
+}
+
+std::string SeqScanOp::DebugString() const {
+  std::string out = "SeqScan(" + table_->name;
+  for (const Expr* f : filters_) out += ", " + f->ToString();
+  return out + ")";
+}
+
+// ---------------------------------------------------------------------------
+// IndexScanOp
+// ---------------------------------------------------------------------------
+
+IndexScanOp::IndexScanOp(const TableInfo* table, const IndexInfo* index,
+                         size_t offset, size_t wide_width, IndexBounds bounds,
+                         std::vector<const Expr*> residual_filters)
+    : table_(table),
+      index_(index),
+      offset_(offset),
+      wide_width_(wide_width),
+      bounds_(std::move(bounds)),
+      filters_(std::move(residual_filters)) {}
+
+Status IndexScanOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  done_ = false;
+  // Evaluate the bound expressions (no row context: literals/params only).
+  EvalContext ec = ctx_->MakeEvalContext(nullptr);
+  std::string prefix;
+  for (size_t i = 0; i < bounds_.eq_exprs.size(); ++i) {
+    Value v;
+    R3_RETURN_IF_ERROR(EvalExpr(*bounds_.eq_exprs[i], ec, &v));
+    // Cast to the index column's type so encodings line up.
+    size_t col = index_->column_indices[i];
+    R3_ASSIGN_OR_RETURN(v, v.CastTo(table_->schema.column(col).type));
+    key_codec::EncodeValue(v, &prefix);
+  }
+  std::string start = prefix;
+  stop_key_ = key_codec::PrefixUpperBound(prefix);
+  size_t range_col_pos = bounds_.eq_exprs.size();
+  if (bounds_.lower != nullptr) {
+    Value v;
+    R3_RETURN_IF_ERROR(EvalExpr(*bounds_.lower, ec, &v));
+    size_t col = index_->column_indices[range_col_pos];
+    R3_ASSIGN_OR_RETURN(v, v.CastTo(table_->schema.column(col).type));
+    std::string enc = prefix;
+    key_codec::EncodeValue(v, &enc);
+    start = bounds_.lower_inclusive ? enc : key_codec::PrefixUpperBound(enc);
+  }
+  if (bounds_.upper != nullptr) {
+    Value v;
+    R3_RETURN_IF_ERROR(EvalExpr(*bounds_.upper, ec, &v));
+    size_t col = index_->column_indices[range_col_pos];
+    R3_ASSIGN_OR_RETURN(v, v.CastTo(table_->schema.column(col).type));
+    std::string enc = prefix;
+    key_codec::EncodeValue(v, &enc);
+    stop_key_ = bounds_.upper_inclusive ? key_codec::PrefixUpperBound(enc) : enc;
+  }
+  R3_ASSIGN_OR_RETURN(BTree::Cursor c, index_->btree->Seek(start));
+  cursor_ = std::make_unique<BTree::Cursor>(std::move(c));
+  return Status::OK();
+}
+
+Result<bool> IndexScanOp::Next(Row* out) {
+  if (done_) return false;
+  std::string key;
+  uint64_t payload = 0;
+  std::string rec;
+  Row table_row;
+  while (true) {
+    R3_ASSIGN_OR_RETURN(bool ok, cursor_->Next(&key, &payload));
+    if (!ok) {
+      done_ = true;
+      return false;
+    }
+    if (!stop_key_.empty() && key >= stop_key_) {
+      done_ = true;
+      return false;
+    }
+    ctx_->clock->ChargeDbmsTuple();
+    R3_RETURN_IF_ERROR(table_->heap->Get(Rid::Unpack(payload), &rec));
+    R3_RETURN_IF_ERROR(DeserializeRow(table_->schema, rec, &table_row));
+    out->assign(wide_width_, Value::Null());
+    for (size_t i = 0; i < table_row.size(); ++i) {
+      (*out)[offset_ + i] = std::move(table_row[i]);
+    }
+    EvalContext ec = ctx_->MakeEvalContext(out);
+    R3_ASSIGN_OR_RETURN(bool pass, PassesAll(filters_, ec));
+    if (pass) return true;
+  }
+}
+
+Status IndexScanOp::Close() {
+  cursor_.reset();
+  return Status::OK();
+}
+
+std::string IndexScanOp::DebugString() const {
+  std::string out = "IndexScan(" + table_->name + " via " + index_->name;
+  out += str::Format(", eq=%zu", bounds_.eq_exprs.size());
+  if (bounds_.lower != nullptr) out += ", lo=" + bounds_.lower->ToString();
+  if (bounds_.upper != nullptr) out += ", hi=" + bounds_.upper->ToString();
+  for (const Expr* f : filters_) out += ", " + f->ToString();
+  return out + ")";
+}
+
+// ---------------------------------------------------------------------------
+// FilterOp
+// ---------------------------------------------------------------------------
+
+FilterOp::FilterOp(OperatorPtr child, std::vector<const Expr*> predicates)
+    : child_(std::move(child)), predicates_(std::move(predicates)) {}
+
+Status FilterOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  return child_->Open(ctx);
+}
+
+Result<bool> FilterOp::Next(Row* out) {
+  while (true) {
+    R3_ASSIGN_OR_RETURN(bool ok, child_->Next(out));
+    if (!ok) return false;
+    EvalContext ec = ctx_->MakeEvalContext(out);
+    R3_ASSIGN_OR_RETURN(bool pass, PassesAll(predicates_, ec));
+    if (pass) return true;
+  }
+}
+
+Status FilterOp::Close() { return child_->Close(); }
+
+std::string FilterOp::DebugString() const {
+  std::string out = "Filter(";
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    if (i != 0) out += " AND ";
+    out += predicates_[i]->ToString();
+  }
+  return out + ")\n" + Indent(child_->DebugString());
+}
+
+// ---------------------------------------------------------------------------
+// ProjectOp
+// ---------------------------------------------------------------------------
+
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<const Expr*> exprs)
+    : child_(std::move(child)), exprs_(std::move(exprs)) {}
+
+Status ProjectOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  return child_->Open(ctx);
+}
+
+Result<bool> ProjectOp::Next(Row* out) {
+  R3_ASSIGN_OR_RETURN(bool ok, child_->Next(&scratch_));
+  if (!ok) return false;
+  out->clear();
+  out->reserve(exprs_.size());
+  EvalContext ec = ctx_->MakeEvalContext(&scratch_);
+  for (const Expr* e : exprs_) {
+    Value v;
+    R3_RETURN_IF_ERROR(EvalExpr(*e, ec, &v));
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+Status ProjectOp::Close() { return child_->Close(); }
+
+std::string ProjectOp::DebugString() const {
+  std::string out = "Project(";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += exprs_[i]->ToString();
+  }
+  return out + ")\n" + Indent(child_->DebugString());
+}
+
+// ---------------------------------------------------------------------------
+// LimitOp
+// ---------------------------------------------------------------------------
+
+LimitOp::LimitOp(OperatorPtr child, int64_t limit)
+    : child_(std::move(child)), limit_(limit) {}
+
+Status LimitOp::Open(ExecContext* ctx) {
+  produced_ = 0;
+  return child_->Open(ctx);
+}
+
+Result<bool> LimitOp::Next(Row* out) {
+  if (produced_ >= limit_) return false;
+  R3_ASSIGN_OR_RETURN(bool ok, child_->Next(out));
+  if (!ok) return false;
+  ++produced_;
+  return true;
+}
+
+Status LimitOp::Close() { return child_->Close(); }
+
+std::string LimitOp::DebugString() const {
+  return str::Format("Limit(%lld)\n", static_cast<long long>(limit_)) +
+         Indent(child_->DebugString());
+}
+
+// ---------------------------------------------------------------------------
+// DistinctOp
+// ---------------------------------------------------------------------------
+
+DistinctOp::DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
+
+Status DistinctOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  seen_.clear();
+  return child_->Open(ctx);
+}
+
+Result<bool> DistinctOp::Next(Row* out) {
+  while (true) {
+    R3_ASSIGN_OR_RETURN(bool ok, child_->Next(out));
+    if (!ok) return false;
+    ctx_->clock->ChargeDbmsTuple();
+    if (seen_.insert(RowKey(*out)).second) return true;
+  }
+}
+
+Status DistinctOp::Close() {
+  seen_.clear();
+  return child_->Close();
+}
+
+std::string DistinctOp::DebugString() const {
+  return "Distinct\n" + Indent(child_->DebugString());
+}
+
+// ---------------------------------------------------------------------------
+// MaterializeOp
+// ---------------------------------------------------------------------------
+
+MaterializeOp::MaterializeOp(OperatorPtr child, bool cacheable)
+    : child_(std::move(child)), cacheable_(cacheable) {}
+
+Status MaterializeOp::Open(ExecContext* ctx) {
+  pos_ = 0;
+  if (loaded_ && cacheable_) return Status::OK();
+  rows_.clear();
+  R3_RETURN_IF_ERROR(child_->Open(ctx));
+  Row row;
+  while (true) {
+    R3_ASSIGN_OR_RETURN(bool ok, child_->Next(&row));
+    if (!ok) break;
+    rows_.push_back(row);
+  }
+  R3_RETURN_IF_ERROR(child_->Close());
+  loaded_ = true;
+  return Status::OK();
+}
+
+Result<bool> MaterializeOp::Next(Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+Status MaterializeOp::Close() { return Status::OK(); }
+
+std::string MaterializeOp::DebugString() const {
+  return "Materialize\n" + Indent(child_->DebugString());
+}
+
+}  // namespace rdbms
+}  // namespace r3

@@ -1,0 +1,419 @@
+#ifndef R3DB_RDBMS_EXEC_EXECUTOR_H_
+#define R3DB_RDBMS_EXEC_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "rdbms/catalog.h"
+#include "rdbms/expr/eval.h"
+#include "rdbms/expr/expr.h"
+#include "rdbms/row.h"
+
+namespace r3 {
+namespace rdbms {
+
+/// Runtime state shared by the operators of one executing statement.
+///
+/// Operators are re-openable: a plan tree is built once (at prepare time)
+/// and can be executed many times — the cursor-caching behaviour the paper's
+/// Open SQL interface relies on. `outer_row` carries the correlation row
+/// while a subquery plan executes.
+struct ExecContext {
+  BufferPool* pool = nullptr;
+  SimClock* clock = nullptr;
+  const std::vector<Value>* params = nullptr;
+  SubqueryRunner* subqueries = nullptr;
+  const Row* outer_row = nullptr;
+  size_t work_mem_bytes = 4u << 20;  ///< sort/aggregate memory budget
+
+  EvalContext MakeEvalContext(const Row* row) const {
+    EvalContext ec;
+    ec.row = row;
+    ec.outer = outer_row;
+    ec.params = params;
+    ec.subqueries = subqueries;
+    return ec;
+  }
+};
+
+/// Volcano-style iterator. All rows exchanged between operators of one query
+/// are "wide rows": the concatenation of every base table's columns (see
+/// plan/logical_plan.h), except downstream of aggregation/projection where
+/// the layouts documented there apply.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// (Re)initializes; must be callable repeatedly.
+  virtual Status Open(ExecContext* ctx) = 0;
+
+  /// Produces the next row into `*out`; returns false when exhausted.
+  virtual Result<bool> Next(Row* out) = 0;
+
+  virtual Status Close() = 0;
+
+  /// Width of rows this operator produces.
+  virtual size_t OutputWidth() const = 0;
+
+  /// Human-readable plan node for EXPLAIN-style rendering.
+  virtual std::string DebugString() const = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Renders the plan tree (indented, one node per line).
+std::string ExplainPlan(const Operator& root);
+
+// ---------------------------------------------------------------------------
+// Scans
+// ---------------------------------------------------------------------------
+
+/// Full scan of `table`, emitting wide rows with the table's columns at
+/// `offset` and NULL elsewhere; applies pushed-down filters.
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(const TableInfo* table, size_t offset, size_t wide_width,
+            std::vector<const Expr*> filters);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+  size_t OutputWidth() const override { return wide_width_; }
+  std::string DebugString() const override;
+
+ private:
+  const TableInfo* table_;
+  size_t offset_;
+  size_t wide_width_;
+  std::vector<const Expr*> filters_;
+  ExecContext* ctx_ = nullptr;
+  std::unique_ptr<HeapFile::Iterator> it_;
+};
+
+/// Bounds of an index scan. Leading index columns are constrained by
+/// equality (`eq_exprs`), optionally followed by a range on the next column.
+/// All bound expressions are evaluated once at Open (literals or `?`
+/// parameters) — or per probe against the left row for index-nested-loops
+/// (see IndexNLJoinOp, which evaluates them itself).
+struct IndexBounds {
+  std::vector<const Expr*> eq_exprs;
+  const Expr* lower = nullptr;  ///< range lower bound (on next column)
+  bool lower_inclusive = true;
+  const Expr* upper = nullptr;
+  bool upper_inclusive = true;
+};
+
+/// Index range scan + heap fetch; the random fetches charge the cost model
+/// through the buffer pool (the Table 6 effect).
+class IndexScanOp : public Operator {
+ public:
+  IndexScanOp(const TableInfo* table, const IndexInfo* index, size_t offset,
+              size_t wide_width, IndexBounds bounds,
+              std::vector<const Expr*> residual_filters);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+  size_t OutputWidth() const override { return wide_width_; }
+  std::string DebugString() const override;
+
+ private:
+  const TableInfo* table_;
+  const IndexInfo* index_;
+  size_t offset_;
+  size_t wide_width_;
+  IndexBounds bounds_;
+  std::vector<const Expr*> filters_;
+  ExecContext* ctx_ = nullptr;
+  std::unique_ptr<BTree::Cursor> cursor_;
+  std::string stop_key_;  ///< exclusive upper bound ("" = none)
+  bool done_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Row-at-a-time transforms
+// ---------------------------------------------------------------------------
+
+/// Applies residual predicates.
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, std::vector<const Expr*> predicates);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+  size_t OutputWidth() const override { return child_->OutputWidth(); }
+  std::string DebugString() const override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<const Expr*> predicates_;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// Evaluates the select list, producing output rows.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<const Expr*> exprs);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+  size_t OutputWidth() const override { return exprs_.size(); }
+  std::string DebugString() const override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<const Expr*> exprs_;
+  ExecContext* ctx_ = nullptr;
+  Row scratch_;
+};
+
+/// Stops after `limit` rows.
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr child, int64_t limit);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+  size_t OutputWidth() const override { return child_->OutputWidth(); }
+  std::string DebugString() const override;
+
+ private:
+  OperatorPtr child_;
+  int64_t limit_;
+  int64_t produced_ = 0;
+};
+
+/// Drops duplicate rows (hash-based).
+class DistinctOp : public Operator {
+ public:
+  explicit DistinctOp(OperatorPtr child);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+  size_t OutputWidth() const override { return child_->OutputWidth(); }
+  std::string DebugString() const override;
+
+ private:
+  OperatorPtr child_;
+  ExecContext* ctx_ = nullptr;
+  std::unordered_set<std::string> seen_;
+};
+
+/// Materializes and re-emits child rows; Open() after the first run replays
+/// from memory. Used as the inner of nested-loops joins.
+class MaterializeOp : public Operator {
+ public:
+  /// With `cacheable` false the child is re-run on every Open — required
+  /// when the subtree's output depends on correlation (outer refs) or
+  /// parameters that change between Opens.
+  explicit MaterializeOp(OperatorPtr child, bool cacheable = true);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+  size_t OutputWidth() const override { return child_->OutputWidth(); }
+  std::string DebugString() const override;
+
+  /// Accesses the materialized rows after Open.
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  OperatorPtr child_;
+  bool cacheable_;
+  bool loaded_ = false;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Joins (join_ops.cc)
+// ---------------------------------------------------------------------------
+
+/// A contiguous wide-row range one side of a join fills.
+struct FilledRange {
+  size_t offset = 0;
+  size_t width = 0;
+};
+
+/// Hash join: builds on `build`, probes with `probe`, merging wide rows.
+/// With `preserve_probe` (left-outer semantics where the probe side is the
+/// preserved side), probe rows without a match are emitted with the build
+/// ranges left NULL.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(OperatorPtr build, OperatorPtr probe,
+             std::vector<const Expr*> build_keys,
+             std::vector<const Expr*> probe_keys,
+             std::vector<const Expr*> residual,
+             std::vector<FilledRange> build_ranges, bool preserve_probe);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+  size_t OutputWidth() const override { return probe_->OutputWidth(); }
+  std::string DebugString() const override;
+
+ private:
+  Result<bool> ProbeAdvance();
+
+  OperatorPtr build_;
+  OperatorPtr probe_;
+  std::vector<const Expr*> build_keys_;
+  std::vector<const Expr*> probe_keys_;
+  std::vector<const Expr*> residual_;
+  std::vector<FilledRange> build_ranges_;
+  bool preserve_probe_;
+
+  ExecContext* ctx_ = nullptr;
+  std::unordered_map<std::string, std::vector<Row>> table_;
+  Row probe_row_;
+  bool have_probe_ = false;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+  bool emitted_for_probe_ = false;
+  bool probe_done_ = false;
+};
+
+/// Index nested-loops join: for each left row, evaluates the key
+/// expressions and probes `index`, fetching matching heap rows of `table`
+/// into the wide row. One round of random I/O per probe — the expensive
+/// pattern the paper's 2.2 Open SQL reports exhibit server-side.
+class IndexNLJoinOp : public Operator {
+ public:
+  IndexNLJoinOp(OperatorPtr left, const TableInfo* table,
+                const IndexInfo* index, size_t table_offset,
+                std::vector<const Expr*> key_exprs,
+                std::vector<const Expr*> residual, bool preserve_left);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+  size_t OutputWidth() const override { return left_->OutputWidth(); }
+  std::string DebugString() const override;
+
+ private:
+  Result<bool> AdvanceLeft();
+
+  OperatorPtr left_;
+  const TableInfo* table_;
+  const IndexInfo* index_;
+  size_t table_offset_;
+  std::vector<const Expr*> key_exprs_;
+  std::vector<const Expr*> residual_;
+  bool preserve_left_;
+
+  ExecContext* ctx_ = nullptr;
+  Row left_row_;
+  bool have_left_ = false;
+  bool left_done_ = false;
+  std::unique_ptr<BTree::Cursor> cursor_;
+  std::string probe_key_;
+  bool emitted_for_left_ = false;
+};
+
+/// Nested-loops join over a materialized right side, with an arbitrary
+/// predicate (used for non-equi joins and cross products).
+class NestedLoopsJoinOp : public Operator {
+ public:
+  NestedLoopsJoinOp(OperatorPtr left, OperatorPtr right,
+                    std::vector<const Expr*> predicates,
+                    std::vector<FilledRange> right_ranges, bool preserve_left);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+  size_t OutputWidth() const override { return left_->OutputWidth(); }
+  std::string DebugString() const override;
+
+ private:
+  OperatorPtr left_;
+  std::unique_ptr<MaterializeOp> right_;
+  std::vector<const Expr*> predicates_;
+  std::vector<FilledRange> right_ranges_;
+  bool preserve_left_;
+
+  ExecContext* ctx_ = nullptr;
+  Row left_row_;
+  bool left_done_ = true;
+  size_t right_pos_ = 0;
+  bool emitted_for_left_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Aggregation (agg_ops.cc)
+// ---------------------------------------------------------------------------
+
+/// Hash aggregation. Output rows: [group values..., aggregate results...].
+/// Without GROUP BY, emits exactly one row (aggregates over the empty input
+/// follow SQL: COUNT = 0, SUM/AVG/MIN/MAX = NULL).
+class HashAggOp : public Operator {
+ public:
+  HashAggOp(OperatorPtr child, std::vector<const Expr*> group_exprs,
+            std::vector<const Expr*> agg_calls);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+  size_t OutputWidth() const override {
+    return group_exprs_.size() + agg_calls_.size();
+  }
+  std::string DebugString() const override;
+
+ private:
+  struct AggState;
+
+  OperatorPtr child_;
+  std::vector<const Expr*> group_exprs_;
+  std::vector<const Expr*> agg_calls_;
+  ExecContext* ctx_ = nullptr;
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Sorting (sort_ops.cc)
+// ---------------------------------------------------------------------------
+
+struct SortKey {
+  size_t column = 0;  ///< position in the child's output row
+  bool asc = true;
+};
+
+/// Full sort of the child's rows. When the data exceeds the work-memory
+/// budget, external-sort I/O (run write + merge read) is charged to the
+/// simulated clock — in-memory execution stays exact either way.
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::vector<SortKey> keys);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Row* out) override;
+  Status Close() override;
+  size_t OutputWidth() const override { return child_->OutputWidth(); }
+  std::string DebugString() const override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// Encodes a row (or a subset of its values) into a canonical byte string
+/// usable as a hash/equality key.
+std::string RowKey(const Row& row);
+std::string ValuesKey(const std::vector<Value>& values);
+
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_EXEC_EXECUTOR_H_

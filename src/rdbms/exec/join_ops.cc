@@ -1,0 +1,378 @@
+#include "common/str_util.h"
+#include "rdbms/exec/executor.h"
+#include "rdbms/index/key_codec.h"
+
+namespace r3 {
+namespace rdbms {
+
+namespace {
+
+std::string Indent(const std::string& s) {
+  std::string out;
+  size_t start = 0;
+  while (start < s.size()) {
+    size_t end = s.find('\n', start);
+    if (end == std::string::npos) end = s.size();
+    out += "  " + s.substr(start, end - start) + "\n";
+    start = end + 1;
+  }
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+Result<bool> PassesAll(const std::vector<const Expr*>& preds,
+                       const EvalContext& ec) {
+  for (const Expr* p : preds) {
+    R3_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*p, ec));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Evaluates key expressions into a canonical byte key. Returns an empty
+/// optional-style flag (*null_key) when any key value is NULL (SQL equi-join
+/// never matches on NULL).
+Status EvalJoinKey(const std::vector<const Expr*>& keys, const EvalContext& ec,
+                   std::string* out, bool* null_key) {
+  out->clear();
+  *null_key = false;
+  for (const Expr* k : keys) {
+    Value v;
+    R3_RETURN_IF_ERROR(EvalExpr(*k, ec, &v));
+    if (v.is_null()) {
+      *null_key = true;
+      return Status::OK();
+    }
+    // Normalize numerics so INT 5 and DECIMAL 5.00 and DOUBLE 5.0 meet.
+    if (IsNumeric(v.type()) && v.type() != DataType::kDouble) {
+      v = Value::Dbl(v.AsDouble());
+    }
+    key_codec::EncodeValue(v, out);
+  }
+  return Status::OK();
+}
+
+void MergeRanges(const Row& src, const std::vector<FilledRange>& ranges,
+                 Row* dst) {
+  for (const FilledRange& r : ranges) {
+    for (size_t i = 0; i < r.width; ++i) {
+      (*dst)[r.offset + i] = src[r.offset + i];
+    }
+  }
+}
+
+void NullRanges(const std::vector<FilledRange>& ranges, Row* dst) {
+  for (const FilledRange& r : ranges) {
+    for (size_t i = 0; i < r.width; ++i) {
+      (*dst)[r.offset + i] = Value::Null();
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HashJoinOp
+// ---------------------------------------------------------------------------
+
+HashJoinOp::HashJoinOp(OperatorPtr build, OperatorPtr probe,
+                       std::vector<const Expr*> build_keys,
+                       std::vector<const Expr*> probe_keys,
+                       std::vector<const Expr*> residual,
+                       std::vector<FilledRange> build_ranges,
+                       bool preserve_probe)
+    : build_(std::move(build)),
+      probe_(std::move(probe)),
+      build_keys_(std::move(build_keys)),
+      probe_keys_(std::move(probe_keys)),
+      residual_(std::move(residual)),
+      build_ranges_(std::move(build_ranges)),
+      preserve_probe_(preserve_probe) {}
+
+Status HashJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  table_.clear();
+  matches_ = nullptr;
+  match_pos_ = 0;
+  probe_done_ = false;
+  have_probe_ = false;
+  emitted_for_probe_ = false;
+
+  R3_RETURN_IF_ERROR(build_->Open(ctx));
+  Row row;
+  while (true) {
+    R3_ASSIGN_OR_RETURN(bool ok, build_->Next(&row));
+    if (!ok) break;
+    ctx_->clock->ChargeDbmsTuple();
+    EvalContext ec = ctx_->MakeEvalContext(&row);
+    std::string key;
+    bool null_key = false;
+    R3_RETURN_IF_ERROR(EvalJoinKey(build_keys_, ec, &key, &null_key));
+    if (null_key) continue;
+    table_[key].push_back(row);
+  }
+  R3_RETURN_IF_ERROR(build_->Close());
+  return probe_->Open(ctx);
+}
+
+Result<bool> HashJoinOp::ProbeAdvance() {
+  R3_ASSIGN_OR_RETURN(bool ok, probe_->Next(&probe_row_));
+  if (!ok) {
+    probe_done_ = true;
+    return false;
+  }
+  ctx_->clock->ChargeDbmsTuple();
+  EvalContext ec = ctx_->MakeEvalContext(&probe_row_);
+  std::string key;
+  bool null_key = false;
+  R3_RETURN_IF_ERROR(EvalJoinKey(probe_keys_, ec, &key, &null_key));
+  if (null_key) {
+    matches_ = nullptr;
+  } else {
+    auto it = table_.find(key);
+    matches_ = it == table_.end() ? nullptr : &it->second;
+  }
+  match_pos_ = 0;
+  emitted_for_probe_ = false;
+  return true;
+}
+
+Result<bool> HashJoinOp::Next(Row* out) {
+  while (true) {
+    if (probe_done_) return false;
+    if (!have_probe_) {
+      R3_ASSIGN_OR_RETURN(bool ok, ProbeAdvance());
+      if (!ok) return false;
+      have_probe_ = true;
+    }
+    if (matches_ != nullptr) {
+      while (match_pos_ < matches_->size()) {
+        Row candidate = probe_row_;
+        MergeRanges((*matches_)[match_pos_], build_ranges_, &candidate);
+        ++match_pos_;
+        EvalContext ec = ctx_->MakeEvalContext(&candidate);
+        R3_ASSIGN_OR_RETURN(bool pass, PassesAll(residual_, ec));
+        if (pass) {
+          emitted_for_probe_ = true;
+          *out = std::move(candidate);
+          return true;
+        }
+      }
+    }
+    // This probe row has no (further) matches.
+    have_probe_ = false;
+    if (preserve_probe_ && !emitted_for_probe_) {
+      emitted_for_probe_ = true;
+      *out = probe_row_;
+      NullRanges(build_ranges_, out);
+      return true;
+    }
+  }
+}
+
+Status HashJoinOp::Close() {
+  table_.clear();
+  return probe_->Close();
+}
+
+std::string HashJoinOp::DebugString() const {
+  std::string out = preserve_probe_ ? "HashLeftOuterJoin(" : "HashJoin(";
+  for (size_t i = 0; i < build_keys_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += build_keys_[i]->ToString() + "=" + probe_keys_[i]->ToString();
+  }
+  for (const Expr* r : residual_) out += ", " + r->ToString();
+  out += ")";
+  return out + "\n" + Indent(build_->DebugString()) + "\n" +
+         Indent(probe_->DebugString());
+}
+
+// ---------------------------------------------------------------------------
+// IndexNLJoinOp
+// ---------------------------------------------------------------------------
+
+IndexNLJoinOp::IndexNLJoinOp(OperatorPtr left, const TableInfo* table,
+                             const IndexInfo* index, size_t table_offset,
+                             std::vector<const Expr*> key_exprs,
+                             std::vector<const Expr*> residual,
+                             bool preserve_left)
+    : left_(std::move(left)),
+      table_(table),
+      index_(index),
+      table_offset_(table_offset),
+      key_exprs_(std::move(key_exprs)),
+      residual_(std::move(residual)),
+      preserve_left_(preserve_left) {}
+
+Status IndexNLJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  left_done_ = false;
+  have_left_ = false;
+  cursor_.reset();
+  emitted_for_left_ = false;
+  return left_->Open(ctx);
+}
+
+Result<bool> IndexNLJoinOp::AdvanceLeft() {
+  R3_ASSIGN_OR_RETURN(bool ok, left_->Next(&left_row_));
+  if (!ok) {
+    left_done_ = true;
+    cursor_.reset();
+    return false;
+  }
+  emitted_for_left_ = false;
+  // Compute the probe key; NULL key means no matches.
+  EvalContext ec = ctx_->MakeEvalContext(&left_row_);
+  probe_key_.clear();
+  cursor_.reset();
+  for (size_t i = 0; i < key_exprs_.size(); ++i) {
+    Value v;
+    R3_RETURN_IF_ERROR(EvalExpr(*key_exprs_[i], ec, &v));
+    if (v.is_null()) return true;  // no cursor -> no matches
+    size_t col = index_->column_indices[i];
+    R3_ASSIGN_OR_RETURN(v, v.CastTo(table_->schema.column(col).type));
+    key_codec::EncodeValue(v, &probe_key_);
+  }
+  R3_ASSIGN_OR_RETURN(BTree::Cursor c, index_->btree->Seek(probe_key_));
+  cursor_ = std::make_unique<BTree::Cursor>(std::move(c));
+  return true;
+}
+
+Result<bool> IndexNLJoinOp::Next(Row* out) {
+  std::string key;
+  uint64_t payload = 0;
+  std::string rec;
+  Row inner_row;
+  while (true) {
+    if (left_done_) return false;
+    if (!have_left_) {
+      R3_ASSIGN_OR_RETURN(bool ok, AdvanceLeft());
+      if (!ok) return false;
+      have_left_ = true;
+    }
+    while (cursor_ != nullptr) {
+      std::string stop = key_codec::PrefixUpperBound(probe_key_);
+      R3_ASSIGN_OR_RETURN(bool ok, cursor_->Next(&key, &payload));
+      if (!ok || (!stop.empty() && key >= stop)) {
+        cursor_.reset();
+        break;
+      }
+      ctx_->clock->ChargeDbmsTuple();
+      R3_RETURN_IF_ERROR(table_->heap->Get(Rid::Unpack(payload), &rec));
+      R3_RETURN_IF_ERROR(DeserializeRow(table_->schema, rec, &inner_row));
+      Row candidate = left_row_;
+      for (size_t i = 0; i < inner_row.size(); ++i) {
+        candidate[table_offset_ + i] = std::move(inner_row[i]);
+      }
+      EvalContext ec = ctx_->MakeEvalContext(&candidate);
+      R3_ASSIGN_OR_RETURN(bool pass, PassesAll(residual_, ec));
+      if (!pass) continue;
+      emitted_for_left_ = true;
+      *out = std::move(candidate);
+      return true;
+    }
+    // Left row exhausted its matches.
+    have_left_ = false;
+    if (preserve_left_ && !emitted_for_left_) {
+      emitted_for_left_ = true;
+      *out = left_row_;  // inner columns are already NULL in the wide row
+      return true;
+    }
+  }
+}
+
+Status IndexNLJoinOp::Close() {
+  cursor_.reset();
+  return left_->Close();
+}
+
+std::string IndexNLJoinOp::DebugString() const {
+  std::string out = preserve_left_ ? "IndexNLOuterJoin(" : "IndexNLJoin(";
+  out += table_->name + " via " + index_->name + ", keys=";
+  for (size_t i = 0; i < key_exprs_.size(); ++i) {
+    if (i != 0) out += ",";
+    out += key_exprs_[i]->ToString();
+  }
+  for (const Expr* r : residual_) out += ", " + r->ToString();
+  return out + ")\n" + Indent(left_->DebugString());
+}
+
+// ---------------------------------------------------------------------------
+// NestedLoopsJoinOp
+// ---------------------------------------------------------------------------
+
+NestedLoopsJoinOp::NestedLoopsJoinOp(OperatorPtr left, OperatorPtr right,
+                                     std::vector<const Expr*> predicates,
+                                     std::vector<FilledRange> right_ranges,
+                                     bool preserve_left)
+    : left_(std::move(left)),
+      right_(std::make_unique<MaterializeOp>(std::move(right),
+                                             /*cacheable=*/false)),
+      predicates_(std::move(predicates)),
+      right_ranges_(std::move(right_ranges)),
+      preserve_left_(preserve_left) {}
+
+Status NestedLoopsJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  left_done_ = false;
+  left_row_.clear();
+  right_pos_ = 0;
+  emitted_for_left_ = false;
+  R3_RETURN_IF_ERROR(right_->Open(ctx));
+  return left_->Open(ctx);
+}
+
+Result<bool> NestedLoopsJoinOp::Next(Row* out) {
+  const std::vector<Row>& inner = right_->rows();
+  while (true) {
+    if (left_done_) return false;
+    if (left_row_.empty()) {
+      R3_ASSIGN_OR_RETURN(bool ok, left_->Next(&left_row_));
+      if (!ok) {
+        left_done_ = true;
+        return false;
+      }
+      right_pos_ = 0;
+      emitted_for_left_ = false;
+    }
+    while (right_pos_ < inner.size()) {
+      ctx_->clock->ChargeDbmsTuple();
+      Row candidate = left_row_;
+      MergeRanges(inner[right_pos_], right_ranges_, &candidate);
+      ++right_pos_;
+      EvalContext ec = ctx_->MakeEvalContext(&candidate);
+      R3_ASSIGN_OR_RETURN(bool pass, PassesAll(predicates_, ec));
+      if (pass) {
+        emitted_for_left_ = true;
+        *out = std::move(candidate);
+        return true;
+      }
+    }
+    // Inner exhausted for this left row.
+    if (preserve_left_ && !emitted_for_left_) {
+      *out = left_row_;
+      NullRanges(right_ranges_, out);
+      left_row_.clear();
+      return true;
+    }
+    left_row_.clear();
+  }
+}
+
+Status NestedLoopsJoinOp::Close() {
+  R3_RETURN_IF_ERROR(right_->Close());
+  return left_->Close();
+}
+
+std::string NestedLoopsJoinOp::DebugString() const {
+  std::string out = preserve_left_ ? "NLOuterJoin(" : "NLJoin(";
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    if (i != 0) out += " AND ";
+    out += predicates_[i]->ToString();
+  }
+  return out + ")\n" + Indent(left_->DebugString()) + "\n" +
+         Indent(right_->DebugString());
+}
+
+}  // namespace rdbms
+}  // namespace r3

@@ -1,0 +1,96 @@
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "rdbms/exec/executor.h"
+
+namespace r3 {
+namespace rdbms {
+
+namespace {
+
+std::string Indent(const std::string& s) {
+  std::string out;
+  size_t start = 0;
+  while (start < s.size()) {
+    size_t end = s.find('\n', start);
+    if (end == std::string::npos) end = s.size();
+    out += "  " + s.substr(start, end - start) + "\n";
+    start = end + 1;
+  }
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+size_t ApproxRowBytes(const Row& row) {
+  size_t n = 0;
+  for (const Value& v : row) {
+    n += 9;
+    if (v.type() == DataType::kString) n += v.string_value().size();
+  }
+  return n;
+}
+
+}  // namespace
+
+SortOp::SortOp(OperatorPtr child, std::vector<SortKey> keys)
+    : child_(std::move(child)), keys_(std::move(keys)) {}
+
+Status SortOp::Open(ExecContext* ctx) {
+  rows_.clear();
+  pos_ = 0;
+  R3_RETURN_IF_ERROR(child_->Open(ctx));
+  Row row;
+  size_t bytes = 0;
+  while (true) {
+    R3_ASSIGN_OR_RETURN(bool ok, child_->Next(&row));
+    if (!ok) break;
+    ctx->clock->ChargeDbmsTuple();
+    bytes += ApproxRowBytes(row);
+    rows_.push_back(std::move(row));
+  }
+  R3_RETURN_IF_ERROR(child_->Close());
+
+  // A pipelined in-memory sort up to the work-memory budget; beyond that,
+  // charge one external run-generation + merge pass (write + re-read).
+  if (bytes > ctx->work_mem_bytes) {
+    int64_t pages = static_cast<int64_t>((bytes + kPageSize - 1) / kPageSize);
+    for (int64_t i = 0; i < pages; ++i) {
+      ctx->clock->ChargePageWrite();
+      ctx->clock->ChargeSeqPageRead();
+    }
+  }
+
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [this](const Row& a, const Row& b) {
+                     for (const SortKey& k : keys_) {
+                       int c = a[k.column].Compare(b[k.column]);
+                       if (c != 0) return k.asc ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  return Status::OK();
+}
+
+Result<bool> SortOp::Next(Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+Status SortOp::Close() {
+  rows_.clear();
+  pos_ = 0;
+  return Status::OK();
+}
+
+std::string SortOp::DebugString() const {
+  std::string out = "Sort(";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += str::Format("#%zu %s", keys_[i].column, keys_[i].asc ? "asc" : "desc");
+  }
+  return out + ")\n" + Indent(child_->DebugString());
+}
+
+}  // namespace rdbms
+}  // namespace r3

@@ -1,0 +1,53 @@
+#ifndef R3DB_RDBMS_EXPR_EVAL_H_
+#define R3DB_RDBMS_EXPR_EVAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "rdbms/expr/expr.h"
+#include "rdbms/row.h"
+
+namespace r3 {
+namespace rdbms {
+
+/// Executes bound subquery plans on behalf of the evaluator. Implemented by
+/// the executor (exec/executor.cc); the indirection keeps the expression
+/// layer free of operator dependencies.
+class SubqueryRunner {
+ public:
+  virtual ~SubqueryRunner() = default;
+
+  /// Runs scalar subquery `idx` with `outer` as the correlation row;
+  /// produces its single value (NULL if the subquery yields no row; error if
+  /// it yields more than one).
+  virtual Status RunScalar(size_t idx, const Row* outer, Value* out) = 0;
+
+  /// EXISTS probe.
+  virtual Status RunExists(size_t idx, const Row* outer, bool* out) = 0;
+
+  /// IN probe with SQL three-valued semantics: Bool(true) on match,
+  /// Null if no match but NULLs were produced, Bool(false) otherwise.
+  virtual Status RunInProbe(size_t idx, const Row* outer, const Value& probe,
+                            Value* out) = 0;
+};
+
+/// Everything an expression needs at evaluation time.
+struct EvalContext {
+  const Row* row = nullptr;    ///< current input row (wide row or agg row)
+  const Row* outer = nullptr;  ///< enclosing query's row for correlated refs
+  const std::vector<Value>* params = nullptr;  ///< `?` bindings
+  SubqueryRunner* subqueries = nullptr;
+};
+
+/// Evaluates a bound expression. NULL propagation follows SQL semantics;
+/// boolean results use three-valued logic with Null standing in for UNKNOWN.
+Status EvalExpr(const Expr& e, const EvalContext& ctx, Value* out);
+
+/// Evaluates `e` as a predicate: true iff the result is TRUE (UNKNOWN and
+/// FALSE both reject the row).
+Result<bool> EvalPredicate(const Expr& e, const EvalContext& ctx);
+
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_EXPR_EVAL_H_

@@ -1,0 +1,97 @@
+#include "rdbms/index/key_codec.h"
+
+#include <cstring>
+
+namespace r3 {
+namespace rdbms {
+namespace key_codec {
+
+namespace {
+
+void AppendBigEndianFlipped(uint64_t v, std::string* out) {
+  v ^= 0x8000000000000000ULL;  // flip sign bit: negatives sort first
+  for (int i = 7; i >= 0; --i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+void EncodeValue(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    out->push_back('\x00');
+    return;
+  }
+  out->push_back('\x01');
+  switch (v.type()) {
+    case DataType::kBool:
+      out->push_back(v.bool_value() ? '\x01' : '\x00');
+      break;
+    case DataType::kInt64:
+      AppendBigEndianFlipped(static_cast<uint64_t>(v.int_value()), out);
+      break;
+    case DataType::kDecimal:
+      AppendBigEndianFlipped(static_cast<uint64_t>(v.decimal_cents()), out);
+      break;
+    case DataType::kDate:
+      AppendBigEndianFlipped(
+          static_cast<uint64_t>(static_cast<int64_t>(v.date_value())), out);
+      break;
+    case DataType::kDouble: {
+      double d = v.double_value();
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      if (bits & 0x8000000000000000ULL) {
+        bits = ~bits;  // negative: invert all so more-negative sorts first
+      } else {
+        bits ^= 0x8000000000000000ULL;  // positive: set sign bit
+      }
+      for (int i = 7; i >= 0; --i) {
+        out->push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+      }
+      break;
+    }
+    case DataType::kString: {
+      for (char c : v.string_value()) {
+        if (c == '\x00') {
+          out->push_back('\x00');
+          out->push_back('\xff');
+        } else {
+          out->push_back(c);
+        }
+      }
+      out->push_back('\x00');
+      out->push_back('\x00');
+      break;
+    }
+  }
+}
+
+std::string Encode(const std::vector<Value>& values) {
+  std::string out;
+  for (const Value& v : values) EncodeValue(v, &out);
+  return out;
+}
+
+std::string Encode(const Value& v) {
+  std::string out;
+  EncodeValue(v, &out);
+  return out;
+}
+
+std::string PrefixUpperBound(const std::string& prefix) {
+  std::string out = prefix;
+  while (!out.empty()) {
+    unsigned char last = static_cast<unsigned char>(out.back());
+    if (last != 0xff) {
+      out.back() = static_cast<char>(last + 1);
+      return out;
+    }
+    out.pop_back();
+  }
+  return out;  // empty: no finite upper bound
+}
+
+}  // namespace key_codec
+}  // namespace rdbms
+}  // namespace r3

@@ -1,0 +1,44 @@
+#ifndef R3DB_RDBMS_INDEX_KEY_CODEC_H_
+#define R3DB_RDBMS_INDEX_KEY_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "rdbms/value.h"
+
+namespace r3 {
+namespace rdbms {
+
+/// Memcomparable key encoding: for any values a, b of the same column
+/// types, Encode(a) < Encode(b) (bytewise) iff a sorts before b.
+///
+/// Per value: a 1-byte tag (0x00 = NULL sorts first, 0x01 = present), then
+///  * int64/date/decimal: 8 bytes big-endian with the sign bit flipped;
+///  * double: IEEE-754 bits, negative values bit-inverted, positive values
+///    sign-flipped;
+///  * string: bytes with 0x00 escaped as 0x00 0xFF, terminated by 0x00 0x00
+///    (so a prefix sorts before its extensions and embedded NULs stay
+///    ordered);
+///  * bool: one byte.
+namespace key_codec {
+
+/// Appends the encoding of one value to `*out`.
+void EncodeValue(const Value& v, std::string* out);
+
+/// Encodes a composite key.
+std::string Encode(const std::vector<Value>& values);
+
+/// Encodes a single value.
+std::string Encode(const Value& v);
+
+/// Successor of a byte string in lexicographic order with the same length
+/// sensitivity as our ranges: returns key + 0x00 (smallest strictly-greater
+/// extension is key itself extended — we instead use this to build exclusive
+/// upper bounds for prefix scans).
+std::string PrefixUpperBound(const std::string& prefix);
+
+}  // namespace key_codec
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_INDEX_KEY_CODEC_H_

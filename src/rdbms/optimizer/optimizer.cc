@@ -1,0 +1,990 @@
+#include "rdbms/optimizer/optimizer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/cost_model.h"
+#include "common/str_util.h"
+#include "rdbms/expr/eval.h"
+#include "rdbms/index/key_codec.h"
+
+namespace r3 {
+namespace rdbms {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Expression analysis helpers
+// ---------------------------------------------------------------------------
+
+/// Applies `fn` to every expression tree of a bound query (not descending
+/// into its subqueries' own trees).
+void ForEachExprOfQuery(const BoundQuery& bq,
+                        const std::function<void(const Expr&)>& fn) {
+  auto walk = [&](const ExprPtr& e) {
+    if (e != nullptr) fn(*e);
+  };
+  for (const auto& c : bq.conjuncts) walk(c);
+  for (const auto& g : bq.group_by) walk(g);
+  for (const auto& a : bq.agg_calls) walk(a);
+  for (const auto& s : bq.select_exprs) walk(s);
+  if (bq.having != nullptr) fn(*bq.having);
+  for (const auto& t : bq.tables) {
+    for (const auto& c : t.outer_join_conjuncts) walk(c);
+  }
+}
+
+/// Collects this-level wide-row positions referenced by `e`, including the
+/// outer references made by directly nested subqueries (which refer to this
+/// level's wide row).
+void CollectPositions(const Expr& e, const BoundQuery& bq,
+                      std::set<size_t>* positions) {
+  if (e.kind == ExprKind::kColumnRef) {
+    positions->insert(e.column_index);
+  }
+  if (e.subquery_index != kNoSubquery && e.subquery_index < bq.subqueries.size()) {
+    const BoundQuery& sub = *bq.subqueries[e.subquery_index].query;
+    std::function<void(const Expr&)> collect_outer = [&](const Expr& x) {
+      if (x.kind == ExprKind::kOuterRef) positions->insert(x.column_index);
+      for (const ExprPtr& c : x.children) {
+        if (c != nullptr) collect_outer(*c);
+      }
+    };
+    ForEachExprOfQuery(sub, collect_outer);
+  }
+  for (const ExprPtr& c : e.children) {
+    if (c != nullptr) CollectPositions(*c, bq, positions);
+  }
+}
+
+size_t TableOfPosition(const BoundQuery& bq, size_t pos) {
+  for (size_t i = 0; i < bq.tables.size(); ++i) {
+    size_t w = bq.tables[i].table->schema.NumColumns();
+    if (pos >= bq.tables[i].offset && pos < bq.tables[i].offset + w) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+/// True if `e` is constant at execution time of the current query level:
+/// literals, parameters, outer references, and functions thereof.
+bool IsRuntimeConstant(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+    case ExprKind::kSlotRef:
+    case ExprKind::kAggRef:
+    case ExprKind::kAggCall:
+    case ExprKind::kScalarSubquery:
+    case ExprKind::kExistsSubquery:
+    case ExprKind::kInSubquery:
+      return false;
+    default:
+      break;
+  }
+  for (const ExprPtr& c : e.children) {
+    if (c != nullptr && !IsRuntimeConstant(*c)) return false;
+  }
+  return true;
+}
+
+/// Evaluates a runtime-constant expression at *plan* time. Fails (kNotFound
+/// used as the "unknown" signal) when the value depends on parameters or
+/// outer rows, which are unavailable to the optimizer — the heart of the
+/// paper's Table 6 observation.
+Result<Value> PlanTimeValue(const Expr& e) {
+  if (ExprHasParams(e)) {
+    return Status::NotFound("value depends on a parameter");
+  }
+  if (ExprContains(e, [](const Expr& x) { return x.kind == ExprKind::kOuterRef; })) {
+    return Status::NotFound("value depends on an outer row");
+  }
+  EvalContext ec;
+  Value v;
+  Status st = EvalExpr(e, ec, &v);
+  if (!st.ok()) return Status::NotFound("not plan-time evaluable");
+  return v;
+}
+
+const ColumnStats* StatsFor(const TableInfo& t, size_t col) {
+  if (!t.stats.valid || col >= t.stats.columns.size()) return nullptr;
+  const ColumnStats& s = t.stats.columns[col];
+  return s.valid ? &s : nullptr;
+}
+
+uint64_t RowCountOf(const TableInfo& t) {
+  return t.stats.valid ? t.stats.row_count : t.row_count;
+}
+
+// A normalized single-column comparison: col <op> const-expr.
+struct ColCompare {
+  size_t column = 0;  ///< table-local column index
+  CmpOp op = CmpOp::kEq;
+  const Expr* value = nullptr;
+  const Expr* value2 = nullptr;  ///< BETWEEN upper bound
+  bool is_between = false;
+};
+
+/// Tries to view `e` as a comparison between a column of table `t` and a
+/// runtime constant.
+bool MatchColCompare(const Expr& e, const BoundTableRef& t, ColCompare* out) {
+  size_t width = t.table->schema.NumColumns();
+  auto local_col = [&](const Expr& x) -> int64_t {
+    if (x.kind != ExprKind::kColumnRef) return -1;
+    if (x.column_index < t.offset || x.column_index >= t.offset + width) return -1;
+    return static_cast<int64_t>(x.column_index - t.offset);
+  };
+  if (e.kind == ExprKind::kCompare) {
+    int64_t lc = local_col(*e.children[0]);
+    int64_t rc = local_col(*e.children[1]);
+    if (lc >= 0 && IsRuntimeConstant(*e.children[1])) {
+      out->column = static_cast<size_t>(lc);
+      out->op = e.cmp_op;
+      out->value = e.children[1].get();
+      return true;
+    }
+    if (rc >= 0 && IsRuntimeConstant(*e.children[0])) {
+      out->column = static_cast<size_t>(rc);
+      // Flip the operator.
+      switch (e.cmp_op) {
+        case CmpOp::kLt:
+          out->op = CmpOp::kGt;
+          break;
+        case CmpOp::kLe:
+          out->op = CmpOp::kGe;
+          break;
+        case CmpOp::kGt:
+          out->op = CmpOp::kLt;
+          break;
+        case CmpOp::kGe:
+          out->op = CmpOp::kLe;
+          break;
+        default:
+          out->op = e.cmp_op;
+          break;
+      }
+      out->value = e.children[0].get();
+      return true;
+    }
+    return false;
+  }
+  if (e.kind == ExprKind::kBetween && !e.negated) {
+    int64_t c = local_col(*e.children[0]);
+    if (c >= 0 && IsRuntimeConstant(*e.children[1]) &&
+        IsRuntimeConstant(*e.children[2])) {
+      out->column = static_cast<size_t>(c);
+      out->is_between = true;
+      out->value = e.children[1].get();
+      out->value2 = e.children[2].get();
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Estimated selectivity of one conjunct against table `t`.
+/// `*unknown` is set when the constant is invisible at plan time.
+double EstimateConjunctSelectivity(const Expr& e, const BoundTableRef& t,
+                                   bool* unknown) {
+  *unknown = false;
+  ColCompare cc;
+  if (MatchColCompare(e, t, &cc)) {
+    const ColumnStats* s = StatsFor(*t.table, cc.column);
+    if (cc.is_between) {
+      auto lo = PlanTimeValue(*cc.value);
+      auto hi = PlanTimeValue(*cc.value2);
+      if (!lo.ok() || !hi.ok() || s == nullptr) {
+        *unknown = !lo.ok() || !hi.ok();
+        return selectivity::kDefaultRange / 2;
+      }
+      double below_hi = selectivity::LessThan(*s, hi.value());
+      double below_lo = selectivity::LessThan(*s, lo.value());
+      return std::max(0.0, below_hi - below_lo);
+    }
+    auto v = PlanTimeValue(*cc.value);
+    if (!v.ok()) {
+      *unknown = true;
+      return cc.op == CmpOp::kEq ? selectivity::kDefaultEquals
+                                 : selectivity::kDefaultRange;
+    }
+    if (s == nullptr) {
+      return cc.op == CmpOp::kEq ? selectivity::kDefaultEquals
+                                 : selectivity::kDefaultRange;
+    }
+    switch (cc.op) {
+      case CmpOp::kEq:
+        return selectivity::Equals(*s, v.value());
+      case CmpOp::kLt:
+      case CmpOp::kLe:
+        return selectivity::LessThan(*s, v.value());
+      case CmpOp::kGt:
+      case CmpOp::kGe:
+        return selectivity::GreaterThan(*s, v.value());
+      case CmpOp::kNe:
+        return 1.0 - selectivity::Equals(*s, v.value());
+    }
+  }
+  if (e.kind == ExprKind::kLike) return 0.05;
+  if (e.kind == ExprKind::kInList) {
+    return std::min(1.0, selectivity::kDefaultEquals *
+                             static_cast<double>(e.children.size() - 1) * 2.0);
+  }
+  return 0.25;  // generic predicate
+}
+
+// ---------------------------------------------------------------------------
+// Access paths
+// ---------------------------------------------------------------------------
+
+struct AccessPath {
+  const IndexInfo* index = nullptr;  ///< null: sequential scan
+  IndexBounds bounds;
+  std::set<const Expr*> consumed;  ///< conjuncts folded into the bounds
+  double est_rows = 1;             ///< after all pushed single-table filters
+  bool blind = false;              ///< chosen without selectivity knowledge
+};
+
+struct TableCandidate {
+  std::vector<const Expr*> singles;  ///< pushed single-table conjuncts
+  AccessPath path;
+};
+
+/// Chooses the access path for one table given its pushed conjuncts.
+AccessPath ChooseAccessPath(const BoundTableRef& t,
+                            const std::vector<const Expr*>& singles,
+                            const PlannerOptions& options,
+                            const CostModel& cost) {
+  AccessPath seq;
+  double sel_total = 1.0;
+  for (const Expr* c : singles) {
+    bool unknown = false;
+    sel_total *= EstimateConjunctSelectivity(*c, t, &unknown);
+  }
+  uint64_t rows = std::max<uint64_t>(1, RowCountOf(*t.table));
+  seq.est_rows = std::max(1.0, sel_total * static_cast<double>(rows));
+  if (!options.enable_index_scan) return seq;
+
+  AccessPath best = seq;
+  double best_cost = -1.0;
+  AccessPath best_blind;
+  size_t best_blind_score = 0;
+  uint32_t pages = 1;
+  if (auto p = t.table->heap->NumPages(); p.ok()) pages = std::max(1u, p.value());
+  double seq_cost = static_cast<double>(pages) * cost.seq_page_read_us +
+                    static_cast<double>(rows) * cost.dbms_tuple_cpu_us;
+
+  for (const IndexInfo* idx : t.table->indexes) {
+    IndexBounds bounds;
+    std::set<const Expr*> consumed;
+    double idx_sel = 1.0;
+    bool any_unknown = false;
+    size_t k = 0;
+    // Equality prefix.
+    for (; k < idx->column_indices.size(); ++k) {
+      const Expr* eq_value = nullptr;
+      for (const Expr* c : singles) {
+        if (consumed.count(c) > 0) continue;
+        ColCompare cc;
+        if (MatchColCompare(*c, t, &cc) && !cc.is_between &&
+            cc.op == CmpOp::kEq && cc.column == idx->column_indices[k]) {
+          eq_value = cc.value;
+          bool unknown = false;
+          idx_sel *= EstimateConjunctSelectivity(*c, t, &unknown);
+          any_unknown = any_unknown || unknown;
+          consumed.insert(c);
+          break;
+        }
+      }
+      if (eq_value == nullptr) break;
+      bounds.eq_exprs.push_back(eq_value);
+    }
+    // Optional range on the next column.
+    if (k < idx->column_indices.size()) {
+      for (const Expr* c : singles) {
+        if (consumed.count(c) > 0) continue;
+        ColCompare cc;
+        if (!MatchColCompare(*c, t, &cc) || cc.column != idx->column_indices[k]) {
+          continue;
+        }
+        bool unknown = false;
+        double s = EstimateConjunctSelectivity(*c, t, &unknown);
+        if (cc.is_between) {
+          if (bounds.lower != nullptr || bounds.upper != nullptr) continue;
+          bounds.lower = cc.value;
+          bounds.lower_inclusive = true;
+          bounds.upper = cc.value2;
+          bounds.upper_inclusive = true;
+        } else if ((cc.op == CmpOp::kGt || cc.op == CmpOp::kGe) &&
+                   bounds.lower == nullptr) {
+          bounds.lower = cc.value;
+          bounds.lower_inclusive = cc.op == CmpOp::kGe;
+        } else if ((cc.op == CmpOp::kLt || cc.op == CmpOp::kLe) &&
+                   bounds.upper == nullptr) {
+          bounds.upper = cc.value;
+          bounds.upper_inclusive = cc.op == CmpOp::kLe;
+        } else {
+          continue;
+        }
+        idx_sel *= s;
+        any_unknown = any_unknown || unknown;
+        consumed.insert(c);
+      }
+    }
+    if (consumed.empty()) continue;  // index not applicable
+
+    bool full_unique_match = idx->unique &&
+                             bounds.eq_exprs.size() == idx->column_indices.size();
+    double est_match = std::max(1.0, idx_sel * static_cast<double>(rows));
+    double idx_cost = est_match * (cost.random_page_read_us + cost.dbms_tuple_cpu_us);
+    AccessPath cand;
+    cand.index = idx;
+    cand.bounds = bounds;
+    cand.consumed = consumed;
+    cand.est_rows = std::max(1.0, sel_total * static_cast<double>(rows));
+    if (full_unique_match) {
+      // A covered unique point lookup always wins.
+      best = cand;
+      best.est_rows = 1.0;
+      break;
+    }
+    if (any_unknown) {
+      // The optimizer is blind (parameterized constants): it cannot cost
+      // the index and — like the paper's RDBMS — just takes the most
+      // specific one (most predicate columns covered).
+      cand.blind = true;
+      size_t score = consumed.size();
+      if (options.blind_prefers_index && score > best_blind_score) {
+        best_blind = cand;
+        best_blind_score = score;
+      }
+      continue;
+    }
+    if (idx_cost < seq_cost && (best_cost < 0 || idx_cost < best_cost)) {
+      best = cand;
+      best_cost = idx_cost;
+    }
+  }
+  if (best_blind_score > 0) return best_blind;
+  return best;
+}
+
+std::vector<FilledRange> RangesFor(const BoundQuery& bq,
+                                   const std::set<size_t>& tables) {
+  std::vector<FilledRange> out;
+  for (size_t t : tables) {
+    out.push_back(FilledRange{bq.tables[t].offset,
+                              bq.tables[t].table->schema.NumColumns()});
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SubqueryRunnerImpl
+// ---------------------------------------------------------------------------
+
+SubqueryRunnerImpl::~SubqueryRunnerImpl() = default;
+
+void SubqueryRunnerImpl::BindExecution(BufferPool* pool, SimClock* clock,
+                                       const std::vector<Value>* params,
+                                       size_t work_mem) {
+  pool_ = pool;
+  clock_ = clock;
+  params_ = params;
+  work_mem_ = work_mem;
+  for (auto& cs : subqueries) {
+    cs->scalar_cached = false;
+    cs->exists_cached = false;
+    cs->in_set_cached = false;
+    cs->in_set.clear();
+    cs->in_set_has_null = false;
+    if (cs->runner != nullptr) {
+      cs->runner->BindExecution(pool, clock, params, work_mem);
+    }
+  }
+}
+
+ExecContext SubqueryRunnerImpl::MakeContext(CompiledSubquery* cs,
+                                            const Row* outer) {
+  ExecContext ctx;
+  ctx.pool = pool_;
+  ctx.clock = clock_;
+  ctx.params = params_;
+  ctx.subqueries = cs->runner.get();
+  ctx.outer_row = outer;
+  ctx.work_mem_bytes = work_mem_;
+  return ctx;
+}
+
+Status SubqueryRunnerImpl::RunScalar(size_t idx, const Row* outer, Value* out) {
+  if (idx >= subqueries.size()) return Status::Internal("bad subquery index");
+  CompiledSubquery* cs = subqueries[idx].get();
+  if (!cs->correlated && cs->scalar_cached) {
+    *out = cs->scalar_value;
+    return Status::OK();
+  }
+  ExecContext ctx = MakeContext(cs, cs->correlated ? outer : nullptr);
+  R3_RETURN_IF_ERROR(cs->root->Open(&ctx));
+  Row row;
+  R3_ASSIGN_OR_RETURN(bool ok, cs->root->Next(&row));
+  if (!ok) {
+    *out = Value::Null();
+  } else {
+    *out = row[0];
+    R3_ASSIGN_OR_RETURN(bool more, cs->root->Next(&row));
+    if (more) {
+      return Status::InvalidArgument("scalar subquery produced more than one row");
+    }
+  }
+  R3_RETURN_IF_ERROR(cs->root->Close());
+  if (!cs->correlated) {
+    cs->scalar_cached = true;
+    cs->scalar_value = *out;
+  }
+  return Status::OK();
+}
+
+Status SubqueryRunnerImpl::RunExists(size_t idx, const Row* outer, bool* out) {
+  if (idx >= subqueries.size()) return Status::Internal("bad subquery index");
+  CompiledSubquery* cs = subqueries[idx].get();
+  if (!cs->correlated && cs->exists_cached) {
+    *out = cs->exists_value;
+    return Status::OK();
+  }
+  ExecContext ctx = MakeContext(cs, cs->correlated ? outer : nullptr);
+  R3_RETURN_IF_ERROR(cs->root->Open(&ctx));
+  Row row;
+  R3_ASSIGN_OR_RETURN(bool ok, cs->root->Next(&row));
+  *out = ok;
+  R3_RETURN_IF_ERROR(cs->root->Close());
+  if (!cs->correlated) {
+    cs->exists_cached = true;
+    cs->exists_value = *out;
+  }
+  return Status::OK();
+}
+
+Status SubqueryRunnerImpl::RunInProbe(size_t idx, const Row* outer,
+                                      const Value& probe, Value* out) {
+  if (idx >= subqueries.size()) return Status::Internal("bad subquery index");
+  CompiledSubquery* cs = subqueries[idx].get();
+  auto normalize = [](const Value& v) -> Value {
+    if (IsNumeric(v.type()) && v.type() != DataType::kDouble && !v.is_null()) {
+      return Value::Dbl(v.AsDouble());
+    }
+    return v;
+  };
+  if (!cs->correlated) {
+    if (!cs->in_set_cached) {
+      ExecContext ctx = MakeContext(cs, nullptr);
+      R3_RETURN_IF_ERROR(cs->root->Open(&ctx));
+      Row row;
+      while (true) {
+        R3_ASSIGN_OR_RETURN(bool ok, cs->root->Next(&row));
+        if (!ok) break;
+        if (row[0].is_null()) {
+          cs->in_set_has_null = true;
+        } else {
+          cs->in_set.insert(key_codec::Encode(normalize(row[0])));
+        }
+      }
+      R3_RETURN_IF_ERROR(cs->root->Close());
+      cs->in_set_cached = true;
+    }
+    if (probe.is_null()) {
+      *out = Value::Null(DataType::kBool);
+      return Status::OK();
+    }
+    if (cs->in_set.count(key_codec::Encode(normalize(probe))) > 0) {
+      *out = Value::Bool(true);
+    } else if (cs->in_set_has_null) {
+      *out = Value::Null(DataType::kBool);
+    } else {
+      *out = Value::Bool(false);
+    }
+    return Status::OK();
+  }
+  // Correlated IN: naive re-execution (what the paper's RDBMS did, badly).
+  if (probe.is_null()) {
+    *out = Value::Null(DataType::kBool);
+    return Status::OK();
+  }
+  ExecContext ctx = MakeContext(cs, outer);
+  R3_RETURN_IF_ERROR(cs->root->Open(&ctx));
+  Row row;
+  bool saw_null = false;
+  bool matched = false;
+  while (true) {
+    R3_ASSIGN_OR_RETURN(bool ok, cs->root->Next(&row));
+    if (!ok) break;
+    if (row[0].is_null()) {
+      saw_null = true;
+      continue;
+    }
+    if (row[0].Compare(probe) == 0) {
+      matched = true;
+      break;
+    }
+  }
+  R3_RETURN_IF_ERROR(cs->root->Close());
+  if (matched) {
+    *out = Value::Bool(true);
+  } else if (saw_null) {
+    *out = Value::Null(DataType::kBool);
+  } else {
+    *out = Value::Bool(false);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer
+// ---------------------------------------------------------------------------
+
+Result<Optimizer::PlanResult> Optimizer::PlanQueryTree(BoundQuery* bq) {
+  const CostModel& cost = DefaultCostModel();
+
+  // 0. Compile subqueries (recursively) into the runner.
+  auto runner = std::make_unique<SubqueryRunnerImpl>();
+  for (BoundSubquery& sub : bq->subqueries) {
+    auto cs = std::make_unique<CompiledSubquery>();
+    cs->kind = sub.kind;
+    cs->correlated = sub.correlated;
+    R3_ASSIGN_OR_RETURN(PlanResult child, PlanQueryTree(sub.query.get()));
+    cs->root = std::move(child.root);
+    cs->runner = std::move(child.runner);
+    cs->query = sub.query.get();
+    runner->subqueries.push_back(std::move(cs));
+  }
+
+  // 1. Classify conjuncts by required tables.
+  struct ConjunctInfo {
+    Expr* expr;
+    std::set<size_t> tables;
+    bool placed = false;
+  };
+  std::vector<ConjunctInfo> conjuncts;
+  for (ExprPtr& c : bq->conjuncts) {
+    ConjunctInfo info;
+    info.expr = c.get();
+    std::set<size_t> positions;
+    CollectPositions(*c, *bq, &positions);
+    for (size_t p : positions) {
+      size_t t = TableOfPosition(*bq, p);
+      if (t != static_cast<size_t>(-1)) info.tables.insert(t);
+    }
+    conjuncts.push_back(std::move(info));
+  }
+
+  // 2. Push single-table conjuncts; choose access paths.
+  std::vector<TableCandidate> cands(bq->tables.size());
+  for (size_t t = 0; t < bq->tables.size(); ++t) {
+    if (bq->tables[t].left_outer) continue;  // filters ride on the join
+    for (ConjunctInfo& c : conjuncts) {
+      if (c.tables.size() == 1 && *c.tables.begin() == t) {
+        cands[t].singles.push_back(c.expr);
+        c.placed = true;
+      }
+    }
+    cands[t].path =
+        ChooseAccessPath(bq->tables[t], cands[t].singles, options_, cost);
+  }
+  // Zero-table conjuncts attach to the first scan.
+  std::vector<const Expr*> zero_table;
+  for (ConjunctInfo& c : conjuncts) {
+    if (!c.placed && c.tables.empty()) {
+      zero_table.push_back(c.expr);
+      c.placed = true;
+    }
+  }
+
+  auto make_scan = [&](size_t t) -> OperatorPtr {
+    const TableCandidate& cand = cands[t];
+    const BoundTableRef& ref = bq->tables[t];
+    std::vector<const Expr*> residual;
+    for (const Expr* s : cand.singles) {
+      if (cand.path.consumed.count(s) == 0) residual.push_back(s);
+    }
+    if (cand.path.index != nullptr) {
+      return std::make_unique<IndexScanOp>(ref.table, cand.path.index,
+                                           ref.offset, bq->wide_width,
+                                           cand.path.bounds, residual);
+    }
+    return std::make_unique<SeqScanOp>(ref.table, ref.offset, bq->wide_width,
+                                       residual);
+  };
+
+  // 3. Greedy join ordering.
+  std::set<size_t> remaining;
+  for (size_t t = 0; t < bq->tables.size(); ++t) remaining.insert(t);
+
+  // Outer-joined tables depend on the tables their ON clause references.
+  std::vector<std::set<size_t>> outer_deps(bq->tables.size());
+  for (size_t t = 0; t < bq->tables.size(); ++t) {
+    if (!bq->tables[t].left_outer) continue;
+    std::set<size_t> positions;
+    for (const ExprPtr& c : bq->tables[t].outer_join_conjuncts) {
+      CollectPositions(*c, *bq, &positions);
+    }
+    for (size_t p : positions) {
+      size_t owner = TableOfPosition(*bq, p);
+      if (owner != static_cast<size_t>(-1) && owner != t) {
+        outer_deps[t].insert(owner);
+      }
+    }
+  }
+
+  // First table: cheapest non-outer candidate.
+  size_t first = static_cast<size_t>(-1);
+  double first_rows = 0;
+  for (size_t t : remaining) {
+    if (bq->tables[t].left_outer) continue;
+    double est = cands[t].path.est_rows;
+    if (first == static_cast<size_t>(-1) || est < first_rows) {
+      first = t;
+      first_rows = est;
+    }
+  }
+  if (first == static_cast<size_t>(-1)) {
+    return Status::Unsupported("query consists only of outer-joined tables");
+  }
+
+  OperatorPtr tree = make_scan(first);
+  if (!zero_table.empty()) {
+    tree = std::make_unique<FilterOp>(std::move(tree), zero_table);
+  }
+  std::set<size_t> joined{first};
+  remaining.erase(first);
+  double current_rows = first_rows;
+
+  // Estimated rows of a candidate table under its pushed filters.
+  auto table_rows = [&](size_t t) -> double {
+    if (bq->tables[t].left_outer) {
+      return static_cast<double>(std::max<uint64_t>(1, RowCountOf(*bq->tables[t].table)));
+    }
+    return cands[t].path.est_rows;
+  };
+
+  while (!remaining.empty()) {
+    // Candidate choice: prefer connected tables with the smallest estimated
+    // join result.
+    size_t best_t = static_cast<size_t>(-1);
+    bool best_connected = false;
+    double best_result = 0;
+    for (size_t t : remaining) {
+      if (bq->tables[t].left_outer) {
+        bool deps_ok = true;
+        for (size_t d : outer_deps[t]) {
+          if (joined.count(d) == 0) deps_ok = false;
+        }
+        if (!deps_ok) continue;
+      }
+      // Is t connected by an equi conjunct to the joined set?
+      bool connected = false;
+      double join_sel = 1.0;
+      auto consider = [&](const Expr& c) {
+        if (c.kind != ExprKind::kCompare || c.cmp_op != CmpOp::kEq) return;
+        std::set<size_t> lpos, rpos;
+        CollectPositions(*c.children[0], *bq, &lpos);
+        CollectPositions(*c.children[1], *bq, &rpos);
+        auto owner_set = [&](const std::set<size_t>& pos, std::set<size_t>* ts) {
+          for (size_t p : pos) {
+            size_t o = TableOfPosition(*bq, p);
+            if (o != static_cast<size_t>(-1)) ts->insert(o);
+          }
+        };
+        std::set<size_t> lt, rt;
+        owner_set(lpos, &lt);
+        owner_set(rpos, &rt);
+        auto subset_of_joined = [&](const std::set<size_t>& s) {
+          for (size_t x : s) {
+            if (joined.count(x) == 0) return false;
+          }
+          return !s.empty();
+        };
+        auto is_t = [&](const std::set<size_t>& s) {
+          return s.size() == 1 && *s.begin() == t;
+        };
+        if ((subset_of_joined(lt) && is_t(rt)) ||
+            (subset_of_joined(rt) && is_t(lt))) {
+          connected = true;
+          // ndv-based selectivity when both sides are plain columns.
+          double ndv = std::max(
+              10.0, static_cast<double>(std::max<uint64_t>(
+                        1, RowCountOf(*bq->tables[t].table))));
+          const Expr& tcol = is_t(rt) ? *c.children[1] : *c.children[0];
+          if (tcol.kind == ExprKind::kColumnRef) {
+            size_t local = tcol.column_index - bq->tables[t].offset;
+            const ColumnStats* s = StatsFor(*bq->tables[t].table, local);
+            if (s != nullptr && s->ndv > 0) {
+              ndv = static_cast<double>(s->ndv);
+            }
+          }
+          join_sel = std::min(join_sel, 1.0 / ndv);
+        }
+      };
+      if (bq->tables[t].left_outer) {
+        for (const ExprPtr& c : bq->tables[t].outer_join_conjuncts) consider(*c);
+      } else {
+        for (const ConjunctInfo& c : conjuncts) {
+          if (!c.placed && c.tables.count(t) > 0) consider(*c.expr);
+        }
+      }
+      double result = connected
+                          ? std::max(1.0, current_rows * table_rows(t) * join_sel)
+                          : current_rows * table_rows(t);
+      if (best_t == static_cast<size_t>(-1) ||
+          (connected && !best_connected) ||
+          (connected == best_connected && result < best_result)) {
+        best_t = t;
+        best_connected = connected;
+        best_result = result;
+      }
+    }
+    if (best_t == static_cast<size_t>(-1)) {
+      return Status::Internal("join ordering failed (outer-join cycle?)");
+    }
+    size_t t = best_t;
+    remaining.erase(t);
+    const BoundTableRef& ref = bq->tables[t];
+    bool outer = ref.left_outer;
+
+    // Collect the join predicates that become placeable with t.
+    std::vector<Expr*> now_placeable;
+    if (outer) {
+      for (const ExprPtr& c : ref.outer_join_conjuncts) {
+        now_placeable.push_back(c.get());
+      }
+    }
+    for (ConjunctInfo& c : conjuncts) {
+      if (c.placed) continue;
+      bool ok = true;
+      for (size_t x : c.tables) {
+        if (x != t && joined.count(x) == 0) ok = false;
+      }
+      if (!ok) continue;
+      if (outer && c.tables.count(t) > 0) {
+        // A WHERE predicate on an outer-joined table would change semantics
+        // if pulled into the outer join; apply it after (as a filter) —
+        // which matches SQL (it then rejects NULL-extended rows).
+        continue;
+      }
+      c.placed = true;
+      now_placeable.push_back(c.expr);
+    }
+
+    // Split into equi keys (S-side, t-side) and residual.
+    std::vector<const Expr*> s_keys, t_keys, residual;
+    for (Expr* c : now_placeable) {
+      bool is_equi = false;
+      if (c->kind == ExprKind::kCompare && c->cmp_op == CmpOp::kEq) {
+        std::set<size_t> lpos, rpos;
+        CollectPositions(*c->children[0], *bq, &lpos);
+        CollectPositions(*c->children[1], *bq, &rpos);
+        auto owners = [&](const std::set<size_t>& pos) {
+          std::set<size_t> out;
+          for (size_t p : pos) {
+            size_t o = TableOfPosition(*bq, p);
+            if (o != static_cast<size_t>(-1)) out.insert(o);
+          }
+          return out;
+        };
+        std::set<size_t> lt = owners(lpos), rt = owners(rpos);
+        auto in_joined = [&](const std::set<size_t>& s) {
+          if (s.empty()) return false;
+          for (size_t x : s) {
+            if (joined.count(x) == 0) return false;
+          }
+          return true;
+        };
+        auto is_t_only = [&](const std::set<size_t>& s) {
+          return s.size() == 1 && *s.begin() == t;
+        };
+        if (in_joined(lt) && is_t_only(rt)) {
+          s_keys.push_back(c->children[0].get());
+          t_keys.push_back(c->children[1].get());
+          is_equi = true;
+        } else if (in_joined(rt) && is_t_only(lt)) {
+          s_keys.push_back(c->children[1].get());
+          t_keys.push_back(c->children[0].get());
+          is_equi = true;
+        }
+      }
+      if (!is_equi) residual.push_back(c);
+    }
+
+    // Join algorithm choice.
+    bool built = false;
+    uint64_t t_rows_raw = std::max<uint64_t>(1, RowCountOf(*ref.table));
+    if (options_.enable_index_nl_join && !t_keys.empty()) {
+      // Find an index on t whose leading columns are exactly covered by the
+      // t-side key columns (plain refs).
+      for (const IndexInfo* idx : ref.table->indexes) {
+        std::vector<const Expr*> probe_exprs;
+        bool match = true;
+        for (size_t k = 0; k < idx->column_indices.size(); ++k) {
+          const Expr* found = nullptr;
+          for (size_t j = 0; j < t_keys.size(); ++j) {
+            const Expr* tk = t_keys[j];
+            if (tk->kind == ExprKind::kColumnRef &&
+                tk->column_index == ref.offset + idx->column_indices[k]) {
+              found = s_keys[j];
+              break;
+            }
+          }
+          if (found == nullptr) {
+            match = k > 0;  // a strict prefix is acceptable
+            break;
+          }
+          probe_exprs.push_back(found);
+        }
+        if (!match || probe_exprs.empty()) continue;
+        // Cost: per outer row, one index descent plus one random heap fetch
+        // per *matching* inner row (fan-out = rows / ndv of the probed
+        // prefix), vs scanning t once for a hash join.
+        double fanout = 1.0;
+        {
+          // Combined distinct count of the probed prefix: the product of the
+          // per-column ndvs, capped at the table's cardinality.
+          double ndv = 1.0;
+          for (size_t k = 0; k < probe_exprs.size(); ++k) {
+            size_t col = idx->column_indices[k];
+            const ColumnStats* s = StatsFor(*ref.table, col);
+            double col_ndv =
+                s != nullptr && s->ndv > 0
+                    ? static_cast<double>(s->ndv)
+                    : std::max(1.0, static_cast<double>(t_rows_raw) / 100);
+            ndv = std::min(ndv * col_ndv, static_cast<double>(t_rows_raw));
+          }
+          fanout = std::max(1.0, static_cast<double>(t_rows_raw) / ndv);
+        }
+        double inl_cost = current_rows * (cost.random_page_read_us * 2) +
+                          current_rows * fanout * cost.random_page_read_us;
+        uint32_t t_pages = 1;
+        if (auto p = ref.table->heap->NumPages(); p.ok()) {
+          t_pages = std::max(1u, p.value());
+        }
+        double hash_cost = static_cast<double>(t_pages) * cost.seq_page_read_us +
+                           static_cast<double>(t_rows_raw) * cost.dbms_tuple_cpu_us;
+        if (inl_cost > hash_cost && probe_exprs.size() < idx->column_indices.size()) {
+          continue;  // partial prefix and not cheaper: let hash handle it
+        }
+        if (inl_cost > hash_cost * 4) continue;
+        // Residual: non-key join predicates + all single-table filters of t
+        // (the index path replaces the chosen access path).
+        std::vector<const Expr*> inl_residual = residual;
+        for (const Expr* s : cands[t].singles) inl_residual.push_back(s);
+        // Key equality beyond the probed prefix must be rechecked.
+        for (size_t j = 0; j < t_keys.size(); ++j) {
+          bool probed = false;
+          for (size_t k = 0; k < probe_exprs.size(); ++k) {
+            if (t_keys[j]->kind == ExprKind::kColumnRef &&
+                t_keys[j]->column_index ==
+                    ref.offset + idx->column_indices[k] &&
+                probe_exprs[k] == s_keys[j]) {
+              probed = true;
+              break;
+            }
+          }
+          if (!probed) {
+            // Recheck via residual using the original conjunct; find it.
+            for (Expr* c : now_placeable) {
+              if (c->kind == ExprKind::kCompare && c->cmp_op == CmpOp::kEq &&
+                  (c->children[0].get() == t_keys[j] ||
+                   c->children[1].get() == t_keys[j])) {
+                inl_residual.push_back(c);
+                break;
+              }
+            }
+          }
+        }
+        tree = std::make_unique<IndexNLJoinOp>(std::move(tree), ref.table, idx,
+                                               ref.offset, probe_exprs,
+                                               inl_residual, outer);
+        built = true;
+        break;
+      }
+    }
+    if (!built && !t_keys.empty()) {
+      // Hash join; t is the build side (its scan applies pushed filters).
+      std::set<size_t> t_set{t};
+      tree = std::make_unique<HashJoinOp>(
+          make_scan(t), std::move(tree), t_keys, s_keys, residual,
+          RangesFor(*bq, t_set), outer);
+      built = true;
+    }
+    if (!built) {
+      std::set<size_t> t_set{t};
+      tree = std::make_unique<NestedLoopsJoinOp>(std::move(tree), make_scan(t),
+                                                 residual, RangesFor(*bq, t_set),
+                                                 outer);
+    }
+    joined.insert(t);
+    current_rows = std::max(1.0, best_result);
+  }
+
+  // 4. Any conjuncts still unplaced (should not happen) become a filter.
+  std::vector<const Expr*> leftover;
+  for (ConjunctInfo& c : conjuncts) {
+    if (!c.placed) leftover.push_back(c.expr);
+  }
+  if (!leftover.empty()) {
+    tree = std::make_unique<FilterOp>(std::move(tree), leftover);
+  }
+
+  // 5. Aggregation.
+  if (bq->has_aggregation) {
+    std::vector<const Expr*> groups, aggs;
+    for (const ExprPtr& g : bq->group_by) groups.push_back(g.get());
+    for (const ExprPtr& a : bq->agg_calls) aggs.push_back(a.get());
+    tree = std::make_unique<HashAggOp>(std::move(tree), groups, aggs);
+    if (bq->having != nullptr) {
+      tree = std::make_unique<FilterOp>(std::move(tree),
+                                        std::vector<const Expr*>{bq->having.get()});
+    }
+  }
+
+  // 6. Projection -> output rows.
+  std::vector<const Expr*> select;
+  for (const ExprPtr& e : bq->select_exprs) select.push_back(e.get());
+  tree = std::make_unique<ProjectOp>(std::move(tree), select);
+
+  if (bq->distinct) {
+    tree = std::make_unique<DistinctOp>(std::move(tree));
+  }
+  if (!bq->order_by.empty()) {
+    std::vector<SortKey> keys;
+    for (const BoundOrderKey& k : bq->order_by) {
+      keys.push_back(SortKey{k.output_index, k.asc});
+    }
+    tree = std::make_unique<SortOp>(std::move(tree), keys);
+  }
+  if (!bq->final_project.empty()) {
+    // Drop hidden sort columns.
+    std::vector<const Expr*> fin;
+    for (const ExprPtr& e : bq->final_project) fin.push_back(e.get());
+    tree = std::make_unique<ProjectOp>(std::move(tree), fin);
+  }
+  if (bq->limit >= 0) {
+    tree = std::make_unique<LimitOp>(std::move(tree), bq->limit);
+  }
+
+  PlanResult out;
+  out.root = std::move(tree);
+  out.runner = std::move(runner);
+  return out;
+}
+
+Result<PhysicalPlan> Optimizer::Plan(std::unique_ptr<BoundQuery> bq) {
+  R3_ASSIGN_OR_RETURN(PlanResult res, PlanQueryTree(bq.get()));
+  PhysicalPlan plan;
+  plan.root = std::move(res.root);
+  plan.runner = std::move(res.runner);
+  plan.output_schema = bq->output_schema;
+  plan.column_names = bq->column_names;
+  plan.num_params = bq->num_params;
+  plan.query = std::move(bq);
+  return plan;
+}
+
+}  // namespace rdbms
+}  // namespace r3

@@ -1,0 +1,125 @@
+#ifndef R3DB_RDBMS_OPTIMIZER_OPTIMIZER_H_
+#define R3DB_RDBMS_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "rdbms/catalog.h"
+#include "rdbms/exec/executor.h"
+#include "rdbms/plan/logical_plan.h"
+
+namespace r3 {
+namespace rdbms {
+
+struct PlannerOptions {
+  /// When a predicate's constant is a `?` parameter the optimizer cannot
+  /// estimate selectivity. True reproduces the paper's commercial RDBMS:
+  /// "the optimizer ... blindly generates a plan" that prefers the index
+  /// (Section 4.1 / Table 6). False falls back to a sequential scan.
+  bool blind_prefers_index = true;
+
+  /// Sort/aggregate memory budget (spills charge simulated I/O).
+  size_t work_mem_bytes = 4u << 20;
+
+  /// Master switch for secondary-index access paths (benches use this for
+  /// ablations).
+  bool enable_index_scan = true;
+
+  /// Master switch for index-nested-loops joins.
+  bool enable_index_nl_join = true;
+};
+
+/// A compiled subquery plan plus its (per-execution) caches.
+struct CompiledSubquery;
+
+/// Executes compiled subquery plans; one instance per query nesting level.
+class SubqueryRunnerImpl : public SubqueryRunner {
+ public:
+  SubqueryRunnerImpl() = default;
+  ~SubqueryRunnerImpl() override;
+
+  Status RunScalar(size_t idx, const Row* outer, Value* out) override;
+  Status RunExists(size_t idx, const Row* outer, bool* out) override;
+  Status RunInProbe(size_t idx, const Row* outer, const Value& probe,
+                    Value* out) override;
+
+  /// Points the runner (recursively) at the current execution's context
+  /// pieces and clears value caches. Call once per statement execution.
+  void BindExecution(BufferPool* pool, SimClock* clock,
+                     const std::vector<Value>* params, size_t work_mem);
+
+  std::vector<std::unique_ptr<CompiledSubquery>> subqueries;
+
+ private:
+  ExecContext MakeContext(CompiledSubquery* cs, const Row* outer);
+
+  BufferPool* pool_ = nullptr;
+  SimClock* clock_ = nullptr;
+  const std::vector<Value>* params_ = nullptr;
+  size_t work_mem_ = 4u << 20;
+};
+
+struct CompiledSubquery {
+  SubqueryKind kind = SubqueryKind::kScalar;
+  bool correlated = false;
+  OperatorPtr root;
+  std::unique_ptr<SubqueryRunnerImpl> runner;  ///< for its own subqueries
+  /// Non-owning: the BoundQuery stays owned by its parent query's
+  /// `subqueries` vector (which PhysicalPlan::query keeps alive).
+  BoundQuery* query = nullptr;
+
+  // Per-execution caches (uncorrelated only).
+  bool scalar_cached = false;
+  Value scalar_value;
+  bool exists_cached = false;
+  bool exists_value = false;
+  bool in_set_cached = false;
+  std::unordered_set<std::string> in_set;
+  bool in_set_has_null = false;
+};
+
+/// A ready-to-execute statement: operator tree + subquery machinery +
+/// ownership of all bound expressions.
+struct PhysicalPlan {
+  OperatorPtr root;
+  std::unique_ptr<SubqueryRunnerImpl> runner;
+  std::unique_ptr<BoundQuery> query;  ///< keeps Expr nodes alive
+  Schema output_schema;
+  std::vector<std::string> column_names;
+  size_t num_params = 0;
+
+  std::string Explain() const { return root ? ExplainPlan(*root) : "<empty>"; }
+};
+
+/// Cost-based physical planner: access-path selection from statistics,
+/// greedy join ordering, join-algorithm choice (index-NL vs hash vs NL),
+/// and naive (nested re-execution) subquery compilation — deliberately
+/// matching the behaviour the paper observed in its commercial RDBMS.
+class Optimizer {
+ public:
+  Optimizer(const Catalog* catalog, PlannerOptions options)
+      : catalog_(catalog), options_(options) {}
+
+  /// Consumes the bound query and produces an executable plan.
+  Result<PhysicalPlan> Plan(std::unique_ptr<BoundQuery> bq);
+
+ private:
+  struct PlanResult {
+    OperatorPtr root;
+    std::unique_ptr<SubqueryRunnerImpl> runner;
+  };
+
+  Result<PlanResult> PlanQueryTree(BoundQuery* bq);
+
+  const Catalog* catalog_;
+  PlannerOptions options_;
+};
+
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,63 @@
+#include "rdbms/optimizer/stats.h"
+
+#include <algorithm>
+
+namespace r3 {
+namespace rdbms {
+namespace selectivity {
+
+namespace {
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+// Numeric position of v in [min, max] as a fraction; 0.5 if not estimable.
+double Fraction(const ColumnStats& s, const Value& v) {
+  if (!s.valid || s.min.is_null() || s.max.is_null()) return 0.5;
+  if (v.type() == DataType::kString || s.min.type() == DataType::kString) {
+    // Compare lexicographically at the first differing character depth.
+    // Cheap heuristic: position of the first byte in [first(min), first(max)].
+    const std::string& lo = s.min.string_value();
+    const std::string& hi = s.max.string_value();
+    const std::string& vs = v.string_value();
+    if (lo.empty() || hi.empty() || vs.empty()) return 0.5;
+    double a = static_cast<unsigned char>(lo[0]);
+    double b = static_cast<unsigned char>(hi[0]);
+    double x = static_cast<unsigned char>(vs[0]);
+    if (b <= a) return 0.5;
+    return Clamp01((x - a) / (b - a));
+  }
+  double lo = s.min.AsDouble();
+  double hi = s.max.AsDouble();
+  if (hi <= lo) {
+    // Degenerate domain: all rows share one value.
+    return v.AsDouble() < lo ? 0.0 : 1.0;
+  }
+  return Clamp01((v.AsDouble() - lo) / (hi - lo));
+}
+
+}  // namespace
+
+double Equals(const ColumnStats& s, const Value& v) {
+  if (!s.valid || s.ndv == 0) return kDefaultEquals;
+  // Out-of-domain constants match nothing.
+  if (s.min.Compare(v) > 0 || s.max.Compare(v) < 0) return 0.0;
+  return Clamp01(1.0 / static_cast<double>(s.ndv));
+}
+
+double LessThan(const ColumnStats& s, const Value& v) {
+  if (!s.valid) return kDefaultRange;
+  if (s.min.Compare(v) > 0) return 0.0;
+  if (s.max.Compare(v) < 0) return 1.0;
+  return Fraction(s, v);
+}
+
+double GreaterThan(const ColumnStats& s, const Value& v) {
+  if (!s.valid) return kDefaultRange;
+  if (s.max.Compare(v) < 0) return 0.0;
+  if (s.min.Compare(v) > 0) return 1.0;
+  return Clamp01(1.0 - Fraction(s, v));
+}
+
+}  // namespace selectivity
+}  // namespace rdbms
+}  // namespace r3

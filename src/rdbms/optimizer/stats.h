@@ -1,0 +1,54 @@
+#ifndef R3DB_RDBMS_OPTIMIZER_STATS_H_
+#define R3DB_RDBMS_OPTIMIZER_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdbms/value.h"
+
+namespace r3 {
+namespace rdbms {
+
+/// Per-column optimizer statistics, produced by ANALYZE.
+struct ColumnStats {
+  bool valid = false;
+  Value min;
+  Value max;
+  uint64_t ndv = 0;         ///< number of distinct values (exact at our scale)
+  uint64_t null_count = 0;
+};
+
+/// Per-table optimizer statistics.
+struct TableStats {
+  bool valid = false;
+  uint64_t row_count = 0;
+  uint64_t total_bytes = 0;
+  std::vector<ColumnStats> columns;
+};
+
+/// Selectivity estimation used by access-path selection.
+///
+/// When the optimizer cannot see the comparison constant — the paper's
+/// Open SQL case, where SAP translates every literal into a `?` parameter —
+/// these functions are not called at all and the planner falls back to a
+/// blind index-preferring heuristic (Section 4.1 / Table 6 of the paper).
+namespace selectivity {
+
+/// P(col = v). 1/ndv, clamped.
+double Equals(const ColumnStats& s, const Value& v);
+
+/// P(col < v) (or <=; we do not distinguish at estimation granularity).
+double LessThan(const ColumnStats& s, const Value& v);
+
+/// P(col > v).
+double GreaterThan(const ColumnStats& s, const Value& v);
+
+/// Fallback when nothing is known.
+inline constexpr double kDefaultEquals = 0.01;
+inline constexpr double kDefaultRange = 1.0 / 3.0;
+
+}  // namespace selectivity
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_OPTIMIZER_STATS_H_

@@ -1,0 +1,3 @@
+// Intentionally minimal: BoundQuery is a plain data holder; see
+// sql/binder.cc (producer) and optimizer/optimizer.cc (consumer).
+#include "rdbms/plan/logical_plan.h"

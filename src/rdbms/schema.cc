@@ -1,0 +1,90 @@
+#include "rdbms/schema.h"
+
+#include "common/str_util.h"
+
+namespace r3 {
+namespace rdbms {
+
+size_t Column::StoredSize(const Value& v) const {
+  switch (type) {
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+      return length == 4 ? 4 : 8;
+    case DataType::kDouble:
+    case DataType::kDecimal:
+      return 8;
+    case DataType::kDate:
+      return 4;
+    case DataType::kString:
+      if (length > 0) return length;            // CHAR(n)
+      return 2 + (v.is_null() ? 0 : v.string_value().size());  // VARCHAR
+  }
+  return 0;
+}
+
+Column ColInt(std::string name, uint16_t byte_width) {
+  return Column{std::move(name), DataType::kInt64, byte_width, true};
+}
+Column ColDouble(std::string name) {
+  return Column{std::move(name), DataType::kDouble, 0, true};
+}
+Column ColDecimal(std::string name) {
+  return Column{std::move(name), DataType::kDecimal, 0, true};
+}
+Column ColChar(std::string name, uint16_t width) {
+  return Column{std::move(name), DataType::kString, width, true};
+}
+Column ColVarchar(std::string name) {
+  return Column{std::move(name), DataType::kString, 0, true};
+}
+Column ColDate(std::string name) {
+  return Column{std::move(name), DataType::kDate, 0, true};
+}
+Column ColBool(std::string name) {
+  return Column{std::move(name), DataType::kBool, 0, true};
+}
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    index_.emplace(str::ToUpper(columns_[i].name), i);
+  }
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(str::ToUpper(name));
+  if (it == index_.end()) {
+    return Status::NotFound("no column named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return index_.count(str::ToUpper(name)) > 0;
+}
+
+Status Schema::AddColumn(Column c) {
+  std::string key = str::ToUpper(c.name);
+  if (index_.count(key) > 0) {
+    return Status::AlreadyExists("duplicate column '" + c.name + "'");
+  }
+  index_.emplace(std::move(key), columns_.size());
+  columns_.push_back(std::move(c));
+  return Status::OK();
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Column> cols = columns_;
+  for (const Column& c : other.columns_) cols.push_back(c);
+  // Duplicate names across sides are allowed in join outputs; lookup finds
+  // the left occurrence first (we rebuild the map, first insert wins).
+  Schema out;
+  out.columns_ = std::move(cols);
+  for (size_t i = 0; i < out.columns_.size(); ++i) {
+    out.index_.emplace(str::ToUpper(out.columns_[i].name), i);
+  }
+  return out;
+}
+
+}  // namespace rdbms
+}  // namespace r3

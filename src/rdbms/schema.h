@@ -1,0 +1,69 @@
+#ifndef R3DB_RDBMS_SCHEMA_H_
+#define R3DB_RDBMS_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rdbms/value.h"
+
+namespace r3 {
+namespace rdbms {
+
+/// A column declaration.
+struct Column {
+  std::string name;
+  DataType type = DataType::kInt64;
+  /// For kString: declared CHAR width (fixed, blank padded) — 0 means
+  /// VARCHAR. For kInt64: stored byte width (4 or 8; the original TPC-D
+  /// schema uses 4-byte integer keys, which matters for Table 2's size
+  /// comparison). Ignored for other types.
+  uint16_t length = 0;
+  bool nullable = true;
+
+  /// Bytes this column occupies in a serialized row (excluding null byte).
+  size_t StoredSize(const Value& v) const;
+};
+
+/// Convenience constructors for schema literals.
+Column ColInt(std::string name, uint16_t byte_width = 8);
+Column ColDouble(std::string name);
+Column ColDecimal(std::string name);
+Column ColChar(std::string name, uint16_t width);
+Column ColVarchar(std::string name);
+Column ColDate(std::string name);
+Column ColBool(std::string name);
+
+/// An ordered set of columns with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t NumColumns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of `name` (case-insensitive), or error.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True if the schema has a column named `name`.
+  bool Contains(const std::string& name) const;
+
+  /// Appends a column (used by schema builders); name must be new.
+  Status AddColumn(Column c);
+
+  /// Schema of `this` ++ `other` (join output).
+  Schema Concat(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t> index_;  // upper-cased name -> idx
+};
+
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_SCHEMA_H_

@@ -1,0 +1,40 @@
+#include "rdbms/sql/ast.h"
+
+namespace r3 {
+namespace rdbms {
+
+std::unique_ptr<TableRef> TableRef::Clone() const {
+  auto out = std::make_unique<TableRef>();
+  out->kind = kind;
+  out->name = name;
+  out->alias = alias;
+  if (left != nullptr) out->left = left->Clone();
+  if (right != nullptr) out->right = right->Clone();
+  out->left_outer = left_outer;
+  if (on != nullptr) out->on = on->Clone();
+  return out;
+}
+
+std::unique_ptr<SelectStmt> SelectStmt::Clone() const {
+  auto out = std::make_unique<SelectStmt>();
+  out->distinct = distinct;
+  for (const SelectItem& item : items) {
+    SelectItem copy;
+    copy.alias = item.alias;
+    copy.star = item.star;
+    if (item.expr != nullptr) copy.expr = item.expr->Clone();
+    out->items.push_back(std::move(copy));
+  }
+  for (const auto& t : from) out->from.push_back(t->Clone());
+  if (where != nullptr) out->where = where->Clone();
+  for (const ExprPtr& g : group_by) out->group_by.push_back(g->Clone());
+  if (having != nullptr) out->having = having->Clone();
+  for (const OrderItem& o : order_by) {
+    out->order_by.push_back(OrderItem{o.expr->Clone(), o.asc});
+  }
+  out->limit = limit;
+  return out;
+}
+
+}  // namespace rdbms
+}  // namespace r3

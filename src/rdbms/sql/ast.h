@@ -1,0 +1,133 @@
+#ifndef R3DB_RDBMS_SQL_AST_H_
+#define R3DB_RDBMS_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rdbms/expr/expr.h"
+#include "rdbms/schema.h"
+
+namespace r3 {
+namespace rdbms {
+
+/// FROM-clause item: a base table/view (possibly aliased) or a JOIN tree.
+struct TableRef {
+  enum class Kind { kBase, kJoin };
+  Kind kind = Kind::kBase;
+
+  // kBase
+  std::string name;
+  std::string alias;  ///< empty: use `name`
+
+  // kJoin
+  std::unique_ptr<TableRef> left;
+  std::unique_ptr<TableRef> right;
+  bool left_outer = false;
+  ExprPtr on;
+
+  std::unique_ptr<TableRef> Clone() const;
+};
+
+/// One SELECT-list entry. `star` means `*` (expr is null).
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+  bool star = false;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool asc = true;
+};
+
+/// A (possibly nested) SELECT statement.
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<std::unique_ptr<TableRef>> from;  ///< comma-separated items
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  ///< -1: none
+
+  std::unique_ptr<SelectStmt> Clone() const;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  ///< empty: schema order
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<Column> columns;
+  std::vector<std::string> primary_key;  ///< creates a unique index if set
+};
+
+struct CreateIndexStmt {
+  std::string index;
+  std::string table;
+  std::vector<std::string> columns;
+  bool unique = false;
+};
+
+struct CreateViewStmt {
+  std::string view;
+  std::string select_sql;  ///< original text, stored in the catalog
+};
+
+struct DropStmt {
+  enum class Target { kTable, kIndex, kView };
+  Target target = Target::kTable;
+  std::string name;
+};
+
+struct AnalyzeStmt {
+  std::string table;  ///< empty: all tables
+};
+
+/// A parsed statement of any kind (exactly one member is set).
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kInsert,
+    kDelete,
+    kUpdate,
+    kCreateTable,
+    kCreateIndex,
+    kCreateView,
+    kDrop,
+    kAnalyze,
+  };
+  Kind kind = Kind::kSelect;
+
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<DeleteStmt> del;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<CreateIndexStmt> create_index;
+  std::unique_ptr<CreateViewStmt> create_view;
+  std::unique_ptr<DropStmt> drop;
+  std::unique_ptr<AnalyzeStmt> analyze;
+};
+
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_SQL_AST_H_

@@ -1,0 +1,720 @@
+#include "rdbms/sql/binder.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "rdbms/sql/parser.h"
+
+namespace r3 {
+namespace rdbms {
+
+namespace {
+
+/// A base table occurrence visible to name resolution.
+struct TableSlot {
+  const TableInfo* info = nullptr;
+  std::string alias;  ///< upper-cased
+  size_t offset = 0;
+};
+
+/// A view occurrence: names map to columns of underlying table slots.
+struct ViewSlot {
+  std::string alias;  ///< upper-cased
+  std::vector<std::string> export_order;
+  /// export name (upper) -> (table slot index, column index).
+  std::unordered_map<std::string, std::pair<size_t, size_t>> exports;
+};
+
+/// Flattened FROM item before offsets are assigned.
+struct FlatTable {
+  std::string table_name;
+  std::string alias;
+  bool left_outer = false;
+  std::vector<ExprPtr> on_conjuncts;  ///< unbound AST conjuncts
+};
+
+}  // namespace
+
+struct Binder::Scope {
+  std::vector<TableSlot> tables;
+  std::vector<ViewSlot> views;
+
+  /// Resolves qualifier.name -> (wide position, type). `qualifier` may be
+  /// empty. Returns kNotFound if unresolved, kInvalidArgument if ambiguous.
+  Result<std::pair<size_t, DataType>> Resolve(const std::string& qualifier,
+                                              const std::string& name) const {
+    std::string q = str::ToUpper(qualifier);
+    std::string n = str::ToUpper(name);
+    std::vector<std::pair<size_t, DataType>> hits;
+    for (const TableSlot& t : tables) {
+      // Tables hidden behind a view (fresh "__V..." aliases) take part in
+      // resolution only through the view's export map.
+      if (q.empty() && t.alias.rfind("__V", 0) == 0) continue;
+      if (!q.empty() && t.alias != q) continue;
+      auto idx = t.info->schema.IndexOf(n);
+      if (idx.ok()) {
+        hits.emplace_back(t.offset + idx.value(),
+                          t.info->schema.column(idx.value()).type);
+      }
+    }
+    for (const ViewSlot& v : views) {
+      if (!q.empty() && v.alias != q) continue;
+      auto it = v.exports.find(n);
+      if (it != v.exports.end()) {
+        const TableSlot& t = tables[it->second.first];
+        hits.emplace_back(t.offset + it->second.second,
+                          t.info->schema.column(it->second.second).type);
+      }
+    }
+    if (hits.empty()) {
+      return Status::NotFound("unresolved column '" +
+                              (qualifier.empty() ? name : qualifier + "." + name) +
+                              "'");
+    }
+    if (hits.size() > 1) {
+      // The same physical column reachable through a view and its table is
+      // genuinely the same thing; only complain about distinct targets.
+      for (size_t i = 1; i < hits.size(); ++i) {
+        if (hits[i].first != hits[0].first) {
+          return Status::InvalidArgument("ambiguous column '" + name + "'");
+        }
+      }
+    }
+    return hits[0];
+  }
+};
+
+namespace {
+
+/// Everything one BindSelectImpl invocation carries around.
+struct BindContext {
+  const Catalog* catalog = nullptr;
+  Binder::Scope* scope = nullptr;
+  Binder::Scope* outer = nullptr;
+  BoundQuery* bq = nullptr;
+  Binder* binder = nullptr;
+  bool used_outer = false;  ///< set when an outer (correlated) ref binds
+};
+
+Status BindExpr(Expr* e, BindContext* ctx, bool allow_aggregates);
+
+DataType InferArithType(const Expr& e) {
+  if (e.arith_op == ArithOp::kNeg) return e.children[0]->result_type;
+  DataType l = e.children[0]->result_type;
+  DataType r = e.children[1]->result_type;
+  if (e.arith_op == ArithOp::kDiv) return DataType::kDouble;
+  if (l == DataType::kDate || r == DataType::kDate) {
+    // date - date -> int; date +/- int -> date.
+    if (l == DataType::kDate && r == DataType::kDate) return DataType::kInt64;
+    return DataType::kDate;
+  }
+  if (l == DataType::kInt64 && r == DataType::kInt64) return DataType::kInt64;
+  return DataType::kDouble;
+}
+
+DataType InferFuncType(const Expr& e) {
+  const std::string& f = e.func_name;
+  if (f == "YEAR" || f == "MONTH" || f == "LENGTH" || f == "MOD") {
+    return DataType::kInt64;
+  }
+  if (f == "SUBSTR" || f == "SUBSTRING" || f == "UPPER" || f == "LOWER") {
+    return DataType::kString;
+  }
+  if (f == "ABS") return e.children.empty() ? DataType::kDouble
+                                            : e.children[0]->result_type;
+  return DataType::kDouble;
+}
+
+DataType InferAggType(const Expr& e) {
+  switch (e.agg_func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return DataType::kInt64;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      return DataType::kDouble;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return e.children.empty() ? DataType::kDouble
+                                : e.children[0]->result_type;
+  }
+  return DataType::kDouble;
+}
+
+Status BindSubquery(Expr* e, BindContext* ctx, SubqueryKind kind) {
+  if (e->subquery_ast == nullptr) {
+    return Status::Internal("subquery node without AST");
+  }
+  // Bind the subquery with the current scope as its outer scope.
+  R3_ASSIGN_OR_RETURN(
+      std::unique_ptr<BoundQuery> sub,
+      ctx->binder->BindSelectForSubquery(*e->subquery_ast, ctx->scope));
+  if (kind != SubqueryKind::kExists && sub->select_exprs.size() != 1) {
+    return Status::InvalidArgument(
+        "scalar/IN subquery must produce exactly one column");
+  }
+  BoundSubquery bound;
+  bound.kind = kind;
+  bound.correlated = sub->is_correlated;
+  if (kind == SubqueryKind::kScalar) {
+    e->result_type = sub->output_schema.NumColumns() > 0
+                         ? sub->output_schema.column(0).type
+                         : DataType::kDouble;
+  } else {
+    e->result_type = DataType::kBool;
+  }
+  bound.query = std::move(sub);
+  e->subquery_index = ctx->bq->subqueries.size();
+  ctx->bq->subqueries.push_back(std::move(bound));
+  return Status::OK();
+}
+
+Status BindExpr(Expr* e, BindContext* ctx, bool allow_aggregates) {
+  switch (e->kind) {
+    case ExprKind::kLiteral:
+      e->result_type = e->literal.type();
+      return Status::OK();
+    case ExprKind::kParam:
+      ctx->bq->has_params = true;
+      if (e->param_index + 1 > ctx->bq->num_params) {
+        ctx->bq->num_params = e->param_index + 1;
+      }
+      e->result_type = DataType::kDouble;  // dynamic; refined at execution
+      return Status::OK();
+    case ExprKind::kColumnRef: {
+      auto res = ctx->scope->Resolve(e->table_qualifier, e->column_name);
+      if (res.ok()) {
+        e->column_index = res.value().first;
+        e->result_type = res.value().second;
+        return Status::OK();
+      }
+      if (res.status().code() == StatusCode::kNotFound && ctx->outer != nullptr) {
+        auto outer_res = ctx->outer->Resolve(e->table_qualifier, e->column_name);
+        if (outer_res.ok()) {
+          e->kind = ExprKind::kOuterRef;
+          e->column_index = outer_res.value().first;
+          e->result_type = outer_res.value().second;
+          ctx->used_outer = true;
+          return Status::OK();
+        }
+      }
+      return res.status();
+    }
+    case ExprKind::kOuterRef:
+    case ExprKind::kSlotRef:
+    case ExprKind::kAggRef:
+      return Status::OK();  // already bound (rebind passes)
+    case ExprKind::kAggCall:
+      if (!allow_aggregates) {
+        return Status::InvalidArgument(
+            "aggregate not allowed in this context: " + e->ToString());
+      }
+      for (ExprPtr& c : e->children) {
+        // No nested aggregates.
+        R3_RETURN_IF_ERROR(BindExpr(c.get(), ctx, /*allow_aggregates=*/false));
+      }
+      e->result_type = InferAggType(*e);
+      return Status::OK();
+    case ExprKind::kScalarSubquery:
+      return BindSubquery(e, ctx, SubqueryKind::kScalar);
+    case ExprKind::kExistsSubquery:
+      return BindSubquery(e, ctx, SubqueryKind::kExists);
+    case ExprKind::kInSubquery:
+      R3_RETURN_IF_ERROR(BindExpr(e->children[0].get(), ctx, allow_aggregates));
+      R3_RETURN_IF_ERROR(BindSubquery(e, ctx, SubqueryKind::kIn));
+      e->result_type = DataType::kBool;
+      return Status::OK();
+    default:
+      break;
+  }
+  for (ExprPtr& c : e->children) {
+    R3_RETURN_IF_ERROR(BindExpr(c.get(), ctx, allow_aggregates));
+  }
+  switch (e->kind) {
+    case ExprKind::kArith:
+      e->result_type = InferArithType(*e);
+      break;
+    case ExprKind::kCompare:
+    case ExprKind::kLogic:
+    case ExprKind::kNot:
+    case ExprKind::kIsNull:
+    case ExprKind::kLike:
+    case ExprKind::kInList:
+    case ExprKind::kBetween:
+      e->result_type = DataType::kBool;
+      break;
+    case ExprKind::kCase:
+      e->result_type = e->children.size() >= 2 ? e->children[1]->result_type
+                                               : DataType::kDouble;
+      break;
+    case ExprKind::kFunc:
+      e->result_type = InferFuncType(*e);
+      break;
+    case ExprKind::kCast:
+      e->result_type = e->cast_target;
+      break;
+    default:
+      break;
+  }
+  return Status::OK();
+}
+
+/// Flattens a TableRef tree (JOIN nesting) into base-table occurrences and
+/// ON conjuncts; expands views recursively.
+Status FlattenTableRef(const Catalog* catalog, const TableRef& ref,
+                       bool under_left_outer, std::vector<FlatTable>* out,
+                       std::vector<std::unique_ptr<ViewSlot>>* view_slots,
+                       int* fresh_counter) {
+  if (ref.kind == TableRef::Kind::kJoin) {
+    R3_RETURN_IF_ERROR(FlattenTableRef(catalog, *ref.left, under_left_outer, out,
+                                       view_slots, fresh_counter));
+    size_t right_start = out->size();
+    R3_RETURN_IF_ERROR(FlattenTableRef(catalog, *ref.right,
+                                       under_left_outer || ref.left_outer, out,
+                                       view_slots, fresh_counter));
+    std::vector<ExprPtr> conjuncts;
+    if (ref.on != nullptr) {
+      SplitConjuncts(ref.on->Clone(), &conjuncts);
+    }
+    if (ref.left_outer) {
+      if (out->size() != right_start + 1) {
+        return Status::Unsupported(
+            "LEFT JOIN right side must be a single base table");
+      }
+      (*out)[right_start].left_outer = true;
+      for (ExprPtr& c : conjuncts) {
+        (*out)[right_start].on_conjuncts.push_back(std::move(c));
+      }
+    } else {
+      // Inner joins: attach to the last right table (they end up in the
+      // query's general conjunct pool anyway).
+      if (out->empty()) return Status::Internal("join without tables");
+      for (ExprPtr& c : conjuncts) {
+        out->back().on_conjuncts.push_back(std::move(c));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Base: table or view.
+  std::string display = ref.alias.empty() ? ref.name : ref.alias;
+  if (catalog->HasTable(ref.name)) {
+    FlatTable ft;
+    ft.table_name = ref.name;
+    ft.alias = str::ToUpper(display);
+    out->push_back(std::move(ft));
+    return Status::OK();
+  }
+  if (catalog->HasView(ref.name)) {
+    R3_ASSIGN_OR_RETURN(const ViewInfo* vi, catalog->GetView(ref.name));
+    R3_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> vsel,
+                        ParseSelect(vi->sql));
+    if (!vsel->group_by.empty() || vsel->having != nullptr ||
+        vsel->distinct || !vsel->order_by.empty() || vsel->limit >= 0) {
+      return Status::Unsupported(
+          "only simple select-project-join views can be inlined");
+    }
+    // Expand the view body into fresh-aliased base tables.
+    std::vector<FlatTable> inner;
+    for (const auto& f : vsel->from) {
+      R3_RETURN_IF_ERROR(FlattenTableRef(catalog, *f, under_left_outer, &inner,
+                                         view_slots, fresh_counter));
+    }
+    // Local resolution structures for the view body.
+    struct LocalTable {
+      const TableInfo* info;
+      std::string old_alias;
+      std::string new_alias;
+      size_t out_index;
+    };
+    std::vector<LocalTable> locals;
+    for (FlatTable& ft : inner) {
+      R3_ASSIGN_OR_RETURN(TableInfo * ti, catalog->GetTable(ft.table_name));
+      std::string fresh = str::Format("__V%d_%s", (*fresh_counter)++,
+                                      ft.alias.c_str());
+      locals.push_back(
+          {ti, ft.alias, str::ToUpper(fresh), out->size()});
+      ft.alias = str::ToUpper(fresh);
+      out->push_back(std::move(ft));
+    }
+    // Rewrite view-internal column refs to the fresh aliases.
+    auto rewrite = [&](Expr* root) -> Status {
+      Status st = Status::OK();
+      VisitExpr(root, [&](Expr* e) {
+        if (!st.ok() || e->kind != ExprKind::kColumnRef) return;
+        std::string q = str::ToUpper(e->table_qualifier);
+        const LocalTable* found = nullptr;
+        for (const LocalTable& lt : locals) {
+          if (!q.empty()) {
+            if (lt.old_alias == q) {
+              found = &lt;
+              break;
+            }
+          } else if (lt.info->schema.Contains(e->column_name)) {
+            if (found != nullptr) {
+              st = Status::InvalidArgument("ambiguous column '" +
+                                           e->column_name + "' in view " +
+                                           vi->name);
+              return;
+            }
+            found = &lt;
+          }
+        }
+        if (found == nullptr) {
+          st = Status::NotFound("unresolved column '" + e->column_name +
+                                "' in view " + vi->name);
+          return;
+        }
+        e->table_qualifier = found->new_alias;
+      });
+      return st;
+    };
+    // View WHERE and join ONs become conjuncts attached to the last table.
+    std::vector<ExprPtr> view_conjuncts;
+    if (vsel->where != nullptr) {
+      SplitConjuncts(vsel->where->Clone(), &view_conjuncts);
+    }
+    for (const LocalTable& lt : locals) {
+      for (ExprPtr& c : (*out)[lt.out_index].on_conjuncts) {
+        R3_RETURN_IF_ERROR(rewrite(c.get()));
+      }
+    }
+    for (ExprPtr& c : view_conjuncts) {
+      R3_RETURN_IF_ERROR(rewrite(c.get()));
+      out->back().on_conjuncts.push_back(std::move(c));
+    }
+    // Export map.
+    auto vslot = std::make_unique<ViewSlot>();
+    vslot->alias = str::ToUpper(display);
+    for (const SelectItem& item : vsel->items) {
+      if (item.star) {
+        return Status::Unsupported("SELECT * not allowed in view definitions");
+      }
+      if (item.expr->kind != ExprKind::kColumnRef) {
+        return Status::Unsupported(
+            "view select list must contain plain column references");
+      }
+      R3_RETURN_IF_ERROR(rewrite(item.expr.get()));
+      // Which local table is it?
+      std::string q = str::ToUpper(item.expr->table_qualifier);
+      const LocalTable* lt_found = nullptr;
+      for (const LocalTable& lt : locals) {
+        if (lt.new_alias == q) {
+          lt_found = &lt;
+          break;
+        }
+      }
+      if (lt_found == nullptr) {
+        return Status::Internal("view column rewrite failed");
+      }
+      R3_ASSIGN_OR_RETURN(size_t col_idx,
+                          lt_found->info->schema.IndexOf(item.expr->column_name));
+      std::string exported =
+          str::ToUpper(item.alias.empty() ? item.expr->column_name : item.alias);
+      if (vslot->exports.count(exported) > 0) {
+        return Status::InvalidArgument("duplicate view column '" + exported +
+                                       "'");
+      }
+      vslot->export_order.push_back(exported);
+      // Table-slot indexes are assigned later (after offsets); store the
+      // out-vector index for now and fix up in the caller.
+      vslot->exports.emplace(exported,
+                             std::make_pair(lt_found->out_index, col_idx));
+    }
+    view_slots->push_back(std::move(vslot));
+    return Status::OK();
+  }
+  return Status::NotFound("no table or view named '" + ref.name + "'");
+}
+
+/// Rewrites a post-aggregation expression: occurrences of GROUP BY
+/// expressions become kSlotRef, aggregate calls become kAggRef (appended to
+/// agg_calls, deduplicated). Any remaining raw column ref is an error.
+Status RewritePostAgg(ExprPtr* e, const std::vector<std::string>& group_keys,
+                      const std::vector<DataType>& group_types,
+                      std::vector<ExprPtr>* agg_calls,
+                      std::vector<std::string>* agg_keys) {
+  std::string canon = (*e)->ToString();
+  for (size_t i = 0; i < group_keys.size(); ++i) {
+    if (canon == group_keys[i]) {
+      *e = MakeSlotRef(i, group_types[i]);
+      return Status::OK();
+    }
+  }
+  if ((*e)->kind == ExprKind::kAggCall) {
+    for (size_t i = 0; i < agg_keys->size(); ++i) {
+      if (canon == (*agg_keys)[i]) {
+        auto ref = std::make_unique<Expr>(ExprKind::kAggRef);
+        ref->slot = group_keys.size() + i;
+        ref->result_type = (*agg_calls)[i]->result_type;
+        *e = std::move(ref);
+        return Status::OK();
+      }
+    }
+    auto ref = std::make_unique<Expr>(ExprKind::kAggRef);
+    ref->slot = group_keys.size() + agg_calls->size();
+    ref->result_type = (*e)->result_type;
+    agg_keys->push_back(canon);
+    agg_calls->push_back(std::move(*e));
+    *e = std::move(ref);
+    return Status::OK();
+  }
+  if ((*e)->kind == ExprKind::kColumnRef || (*e)->kind == ExprKind::kOuterRef) {
+    return Status::InvalidArgument(
+        "column " + (*e)->column_name +
+        " must appear in GROUP BY or inside an aggregate");
+  }
+  for (ExprPtr& c : (*e)->children) {
+    R3_RETURN_IF_ERROR(
+        RewritePostAgg(&c, group_keys, group_types, agg_calls, agg_keys));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BoundQuery>> Binder::BindSelect(const SelectStmt& stmt) {
+  return BindSelectImpl(stmt, nullptr);
+}
+
+Result<std::unique_ptr<BoundQuery>> Binder::BindSelectForSubquery(
+    const SelectStmt& stmt, Scope* outer_scope) {
+  return BindSelectImpl(stmt, outer_scope);
+}
+
+Result<std::unique_ptr<BoundQuery>> Binder::BindSelectImpl(
+    const SelectStmt& stmt, Scope* outer_scope) {
+  auto bq = std::make_unique<BoundQuery>();
+
+  // 1. Flatten FROM (+ views) into base tables.
+  std::vector<FlatTable> flat;
+  std::vector<std::unique_ptr<ViewSlot>> view_slots;
+  int fresh_counter = 0;
+  for (const auto& f : stmt.from) {
+    R3_RETURN_IF_ERROR(FlattenTableRef(catalog_, *f, /*under_left_outer=*/false,
+                                       &flat, &view_slots, &fresh_counter));
+  }
+  if (flat.empty()) {
+    return Status::InvalidArgument("query has no tables");
+  }
+
+  Scope scope;
+  size_t offset = 0;
+  for (FlatTable& ft : flat) {
+    R3_ASSIGN_OR_RETURN(TableInfo * ti, catalog_->GetTable(ft.table_name));
+    // Duplicate alias check.
+    for (const TableSlot& prev : scope.tables) {
+      if (prev.alias == ft.alias) {
+        return Status::InvalidArgument("duplicate table alias '" + ft.alias +
+                                       "'");
+      }
+    }
+    scope.tables.push_back(TableSlot{ti, ft.alias, offset});
+    BoundTableRef btr;
+    btr.table = ti;
+    btr.alias = ft.alias;
+    btr.offset = offset;
+    btr.left_outer = ft.left_outer;
+    bq->tables.push_back(std::move(btr));
+    offset += ti->schema.NumColumns();
+  }
+  bq->wide_width = offset;
+  for (auto& vs : view_slots) {
+    scope.views.push_back(std::move(*vs));
+  }
+
+  BindContext ctx;
+  ctx.catalog = catalog_;
+  ctx.scope = &scope;
+  ctx.outer = outer_scope;
+  ctx.bq = bq.get();
+  ctx.binder = this;
+
+  // 2. Conjuncts: WHERE plus all ON conjuncts.
+  std::vector<ExprPtr> all_conjuncts;
+  if (stmt.where != nullptr) {
+    SplitConjuncts(stmt.where->Clone(), &all_conjuncts);
+  }
+  for (size_t i = 0; i < flat.size(); ++i) {
+    for (ExprPtr& c : flat[i].on_conjuncts) {
+      if (flat[i].left_outer) {
+        R3_RETURN_IF_ERROR(BindExpr(c.get(), &ctx, /*allow_aggregates=*/false));
+        bq->tables[i].outer_join_conjuncts.push_back(std::move(c));
+      } else {
+        all_conjuncts.push_back(std::move(c));
+      }
+    }
+  }
+  for (ExprPtr& c : all_conjuncts) {
+    R3_RETURN_IF_ERROR(BindExpr(c.get(), &ctx, /*allow_aggregates=*/false));
+    bq->conjuncts.push_back(std::move(c));
+  }
+
+  // 3. Select list (star expansion first).
+  std::vector<ExprPtr> select_exprs;
+  std::vector<std::string> names;
+  for (const SelectItem& item : stmt.items) {
+    if (item.star) {
+      for (const TableSlot& t : scope.tables) {
+        // Skip tables hidden behind views (their fresh alias starts "__V").
+        if (t.alias.rfind("__V", 0) == 0) continue;
+        for (size_t c = 0; c < t.info->schema.NumColumns(); ++c) {
+          auto ref = MakeColumnRef(t.alias, t.info->schema.column(c).name);
+          select_exprs.push_back(std::move(ref));
+          names.push_back(t.info->schema.column(c).name);
+        }
+      }
+      for (const ViewSlot& v : scope.views) {
+        for (const std::string& exported : v.export_order) {
+          select_exprs.push_back(MakeColumnRef(v.alias, exported));
+          names.push_back(exported);
+        }
+      }
+      continue;
+    }
+    std::string name = item.alias;
+    if (name.empty()) {
+      name = item.expr->kind == ExprKind::kColumnRef ? item.expr->column_name
+                                                     : item.expr->ToString();
+    }
+    select_exprs.push_back(item.expr->Clone());
+    names.push_back(std::move(name));
+  }
+  for (ExprPtr& e : select_exprs) {
+    R3_RETURN_IF_ERROR(BindExpr(e.get(), &ctx, /*allow_aggregates=*/true));
+  }
+
+  // 4. Aggregation.
+  bool any_agg = false;
+  for (const ExprPtr& e : select_exprs) {
+    if (ExprHasAggregates(*e)) any_agg = true;
+  }
+  if (stmt.having != nullptr || !stmt.group_by.empty()) any_agg = true;
+
+  std::vector<std::string> group_keys;
+  std::vector<DataType> group_types;
+  if (any_agg) {
+    bq->has_aggregation = true;
+    for (const ExprPtr& g : stmt.group_by) {
+      ExprPtr bound = g->Clone();
+      R3_RETURN_IF_ERROR(BindExpr(bound.get(), &ctx, /*allow_aggregates=*/false));
+      group_keys.push_back(bound->ToString());
+      group_types.push_back(bound->result_type);
+      bq->group_by.push_back(std::move(bound));
+    }
+    std::vector<std::string> agg_keys;
+    for (ExprPtr& e : select_exprs) {
+      R3_RETURN_IF_ERROR(RewritePostAgg(&e, group_keys, group_types,
+                                        &bq->agg_calls, &agg_keys));
+    }
+    if (stmt.having != nullptr) {
+      ExprPtr h = stmt.having->Clone();
+      R3_RETURN_IF_ERROR(BindExpr(h.get(), &ctx, /*allow_aggregates=*/true));
+      R3_RETURN_IF_ERROR(
+          RewritePostAgg(&h, group_keys, group_types, &bq->agg_calls, &agg_keys));
+      bq->having = std::move(h);
+    }
+  }
+
+  // 5. Output schema.
+  for (size_t i = 0; i < select_exprs.size(); ++i) {
+    Column col;
+    col.name = names[i];
+    col.type = select_exprs[i]->result_type;
+    // Output schema may have duplicate names (e.g. two unaliased exprs);
+    // uniquify for Schema's name map.
+    std::string base = col.name;
+    int suffix = 1;
+    while (bq->output_schema.Contains(col.name)) {
+      col.name = str::Format("%s_%d", base.c_str(), ++suffix);
+    }
+    R3_RETURN_IF_ERROR(bq->output_schema.AddColumn(col));
+  }
+  bq->select_exprs = std::move(select_exprs);
+  bq->num_visible = bq->select_exprs.size();
+  bq->column_names = std::move(names);
+
+  // 6. ORDER BY: must resolve to an output column (alias, 1-based position,
+  // or an expression textually matching a select item).
+  for (const OrderItem& o : stmt.order_by) {
+    BoundOrderKey key;
+    key.asc = o.asc;
+    bool resolved = false;
+    if (o.expr->kind == ExprKind::kLiteral &&
+        o.expr->literal.type() == DataType::kInt64) {
+      int64_t pos = o.expr->literal.int_value();
+      if (pos < 1 || pos > static_cast<int64_t>(bq->select_exprs.size())) {
+        return Status::InvalidArgument("ORDER BY position out of range");
+      }
+      key.output_index = static_cast<size_t>(pos - 1);
+      resolved = true;
+    }
+    if (!resolved && o.expr->kind == ExprKind::kColumnRef &&
+        o.expr->table_qualifier.empty()) {
+      for (size_t i = 0; i < bq->column_names.size(); ++i) {
+        if (str::EqualsIgnoreCase(bq->column_names[i], o.expr->column_name)) {
+          key.output_index = i;
+          resolved = true;
+          break;
+        }
+      }
+    }
+    if (!resolved) {
+      ExprPtr bound = o.expr->Clone();
+      R3_RETURN_IF_ERROR(BindExpr(bound.get(), &ctx, /*allow_aggregates=*/true));
+      if (bq->has_aggregation) {
+        std::vector<std::string> agg_keys_tmp;
+        for (const ExprPtr& a : bq->agg_calls) {
+          agg_keys_tmp.push_back(a->ToString());
+        }
+        R3_RETURN_IF_ERROR(RewritePostAgg(&bound, group_keys, group_types,
+                                          &bq->agg_calls, &agg_keys_tmp));
+      }
+      std::string canon = bound->ToString();
+      for (size_t i = 0; i < bq->select_exprs.size(); ++i) {
+        if (bq->select_exprs[i]->ToString() == canon) {
+          key.output_index = i;
+          resolved = true;
+          break;
+        }
+      }
+    }
+    if (!resolved) {
+      // Hidden sort column: order by an expression outside the select list.
+      if (stmt.distinct) {
+        return Status::InvalidArgument(
+            "with DISTINCT, ORDER BY expressions must appear in the select "
+            "list");
+      }
+      ExprPtr bound = o.expr->Clone();
+      R3_RETURN_IF_ERROR(BindExpr(bound.get(), &ctx, /*allow_aggregates=*/true));
+      if (bq->has_aggregation) {
+        std::vector<std::string> agg_keys_tmp;
+        for (const ExprPtr& a : bq->agg_calls) {
+          agg_keys_tmp.push_back(a->ToString());
+        }
+        R3_RETURN_IF_ERROR(RewritePostAgg(&bound, group_keys, group_types,
+                                          &bq->agg_calls, &agg_keys_tmp));
+      }
+      key.output_index = bq->select_exprs.size();
+      bq->select_exprs.push_back(std::move(bound));
+      resolved = true;
+    }
+    bq->order_by.push_back(key);
+  }
+  if (bq->select_exprs.size() > bq->num_visible) {
+    for (size_t i = 0; i < bq->num_visible; ++i) {
+      bq->final_project.push_back(
+          MakeSlotRef(i, bq->select_exprs[i]->result_type));
+    }
+  }
+
+  bq->limit = stmt.limit;
+  bq->distinct = stmt.distinct;
+  bq->is_correlated = ctx.used_outer;
+  return bq;
+}
+
+}  // namespace rdbms
+}  // namespace r3

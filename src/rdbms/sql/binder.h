@@ -1,0 +1,43 @@
+#ifndef R3DB_RDBMS_SQL_BINDER_H_
+#define R3DB_RDBMS_SQL_BINDER_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "rdbms/catalog.h"
+#include "rdbms/plan/logical_plan.h"
+#include "rdbms/sql/ast.h"
+
+namespace r3 {
+namespace rdbms {
+
+/// Resolves a parsed SELECT against the catalog into a BoundQuery:
+/// view inlining, FROM flattening, name resolution (with one level of
+/// correlation into an enclosing query), type annotation, aggregate
+/// extraction, and subquery binding.
+class Binder {
+ public:
+  explicit Binder(const Catalog* catalog) : catalog_(catalog) {}
+
+  struct Scope;  // defined in binder.cc
+
+  /// Binds a top-level SELECT. The AST is not modified (expressions are
+  /// cloned into the BoundQuery).
+  Result<std::unique_ptr<BoundQuery>> BindSelect(const SelectStmt& stmt);
+
+  /// Binds a nested SELECT with `outer_scope` available for correlated
+  /// references (used internally while binding subquery expressions).
+  Result<std::unique_ptr<BoundQuery>> BindSelectForSubquery(
+      const SelectStmt& stmt, Scope* outer_scope);
+
+ private:
+  Result<std::unique_ptr<BoundQuery>> BindSelectImpl(const SelectStmt& stmt,
+                                                     Scope* outer_scope);
+
+  const Catalog* catalog_;
+};
+
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_SQL_BINDER_H_

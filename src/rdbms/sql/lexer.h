@@ -1,0 +1,36 @@
+#ifndef R3DB_RDBMS_SQL_LEXER_H_
+#define R3DB_RDBMS_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace r3 {
+namespace rdbms {
+
+enum class TokenType : uint8_t {
+  kIdentifier,   ///< bare word (keywords are identifiers; parser matches text)
+  kString,       ///< 'quoted' (with '' as escape)
+  kInteger,
+  kFloat,        ///< has '.' or exponent
+  kOperator,     ///< punctuation: ( ) , . ; * + - / = <> <= >= < > ?
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   ///< identifier text (original case) or operator chars
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t position = 0;  ///< byte offset, for error messages
+};
+
+/// Splits SQL text into tokens. Comments: `-- to end of line`.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_SQL_LEXER_H_

@@ -1,0 +1,796 @@
+#include "rdbms/sql/parser.h"
+
+#include <utility>
+
+#include "common/date.h"
+#include "common/str_util.h"
+#include "rdbms/sql/lexer.h"
+
+namespace r3 {
+namespace rdbms {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::string sql)
+      : tokens_(std::move(tokens)), sql_(std::move(sql)) {}
+
+  Result<Statement> ParseTop();
+  Result<std::unique_ptr<SelectStmt>> ParseSelectStmt();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool PeekKeyword(const char* kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kIdentifier && str::EqualsIgnoreCase(t.text, kw);
+  }
+  bool MatchKeyword(const char* kw) {
+    if (PeekKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (MatchKeyword(kw)) return Status::OK();
+    return Error(std::string("expected ") + kw);
+  }
+  bool PeekOp(const char* op, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kOperator && t.text == op;
+  }
+  bool MatchOp(const char* op) {
+    if (PeekOp(op)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectOp(const char* op) {
+    if (MatchOp(op)) return Status::OK();
+    return Error(std::string("expected '") + op + "'");
+  }
+  Status Error(const std::string& what) const {
+    const Token& t = Peek();
+    std::string near = t.type == TokenType::kEnd ? "<end>" : t.text;
+    return Status::InvalidArgument(
+        str::Format("parse error at offset %zu near '%s': %s", t.position,
+                    near.c_str(), what.c_str()));
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    const Token& t = Peek();
+    if (t.type != TokenType::kIdentifier) {
+      return Error(std::string("expected ") + what);
+    }
+    Advance();
+    return t.text;
+  }
+
+  // Expressions, by precedence.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAddSub();
+  Result<ExprPtr> ParseMulDiv();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+  Result<ExprPtr> ParseCase();
+  Result<ExprPtr> ParseFunctionCall(const std::string& name);
+
+  // Clauses.
+  Result<std::unique_ptr<TableRef>> ParseFromItem();
+  Result<std::unique_ptr<TableRef>> ParseTablePrimary();
+  Result<Statement> ParseInsert();
+  Result<Statement> ParseDelete();
+  Result<Statement> ParseUpdate();
+  Result<Statement> ParseCreate();
+  Result<Statement> ParseDrop();
+  Result<Statement> ParseAnalyze();
+  Result<Column> ParseColumnDef();
+
+  bool AtSelectKeyword() const { return PeekKeyword("SELECT"); }
+
+  bool IsReserved(const std::string& word) const {
+    static const char* kReserved[] = {
+        "SELECT", "FROM",  "WHERE",  "GROUP",  "BY",     "HAVING", "ORDER",
+        "LIMIT",  "AND",   "OR",     "NOT",    "AS",     "ON",     "JOIN",
+        "LEFT",   "OUTER", "INNER",  "ASC",    "DESC",   "UNION",  "VALUES",
+        "SET",    "INTO",  "DISTINCT", "CASE", "WHEN",   "THEN",   "ELSE",
+        "END",    "IS",    "NULL",   "LIKE",   "IN",     "BETWEEN", "EXISTS",
+    };
+    for (const char* kw : kReserved) {
+      if (str::EqualsIgnoreCase(word, kw)) return true;
+    }
+    return false;
+  }
+
+  std::vector<Token> tokens_;
+  std::string sql_;
+  size_t pos_ = 0;
+  size_t next_param_ = 0;
+};
+
+Result<ExprPtr> Parser::ParseOr() {
+  R3_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (MatchKeyword("OR")) {
+    R3_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = MakeLogic(LogicOp::kOr, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  R3_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (MatchKeyword("AND")) {
+    R3_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = MakeLogic(LogicOp::kAnd, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    R3_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+    return MakeNot(std::move(inner));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  R3_ASSIGN_OR_RETURN(ExprPtr left, ParseAddSub());
+
+  // IS [NOT] NULL
+  if (PeekKeyword("IS")) {
+    Advance();
+    bool negated = MatchKeyword("NOT");
+    R3_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+    return MakeIsNull(std::move(left), negated);
+  }
+
+  bool negated = false;
+  if (PeekKeyword("NOT") &&
+      (PeekKeyword("LIKE", 1) || PeekKeyword("IN", 1) || PeekKeyword("BETWEEN", 1))) {
+    Advance();
+    negated = true;
+  }
+  if (MatchKeyword("LIKE")) {
+    R3_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAddSub());
+    return MakeLike(std::move(left), std::move(pattern), negated);
+  }
+  if (MatchKeyword("BETWEEN")) {
+    R3_ASSIGN_OR_RETURN(ExprPtr lo, ParseAddSub());
+    R3_RETURN_IF_ERROR(ExpectKeyword("AND"));
+    R3_ASSIGN_OR_RETURN(ExprPtr hi, ParseAddSub());
+    return MakeBetween(std::move(left), std::move(lo), std::move(hi), negated);
+  }
+  if (MatchKeyword("IN")) {
+    R3_RETURN_IF_ERROR(ExpectOp("("));
+    if (AtSelectKeyword()) {
+      R3_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sub, ParseSelectStmt());
+      R3_RETURN_IF_ERROR(ExpectOp(")"));
+      auto e = std::make_unique<Expr>(ExprKind::kInSubquery);
+      e->negated = negated;
+      e->subquery_ast = std::move(sub);
+      e->children.push_back(std::move(left));
+      return ExprPtr(std::move(e));
+    }
+    auto e = std::make_unique<Expr>(ExprKind::kInList);
+    e->negated = negated;
+    e->children.push_back(std::move(left));
+    do {
+      R3_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+      e->children.push_back(std::move(item));
+    } while (MatchOp(","));
+    R3_RETURN_IF_ERROR(ExpectOp(")"));
+    return ExprPtr(std::move(e));
+  }
+
+  static const struct {
+    const char* text;
+    CmpOp op;
+  } kOps[] = {
+      {"=", CmpOp::kEq}, {"<>", CmpOp::kNe}, {"<=", CmpOp::kLe},
+      {">=", CmpOp::kGe}, {"<", CmpOp::kLt}, {">", CmpOp::kGt},
+  };
+  for (const auto& [text, op] : kOps) {
+    if (MatchOp(text)) {
+      R3_ASSIGN_OR_RETURN(ExprPtr right, ParseAddSub());
+      return MakeCompare(op, std::move(left), std::move(right));
+    }
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAddSub() {
+  R3_ASSIGN_OR_RETURN(ExprPtr left, ParseMulDiv());
+  while (true) {
+    if (MatchOp("+")) {
+      R3_ASSIGN_OR_RETURN(ExprPtr right, ParseMulDiv());
+      left = MakeArith(ArithOp::kAdd, std::move(left), std::move(right));
+    } else if (MatchOp("-")) {
+      R3_ASSIGN_OR_RETURN(ExprPtr right, ParseMulDiv());
+      left = MakeArith(ArithOp::kSub, std::move(left), std::move(right));
+    } else {
+      return left;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseMulDiv() {
+  R3_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+  while (true) {
+    if (MatchOp("*")) {
+      R3_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = MakeArith(ArithOp::kMul, std::move(left), std::move(right));
+    } else if (MatchOp("/")) {
+      R3_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = MakeArith(ArithOp::kDiv, std::move(left), std::move(right));
+    } else {
+      return left;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (MatchOp("-")) {
+    R3_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+    return MakeNeg(std::move(inner));
+  }
+  if (MatchOp("+")) {
+    return ParseUnary();
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParseCase() {
+  auto e = std::make_unique<Expr>(ExprKind::kCase);
+  while (MatchKeyword("WHEN")) {
+    R3_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+    R3_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+    R3_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+    e->children.push_back(std::move(cond));
+    e->children.push_back(std::move(then));
+  }
+  if (e->children.empty()) {
+    return Error("CASE requires at least one WHEN");
+  }
+  if (MatchKeyword("ELSE")) {
+    R3_ASSIGN_OR_RETURN(ExprPtr els, ParseExpr());
+    e->children.push_back(std::move(els));
+    e->case_has_else = true;
+  }
+  R3_RETURN_IF_ERROR(ExpectKeyword("END"));
+  return ExprPtr(std::move(e));
+}
+
+Result<ExprPtr> Parser::ParseFunctionCall(const std::string& name) {
+  // Aggregates.
+  struct AggName {
+    const char* text;
+    AggFunc func;
+  };
+  static const AggName kAggs[] = {
+      {"COUNT", AggFunc::kCount}, {"SUM", AggFunc::kSum},
+      {"AVG", AggFunc::kAvg},     {"MIN", AggFunc::kMin},
+      {"MAX", AggFunc::kMax},
+  };
+  for (const AggName& a : kAggs) {
+    if (str::EqualsIgnoreCase(name, a.text)) {
+      if (a.func == AggFunc::kCount && MatchOp("*")) {
+        R3_RETURN_IF_ERROR(ExpectOp(")"));
+        return MakeAggCall(AggFunc::kCountStar, nullptr, false);
+      }
+      bool distinct = MatchKeyword("DISTINCT");
+      R3_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+      R3_RETURN_IF_ERROR(ExpectOp(")"));
+      return MakeAggCall(a.func, std::move(arg), distinct);
+    }
+  }
+  // Scalar function.
+  std::vector<ExprPtr> args;
+  if (!PeekOp(")")) {
+    do {
+      R3_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+      args.push_back(std::move(arg));
+    } while (MatchOp(","));
+  }
+  R3_RETURN_IF_ERROR(ExpectOp(")"));
+  return MakeFunc(name, std::move(args));
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kInteger:
+      Advance();
+      return MakeLiteral(Value::Int(t.int_value));
+    case TokenType::kFloat:
+      Advance();
+      return MakeLiteral(Value::Dbl(t.float_value));
+    case TokenType::kString:
+      Advance();
+      return MakeLiteral(Value::Str(t.text));
+    case TokenType::kOperator:
+      if (t.text == "?") {
+        Advance();
+        return MakeParam(next_param_++);
+      }
+      if (t.text == "(") {
+        Advance();
+        if (AtSelectKeyword()) {
+          R3_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sub, ParseSelectStmt());
+          R3_RETURN_IF_ERROR(ExpectOp(")"));
+          auto e = std::make_unique<Expr>(ExprKind::kScalarSubquery);
+          e->subquery_ast = std::move(sub);
+          return ExprPtr(std::move(e));
+        }
+        R3_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        R3_RETURN_IF_ERROR(ExpectOp(")"));
+        return inner;
+      }
+      return Error("expected expression");
+    case TokenType::kIdentifier: {
+      // Special forms.
+      if (str::EqualsIgnoreCase(t.text, "CASE")) {
+        Advance();
+        return ParseCase();
+      }
+      if (str::EqualsIgnoreCase(t.text, "EXISTS")) {
+        Advance();
+        R3_RETURN_IF_ERROR(ExpectOp("("));
+        if (!AtSelectKeyword()) return Error("EXISTS requires a subquery");
+        R3_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sub, ParseSelectStmt());
+        R3_RETURN_IF_ERROR(ExpectOp(")"));
+        auto e = std::make_unique<Expr>(ExprKind::kExistsSubquery);
+        e->subquery_ast = std::move(sub);
+        return ExprPtr(std::move(e));
+      }
+      if (str::EqualsIgnoreCase(t.text, "CAST")) {
+        Advance();
+        R3_RETURN_IF_ERROR(ExpectOp("("));
+        R3_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        R3_RETURN_IF_ERROR(ExpectKeyword("AS"));
+        R3_ASSIGN_OR_RETURN(std::string type_name, ExpectIdentifier("type"));
+        // Optional (n) / (p,s) ignored for cast purposes.
+        if (MatchOp("(")) {
+          while (!PeekOp(")") && Peek().type != TokenType::kEnd) Advance();
+          R3_RETURN_IF_ERROR(ExpectOp(")"));
+        }
+        R3_RETURN_IF_ERROR(ExpectOp(")"));
+        std::string tn = str::ToUpper(type_name);
+        DataType target;
+        if (tn == "INT" || tn == "INTEGER" || tn == "BIGINT") {
+          target = DataType::kInt64;
+        } else if (tn == "DOUBLE" || tn == "FLOAT") {
+          target = DataType::kDouble;
+        } else if (tn == "DECIMAL" || tn == "NUMERIC") {
+          target = DataType::kDecimal;
+        } else if (tn == "CHAR" || tn == "VARCHAR" || tn == "STRING") {
+          target = DataType::kString;
+        } else if (tn == "DATE") {
+          target = DataType::kDate;
+        } else if (tn == "BOOLEAN" || tn == "BOOL") {
+          target = DataType::kBool;
+        } else {
+          return Error("unknown cast target type " + type_name);
+        }
+        return MakeCast(std::move(inner), target);
+      }
+      if (str::EqualsIgnoreCase(t.text, "DATE") &&
+          Peek(1).type == TokenType::kString) {
+        Advance();
+        const Token& lit = Advance();
+        R3_ASSIGN_OR_RETURN(int32_t dn, date::Parse(lit.text));
+        return MakeLiteral(Value::Date(dn));
+      }
+      if (str::EqualsIgnoreCase(t.text, "NULL")) {
+        Advance();
+        return MakeLiteral(Value::Null());
+      }
+      if (str::EqualsIgnoreCase(t.text, "TRUE")) {
+        Advance();
+        return MakeLiteral(Value::Bool(true));
+      }
+      if (str::EqualsIgnoreCase(t.text, "FALSE")) {
+        Advance();
+        return MakeLiteral(Value::Bool(false));
+      }
+      // Function call?
+      if (PeekOp("(", 1)) {
+        std::string name = t.text;
+        Advance();
+        Advance();  // '('
+        return ParseFunctionCall(name);
+      }
+      // Column reference: ident or ident.ident.
+      Advance();
+      if (MatchOp(".")) {
+        R3_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+        return MakeColumnRef(t.text, std::move(col));
+      }
+      return MakeColumnRef("", t.text);
+    }
+    case TokenType::kEnd:
+      return Error("unexpected end of input");
+  }
+  return Error("expected expression");
+}
+
+Result<std::unique_ptr<TableRef>> Parser::ParseTablePrimary() {
+  R3_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("table name"));
+  auto ref = std::make_unique<TableRef>();
+  ref->kind = TableRef::Kind::kBase;
+  ref->name = std::move(name);
+  if (MatchKeyword("AS")) {
+    R3_ASSIGN_OR_RETURN(ref->alias, ExpectIdentifier("alias"));
+  } else if (Peek().type == TokenType::kIdentifier && !IsReserved(Peek().text)) {
+    ref->alias = Advance().text;
+  }
+  return ref;
+}
+
+Result<std::unique_ptr<TableRef>> Parser::ParseFromItem() {
+  R3_ASSIGN_OR_RETURN(std::unique_ptr<TableRef> left, ParseTablePrimary());
+  while (true) {
+    bool left_outer = false;
+    if (PeekKeyword("LEFT")) {
+      Advance();
+      MatchKeyword("OUTER");
+      R3_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+      left_outer = true;
+    } else if (PeekKeyword("INNER") && PeekKeyword("JOIN", 1)) {
+      Advance();
+      Advance();
+    } else if (PeekKeyword("JOIN")) {
+      Advance();
+    } else {
+      return left;
+    }
+    R3_ASSIGN_OR_RETURN(std::unique_ptr<TableRef> right, ParseTablePrimary());
+    R3_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    R3_ASSIGN_OR_RETURN(ExprPtr on, ParseExpr());
+    auto join = std::make_unique<TableRef>();
+    join->kind = TableRef::Kind::kJoin;
+    join->left = std::move(left);
+    join->right = std::move(right);
+    join->left_outer = left_outer;
+    join->on = std::move(on);
+    left = std::move(join);
+  }
+}
+
+Result<std::unique_ptr<SelectStmt>> Parser::ParseSelectStmt() {
+  R3_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  auto stmt = std::make_unique<SelectStmt>();
+  stmt->distinct = MatchKeyword("DISTINCT");
+
+  do {
+    SelectItem item;
+    if (MatchOp("*")) {
+      item.star = true;
+    } else {
+      R3_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("AS")) {
+        R3_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+      } else if (Peek().type == TokenType::kIdentifier && !IsReserved(Peek().text)) {
+        item.alias = Advance().text;
+      }
+    }
+    stmt->items.push_back(std::move(item));
+  } while (MatchOp(","));
+
+  R3_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  do {
+    R3_ASSIGN_OR_RETURN(std::unique_ptr<TableRef> item, ParseFromItem());
+    stmt->from.push_back(std::move(item));
+  } while (MatchOp(","));
+
+  if (MatchKeyword("WHERE")) {
+    R3_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  if (PeekKeyword("GROUP")) {
+    Advance();
+    R3_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      R3_ASSIGN_OR_RETURN(ExprPtr g, ParseExpr());
+      stmt->group_by.push_back(std::move(g));
+    } while (MatchOp(","));
+  }
+  if (MatchKeyword("HAVING")) {
+    R3_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+  }
+  if (PeekKeyword("ORDER")) {
+    Advance();
+    R3_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      OrderItem item;
+      R3_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) {
+        item.asc = false;
+      } else {
+        MatchKeyword("ASC");
+      }
+      stmt->order_by.push_back(std::move(item));
+    } while (MatchOp(","));
+  }
+  if (MatchKeyword("LIMIT")) {
+    const Token& t = Peek();
+    if (t.type != TokenType::kInteger) return Error("LIMIT expects an integer");
+    Advance();
+    stmt->limit = t.int_value;
+  }
+  return stmt;
+}
+
+Result<Column> Parser::ParseColumnDef() {
+  R3_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("column name"));
+  R3_ASSIGN_OR_RETURN(std::string type_name, ExpectIdentifier("type"));
+  std::string tn = str::ToUpper(type_name);
+  Column col;
+  col.name = std::move(name);
+  auto parse_len = [&]() -> Result<int64_t> {
+    R3_RETURN_IF_ERROR(ExpectOp("("));
+    const Token& t = Peek();
+    if (t.type != TokenType::kInteger) return Error("expected length");
+    Advance();
+    // DECIMAL(p, s): swallow the scale.
+    if (MatchOp(",")) {
+      if (Peek().type != TokenType::kInteger) return Error("expected scale");
+      Advance();
+    }
+    R3_RETURN_IF_ERROR(ExpectOp(")"));
+    return t.int_value;
+  };
+  if (tn == "INT" || tn == "INTEGER") {
+    col.type = DataType::kInt64;
+    col.length = 4;  // original TPC-D uses 4-byte integers
+  } else if (tn == "BIGINT") {
+    col.type = DataType::kInt64;
+    col.length = 8;
+  } else if (tn == "DOUBLE" || tn == "FLOAT" || tn == "REAL") {
+    col.type = DataType::kDouble;
+  } else if (tn == "DECIMAL" || tn == "NUMERIC") {
+    col.type = DataType::kDecimal;
+    if (PeekOp("(")) {
+      R3_RETURN_IF_ERROR(parse_len().status());
+    }
+  } else if (tn == "CHAR" || tn == "CHARACTER") {
+    col.type = DataType::kString;
+    R3_ASSIGN_OR_RETURN(int64_t len, parse_len());
+    col.length = static_cast<uint16_t>(len);
+  } else if (tn == "VARCHAR" || tn == "TEXT" || tn == "STRING") {
+    col.type = DataType::kString;
+    col.length = 0;
+    if (PeekOp("(")) {
+      R3_RETURN_IF_ERROR(parse_len().status());
+    }
+  } else if (tn == "DATE") {
+    col.type = DataType::kDate;
+  } else if (tn == "BOOLEAN" || tn == "BOOL") {
+    col.type = DataType::kBool;
+  } else {
+    return Error("unknown type " + type_name);
+  }
+  if (PeekKeyword("NOT") && PeekKeyword("NULL", 1)) {
+    Advance();
+    Advance();
+    col.nullable = false;
+  }
+  return col;
+}
+
+Result<Statement> Parser::ParseCreate() {
+  R3_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+  bool unique = MatchKeyword("UNIQUE");
+  if (MatchKeyword("TABLE")) {
+    if (unique) return Error("UNIQUE TABLE makes no sense");
+    auto ct = std::make_unique<CreateTableStmt>();
+    R3_ASSIGN_OR_RETURN(ct->table, ExpectIdentifier("table name"));
+    R3_RETURN_IF_ERROR(ExpectOp("("));
+    do {
+      if (PeekKeyword("PRIMARY")) {
+        Advance();
+        R3_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        R3_RETURN_IF_ERROR(ExpectOp("("));
+        do {
+          R3_ASSIGN_OR_RETURN(std::string c, ExpectIdentifier("column"));
+          ct->primary_key.push_back(std::move(c));
+        } while (MatchOp(","));
+        R3_RETURN_IF_ERROR(ExpectOp(")"));
+      } else {
+        R3_ASSIGN_OR_RETURN(Column col, ParseColumnDef());
+        ct->columns.push_back(std::move(col));
+      }
+    } while (MatchOp(","));
+    R3_RETURN_IF_ERROR(ExpectOp(")"));
+    Statement out;
+    out.kind = Statement::Kind::kCreateTable;
+    out.create_table = std::move(ct);
+    return out;
+  }
+  if (MatchKeyword("INDEX")) {
+    auto ci = std::make_unique<CreateIndexStmt>();
+    ci->unique = unique;
+    R3_ASSIGN_OR_RETURN(ci->index, ExpectIdentifier("index name"));
+    R3_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    R3_ASSIGN_OR_RETURN(ci->table, ExpectIdentifier("table name"));
+    R3_RETURN_IF_ERROR(ExpectOp("("));
+    do {
+      R3_ASSIGN_OR_RETURN(std::string c, ExpectIdentifier("column"));
+      ci->columns.push_back(std::move(c));
+    } while (MatchOp(","));
+    R3_RETURN_IF_ERROR(ExpectOp(")"));
+    Statement out;
+    out.kind = Statement::Kind::kCreateIndex;
+    out.create_index = std::move(ci);
+    return out;
+  }
+  if (MatchKeyword("VIEW")) {
+    if (unique) return Error("UNIQUE VIEW makes no sense");
+    auto cv = std::make_unique<CreateViewStmt>();
+    R3_ASSIGN_OR_RETURN(cv->view, ExpectIdentifier("view name"));
+    R3_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    size_t start = Peek().position;
+    // Validate the SELECT parses, but store its text for the catalog.
+    R3_RETURN_IF_ERROR(ParseSelectStmt().status());
+    cv->select_sql = str::Trim(sql_.substr(start));
+    // Strip a trailing ';' if present in the captured text.
+    while (!cv->select_sql.empty() &&
+           (cv->select_sql.back() == ';' || cv->select_sql.back() == ' ')) {
+      cv->select_sql.pop_back();
+    }
+    Statement out;
+    out.kind = Statement::Kind::kCreateView;
+    out.create_view = std::move(cv);
+    return out;
+  }
+  return Error("expected TABLE, INDEX, or VIEW");
+}
+
+Result<Statement> Parser::ParseInsert() {
+  R3_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+  R3_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+  auto ins = std::make_unique<InsertStmt>();
+  R3_ASSIGN_OR_RETURN(ins->table, ExpectIdentifier("table name"));
+  if (MatchOp("(")) {
+    do {
+      R3_ASSIGN_OR_RETURN(std::string c, ExpectIdentifier("column"));
+      ins->columns.push_back(std::move(c));
+    } while (MatchOp(","));
+    R3_RETURN_IF_ERROR(ExpectOp(")"));
+  }
+  R3_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+  do {
+    R3_RETURN_IF_ERROR(ExpectOp("("));
+    std::vector<ExprPtr> row;
+    do {
+      R3_ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+      row.push_back(std::move(v));
+    } while (MatchOp(","));
+    R3_RETURN_IF_ERROR(ExpectOp(")"));
+    ins->rows.push_back(std::move(row));
+  } while (MatchOp(","));
+  Statement out;
+  out.kind = Statement::Kind::kInsert;
+  out.insert = std::move(ins);
+  return out;
+}
+
+Result<Statement> Parser::ParseDelete() {
+  R3_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+  R3_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  auto del = std::make_unique<DeleteStmt>();
+  R3_ASSIGN_OR_RETURN(del->table, ExpectIdentifier("table name"));
+  if (MatchKeyword("WHERE")) {
+    R3_ASSIGN_OR_RETURN(del->where, ParseExpr());
+  }
+  Statement out;
+  out.kind = Statement::Kind::kDelete;
+  out.del = std::move(del);
+  return out;
+}
+
+Result<Statement> Parser::ParseUpdate() {
+  R3_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+  auto upd = std::make_unique<UpdateStmt>();
+  R3_ASSIGN_OR_RETURN(upd->table, ExpectIdentifier("table name"));
+  R3_RETURN_IF_ERROR(ExpectKeyword("SET"));
+  do {
+    R3_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+    R3_RETURN_IF_ERROR(ExpectOp("="));
+    R3_ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+    upd->assignments.emplace_back(std::move(col), std::move(v));
+  } while (MatchOp(","));
+  if (MatchKeyword("WHERE")) {
+    R3_ASSIGN_OR_RETURN(upd->where, ParseExpr());
+  }
+  Statement out;
+  out.kind = Statement::Kind::kUpdate;
+  out.update = std::move(upd);
+  return out;
+}
+
+Result<Statement> Parser::ParseDrop() {
+  R3_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+  auto drop = std::make_unique<DropStmt>();
+  if (MatchKeyword("TABLE")) {
+    drop->target = DropStmt::Target::kTable;
+  } else if (MatchKeyword("INDEX")) {
+    drop->target = DropStmt::Target::kIndex;
+  } else if (MatchKeyword("VIEW")) {
+    drop->target = DropStmt::Target::kView;
+  } else {
+    return Error("expected TABLE, INDEX, or VIEW");
+  }
+  R3_ASSIGN_OR_RETURN(drop->name, ExpectIdentifier("name"));
+  Statement out;
+  out.kind = Statement::Kind::kDrop;
+  out.drop = std::move(drop);
+  return out;
+}
+
+Result<Statement> Parser::ParseAnalyze() {
+  R3_RETURN_IF_ERROR(ExpectKeyword("ANALYZE"));
+  auto an = std::make_unique<AnalyzeStmt>();
+  if (Peek().type == TokenType::kIdentifier) {
+    an->table = Advance().text;
+  }
+  Statement out;
+  out.kind = Statement::Kind::kAnalyze;
+  out.analyze = std::move(an);
+  return out;
+}
+
+Result<Statement> Parser::ParseTop() {
+  Result<Statement> result = [&]() -> Result<Statement> {
+    if (PeekKeyword("SELECT")) {
+      R3_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, ParseSelectStmt());
+      Statement out;
+      out.kind = Statement::Kind::kSelect;
+      out.select = std::move(sel);
+      return out;
+    }
+    if (PeekKeyword("INSERT")) return ParseInsert();
+    if (PeekKeyword("DELETE")) return ParseDelete();
+    if (PeekKeyword("UPDATE")) return ParseUpdate();
+    if (PeekKeyword("CREATE")) return ParseCreate();
+    if (PeekKeyword("DROP")) return ParseDrop();
+    if (PeekKeyword("ANALYZE")) return ParseAnalyze();
+    return Error("expected a statement");
+  }();
+  if (!result.ok()) return result;
+  MatchOp(";");
+  if (Peek().type != TokenType::kEnd) {
+    return Error("trailing input after statement");
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  R3_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser p(std::move(tokens), sql);
+  return p.ParseTop();
+}
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql) {
+  R3_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.kind != Statement::Kind::kSelect) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  return std::move(stmt.select);
+}
+
+}  // namespace rdbms
+}  // namespace r3

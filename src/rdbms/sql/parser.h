@@ -1,0 +1,34 @@
+#ifndef R3DB_RDBMS_SQL_PARSER_H_
+#define R3DB_RDBMS_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "rdbms/sql/ast.h"
+
+namespace r3 {
+namespace rdbms {
+
+/// Parses one SQL statement (optionally `;`-terminated).
+///
+/// Supported dialect (what the project's workloads need, and a bit more):
+///   SELECT [DISTINCT] list FROM t [alias] (, t | JOIN t ON e | LEFT JOIN ...)
+///     [WHERE e] [GROUP BY e, ...] [HAVING e] [ORDER BY e [ASC|DESC], ...]
+///     [LIMIT n]
+///   scalar/EXISTS/IN subqueries, CASE WHEN, CAST, DATE 'yyyy-mm-dd',
+///   `?` parameters, arithmetic, LIKE/BETWEEN/IN/IS NULL
+///   INSERT INTO t [(cols)] VALUES (...), (...) ...
+///   DELETE FROM t [WHERE e] | UPDATE t SET c = e, ... [WHERE e]
+///   CREATE TABLE t (col type ..., [PRIMARY KEY (cols)])
+///   CREATE [UNIQUE] INDEX i ON t (cols) | CREATE VIEW v AS SELECT ...
+///   DROP TABLE|INDEX|VIEW name | ANALYZE [t]
+Result<Statement> ParseStatement(const std::string& sql);
+
+/// Parses text that must be a single SELECT.
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql);
+
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_SQL_PARSER_H_

@@ -1,0 +1,179 @@
+#include "rdbms/storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/str_util.h"
+
+namespace r3 {
+namespace rdbms {
+
+PageHandle::PageHandle(BufferPool* pool, size_t frame_idx, char* data)
+    : pool_(pool), frame_idx_(frame_idx), data_(data) {}
+
+PageHandle::~PageHandle() { Release(); }
+
+PageHandle::PageHandle(PageHandle&& o) noexcept
+    : pool_(o.pool_), frame_idx_(o.frame_idx_), data_(o.data_) {
+  o.pool_ = nullptr;
+  o.data_ = nullptr;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    frame_idx_ = o.frame_idx_;
+    data_ = o.data_;
+    o.pool_ = nullptr;
+    o.data_ = nullptr;
+  }
+  return *this;
+}
+
+void PageHandle::MarkDirty() {
+  if (pool_ != nullptr) pool_->frames_[frame_idx_].dirty = true;
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_idx_, /*dirty=*/false);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(Disk* disk, SimClock* clock, size_t capacity_bytes)
+    : disk_(disk), clock_(clock) {
+  size_t n = capacity_bytes / kPageSize;
+  if (n < 8) n = 8;
+  frames_.resize(n);
+  free_frames_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    frames_[i].data = std::make_unique<char[]>(kPageSize);
+    free_frames_.push_back(n - 1 - i);  // pop_back yields frame 0 first
+  }
+}
+
+void BufferPool::ChargeRead(PageId id) {
+  auto it = last_read_page_.find(id.file_id);
+  bool sequential = it != last_read_page_.end() && id.page_no == it->second + 1;
+  if (sequential) {
+    ++stats_.sequential_reads;
+    clock_->ChargeSeqPageRead();
+  } else {
+    ++stats_.random_reads;
+    clock_->ChargeRandomPageRead();
+  }
+  last_read_page_[id.file_id] = id.page_no;
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::Internal("buffer pool exhausted: all frames pinned");
+  }
+  size_t idx = lru_.front();
+  lru_.pop_front();
+  Frame& f = frames_[idx];
+  f.in_lru = false;
+  if (f.dirty) {
+    R3_RETURN_IF_ERROR(disk_->WritePage(f.id, f.data.get()));
+    ++stats_.page_writes;
+    clock_->ChargePageWrite();
+    f.dirty = false;
+  }
+  page_table_.erase(f.id);
+  f.in_use = false;
+  return idx;
+}
+
+Result<PageHandle> BufferPool::FetchPage(PageId id) {
+  ++stats_.logical_reads;
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    size_t idx = it->second;
+    Frame& f = frames_[idx];
+    if (f.in_lru) {
+      lru_.erase(f.lru_it);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    return PageHandle(this, idx, f.data.get());
+  }
+  ++stats_.physical_reads;
+  R3_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = frames_[idx];
+  R3_RETURN_IF_ERROR(disk_->ReadPage(id, f.data.get()));
+  ChargeRead(id);
+  f.id = id;
+  f.in_use = true;
+  f.dirty = false;
+  f.pin_count = 1;
+  page_table_[id] = idx;
+  return PageHandle(this, idx, f.data.get());
+}
+
+Result<PageHandle> BufferPool::NewPage(uint32_t file_id, uint32_t* page_no) {
+  R3_ASSIGN_OR_RETURN(uint32_t pn, disk_->AllocatePage(file_id));
+  *page_no = pn;
+  R3_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = frames_[idx];
+  std::memset(f.data.get(), 0, kPageSize);
+  f.id = PageId{file_id, pn};
+  f.in_use = true;
+  f.dirty = true;
+  f.pin_count = 1;
+  page_table_[f.id] = idx;
+  return PageHandle(this, idx, f.data.get());
+}
+
+void BufferPool::Unpin(size_t frame_idx, bool dirty) {
+  Frame& f = frames_[frame_idx];
+  assert(f.pin_count > 0);
+  if (dirty) f.dirty = true;
+  if (--f.pin_count == 0) {
+    lru_.push_back(frame_idx);
+    f.lru_it = std::prev(lru_.end());
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.in_use && f.dirty) {
+      R3_RETURN_IF_ERROR(disk_->WritePage(f.id, f.data.get()));
+      ++stats_.page_writes;
+      clock_->ChargePageWrite();
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Reset() {
+  R3_RETURN_IF_ERROR(FlushAll());
+  for (Frame& f : frames_) {
+    if (f.pin_count > 0) {
+      return Status::Internal("Reset with pinned pages");
+    }
+  }
+  page_table_.clear();
+  lru_.clear();
+  free_frames_.clear();
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    frames_[i].in_use = false;
+    frames_[i].in_lru = false;
+    frames_[i].dirty = false;
+    free_frames_.push_back(frames_.size() - 1 - i);
+  }
+  last_read_page_.clear();
+  return Status::OK();
+}
+
+}  // namespace rdbms
+}  // namespace r3

@@ -1,0 +1,70 @@
+#include "rdbms/storage/disk.h"
+
+#include <cstring>
+
+#include "common/str_util.h"
+
+namespace r3 {
+namespace rdbms {
+
+uint32_t Disk::CreateFile() {
+  files_.emplace_back();
+  return static_cast<uint32_t>(files_.size() - 1);
+}
+
+Result<uint32_t> Disk::AllocatePage(uint32_t file_id) {
+  if (file_id >= files_.size()) {
+    return Status::NotFound(str::Format("no file %u", file_id));
+  }
+  File& f = files_[file_id];
+  auto page = std::make_unique<char[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  f.pages.push_back(std::move(page));
+  return static_cast<uint32_t>(f.pages.size() - 1);
+}
+
+Status Disk::CheckPage(PageId id) const {
+  if (id.file_id >= files_.size()) {
+    return Status::NotFound(str::Format("no file %u", id.file_id));
+  }
+  if (id.page_no >= files_[id.file_id].pages.size()) {
+    return Status::NotFound(
+        str::Format("file %u has no page %u", id.file_id, id.page_no));
+  }
+  return Status::OK();
+}
+
+Status Disk::ReadPage(PageId id, char* buf) const {
+  R3_RETURN_IF_ERROR(CheckPage(id));
+  std::memcpy(buf, files_[id.file_id].pages[id.page_no].get(), kPageSize);
+  return Status::OK();
+}
+
+Status Disk::WritePage(PageId id, const char* buf) {
+  R3_RETURN_IF_ERROR(CheckPage(id));
+  std::memcpy(files_[id.file_id].pages[id.page_no].get(), buf, kPageSize);
+  return Status::OK();
+}
+
+Result<uint32_t> Disk::FilePages(uint32_t file_id) const {
+  if (file_id >= files_.size()) {
+    return Status::NotFound(str::Format("no file %u", file_id));
+  }
+  return static_cast<uint32_t>(files_[file_id].pages.size());
+}
+
+Result<uint64_t> Disk::FileSizeBytes(uint32_t file_id) const {
+  R3_ASSIGN_OR_RETURN(uint32_t pages, FilePages(file_id));
+  return static_cast<uint64_t>(pages) * kPageSize;
+}
+
+Status Disk::TruncateFile(uint32_t file_id) {
+  if (file_id >= files_.size()) {
+    return Status::NotFound(str::Format("no file %u", file_id));
+  }
+  files_[file_id].pages.clear();
+  return Status::OK();
+}
+
+}  // namespace rdbms
+}  // namespace r3

@@ -1,0 +1,77 @@
+#ifndef R3DB_RDBMS_STORAGE_DISK_H_
+#define R3DB_RDBMS_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace r3 {
+namespace rdbms {
+
+/// Size of one disk page/buffer frame.
+inline constexpr size_t kPageSize = 8192;
+
+/// Identifies a page: (file, page number within file).
+struct PageId {
+  uint32_t file_id = 0;
+  uint32_t page_no = 0;
+
+  bool operator==(const PageId& o) const {
+    return file_id == o.file_id && page_no == o.page_no;
+  }
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& p) const {
+    return (static_cast<size_t>(p.file_id) << 32) ^ p.page_no;
+  }
+};
+
+/// In-memory stand-in for the disk subsystem.
+///
+/// Stores page images; knows nothing about costs (the BufferPool charges the
+/// SimClock when it actually transfers pages). Files model tablespaces: each
+/// table/index gets its own file so sequential-vs-random classification and
+/// per-object size reporting (Table 2) are meaningful.
+class Disk {
+ public:
+  Disk() = default;
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  /// Creates an empty file; returns its id.
+  uint32_t CreateFile();
+
+  /// Appends a zeroed page to `file_id`; returns the new page number.
+  Result<uint32_t> AllocatePage(uint32_t file_id);
+
+  /// Copies a page image into `buf` (kPageSize bytes).
+  Status ReadPage(PageId id, char* buf) const;
+
+  /// Copies `buf` (kPageSize bytes) over the page image.
+  Status WritePage(PageId id, const char* buf);
+
+  /// Number of pages allocated in the file.
+  Result<uint32_t> FilePages(uint32_t file_id) const;
+
+  /// Bytes occupied by the file on "disk".
+  Result<uint64_t> FileSizeBytes(uint32_t file_id) const;
+
+  /// Drops all pages of a file (file id remains valid and empty).
+  Status TruncateFile(uint32_t file_id);
+
+ private:
+  struct File {
+    std::vector<std::unique_ptr<char[]>> pages;
+  };
+  Status CheckPage(PageId id) const;
+
+  std::vector<File> files_;
+};
+
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_STORAGE_DISK_H_

@@ -1,0 +1,93 @@
+#include "rdbms/storage/heap_file.h"
+
+namespace r3 {
+namespace rdbms {
+
+HeapFile::HeapFile(BufferPool* pool, uint32_t file_id)
+    : pool_(pool), file_id_(file_id) {}
+
+Result<Rid> HeapFile::Insert(std::string_view record) {
+  if (has_last_insert_page_) {
+    R3_ASSIGN_OR_RETURN(PageHandle h,
+                        pool_->FetchPage(PageId{file_id_, last_insert_page_}));
+    SlottedPage page(h.data());
+    auto slot = page.Insert(record);
+    if (slot.ok()) {
+      h.MarkDirty();
+      return Rid{last_insert_page_, slot.value()};
+    }
+  }
+  uint32_t page_no = 0;
+  R3_ASSIGN_OR_RETURN(PageHandle h, pool_->NewPage(file_id_, &page_no));
+  SlottedPage page(h.data());
+  page.Init();
+  R3_ASSIGN_OR_RETURN(uint16_t slot, page.Insert(record));
+  h.MarkDirty();
+  last_insert_page_ = page_no;
+  has_last_insert_page_ = true;
+  return Rid{page_no, slot};
+}
+
+Status HeapFile::Get(Rid rid, std::string* out) const {
+  R3_ASSIGN_OR_RETURN(PageHandle h,
+                      pool_->FetchPage(PageId{file_id_, rid.page_no}));
+  SlottedPage page(h.data());
+  R3_ASSIGN_OR_RETURN(std::string_view rec, page.Read(rid.slot));
+  out->assign(rec.data(), rec.size());
+  return Status::OK();
+}
+
+Status HeapFile::Delete(Rid rid) {
+  R3_ASSIGN_OR_RETURN(PageHandle h,
+                      pool_->FetchPage(PageId{file_id_, rid.page_no}));
+  SlottedPage page(h.data());
+  R3_RETURN_IF_ERROR(page.Delete(rid.slot));
+  h.MarkDirty();
+  return Status::OK();
+}
+
+Result<Rid> HeapFile::Update(Rid rid, std::string_view record) {
+  {
+    R3_ASSIGN_OR_RETURN(PageHandle h,
+                        pool_->FetchPage(PageId{file_id_, rid.page_no}));
+    SlottedPage page(h.data());
+    Status st = page.Update(rid.slot, record);
+    if (st.ok()) {
+      h.MarkDirty();
+      return rid;
+    }
+    if (st.code() != StatusCode::kOutOfRange) return st;
+    // Did not fit: the slot was deleted inside Update; relocate below.
+    h.MarkDirty();
+  }
+  return Insert(record);
+}
+
+Result<uint32_t> HeapFile::NumPages() const {
+  return pool_->disk()->FilePages(file_id_);
+}
+
+Result<bool> HeapFile::Iterator::Next(Rid* rid, std::string* record) {
+  if (done_) return false;
+  R3_ASSIGN_OR_RETURN(uint32_t num_pages, heap_->NumPages());
+  while (page_no_ < num_pages) {
+    R3_ASSIGN_OR_RETURN(PageHandle h,
+                        heap_->pool_->FetchPage(PageId{heap_->file_id_, page_no_}));
+    SlottedPage page(h.data());
+    while (slot_ < page.slot_count()) {
+      uint16_t s = static_cast<uint16_t>(slot_++);
+      if (!page.IsLive(s)) continue;
+      R3_ASSIGN_OR_RETURN(std::string_view rec, page.Read(s));
+      record->assign(rec.data(), rec.size());
+      *rid = Rid{page_no_, s};
+      return true;
+    }
+    ++page_no_;
+    slot_ = 0;
+  }
+  done_ = true;
+  return false;
+}
+
+}  // namespace rdbms
+}  // namespace r3

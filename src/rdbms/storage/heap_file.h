@@ -1,0 +1,71 @@
+#ifndef R3DB_RDBMS_STORAGE_HEAP_FILE_H_
+#define R3DB_RDBMS_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdbms/storage/buffer_pool.h"
+#include "rdbms/storage/page.h"
+
+namespace r3 {
+namespace rdbms {
+
+/// Unordered collection of records in slotted pages of one Disk file.
+class HeapFile {
+ public:
+  /// `file_id` must be a fresh or previously-HeapFile-owned Disk file.
+  HeapFile(BufferPool* pool, uint32_t file_id);
+
+  uint32_t file_id() const { return file_id_; }
+
+  /// Appends a record, allocating pages as needed.
+  Result<Rid> Insert(std::string_view record);
+
+  /// Copies the record at `rid` into `*out`.
+  Status Get(Rid rid, std::string* out) const;
+
+  /// Deletes the record at `rid`.
+  Status Delete(Rid rid);
+
+  /// Updates in place when possible; if the record no longer fits on its
+  /// page it is moved and the *new* Rid is returned (caller must fix any
+  /// index entries).
+  Result<Rid> Update(Rid rid, std::string_view record);
+
+  /// Number of pages in the file.
+  Result<uint32_t> NumPages() const;
+
+  /// Full-scan cursor. Usage:
+  ///   HeapFile::Iterator it(&heap);
+  ///   while (true) {
+  ///     R3_ASSIGN_OR_RETURN(bool ok, it.Next(&rid, &rec));
+  ///     if (!ok) break; ...
+  ///   }
+  class Iterator {
+   public:
+    explicit Iterator(const HeapFile* heap) : heap_(heap) {}
+
+    /// Advances to the next live record. Returns false at end of file.
+    Result<bool> Next(Rid* rid, std::string* record);
+
+   private:
+    const HeapFile* heap_;
+    uint32_t page_no_ = 0;
+    uint32_t slot_ = 0;  // next slot to examine on page_no_
+    bool done_ = false;
+  };
+
+ private:
+  BufferPool* pool_;
+  uint32_t file_id_;
+  // Page with known free space to try first (simple append locality).
+  uint32_t last_insert_page_ = 0;
+  bool has_last_insert_page_ = false;
+};
+
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,104 @@
+#ifndef R3DB_RDBMS_STORAGE_PAGE_H_
+#define R3DB_RDBMS_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdbms/storage/disk.h"
+
+namespace r3 {
+namespace rdbms {
+
+/// Record id: page number within the table's file + slot within the page.
+struct Rid {
+  uint32_t page_no = 0;
+  uint16_t slot = 0;
+
+  bool operator==(const Rid& o) const {
+    return page_no == o.page_no && slot == o.slot;
+  }
+  bool operator<(const Rid& o) const {
+    return page_no != o.page_no ? page_no < o.page_no : slot < o.slot;
+  }
+
+  /// Packs into 48 bits (for index payloads).
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(page_no) << 16) | slot;
+  }
+  static Rid Unpack(uint64_t v) {
+    return Rid{static_cast<uint32_t>(v >> 16), static_cast<uint16_t>(v & 0xffff)};
+  }
+};
+
+/// View over one 8 KiB buffer frame laid out as a slotted page.
+///
+/// Layout:
+///   [0..2)  uint16 slot_count
+///   [2..4)  uint16 data_start (offset of the lowest record byte)
+///   [4..)   slot directory: per slot {uint16 offset, uint16 length}
+///   ...free space...
+///   [data_start..kPageSize) record bytes, growing downward
+///
+/// A deleted slot has offset == 0xFFFF. Slots are never reused across
+/// deletes within a page's lifetime (keeps RIDs stable); the space of the
+/// deleted record is reclaimed only by compaction on demand.
+class SlottedPage {
+ public:
+  /// Wraps an existing frame; does not own it.
+  explicit SlottedPage(char* frame) : p_(frame) {}
+
+  /// Zeroes the header of a fresh page.
+  void Init();
+
+  uint16_t slot_count() const { return Get16(0); }
+
+  /// Contiguous free bytes available for one more record (+ its slot).
+  size_t FreeSpace() const;
+
+  /// Inserts a record; returns its slot or kNotFound if it does not fit.
+  Result<uint16_t> Insert(std::string_view record);
+
+  /// Returns the record bytes in `slot` (view into the frame).
+  Result<std::string_view> Read(uint16_t slot) const;
+
+  /// Marks `slot` deleted. Deleting twice is an error.
+  Status Delete(uint16_t slot);
+
+  /// Replaces the record in `slot`; fails with kOutOfRange if the new record
+  /// does not fit in place plus remaining free space.
+  Status Update(uint16_t slot, std::string_view record);
+
+  /// True if the slot exists and is not deleted.
+  bool IsLive(uint16_t slot) const;
+
+  /// Sum of live record bytes (for stats).
+  size_t LiveBytes() const;
+
+ private:
+  static constexpr uint16_t kDeleted = 0xffff;
+  static constexpr size_t kHeaderSize = 4;
+  static constexpr size_t kSlotSize = 4;
+
+  uint16_t Get16(size_t off) const {
+    return static_cast<uint16_t>(static_cast<unsigned char>(p_[off])) |
+           static_cast<uint16_t>(static_cast<unsigned char>(p_[off + 1])) << 8;
+  }
+  void Put16(size_t off, uint16_t v) {
+    p_[off] = static_cast<char>(v & 0xff);
+    p_[off + 1] = static_cast<char>(v >> 8);
+  }
+  uint16_t data_start() const { return Get16(2); }
+  uint16_t SlotOffset(uint16_t slot) const { return Get16(kHeaderSize + slot * kSlotSize); }
+  uint16_t SlotLength(uint16_t slot) const { return Get16(kHeaderSize + slot * kSlotSize + 2); }
+
+  /// Compacts record space, preserving slot numbers.
+  void Compact();
+
+  char* p_;
+};
+
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_STORAGE_PAGE_H_

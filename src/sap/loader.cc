@@ -1,0 +1,371 @@
+#include "sap/loader.h"
+
+#include "common/date.h"
+#include "common/str_util.h"
+#include "sap/schema.h"
+
+namespace r3 {
+namespace sap {
+
+using appsys::BatchInput;
+using appsys::DataDictionary;
+using appsys::OsqlCond;
+using rdbms::Row;
+using rdbms::Value;
+using tpcd::CustomerRec;
+using tpcd::NationRec;
+using tpcd::OrderRec;
+using tpcd::PartRec;
+using tpcd::PartSuppRec;
+using tpcd::RegionRec;
+using tpcd::SupplierRec;
+
+namespace {
+
+Value Mandt(const appsys::AppServer& app) {
+  return Value::Str(app.client());
+}
+
+int32_t HighDate() { return date::FromYmd(9999, 12, 31); }
+int32_t LoadDate() { return date::FromYmd(1995, 1, 1); }
+
+}  // namespace
+
+Status SapLoader::PutText(const std::string& tdobject, const std::string& tdname,
+                          const std::string& text) {
+  Row row{Mandt(*app_),          Value::Str("TX"),  Value::Str(tdobject),
+          Value::Str(tdname),    Value::Str("0001"), Value::Str("E"),
+          Value::Int(0),         Value::Str(text)};
+  return app_->dictionary()->InsertLogical("STXL", row);
+}
+
+Status SapLoader::PutNation(const NationRec& n) {
+  DataDictionary* dict = app_->dictionary();
+  R3_RETURN_IF_ERROR(dict->InsertLogical(
+      "T005", WithFiller(
+      Row{Mandt(*app_), Value::Str(Land1(n.nationkey)),
+                  Value::Str(""), Value::Str(Regio(n.regionkey)),
+                  Value::Str("USD"), Value::Str(""), Value::Str(""),
+                  Value::Str("")}, FillerCounts::kT005)));
+  R3_RETURN_IF_ERROR(dict->InsertLogical(
+      "T005T", Row{Mandt(*app_), Value::Str("E"), Value::Str(Land1(n.nationkey)),
+                   Value::Str(n.name), Value::Str("")}));
+  return PutText("NATION", Land1(n.nationkey), n.comment);
+}
+
+Status SapLoader::PutRegion(const RegionRec& r) {
+  R3_RETURN_IF_ERROR(app_->dictionary()->InsertLogical(
+      "T005U", Row{Mandt(*app_), Value::Str("E"), Value::Str(Regio(r.regionkey)),
+                   Value::Str(r.name)}));
+  return PutText("REGION", Regio(r.regionkey), r.comment);
+}
+
+Status SapLoader::PutSupplier(const SupplierRec& s) {
+  DataDictionary* dict = app_->dictionary();
+  R3_RETURN_IF_ERROR(dict->InsertLogical(
+      "LFA1",
+      WithFiller(
+      Row{Mandt(*app_), Value::Str(Lifnr(s.suppkey)),
+          Value::Str(Land1(s.nationkey)), Value::Str(s.name),
+          Value::Str(""), Value::Str(""), Value::Str(s.address),
+          Value::Str(s.phone), Value::Str("E"), Value::Str("KRED")}, FillerCounts::kLfa1)));
+  R3_RETURN_IF_ERROR(dict->InsertLogical(
+      "AUSP", WithFiller(
+      Row{Mandt(*app_), Value::Str(Lifnr(s.suppkey)),
+                  Value::Str(kAtinnSuppAcctbal), Value::Str("0001"),
+                  Value::Str("001"), Value::Str(""),
+                  Value::Dbl(static_cast<double>(s.acctbal_cents) / 100.0)}, FillerCounts::kAusp)));
+  return PutText("LFA1", Lifnr(s.suppkey), s.comment);
+}
+
+Status SapLoader::PutPart(const PartRec& p) {
+  DataDictionary* dict = app_->dictionary();
+  R3_RETURN_IF_ERROR(dict->InsertLogical(
+      "MARA",
+      WithFiller(
+      Row{Mandt(*app_), Value::Str(Matnr(p.partkey)), Value::Date(LoadDate()),
+          Value::Str("DBGEN"), Value::Str("FERT"), Value::Str(p.brand),
+          Value::Str("ST"), Value::Decimal(static_cast<double>(p.size)),
+          Value::Str("KG"), Value::Str(p.type), Value::Str(p.container),
+          Value::Str(p.mfgr), Value::Date(LoadDate()), Value::Str("K")}, FillerCounts::kMara)));
+  R3_RETURN_IF_ERROR(dict->InsertLogical(
+      "MAKT", WithFiller(
+      Row{Mandt(*app_), Value::Str(Matnr(p.partkey)), Value::Str("E"),
+                  Value::Str(p.name), Value::Str(str::ToUpper(p.name))}, FillerCounts::kMakt)));
+  R3_RETURN_IF_ERROR(dict->InsertLogical(
+      "AUSP", WithFiller(
+      Row{Mandt(*app_), Value::Str(Matnr(p.partkey)),
+                  Value::Str(kAtinnPartSize), Value::Str("0001"),
+                  Value::Str("001"), Value::Str(""),
+                  Value::Dbl(static_cast<double>(p.size))}, FillerCounts::kAusp)));
+  R3_RETURN_IF_ERROR(dict->InsertLogical(
+      "A004", WithFiller(
+      Row{Mandt(*app_), Value::Str("V"), Value::Str(kKschlPrice),
+                  Value::Str("0001"), Value::Str(Matnr(p.partkey)),
+                  Value::Date(HighDate()), Value::Date(LoadDate()),
+                  Value::Str(Knumh(p.partkey))}, FillerCounts::kA004)));
+  R3_RETURN_IF_ERROR(dict->InsertLogical(
+      "KONP",
+      WithFiller(
+      Row{Mandt(*app_), Value::Str(Knumh(p.partkey)), Value::Str("01"),
+          Value::Str("V"), Value::Str(kKschlPrice),
+          Value::DecimalFromCents(p.retailprice_cents), Value::Str("USD"),
+          Value::Decimal(1.0), Value::Str("ST")}, FillerCounts::kKonp)));
+  return PutText("MATERIAL", Matnr(p.partkey), p.comment);
+}
+
+Status SapLoader::PutPartSupp(const PartSuppRec& ps, int64_t nth) {
+  DataDictionary* dict = app_->dictionary();
+  std::string infnr = Infnr(ps.partkey, nth);
+  R3_RETURN_IF_ERROR(dict->InsertLogical(
+      "EINA", WithFiller(
+      Row{Mandt(*app_), Value::Str(infnr), Value::Str(Matnr(ps.partkey)),
+                  Value::Str(Lifnr(ps.suppkey)), Value::Date(LoadDate()),
+                  Value::Str("ST"), Value::Str("")}, FillerCounts::kEina)));
+  R3_RETURN_IF_ERROR(dict->InsertLogical(
+      "EINE", WithFiller(
+      Row{Mandt(*app_), Value::Str(infnr), Value::Str("0001"),
+                  Value::Str("0001"), Value::Decimal(0.0),
+                  Value::DecimalFromCents(ps.supplycost_cents),
+                  Value::Decimal(1.0), Value::Str("ST"), Value::Str("USD")}, FillerCounts::kEine)));
+  R3_RETURN_IF_ERROR(dict->InsertLogical(
+      "AUSP", WithFiller(
+      Row{Mandt(*app_), Value::Str(infnr), Value::Str(kAtinnPsAvailqty),
+                  Value::Str("0001"), Value::Str("001"), Value::Str(""),
+                  Value::Dbl(static_cast<double>(ps.availqty))}, FillerCounts::kAusp)));
+  return PutText("EINA", infnr, ps.comment);
+}
+
+Status SapLoader::PutCustomer(const CustomerRec& c) {
+  DataDictionary* dict = app_->dictionary();
+  R3_RETURN_IF_ERROR(dict->InsertLogical(
+      "KNA1",
+      WithFiller(
+      Row{Mandt(*app_), Value::Str(Kunnr(c.custkey)),
+          Value::Str(Land1(c.nationkey)), Value::Str(c.name), Value::Str(""),
+          Value::Str(""), Value::Str(c.address), Value::Str(c.phone),
+          Value::Str(c.mktsegment), Value::Str("KUNA")}, FillerCounts::kKna1)));
+  R3_RETURN_IF_ERROR(dict->InsertLogical(
+      "AUSP", WithFiller(
+      Row{Mandt(*app_), Value::Str(Kunnr(c.custkey)),
+                  Value::Str(kAtinnCustAcctbal), Value::Str("0001"),
+                  Value::Str("001"), Value::Str(""),
+                  Value::Dbl(static_cast<double>(c.acctbal_cents) / 100.0)}, FillerCounts::kAusp)));
+  return PutText("KNA1", Kunnr(c.custkey), c.comment);
+}
+
+Status SapLoader::PutOrder(const OrderRec& o) {
+  DataDictionary* dict = app_->dictionary();
+  R3_RETURN_IF_ERROR(dict->InsertLogical(
+      "VBAK",
+      WithFiller(
+      Row{Mandt(*app_), Value::Str(Vbeln(o.orderkey)), Value::Date(o.orderdate),
+          Value::Str(o.clerk), Value::Date(o.orderdate), Value::Str("C"),
+          Value::Str("TA"), Value::DecimalFromCents(o.totalprice_cents),
+          Value::Str("USD"), Value::Str(Kunnr(o.custkey)),
+          Value::Str(Knumv(o.orderkey)), Value::Str(o.orderstatus),
+          Value::Str(o.orderpriority),
+          Value::Str(str::SapKey(o.shippriority, 2))}, FillerCounts::kVbak)));
+  R3_RETURN_IF_ERROR(PutText("VBBK", Vbeln(o.orderkey), o.comment));
+
+  for (const tpcd::LineItemRec& l : o.lines) {
+    std::string posnr = Posnr(l.linenumber);
+    R3_RETURN_IF_ERROR(dict->InsertLogical(
+        "VBAP",
+        WithFiller(
+      Row{Mandt(*app_), Value::Str(Vbeln(o.orderkey)), Value::Str(posnr),
+            Value::Str(Matnr(l.partkey)), Value::Str(Lifnr(l.suppkey)),
+            Value::DecimalFromCents(l.quantity * 100), Value::Str("ST"),
+            Value::DecimalFromCents(l.extendedprice_cents), Value::Str("USD"),
+            Value::Str(l.returnflag), Value::Str(l.linestatus),
+            Value::Str(l.shipmode), Value::Str(l.shipinstruct)}, FillerCounts::kVbap)));
+    R3_RETURN_IF_ERROR(dict->InsertLogical(
+        "VBEP",
+        WithFiller(
+      Row{Mandt(*app_), Value::Str(Vbeln(o.orderkey)), Value::Str(posnr),
+            Value::Str("0001"), Value::Date(l.shipdate), Value::Date(l.commitdate),
+            Value::Date(l.receiptdate),
+            Value::DecimalFromCents(l.quantity * 100), Value::Str("")}, FillerCounts::kVbep)));
+    // Three pricing conditions per position: price, discount, tax.
+    // KBETR is per-mille for percentage conditions (paper's 1 + KBETR/1000).
+    int64_t unit_price_cents =
+        l.quantity > 0 ? l.extendedprice_cents / l.quantity : 0;
+    int64_t disc_value = -l.extendedprice_cents * l.discount_bp / 100;
+    int64_t taxed_base = l.extendedprice_cents + disc_value;
+    int64_t tax_value = taxed_base * l.tax_bp / 100;
+    auto konv_row = [&](const char* stunr, const char* kschl, double kbetr,
+                        int64_t kawrt_cents, int64_t kwert_cents) {
+      return WithFiller(
+          Row{Mandt(*app_), Value::Str(Knumv(o.orderkey)), Value::Str(posnr),
+              Value::Str(stunr), Value::Str("01"), Value::Str(kschl),
+              Value::Decimal(kbetr), Value::DecimalFromCents(kawrt_cents),
+              Value::DecimalFromCents(kwert_cents)},
+          FillerCounts::kKonv);
+    };
+    R3_RETURN_IF_ERROR(dict->InsertLogical(
+        "KONV",
+        konv_row(kStunrPrice, kKschlPrice,
+                 static_cast<double>(unit_price_cents) / 100.0,
+                 l.quantity * 100, l.extendedprice_cents)));
+    R3_RETURN_IF_ERROR(dict->InsertLogical(
+        "KONV", konv_row(kStunrDiscount, kKschlDiscount,
+                         -static_cast<double>(l.discount_bp) * 10.0,
+                         l.extendedprice_cents, disc_value)));
+    R3_RETURN_IF_ERROR(dict->InsertLogical(
+        "KONV", konv_row(kStunrTax, kKschlTax,
+                         static_cast<double>(l.tax_bp) * 10.0, taxed_base,
+                         tax_value)));
+    R3_RETURN_IF_ERROR(
+        PutText("VBBP", Vbeln(o.orderkey) + posnr, l.comment));
+  }
+  return Status::OK();
+}
+
+Status SapLoader::FastLoadAll() {
+  for (const RegionRec& r : gen_->MakeRegions()) {
+    R3_RETURN_IF_ERROR(PutRegion(r));
+  }
+  for (const NationRec& n : gen_->MakeNations()) {
+    R3_RETURN_IF_ERROR(PutNation(n));
+  }
+  for (const SupplierRec& s : gen_->MakeSuppliers()) {
+    R3_RETURN_IF_ERROR(PutSupplier(s));
+  }
+  for (const PartRec& p : gen_->MakeParts()) {
+    R3_RETURN_IF_ERROR(PutPart(p));
+  }
+  {
+    int64_t i = 0;
+    for (const PartSuppRec& ps : gen_->MakePartSupps()) {
+      R3_RETURN_IF_ERROR(PutPartSupp(ps, i % 4));
+      ++i;
+    }
+  }
+  for (const CustomerRec& c : gen_->MakeCustomers()) {
+    R3_RETURN_IF_ERROR(PutCustomer(c));
+  }
+  R3_RETURN_IF_ERROR(gen_->ForEachOrder(
+      [&](const OrderRec& o) -> Status { return PutOrder(o); }));
+  return app_->db()->Analyze();
+}
+
+// ---------------------------------------------------------------------------
+// Batch-input entry (dialog transactions with validation)
+// ---------------------------------------------------------------------------
+
+Status SapLoader::EnterNation(const NationRec& n) {
+  BatchInput::Transaction txn = app_->batch_input()->Begin("OY01");
+  txn.Screen();
+  R3_RETURN_IF_ERROR(PutNation(n));
+  return txn.Commit();
+}
+
+Status SapLoader::EnterRegion(const RegionRec& r) {
+  BatchInput::Transaction txn = app_->batch_input()->Begin("OY03");
+  txn.Screen();
+  R3_RETURN_IF_ERROR(PutRegion(r));
+  return txn.Commit();
+}
+
+Status SapLoader::EnterSupplier(const SupplierRec& s) {
+  BatchInput::Transaction txn = app_->batch_input()->Begin("XK01");
+  txn.Screen();  // address + control data
+  R3_RETURN_IF_ERROR(txn.CheckExists(
+      "T005", {OsqlCond::Eq("LAND1", Value::Str(Land1(s.nationkey)))}));
+  R3_RETURN_IF_ERROR(PutSupplier(s));
+  return txn.Commit();
+}
+
+Status SapLoader::EnterPart(const PartRec& p) {
+  BatchInput::Transaction txn = app_->batch_input()->Begin("MM01");
+  txn.Screen();  // basic data + classification + sales views
+  R3_RETURN_IF_ERROR(PutPart(p));
+  return txn.Commit();
+}
+
+Status SapLoader::EnterPartSupp(const PartSuppRec& ps, int64_t nth_supplier) {
+  BatchInput::Transaction txn = app_->batch_input()->Begin("ME11");
+  txn.Screen();  // general + purchasing-org data
+  R3_RETURN_IF_ERROR(txn.CheckExists(
+      "MARA", {OsqlCond::Eq("MATNR", Value::Str(Matnr(ps.partkey)))}));
+  R3_RETURN_IF_ERROR(txn.CheckExists(
+      "LFA1", {OsqlCond::Eq("LIFNR", Value::Str(Lifnr(ps.suppkey)))}));
+  R3_RETURN_IF_ERROR(PutPartSupp(ps, nth_supplier));
+  return txn.Commit();
+}
+
+Status SapLoader::EnterCustomer(const CustomerRec& c) {
+  BatchInput::Transaction txn = app_->batch_input()->Begin("XD01");
+  txn.Screen();  // address + control data
+  R3_RETURN_IF_ERROR(txn.CheckExists(
+      "T005", {OsqlCond::Eq("LAND1", Value::Str(Land1(c.nationkey)))}));
+  R3_RETURN_IF_ERROR(PutCustomer(c));
+  return txn.Commit();
+}
+
+Status SapLoader::EnterOrder(const OrderRec& o) {
+  BatchInput::Transaction txn = app_->batch_input()->Begin("VA01");
+  txn.Screen();  // header
+  R3_RETURN_IF_ERROR(txn.CheckExists(
+      "KNA1", {OsqlCond::Eq("KUNNR", Value::Str(Kunnr(o.custkey)))}));
+  for (const tpcd::LineItemRec& l : o.lines) {
+    txn.Screen();  // one item screen per position
+    R3_RETURN_IF_ERROR(txn.CheckExists(
+        "MARA", {OsqlCond::Eq("MATNR", Value::Str(Matnr(l.partkey)))}));
+    // Pricing: find the condition record (pool read) and its item.
+    R3_RETURN_IF_ERROR(txn.CheckExists(
+        "A004", {OsqlCond::Eq("KAPPL", Value::Str("V")),
+                 OsqlCond::Eq("KSCHL", Value::Str(kKschlPrice)),
+                 OsqlCond::Eq("VKORG", Value::Str("0001")),
+                 OsqlCond::Eq("MATNR", Value::Str(Matnr(l.partkey)))}));
+    R3_RETURN_IF_ERROR(txn.CheckExists(
+        "KONP", {OsqlCond::Eq("KNUMH", Value::Str(Knumh(l.partkey))),
+                 OsqlCond::Eq("KOPOS", Value::Str("01"))}));
+  }
+  R3_RETURN_IF_ERROR(PutOrder(o));
+  return txn.Commit();
+}
+
+Status SapLoader::DeleteOrder(int64_t orderkey) {
+  appsys::OpenSql* osql = app_->open_sql();
+  int64_t affected = 0;
+  // UF2 runs through batch input too: a VA02 dialog per document.
+  BatchInput::Transaction txn = app_->batch_input()->Begin("VA02");
+  txn.Screen();
+  R3_RETURN_IF_ERROR(txn.CheckExists(
+      "VBAK", {OsqlCond::Eq("VBELN", Value::Str(Vbeln(orderkey)))}));
+  // Positions, schedule lines, conditions, texts, then the header.
+  // Capture the positions first so the line texts can be deleted by their
+  // exact keys (a LIKE over STXL would scan every comment in the system).
+  appsys::OpenSqlQuery posq;
+  posq.table = "VBAP";
+  posq.columns = {"POSNR"};
+  posq.where = {OsqlCond::Eq("VBELN", Value::Str(Vbeln(orderkey)))};
+  R3_ASSIGN_OR_RETURN(rdbms::QueryResult positions, osql->Select(posq));
+  R3_RETURN_IF_ERROR(osql->Delete(
+      "VBAP", {OsqlCond::Eq("VBELN", Value::Str(Vbeln(orderkey)))}, &affected));
+  R3_RETURN_IF_ERROR(osql->Delete(
+      "VBEP", {OsqlCond::Eq("VBELN", Value::Str(Vbeln(orderkey)))}, &affected));
+  R3_RETURN_IF_ERROR(osql->Delete(
+      "KONV", {OsqlCond::Eq("KNUMV", Value::Str(Knumv(orderkey)))}, &affected));
+  R3_RETURN_IF_ERROR(osql->Delete(
+      "STXL", {OsqlCond::Eq("RELID", Value::Str("TX")),
+               OsqlCond::Eq("TDOBJECT", Value::Str("VBBK")),
+               OsqlCond::Eq("TDNAME", Value::Str(Vbeln(orderkey)))},
+      &affected));
+  for (const rdbms::Row& pos : positions.rows) {
+    R3_RETURN_IF_ERROR(osql->Delete(
+        "STXL",
+        {OsqlCond::Eq("RELID", Value::Str("TX")),
+         OsqlCond::Eq("TDOBJECT", Value::Str("VBBP")),
+         OsqlCond::Eq("TDNAME",
+                      Value::Str(Vbeln(orderkey) + pos[0].string_value()))},
+        &affected));
+  }
+  R3_RETURN_IF_ERROR(osql->Delete(
+      "VBAK", {OsqlCond::Eq("VBELN", Value::Str(Vbeln(orderkey)))}, &affected));
+  return txn.Commit();
+}
+
+}  // namespace sap
+}  // namespace r3

@@ -1,0 +1,64 @@
+#ifndef R3DB_SAP_LOADER_H_
+#define R3DB_SAP_LOADER_H_
+
+#include "appsys/app_server.h"
+#include "common/status.h"
+#include "tpcd/dbgen.h"
+
+namespace r3 {
+namespace sap {
+
+/// Loads TPC-D data into the SAP-mapped schema.
+///
+/// Two paths:
+///  * Batch input ("EnterXxx"): the faithful path — every record runs a
+///    dialog transaction with screens, master-data validation probes, and
+///    tuple-at-a-time inserts (Table 3's month-long load; UF1/UF2's cost).
+///  * FastLoad: direct dictionary inserts without the dialog machinery, for
+///    setting up query experiments quickly. Same resulting bytes.
+class SapLoader {
+ public:
+  SapLoader(appsys::AppServer* app, tpcd::DbGen* gen) : app_(app), gen_(gen) {}
+
+  /// Direct-load everything + ANALYZE. No dialog overhead.
+  Status FastLoadAll();
+
+  // -- Batch-input ("simulated interactive entry") per business object ------
+
+  Status EnterNation(const tpcd::NationRec& n);
+  Status EnterRegion(const tpcd::RegionRec& r);
+  Status EnterSupplier(const tpcd::SupplierRec& s);
+  Status EnterPart(const tpcd::PartRec& p);
+  Status EnterPartSupp(const tpcd::PartSuppRec& ps, int64_t nth_supplier);
+  Status EnterCustomer(const tpcd::CustomerRec& c);
+  Status EnterOrder(const tpcd::OrderRec& o);
+
+  /// Deletes one order and its dependent records through the application
+  /// layer (the UF2 path).
+  Status DeleteOrder(int64_t orderkey);
+
+  appsys::AppServer* app() { return app_; }
+  tpcd::DbGen* gen() { return gen_; }
+
+ private:
+  // Direct row writers shared by both paths.
+  Status PutNation(const tpcd::NationRec& n);
+  Status PutRegion(const tpcd::RegionRec& r);
+  Status PutSupplier(const tpcd::SupplierRec& s);
+  Status PutPart(const tpcd::PartRec& p);
+  Status PutPartSupp(const tpcd::PartSuppRec& ps, int64_t nth);
+  Status PutCustomer(const tpcd::CustomerRec& c);
+  Status PutOrder(const tpcd::OrderRec& o);
+  Status PutText(const std::string& tdobject, const std::string& tdname,
+                 const std::string& text);
+
+  appsys::AppServer* app_;
+  tpcd::DbGen* gen_;
+  /// Tracks which supplier slot a PARTSUPP row is, keyed by generation order.
+  int64_t partsupp_seq_ = 0;
+};
+
+}  // namespace sap
+}  // namespace r3
+
+#endif  // R3DB_SAP_LOADER_H_

@@ -1,0 +1,190 @@
+#include "sap/schema.h"
+
+#include "common/str_util.h"
+
+namespace r3 {
+namespace sap {
+
+using appsys::AppServer;
+using appsys::DataDictionary;
+using rdbms::ColChar;
+using rdbms::ColDate;
+using rdbms::ColDecimal;
+using rdbms::ColDouble;
+using rdbms::ColInt;
+using rdbms::ColVarchar;
+using rdbms::Schema;
+
+std::string Land1(int64_t nationkey) { return str::SapKey(nationkey, 3); }
+std::string Regio(int64_t regionkey) { return str::SapKey(regionkey, 3); }
+std::string Matnr(int64_t partkey) { return str::SapKey(partkey, 16); }
+std::string Lifnr(int64_t suppkey) { return str::SapKey(suppkey, 10); }
+std::string Kunnr(int64_t custkey) { return str::SapKey(custkey, 10); }
+std::string Vbeln(int64_t orderkey) { return str::SapKey(orderkey, 10); }
+std::string Posnr(int64_t linenumber) { return str::SapKey(linenumber, 6); }
+std::string Knumv(int64_t orderkey) { return str::SapKey(orderkey, 10); }
+std::string Knumh(int64_t partkey) { return str::SapKey(partkey, 10); }
+std::string Infnr(int64_t partkey, int64_t nth_supplier) {
+  return str::SapKey(partkey * 4 + nth_supplier, 10);
+}
+
+int64_t OrderKeyOf(const std::string& vbeln) {
+  return std::strtoll(vbeln.c_str(), nullptr, 10);
+}
+
+void AddFiller(Schema* schema, int n) {
+  for (int i = 0; i < n; ++i) {
+    (void)schema->AddColumn(ColChar(str::Format("FILL%02d", i), 10));
+  }
+}
+
+rdbms::Row WithFiller(rdbms::Row row, int n) {
+  for (int i = 0; i < n; ++i) {
+    row.push_back(rdbms::Value::Str(""));
+  }
+  return row;
+}
+
+Status CreateSapSchema(AppServer* app) {
+  DataDictionary* dict = app->dictionary();
+
+  // ---- Country / region master data (NATION, REGION) ----------------------
+  Schema t005({ColChar("MANDT", 3), ColChar("LAND1", 3), ColChar("LANDK", 4),
+               ColChar("REGIO", 3), ColChar("WAERS", 5), ColChar("NMFMT", 2),
+               ColChar("XPLZS", 1), ColChar("INTCA", 2)});
+  AddFiller(&t005, FillerCounts::kT005);
+  R3_RETURN_IF_ERROR(dict->DefineTransparent("T005", t005, {"MANDT", "LAND1"}));
+
+  Schema t005t({ColChar("MANDT", 3), ColChar("SPRAS", 2), ColChar("LAND1", 3),
+                ColChar("LANDX", 25), ColChar("NATIO", 25)});
+  R3_RETURN_IF_ERROR(
+      dict->DefineTransparent("T005T", t005t, {"MANDT", "SPRAS", "LAND1"}));
+
+  Schema t005u({ColChar("MANDT", 3), ColChar("SPRAS", 2), ColChar("REGIO", 3),
+                ColChar("BEZEI", 25)});
+  R3_RETURN_IF_ERROR(
+      dict->DefineTransparent("T005U", t005u, {"MANDT", "SPRAS", "REGIO"}));
+
+  // ---- Material master (PART) ---------------------------------------------
+  Schema mara({ColChar("MANDT", 3), ColChar("MATNR", 16), ColDate("ERSDA"),
+               ColChar("ERNAM", 12), ColChar("MTART", 10), ColChar("MATKL", 9),
+               ColChar("MEINS", 3), ColDecimal("BRGEW"), ColChar("GEWEI", 3),
+               ColChar("GROES", 25), ColChar("MAGRV", 10),
+               ColChar("MFRNR", 25), ColDate("LAEDA"), ColChar("VPSTA", 2)});
+  AddFiller(&mara, FillerCounts::kMara);
+  R3_RETURN_IF_ERROR(dict->DefineTransparent("MARA", mara, {"MANDT", "MATNR"}));
+
+  Schema makt({ColChar("MANDT", 3), ColChar("MATNR", 16), ColChar("SPRAS", 2),
+               ColChar("MAKTX", 55), ColChar("MAKTG", 55)});
+  AddFiller(&makt, FillerCounts::kMakt);
+  R3_RETURN_IF_ERROR(
+      dict->DefineTransparent("MAKT", makt, {"MANDT", "MATNR", "SPRAS"}));
+
+  // Pricing condition index (pool) + condition items: the part's list price.
+  Schema a004({ColChar("MANDT", 3), ColChar("KAPPL", 2), ColChar("KSCHL", 4),
+               ColChar("VKORG", 4), ColChar("MATNR", 16), ColDate("DATBI"),
+               ColDate("DATAB"), ColChar("KNUMH", 10)});
+  AddFiller(&a004, FillerCounts::kA004);
+  R3_RETURN_IF_ERROR(dict->DefinePool(
+      "A004", a004, {"MANDT", "KAPPL", "KSCHL", "VKORG", "MATNR", "DATBI"},
+      "KAPOL"));
+
+  Schema konp({ColChar("MANDT", 3), ColChar("KNUMH", 10), ColChar("KOPOS", 2),
+               ColChar("KAPPL", 2), ColChar("KSCHL", 4), ColDecimal("KBETR"),
+               ColChar("KONWA", 5), ColDecimal("KPEIN"), ColChar("KMEIN", 3)});
+  AddFiller(&konp, FillerCounts::kKonp);
+  R3_RETURN_IF_ERROR(
+      dict->DefineTransparent("KONP", konp, {"MANDT", "KNUMH", "KOPOS"}));
+
+  // ---- Supplier master (SUPPLIER) ------------------------------------------
+  Schema lfa1({ColChar("MANDT", 3), ColChar("LIFNR", 10), ColChar("LAND1", 3),
+               ColChar("NAME1", 30), ColChar("ORT01", 25), ColChar("PSTLZ", 10),
+               ColChar("STRAS", 30), ColChar("TELF1", 16), ColChar("SPRAS", 2),
+               ColChar("KTOKK", 4)});
+  AddFiller(&lfa1, FillerCounts::kLfa1);
+  R3_RETURN_IF_ERROR(dict->DefineTransparent("LFA1", lfa1, {"MANDT", "LIFNR"}));
+
+  // ---- Purchasing info records (PARTSUPP) ----------------------------------
+  Schema eina({ColChar("MANDT", 3), ColChar("INFNR", 10), ColChar("MATNR", 16),
+               ColChar("LIFNR", 10), ColDate("ERDAT"), ColChar("MEINS", 3),
+               ColChar("LOEKZ", 1)});
+  AddFiller(&eina, FillerCounts::kEina);
+  R3_RETURN_IF_ERROR(dict->DefineTransparent("EINA", eina, {"MANDT", "INFNR"}));
+  R3_RETURN_IF_ERROR(dict->CreateSecondaryIndex("EINA", "M", {"MATNR", "LIFNR"}));
+
+  Schema eine({ColChar("MANDT", 3), ColChar("INFNR", 10), ColChar("EKORG", 4),
+               ColChar("WERKS", 4), ColDecimal("APLFZ"), ColDecimal("NETPR"),
+               ColDecimal("PEINH"), ColChar("BPRME", 3), ColChar("WAERS", 5)});
+  AddFiller(&eine, FillerCounts::kEine);
+  R3_RETURN_IF_ERROR(
+      dict->DefineTransparent("EINE", eine, {"MANDT", "INFNR", "EKORG"}));
+
+  // ---- Characteristic values (odd attributes) ------------------------------
+  Schema ausp({ColChar("MANDT", 3), ColChar("OBJEK", 20), ColChar("ATINN", 12),
+               ColChar("ATZHL", 4), ColChar("KLART", 3), ColChar("ATWRT", 30),
+               ColDouble("ATFLV")});
+  AddFiller(&ausp, FillerCounts::kAusp);
+  R3_RETURN_IF_ERROR(dict->DefineTransparent(
+      "AUSP", ausp, {"MANDT", "OBJEK", "ATINN", "ATZHL", "KLART"}));
+
+  // ---- Customer master (CUSTOMER) -------------------------------------------
+  Schema kna1({ColChar("MANDT", 3), ColChar("KUNNR", 10), ColChar("LAND1", 3),
+               ColChar("NAME1", 30), ColChar("ORT01", 25), ColChar("PSTLZ", 10),
+               ColChar("STRAS", 30), ColChar("TELF1", 16), ColChar("BRSCH", 10),
+               ColChar("KTOKD", 4)});
+  AddFiller(&kna1, FillerCounts::kKna1);
+  R3_RETURN_IF_ERROR(dict->DefineTransparent("KNA1", kna1, {"MANDT", "KUNNR"}));
+
+  // ---- Sales documents (ORDERS / LINEITEM) ----------------------------------
+  Schema vbak({ColChar("MANDT", 3), ColChar("VBELN", 10), ColDate("ERDAT"),
+               ColChar("ERNAM", 15), ColDate("AUDAT"), ColChar("VBTYP", 1),
+               ColChar("AUART", 4), ColDecimal("NETWR"), ColChar("WAERK", 5),
+               ColChar("KUNNR", 10), ColChar("KNUMV", 10), ColChar("GBSTK", 1),
+               ColChar("PRIOK", 15), ColChar("VSBED", 2)});
+  AddFiller(&vbak, FillerCounts::kVbak);
+  R3_RETURN_IF_ERROR(dict->DefineTransparent("VBAK", vbak, {"MANDT", "VBELN"}));
+  R3_RETURN_IF_ERROR(dict->CreateSecondaryIndex("VBAK", "K", {"MANDT", "KUNNR"}));
+  R3_RETURN_IF_ERROR(dict->CreateSecondaryIndex("VBAK", "D", {"MANDT", "AUDAT"}));
+
+  Schema vbap({ColChar("MANDT", 3), ColChar("VBELN", 10), ColChar("POSNR", 6),
+               ColChar("MATNR", 16), ColChar("LIFNR", 10),
+               ColDecimal("KWMENG"), ColChar("VRKME", 3), ColDecimal("NETWR"),
+               ColChar("WAERK", 5), ColChar("ABGRU", 2), ColChar("GBSTA", 1),
+               ColChar("ROUTE", 10), ColChar("LGORT", 25)});
+  AddFiller(&vbap, FillerCounts::kVbap);
+  R3_RETURN_IF_ERROR(
+      dict->DefineTransparent("VBAP", vbap, {"MANDT", "VBELN", "POSNR"}));
+  R3_RETURN_IF_ERROR(dict->CreateSecondaryIndex("VBAP", "M", {"MANDT", "MATNR"}));
+
+  Schema vbep({ColChar("MANDT", 3), ColChar("VBELN", 10), ColChar("POSNR", 6),
+               ColChar("ETENR", 4), ColDate("EDATU"), ColDate("WADAT"),
+               ColDate("LDDAT"), ColDecimal("BMENG"), ColChar("LIFSP", 2)});
+  AddFiller(&vbep, FillerCounts::kVbep);
+  R3_RETURN_IF_ERROR(dict->DefineTransparent(
+      "VBEP", vbep, {"MANDT", "VBELN", "POSNR", "ETENR"}));
+  // The default shipdate index the paper talks about (deleted for the 3.0
+  // power test because it misled the blind optimizer).
+  R3_RETURN_IF_ERROR(dict->CreateSecondaryIndex("VBEP", "E", {"MANDT", "EDATU"}));
+
+  // Document conditions (cluster): discount/tax/price of every position.
+  Schema konv({ColChar("MANDT", 3), ColChar("KNUMV", 10), ColChar("KPOSN", 6),
+               ColChar("STUNR", 3), ColChar("ZAEHK", 2), ColChar("KSCHL", 4),
+               ColDecimal("KBETR"), ColDecimal("KAWRT"), ColDecimal("KWERT")});
+  AddFiller(&konv, FillerCounts::kKonv);
+  R3_RETURN_IF_ERROR(dict->DefineCluster(
+      "KONV", konv, {"MANDT", "KNUMV", "KPOSN", "STUNR", "ZAEHK"}, 2, "KOCLU"));
+
+  // ---- Texts (every TPC-D comment) ------------------------------------------
+  Schema stxl({ColChar("MANDT", 3), ColChar("RELID", 2),
+               ColChar("TDOBJECT", 10), ColChar("TDNAME", 32),
+               ColChar("TDID", 4), ColChar("TDSPRAS", 2), ColInt("SRTF2", 4),
+               ColVarchar("CLUSTD")});
+  R3_RETURN_IF_ERROR(dict->DefineTransparent(
+      "STXL", stxl,
+      {"MANDT", "RELID", "TDOBJECT", "TDNAME", "TDID", "TDSPRAS", "SRTF2"}));
+
+  return Status::OK();
+}
+
+}  // namespace sap
+}  // namespace r3

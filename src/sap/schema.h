@@ -1,0 +1,95 @@
+#ifndef R3DB_SAP_SCHEMA_H_
+#define R3DB_SAP_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "appsys/app_server.h"
+#include "common/status.h"
+#include "rdbms/row.h"
+
+namespace r3 {
+namespace sap {
+
+/// Defines the 17 application tables that hold the TPC-D business data
+/// (Table 1 of the paper) in the data dictionary, with their primary keys,
+/// customary secondary indexes, and kinds:
+///
+///   T005/T005T/T005U         <- NATION/REGION master data
+///   MARA/MAKT/A004(pool)/KONP <- PART (+ price terms)
+///   LFA1                      <- SUPPLIER
+///   EINA/EINE                 <- PARTSUPP (purchasing info records)
+///   AUSP                      <- odd attributes of PART/SUPP/CUST/PARTSUPP
+///   KNA1                      <- CUSTOMER
+///   VBAK                      <- ORDERS
+///   VBAP/VBEP/KONV(cluster)   <- LINEITEM (position/schedule/pricing)
+///   STXL                      <- all comment texts
+///
+/// Everything is CHAR-key coded (order numbers as CHAR(10), materials as
+/// CHAR(16), ...) and carries the realistic filler columns business master
+/// data needs — together these produce the paper's ~10x data / ~8x index
+/// size inflation (Table 2).
+Status CreateSapSchema(appsys::AppServer* app);
+
+// -- Key codings ------------------------------------------------------------
+
+std::string Land1(int64_t nationkey);          ///< CHAR(3)
+std::string Regio(int64_t regionkey);          ///< CHAR(3)
+std::string Matnr(int64_t partkey);            ///< CHAR(16)
+std::string Lifnr(int64_t suppkey);            ///< CHAR(10)
+std::string Kunnr(int64_t custkey);            ///< CHAR(10)
+std::string Vbeln(int64_t orderkey);           ///< CHAR(10)
+std::string Posnr(int64_t linenumber);         ///< CHAR(6)
+std::string Knumv(int64_t orderkey);           ///< CHAR(10), pricing document
+std::string Knumh(int64_t partkey);            ///< CHAR(10), condition record
+std::string Infnr(int64_t partkey, int64_t nth_supplier);  ///< CHAR(10)
+
+/// Inverse of Vbeln (for reports that compute keys).
+int64_t OrderKeyOf(const std::string& vbeln);
+
+/// Filler-column counts per table (each CHAR(10), blank by default). Real
+/// SAP master/document tables carry one to two hundred columns; business
+/// data occupies a fraction of the row. These counts put our rows at a
+/// realistic width so Table 2's ~10x inflation emerges from actual bytes.
+struct FillerCounts {
+  static constexpr int kMara = 25;   // real MARA: ~240 fields
+  static constexpr int kMakt = 2;
+  static constexpr int kKna1 = 22;   // real KNA1: ~180 fields
+  static constexpr int kLfa1 = 20;
+  static constexpr int kVbak = 25;   // real VBAK: ~100 fields
+  static constexpr int kVbap = 32;   // real VBAP: ~200 fields
+  static constexpr int kVbep = 15;
+  static constexpr int kKonv = 10;   // real KONV: ~80 fields
+  static constexpr int kKonp = 8;
+  static constexpr int kEina = 10;
+  static constexpr int kEine = 12;
+  static constexpr int kT005 = 6;
+  static constexpr int kAusp = 4;
+  static constexpr int kStxl = 0;
+  static constexpr int kA004 = 4;
+};
+
+/// Appends `n` blank CHAR(10) filler columns to a schema.
+void AddFiller(rdbms::Schema* schema, int n);
+
+/// Appends `n` empty values to a row (the default values SAP assigns).
+rdbms::Row WithFiller(rdbms::Row row, int n);
+
+// AUSP characteristic ids.
+inline constexpr const char* kAtinnPartSize = "P_SIZE";
+inline constexpr const char* kAtinnSuppAcctbal = "S_ACCTBAL";
+inline constexpr const char* kAtinnCustAcctbal = "C_ACCTBAL";
+inline constexpr const char* kAtinnPsAvailqty = "PS_AVAILQTY";
+
+// KONV condition types.
+inline constexpr const char* kKschlPrice = "PR00";
+inline constexpr const char* kKschlDiscount = "DISC";
+inline constexpr const char* kKschlTax = "TAX";
+inline constexpr const char* kStunrPrice = "010";
+inline constexpr const char* kStunrDiscount = "040";
+inline constexpr const char* kStunrTax = "050";
+
+}  // namespace sap
+}  // namespace r3
+
+#endif  // R3DB_SAP_SCHEMA_H_

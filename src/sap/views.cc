@@ -1,0 +1,83 @@
+#include "sap/views.h"
+
+#include "sap/schema.h"
+
+namespace r3 {
+namespace sap {
+
+using rdbms::ColChar;
+using rdbms::ColDate;
+using rdbms::ColDecimal;
+using rdbms::Schema;
+
+Status CreateJoinViews(appsys::AppServer* app) {
+  appsys::DataDictionary* dict = app->dictionary();
+
+  // Order position + schedule line: the closest thing 2.2 Open SQL has to a
+  // LINEITEM table (still without the KONV pricing!).
+  Schema vlips({ColChar("MANDT", 3), ColChar("VBELN", 10), ColChar("POSNR", 6),
+                ColChar("MATNR", 16), ColChar("LIFNR", 10),
+                ColDecimal("KWMENG"), ColDecimal("NETWR"), ColChar("ABGRU", 2),
+                ColChar("GBSTA", 1), ColChar("ROUTE", 10), ColChar("LGORT", 25),
+                ColDate("EDATU"), ColDate("WADAT"), ColDate("LDDAT")});
+  R3_RETURN_IF_ERROR(dict->DefineJoinView(
+      "VLIPS",
+      "SELECT P.MANDT MANDT, P.VBELN VBELN, P.POSNR POSNR, P.MATNR MATNR, "
+      "P.LIFNR LIFNR, P.KWMENG KWMENG, P.NETWR NETWR, P.ABGRU ABGRU, "
+      "P.GBSTA GBSTA, P.ROUTE ROUTE, P.LGORT LGORT, E.EDATU EDATU, "
+      "E.WADAT WADAT, E.LDDAT LDDAT "
+      "FROM VBAP P JOIN VBEP E ON P.MANDT = E.MANDT AND P.VBELN = E.VBELN "
+      "AND P.POSNR = E.POSNR",
+      vlips));
+
+  // Order header + customer.
+  Schema vordk({ColChar("MANDT", 3), ColChar("VBELN", 10), ColChar("KUNNR", 10),
+                ColDate("AUDAT"), ColDecimal("NETWR"), ColChar("GBSTK", 1),
+                ColChar("PRIOK", 15), ColChar("VSBED", 2), ColChar("ERNAM", 15),
+                ColChar("KNUMV", 10), ColChar("BRSCH", 10),
+                ColChar("LAND1", 3)});
+  R3_RETURN_IF_ERROR(dict->DefineJoinView(
+      "VORDK",
+      "SELECT K.MANDT MANDT, K.VBELN VBELN, K.KUNNR KUNNR, K.AUDAT AUDAT, "
+      "K.NETWR NETWR, K.GBSTK GBSTK, K.PRIOK PRIOK, K.VSBED VSBED, "
+      "K.ERNAM ERNAM, K.KNUMV KNUMV, C.BRSCH BRSCH, C.LAND1 LAND1 "
+      "FROM VBAK K JOIN KNA1 C ON K.MANDT = C.MANDT AND K.KUNNR = C.KUNNR",
+      vordk));
+
+  // Purchasing info record, both halves.
+  Schema vinfo({ColChar("MANDT", 3), ColChar("INFNR", 10), ColChar("MATNR", 16),
+                ColChar("LIFNR", 10), ColDecimal("NETPR")});
+  R3_RETURN_IF_ERROR(dict->DefineJoinView(
+      "VINFO",
+      "SELECT A.MANDT MANDT, A.INFNR INFNR, A.MATNR MATNR, A.LIFNR LIFNR, "
+      "E.NETPR NETPR "
+      "FROM EINA A JOIN EINE E ON A.MANDT = E.MANDT AND A.INFNR = E.INFNR",
+      vinfo));
+
+  // Material + description.
+  Schema vmat({ColChar("MANDT", 3), ColChar("MATNR", 16), ColChar("MAKTX", 55),
+               ColChar("MATKL", 9), ColChar("GROES", 25), ColChar("MAGRV", 10),
+               ColChar("MFRNR", 25)});
+  R3_RETURN_IF_ERROR(dict->DefineJoinView(
+      "VMAT",
+      "SELECT M.MANDT MANDT, M.MATNR MATNR, T.MAKTX MAKTX, M.MATKL MATKL, "
+      "M.GROES GROES, M.MAGRV MAGRV, M.MFRNR MFRNR "
+      "FROM MARA M JOIN MAKT T ON M.MANDT = T.MANDT AND M.MATNR = T.MATNR",
+      vmat));
+
+  // Supplier + nation name.
+  Schema vsupn({ColChar("MANDT", 3), ColChar("LIFNR", 10), ColChar("NAME1", 30),
+                ColChar("STRAS", 30), ColChar("TELF1", 16), ColChar("LAND1", 3),
+                ColChar("LANDX", 25)});
+  R3_RETURN_IF_ERROR(dict->DefineJoinView(
+      "VSUPN",
+      "SELECT L.MANDT MANDT, L.LIFNR LIFNR, L.NAME1 NAME1, L.STRAS STRAS, "
+      "L.TELF1 TELF1, L.LAND1 LAND1, T.LANDX LANDX "
+      "FROM LFA1 L JOIN T005T T ON L.MANDT = T.MANDT AND L.LAND1 = T.LAND1",
+      vsupn));
+
+  return Status::OK();
+}
+
+}  // namespace sap
+}  // namespace r3

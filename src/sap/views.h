@@ -1,0 +1,25 @@
+#ifndef R3DB_SAP_VIEWS_H_
+#define R3DB_SAP_VIEWS_H_
+
+#include "appsys/app_server.h"
+#include "common/status.h"
+
+namespace r3 {
+namespace sap {
+
+/// The join views a Release 2.2 installation needs to push any join work at
+/// all down to the RDBMS (Section 2.3: join views over transparent tables
+/// along key relationships — note KONV, being a cluster table, can never
+/// appear in one):
+///
+///   VLIPS  = VBAP x VBEP   (order position + schedule dates)
+///   VORDK  = VBAK x KNA1   (order header + customer)
+///   VINFO  = EINA x EINE   (purchasing info record, both halves)
+///   VMAT   = MARA x MAKT   (material + description)
+///   VSUPN  = LFA1 x T005T  (supplier + nation name)
+Status CreateJoinViews(appsys::AppServer* app);
+
+}  // namespace sap
+}  // namespace r3
+
+#endif  // R3DB_SAP_VIEWS_H_

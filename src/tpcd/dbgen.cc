@@ -1,0 +1,351 @@
+#include "tpcd/dbgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/date.h"
+#include "common/str_util.h"
+
+namespace r3 {
+namespace tpcd {
+
+namespace {
+
+const char* const kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                    "MIDDLE EAST"};
+
+struct NationSeed {
+  const char* name;
+  int region;
+};
+const NationSeed kNations[] = {
+    {"ALGERIA", 0},    {"ARGENTINA", 1},      {"BRAZIL", 1},
+    {"CANADA", 1},     {"EGYPT", 4},          {"ETHIOPIA", 0},
+    {"FRANCE", 3},     {"GERMANY", 3},        {"INDIA", 2},
+    {"INDONESIA", 2},  {"IRAN", 4},           {"IRAQ", 4},
+    {"JAPAN", 2},      {"JORDAN", 4},         {"KENYA", 0},
+    {"MOROCCO", 0},    {"MOZAMBIQUE", 0},     {"PERU", 1},
+    {"CHINA", 2},      {"ROMANIA", 3},        {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},    {"RUSSIA", 3},         {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1},
+};
+
+// P_NAME component colors (the spec's color list; >90 entries keep
+// LIKE '%green%'-class predicates at spec-like selectivity).
+const char* const kColors[] = {
+    "almond",    "antique",   "aquamarine", "azure",      "beige",
+    "bisque",    "black",     "blanched",   "blue",       "blush",
+    "brown",     "burlywood", "burnished",  "chartreuse", "chiffon",
+    "chocolate", "coral",     "cornflower", "cornsilk",   "cream",
+    "cyan",      "dark",      "deep",       "dim",        "dodger",
+    "drab",      "firebrick", "floral",     "forest",     "frosted",
+    "gainsboro", "ghost",     "goldenrod",  "green",      "grey",
+    "honeydew",  "hot",       "indian",     "ivory",      "khaki",
+    "lace",      "lavender",  "lawn",       "lemon",      "light",
+    "lime",      "linen",     "magenta",    "maroon",     "medium",
+    "metallic",  "midnight",  "mint",       "misty",      "moccasin",
+    "navajo",    "navy",      "olive",      "orange",     "orchid",
+    "pale",      "papaya",    "peach",      "peru",       "pink",
+    "plum",      "powder",    "puff",       "purple",     "red",
+    "rose",      "rosy",      "royal",      "saddle",     "salmon",
+    "sandy",     "seashell",  "sienna",     "sky",        "slate",
+    "smoke",     "snow",      "spring",     "steel",      "tan",
+    "thistle",   "tomato",    "turquoise",  "violet",     "wheat",
+    "white",     "yellow",
+};
+
+const char* const kTypeSyl1[] = {"STANDARD", "SMALL",   "MEDIUM",
+                                 "LARGE",    "ECONOMY", "PROMO"};
+const char* const kTypeSyl2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                                 "BRUSHED"};
+const char* const kTypeSyl3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+
+const char* const kContainerSyl1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* const kContainerSyl2[] = {"CASE", "BOX",  "BAG", "JAR",
+                                      "PKG",  "PACK", "CAN", "DRUM"};
+
+const char* const kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                 "MACHINERY", "HOUSEHOLD"};
+
+const char* const kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                   "4-NOT SPECIFIED", "5-LOW"};
+
+const char* const kInstructions[] = {"DELIVER IN PERSON", "COLLECT COD",
+                                     "NONE", "TAKE BACK RETURN"};
+
+const char* const kModes[] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                              "TRUCK",   "MAIL", "FOB"};
+
+// Comment vocabulary (flat pool with the spec's adverb/noun/verb flavor).
+const char* const kCommentWords[] = {
+    "furiously",   "quickly",      "carefully", "blithely",   "slyly",
+    "regular",     "express",      "special",   "pending",    "unusual",
+    "ironic",      "final",        "bold",      "silent",     "even",
+    "accounts",    "packages",     "deposits",  "requests",   "instructions",
+    "theodolites", "platelets",    "pinto",     "beans",      "foxes",
+    "ideas",       "dependencies", "excuses",   "asymptotes", "courts",
+    "sleep",       "wake",         "nag",       "haggle",     "integrate",
+    "detect",      "cajole",       "engage",    "doze",       "boost",
+    "among",       "across",       "against",   "along",      "above",
+};
+
+std::string Pick(Rng* rng, const char* const* list, size_t n) {
+  return list[rng->Index(n)];
+}
+
+}  // namespace
+
+DbGen::DbGen(double scale_factor, uint64_t seed)
+    : sf_(scale_factor), seed_(seed) {}
+
+int64_t DbGen::ScaleCount(int64_t base) const {
+  int64_t n =
+      static_cast<int64_t>(std::llround(static_cast<double>(base) * sf_));
+  return std::max<int64_t>(1, n);
+}
+
+int64_t DbGen::RetailPriceCents(int64_t partkey) {
+  // Spec: 90000 + ((partkey/10) mod 20001) + 100*(partkey mod 1000), cents.
+  return 90000 + ((partkey / 10) % 20001) + 100 * (partkey % 1000);
+}
+
+int32_t DbGen::CurrentDate() { return date::FromYmd(1995, 6, 17); }
+int32_t DbGen::StartDate() { return date::FromYmd(1992, 1, 1); }
+int32_t DbGen::EndDate() { return date::FromYmd(1998, 8, 2); }
+
+std::string DbGen::Words(Rng* rng, int min_words, int max_words) const {
+  int n = static_cast<int>(rng->Uniform(min_words, max_words));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i != 0) out += " ";
+    out += Pick(rng, kCommentWords,
+                sizeof(kCommentWords) / sizeof(kCommentWords[0]));
+  }
+  return out;
+}
+
+std::string DbGen::Phone(Rng* rng, int64_t nationkey) const {
+  return str::Format("%02d-%03d-%03d-%04d", static_cast<int>(10 + nationkey),
+                     static_cast<int>(rng->Uniform(100, 999)),
+                     static_cast<int>(rng->Uniform(100, 999)),
+                     static_cast<int>(rng->Uniform(1000, 9999)));
+}
+
+std::vector<RegionRec> DbGen::MakeRegions() {
+  Rng rng(seed_ ^ 0x01);
+  std::vector<RegionRec> out;
+  for (int64_t i = 0; i < 5; ++i) {
+    out.push_back(RegionRec{i, kRegionNames[i], Words(&rng, 4, 10)});
+  }
+  return out;
+}
+
+std::vector<NationRec> DbGen::MakeNations() {
+  Rng rng(seed_ ^ 0x02);
+  std::vector<NationRec> out;
+  for (int64_t i = 0; i < 25; ++i) {
+    out.push_back(
+        NationRec{i, kNations[i].name, kNations[i].region, Words(&rng, 4, 10)});
+  }
+  return out;
+}
+
+std::vector<SupplierRec> DbGen::MakeSuppliers() {
+  Rng rng(seed_ ^ 0x03);
+  std::vector<SupplierRec> out;
+  int64_t n = NumSuppliers();
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 1; i <= n; ++i) {
+    SupplierRec s;
+    s.suppkey = i;
+    s.name = str::Format("Supplier#%09lld", static_cast<long long>(i));
+    s.address = rng.AlphaString(10, 30);
+    s.nationkey = rng.Uniform(0, 24);
+    s.phone = Phone(&rng, s.nationkey);
+    s.acctbal_cents = rng.Uniform(-99999, 999999);
+    s.comment = Words(&rng, 6, 15);
+    // The spec plants "Customer ... Complaints" markers in a sliver of the
+    // supplier comments (Q16's NOT LIKE predicate).
+    int64_t roll = rng.Uniform(0, 199);
+    if (roll == 0) {
+      s.comment += " Customer Complaints";
+    } else if (roll == 1) {
+      s.comment += " Customer Recommends";
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<PartRec> DbGen::MakeParts() {
+  Rng rng(seed_ ^ 0x04);
+  std::vector<PartRec> out;
+  int64_t n = NumParts();
+  out.reserve(static_cast<size_t>(n));
+  constexpr size_t kNumColors = sizeof(kColors) / sizeof(kColors[0]);
+  for (int64_t i = 1; i <= n; ++i) {
+    PartRec p;
+    p.partkey = i;
+    for (int w = 0; w < 5; ++w) {
+      if (w != 0) p.name += " ";
+      p.name += kColors[rng.Index(kNumColors)];
+    }
+    int64_t m = rng.Uniform(1, 5);
+    p.mfgr = str::Format("Manufacturer#%lld", static_cast<long long>(m));
+    p.brand = str::Format("Brand#%lld%lld", static_cast<long long>(m),
+                          static_cast<long long>(rng.Uniform(1, 5)));
+    p.type = Pick(&rng, kTypeSyl1, 6) + " " + Pick(&rng, kTypeSyl2, 5) + " " +
+             Pick(&rng, kTypeSyl3, 5);
+    p.size = rng.Uniform(1, 50);
+    p.container =
+        Pick(&rng, kContainerSyl1, 5) + " " + Pick(&rng, kContainerSyl2, 8);
+    p.retailprice_cents = RetailPriceCents(i);
+    p.comment = Words(&rng, 3, 8);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<int64_t> DbGen::SuppliersOfPart(int64_t partkey) const {
+  int64_t suppliers = NumSuppliers();
+  int64_t n = std::min<int64_t>(4, suppliers);
+  std::vector<int64_t> out;
+  for (int64_t i = 0; i < n; ++i) {
+    // Spec formula for the i-th supplier of part p, then linear probing to
+    // keep the pairs distinct when the key space is tiny.
+    int64_t s =
+        1 + (partkey + i * (suppliers / 4 + (partkey - 1) / suppliers)) %
+                suppliers;
+    while (std::find(out.begin(), out.end(), s) != out.end()) {
+      s = s % suppliers + 1;
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<PartSuppRec> DbGen::MakePartSupps() {
+  Rng rng(seed_ ^ 0x05);
+  std::vector<PartSuppRec> out;
+  int64_t parts = NumParts();
+  out.reserve(static_cast<size_t>(parts * 4));
+  for (int64_t p = 1; p <= parts; ++p) {
+    std::vector<int64_t> supps = SuppliersOfPart(p);
+    for (int64_t s : supps) {
+      PartSuppRec ps;
+      ps.partkey = p;
+      ps.suppkey = s;
+      ps.availqty = rng.Uniform(1, 9999);
+      ps.supplycost_cents = rng.Uniform(100, 100000);
+      ps.comment = Words(&rng, 10, 30);
+      out.push_back(std::move(ps));
+    }
+  }
+  return out;
+}
+
+std::vector<CustomerRec> DbGen::MakeCustomers() {
+  Rng rng(seed_ ^ 0x06);
+  std::vector<CustomerRec> out;
+  int64_t n = NumCustomers();
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 1; i <= n; ++i) {
+    CustomerRec c;
+    c.custkey = i;
+    c.name = str::Format("Customer#%09lld", static_cast<long long>(i));
+    c.address = rng.AlphaString(10, 30);
+    c.nationkey = rng.Uniform(0, 24);
+    c.phone = Phone(&rng, c.nationkey);
+    c.acctbal_cents = rng.Uniform(-99999, 999999);
+    c.mktsegment = Pick(&rng, kSegments, 5);
+    c.comment = Words(&rng, 6, 15);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+OrderRec DbGen::MakeOrder(Rng* rng, int64_t orderkey) {
+  OrderRec o;
+  o.orderkey = orderkey;
+  int64_t customers = NumCustomers();
+  // Spec: custkeys that are multiples of 3 place no orders.
+  do {
+    o.custkey = rng->Uniform(1, customers);
+  } while (customers >= 3 && o.custkey % 3 == 0);
+  o.orderdate =
+      static_cast<int32_t>(rng->Uniform(StartDate(), EndDate() - 151));
+  o.orderpriority = Pick(rng, kPriorities, 5);
+  int64_t clerks = std::max<int64_t>(1, ScaleCount(1000));
+  o.clerk = str::Format("Clerk#%09lld",
+                        static_cast<long long>(rng->Uniform(1, clerks)));
+  o.shippriority = 0;
+  o.comment = Words(rng, 5, 12);
+
+  int64_t nlines = rng->Uniform(1, 7);
+  int64_t parts = NumParts();
+  int64_t total = 0;
+  int fcount = 0;
+  int ocount = 0;
+  for (int64_t l = 1; l <= nlines; ++l) {
+    LineItemRec li;
+    li.orderkey = orderkey;
+    li.linenumber = l;
+    li.partkey = rng->Uniform(1, parts);
+    std::vector<int64_t> supps = SuppliersOfPart(li.partkey);
+    li.suppkey = supps[static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(supps.size()) - 1))];
+    li.quantity = rng->Uniform(1, 50);
+    li.extendedprice_cents = li.quantity * RetailPriceCents(li.partkey);
+    li.discount_bp = rng->Uniform(0, 10);  // whole percent
+    li.tax_bp = rng->Uniform(0, 8);
+    li.shipdate = o.orderdate + static_cast<int32_t>(rng->Uniform(1, 121));
+    li.commitdate = o.orderdate + static_cast<int32_t>(rng->Uniform(30, 90));
+    li.receiptdate = li.shipdate + static_cast<int32_t>(rng->Uniform(1, 30));
+    if (li.receiptdate <= CurrentDate()) {
+      li.returnflag = rng->Bernoulli(0.5) ? "R" : "A";
+    } else {
+      li.returnflag = "N";
+    }
+    if (li.shipdate > CurrentDate()) {
+      li.linestatus = "O";
+      ++ocount;
+    } else {
+      li.linestatus = "F";
+      ++fcount;
+    }
+    li.shipinstruct = Pick(rng, kInstructions, 4);
+    li.shipmode = Pick(rng, kModes, 7);
+    li.comment = Words(rng, 4, 10);
+    total += li.extendedprice_cents * (100 - li.discount_bp) / 100 *
+             (100 + li.tax_bp) / 100;
+    o.lines.push_back(std::move(li));
+  }
+  o.totalprice_cents = total;
+  o.orderstatus =
+      fcount == static_cast<int>(o.lines.size())
+          ? "F"
+          : (ocount == static_cast<int>(o.lines.size()) ? "O" : "P");
+  return o;
+}
+
+Status DbGen::ForEachOrder(const std::function<Status(const OrderRec&)>& fn) {
+  Rng rng(seed_ ^ 0x07);
+  int64_t n = NumOrders();
+  for (int64_t i = 1; i <= n; ++i) {
+    // Sparse orderkeys, spec style: 8 used out of every 32-key block.
+    int64_t orderkey = (i - 1) / 8 * 32 + (i - 1) % 8 + 1;
+    OrderRec o = MakeOrder(&rng, orderkey);
+    R3_RETURN_IF_ERROR(fn(o));
+  }
+  return Status::OK();
+}
+
+OrderRec DbGen::MakeRefreshOrder(int64_t index) {
+  Rng rng(seed_ ^ (0x1000 + static_cast<uint64_t>(index)));
+  int64_t n = NumOrders();
+  int64_t base_max = (n - 1) / 8 * 32 + (n - 1) % 8 + 1;
+  return MakeOrder(&rng, base_max + 1 + index);
+}
+
+}  // namespace tpcd
+}  // namespace r3

@@ -1,0 +1,161 @@
+#ifndef R3DB_TPCD_DBGEN_H_
+#define R3DB_TPCD_DBGEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace r3 {
+namespace tpcd {
+
+/// Generated records (pre-schema, plain values) — the equivalent of the
+/// DBGEN tool's flat-file output.
+struct RegionRec {
+  int64_t regionkey;
+  std::string name;
+  std::string comment;
+};
+
+struct NationRec {
+  int64_t nationkey;
+  std::string name;
+  int64_t regionkey;
+  std::string comment;
+};
+
+struct SupplierRec {
+  int64_t suppkey;
+  std::string name;
+  std::string address;
+  int64_t nationkey;
+  std::string phone;
+  int64_t acctbal_cents;
+  std::string comment;
+};
+
+struct PartRec {
+  int64_t partkey;
+  std::string name;
+  std::string mfgr;
+  std::string brand;
+  std::string type;
+  int64_t size;
+  std::string container;
+  int64_t retailprice_cents;
+  std::string comment;
+};
+
+struct PartSuppRec {
+  int64_t partkey;
+  int64_t suppkey;
+  int64_t availqty;
+  int64_t supplycost_cents;
+  std::string comment;
+};
+
+struct CustomerRec {
+  int64_t custkey;
+  std::string name;
+  std::string address;
+  int64_t nationkey;
+  std::string phone;
+  int64_t acctbal_cents;
+  std::string mktsegment;
+  std::string comment;
+};
+
+struct LineItemRec {
+  int64_t orderkey;
+  int64_t partkey;
+  int64_t suppkey;
+  int64_t linenumber;
+  int64_t quantity;           ///< whole units (spec: 1..50)
+  int64_t extendedprice_cents;
+  int64_t discount_bp;        ///< basis points x100: 0..10 (percent)
+  int64_t tax_bp;             ///< percent: 0..8
+  std::string returnflag;
+  std::string linestatus;
+  int32_t shipdate;
+  int32_t commitdate;
+  int32_t receiptdate;
+  std::string shipinstruct;
+  std::string shipmode;
+  std::string comment;
+};
+
+struct OrderRec {
+  int64_t orderkey;
+  int64_t custkey;
+  std::string orderstatus;
+  int64_t totalprice_cents;
+  int32_t orderdate;
+  std::string orderpriority;
+  std::string clerk;
+  int64_t shippriority;
+  std::string comment;
+  std::vector<LineItemRec> lines;
+};
+
+/// Deterministic DBGEN-equivalent: spec-conformant cardinalities, key
+/// distributions, value domains, and text grammar (word-salad comments from
+/// the spec's vocabulary classes). Same (scale factor, seed) -> identical
+/// database, on any platform.
+class DbGen {
+ public:
+  explicit DbGen(double scale_factor, uint64_t seed = 19970607);
+
+  double scale_factor() const { return sf_; }
+
+  int64_t NumSuppliers() const { return ScaleCount(10000); }
+  int64_t NumParts() const { return ScaleCount(200000); }
+  int64_t NumPartSupps() const { return NumParts() * 4; }
+  int64_t NumCustomers() const { return ScaleCount(150000); }
+  int64_t NumOrders() const { return ScaleCount(1500000); }
+
+  std::vector<RegionRec> MakeRegions();
+  std::vector<NationRec> MakeNations();
+  std::vector<SupplierRec> MakeSuppliers();
+  std::vector<PartRec> MakeParts();
+  std::vector<PartSuppRec> MakePartSupps();
+  std::vector<CustomerRec> MakeCustomers();
+
+  /// Orders are streamed (they dominate memory); each OrderRec carries its
+  /// line items. Generates orderkeys 1..NumOrders()*4 (sparse, spec-style).
+  Status ForEachOrder(const std::function<Status(const OrderRec&)>& fn);
+
+  /// Extra orders *beyond* the base population, for the UF1 update function
+  /// (keys above the base key space; `index` starts at 0).
+  OrderRec MakeRefreshOrder(int64_t index);
+
+  /// Retail price formula from the spec (cents).
+  static int64_t RetailPriceCents(int64_t partkey);
+
+  /// The four suppliers of a part (spec formula, de-duplicated so the pairs
+  /// stay distinct even at tiny scale factors).
+  std::vector<int64_t> SuppliersOfPart(int64_t partkey) const;
+
+  /// The spec's fixed "current date" used for flags: 1995-06-17.
+  static int32_t CurrentDate();
+
+  /// Start/end of the order date domain.
+  static int32_t StartDate();
+  static int32_t EndDate();
+
+ private:
+  int64_t ScaleCount(int64_t base) const;
+  std::string Words(Rng* rng, int min_words, int max_words) const;
+  std::string Phone(Rng* rng, int64_t nationkey) const;
+  OrderRec MakeOrder(Rng* rng, int64_t orderkey);
+
+  double sf_;
+  uint64_t seed_;
+};
+
+}  // namespace tpcd
+}  // namespace r3
+
+#endif  // R3DB_TPCD_DBGEN_H_

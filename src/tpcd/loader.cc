@@ -1,0 +1,94 @@
+#include "tpcd/loader.h"
+
+namespace r3 {
+namespace tpcd {
+
+using rdbms::Row;
+using rdbms::Value;
+
+Row OrderToRow(const OrderRec& o) {
+  return Row{Value::Int(o.orderkey),
+             Value::Int(o.custkey),
+             Value::Str(o.orderstatus),
+             Value::DecimalFromCents(o.totalprice_cents),
+             Value::Date(o.orderdate),
+             Value::Str(o.orderpriority),
+             Value::Str(o.clerk),
+             Value::Int(o.shippriority),
+             Value::Str(o.comment)};
+}
+
+Row LineItemToRow(const LineItemRec& l) {
+  return Row{Value::Int(l.orderkey),
+             Value::Int(l.partkey),
+             Value::Int(l.suppkey),
+             Value::Int(l.linenumber),
+             Value::DecimalFromCents(l.quantity * 100),
+             Value::DecimalFromCents(l.extendedprice_cents),
+             Value::DecimalFromCents(l.discount_bp),  // 0.05 = 5 cents repr
+             Value::DecimalFromCents(l.tax_bp),
+             Value::Str(l.returnflag),
+             Value::Str(l.linestatus),
+             Value::Date(l.shipdate),
+             Value::Date(l.commitdate),
+             Value::Date(l.receiptdate),
+             Value::Str(l.shipinstruct),
+             Value::Str(l.shipmode),
+             Value::Str(l.comment)};
+}
+
+Status LoadTpcdDatabase(rdbms::Database* db, DbGen* gen) {
+  for (const RegionRec& r : gen->MakeRegions()) {
+    R3_RETURN_IF_ERROR(db->InsertRow(
+        "REGION", Row{Value::Int(r.regionkey), Value::Str(r.name),
+                      Value::Str(r.comment)}));
+  }
+  for (const NationRec& n : gen->MakeNations()) {
+    R3_RETURN_IF_ERROR(db->InsertRow(
+        "NATION", Row{Value::Int(n.nationkey), Value::Str(n.name),
+                      Value::Int(n.regionkey), Value::Str(n.comment)}));
+  }
+  for (const SupplierRec& s : gen->MakeSuppliers()) {
+    R3_RETURN_IF_ERROR(db->InsertRow(
+        "SUPPLIER",
+        Row{Value::Int(s.suppkey), Value::Str(s.name), Value::Str(s.address),
+            Value::Int(s.nationkey), Value::Str(s.phone),
+            Value::DecimalFromCents(s.acctbal_cents), Value::Str(s.comment)}));
+  }
+  for (const PartRec& p : gen->MakeParts()) {
+    R3_RETURN_IF_ERROR(db->InsertRow(
+        "PART",
+        Row{Value::Int(p.partkey), Value::Str(p.name), Value::Str(p.mfgr),
+            Value::Str(p.brand), Value::Str(p.type), Value::Int(p.size),
+            Value::Str(p.container),
+            Value::DecimalFromCents(p.retailprice_cents),
+            Value::Str(p.comment)}));
+  }
+  for (const PartSuppRec& ps : gen->MakePartSupps()) {
+    R3_RETURN_IF_ERROR(db->InsertRow(
+        "PARTSUPP",
+        Row{Value::Int(ps.partkey), Value::Int(ps.suppkey),
+            Value::Int(ps.availqty),
+            Value::DecimalFromCents(ps.supplycost_cents),
+            Value::Str(ps.comment)}));
+  }
+  for (const CustomerRec& c : gen->MakeCustomers()) {
+    R3_RETURN_IF_ERROR(db->InsertRow(
+        "CUSTOMER",
+        Row{Value::Int(c.custkey), Value::Str(c.name), Value::Str(c.address),
+            Value::Int(c.nationkey), Value::Str(c.phone),
+            Value::DecimalFromCents(c.acctbal_cents), Value::Str(c.mktsegment),
+            Value::Str(c.comment)}));
+  }
+  R3_RETURN_IF_ERROR(gen->ForEachOrder([&](const OrderRec& o) -> Status {
+    R3_RETURN_IF_ERROR(db->InsertRow("ORDERS", OrderToRow(o)));
+    for (const LineItemRec& l : o.lines) {
+      R3_RETURN_IF_ERROR(db->InsertRow("LINEITEM", LineItemToRow(l)));
+    }
+    return Status::OK();
+  }));
+  return db->Analyze();
+}
+
+}  // namespace tpcd
+}  // namespace r3

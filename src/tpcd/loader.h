@@ -1,0 +1,23 @@
+#ifndef R3DB_TPCD_LOADER_H_
+#define R3DB_TPCD_LOADER_H_
+
+#include "common/status.h"
+#include "rdbms/db.h"
+#include "tpcd/dbgen.h"
+
+namespace r3 {
+namespace tpcd {
+
+/// Bulk-loads a generated TPC-D population into the original 8-table schema
+/// (direct row interface — the "load the records directly into the RDBMS"
+/// configuration of the paper) and refreshes optimizer statistics.
+Status LoadTpcdDatabase(rdbms::Database* db, DbGen* gen);
+
+/// Row builders shared with the update functions.
+rdbms::Row OrderToRow(const OrderRec& o);
+rdbms::Row LineItemToRow(const LineItemRec& l);
+
+}  // namespace tpcd
+}  // namespace r3
+
+#endif  // R3DB_TPCD_LOADER_H_

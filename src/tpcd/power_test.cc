@@ -1,0 +1,106 @@
+#include "tpcd/power_test.h"
+
+#include <chrono>
+
+#include "common/str_util.h"
+
+namespace r3 {
+namespace tpcd {
+
+namespace {
+
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int64_t PowerResult::TotalQueriesSimUs() const {
+  int64_t total = 0;
+  for (const PowerItem& item : items) {
+    if (item.label[0] == 'Q') total += item.sim_us;
+  }
+  return total;
+}
+
+int64_t PowerResult::TotalAllSimUs() const {
+  int64_t total = 0;
+  for (const PowerItem& item : items) total += item.sim_us;
+  return total;
+}
+
+const PowerItem* PowerResult::Find(const std::string& label) const {
+  for (const PowerItem& item : items) {
+    if (item.label == label) return &item;
+  }
+  return nullptr;
+}
+
+Result<PowerResult> RunPowerTest(const std::string& config, IQuerySet* queries,
+                                 const QueryParams& params, SimClock* clock,
+                                 const std::function<Status()>& uf1,
+                                 const std::function<Status()>& uf2) {
+  PowerResult out;
+  out.config = config;
+
+  auto timed = [&](const std::string& label,
+                   const std::function<Result<size_t>()>& body) -> Status {
+    SimTimer sim(*clock);
+    int64_t wall = WallMicros();
+    R3_ASSIGN_OR_RETURN(size_t rows, body());
+    PowerItem item;
+    item.label = label;
+    item.sim_us = sim.ElapsedUs();
+    item.real_us = WallMicros() - wall;
+    item.result_rows = rows;
+    out.items.push_back(std::move(item));
+    return Status::OK();
+  };
+
+  // Execution order: UF1, the 17 queries, UF2 (TPC-D power test).
+  R3_RETURN_IF_ERROR(timed("UF1", [&]() -> Result<size_t> {
+    R3_RETURN_IF_ERROR(uf1());
+    return size_t{0};
+  }));
+  for (int q = 1; q <= kNumQueries; ++q) {
+    R3_RETURN_IF_ERROR(
+        timed(str::Format("Q%d", q), [&]() -> Result<size_t> {
+          R3_ASSIGN_OR_RETURN(rdbms::QueryResult res,
+                              queries->RunQuery(q, params));
+          return res.rows.size();
+        }));
+  }
+  R3_RETURN_IF_ERROR(timed("UF2", [&]() -> Result<size_t> {
+    R3_RETURN_IF_ERROR(uf2());
+    return size_t{0};
+  }));
+
+  // Present in the paper's order: Q1..Q17, UF1, UF2.
+  std::vector<PowerItem> ordered;
+  for (int q = 1; q <= kNumQueries; ++q) {
+    ordered.push_back(*out.Find(str::Format("Q%d", q)));
+  }
+  ordered.push_back(*out.Find("UF1"));
+  ordered.push_back(*out.Find("UF2"));
+  out.items = std::move(ordered);
+  return out;
+}
+
+std::string FormatPowerColumn(const PowerResult& result) {
+  std::string out = result.config + "\n";
+  for (const PowerItem& item : result.items) {
+    out += str::Format("  %-5s %14s   (real %s, %zu rows)\n",
+                       item.label.c_str(), FormatDuration(item.sim_us).c_str(),
+                       FormatDuration(item.real_us).c_str(), item.result_rows);
+  }
+  out += str::Format("  Total (queries) %s\n",
+                     FormatDuration(result.TotalQueriesSimUs()).c_str());
+  out += str::Format("  Total (all)     %s\n",
+                     FormatDuration(result.TotalAllSimUs()).c_str());
+  return out;
+}
+
+}  // namespace tpcd
+}  // namespace r3

@@ -1,0 +1,46 @@
+#ifndef R3DB_TPCD_POWER_TEST_H_
+#define R3DB_TPCD_POWER_TEST_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "tpcd/queries.h"
+
+namespace r3 {
+namespace tpcd {
+
+/// Timing of one power-test item (a query or an update function).
+struct PowerItem {
+  std::string label;   ///< "Q1".."Q17", "UF1", "UF2"
+  int64_t sim_us = 0;  ///< simulated (cost-model) time
+  int64_t real_us = 0; ///< wall-clock time of this implementation
+  size_t result_rows = 0;
+};
+
+struct PowerResult {
+  std::string config;  ///< e.g. "RDBMS (TPCD-DB)", "Open SQL (SAP DB)"
+  std::vector<PowerItem> items;
+
+  int64_t TotalQueriesSimUs() const;
+  int64_t TotalAllSimUs() const;
+  const PowerItem* Find(const std::string& label) const;
+};
+
+/// Runs the TPC-D power test against one query set: UF1, Q1..Q17, UF2, each
+/// timed individually on the shared simulated clock (reported in the
+/// paper's Q1..Q17, UF1, UF2 order).
+Result<PowerResult> RunPowerTest(const std::string& config, IQuerySet* queries,
+                                 const QueryParams& params, SimClock* clock,
+                                 const std::function<Status()>& uf1,
+                                 const std::function<Status()>& uf2);
+
+/// Renders a PowerResult column as the paper formats it.
+std::string FormatPowerColumn(const PowerResult& result);
+
+}  // namespace tpcd
+}  // namespace r3
+
+#endif  // R3DB_TPCD_POWER_TEST_H_

@@ -1,0 +1,114 @@
+#include "tpcd/qgen.h"
+
+#include <algorithm>
+
+#include "common/date.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace r3 {
+namespace tpcd {
+
+namespace {
+
+const char* const kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                "MIDDLE EAST"};
+const char* const kNationsOf[][2] = {
+    // nation, region (for the Q8 pair)
+    {"ALGERIA", "AFRICA"},   {"BRAZIL", "AMERICA"}, {"CANADA", "AMERICA"},
+    {"FRANCE", "EUROPE"},    {"GERMANY", "EUROPE"}, {"INDIA", "ASIA"},
+    {"JAPAN", "ASIA"},       {"KENYA", "AFRICA"},   {"PERU", "AMERICA"},
+    {"CHINA", "ASIA"},       {"ROMANIA", "EUROPE"}, {"IRAN", "MIDDLE EAST"},
+    {"IRAQ", "MIDDLE EAST"},
+};
+const char* const kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                 "MACHINERY", "HOUSEHOLD"};
+const char* const kModes[] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                              "TRUCK",   "MAIL", "FOB"};
+const char* const kTypeSyl1[] = {"STANDARD", "SMALL",   "MEDIUM",
+                                 "LARGE",    "ECONOMY", "PROMO"};
+const char* const kTypeSyl2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                                 "BRUSHED"};
+const char* const kTypeSyl3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* const kColors[] = {"green", "blue", "red",   "pink",
+                               "ivory", "navy", "wheat", "khaki"};
+const char* const kContainers[] = {"SM CASE", "MED BOX", "LG DRUM", "JUMBO JAR"};
+
+}  // namespace
+
+QueryParams QueryParams::Defaults(double sf) {
+  QueryParams p;
+  p.q3_date = date::FromYmd(1995, 3, 15);
+  p.q4_date = date::FromYmd(1993, 7, 1);
+  p.q5_date = date::FromYmd(1994, 1, 1);
+  p.q6_date = date::FromYmd(1994, 1, 1);
+  p.q10_date = date::FromYmd(1993, 10, 1);
+  p.q12_date = date::FromYmd(1994, 1, 1);
+  p.q13_date = date::FromYmd(1995, 3, 15);
+  p.q14_date = date::FromYmd(1995, 9, 1);
+  p.q15_date = date::FromYmd(1996, 1, 1);
+  p.q11_fraction = 0.0001 / std::max(0.0001, sf);
+  return p;
+}
+
+QueryParams QueryParams::Make(double sf, uint64_t seed) {
+  Rng rng(seed);
+  QueryParams p = Defaults(sf);
+  p.q1_delta_days = rng.Uniform(60, 120);
+  p.q2_size = rng.Uniform(1, 50);
+  p.q2_type_suffix = kTypeSyl3[rng.Index(5)];
+  p.q2_region = kRegions[rng.Index(5)];
+  p.q3_segment = kSegments[rng.Index(5)];
+  p.q3_date = date::FromYmd(1995, 3, static_cast<int>(rng.Uniform(1, 28)));
+  p.q4_date = date::FromYmd(static_cast<int>(rng.Uniform(1993, 1997)),
+                            static_cast<int>(rng.Uniform(1, 4)) * 3 - 2, 1);
+  p.q5_region = kRegions[rng.Index(5)];
+  p.q5_date = date::FromYmd(static_cast<int>(rng.Uniform(1993, 1997)), 1, 1);
+  p.q6_date = date::FromYmd(static_cast<int>(rng.Uniform(1993, 1997)), 1, 1);
+  p.q6_discount = static_cast<double>(rng.Uniform(2, 9)) / 100.0;
+  p.q6_quantity = rng.Uniform(24, 25);
+  size_t a = rng.Index(13);
+  size_t b = (a + 1 + rng.Index(12)) % 13;
+  p.q7_nation1 = kNationsOf[a][0];
+  p.q7_nation2 = kNationsOf[b][0];
+  size_t n8 = rng.Index(13);
+  p.q8_nation = kNationsOf[n8][0];
+  p.q8_region = kNationsOf[n8][1];
+  p.q8_type = std::string(kTypeSyl1[rng.Index(6)]) + " " +
+              kTypeSyl2[rng.Index(5)] + " " + kTypeSyl3[rng.Index(5)];
+  p.q9_color = kColors[rng.Index(8)];
+  p.q10_date = date::FromYmd(static_cast<int>(rng.Uniform(1993, 1995)),
+                             static_cast<int>(rng.Uniform(1, 4)) * 3 - 2, 1);
+  p.q11_nation = kNationsOf[rng.Index(13)][0];
+  p.q12_mode1 = kModes[rng.Index(7)];
+  do {
+    p.q12_mode2 = kModes[rng.Index(7)];
+  } while (p.q12_mode2 == p.q12_mode1);
+  p.q12_date = date::FromYmd(static_cast<int>(rng.Uniform(1993, 1997)), 1, 1);
+  p.q13_date = date::FromYmd(static_cast<int>(rng.Uniform(1993, 1997)),
+                             static_cast<int>(rng.Uniform(1, 12)),
+                             static_cast<int>(rng.Uniform(1, 28)));
+  p.q14_date = date::FromYmd(static_cast<int>(rng.Uniform(1993, 1997)),
+                             static_cast<int>(rng.Uniform(1, 12)), 1);
+  p.q15_date = date::FromYmd(static_cast<int>(rng.Uniform(1993, 1997)),
+                             static_cast<int>(rng.Uniform(1, 10)), 1);
+  p.q16_brand = str::Format("Brand#%d%d", static_cast<int>(rng.Uniform(1, 5)),
+                            static_cast<int>(rng.Uniform(1, 5)));
+  p.q16_type_prefix = std::string(kTypeSyl1[rng.Index(6)]) + " " +
+                      kTypeSyl2[rng.Index(5)];
+  p.q16_sizes.clear();
+  while (p.q16_sizes.size() < 8) {
+    int64_t s = rng.Uniform(1, 50);
+    if (std::find(p.q16_sizes.begin(), p.q16_sizes.end(), s) ==
+        p.q16_sizes.end()) {
+      p.q16_sizes.push_back(s);
+    }
+  }
+  p.q17_brand = str::Format("Brand#%d%d", static_cast<int>(rng.Uniform(1, 5)),
+                            static_cast<int>(rng.Uniform(1, 5)));
+  p.q17_container = kContainers[rng.Index(4)];
+  return p;
+}
+
+}  // namespace tpcd
+}  // namespace r3

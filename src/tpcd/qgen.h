@@ -1,0 +1,77 @@
+#ifndef R3DB_TPCD_QGEN_H_
+#define R3DB_TPCD_QGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tpcd/dbgen.h"
+
+namespace r3 {
+namespace tpcd {
+
+/// Substitution parameters for the 17 queries (QGEN's role). Defaults are
+/// the spec's validation values where they exist; Make() draws a random
+/// conforming set.
+struct QueryParams {
+  // Q1: DELTA days before 1998-12-01.
+  int64_t q1_delta_days = 90;
+  // Q2: size, type suffix, region.
+  int64_t q2_size = 15;
+  std::string q2_type_suffix = "BRASS";
+  std::string q2_region = "EUROPE";
+  // Q3: segment, date.
+  std::string q3_segment = "BUILDING";
+  int32_t q3_date = 0;  ///< 1995-03-15
+  // Q4: quarter start.
+  int32_t q4_date = 0;  ///< 1993-07-01
+  // Q5: region, year start.
+  std::string q5_region = "ASIA";
+  int32_t q5_date = 0;  ///< 1994-01-01
+  // Q6: year start, discount (fraction), quantity bound.
+  int32_t q6_date = 0;  ///< 1994-01-01
+  double q6_discount = 0.06;
+  int64_t q6_quantity = 24;
+  // Q7: the two trading nations.
+  std::string q7_nation1 = "FRANCE";
+  std::string q7_nation2 = "GERMANY";
+  // Q8: nation, its region, part type.
+  std::string q8_nation = "BRAZIL";
+  std::string q8_region = "AMERICA";
+  std::string q8_type = "ECONOMY ANODIZED STEEL";
+  // Q9: part-name color fragment.
+  std::string q9_color = "green";
+  // Q10: quarter start.
+  int32_t q10_date = 0;  ///< 1993-10-01
+  // Q11: nation + fraction (scaled by 1/SF in the spec).
+  std::string q11_nation = "GERMANY";
+  double q11_fraction = 0.0001;
+  // Q12: two ship modes + year start.
+  std::string q12_mode1 = "MAIL";
+  std::string q12_mode2 = "SHIP";
+  int32_t q12_date = 0;  ///< 1994-01-01
+  // Q13 (substituted, see DESIGN.md): one order day.
+  int32_t q13_date = 0;  ///< 1995-03-15
+  // Q14: month start.
+  int32_t q14_date = 0;  ///< 1995-09-01
+  // Q15: quarter start.
+  int32_t q15_date = 0;  ///< 1996-01-01
+  // Q16: excluded brand, type prefix, sizes.
+  std::string q16_brand = "Brand#45";
+  std::string q16_type_prefix = "MEDIUM POLISHED";
+  std::vector<int64_t> q16_sizes = {49, 14, 23, 45, 19, 3, 36, 9};
+  // Q17: brand + container.
+  std::string q17_brand = "Brand#23";
+  std::string q17_container = "MED BOX";
+
+  /// Spec validation parameter set, with Q11's fraction scaled to `sf`.
+  static QueryParams Defaults(double sf);
+
+  /// A random conforming set (for repeated power runs).
+  static QueryParams Make(double sf, uint64_t seed);
+};
+
+}  // namespace tpcd
+}  // namespace r3
+
+#endif  // R3DB_TPCD_QGEN_H_

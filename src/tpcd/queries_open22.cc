@@ -1,0 +1,964 @@
+// The 17 queries as Release 2.2 Open SQL reports: single-table (or join
+// view) SELECTs only, general joins coded as nested SELECT loops crossing
+// the app-server/RDBMS interface per outer tuple, grouping and aggregation
+// via EXTRACT/SORT/LOOP in the application server. This is the paper's
+// worst-performing configuration — by construction, not by tuning-down.
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "appsys/report.h"
+#include "common/date.h"
+#include "common/str_util.h"
+#include "sap/schema.h"
+#include "tpcd/queries.h"
+
+namespace r3 {
+namespace tpcd {
+
+namespace {
+
+using appsys::AppServer;
+using appsys::InternalTable;
+using appsys::OpenSqlQuery;
+using appsys::OsqlCond;
+using rdbms::CmpOp;
+using rdbms::QueryResult;
+using rdbms::Row;
+using rdbms::Value;
+
+class Open22QuerySet : public IQuerySet {
+ public:
+  explicit Open22QuerySet(AppServer* app) : app_(app) {}
+
+  std::string name() const override { return "open22"; }
+
+  Result<QueryResult> RunQuery(int q, const QueryParams& p) override {
+    switch (q) {
+      case 1:
+        return Q1(p);
+      case 2:
+        return Q2(p);
+      case 3:
+        return Q3(p);
+      case 4:
+        return Q4(p);
+      case 5:
+        return Q5(p);
+      case 6:
+        return Q6(p);
+      case 7:
+        return Q7(p);
+      case 8:
+        return Q8(p);
+      case 9:
+        return Q9(p);
+      case 10:
+        return Q10(p);
+      case 11:
+        return Q11(p);
+      case 12:
+        return Q12(p);
+      case 13:
+        return Q13(p);
+      case 14:
+        return Q14(p);
+      case 15:
+        return Q15(p);
+      case 16:
+        return Q16(p);
+      case 17:
+        return Q17(p);
+      default:
+        return Status::InvalidArgument(str::Format("no query %d", q));
+    }
+  }
+
+ protected:
+  appsys::OpenSql* osql() { return app_->open_sql(); }
+  SimClock* clock() { return app_->clock(); }
+
+  /// SELECT ... FROM one table/view (helper to keep reports readable).
+  Result<QueryResult> Sel(const std::string& table,
+                          std::vector<std::string> cols,
+                          std::vector<OsqlCond> conds) {
+    OpenSqlQuery q;
+    q.table = table;
+    q.columns = std::move(cols);
+    q.where = std::move(conds);
+    return osql()->Select(q);
+  }
+
+  /// Per-position (discount, tax) fractions via nested KONV SELECTs.
+  Result<std::pair<double, double>> DiscTax(const std::string& knumv,
+                                            const std::string& kposn) {
+    R3_ASSIGN_OR_RETURN(
+        QueryResult res,
+        Sel("KONV", {"KSCHL", "KBETR"},
+            {OsqlCond::Eq("KNUMV", Value::Str(knumv)),
+             OsqlCond::Eq("KPOSN", Value::Str(kposn))}));
+    double disc = 0, tax = 0;
+    for (const Row& r : res.rows) {
+      if (r[0].string_value() == sap::kKschlDiscount) {
+        disc = -r[1].AsDouble() / 1000.0;
+      } else if (r[0].string_value() == sap::kKschlTax) {
+        tax = r[1].AsDouble() / 1000.0;
+      }
+    }
+    return std::make_pair(disc, tax);
+  }
+
+  /// Materializes a SELECT into an internal table sorted on column 0
+  /// (Section 2.3's "materialization of query results in internal tables").
+  Result<InternalTable> Itab(const std::string& table,
+                             std::vector<std::string> cols,
+                             std::vector<OsqlCond> conds) {
+    R3_ASSIGN_OR_RETURN(QueryResult res, Sel(table, std::move(cols),
+                                             std::move(conds)));
+    InternalTable itab(clock());
+    for (Row& r : res.rows) itab.Append(std::move(r));
+    itab.Sort({0});
+    return itab;
+  }
+
+  /// The nation-name side tables, materialized once per report.
+  struct NationTables {
+    InternalTable t005;   ///< LAND1 -> REGIO
+    InternalTable t005u;  ///< REGIO -> BEZEI (region name)
+    InternalTable t005t;  ///< LAND1 -> LANDX (nation name)
+    explicit NationTables(SimClock* c) : t005(c), t005u(c), t005t(c) {}
+  };
+  Result<NationTables> LoadNations() {
+    NationTables nt(clock());
+    R3_ASSIGN_OR_RETURN(nt.t005, Itab("T005", {"LAND1", "REGIO"}, {}));
+    R3_ASSIGN_OR_RETURN(
+        nt.t005u, Itab("T005U", {"REGIO", "BEZEI"},
+                       {OsqlCond::Eq("SPRAS", Value::Str("E"))}));
+    R3_ASSIGN_OR_RETURN(
+        nt.t005t, Itab("T005T", {"LAND1", "LANDX"},
+                       {OsqlCond::Eq("SPRAS", Value::Str("E"))}));
+    return nt;
+  }
+  static std::string Lookup1(const InternalTable& itab, const std::string& key) {
+    int64_t i = itab.BinarySearch({0}, Row{Value::Str(key)});
+    return i < 0 ? std::string() : itab.rows()[static_cast<size_t>(i)][1]
+                                       .string_value();
+  }
+  Result<std::string> RegionOfLand(const NationTables& nt,
+                                   const std::string& land1) {
+    std::string regio = Lookup1(nt.t005, land1);
+    return Lookup1(nt.t005u, regio);
+  }
+
+  // -- Q1 --------------------------------------------------------------------
+  Result<QueryResult> Q1(const QueryParams& p) {
+    int32_t cutoff =
+        date::FromYmd(1998, 12, 1) - static_cast<int32_t>(p.q1_delta_days);
+    R3_ASSIGN_OR_RETURN(
+        QueryResult lines,
+        Sel("VLIPS", {"VBELN", "POSNR", "ABGRU", "GBSTA", "KWMENG", "NETWR"},
+            {OsqlCond::Cmp("EDATU", CmpOp::kLe, Value::Date(cutoff))}));
+    // KNUMV per order, materialized once.
+    R3_ASSIGN_OR_RETURN(InternalTable vbak, Itab("VBAK", {"VBELN", "KNUMV"}, {}));
+    appsys::Extract extract(clock(), {0, 1});
+    for (const Row& r : lines.rows) {
+      std::string knumv = Lookup1(vbak, r[0].string_value());
+      R3_ASSIGN_OR_RETURN(auto dt, DiscTax(knumv, r[1].string_value()));
+      double price = r[5].AsDouble();
+      extract.Append(Row{r[2], r[3], Value::Dbl(r[4].AsDouble()),
+                         Value::Dbl(price),
+                         Value::Dbl(price * (1 - dt.first)),
+                         Value::Dbl(price * (1 - dt.first) * (1 + dt.second)),
+                         Value::Dbl(dt.first)});
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    QueryResult out;
+    out.column_names = {"ABGRU",          "GBSTA",          "SUM_QTY",
+                        "SUM_BASE_PRICE", "SUM_DISC_PRICE", "SUM_CHARGE",
+                        "AVG_QTY",        "AVG_PRICE",      "AVG_DISC",
+                        "COUNT_ORDER"};
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      double qty = 0, base = 0, disc_price = 0, charge = 0, disc = 0;
+      for (const Row& r : g) {
+        qty += r[2].AsDouble();
+        base += r[3].AsDouble();
+        disc_price += r[4].AsDouble();
+        charge += r[5].AsDouble();
+        disc += r[6].AsDouble();
+      }
+      double n = static_cast<double>(g.size());
+      out.rows.push_back(Row{g[0][0], g[0][1], Value::Dbl(qty),
+                             Value::Dbl(base), Value::Dbl(disc_price),
+                             Value::Dbl(charge), Value::Dbl(qty / n),
+                             Value::Dbl(base / n), Value::Dbl(disc / n),
+                             Value::Int(g.size())});
+      return Status::OK();
+    }));
+    return out;
+  }
+
+  // -- Q2 --------------------------------------------------------------------
+  Result<QueryResult> Q2(const QueryParams& p) {
+    R3_ASSIGN_OR_RETURN(NationTables nt, LoadNations());
+    // Candidate parts: type suffix on MARA, size via AUSP.
+    R3_ASSIGN_OR_RETURN(
+        QueryResult parts,
+        Sel("MARA", {"MATNR", "MFRNR"},
+            {OsqlCond::Like("GROES", "%" + p.q2_type_suffix)}));
+    struct Candidate {
+      std::string matnr, mfgr;
+    };
+    std::vector<Candidate> cands;
+    for (const Row& r : parts.rows) {
+      clock()->ChargeAbapTuple();
+      R3_ASSIGN_OR_RETURN(
+          QueryResult size,
+          Sel("AUSP", {"ATFLV"},
+              {OsqlCond::Eq("OBJEK", r[0]),
+               OsqlCond::Eq("ATINN", Value::Str(sap::kAtinnPartSize))}));
+      if (!size.rows.empty() &&
+          size.rows[0][0].AsInt() == p.q2_size) {
+        cands.push_back({r[0].string_value(), r[1].string_value()});
+      }
+    }
+    QueryResult out;
+    out.column_names = {"S_ACCTBAL", "S_NAME",    "N_NAME",  "P_PARTKEY",
+                        "P_MFGR",    "S_ADDRESS", "S_PHONE", "S_COMMENT"};
+    for (const Candidate& part : cands) {
+      // All offers for the part; keep only region-local suppliers.
+      R3_ASSIGN_OR_RETURN(
+          QueryResult offers,
+          Sel("VINFO", {"LIFNR", "NETPR"},
+              {OsqlCond::Eq("MATNR", Value::Str(part.matnr))}));
+      struct Offer {
+        std::string lifnr;
+        double netpr;
+        std::string land1;
+      };
+      std::vector<Offer> local;
+      double min_cost = 0;
+      bool any = false;
+      for (const Row& o : offers.rows) {
+        clock()->ChargeAbapTuple();
+        R3_ASSIGN_OR_RETURN(
+            auto supp, osql()->SelectSingle(
+                           "LFA1", {OsqlCond::Eq("LIFNR", o[0])}));
+        if (!supp.has_value()) continue;
+        std::string land1 = (*supp)[2].string_value();
+        R3_ASSIGN_OR_RETURN(std::string region, RegionOfLand(nt, land1));
+        if (region != p.q2_region) continue;
+        double cost = o[1].AsDouble();
+        local.push_back({o[0].string_value(), cost, land1});
+        if (!any || cost < min_cost) {
+          min_cost = cost;
+          any = true;
+        }
+      }
+      if (!any) continue;
+      for (const Offer& o : local) {
+        if (o.netpr > min_cost + 1e-9) continue;
+        R3_ASSIGN_OR_RETURN(
+            auto supp, osql()->SelectSingle(
+                           "LFA1", {OsqlCond::Eq("LIFNR", Value::Str(o.lifnr))}));
+        R3_ASSIGN_OR_RETURN(
+            auto bal,
+            osql()->SelectSingle(
+                "AUSP", {OsqlCond::Eq("OBJEK", Value::Str(o.lifnr)),
+                         OsqlCond::Eq("ATINN",
+                                      Value::Str(sap::kAtinnSuppAcctbal))}));
+        R3_ASSIGN_OR_RETURN(
+            QueryResult text,
+            Sel("STXL", {"CLUSTD"},
+                {OsqlCond::Eq("TDOBJECT", Value::Str("LFA1")),
+                 OsqlCond::Eq("TDNAME", Value::Str(o.lifnr))}));
+        out.rows.push_back(
+            Row{bal.has_value() ? (*bal)[6] : Value::Null(),
+                (*supp)[3],  // NAME1
+                Value::Str(Lookup1(nt.t005t, o.land1)),
+                Value::Str(part.matnr), Value::Str(part.mfgr),
+                (*supp)[6],  // STRAS
+                (*supp)[7],  // TELF1
+                text.rows.empty() ? Value::Str("") : text.rows[0][0]});
+      }
+    }
+    clock()->ChargeAbapTuple(static_cast<int64_t>(out.rows.size()));
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [](const Row& a, const Row& b) {
+                       if (a[0].AsDouble() != b[0].AsDouble()) {
+                         return a[0].AsDouble() > b[0].AsDouble();
+                       }
+                       int c = a[2].Compare(b[2]);
+                       if (c != 0) return c < 0;
+                       c = a[1].Compare(b[1]);
+                       if (c != 0) return c < 0;
+                       return a[3].Compare(b[3]) < 0;
+                     });
+    if (out.rows.size() > 100) out.rows.resize(100);
+    return out;
+  }
+
+  // -- Q3 --------------------------------------------------------------------
+  Result<QueryResult> Q3(const QueryParams& p) {
+    R3_ASSIGN_OR_RETURN(
+        QueryResult orders,
+        Sel("VORDK", {"VBELN", "AUDAT", "VSBED", "KNUMV"},
+            {OsqlCond::Eq("BRSCH", Value::Str(p.q3_segment)),
+             OsqlCond::Cmp("AUDAT", CmpOp::kLt, Value::Date(p.q3_date))}));
+    QueryResult out;
+    out.column_names = {"L_ORDERKEY", "REVENUE", "O_ORDERDATE",
+                        "O_SHIPPRIORITY"};
+    for (const Row& o : orders.rows) {
+      clock()->ChargeAbapTuple();
+      R3_ASSIGN_OR_RETURN(
+          QueryResult lines,
+          Sel("VLIPS", {"POSNR", "NETWR"},
+              {OsqlCond::Eq("VBELN", o[0]),
+               OsqlCond::Cmp("EDATU", CmpOp::kGt, Value::Date(p.q3_date))}));
+      double rev = 0;
+      for (const Row& l : lines.rows) {
+        R3_ASSIGN_OR_RETURN(
+            auto dt, DiscTax(o[3].string_value(), l[0].string_value()));
+        rev += l[1].AsDouble() * (1 - dt.first);
+      }
+      if (!lines.rows.empty()) {
+        out.rows.push_back(Row{o[0], Value::Dbl(rev), o[1], o[2]});
+      }
+    }
+    clock()->ChargeAbapTuple(static_cast<int64_t>(out.rows.size()));
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [](const Row& a, const Row& b) {
+                       if (a[1].AsDouble() != b[1].AsDouble()) {
+                         return a[1].AsDouble() > b[1].AsDouble();
+                       }
+                       return a[2].Compare(b[2]) < 0;
+                     });
+    if (out.rows.size() > 10) out.rows.resize(10);
+    return out;
+  }
+
+  // -- Q4 --------------------------------------------------------------------
+  Result<QueryResult> Q4(const QueryParams& p) {
+    int32_t hi = date::AddMonths(p.q4_date, 3);
+    R3_ASSIGN_OR_RETURN(
+        QueryResult orders,
+        Sel("VBAK", {"VBELN", "PRIOK"},
+            {OsqlCond::Cmp("AUDAT", CmpOp::kGe, Value::Date(p.q4_date)),
+             OsqlCond::Cmp("AUDAT", CmpOp::kLt, Value::Date(hi))}));
+    appsys::Extract extract(clock(), {0});
+    for (const Row& o : orders.rows) {
+      R3_ASSIGN_OR_RETURN(
+          QueryResult eps,
+          Sel("VBEP", {"WADAT", "LDDAT"}, {OsqlCond::Eq("VBELN", o[0])}));
+      bool late = false;
+      for (const Row& e : eps.rows) {
+        clock()->ChargeAbapTuple();
+        if (!e[0].is_null() && !e[1].is_null() &&
+            e[0].date_value() < e[1].date_value()) {
+          late = true;
+          break;
+        }
+      }
+      if (late) extract.Append(Row{o[1]});
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    QueryResult out;
+    out.column_names = {"O_ORDERPRIORITY", "ORDER_COUNT"};
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      out.rows.push_back(Row{g[0][0], Value::Int(g.size())});
+      return Status::OK();
+    }));
+    return out;
+  }
+
+  // -- Q5 --------------------------------------------------------------------
+  Result<QueryResult> Q5(const QueryParams& p) {
+    int32_t hi = date::AddMonths(p.q5_date, 12);
+    R3_ASSIGN_OR_RETURN(NationTables nt, LoadNations());
+    R3_ASSIGN_OR_RETURN(
+        QueryResult orders,
+        Sel("VORDK", {"VBELN", "KNUMV", "LAND1"},
+            {OsqlCond::Cmp("AUDAT", CmpOp::kGe, Value::Date(p.q5_date)),
+             OsqlCond::Cmp("AUDAT", CmpOp::kLt, Value::Date(hi))}));
+    appsys::Extract extract(clock(), {0});
+    for (const Row& o : orders.rows) {
+      clock()->ChargeAbapTuple();
+      const std::string cust_land = o[2].string_value();
+      R3_ASSIGN_OR_RETURN(std::string region, RegionOfLand(nt, cust_land));
+      if (region != p.q5_region) continue;
+      R3_ASSIGN_OR_RETURN(
+          QueryResult lines,
+          Sel("VBAP", {"POSNR", "LIFNR", "NETWR"},
+              {OsqlCond::Eq("VBELN", o[0])}));
+      for (const Row& l : lines.rows) {
+        R3_ASSIGN_OR_RETURN(
+            auto supp, osql()->SelectSingle(
+                           "LFA1", {OsqlCond::Eq("LIFNR", l[1])}));
+        if (!supp.has_value()) continue;
+        if ((*supp)[2].string_value() != cust_land) continue;
+        R3_ASSIGN_OR_RETURN(
+            auto dt, DiscTax(o[1].string_value(), l[0].string_value()));
+        extract.Append(Row{Value::Str(Lookup1(nt.t005t, cust_land)),
+                           Value::Dbl(l[2].AsDouble() * (1 - dt.first))});
+      }
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    QueryResult out;
+    out.column_names = {"N_NAME", "REVENUE"};
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      double rev = 0;
+      for (const Row& r : g) rev += r[1].AsDouble();
+      out.rows.push_back(Row{g[0][0], Value::Dbl(rev)});
+      return Status::OK();
+    }));
+    clock()->ChargeAbapTuple(static_cast<int64_t>(out.rows.size()));
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [](const Row& a, const Row& b) {
+                       return a[1].AsDouble() > b[1].AsDouble();
+                     });
+    return out;
+  }
+
+  // -- Q6 --------------------------------------------------------------------
+  Result<QueryResult> Q6(const QueryParams& p) {
+    int32_t hi = date::AddMonths(p.q6_date, 12);
+    double lo_d = p.q6_discount - 0.011;
+    double hi_d = p.q6_discount + 0.011;
+    R3_ASSIGN_OR_RETURN(
+        QueryResult lines,
+        Sel("VLIPS", {"VBELN", "POSNR", "NETWR"},
+            {OsqlCond::Cmp("EDATU", CmpOp::kGe, Value::Date(p.q6_date)),
+             OsqlCond::Cmp("EDATU", CmpOp::kLt, Value::Date(hi)),
+             OsqlCond::Cmp("KWMENG", CmpOp::kLt,
+                           Value::Int(p.q6_quantity))}));
+    double revenue = 0;
+    int64_t contributing = 0;
+    for (const Row& l : lines.rows) {
+      clock()->ChargeAbapTuple();
+      R3_ASSIGN_OR_RETURN(
+          auto dt, DiscTax(l[0].string_value(), l[1].string_value()));
+      if (dt.first >= lo_d && dt.first <= hi_d) {
+        revenue += l[2].AsDouble() * dt.first;
+        ++contributing;
+      }
+    }
+    QueryResult out;
+    out.column_names = {"REVENUE"};
+    out.rows.push_back(Row{contributing == 0
+                               ? Value::Null(rdbms::DataType::kDouble)
+                               : Value::Dbl(revenue)});
+    return out;
+  }
+
+  // -- Q7 --------------------------------------------------------------------
+  Result<QueryResult> Q7(const QueryParams& p) {
+    R3_ASSIGN_OR_RETURN(NationTables nt, LoadNations());
+    R3_ASSIGN_OR_RETURN(
+        QueryResult lines,
+        Sel("VLIPS", {"VBELN", "POSNR", "LIFNR", "NETWR", "EDATU"},
+            {OsqlCond::Between("EDATU", Value::Date(date::FromYmd(1995, 1, 1)),
+                               Value::Date(date::FromYmd(1996, 12, 31)))}));
+    appsys::Extract extract(clock(), {0, 1, 2});
+    for (const Row& l : lines.rows) {
+      clock()->ChargeAbapTuple();
+      R3_ASSIGN_OR_RETURN(
+          auto supp,
+          osql()->SelectSingle("LFA1", {OsqlCond::Eq("LIFNR", l[2])}));
+      if (!supp.has_value()) continue;
+      std::string sn = Lookup1(nt.t005t, (*supp)[2].string_value());
+      R3_ASSIGN_OR_RETURN(
+          auto order,
+          osql()->SelectSingle("VBAK", {OsqlCond::Eq("VBELN", l[0])}));
+      if (!order.has_value()) continue;
+      R3_ASSIGN_OR_RETURN(
+          auto cust, osql()->SelectSingle(
+                         "KNA1", {OsqlCond::Eq("KUNNR", (*order)[9])}));
+      if (!cust.has_value()) continue;
+      std::string cn = Lookup1(nt.t005t, (*cust)[2].string_value());
+      bool pair = (sn == p.q7_nation1 && cn == p.q7_nation2) ||
+                  (sn == p.q7_nation2 && cn == p.q7_nation1);
+      if (!pair) continue;
+      R3_ASSIGN_OR_RETURN(
+          auto dt, DiscTax((*order)[10].string_value(), l[1].string_value()));
+      extract.Append(Row{Value::Str(sn), Value::Str(cn),
+                         Value::Int(date::Year(l[4].date_value())),
+                         Value::Dbl(l[3].AsDouble() * (1 - dt.first))});
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    QueryResult out;
+    out.column_names = {"SUPP_NATION", "CUST_NATION", "L_YEAR", "REVENUE"};
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      double rev = 0;
+      for (const Row& r : g) rev += r[3].AsDouble();
+      out.rows.push_back(Row{g[0][0], g[0][1], g[0][2], Value::Dbl(rev)});
+      return Status::OK();
+    }));
+    return out;
+  }
+
+  // -- Q8 --------------------------------------------------------------------
+  Result<QueryResult> Q8(const QueryParams& p) {
+    R3_ASSIGN_OR_RETURN(NationTables nt, LoadNations());
+    R3_ASSIGN_OR_RETURN(
+        QueryResult orders,
+        Sel("VORDK", {"VBELN", "KNUMV", "LAND1", "AUDAT"},
+            {OsqlCond::Between("AUDAT", Value::Date(date::FromYmd(1995, 1, 1)),
+                               Value::Date(date::FromYmd(1996, 12, 31)))}));
+    appsys::Extract extract(clock(), {0});
+    for (const Row& o : orders.rows) {
+      clock()->ChargeAbapTuple();
+      R3_ASSIGN_OR_RETURN(std::string region,
+                          RegionOfLand(nt, o[2].string_value()));
+      if (region != p.q8_region) continue;
+      R3_ASSIGN_OR_RETURN(
+          QueryResult lines,
+          Sel("VBAP", {"POSNR", "MATNR", "LIFNR", "NETWR"},
+              {OsqlCond::Eq("VBELN", o[0])}));
+      for (const Row& l : lines.rows) {
+        R3_ASSIGN_OR_RETURN(
+            auto mat, osql()->SelectSingle(
+                          "MARA", {OsqlCond::Eq("MATNR", l[1])}));
+        if (!mat.has_value() ||
+            (*mat)[9].string_value() != p.q8_type) {  // GROES
+          continue;
+        }
+        R3_ASSIGN_OR_RETURN(
+            auto supp,
+            osql()->SelectSingle("LFA1", {OsqlCond::Eq("LIFNR", l[2])}));
+        if (!supp.has_value()) continue;
+        std::string sn = Lookup1(nt.t005t, (*supp)[2].string_value());
+        R3_ASSIGN_OR_RETURN(
+            auto dt, DiscTax(o[1].string_value(), l[0].string_value()));
+        double vol = l[3].AsDouble() * (1 - dt.first);
+        extract.Append(Row{Value::Int(date::Year(o[3].date_value())),
+                           Value::Dbl(sn == p.q8_nation ? vol : 0.0),
+                           Value::Dbl(vol)});
+      }
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    QueryResult out;
+    out.column_names = {"O_YEAR", "MKT_SHARE"};
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      double nation = 0, total = 0;
+      for (const Row& r : g) {
+        nation += r[1].AsDouble();
+        total += r[2].AsDouble();
+      }
+      out.rows.push_back(
+          Row{g[0][0], Value::Dbl(total == 0 ? 0 : nation / total)});
+      return Status::OK();
+    }));
+    return out;
+  }
+
+  // -- Q9 --------------------------------------------------------------------
+  Result<QueryResult> Q9(const QueryParams& p) {
+    R3_ASSIGN_OR_RETURN(NationTables nt, LoadNations());
+    R3_ASSIGN_OR_RETURN(
+        QueryResult parts,
+        Sel("MAKT", {"MATNR"},
+            {OsqlCond::Like("MAKTX", "%" + p.q9_color + "%")}));
+    appsys::Extract extract(clock(), {0, 1});
+    for (const Row& part : parts.rows) {
+      clock()->ChargeAbapTuple();
+      R3_ASSIGN_OR_RETURN(
+          QueryResult lines,
+          Sel("VBAP", {"VBELN", "POSNR", "LIFNR", "NETWR", "KWMENG"},
+              {OsqlCond::Eq("MATNR", part[0])}));
+      for (const Row& l : lines.rows) {
+        R3_ASSIGN_OR_RETURN(
+            auto order,
+            osql()->SelectSingle("VBAK", {OsqlCond::Eq("VBELN", l[0])}));
+        if (!order.has_value()) continue;
+        R3_ASSIGN_OR_RETURN(
+            auto supp,
+            osql()->SelectSingle("LFA1", {OsqlCond::Eq("LIFNR", l[2])}));
+        if (!supp.has_value()) continue;
+        R3_ASSIGN_OR_RETURN(
+            QueryResult cost,
+            Sel("VINFO", {"NETPR"},
+                {OsqlCond::Eq("MATNR", part[0]), OsqlCond::Eq("LIFNR", l[2])}));
+        double supplycost = cost.rows.empty() ? 0 : cost.rows[0][0].AsDouble();
+        R3_ASSIGN_OR_RETURN(
+            auto dt, DiscTax((*order)[10].string_value(), l[1].string_value()));
+        extract.Append(
+            Row{Value::Str(Lookup1(nt.t005t, (*supp)[2].string_value())),
+                Value::Int(date::Year((*order)[4].date_value())),
+                Value::Dbl(l[3].AsDouble() * (1 - dt.first) -
+                           supplycost * l[4].AsDouble())});
+      }
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    QueryResult out;
+    out.column_names = {"NATION", "O_YEAR", "SUM_PROFIT"};
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      double profit = 0;
+      for (const Row& r : g) profit += r[2].AsDouble();
+      out.rows.push_back(Row{g[0][0], g[0][1], Value::Dbl(profit)});
+      return Status::OK();
+    }));
+    clock()->ChargeAbapTuple(static_cast<int64_t>(out.rows.size()));
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [](const Row& a, const Row& b) {
+                       int c = a[0].Compare(b[0]);
+                       if (c != 0) return c < 0;
+                       return a[1].AsInt() > b[1].AsInt();
+                     });
+    return out;
+  }
+
+  // -- Q10 -------------------------------------------------------------------
+  Result<QueryResult> Q10(const QueryParams& p) {
+    int32_t hi = date::AddMonths(p.q10_date, 3);
+    R3_ASSIGN_OR_RETURN(NationTables nt, LoadNations());
+    R3_ASSIGN_OR_RETURN(
+        QueryResult orders,
+        Sel("VORDK", {"VBELN", "KUNNR", "KNUMV", "LAND1"},
+            {OsqlCond::Cmp("AUDAT", CmpOp::kGe, Value::Date(p.q10_date)),
+             OsqlCond::Cmp("AUDAT", CmpOp::kLt, Value::Date(hi))}));
+    struct CustAgg {
+      double revenue = 0;
+      std::string land1;
+    };
+    std::map<std::string, CustAgg> by_cust;
+    for (const Row& o : orders.rows) {
+      clock()->ChargeAbapTuple();
+      R3_ASSIGN_OR_RETURN(
+          QueryResult lines,
+          Sel("VBAP", {"POSNR", "NETWR"},
+              {OsqlCond::Eq("VBELN", o[0]),
+               OsqlCond::Eq("ABGRU", Value::Str("R"))}));
+      for (const Row& l : lines.rows) {
+        R3_ASSIGN_OR_RETURN(
+            auto dt, DiscTax(o[2].string_value(), l[0].string_value()));
+        CustAgg& agg = by_cust[o[1].string_value()];
+        agg.revenue += l[1].AsDouble() * (1 - dt.first);
+        agg.land1 = o[3].string_value();
+      }
+    }
+    QueryResult out;
+    out.column_names = {"C_CUSTKEY", "C_NAME",    "REVENUE", "C_ACCTBAL",
+                        "N_NAME",    "C_ADDRESS", "C_PHONE"};
+    for (const auto& [kunnr, agg] : by_cust) {
+      clock()->ChargeAbapTuple();
+      R3_ASSIGN_OR_RETURN(
+          auto cust, osql()->SelectSingle(
+                         "KNA1", {OsqlCond::Eq("KUNNR", Value::Str(kunnr))}));
+      if (!cust.has_value()) continue;
+      R3_ASSIGN_OR_RETURN(
+          auto bal,
+          osql()->SelectSingle(
+              "AUSP", {OsqlCond::Eq("OBJEK", Value::Str(kunnr)),
+                       OsqlCond::Eq("ATINN",
+                                    Value::Str(sap::kAtinnCustAcctbal))}));
+      out.rows.push_back(Row{Value::Str(kunnr), (*cust)[3],
+                             Value::Dbl(agg.revenue),
+                             bal.has_value() ? (*bal)[6] : Value::Null(),
+                             Value::Str(Lookup1(nt.t005t, agg.land1)),
+                             (*cust)[6], (*cust)[7]});
+    }
+    clock()->ChargeAbapTuple(static_cast<int64_t>(out.rows.size()));
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [](const Row& a, const Row& b) {
+                       return a[2].AsDouble() > b[2].AsDouble();
+                     });
+    if (out.rows.size() > 20) out.rows.resize(20);
+    return out;
+  }
+
+  // -- Q11 -------------------------------------------------------------------
+  Result<QueryResult> Q11(const QueryParams& p) {
+    // Nation name -> LAND1 -> its suppliers -> their info records.
+    R3_ASSIGN_OR_RETURN(
+        QueryResult lands,
+        Sel("T005T", {"LAND1"},
+            {OsqlCond::Eq("SPRAS", Value::Str("E")),
+             OsqlCond::Eq("LANDX", Value::Str(p.q11_nation))}));
+    if (lands.rows.empty()) {
+      QueryResult out;
+      out.column_names = {"PS_PARTKEY", "VAL"};
+      return out;
+    }
+    R3_ASSIGN_OR_RETURN(
+        QueryResult supps,
+        Sel("LFA1", {"LIFNR"}, {OsqlCond::Eq("LAND1", lands.rows[0][0])}));
+    std::map<std::string, double> by_part;
+    double total = 0;
+    for (const Row& s : supps.rows) {
+      clock()->ChargeAbapTuple();
+      R3_ASSIGN_OR_RETURN(
+          QueryResult infos,
+          Sel("VINFO", {"INFNR", "MATNR", "NETPR"},
+              {OsqlCond::Eq("LIFNR", s[0])}));
+      for (const Row& i : infos.rows) {
+        R3_ASSIGN_OR_RETURN(
+            auto qty,
+            osql()->SelectSingle(
+                "AUSP", {OsqlCond::Eq("OBJEK", i[0]),
+                         OsqlCond::Eq("ATINN",
+                                      Value::Str(sap::kAtinnPsAvailqty))}));
+        if (!qty.has_value()) continue;
+        double v = i[2].AsDouble() * (*qty)[6].AsDouble();
+        by_part[i[1].string_value()] += v;
+        total += v;
+      }
+    }
+    QueryResult out;
+    out.column_names = {"PS_PARTKEY", "VAL"};
+    double threshold = total * p.q11_fraction;
+    for (const auto& [matnr, val] : by_part) {
+      clock()->ChargeAbapTuple();
+      if (val > threshold) {
+        out.rows.push_back(Row{Value::Str(matnr), Value::Dbl(val)});
+      }
+    }
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [](const Row& a, const Row& b) {
+                       return a[1].AsDouble() > b[1].AsDouble();
+                     });
+    return out;
+  }
+
+  // -- Q12 -------------------------------------------------------------------
+  Result<QueryResult> Q12(const QueryParams& p) {
+    int32_t hi = date::AddMonths(p.q12_date, 12);
+    appsys::Extract extract(clock(), {0});
+    for (const std::string& mode : {p.q12_mode1, p.q12_mode2}) {
+      R3_ASSIGN_OR_RETURN(
+          QueryResult lines,
+          Sel("VLIPS", {"VBELN", "EDATU", "WADAT", "LDDAT", "ROUTE"},
+              {OsqlCond::Eq("ROUTE", Value::Str(mode)),
+               OsqlCond::Cmp("LDDAT", CmpOp::kGe, Value::Date(p.q12_date)),
+               OsqlCond::Cmp("LDDAT", CmpOp::kLt, Value::Date(hi))}));
+      for (const Row& l : lines.rows) {
+        clock()->ChargeAbapTuple();
+        if (!(l[2].date_value() < l[3].date_value() &&
+              l[1].date_value() < l[2].date_value())) {
+          continue;
+        }
+        R3_ASSIGN_OR_RETURN(
+            auto order,
+            osql()->SelectSingle("VBAK", {OsqlCond::Eq("VBELN", l[0])}));
+        if (!order.has_value()) continue;
+        const std::string prio = (*order)[12].string_value();
+        bool high = prio == "1-URGENT" || prio == "2-HIGH";
+        extract.Append(Row{l[4], Value::Int(high ? 1 : 0),
+                           Value::Int(high ? 0 : 1)});
+      }
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    QueryResult out;
+    out.column_names = {"L_SHIPMODE", "HIGH_LINE_COUNT", "LOW_LINE_COUNT"};
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      int64_t high = 0, low = 0;
+      for (const Row& r : g) {
+        high += r[1].AsInt();
+        low += r[2].AsInt();
+      }
+      out.rows.push_back(Row{g[0][0], Value::Int(high), Value::Int(low)});
+      return Status::OK();
+    }));
+    return out;
+  }
+
+  // -- Q13 -------------------------------------------------------------------
+  Result<QueryResult> Q13(const QueryParams& p) {
+    R3_ASSIGN_OR_RETURN(
+        QueryResult orders,
+        Sel("VBAK", {"PRIOK", "NETWR"},
+            {OsqlCond::Eq("AUDAT", Value::Date(p.q13_date))}));
+    appsys::Extract extract(clock(), {0});
+    for (const Row& o : orders.rows) {
+      extract.Append(Row{o[0], o[1]});
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    QueryResult out;
+    out.column_names = {"O_ORDERPRIORITY", "ORDER_COUNT", "TOTAL"};
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      double total = 0;
+      for (const Row& r : g) total += r[1].AsDouble();
+      out.rows.push_back(Row{g[0][0], Value::Int(g.size()), Value::Dbl(total)});
+      return Status::OK();
+    }));
+    return out;
+  }
+
+  // -- Q14 -------------------------------------------------------------------
+  Result<QueryResult> Q14(const QueryParams& p) {
+    int32_t hi = date::AddMonths(p.q14_date, 1);
+    R3_ASSIGN_OR_RETURN(
+        QueryResult lines,
+        Sel("VLIPS", {"VBELN", "POSNR", "MATNR", "NETWR"},
+            {OsqlCond::Cmp("EDATU", CmpOp::kGe, Value::Date(p.q14_date)),
+             OsqlCond::Cmp("EDATU", CmpOp::kLt, Value::Date(hi))}));
+    double promo = 0, total = 0;
+    int64_t contributing = 0;
+    for (const Row& l : lines.rows) {
+      clock()->ChargeAbapTuple();
+      R3_ASSIGN_OR_RETURN(
+          auto mat,
+          osql()->SelectSingle("MARA", {OsqlCond::Eq("MATNR", l[2])}));
+      if (!mat.has_value()) continue;
+      R3_ASSIGN_OR_RETURN(
+          auto dt, DiscTax(l[0].string_value(), l[1].string_value()));
+      double vol = l[3].AsDouble() * (1 - dt.first);
+      total += vol;
+      ++contributing;
+      if (str::LikeMatch((*mat)[9].string_value(), "PROMO%")) promo += vol;
+    }
+    QueryResult out;
+    out.column_names = {"PROMO_REVENUE"};
+    out.rows.push_back(Row{contributing == 0
+                               ? Value::Null(rdbms::DataType::kDouble)
+                               : Value::Dbl(100.0 * promo / total)});
+    return out;
+  }
+
+  // -- Q15 -------------------------------------------------------------------
+  Result<QueryResult> Q15(const QueryParams& p) {
+    int32_t hi = date::AddMonths(p.q15_date, 3);
+    R3_ASSIGN_OR_RETURN(
+        QueryResult lines,
+        Sel("VLIPS", {"VBELN", "POSNR", "LIFNR", "NETWR"},
+            {OsqlCond::Cmp("EDATU", CmpOp::kGe, Value::Date(p.q15_date)),
+             OsqlCond::Cmp("EDATU", CmpOp::kLt, Value::Date(hi))}));
+    appsys::Extract extract(clock(), {0});
+    for (const Row& l : lines.rows) {
+      R3_ASSIGN_OR_RETURN(
+          auto dt, DiscTax(l[0].string_value(), l[1].string_value()));
+      extract.Append(Row{l[2], Value::Dbl(l[3].AsDouble() * (1 - dt.first))});
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    std::vector<std::pair<std::string, double>> revenue;
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      double rev = 0;
+      for (const Row& r : g) rev += r[1].AsDouble();
+      revenue.emplace_back(g[0][0].string_value(), rev);
+      return Status::OK();
+    }));
+    double max_rev = 0;
+    for (const auto& [lifnr, rev] : revenue) max_rev = std::max(max_rev, rev);
+    QueryResult out;
+    out.column_names = {"S_SUPPKEY", "S_NAME", "S_ADDRESS", "S_PHONE",
+                        "TOTAL_REVENUE"};
+    for (const auto& [lifnr, rev] : revenue) {
+      if (rev < max_rev - 1e-6) continue;
+      R3_ASSIGN_OR_RETURN(
+          auto supp, osql()->SelectSingle(
+                         "LFA1", {OsqlCond::Eq("LIFNR", Value::Str(lifnr))}));
+      if (!supp.has_value()) continue;
+      out.rows.push_back(Row{Value::Str(lifnr), (*supp)[3], (*supp)[6],
+                             (*supp)[7], Value::Dbl(rev)});
+    }
+    return out;
+  }
+
+  // -- Q16 -------------------------------------------------------------------
+  Result<QueryResult> Q16(const QueryParams& p) {
+    // Manually unnested NOT IN: materialize the complaints suppliers first.
+    R3_ASSIGN_OR_RETURN(
+        QueryResult complaints,
+        Sel("STXL", {"TDNAME"},
+            {OsqlCond::Eq("TDOBJECT", Value::Str("LFA1")),
+             OsqlCond::Like("CLUSTD", "%Customer%Complaints%")}));
+    std::unordered_set<std::string> excluded;
+    for (const Row& r : complaints.rows) {
+      clock()->ChargeAbapTuple();
+      excluded.insert(r[0].string_value());
+    }
+    R3_ASSIGN_OR_RETURN(
+        QueryResult parts,
+        Sel("MARA", {"MATNR", "MATKL", "GROES"},
+            {OsqlCond::Cmp("MATKL", CmpOp::kNe, Value::Str(p.q16_brand))}));
+    std::set<int64_t> sizes(p.q16_sizes.begin(), p.q16_sizes.end());
+    appsys::Extract extract(clock(), {0, 1, 2});
+    for (const Row& part : parts.rows) {
+      clock()->ChargeAbapTuple();
+      if (str::LikeMatch(part[2].string_value(), p.q16_type_prefix + "%")) {
+        continue;  // NOT LIKE prefix
+      }
+      R3_ASSIGN_OR_RETURN(
+          auto sz,
+          osql()->SelectSingle(
+              "AUSP", {OsqlCond::Eq("OBJEK", part[0]),
+                       OsqlCond::Eq("ATINN", Value::Str(sap::kAtinnPartSize))}));
+      if (!sz.has_value() || sizes.count((*sz)[6].AsInt()) == 0) continue;
+      R3_ASSIGN_OR_RETURN(
+          QueryResult offers,
+          Sel("EINA", {"LIFNR"}, {OsqlCond::Eq("MATNR", part[0])}));
+      for (const Row& o : offers.rows) {
+        if (excluded.count(o[0].string_value()) > 0) continue;
+        extract.Append(Row{part[1], part[2], Value::Dbl((*sz)[6].AsDouble()),
+                           o[0]});
+      }
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    QueryResult out;
+    out.column_names = {"P_BRAND", "P_TYPE", "P_SIZE", "SUPPLIER_CNT"};
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      std::set<std::string> distinct;
+      for (const Row& r : g) distinct.insert(r[3].string_value());
+      out.rows.push_back(Row{g[0][0], g[0][1], g[0][2],
+                             Value::Int(static_cast<int64_t>(distinct.size()))});
+      return Status::OK();
+    }));
+    clock()->ChargeAbapTuple(static_cast<int64_t>(out.rows.size()));
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [](const Row& a, const Row& b) {
+                       if (a[3].AsInt() != b[3].AsInt()) {
+                         return a[3].AsInt() > b[3].AsInt();
+                       }
+                       int c = a[0].Compare(b[0]);
+                       if (c != 0) return c < 0;
+                       c = a[1].Compare(b[1]);
+                       if (c != 0) return c < 0;
+                       return a[2].AsDouble() < b[2].AsDouble();
+                     });
+    return out;
+  }
+
+  // -- Q17 -------------------------------------------------------------------
+  Result<QueryResult> Q17(const QueryParams& p) {
+    R3_ASSIGN_OR_RETURN(
+        QueryResult parts,
+        Sel("MARA", {"MATNR"},
+            {OsqlCond::Eq("MATKL", Value::Str(p.q17_brand)),
+             OsqlCond::Eq("MAGRV", Value::Str(p.q17_container))}));
+    double total = 0;
+    int64_t contributing = 0;
+    for (const Row& part : parts.rows) {
+      clock()->ChargeAbapTuple();
+      R3_ASSIGN_OR_RETURN(
+          QueryResult lines,
+          Sel("VBAP", {"KWMENG", "NETWR"}, {OsqlCond::Eq("MATNR", part[0])}));
+      double qty_sum = 0;
+      for (const Row& l : lines.rows) qty_sum += l[0].AsDouble();
+      if (lines.rows.empty()) continue;
+      double cutoff = 0.2 * qty_sum / static_cast<double>(lines.rows.size());
+      for (const Row& l : lines.rows) {
+        clock()->ChargeAbapTuple();
+        if (l[0].AsDouble() < cutoff) {
+          total += l[1].AsDouble();
+          ++contributing;
+        }
+      }
+    }
+    QueryResult out;
+    out.column_names = {"AVG_YEARLY"};
+    // SUM over an empty set is NULL (match the SQL implementations).
+    out.rows.push_back(Row{contributing == 0 ? Value::Null(rdbms::DataType::kDouble)
+                                             : Value::Dbl(total / 7.0)});
+    return out;
+  }
+
+  AppServer* app_;
+};
+
+}  // namespace
+
+std::unique_ptr<IQuerySet> MakeOpen22QuerySet(AppServer* app) {
+  return std::make_unique<Open22QuerySet>(app);
+}
+
+}  // namespace tpcd
+}  // namespace r3

@@ -1,0 +1,838 @@
+// The 17 queries as Release 3.0 Open SQL reports: the new JOIN syntax
+// pushes all join work (including the now-transparent KONV) to the RDBMS,
+// GROUP BY with *simple* aggregates pushes down where the query allows it,
+// and subqueries are manually unnested (Open SQL has none). What remains in
+// the application server is exactly what the paper says remains: complex
+// aggregations (arithmetic inside SUM/AVG), OR-of-join-pairs predicates,
+// and column-to-column comparisons.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "appsys/report.h"
+#include "common/date.h"
+#include "common/str_util.h"
+#include "sap/schema.h"
+#include "tpcd/queries.h"
+
+namespace r3 {
+namespace tpcd {
+
+namespace {
+
+using appsys::AppServer;
+using appsys::OpenSqlQuery;
+using appsys::OsqlAggregate;
+using appsys::OsqlCond;
+using appsys::OsqlJoinTable;
+using rdbms::AggFunc;
+using rdbms::CmpOp;
+using rdbms::QueryResult;
+using rdbms::Row;
+using rdbms::Value;
+
+/// Join-table shorthand.
+OsqlJoinTable J(const std::string& table, const std::string& alias,
+                std::vector<std::pair<std::string, std::string>> on) {
+  return OsqlJoinTable{table, alias, std::move(on), false};
+}
+
+class Open30QuerySet : public IQuerySet {
+ public:
+  explicit Open30QuerySet(AppServer* app) : app_(app) {}
+
+  std::string name() const override { return "open30"; }
+
+  Result<QueryResult> RunQuery(int q, const QueryParams& p) override {
+    switch (q) {
+      case 1:
+        return Q1(p);
+      case 2:
+        return Q2(p);
+      case 3:
+        return Q3(p);
+      case 4:
+        return Q4(p);
+      case 5:
+        return Q5(p);
+      case 6:
+        return Q6(p);
+      case 7:
+        return Q7(p);
+      case 8:
+        return Q8(p);
+      case 9:
+        return Q9(p);
+      case 10:
+        return Q10(p);
+      case 11:
+        return Q11(p);
+      case 12:
+        return Q12(p);
+      case 13:
+        return Q13(p);
+      case 14:
+        return Q14(p);
+      case 15:
+        return Q15(p);
+      case 16:
+        return Q16(p);
+      case 17:
+        return Q17(p);
+      default:
+        return Status::InvalidArgument(str::Format("no query %d", q));
+    }
+  }
+
+ private:
+  appsys::OpenSql* osql() { return app_->open_sql(); }
+  SimClock* clock() { return app_->clock(); }
+
+  /// The lineitem join with pricing: VBAP + VBEP + VBAK + KONV(DISC),
+  /// the backbone of most revenue queries.
+  OpenSqlQuery LineitemJoin(std::vector<std::string> extra_cols,
+                            std::vector<OsqlCond> conds) {
+    OpenSqlQuery q;
+    q.table = "VBAP";
+    q.alias = "P";
+    q.joins = {
+        J("VBEP", "E", {{"E~VBELN", "P~VBELN"}, {"E~POSNR", "P~POSNR"}}),
+        J("VBAK", "K", {{"K~VBELN", "P~VBELN"}}),
+        J("KONV", "KD", {{"KD~KNUMV", "K~KNUMV"}, {"KD~KPOSN", "P~POSNR"}}),
+    };
+    q.columns = {"P~NETWR", "KD~KBETR"};
+    for (std::string& c : extra_cols) q.columns.push_back(std::move(c));
+    q.where = std::move(conds);
+    q.where.push_back(OsqlCond::Eq("KD~KSCHL", Value::Str("DISC")));
+    return q;
+  }
+
+  static double DiscOf(const Value& kbetr) { return -kbetr.AsDouble() / 1000.0; }
+
+  // -- Q1 --------------------------------------------------------------------
+  Result<QueryResult> Q1(const QueryParams& p) {
+    int32_t cutoff =
+        date::FromYmd(1998, 12, 1) - static_cast<int32_t>(p.q1_delta_days);
+    // Join fully pushed; SUM(NETWR*(1+KBETR/1000)) is not expressible, so
+    // rows come back and the grouping stays client-side (Table 7's effect).
+    OpenSqlQuery q;
+    q.table = "VBAP";
+    q.alias = "P";
+    q.joins = {
+        J("VBEP", "E", {{"E~VBELN", "P~VBELN"}, {"E~POSNR", "P~POSNR"}}),
+        J("VBAK", "K", {{"K~VBELN", "P~VBELN"}}),
+        J("KONV", "KD", {{"KD~KNUMV", "K~KNUMV"}, {"KD~KPOSN", "P~POSNR"}}),
+        J("KONV", "KT", {{"KT~KNUMV", "K~KNUMV"}, {"KT~KPOSN", "P~POSNR"}}),
+    };
+    q.columns = {"P~ABGRU", "P~GBSTA", "P~KWMENG", "P~NETWR", "KD~KBETR",
+                 "KT~KBETR"};
+    q.where = {OsqlCond::Cmp("E~EDATU", CmpOp::kLe, Value::Date(cutoff)),
+               OsqlCond::Eq("KD~KSCHL", Value::Str("DISC")),
+               OsqlCond::Eq("KT~KSCHL", Value::Str("TAX"))};
+    R3_ASSIGN_OR_RETURN(QueryResult rows, osql()->Select(q));
+    appsys::Extract extract(clock(), {0, 1});
+    for (const Row& r : rows.rows) {
+      double disc = DiscOf(r[4]);
+      double tax = r[5].AsDouble() / 1000.0;
+      double price = r[3].AsDouble();
+      extract.Append(Row{r[0], r[1], Value::Dbl(r[2].AsDouble()),
+                         Value::Dbl(price), Value::Dbl(price * (1 - disc)),
+                         Value::Dbl(price * (1 - disc) * (1 + tax)),
+                         Value::Dbl(disc)});
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    QueryResult out;
+    out.column_names = {"ABGRU",          "GBSTA",          "SUM_QTY",
+                        "SUM_BASE_PRICE", "SUM_DISC_PRICE", "SUM_CHARGE",
+                        "AVG_QTY",        "AVG_PRICE",      "AVG_DISC",
+                        "COUNT_ORDER"};
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      double qty = 0, base = 0, disc_price = 0, charge = 0, disc = 0;
+      for (const Row& r : g) {
+        qty += r[2].AsDouble();
+        base += r[3].AsDouble();
+        disc_price += r[4].AsDouble();
+        charge += r[5].AsDouble();
+        disc += r[6].AsDouble();
+      }
+      double n = static_cast<double>(g.size());
+      out.rows.push_back(Row{g[0][0], g[0][1], Value::Dbl(qty),
+                             Value::Dbl(base), Value::Dbl(disc_price),
+                             Value::Dbl(charge), Value::Dbl(qty / n),
+                             Value::Dbl(base / n), Value::Dbl(disc / n),
+                             Value::Int(g.size())});
+      return Status::OK();
+    }));
+    return out;
+  }
+
+  // -- Q2 (manually unnested) ---------------------------------------------------
+  Result<QueryResult> Q2(const QueryParams& p) {
+    OpenSqlQuery q;
+    q.table = "MARA";
+    q.alias = "M";
+    q.joins = {
+        J("AUSP", "SZ", {{"SZ~OBJEK", "M~MATNR"}}),
+        J("EINA", "A", {{"A~MATNR", "M~MATNR"}}),
+        J("EINE", "E", {{"E~INFNR", "A~INFNR"}}),
+        J("LFA1", "L", {{"L~LIFNR", "A~LIFNR"}}),
+        J("AUSP", "AB", {{"AB~OBJEK", "L~LIFNR"}}),
+        J("T005", "C", {{"C~LAND1", "L~LAND1"}}),
+        J("T005U", "R", {{"R~REGIO", "C~REGIO"}}),
+        J("T005T", "TN", {{"TN~LAND1", "L~LAND1"}}),
+        J("STXL", "X", {{"X~TDNAME", "L~LIFNR"}}),
+    };
+    q.columns = {"M~MATNR", "M~MFRNR",  "E~NETPR", "L~LIFNR", "L~NAME1",
+                 "L~STRAS", "L~TELF1",  "TN~LANDX", "AB~ATFLV", "X~CLUSTD"};
+    q.where = {
+        OsqlCond::Eq("SZ~ATINN", Value::Str(sap::kAtinnPartSize)),
+        OsqlCond::Eq("SZ~ATFLV", Value::Dbl(static_cast<double>(p.q2_size))),
+        OsqlCond::Like("M~GROES", "%" + p.q2_type_suffix),
+        OsqlCond::Eq("AB~ATINN", Value::Str(sap::kAtinnSuppAcctbal)),
+        OsqlCond::Eq("R~SPRAS", Value::Str("E")),
+        OsqlCond::Eq("R~BEZEI", Value::Str(p.q2_region)),
+        OsqlCond::Eq("TN~SPRAS", Value::Str("E")),
+        OsqlCond::Eq("X~TDOBJECT", Value::Str("LFA1")),
+    };
+    R3_ASSIGN_OR_RETURN(QueryResult rows, osql()->Select(q));
+    // Unnested minimum: first pass computes min cost per part.
+    std::map<std::string, double> min_cost;
+    for (const Row& r : rows.rows) {
+      clock()->ChargeAbapTuple();
+      const std::string& matnr = r[0].string_value();
+      double c = r[2].AsDouble();
+      auto it = min_cost.find(matnr);
+      if (it == min_cost.end() || c < it->second) min_cost[matnr] = c;
+    }
+    QueryResult out;
+    out.column_names = {"S_ACCTBAL", "S_NAME",    "N_NAME",  "P_PARTKEY",
+                        "P_MFGR",    "S_ADDRESS", "S_PHONE", "S_COMMENT"};
+    for (const Row& r : rows.rows) {
+      clock()->ChargeAbapTuple();
+      if (r[2].AsDouble() > min_cost[r[0].string_value()] + 1e-9) continue;
+      out.rows.push_back(Row{r[8], r[4], r[7], r[0], r[1], r[5], r[6], r[9]});
+    }
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [](const Row& a, const Row& b) {
+                       if (a[0].AsDouble() != b[0].AsDouble()) {
+                         return a[0].AsDouble() > b[0].AsDouble();
+                       }
+                       int c = a[2].Compare(b[2]);
+                       if (c != 0) return c < 0;
+                       c = a[1].Compare(b[1]);
+                       if (c != 0) return c < 0;
+                       return a[3].Compare(b[3]) < 0;
+                     });
+    if (out.rows.size() > 100) out.rows.resize(100);
+    return out;
+  }
+
+  // -- Q3 --------------------------------------------------------------------
+  Result<QueryResult> Q3(const QueryParams& p) {
+    OpenSqlQuery q;
+    q.table = "KNA1";
+    q.alias = "C";
+    q.joins = {
+        J("VBAK", "K", {{"K~KUNNR", "C~KUNNR"}}),
+        J("VBAP", "P", {{"P~VBELN", "K~VBELN"}}),
+        J("VBEP", "E", {{"E~VBELN", "P~VBELN"}, {"E~POSNR", "P~POSNR"}}),
+        J("KONV", "KD", {{"KD~KNUMV", "K~KNUMV"}, {"KD~KPOSN", "P~POSNR"}}),
+    };
+    q.columns = {"P~VBELN", "K~AUDAT", "K~VSBED", "P~NETWR", "KD~KBETR"};
+    q.where = {OsqlCond::Eq("C~BRSCH", Value::Str(p.q3_segment)),
+               OsqlCond::Cmp("K~AUDAT", CmpOp::kLt, Value::Date(p.q3_date)),
+               OsqlCond::Cmp("E~EDATU", CmpOp::kGt, Value::Date(p.q3_date)),
+               OsqlCond::Eq("KD~KSCHL", Value::Str("DISC"))};
+    R3_ASSIGN_OR_RETURN(QueryResult rows, osql()->Select(q));
+    appsys::Extract extract(clock(), {0, 1, 2});
+    for (const Row& r : rows.rows) {
+      extract.Append(Row{r[0], r[1], r[2],
+                         Value::Dbl(r[3].AsDouble() * (1 - DiscOf(r[4])))});
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    QueryResult out;
+    out.column_names = {"L_ORDERKEY", "REVENUE", "O_ORDERDATE",
+                        "O_SHIPPRIORITY"};
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      double rev = 0;
+      for (const Row& r : g) rev += r[3].AsDouble();
+      out.rows.push_back(Row{g[0][0], Value::Dbl(rev), g[0][1], g[0][2]});
+      return Status::OK();
+    }));
+    clock()->ChargeAbapTuple(static_cast<int64_t>(out.rows.size()));
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [](const Row& a, const Row& b) {
+                       if (a[1].AsDouble() != b[1].AsDouble()) {
+                         return a[1].AsDouble() > b[1].AsDouble();
+                       }
+                       return a[2].Compare(b[2]) < 0;
+                     });
+    if (out.rows.size() > 10) out.rows.resize(10);
+    return out;
+  }
+
+  // -- Q4 --------------------------------------------------------------------
+  Result<QueryResult> Q4(const QueryParams& p) {
+    int32_t hi = date::AddMonths(p.q4_date, 3);
+    OpenSqlQuery q;
+    q.table = "VBAK";
+    q.alias = "K";
+    q.joins = {J("VBEP", "E", {{"E~VBELN", "K~VBELN"}})};
+    q.columns = {"K~VBELN", "K~PRIOK", "E~WADAT", "E~LDDAT"};
+    q.where = {OsqlCond::Cmp("K~AUDAT", CmpOp::kGe, Value::Date(p.q4_date)),
+               OsqlCond::Cmp("K~AUDAT", CmpOp::kLt, Value::Date(hi))};
+    R3_ASSIGN_OR_RETURN(QueryResult rows, osql()->Select(q));
+    // WADAT < LDDAT is column-to-column: client side. EXISTS = dedup.
+    std::map<std::string, std::string> late_orders;
+    for (const Row& r : rows.rows) {
+      clock()->ChargeAbapTuple();
+      if (!r[2].is_null() && !r[3].is_null() &&
+          r[2].date_value() < r[3].date_value()) {
+        late_orders[r[0].string_value()] = r[1].string_value();
+      }
+    }
+    std::map<std::string, int64_t> by_prio;
+    for (const auto& [vbeln, prio] : late_orders) {
+      clock()->ChargeAbapTuple();
+      by_prio[prio] += 1;
+    }
+    QueryResult out;
+    out.column_names = {"O_ORDERPRIORITY", "ORDER_COUNT"};
+    for (const auto& [prio, count] : by_prio) {
+      out.rows.push_back(Row{Value::Str(prio), Value::Int(count)});
+    }
+    return out;
+  }
+
+  // -- Q5 --------------------------------------------------------------------
+  Result<QueryResult> Q5(const QueryParams& p) {
+    int32_t hi = date::AddMonths(p.q5_date, 12);
+    OpenSqlQuery q;
+    q.table = "KNA1";
+    q.alias = "C";
+    q.joins = {
+        J("VBAK", "K", {{"K~KUNNR", "C~KUNNR"}}),
+        J("VBAP", "P", {{"P~VBELN", "K~VBELN"}}),
+        // Local supplier: same nation as the customer — a join-pair.
+        J("LFA1", "L", {{"L~LIFNR", "P~LIFNR"}, {"L~LAND1", "C~LAND1"}}),
+        J("T005", "N", {{"N~LAND1", "L~LAND1"}}),
+        J("T005U", "R", {{"R~REGIO", "N~REGIO"}}),
+        J("T005T", "TN", {{"TN~LAND1", "L~LAND1"}}),
+        J("KONV", "KD", {{"KD~KNUMV", "K~KNUMV"}, {"KD~KPOSN", "P~POSNR"}}),
+    };
+    q.columns = {"TN~LANDX", "P~NETWR", "KD~KBETR"};
+    q.where = {OsqlCond::Eq("R~SPRAS", Value::Str("E")),
+               OsqlCond::Eq("R~BEZEI", Value::Str(p.q5_region)),
+               OsqlCond::Eq("TN~SPRAS", Value::Str("E")),
+               OsqlCond::Cmp("K~AUDAT", CmpOp::kGe, Value::Date(p.q5_date)),
+               OsqlCond::Cmp("K~AUDAT", CmpOp::kLt, Value::Date(hi)),
+               OsqlCond::Eq("KD~KSCHL", Value::Str("DISC"))};
+    R3_ASSIGN_OR_RETURN(QueryResult rows, osql()->Select(q));
+    appsys::Extract extract(clock(), {0});
+    for (const Row& r : rows.rows) {
+      extract.Append(
+          Row{r[0], Value::Dbl(r[1].AsDouble() * (1 - DiscOf(r[2])))});
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    QueryResult out;
+    out.column_names = {"N_NAME", "REVENUE"};
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      double rev = 0;
+      for (const Row& r : g) rev += r[1].AsDouble();
+      out.rows.push_back(Row{g[0][0], Value::Dbl(rev)});
+      return Status::OK();
+    }));
+    clock()->ChargeAbapTuple(static_cast<int64_t>(out.rows.size()));
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [](const Row& a, const Row& b) {
+                       return a[1].AsDouble() > b[1].AsDouble();
+                     });
+    return out;
+  }
+
+  // -- Q6 --------------------------------------------------------------------
+  Result<QueryResult> Q6(const QueryParams& p) {
+    int32_t hi = date::AddMonths(p.q6_date, 12);
+    double lo_d = p.q6_discount - 0.011;
+    double hi_d = p.q6_discount + 0.011;
+    OpenSqlQuery q = LineitemJoin(
+        {}, {OsqlCond::Cmp("E~EDATU", CmpOp::kGe, Value::Date(p.q6_date)),
+             OsqlCond::Cmp("E~EDATU", CmpOp::kLt, Value::Date(hi)),
+             OsqlCond::Cmp("P~KWMENG", CmpOp::kLt, Value::Int(p.q6_quantity)),
+             OsqlCond::Between("KD~KBETR", Value::Dbl(-hi_d * 1000.0),
+                               Value::Dbl(-lo_d * 1000.0))});
+    R3_ASSIGN_OR_RETURN(QueryResult rows, osql()->Select(q));
+    double revenue = 0;
+    for (const Row& r : rows.rows) {
+      clock()->ChargeAbapTuple();
+      revenue += r[0].AsDouble() * DiscOf(r[1]);
+    }
+    QueryResult out;
+    out.column_names = {"REVENUE"};
+    out.rows.push_back(Row{rows.rows.empty()
+                               ? Value::Null(rdbms::DataType::kDouble)
+                               : Value::Dbl(revenue)});
+    return out;
+  }
+
+  // -- Q7 --------------------------------------------------------------------
+  Result<QueryResult> Q7(const QueryParams& p) {
+    OpenSqlQuery q;
+    q.table = "VBAP";
+    q.alias = "P";
+    q.joins = {
+        J("VBEP", "E", {{"E~VBELN", "P~VBELN"}, {"E~POSNR", "P~POSNR"}}),
+        J("VBAK", "K", {{"K~VBELN", "P~VBELN"}}),
+        J("KNA1", "C", {{"C~KUNNR", "K~KUNNR"}}),
+        J("LFA1", "L", {{"L~LIFNR", "P~LIFNR"}}),
+        J("T005T", "T1", {{"T1~LAND1", "L~LAND1"}}),
+        J("T005T", "T2", {{"T2~LAND1", "C~LAND1"}}),
+        J("KONV", "KD", {{"KD~KNUMV", "K~KNUMV"}, {"KD~KPOSN", "P~POSNR"}}),
+    };
+    q.columns = {"T1~LANDX", "T2~LANDX", "E~EDATU", "P~NETWR", "KD~KBETR"};
+    q.where = {
+        OsqlCond::Eq("T1~SPRAS", Value::Str("E")),
+        OsqlCond::Eq("T2~SPRAS", Value::Str("E")),
+        OsqlCond::Between("E~EDATU", Value::Date(date::FromYmd(1995, 1, 1)),
+                          Value::Date(date::FromYmd(1996, 12, 31))),
+        OsqlCond::Eq("KD~KSCHL", Value::Str("DISC"))};
+    R3_ASSIGN_OR_RETURN(QueryResult rows, osql()->Select(q));
+    appsys::Extract extract(clock(), {0, 1, 2});
+    for (const Row& r : rows.rows) {
+      // The OR of nation pairs is not expressible in Open SQL: client side.
+      const std::string& sn = r[0].string_value();
+      const std::string& cn = r[1].string_value();
+      bool pair = (sn == p.q7_nation1 && cn == p.q7_nation2) ||
+                  (sn == p.q7_nation2 && cn == p.q7_nation1);
+      clock()->ChargeAbapTuple();
+      if (!pair) continue;
+      extract.Append(Row{r[0], r[1], Value::Int(date::Year(r[2].date_value())),
+                         Value::Dbl(r[3].AsDouble() * (1 - DiscOf(r[4])))});
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    QueryResult out;
+    out.column_names = {"SUPP_NATION", "CUST_NATION", "L_YEAR", "REVENUE"};
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      double rev = 0;
+      for (const Row& r : g) rev += r[3].AsDouble();
+      out.rows.push_back(Row{g[0][0], g[0][1], g[0][2], Value::Dbl(rev)});
+      return Status::OK();
+    }));
+    return out;
+  }
+
+  // -- Q8 --------------------------------------------------------------------
+  Result<QueryResult> Q8(const QueryParams& p) {
+    OpenSqlQuery q;
+    q.table = "VBAP";
+    q.alias = "P";
+    q.joins = {
+        J("MARA", "MA", {{"MA~MATNR", "P~MATNR"}}),
+        J("VBAK", "K", {{"K~VBELN", "P~VBELN"}}),
+        J("KNA1", "C", {{"C~KUNNR", "K~KUNNR"}}),
+        J("T005", "N1", {{"N1~LAND1", "C~LAND1"}}),
+        J("T005U", "R", {{"R~REGIO", "N1~REGIO"}}),
+        J("LFA1", "L", {{"L~LIFNR", "P~LIFNR"}}),
+        J("T005T", "T2", {{"T2~LAND1", "L~LAND1"}}),
+        J("KONV", "KD", {{"KD~KNUMV", "K~KNUMV"}, {"KD~KPOSN", "P~POSNR"}}),
+    };
+    q.columns = {"K~AUDAT", "T2~LANDX", "P~NETWR", "KD~KBETR"};
+    q.where = {
+        OsqlCond::Eq("MA~GROES", Value::Str(p.q8_type)),
+        OsqlCond::Eq("R~SPRAS", Value::Str("E")),
+        OsqlCond::Eq("R~BEZEI", Value::Str(p.q8_region)),
+        OsqlCond::Eq("T2~SPRAS", Value::Str("E")),
+        OsqlCond::Between("K~AUDAT", Value::Date(date::FromYmd(1995, 1, 1)),
+                          Value::Date(date::FromYmd(1996, 12, 31))),
+        OsqlCond::Eq("KD~KSCHL", Value::Str("DISC"))};
+    R3_ASSIGN_OR_RETURN(QueryResult rows, osql()->Select(q));
+    appsys::Extract extract(clock(), {0});
+    for (const Row& r : rows.rows) {
+      double vol = r[2].AsDouble() * (1 - DiscOf(r[3]));
+      extract.Append(Row{Value::Int(date::Year(r[0].date_value())),
+                         Value::Dbl(r[1].string_value() == p.q8_nation ? vol
+                                                                       : 0.0),
+                         Value::Dbl(vol)});
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    QueryResult out;
+    out.column_names = {"O_YEAR", "MKT_SHARE"};
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      double nation = 0, total = 0;
+      for (const Row& r : g) {
+        nation += r[1].AsDouble();
+        total += r[2].AsDouble();
+      }
+      out.rows.push_back(
+          Row{g[0][0], Value::Dbl(total == 0 ? 0 : nation / total)});
+      return Status::OK();
+    }));
+    return out;
+  }
+
+  // -- Q9 --------------------------------------------------------------------
+  Result<QueryResult> Q9(const QueryParams& p) {
+    OpenSqlQuery q;
+    q.table = "VBAP";
+    q.alias = "P";
+    q.joins = {
+        J("MAKT", "MT", {{"MT~MATNR", "P~MATNR"}}),
+        J("VBAK", "K", {{"K~VBELN", "P~VBELN"}}),
+        J("LFA1", "L", {{"L~LIFNR", "P~LIFNR"}}),
+        J("T005T", "TN", {{"TN~LAND1", "L~LAND1"}}),
+        J("EINA", "A", {{"A~MATNR", "P~MATNR"}, {"A~LIFNR", "P~LIFNR"}}),
+        J("EINE", "E2", {{"E2~INFNR", "A~INFNR"}}),
+        J("KONV", "KD", {{"KD~KNUMV", "K~KNUMV"}, {"KD~KPOSN", "P~POSNR"}}),
+    };
+    q.columns = {"TN~LANDX", "K~AUDAT", "P~NETWR", "E2~NETPR", "P~KWMENG",
+                 "KD~KBETR"};
+    q.where = {OsqlCond::Like("MT~MAKTX", "%" + p.q9_color + "%"),
+               OsqlCond::Eq("TN~SPRAS", Value::Str("E")),
+               OsqlCond::Eq("KD~KSCHL", Value::Str("DISC"))};
+    R3_ASSIGN_OR_RETURN(QueryResult rows, osql()->Select(q));
+    appsys::Extract extract(clock(), {0, 1});
+    for (const Row& r : rows.rows) {
+      extract.Append(
+          Row{r[0], Value::Int(date::Year(r[1].date_value())),
+              Value::Dbl(r[2].AsDouble() * (1 - DiscOf(r[5])) -
+                         r[3].AsDouble() * r[4].AsDouble())});
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    QueryResult out;
+    out.column_names = {"NATION", "O_YEAR", "SUM_PROFIT"};
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      double profit = 0;
+      for (const Row& r : g) profit += r[2].AsDouble();
+      out.rows.push_back(Row{g[0][0], g[0][1], Value::Dbl(profit)});
+      return Status::OK();
+    }));
+    clock()->ChargeAbapTuple(static_cast<int64_t>(out.rows.size()));
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [](const Row& a, const Row& b) {
+                       int c = a[0].Compare(b[0]);
+                       if (c != 0) return c < 0;
+                       return a[1].AsInt() > b[1].AsInt();
+                     });
+    return out;
+  }
+
+  // -- Q10 -------------------------------------------------------------------
+  Result<QueryResult> Q10(const QueryParams& p) {
+    int32_t hi = date::AddMonths(p.q10_date, 3);
+    OpenSqlQuery q;
+    q.table = "KNA1";
+    q.alias = "C";
+    q.joins = {
+        J("VBAK", "K", {{"K~KUNNR", "C~KUNNR"}}),
+        J("VBAP", "P", {{"P~VBELN", "K~VBELN"}}),
+        J("T005T", "TN", {{"TN~LAND1", "C~LAND1"}}),
+        J("AUSP", "AB", {{"AB~OBJEK", "C~KUNNR"}}),
+        J("KONV", "KD", {{"KD~KNUMV", "K~KNUMV"}, {"KD~KPOSN", "P~POSNR"}}),
+    };
+    q.columns = {"C~KUNNR", "C~NAME1", "P~NETWR", "AB~ATFLV", "TN~LANDX",
+                 "C~STRAS", "C~TELF1", "KD~KBETR"};
+    q.where = {OsqlCond::Cmp("K~AUDAT", CmpOp::kGe, Value::Date(p.q10_date)),
+               OsqlCond::Cmp("K~AUDAT", CmpOp::kLt, Value::Date(hi)),
+               OsqlCond::Eq("P~ABGRU", Value::Str("R")),
+               OsqlCond::Eq("TN~SPRAS", Value::Str("E")),
+               OsqlCond::Eq("AB~ATINN", Value::Str(sap::kAtinnCustAcctbal)),
+               OsqlCond::Eq("KD~KSCHL", Value::Str("DISC"))};
+    R3_ASSIGN_OR_RETURN(QueryResult rows, osql()->Select(q));
+    appsys::Extract extract(clock(), {0});
+    for (const Row& r : rows.rows) {
+      extract.Append(Row{r[0], r[1],
+                         Value::Dbl(r[2].AsDouble() * (1 - DiscOf(r[7]))),
+                         r[3], r[4], r[5], r[6]});
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    QueryResult out;
+    out.column_names = {"C_CUSTKEY", "C_NAME",    "REVENUE", "C_ACCTBAL",
+                        "N_NAME",    "C_ADDRESS", "C_PHONE"};
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      double rev = 0;
+      for (const Row& r : g) rev += r[2].AsDouble();
+      out.rows.push_back(Row{g[0][0], g[0][1], Value::Dbl(rev), g[0][3],
+                             g[0][4], g[0][5], g[0][6]});
+      return Status::OK();
+    }));
+    clock()->ChargeAbapTuple(static_cast<int64_t>(out.rows.size()));
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [](const Row& a, const Row& b) {
+                       return a[2].AsDouble() > b[2].AsDouble();
+                     });
+    if (out.rows.size() > 20) out.rows.resize(20);
+    return out;
+  }
+
+  // -- Q11 (manually unnested) ----------------------------------------------------
+  Result<QueryResult> Q11(const QueryParams& p) {
+    OpenSqlQuery q;
+    q.table = "EINA";
+    q.alias = "A";
+    q.joins = {
+        J("EINE", "E", {{"E~INFNR", "A~INFNR"}}),
+        J("AUSP", "QY", {{"QY~OBJEK", "A~INFNR"}}),
+        J("LFA1", "L", {{"L~LIFNR", "A~LIFNR"}}),
+        J("T005T", "TN", {{"TN~LAND1", "L~LAND1"}}),
+    };
+    q.columns = {"A~MATNR", "E~NETPR", "QY~ATFLV"};
+    q.where = {OsqlCond::Eq("QY~ATINN", Value::Str(sap::kAtinnPsAvailqty)),
+               OsqlCond::Eq("TN~SPRAS", Value::Str("E")),
+               OsqlCond::Eq("TN~LANDX", Value::Str(p.q11_nation))};
+    R3_ASSIGN_OR_RETURN(QueryResult rows, osql()->Select(q));
+    std::map<std::string, double> by_part;
+    double total = 0;
+    for (const Row& r : rows.rows) {
+      clock()->ChargeAbapTuple();
+      double v = r[1].AsDouble() * r[2].AsDouble();
+      by_part[r[0].string_value()] += v;
+      total += v;
+    }
+    QueryResult out;
+    out.column_names = {"PS_PARTKEY", "VAL"};
+    double threshold = total * p.q11_fraction;
+    for (const auto& [matnr, val] : by_part) {
+      clock()->ChargeAbapTuple();
+      if (val > threshold) {
+        out.rows.push_back(Row{Value::Str(matnr), Value::Dbl(val)});
+      }
+    }
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [](const Row& a, const Row& b) {
+                       return a[1].AsDouble() > b[1].AsDouble();
+                     });
+    return out;
+  }
+
+  // -- Q12 -------------------------------------------------------------------
+  Result<QueryResult> Q12(const QueryParams& p) {
+    int32_t hi = date::AddMonths(p.q12_date, 12);
+    appsys::Extract extract(clock(), {0});
+    for (const std::string& mode : {p.q12_mode1, p.q12_mode2}) {
+      OpenSqlQuery q;
+      q.table = "VBAP";
+      q.alias = "P";
+      q.joins = {
+          J("VBEP", "E", {{"E~VBELN", "P~VBELN"}, {"E~POSNR", "P~POSNR"}}),
+          J("VBAK", "K", {{"K~VBELN", "P~VBELN"}}),
+      };
+      q.columns = {"P~ROUTE", "K~PRIOK", "E~EDATU", "E~WADAT", "E~LDDAT"};
+      q.where = {OsqlCond::Eq("P~ROUTE", Value::Str(mode)),
+                 OsqlCond::Cmp("E~LDDAT", CmpOp::kGe, Value::Date(p.q12_date)),
+                 OsqlCond::Cmp("E~LDDAT", CmpOp::kLt, Value::Date(hi))};
+      R3_ASSIGN_OR_RETURN(QueryResult rows, osql()->Select(q));
+      for (const Row& r : rows.rows) {
+        clock()->ChargeAbapTuple();
+        if (!(r[3].date_value() < r[4].date_value() &&
+              r[2].date_value() < r[3].date_value())) {
+          continue;
+        }
+        const std::string& prio = r[1].string_value();
+        bool high = prio == "1-URGENT" || prio == "2-HIGH";
+        extract.Append(
+            Row{r[0], Value::Int(high ? 1 : 0), Value::Int(high ? 0 : 1)});
+      }
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    QueryResult out;
+    out.column_names = {"L_SHIPMODE", "HIGH_LINE_COUNT", "LOW_LINE_COUNT"};
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      int64_t high = 0, low = 0;
+      for (const Row& r : g) {
+        high += r[1].AsInt();
+        low += r[2].AsInt();
+      }
+      out.rows.push_back(Row{g[0][0], Value::Int(high), Value::Int(low)});
+      return Status::OK();
+    }));
+    return out;
+  }
+
+  // -- Q13: fully pushed down (simple aggregates!) --------------------------------
+  Result<QueryResult> Q13(const QueryParams& p) {
+    OpenSqlQuery q;
+    q.table = "VBAK";
+    q.group_by = {"PRIOK"};
+    q.aggregates = {OsqlAggregate{AggFunc::kCountStar, "", false},
+                    OsqlAggregate{AggFunc::kSum, "NETWR", false}};
+    q.where = {OsqlCond::Eq("AUDAT", Value::Date(p.q13_date))};
+    q.order_by = {"PRIOK"};
+    R3_ASSIGN_OR_RETURN(QueryResult rows, osql()->Select(q));
+    rows.column_names = {"O_ORDERPRIORITY", "ORDER_COUNT", "TOTAL"};
+    return rows;
+  }
+
+  // -- Q14 -------------------------------------------------------------------
+  Result<QueryResult> Q14(const QueryParams& p) {
+    int32_t hi = date::AddMonths(p.q14_date, 1);
+    OpenSqlQuery q = LineitemJoin(
+        {"MA~GROES"},
+        {OsqlCond::Cmp("E~EDATU", CmpOp::kGe, Value::Date(p.q14_date)),
+         OsqlCond::Cmp("E~EDATU", CmpOp::kLt, Value::Date(hi))});
+    q.joins.push_back(J("MARA", "MA", {{"MA~MATNR", "P~MATNR"}}));
+    R3_ASSIGN_OR_RETURN(QueryResult rows, osql()->Select(q));
+    double promo = 0, total = 0;
+    for (const Row& r : rows.rows) {
+      clock()->ChargeAbapTuple();
+      double vol = r[0].AsDouble() * (1 - DiscOf(r[1]));
+      total += vol;
+      if (str::LikeMatch(r[2].string_value(), "PROMO%")) promo += vol;
+    }
+    QueryResult out;
+    out.column_names = {"PROMO_REVENUE"};
+    out.rows.push_back(Row{rows.rows.empty()
+                               ? Value::Null(rdbms::DataType::kDouble)
+                               : Value::Dbl(100.0 * promo / total)});
+    return out;
+  }
+
+  // -- Q15 -------------------------------------------------------------------
+  Result<QueryResult> Q15(const QueryParams& p) {
+    int32_t hi = date::AddMonths(p.q15_date, 3);
+    OpenSqlQuery q = LineitemJoin(
+        {"P~LIFNR"},
+        {OsqlCond::Cmp("E~EDATU", CmpOp::kGe, Value::Date(p.q15_date)),
+         OsqlCond::Cmp("E~EDATU", CmpOp::kLt, Value::Date(hi))});
+    R3_ASSIGN_OR_RETURN(QueryResult rows, osql()->Select(q));
+    appsys::Extract extract(clock(), {0});
+    for (const Row& r : rows.rows) {
+      extract.Append(Row{r[2], Value::Dbl(r[0].AsDouble() * (1 - DiscOf(r[1])))});
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    std::vector<std::pair<std::string, double>> revenue;
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      double rev = 0;
+      for (const Row& r : g) rev += r[1].AsDouble();
+      revenue.emplace_back(g[0][0].string_value(), rev);
+      return Status::OK();
+    }));
+    double max_rev = 0;
+    for (const auto& [lifnr, rev] : revenue) max_rev = std::max(max_rev, rev);
+    QueryResult out;
+    out.column_names = {"S_SUPPKEY", "S_NAME", "S_ADDRESS", "S_PHONE",
+                        "TOTAL_REVENUE"};
+    for (const auto& [lifnr, rev] : revenue) {
+      if (rev < max_rev - 1e-6) continue;
+      R3_ASSIGN_OR_RETURN(
+          auto supp, osql()->SelectSingle(
+                         "LFA1", {OsqlCond::Eq("LIFNR", Value::Str(lifnr))}));
+      if (!supp.has_value()) continue;
+      out.rows.push_back(Row{Value::Str(lifnr), (*supp)[3], (*supp)[6],
+                             (*supp)[7], Value::Dbl(rev)});
+    }
+    return out;
+  }
+
+  // -- Q16 (manually unnested NOT IN) ----------------------------------------------
+  Result<QueryResult> Q16(const QueryParams& p) {
+    OpenSqlQuery cq;
+    cq.table = "STXL";
+    cq.columns = {"TDNAME"};
+    cq.where = {OsqlCond::Eq("TDOBJECT", Value::Str("LFA1")),
+                OsqlCond::Like("CLUSTD", "%Customer%Complaints%")};
+    R3_ASSIGN_OR_RETURN(QueryResult complaints, osql()->Select(cq));
+    std::unordered_set<std::string> excluded;
+    for (const Row& r : complaints.rows) {
+      clock()->ChargeAbapTuple();
+      excluded.insert(r[0].string_value());
+    }
+    OpenSqlQuery q;
+    q.table = "EINA";
+    q.alias = "A";
+    q.joins = {
+        J("MARA", "M", {{"M~MATNR", "A~MATNR"}}),
+        J("AUSP", "SZ", {{"SZ~OBJEK", "M~MATNR"}}),
+    };
+    q.columns = {"M~MATKL", "M~GROES", "SZ~ATFLV", "A~LIFNR"};
+    q.where = {OsqlCond::Cmp("M~MATKL", CmpOp::kNe, Value::Str(p.q16_brand)),
+               OsqlCond::Eq("SZ~ATINN", Value::Str(sap::kAtinnPartSize))};
+    R3_ASSIGN_OR_RETURN(QueryResult rows, osql()->Select(q));
+    std::set<int64_t> sizes(p.q16_sizes.begin(), p.q16_sizes.end());
+    appsys::Extract extract(clock(), {0, 1, 2});
+    for (const Row& r : rows.rows) {
+      clock()->ChargeAbapTuple();
+      if (str::LikeMatch(r[1].string_value(), p.q16_type_prefix + "%")) continue;
+      if (sizes.count(r[2].AsInt()) == 0) continue;
+      if (excluded.count(r[3].string_value()) > 0) continue;
+      extract.Append(Row{r[0], r[1], Value::Dbl(r[2].AsDouble()), r[3]});
+    }
+    R3_RETURN_IF_ERROR(extract.Sort());
+    QueryResult out;
+    out.column_names = {"P_BRAND", "P_TYPE", "P_SIZE", "SUPPLIER_CNT"};
+    R3_RETURN_IF_ERROR(extract.LoopGroups([&](const std::vector<Row>& g) {
+      std::set<std::string> distinct;
+      for (const Row& r : g) distinct.insert(r[3].string_value());
+      out.rows.push_back(Row{g[0][0], g[0][1], g[0][2],
+                             Value::Int(static_cast<int64_t>(distinct.size()))});
+      return Status::OK();
+    }));
+    clock()->ChargeAbapTuple(static_cast<int64_t>(out.rows.size()));
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [](const Row& a, const Row& b) {
+                       if (a[3].AsInt() != b[3].AsInt()) {
+                         return a[3].AsInt() > b[3].AsInt();
+                       }
+                       int c = a[0].Compare(b[0]);
+                       if (c != 0) return c < 0;
+                       c = a[1].Compare(b[1]);
+                       if (c != 0) return c < 0;
+                       return a[2].AsDouble() < b[2].AsDouble();
+                     });
+    return out;
+  }
+
+  // -- Q17 (manually unnested) ------------------------------------------------------
+  Result<QueryResult> Q17(const QueryParams& p) {
+    OpenSqlQuery q;
+    q.table = "VBAP";
+    q.alias = "P";
+    q.joins = {J("MARA", "M", {{"M~MATNR", "P~MATNR"}})};
+    q.columns = {"P~MATNR", "P~KWMENG", "P~NETWR"};
+    q.where = {OsqlCond::Eq("M~MATKL", Value::Str(p.q17_brand)),
+               OsqlCond::Eq("M~MAGRV", Value::Str(p.q17_container))};
+    R3_ASSIGN_OR_RETURN(QueryResult rows, osql()->Select(q));
+    struct PartAgg {
+      double qty_sum = 0;
+      int64_t count = 0;
+      std::vector<std::pair<double, double>> lines;  // (qty, price)
+    };
+    std::map<std::string, PartAgg> parts;
+    for (const Row& r : rows.rows) {
+      clock()->ChargeAbapTuple();
+      PartAgg& agg = parts[r[0].string_value()];
+      agg.qty_sum += r[1].AsDouble();
+      agg.count += 1;
+      agg.lines.emplace_back(r[1].AsDouble(), r[2].AsDouble());
+    }
+    double total = 0;
+    int64_t contributing = 0;
+    for (const auto& [matnr, agg] : parts) {
+      double cutoff = 0.2 * agg.qty_sum / static_cast<double>(agg.count);
+      for (const auto& [qty, price] : agg.lines) {
+        clock()->ChargeAbapTuple();
+        if (qty < cutoff) {
+          total += price;
+          ++contributing;
+        }
+      }
+    }
+    QueryResult out;
+    out.column_names = {"AVG_YEARLY"};
+    // SUM over an empty set is NULL (match the SQL implementations).
+    out.rows.push_back(Row{contributing == 0 ? Value::Null(rdbms::DataType::kDouble)
+                                             : Value::Dbl(total / 7.0)});
+    return out;
+  }
+
+  AppServer* app_;
+};
+
+}  // namespace
+
+std::unique_ptr<IQuerySet> MakeOpen30QuerySet(AppServer* app) {
+  return std::make_unique<Open30QuerySet>(app);
+}
+
+}  // namespace tpcd
+}  // namespace r3

@@ -1,0 +1,24 @@
+#ifndef R3DB_TPCD_SCHEMA_H_
+#define R3DB_TPCD_SCHEMA_H_
+
+#include "common/status.h"
+#include "rdbms/db.h"
+
+namespace r3 {
+namespace tpcd {
+
+/// Creates the original eight TPC-D tables (REGION, NATION, SUPPLIER, PART,
+/// PARTSUPP, CUSTOMER, ORDERS, LINEITEM) with 4-byte integer keys and the
+/// benchmark's standard index set, directly in the RDBMS — the paper's
+/// "isolated database system" configuration.
+Status CreateTpcdSchema(rdbms::Database* db);
+
+/// The eight table names, in load order.
+inline constexpr const char* kTpcdTables[] = {
+    "REGION", "NATION", "SUPPLIER", "PART",
+    "PARTSUPP", "CUSTOMER", "ORDERS", "LINEITEM"};
+
+}  // namespace tpcd
+}  // namespace r3
+
+#endif  // R3DB_TPCD_SCHEMA_H_

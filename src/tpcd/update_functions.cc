@@ -1,0 +1,60 @@
+#include "tpcd/update_functions.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "sap/schema.h"
+#include "tpcd/loader.h"
+
+namespace r3 {
+namespace tpcd {
+
+int64_t UpdateFunctionCount(const DbGen& gen) {
+  return std::max<int64_t>(1, gen.NumOrders() / 1000);
+}
+
+Status RunUf1Rdbms(rdbms::Database* db, DbGen* gen, int64_t count) {
+  for (int64_t i = 0; i < count; ++i) {
+    OrderRec o = gen->MakeRefreshOrder(i);
+    R3_RETURN_IF_ERROR(db->InsertRow("ORDERS", OrderToRow(o)));
+    for (const LineItemRec& l : o.lines) {
+      R3_RETURN_IF_ERROR(db->InsertRow("LINEITEM", LineItemToRow(l)));
+    }
+  }
+  return Status::OK();
+}
+
+Status RunUf2Rdbms(rdbms::Database* db, DbGen* gen, int64_t count) {
+  for (int64_t i = 0; i < count; ++i) {
+    OrderRec o = gen->MakeRefreshOrder(i);
+    int64_t affected = 0;
+    R3_RETURN_IF_ERROR(db->Execute(
+        str::Format("DELETE FROM LINEITEM WHERE L_ORDERKEY = %lld",
+                    static_cast<long long>(o.orderkey)),
+        {}, nullptr, &affected));
+    R3_RETURN_IF_ERROR(db->Execute(
+        str::Format("DELETE FROM ORDERS WHERE O_ORDERKEY = %lld",
+                    static_cast<long long>(o.orderkey)),
+        {}, nullptr, &affected));
+  }
+  return Status::OK();
+}
+
+Status RunUf1Sap(sap::SapLoader* loader, int64_t count) {
+  for (int64_t i = 0; i < count; ++i) {
+    OrderRec o = loader->gen()->MakeRefreshOrder(i);
+    R3_RETURN_IF_ERROR(loader->EnterOrder(o));
+  }
+  return Status::OK();
+}
+
+Status RunUf2Sap(sap::SapLoader* loader, int64_t count) {
+  for (int64_t i = 0; i < count; ++i) {
+    OrderRec o = loader->gen()->MakeRefreshOrder(i);
+    R3_RETURN_IF_ERROR(loader->DeleteOrder(o.orderkey));
+  }
+  return Status::OK();
+}
+
+}  // namespace tpcd
+}  // namespace r3

@@ -1,0 +1,33 @@
+#ifndef R3DB_TPCD_UPDATE_FUNCTIONS_H_
+#define R3DB_TPCD_UPDATE_FUNCTIONS_H_
+
+#include "common/status.h"
+#include "rdbms/db.h"
+#include "sap/loader.h"
+#include "tpcd/dbgen.h"
+
+namespace r3 {
+namespace tpcd {
+
+/// The two TPC-D update functions.
+///
+/// UF1 inserts `count` new orders (with their line items); UF2 deletes the
+/// same orders again, so a power test leaves the database unchanged and can
+/// be re-run. The spec's count is 0.1% of the order population.
+///
+/// The RDBMS variants are plain SQL INSERT/DELETE; the SAP variant (shared
+/// by the Native and Open SQL configurations — the paper implemented both
+/// via batch input, with "virtually identical performance") drives a full
+/// dialog transaction per order.
+int64_t UpdateFunctionCount(const DbGen& gen);
+
+Status RunUf1Rdbms(rdbms::Database* db, DbGen* gen, int64_t count);
+Status RunUf2Rdbms(rdbms::Database* db, DbGen* gen, int64_t count);
+
+Status RunUf1Sap(sap::SapLoader* loader, int64_t count);
+Status RunUf2Sap(sap::SapLoader* loader, int64_t count);
+
+}  // namespace tpcd
+}  // namespace r3
+
+#endif  // R3DB_TPCD_UPDATE_FUNCTIONS_H_

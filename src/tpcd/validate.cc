@@ -1,0 +1,118 @@
+#include "tpcd/validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace r3 {
+namespace tpcd {
+
+namespace {
+
+using rdbms::DataType;
+using rdbms::Row;
+using rdbms::Value;
+
+/// Canonical comparable form of one value: numeric text for anything
+/// numeric (including CHAR-coded integers like SAP keys), trimmed text
+/// otherwise. Doubles are rounded to 4 significant decimals relative.
+struct Canon {
+  bool numeric = false;
+  double num = 0;
+  std::string text;
+};
+
+Canon Canonicalize(const Value& v) {
+  Canon c;
+  if (v.is_null()) {
+    c.text = "<null>";
+    return c;
+  }
+  if (rdbms::IsNumeric(v.type()) || v.type() == DataType::kBool ||
+      v.type() == DataType::kDate) {
+    c.numeric = true;
+    c.num = v.AsDouble();
+    return c;
+  }
+  std::string s = str::Trim(v.string_value());
+  // CHAR-coded integer keys ("0000000042") equal their numeric form.
+  if (!s.empty() && s.size() <= 18 &&
+      std::all_of(s.begin(), s.end(),
+                  [](char ch) { return std::isdigit(static_cast<unsigned char>(ch)); })) {
+    c.numeric = true;
+    c.num = static_cast<double>(std::strtoll(s.c_str(), nullptr, 10));
+    return c;
+  }
+  c.text = std::move(s);
+  return c;
+}
+
+bool CanonEqual(const Canon& a, const Canon& b) {
+  if (a.numeric != b.numeric) return false;
+  if (!a.numeric) return a.text == b.text;
+  double scale = std::max({1.0, std::fabs(a.num), std::fabs(b.num)});
+  return std::fabs(a.num - b.num) <= 1e-4 * scale;
+}
+
+/// Sort key used for multiset comparison (coarser than equality so that
+/// nearly-equal doubles land adjacently: round to 6 digits).
+std::string RowSortKey(const Row& row) {
+  std::string key;
+  for (const Value& v : row) {
+    Canon c = Canonicalize(v);
+    if (c.numeric) {
+      key += str::Format("N%.6g|", c.num);
+    } else {
+      key += "S" + c.text + "|";
+    }
+  }
+  return key;
+}
+
+bool RowsEqual(const Row& a, const Row& b, std::string* diff) {
+  if (a.size() != b.size()) {
+    *diff = str::Format("row width %zu vs %zu", a.size(), b.size());
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!CanonEqual(Canonicalize(a[i]), Canonicalize(b[i]))) {
+      *diff = str::Format("column %zu: '%s' vs '%s'", i,
+                          a[i].ToString().c_str(), b[i].ToString().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ResultsEquivalent(const rdbms::QueryResult& a, const rdbms::QueryResult& b,
+                       bool ordered, std::string* diff) {
+  if (a.rows.size() != b.rows.size()) {
+    *diff = str::Format("row count %zu vs %zu", a.rows.size(), b.rows.size());
+    return false;
+  }
+  std::vector<const Row*> ra, rb;
+  for (const Row& r : a.rows) ra.push_back(&r);
+  for (const Row& r : b.rows) rb.push_back(&r);
+  if (!ordered) {
+    auto by_key = [](const Row* x, const Row* y) {
+      return RowSortKey(*x) < RowSortKey(*y);
+    };
+    std::stable_sort(ra.begin(), ra.end(), by_key);
+    std::stable_sort(rb.begin(), rb.end(), by_key);
+  }
+  for (size_t i = 0; i < ra.size(); ++i) {
+    std::string local;
+    if (!RowsEqual(*ra[i], *rb[i], &local)) {
+      *diff = str::Format("row %zu: %s", i, local.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tpcd
+}  // namespace r3

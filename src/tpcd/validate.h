@@ -1,0 +1,25 @@
+#ifndef R3DB_TPCD_VALIDATE_H_
+#define R3DB_TPCD_VALIDATE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "rdbms/db.h"
+
+namespace r3 {
+namespace tpcd {
+
+/// Compares two query results for benchmark equivalence:
+///  * values compare numerically with a relative tolerance (decimal vs
+///    double arithmetic differs across the four implementations);
+///  * CHAR-coded keys equal their integer counterparts ("0000000042" == 42);
+///  * when `ordered` is false, rows are compared as multisets.
+/// Returns true when equivalent; otherwise `*diff` describes the first
+/// discrepancy.
+bool ResultsEquivalent(const rdbms::QueryResult& a, const rdbms::QueryResult& b,
+                       bool ordered, std::string* diff);
+
+}  // namespace tpcd
+}  // namespace r3
+
+#endif  // R3DB_TPCD_VALIDATE_H_

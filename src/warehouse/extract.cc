@@ -1,0 +1,312 @@
+#include "warehouse/extract.h"
+
+#include "common/date.h"
+#include "common/str_util.h"
+#include "sap/schema.h"
+
+namespace r3 {
+namespace warehouse {
+
+namespace {
+
+using appsys::AppServer;
+using appsys::OpenSqlQuery;
+using appsys::OsqlCond;
+using appsys::OsqlJoinTable;
+using rdbms::QueryResult;
+using rdbms::Row;
+using rdbms::Value;
+
+std::string FieldAscii(const Value& v) {
+  if (v.is_null()) return "";
+  switch (v.type()) {
+    case rdbms::DataType::kDate:
+      return date::ToString(v.date_value());
+    default:
+      return v.ToString();
+  }
+}
+
+int64_t KeyInt(const Value& v) {
+  return std::strtoll(v.string_value().c_str(), nullptr, 10);
+}
+
+void EmitRow(std::string* out, const std::vector<std::string>& fields) {
+  for (const std::string& f : fields) {
+    *out += f;
+    *out += '|';
+  }
+  *out += '\n';
+}
+
+OsqlJoinTable J(const std::string& table, const std::string& alias,
+                std::vector<std::pair<std::string, std::string>> on) {
+  return OsqlJoinTable{table, alias, std::move(on), false};
+}
+
+class Extractor {
+ public:
+  explicit Extractor(AppServer* app) : app_(app) {}
+
+  Result<std::vector<ExtractTiming>> Run(std::vector<std::string>* out_files) {
+    out_files->clear();
+    out_files->resize(8);
+    std::vector<ExtractTiming> timings;
+    struct Step {
+      const char* name;
+      Result<int64_t> (Extractor::*fn)(std::string*);
+    };
+    const Step steps[] = {
+        {"REGION", &Extractor::Region},     {"NATION", &Extractor::Nation},
+        {"SUPPLIER", &Extractor::Supplier}, {"PART", &Extractor::Part},
+        {"PARTSUPP", &Extractor::PartSupp}, {"CUSTOMER", &Extractor::Customer},
+        {"ORDERS", &Extractor::Orders},     {"LINEITEM", &Extractor::LineItem},
+    };
+    for (size_t i = 0; i < 8; ++i) {
+      SimTimer timer(*app_->clock());
+      R3_ASSIGN_OR_RETURN(int64_t rows, (this->*steps[i].fn)(&(*out_files)[i]));
+      ExtractTiming t;
+      t.table = steps[i].name;
+      t.sim_us = timer.ElapsedUs();
+      t.rows = rows;
+      t.ascii_bytes = (*out_files)[i].size();
+      timings.push_back(std::move(t));
+    }
+    return timings;
+  }
+
+ private:
+  appsys::OpenSql* osql() { return app_->open_sql(); }
+  SimClock* clock() { return app_->clock(); }
+
+  Result<std::string> TextOf(const std::string& tdobject,
+                             const std::string& tdname) {
+    // The full leading key (MANDT is injected) keeps this a point probe;
+    // omitting RELID would make every text lookup crawl the client's whole
+    // text pool.
+    R3_ASSIGN_OR_RETURN(
+        auto row,
+        osql()->SelectSingle("STXL",
+                             {OsqlCond::Eq("RELID", Value::Str("TX")),
+                              OsqlCond::Eq("TDOBJECT", Value::Str(tdobject)),
+                              OsqlCond::Eq("TDNAME", Value::Str(tdname))}));
+    return row.has_value() ? (*row)[7].string_value() : std::string();
+  }
+
+  Result<int64_t> Region(std::string* out) {
+    OpenSqlQuery q;
+    q.table = "T005U";
+    q.columns = {"REGIO", "BEZEI"};
+    q.where = {OsqlCond::Eq("SPRAS", Value::Str("E"))};
+    q.order_by = {"REGIO"};
+    R3_ASSIGN_OR_RETURN(QueryResult res, osql()->Select(q));
+    for (const Row& r : res.rows) {
+      clock()->ChargeAbapTuple();
+      R3_ASSIGN_OR_RETURN(std::string comment,
+                          TextOf("REGION", r[0].string_value()));
+      EmitRow(out, {std::to_string(KeyInt(r[0])), FieldAscii(r[1]), comment});
+    }
+    return static_cast<int64_t>(res.rows.size());
+  }
+
+  Result<int64_t> Nation(std::string* out) {
+    OpenSqlQuery q;
+    q.table = "T005";
+    q.alias = "N";
+    q.joins = {J("T005T", "T", {{"T~LAND1", "N~LAND1"}})};
+    q.columns = {"N~LAND1", "T~LANDX", "N~REGIO"};
+    q.where = {OsqlCond::Eq("T~SPRAS", Value::Str("E"))};
+    q.order_by = {"N~LAND1"};
+    R3_ASSIGN_OR_RETURN(QueryResult res, osql()->Select(q));
+    for (const Row& r : res.rows) {
+      clock()->ChargeAbapTuple();
+      R3_ASSIGN_OR_RETURN(std::string comment,
+                          TextOf("NATION", r[0].string_value()));
+      EmitRow(out, {std::to_string(KeyInt(r[0])), FieldAscii(r[1]),
+                    std::to_string(KeyInt(r[2])), comment});
+    }
+    return static_cast<int64_t>(res.rows.size());
+  }
+
+  Result<int64_t> Supplier(std::string* out) {
+    OpenSqlQuery q;
+    q.table = "LFA1";
+    q.alias = "L";
+    q.joins = {J("AUSP", "AB", {{"AB~OBJEK", "L~LIFNR"}})};
+    q.columns = {"L~LIFNR", "L~NAME1", "L~STRAS", "L~LAND1", "L~TELF1",
+                 "AB~ATFLV"};
+    q.where = {OsqlCond::Eq("AB~ATINN", Value::Str(sap::kAtinnSuppAcctbal))};
+    q.order_by = {"L~LIFNR"};
+    R3_ASSIGN_OR_RETURN(QueryResult res, osql()->Select(q));
+    for (const Row& r : res.rows) {
+      clock()->ChargeAbapTuple();
+      R3_ASSIGN_OR_RETURN(std::string comment,
+                          TextOf("LFA1", r[0].string_value()));
+      EmitRow(out,
+              {std::to_string(KeyInt(r[0])), FieldAscii(r[1]), FieldAscii(r[2]),
+               std::to_string(KeyInt(r[3])), FieldAscii(r[4]),
+               str::Format("%.2f", r[5].AsDouble()), comment});
+    }
+    return static_cast<int64_t>(res.rows.size());
+  }
+
+  Result<int64_t> Part(std::string* out) {
+    // MARA x MAKT x AUSP pushes down; the retail price sits behind the A004
+    // *pool* table, which no join can reach — a nested read per part.
+    OpenSqlQuery q;
+    q.table = "MARA";
+    q.alias = "M";
+    q.joins = {J("MAKT", "T", {{"T~MATNR", "M~MATNR"}}),
+               J("AUSP", "SZ", {{"SZ~OBJEK", "M~MATNR"}})};
+    q.columns = {"M~MATNR", "T~MAKTX", "M~MFRNR", "M~MATKL", "M~GROES",
+                 "SZ~ATFLV", "M~MAGRV"};
+    q.where = {OsqlCond::Eq("T~SPRAS", Value::Str("E")),
+               OsqlCond::Eq("SZ~ATINN", Value::Str(sap::kAtinnPartSize))};
+    q.order_by = {"M~MATNR"};
+    R3_ASSIGN_OR_RETURN(QueryResult res, osql()->Select(q));
+    for (const Row& r : res.rows) {
+      clock()->ChargeAbapTuple();
+      // Pricing condition: pool lookup then the condition item.
+      OpenSqlQuery pq;
+      pq.table = "A004";
+      pq.columns = {"KNUMH"};
+      pq.where = {OsqlCond::Eq("KAPPL", Value::Str("V")),
+                  OsqlCond::Eq("KSCHL", Value::Str(sap::kKschlPrice)),
+                  OsqlCond::Eq("VKORG", Value::Str("0001")),
+                  OsqlCond::Eq("MATNR", r[0])};
+      R3_ASSIGN_OR_RETURN(QueryResult cond, osql()->Select(pq));
+      std::string price;
+      if (!cond.rows.empty()) {
+        R3_ASSIGN_OR_RETURN(
+            auto konp,
+            osql()->SelectSingle(
+                "KONP", {OsqlCond::Eq("KNUMH", cond.rows[0][0]),
+                         OsqlCond::Eq("KOPOS", Value::Str("01"))}));
+        if (konp.has_value()) {
+          price = str::Format("%.2f", (*konp)[5].AsDouble());
+        }
+      }
+      R3_ASSIGN_OR_RETURN(std::string comment,
+                          TextOf("MATERIAL", r[0].string_value()));
+      EmitRow(out, {std::to_string(KeyInt(r[0])), FieldAscii(r[1]),
+                    FieldAscii(r[2]), FieldAscii(r[3]), FieldAscii(r[4]),
+                    str::Format("%.0f", r[5].AsDouble()), FieldAscii(r[6]),
+                    price, comment});
+    }
+    return static_cast<int64_t>(res.rows.size());
+  }
+
+  Result<int64_t> PartSupp(std::string* out) {
+    OpenSqlQuery q;
+    q.table = "EINA";
+    q.alias = "A";
+    q.joins = {J("EINE", "E", {{"E~INFNR", "A~INFNR"}}),
+               J("AUSP", "QY", {{"QY~OBJEK", "A~INFNR"}})};
+    q.columns = {"A~INFNR", "A~MATNR", "A~LIFNR", "QY~ATFLV", "E~NETPR"};
+    q.where = {OsqlCond::Eq("QY~ATINN", Value::Str(sap::kAtinnPsAvailqty))};
+    q.order_by = {"A~INFNR"};
+    R3_ASSIGN_OR_RETURN(QueryResult res, osql()->Select(q));
+    for (const Row& r : res.rows) {
+      clock()->ChargeAbapTuple();
+      R3_ASSIGN_OR_RETURN(std::string comment,
+                          TextOf("EINA", r[0].string_value()));
+      EmitRow(out, {std::to_string(KeyInt(r[1])), std::to_string(KeyInt(r[2])),
+                    str::Format("%.0f", r[3].AsDouble()),
+                    str::Format("%.2f", r[4].AsDouble()), comment});
+    }
+    return static_cast<int64_t>(res.rows.size());
+  }
+
+  Result<int64_t> Customer(std::string* out) {
+    OpenSqlQuery q;
+    q.table = "KNA1";
+    q.alias = "C";
+    q.joins = {J("AUSP", "AB", {{"AB~OBJEK", "C~KUNNR"}})};
+    q.columns = {"C~KUNNR", "C~NAME1", "C~STRAS", "C~LAND1", "C~TELF1",
+                 "AB~ATFLV", "C~BRSCH"};
+    q.where = {OsqlCond::Eq("AB~ATINN", Value::Str(sap::kAtinnCustAcctbal))};
+    q.order_by = {"C~KUNNR"};
+    R3_ASSIGN_OR_RETURN(QueryResult res, osql()->Select(q));
+    for (const Row& r : res.rows) {
+      clock()->ChargeAbapTuple();
+      R3_ASSIGN_OR_RETURN(std::string comment,
+                          TextOf("KNA1", r[0].string_value()));
+      EmitRow(out,
+              {std::to_string(KeyInt(r[0])), FieldAscii(r[1]), FieldAscii(r[2]),
+               std::to_string(KeyInt(r[3])), FieldAscii(r[4]),
+               str::Format("%.2f", r[5].AsDouble()), FieldAscii(r[6]), comment});
+    }
+    return static_cast<int64_t>(res.rows.size());
+  }
+
+  Result<int64_t> Orders(std::string* out) {
+    OpenSqlQuery q;
+    q.table = "VBAK";
+    q.columns = {"VBELN", "KUNNR", "GBSTK", "NETWR", "AUDAT", "PRIOK",
+                 "ERNAM", "VSBED"};
+    q.order_by = {"VBELN"};
+    R3_ASSIGN_OR_RETURN(QueryResult res, osql()->Select(q));
+    for (const Row& r : res.rows) {
+      clock()->ChargeAbapTuple();
+      R3_ASSIGN_OR_RETURN(std::string comment,
+                          TextOf("VBBK", r[0].string_value()));
+      EmitRow(out, {std::to_string(KeyInt(r[0])), std::to_string(KeyInt(r[1])),
+                    FieldAscii(r[2]), str::Format("%.2f", r[3].AsDouble()),
+                    FieldAscii(r[4]), FieldAscii(r[5]), FieldAscii(r[6]),
+                    std::to_string(KeyInt(r[7])), comment});
+    }
+    return static_cast<int64_t>(res.rows.size());
+  }
+
+  Result<int64_t> LineItem(std::string* out) {
+    // Positions + schedule lines + (transparent) conditions push down; the
+    // per-line text is a point lookup (its key is a concatenation no join
+    // can express) — the reason LINEITEM dominates Table 9.
+    OpenSqlQuery q;
+    q.table = "VBAP";
+    q.alias = "P";
+    q.joins = {
+        J("VBEP", "E", {{"E~VBELN", "P~VBELN"}, {"E~POSNR", "P~POSNR"}}),
+        J("VBAK", "K", {{"K~VBELN", "P~VBELN"}}),
+        J("KONV", "KD", {{"KD~KNUMV", "K~KNUMV"}, {"KD~KPOSN", "P~POSNR"}}),
+        J("KONV", "KT", {{"KT~KNUMV", "K~KNUMV"}, {"KT~KPOSN", "P~POSNR"}}),
+    };
+    q.columns = {"P~VBELN", "P~POSNR", "P~MATNR", "P~LIFNR", "P~KWMENG",
+                 "P~NETWR", "KD~KBETR", "KT~KBETR", "P~ABGRU", "P~GBSTA",
+                 "E~EDATU", "E~WADAT", "E~LDDAT", "P~LGORT", "P~ROUTE"};
+    q.where = {OsqlCond::Eq("KD~KSCHL", Value::Str(sap::kKschlDiscount)),
+               OsqlCond::Eq("KT~KSCHL", Value::Str(sap::kKschlTax))};
+    q.order_by = {"P~VBELN", "P~POSNR"};
+    R3_ASSIGN_OR_RETURN(QueryResult res, osql()->Select(q));
+    for (const Row& r : res.rows) {
+      clock()->ChargeAbapTuple();
+      R3_ASSIGN_OR_RETURN(
+          std::string comment,
+          TextOf("VBBP", r[0].string_value() + r[1].string_value()));
+      EmitRow(out,
+              {std::to_string(KeyInt(r[0])), std::to_string(KeyInt(r[2])),
+               std::to_string(KeyInt(r[3])), std::to_string(KeyInt(r[1])),
+               str::Format("%.0f", r[4].AsDouble()),
+               str::Format("%.2f", r[5].AsDouble()),
+               str::Format("%.2f", -r[6].AsDouble() / 1000.0),
+               str::Format("%.2f", r[7].AsDouble() / 1000.0), FieldAscii(r[8]),
+               FieldAscii(r[9]), FieldAscii(r[10]), FieldAscii(r[11]),
+               FieldAscii(r[12]), FieldAscii(r[13]), FieldAscii(r[14]),
+               comment});
+    }
+    return static_cast<int64_t>(res.rows.size());
+  }
+
+  AppServer* app_;
+};
+
+}  // namespace
+
+Result<std::vector<ExtractTiming>> ExtractWarehouse(
+    AppServer* app, std::vector<std::string>* out_files) {
+  Extractor extractor(app);
+  return extractor.Run(out_files);
+}
+
+}  // namespace warehouse
+}  // namespace r3

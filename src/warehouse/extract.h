@@ -1,0 +1,35 @@
+#ifndef R3DB_WAREHOUSE_EXTRACT_H_
+#define R3DB_WAREHOUSE_EXTRACT_H_
+
+#include <string>
+#include <vector>
+
+#include "appsys/app_server.h"
+#include "common/status.h"
+
+namespace r3 {
+namespace warehouse {
+
+/// Per-table extraction timing (Table 9 of the paper).
+struct ExtractTiming {
+  std::string table;    ///< original TPC-D table name
+  int64_t sim_us = 0;
+  int64_t rows = 0;
+  size_t ascii_bytes = 0;
+};
+
+/// Reconstructs the original eight TPC-D tables from the SAP database via
+/// Open SQL reports, writing '|'-separated ASCII (DBGEN's flat-file format)
+/// into `*out_files` (one string per table, REGION..LINEITEM order).
+///
+/// This is the data-extraction step of building a data warehouse for the
+/// application system (the paper's Section 5 / EIS discussion): every
+/// vertically partitioned piece has to be re-joined through the application
+/// layer, which is why extraction costs as much as a whole power test.
+Result<std::vector<ExtractTiming>> ExtractWarehouse(
+    appsys::AppServer* app, std::vector<std::string>* out_files);
+
+}  // namespace warehouse
+}  // namespace r3
+
+#endif  // R3DB_WAREHOUSE_EXTRACT_H_

@@ -1,0 +1,300 @@
+// Unit tests for the common layer: Status/Result, SimClock, duration
+// formatting, the deterministic RNG, calendar dates, and string utilities.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/date.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace r3 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("no table T");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "no table T");
+  EXPECT_EQ(st.ToString(), "NotFound: no table T");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kConstraintViolation, StatusCode::kUnsupported,
+        StatusCode::kInternal, StatusCode::kIoError}) {
+    EXPECT_STRNE(StatusCodeName(c), "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v * 2;
+}
+
+Status UseParse(int v, int* out) {
+  R3_ASSIGN_OR_RETURN(*out, ParsePositive(v));
+  return Status::OK();
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, ErrorPath) {
+  Result<int> r = ParsePositive(-1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseParse(5, &out).ok());
+  EXPECT_EQ(out, 10);
+  EXPECT_FALSE(UseParse(-5, &out).ok());
+}
+
+// ---------------------------------------------------------------------------
+// SimClock
+// ---------------------------------------------------------------------------
+
+TEST(SimClockTest, AccumulatesCharges) {
+  SimClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+  clock.ChargeRoundTrip();
+  clock.ChargeTupleShip(10);
+  EXPECT_EQ(clock.NowMicros(),
+            clock.model().rpc_round_trip_us + 10 * clock.model().tuple_ship_us);
+}
+
+TEST(SimClockTest, TimerMeasuresSpan) {
+  SimClock clock;
+  clock.Charge(100);
+  SimTimer t(clock);
+  clock.Charge(250);
+  EXPECT_EQ(t.ElapsedUs(), 250);
+}
+
+TEST(SimClockTest, CustomModel) {
+  CostModel m;
+  m.rpc_round_trip_us = 7;
+  SimClock clock(m);
+  clock.ChargeRoundTrip();
+  EXPECT_EQ(clock.NowMicros(), 7);
+}
+
+TEST(FormatDurationTest, PaperStyleRendering) {
+  EXPECT_EQ(FormatDuration(0), "<1s");
+  EXPECT_EQ(FormatDuration(999999), "<1s");
+  EXPECT_EQ(FormatDuration(34 * 1000000LL), "34s");
+  EXPECT_EQ(FormatDuration((5 * 60 + 17) * 1000000LL), "5m 17s");
+  EXPECT_EQ(FormatDuration(((2 * 60 + 14) * 60 + 56) * 1000000LL), "2h 14m 56s");
+  EXPECT_EQ(FormatDuration((((25 * 24 + 19) * 60 + 55) * 60) * 1000000LL),
+            "25d 19h 55m");
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.Uniform(-5, 12);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 12);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformDegenerateRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.Uniform(5, 5), 5);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(RngTest, AlphaStringRespectsLengths) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    std::string s = rng.AlphaString(3, 8);
+    EXPECT_GE(s.size(), 3u);
+    EXPECT_LE(s.size(), 8u);
+    for (char c : s) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// date
+// ---------------------------------------------------------------------------
+
+TEST(DateTest, EpochIsZero) { EXPECT_EQ(date::FromYmd(1970, 1, 1), 0); }
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(date::FromYmd(1970, 1, 2), 1);
+  EXPECT_EQ(date::ToString(date::FromYmd(1995, 6, 17)), "1995-06-17");
+}
+
+TEST(DateTest, RoundTripSweep) {
+  // Every 13th day across the TPC-D era.
+  for (int32_t dn = date::FromYmd(1992, 1, 1); dn <= date::FromYmd(1999, 1, 1);
+       dn += 13) {
+    int y, m, d;
+    date::ToYmd(dn, &y, &m, &d);
+    EXPECT_EQ(date::FromYmd(y, m, d), dn);
+  }
+}
+
+TEST(DateTest, LeapYearRules) {
+  EXPECT_TRUE(date::IsValid(1996, 2, 29));
+  EXPECT_FALSE(date::IsValid(1997, 2, 29));
+  EXPECT_FALSE(date::IsValid(1900, 2, 29));  // century rule
+  EXPECT_TRUE(date::IsValid(2000, 2, 29));   // 400 rule
+}
+
+TEST(DateTest, InvalidDatesRejected) {
+  EXPECT_FALSE(date::IsValid(1995, 0, 1));
+  EXPECT_FALSE(date::IsValid(1995, 13, 1));
+  EXPECT_FALSE(date::IsValid(1995, 4, 31));
+  EXPECT_FALSE(date::IsValid(1995, 1, 0));
+}
+
+TEST(DateTest, ParseAndErrors) {
+  auto ok = date::Parse("1996-02-29");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(date::ToString(ok.value()), "1996-02-29");
+  EXPECT_FALSE(date::Parse("not a date").ok());
+  EXPECT_FALSE(date::Parse("1997-02-29").ok());
+  EXPECT_FALSE(date::Parse("1995-06-17x").ok());
+}
+
+TEST(DateTest, AddMonthsClampsDay) {
+  int32_t jan31 = date::FromYmd(1996, 1, 31);
+  EXPECT_EQ(date::ToString(date::AddMonths(jan31, 1)), "1996-02-29");
+  EXPECT_EQ(date::ToString(date::AddMonths(jan31, 13)), "1997-02-28");
+  EXPECT_EQ(date::ToString(date::AddMonths(jan31, -1)), "1995-12-31");
+}
+
+TEST(DateTest, YearMonthExtraction) {
+  int32_t d = date::FromYmd(1998, 12, 1);
+  EXPECT_EQ(date::Year(d), 1998);
+  EXPECT_EQ(date::Month(d), 12);
+}
+
+// ---------------------------------------------------------------------------
+// str
+// ---------------------------------------------------------------------------
+
+TEST(StrTest, CaseConversion) {
+  EXPECT_EQ(str::ToUpper("aBc123"), "ABC123");
+  EXPECT_EQ(str::ToLower("aBc123"), "abc123");
+  EXPECT_TRUE(str::EqualsIgnoreCase("Hello", "hELLO"));
+  EXPECT_FALSE(str::EqualsIgnoreCase("Hello", "Hellos"));
+}
+
+TEST(StrTest, TrimAndPad) {
+  EXPECT_EQ(str::Trim("  x y  "), "x y");
+  EXPECT_EQ(str::Trim(""), "");
+  EXPECT_EQ(str::PadTo("ab", 5), "ab   ");
+  EXPECT_EQ(str::PadTo("abcdef", 4), "abcd");
+  EXPECT_EQ(str::RTrim("ab   "), "ab");
+  EXPECT_EQ(str::RTrim("   "), "");
+}
+
+TEST(StrTest, SplitJoin) {
+  auto parts = str::Split("a|b||c", '|');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(str::Join(parts, "|"), "a|b||c");
+  EXPECT_EQ(str::Split("", ',').size(), 1u);
+}
+
+TEST(StrTest, LikeMatchBasics) {
+  EXPECT_TRUE(str::LikeMatch("hello", "hello"));
+  EXPECT_FALSE(str::LikeMatch("hello", "hell"));
+  EXPECT_TRUE(str::LikeMatch("hello", "h%o"));
+  EXPECT_TRUE(str::LikeMatch("hello", "%"));
+  EXPECT_TRUE(str::LikeMatch("", "%"));
+  EXPECT_FALSE(str::LikeMatch("", "_"));
+  EXPECT_TRUE(str::LikeMatch("hello", "_ello"));
+  EXPECT_TRUE(str::LikeMatch("hello", "he__o"));
+}
+
+TEST(StrTest, LikeMatchBacktracking) {
+  // Multiple %s requiring backtracking over the last star.
+  EXPECT_TRUE(str::LikeMatch("Customer blah Complaints", "%Customer%Complaints%"));
+  EXPECT_FALSE(str::LikeMatch("Customer blah Recommends", "%Customer%Complaints%"));
+  EXPECT_TRUE(str::LikeMatch("aXbXc", "a%b%c"));
+  EXPECT_TRUE(str::LikeMatch("abcabc", "%abc"));
+  EXPECT_TRUE(str::LikeMatch("PROMO BRUSHED TIN", "PROMO%"));
+  EXPECT_FALSE(str::LikeMatch("ECONOMY PROMO TIN", "PROMO%"));
+}
+
+TEST(StrTest, FormatAndSapKey) {
+  EXPECT_EQ(str::Format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(str::SapKey(42, 10), "0000000042");
+  EXPECT_EQ(str::SapKey(0, 3), "000");
+  EXPECT_EQ(str::SapKey(123456, 6), "123456");
+}
+
+}  // namespace
+}  // namespace r3

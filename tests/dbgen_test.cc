@@ -1,0 +1,225 @@
+// DBGEN tests: determinism, spec cardinalities, value domains (parameterized
+// over scale factors), key-space structure, and refresh-order generation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/date.h"
+#include "tpcd/dbgen.h"
+#include "tpcd/qgen.h"
+
+namespace r3 {
+namespace tpcd {
+namespace {
+
+TEST(DbGenTest, DeterministicAcrossInstances) {
+  DbGen a(0.001), b(0.001);
+  auto pa = a.MakeParts();
+  auto pb = b.MakeParts();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); i += 17) {
+    EXPECT_EQ(pa[i].name, pb[i].name);
+    EXPECT_EQ(pa[i].type, pb[i].type);
+  }
+  std::vector<OrderRec> oa, ob;
+  (void)a.ForEachOrder([&](const OrderRec& o) { oa.push_back(o); return Status::OK(); });
+  (void)b.ForEachOrder([&](const OrderRec& o) { ob.push_back(o); return Status::OK(); });
+  ASSERT_EQ(oa.size(), ob.size());
+  EXPECT_EQ(oa[5].custkey, ob[5].custkey);
+  EXPECT_EQ(oa[5].lines.size(), ob[5].lines.size());
+}
+
+TEST(DbGenTest, DifferentSeedsDiffer) {
+  DbGen a(0.001, 1), b(0.001, 2);
+  EXPECT_NE(a.MakeSuppliers()[0].address, b.MakeSuppliers()[0].address);
+}
+
+TEST(DbGenTest, FixedTables) {
+  DbGen gen(0.001);
+  EXPECT_EQ(gen.MakeRegions().size(), 5u);
+  EXPECT_EQ(gen.MakeNations().size(), 25u);
+  for (const NationRec& n : gen.MakeNations()) {
+    EXPECT_GE(n.regionkey, 0);
+    EXPECT_LE(n.regionkey, 4);
+  }
+}
+
+class ScaleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaleSweep, CardinalitiesScale) {
+  double sf = GetParam();
+  DbGen gen(sf);
+  EXPECT_EQ(gen.NumSuppliers(), std::max<int64_t>(1, std::llround(10000 * sf)));
+  EXPECT_EQ(gen.NumParts(), std::max<int64_t>(1, std::llround(200000 * sf)));
+  EXPECT_EQ(gen.NumPartSupps(), gen.NumParts() * 4);
+  EXPECT_EQ(gen.NumCustomers(),
+            std::max<int64_t>(1, std::llround(150000 * sf)));
+  EXPECT_EQ(gen.NumOrders(), std::max<int64_t>(1, std::llround(1500000 * sf)));
+  EXPECT_EQ(gen.MakePartSupps().size(),
+            static_cast<size_t>(gen.NumPartSupps()));
+}
+
+TEST_P(ScaleSweep, PartSuppPairsDistinct) {
+  DbGen gen(GetParam());
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (const PartSuppRec& ps : gen.MakePartSupps()) {
+    EXPECT_TRUE(pairs.emplace(ps.partkey, ps.suppkey).second)
+        << ps.partkey << "/" << ps.suppkey;
+    EXPECT_GE(ps.suppkey, 1);
+    EXPECT_LE(ps.suppkey, gen.NumSuppliers());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sf, ScaleSweep, ::testing::Values(0.0005, 0.002, 0.01));
+
+TEST(DbGenTest, PartDomains) {
+  DbGen gen(0.002);
+  for (const PartRec& p : gen.MakeParts()) {
+    EXPECT_GE(p.size, 1);
+    EXPECT_LE(p.size, 50);
+    EXPECT_EQ(p.retailprice_cents, DbGen::RetailPriceCents(p.partkey));
+    EXPECT_EQ(p.brand.substr(0, 6), "Brand#");
+    EXPECT_EQ(std::count(p.name.begin(), p.name.end(), ' '), 4);  // 5 words
+    // Type is three syllables.
+    EXPECT_EQ(std::count(p.type.begin(), p.type.end(), ' '), 2);
+  }
+}
+
+TEST(DbGenTest, OrderAndLineItemInvariants) {
+  DbGen gen(0.002);
+  int64_t orders = 0, lines = 0;
+  std::set<int64_t> orderkeys;
+  (void)gen.ForEachOrder([&](const OrderRec& o) -> Status {
+    ++orders;
+    EXPECT_TRUE(orderkeys.insert(o.orderkey).second);
+    EXPECT_NE(o.custkey % 3, 0) << "multiples of 3 place no orders";
+    EXPECT_GE(o.orderdate, DbGen::StartDate());
+    EXPECT_LE(o.orderdate, DbGen::EndDate() - 151);
+    EXPECT_GE(o.lines.size(), 1u);
+    EXPECT_LE(o.lines.size(), 7u);
+    int64_t total = 0;
+    for (const LineItemRec& l : o.lines) {
+      ++lines;
+      EXPECT_EQ(l.orderkey, o.orderkey);
+      EXPECT_GE(l.quantity, 1);
+      EXPECT_LE(l.quantity, 50);
+      EXPECT_GE(l.discount_bp, 0);
+      EXPECT_LE(l.discount_bp, 10);
+      EXPECT_LE(l.tax_bp, 8);
+      EXPECT_GT(l.shipdate, o.orderdate);
+      EXPECT_GT(l.receiptdate, l.shipdate);
+      EXPECT_EQ(l.extendedprice_cents,
+                l.quantity * DbGen::RetailPriceCents(l.partkey));
+      // Flags follow the spec's current-date rule.
+      if (l.receiptdate <= DbGen::CurrentDate()) {
+        EXPECT_TRUE(l.returnflag == "R" || l.returnflag == "A");
+      } else {
+        EXPECT_EQ(l.returnflag, "N");
+      }
+      EXPECT_EQ(l.linestatus, l.shipdate > DbGen::CurrentDate() ? "O" : "F");
+      total += l.extendedprice_cents * (100 - l.discount_bp) / 100 *
+               (100 + l.tax_bp) / 100;
+    }
+    EXPECT_EQ(o.totalprice_cents, total);
+    return Status::OK();
+  });
+  EXPECT_EQ(orders, gen.NumOrders());
+  // Average ~4 lines per order.
+  EXPECT_NEAR(static_cast<double>(lines) / orders, 4.0, 0.5);
+}
+
+TEST(DbGenTest, SparseOrderKeys) {
+  DbGen gen(0.001);
+  std::vector<int64_t> keys;
+  (void)gen.ForEachOrder([&](const OrderRec& o) {
+    keys.push_back(o.orderkey);
+    return Status::OK();
+  });
+  // 8 used out of every 32-key block.
+  EXPECT_EQ(keys[0], 1);
+  EXPECT_EQ(keys[7], 8);
+  EXPECT_EQ(keys[8], 33);
+}
+
+TEST(DbGenTest, RefreshOrdersBeyondBaseKeySpace) {
+  DbGen gen(0.001);
+  int64_t max_base = 0;
+  (void)gen.ForEachOrder([&](const OrderRec& o) {
+    max_base = std::max(max_base, o.orderkey);
+    return Status::OK();
+  });
+  OrderRec r0 = gen.MakeRefreshOrder(0);
+  OrderRec r1 = gen.MakeRefreshOrder(1);
+  EXPECT_GT(r0.orderkey, max_base);
+  EXPECT_EQ(r1.orderkey, r0.orderkey + 1);
+  // Deterministic too.
+  EXPECT_EQ(gen.MakeRefreshOrder(0).custkey, r0.custkey);
+}
+
+TEST(DbGenTest, SuppliersOfPartConsistentWithLineItems) {
+  DbGen gen(0.001);
+  (void)gen.ForEachOrder([&](const OrderRec& o) {
+    for (const LineItemRec& l : o.lines) {
+      auto supps = gen.SuppliersOfPart(l.partkey);
+      EXPECT_NE(std::find(supps.begin(), supps.end(), l.suppkey), supps.end())
+          << "lineitem references a non-partsupp supplier";
+    }
+    return Status::OK();
+  });
+}
+
+TEST(DbGenTest, CommentMarkersAreRare) {
+  // The marker probability is 1/200; over 2000 suppliers we expect ~10 and
+  // never a flood.
+  DbGen gen(0.2);
+  int complaints = 0;
+  auto supps = gen.MakeSuppliers();
+  for (const SupplierRec& s : supps) {
+    if (s.comment.find("Customer Complaints") != std::string::npos) {
+      ++complaints;
+    }
+  }
+  EXPECT_GT(complaints, 0);
+  EXPECT_LT(complaints, static_cast<int>(supps.size()) / 20);
+}
+
+// ---------------------------------------------------------------------------
+// QGEN
+// ---------------------------------------------------------------------------
+
+TEST(QgenTest, DefaultsAreSpecValidationValues) {
+  QueryParams p = QueryParams::Defaults(0.2);
+  EXPECT_EQ(p.q1_delta_days, 90);
+  EXPECT_EQ(p.q2_size, 15);
+  EXPECT_EQ(p.q2_type_suffix, "BRASS");
+  EXPECT_EQ(date::ToString(p.q3_date), "1995-03-15");
+  EXPECT_DOUBLE_EQ(p.q11_fraction, 0.0001 / 0.2);
+}
+
+TEST(QgenTest, RandomParamsConform) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    QueryParams p = QueryParams::Make(0.1, seed);
+    EXPECT_GE(p.q1_delta_days, 60);
+    EXPECT_LE(p.q1_delta_days, 120);
+    EXPECT_GE(p.q2_size, 1);
+    EXPECT_LE(p.q2_size, 50);
+    EXPECT_NE(p.q7_nation1, p.q7_nation2);
+    EXPECT_NE(p.q12_mode1, p.q12_mode2);
+    EXPECT_EQ(p.q16_sizes.size(), 8u);
+    std::set<int64_t> sizes(p.q16_sizes.begin(), p.q16_sizes.end());
+    EXPECT_EQ(sizes.size(), 8u);
+  }
+}
+
+TEST(QgenTest, DeterministicBySeed) {
+  QueryParams a = QueryParams::Make(0.1, 7);
+  QueryParams b = QueryParams::Make(0.1, 7);
+  EXPECT_EQ(a.q9_color, b.q9_color);
+  EXPECT_EQ(a.q5_region, b.q5_region);
+}
+
+}  // namespace
+}  // namespace tpcd
+}  // namespace r3

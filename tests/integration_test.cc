@@ -1,0 +1,258 @@
+// End-to-end integration tests above the query layer: the power-test
+// harness, the warehouse extraction (row counts must match the original
+// database exactly), result validation, and the paper's qualitative shape
+// claims at a tiny scale factor.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/str_util.h"
+#include "sap/loader.h"
+#include "sap/schema.h"
+#include "sap/views.h"
+#include "tpcd/loader.h"
+#include "tpcd/power_test.h"
+#include "tpcd/queries.h"
+#include "tpcd/schema.h"
+#include "tpcd/update_functions.h"
+#include "tpcd/validate.h"
+#include "warehouse/extract.h"
+
+namespace r3 {
+namespace tpcd {
+namespace {
+
+constexpr double kSf = 0.001;
+
+#define ASSERT_OK(expr)                        \
+  do {                                         \
+    ::r3::Status _st = (expr);                 \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();   \
+  } while (false)
+
+std::unique_ptr<appsys::R3System> MakeSap(DbGen* gen, appsys::Release release,
+                                          bool convert_konv) {
+  appsys::AppServerOptions opts;
+  opts.release = release;
+  auto sys = std::make_unique<appsys::R3System>(opts);
+  EXPECT_TRUE(sys->app.Bootstrap().ok());
+  EXPECT_TRUE(sap::CreateSapSchema(&sys->app).ok());
+  EXPECT_TRUE(sap::CreateJoinViews(&sys->app).ok());
+  sap::SapLoader loader(&sys->app, gen);
+  EXPECT_TRUE(loader.FastLoadAll().ok());
+  if (convert_konv) {
+    EXPECT_TRUE(sys->app.dictionary()
+                    ->ConvertToTransparent("KONV", appsys::Release::kRelease30)
+                    .ok());
+  }
+  return sys;
+}
+
+TEST(PowerTestTest, RunsAndReportsInPaperOrder) {
+  DbGen gen(kSf);
+  rdbms::Database db;
+  ASSERT_OK(CreateTpcdSchema(&db));
+  ASSERT_OK(LoadTpcdDatabase(&db, &gen));
+  auto qs = MakeRdbmsQuerySet(&db);
+  QueryParams params = QueryParams::Defaults(kSf);
+  int64_t count = UpdateFunctionCount(gen);
+  auto result = RunPowerTest(
+      "RDBMS", qs.get(), params, db.clock(),
+      [&] { return RunUf1Rdbms(&db, &gen, count); },
+      [&] { return RunUf2Rdbms(&db, &gen, count); });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().items.size(), 19u);  // 17 queries + UF1 + UF2
+  EXPECT_EQ(result.value().items[0].label, "Q1");
+  EXPECT_EQ(result.value().items[16].label, "Q17");
+  EXPECT_EQ(result.value().items[17].label, "UF1");
+  EXPECT_EQ(result.value().items[18].label, "UF2");
+  for (const PowerItem& item : result.value().items) {
+    EXPECT_GT(item.sim_us, 0) << item.label;
+  }
+  EXPECT_GT(result.value().TotalAllSimUs(),
+            result.value().TotalQueriesSimUs());
+  EXPECT_NE(result.value().Find("Q5"), nullptr);
+  EXPECT_EQ(result.value().Find("Q99"), nullptr);
+  // The column formatter mentions every item.
+  std::string rendered = FormatPowerColumn(result.value());
+  EXPECT_NE(rendered.find("Q17"), std::string::npos);
+  EXPECT_NE(rendered.find("Total (queries)"), std::string::npos);
+}
+
+TEST(WarehouseTest, ExtractionReconstructsExactRowCounts) {
+  DbGen gen(kSf);
+  auto sap = MakeSap(&gen, appsys::Release::kRelease30, /*convert_konv=*/true);
+  std::vector<std::string> files;
+  auto timings = warehouse::ExtractWarehouse(&sap->app, &files);
+  ASSERT_TRUE(timings.ok()) << timings.status().ToString();
+  ASSERT_EQ(timings.value().size(), 8u);
+  ASSERT_EQ(files.size(), 8u);
+
+  int64_t expected[] = {5,
+                        25,
+                        gen.NumSuppliers(),
+                        gen.NumParts(),
+                        gen.NumPartSupps(),
+                        gen.NumCustomers(),
+                        gen.NumOrders(),
+                        0 /* lineitems counted below */};
+  int64_t lineitems = 0;
+  (void)gen.ForEachOrder([&](const OrderRec& o) {
+    lineitems += static_cast<int64_t>(o.lines.size());
+    return Status::OK();
+  });
+  expected[7] = lineitems;
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(timings.value()[i].rows, expected[i])
+        << timings.value()[i].table;
+    // ASCII output: one '\n'-terminated line per row, fields '|'-separated.
+    EXPECT_EQ(std::count(files[i].begin(), files[i].end(), '\n'),
+              expected[i]);
+    EXPECT_GT(timings.value()[i].sim_us, 0);
+  }
+  // LINEITEM extraction dominates, as in Table 9.
+  int64_t total = 0;
+  for (const auto& t : timings.value()) total += t.sim_us;
+  EXPECT_GT(timings.value()[7].sim_us, total / 2);
+}
+
+TEST(WarehouseTest, ExtractedLineitemFieldsMatchGenerator) {
+  DbGen gen(kSf);
+  auto sap = MakeSap(&gen, appsys::Release::kRelease30, /*convert_konv=*/true);
+  std::vector<std::string> files;
+  ASSERT_TRUE(warehouse::ExtractWarehouse(&sap->app, &files).ok());
+  // First lineitem row corresponds to orderkey 1, linenumber 1.
+  std::string first_line = files[7].substr(0, files[7].find('\n'));
+  auto fields = str::Split(first_line, '|');
+  OrderRec first_order;
+  bool got = false;
+  (void)gen.ForEachOrder([&](const OrderRec& o) {
+    if (!got) {
+      first_order = o;
+      got = true;
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(got);
+  EXPECT_EQ(std::strtoll(fields[0].c_str(), nullptr, 10), first_order.orderkey);
+  EXPECT_EQ(std::strtoll(fields[1].c_str(), nullptr, 10),
+            first_order.lines[0].partkey);
+  EXPECT_EQ(std::strtoll(fields[2].c_str(), nullptr, 10),
+            first_order.lines[0].suppkey);
+}
+
+TEST(ValidateTest, EquivalenceRules) {
+  rdbms::QueryResult a, b;
+  a.rows.push_back({rdbms::Value::Int(42), rdbms::Value::Dbl(1.5)});
+  b.rows.push_back(
+      {rdbms::Value::Str("0000000042"), rdbms::Value::DecimalFromCents(150)});
+  std::string diff;
+  EXPECT_TRUE(ResultsEquivalent(a, b, /*ordered=*/true, &diff)) << diff;
+
+  // Near-equal doubles within tolerance.
+  rdbms::QueryResult c, d;
+  c.rows.push_back({rdbms::Value::Dbl(1000000.0)});
+  d.rows.push_back({rdbms::Value::Dbl(1000000.05)});
+  EXPECT_TRUE(ResultsEquivalent(c, d, true, &diff));
+  d.rows[0][0] = rdbms::Value::Dbl(1001000.0);
+  EXPECT_FALSE(ResultsEquivalent(c, d, true, &diff));
+
+  // Unordered comparison sorts rows.
+  rdbms::QueryResult e, f;
+  e.rows.push_back({rdbms::Value::Int(1)});
+  e.rows.push_back({rdbms::Value::Int(2)});
+  f.rows.push_back({rdbms::Value::Int(2)});
+  f.rows.push_back({rdbms::Value::Int(1)});
+  EXPECT_FALSE(ResultsEquivalent(e, f, true, &diff));
+  EXPECT_TRUE(ResultsEquivalent(e, f, false, &diff));
+
+  // Row-count mismatch reported.
+  f.rows.pop_back();
+  EXPECT_FALSE(ResultsEquivalent(e, f, false, &diff));
+  EXPECT_NE(diff.find("row count"), std::string::npos);
+}
+
+TEST(ShapeTest, OpenSql22CostsMoreThanNativeWhichCostsMoreThanRdbms) {
+  // The paper's headline ordering on a KONV-heavy query (Q6: the discount
+  // lives in the cluster table).
+  DbGen gen(kSf);
+  rdbms::Database rdb;
+  ASSERT_OK(CreateTpcdSchema(&rdb));
+  ASSERT_OK(LoadTpcdDatabase(&rdb, &gen));
+  auto sap = MakeSap(&gen, appsys::Release::kRelease22, /*convert_konv=*/false);
+
+  QueryParams params = QueryParams::Defaults(kSf);
+  auto q_rdbms = MakeRdbmsQuerySet(&rdb);
+  auto q_native = MakeNativeQuerySet(&sap->app);
+  auto q_open = MakeOpen22QuerySet(&sap->app);
+
+  SimTimer t1(*rdb.clock());
+  ASSERT_TRUE(q_rdbms->RunQuery(6, params).ok());
+  int64_t rdbms_us = t1.ElapsedUs();
+
+  SimTimer t2(sap->clock);
+  ASSERT_TRUE(q_native->RunQuery(6, params).ok());
+  int64_t native_us = t2.ElapsedUs();
+
+  SimTimer t3(sap->clock);
+  ASSERT_TRUE(q_open->RunQuery(6, params).ok());
+  int64_t open_us = t3.ElapsedUs();
+
+  EXPECT_GT(native_us, rdbms_us);
+  // Open 2.2 is within the same order as Native here (both pay the KONV
+  // nested probes); it must not be *cheaper* than the RDBMS.
+  EXPECT_GT(open_us, rdbms_us);
+}
+
+TEST(ShapeTest, Upgrade30MakesOpenSqlFasterOnJoins) {
+  // Q1 touches every line item's KONV conditions: in 2.2 that is one nested
+  // probe per line; in 3.0 one pushed-down join. (Selective queries like Q3
+  // can legitimately cross over at tiny scale, so the full-scan query is
+  // the robust witness.)
+  DbGen gen(kSf);
+  auto sap22 = MakeSap(&gen, appsys::Release::kRelease22, false);
+  auto sap30 = MakeSap(&gen, appsys::Release::kRelease30, true);
+  QueryParams params = QueryParams::Defaults(kSf);
+
+  auto q22 = MakeOpen22QuerySet(&sap22->app);
+  auto q30 = MakeOpen30QuerySet(&sap30->app);
+
+  SimTimer t22(sap22->clock);
+  ASSERT_TRUE(q22->RunQuery(1, params).ok());
+  int64_t us22 = t22.ElapsedUs();
+
+  SimTimer t30(sap30->clock);
+  ASSERT_TRUE(q30->RunQuery(1, params).ok());
+  int64_t us30 = t30.ElapsedUs();
+
+  EXPECT_LT(us30, us22) << "join push-down must pay off";
+}
+
+TEST(ShapeTest, BatchInputDwarfsDirectInserts) {
+  // Table 3's lesson, in miniature: entering one order through batch input
+  // costs orders of magnitude more than inserting the rows directly.
+  DbGen gen(kSf);
+  rdbms::Database rdb;
+  ASSERT_OK(CreateTpcdSchema(&rdb));
+  auto sap = MakeSap(&gen, appsys::Release::kRelease22, false);
+  sap::SapLoader loader(&sap->app, &gen);
+
+  OrderRec order = gen.MakeRefreshOrder(0);
+
+  SimTimer direct(*rdb.clock());
+  ASSERT_OK(rdb.InsertRow("ORDERS", OrderToRow(order)));
+  for (const LineItemRec& l : order.lines) {
+    ASSERT_OK(rdb.InsertRow("LINEITEM", LineItemToRow(l)));
+  }
+  int64_t direct_us = direct.ElapsedUs();
+
+  SimTimer dialog(sap->clock);
+  ASSERT_OK(loader.EnterOrder(order));
+  int64_t dialog_us = dialog.ElapsedUs();
+
+  EXPECT_GT(dialog_us, direct_us * 20);
+}
+
+}  // namespace
+}  // namespace tpcd
+}  // namespace r3

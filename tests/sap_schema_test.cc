@@ -1,0 +1,221 @@
+// SAP-layer tests: key codings, the Table 1 schema as defined in the
+// dictionary, loader correctness (row counts and cross-table consistency),
+// join views, and the 2.2 vs 3.0 feature surface against this schema.
+#include <gtest/gtest.h>
+
+#include "sap/loader.h"
+#include "sap/schema.h"
+#include "sap/views.h"
+#include "tpcd/dbgen.h"
+
+namespace r3 {
+namespace sap {
+namespace {
+
+using appsys::OsqlCond;
+using rdbms::Value;
+
+#define ASSERT_OK(expr)                        \
+  do {                                         \
+    ::r3::Status _st = (expr);                 \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();   \
+  } while (false)
+
+TEST(SapKeysTest, Codings) {
+  EXPECT_EQ(Vbeln(42), "0000000042");
+  EXPECT_EQ(Matnr(7), "0000000000000007");
+  EXPECT_EQ(Posnr(3), "000003");
+  EXPECT_EQ(Land1(24), "024");
+  EXPECT_EQ(Knumv(42), Vbeln(42));  // pricing doc follows the order number
+  EXPECT_EQ(OrderKeyOf(Vbeln(123456)), 123456);
+  EXPECT_NE(Infnr(10, 0), Infnr(10, 1));
+  EXPECT_NE(Infnr(10, 3), Infnr(11, 0));
+}
+
+class SapSchemaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    appsys::AppServerOptions opts;
+    opts.release = appsys::Release::kRelease22;
+    sys_ = std::make_unique<appsys::R3System>(opts);
+    ASSERT_OK(sys_->app.Bootstrap());
+    ASSERT_OK(CreateSapSchema(&sys_->app));
+    ASSERT_OK(CreateJoinViews(&sys_->app));
+  }
+
+  std::unique_ptr<appsys::R3System> sys_;
+};
+
+TEST_F(SapSchemaTest, SeventeenTablesWithPaperKinds) {
+  appsys::DataDictionary* dict = sys_->app.dictionary();
+  const char* transparent[] = {"T005", "T005T", "T005U", "MARA", "MAKT",
+                               "KONP", "LFA1",  "EINA",  "EINE", "AUSP",
+                               "KNA1", "VBAK",  "VBAP",  "VBEP", "STXL"};
+  for (const char* t : transparent) {
+    auto lt = dict->Get(t);
+    ASSERT_TRUE(lt.ok()) << t;
+    EXPECT_EQ(lt.value()->kind, appsys::TableKind::kTransparent) << t;
+  }
+  EXPECT_EQ(dict->Get("A004").value()->kind, appsys::TableKind::kPool);
+  EXPECT_EQ(dict->Get("A004").value()->physical_table, "KAPOL");
+  EXPECT_EQ(dict->Get("KONV").value()->kind, appsys::TableKind::kCluster);
+  EXPECT_EQ(dict->Get("KONV").value()->physical_table, "KOCLU");
+}
+
+TEST_F(SapSchemaTest, EveryTableLeadsWithMandt) {
+  for (const appsys::LogicalTable* t : sys_->app.dictionary()->AllTables()) {
+    if (t->is_view || t->name == "DD02L" || t->name == "NRIV") continue;
+    EXPECT_EQ(t->schema.column(0).name, "MANDT") << t->name;
+    ASSERT_FALSE(t->key_columns.empty()) << t->name;
+    EXPECT_EQ(t->key_columns[0], "MANDT") << t->name;
+  }
+}
+
+TEST_F(SapSchemaTest, FillerMakesRowsRealisticallyWide) {
+  // The Table 2 inflation depends on wide rows; guard the widths.
+  auto vbap = sys_->app.dictionary()->Get("VBAP");
+  ASSERT_TRUE(vbap.ok());
+  EXPECT_GE(vbap.value()->schema.NumColumns(), 40u);
+  auto mara = sys_->app.dictionary()->Get("MARA");
+  ASSERT_TRUE(mara.ok());
+  EXPECT_GE(mara.value()->schema.NumColumns(), 35u);
+}
+
+TEST_F(SapSchemaTest, FillerHelpers) {
+  rdbms::Schema s({rdbms::ColChar("A", 3)});
+  AddFiller(&s, 4);
+  EXPECT_EQ(s.NumColumns(), 5u);
+  EXPECT_EQ(s.column(4).length, 10);
+  rdbms::Row r = WithFiller({Value::Str("x")}, 4);
+  EXPECT_EQ(r.size(), 5u);
+  EXPECT_EQ(r[4].string_value(), "");
+}
+
+TEST_F(SapSchemaTest, LoaderPopulatesConsistently) {
+  tpcd::DbGen gen(0.0005);
+  SapLoader loader(&sys_->app, &gen);
+  ASSERT_OK(loader.FastLoadAll());
+
+  auto count = [&](const std::string& sql) {
+    auto res = sys_->db.Query(sql);
+    EXPECT_TRUE(res.ok()) << sql << ": " << res.status().ToString();
+    return res.ok() ? res.value().rows[0][0].AsInt() : -1;
+  };
+  EXPECT_EQ(count("SELECT COUNT(*) FROM LFA1"), gen.NumSuppliers());
+  EXPECT_EQ(count("SELECT COUNT(*) FROM MARA"), gen.NumParts());
+  EXPECT_EQ(count("SELECT COUNT(*) FROM MAKT"), gen.NumParts());
+  EXPECT_EQ(count("SELECT COUNT(*) FROM KONP"), gen.NumParts());
+  EXPECT_EQ(count("SELECT COUNT(*) FROM EINA"), gen.NumPartSupps());
+  EXPECT_EQ(count("SELECT COUNT(*) FROM EINE"), gen.NumPartSupps());
+  EXPECT_EQ(count("SELECT COUNT(*) FROM KNA1"), gen.NumCustomers());
+  EXPECT_EQ(count("SELECT COUNT(*) FROM VBAK"), gen.NumOrders());
+  // One AUSP row per part, supplier, customer, and partsupp.
+  EXPECT_EQ(count("SELECT COUNT(*) FROM AUSP"),
+            gen.NumParts() + gen.NumSuppliers() + gen.NumCustomers() +
+                gen.NumPartSupps());
+  int64_t lineitems = 0;
+  (void)gen.ForEachOrder([&](const tpcd::OrderRec& o) {
+    lineitems += static_cast<int64_t>(o.lines.size());
+    return Status::OK();
+  });
+  EXPECT_EQ(count("SELECT COUNT(*) FROM VBAP"), lineitems);
+  EXPECT_EQ(count("SELECT COUNT(*) FROM VBEP"), lineitems);
+  // One KOCLU bundle per order; three logical KONV rows per lineitem.
+  EXPECT_EQ(count("SELECT COUNT(*) FROM KOCLU"), gen.NumOrders());
+  auto konv_rows =
+      sys_->app.dictionary()->ReadLogical("KONV", {});
+  ASSERT_TRUE(konv_rows.ok());
+  EXPECT_EQ(static_cast<int64_t>(konv_rows.value().size()), lineitems * 3);
+
+  // Every VBAP position references existing master data.
+  auto orphan = sys_->db.Query(
+      "SELECT COUNT(*) FROM VBAP P WHERE NOT EXISTS "
+      "(SELECT * FROM MARA M WHERE M.MANDT = P.MANDT "
+      "AND M.MATNR = P.MATNR)");
+  ASSERT_TRUE(orphan.ok());
+  EXPECT_EQ(orphan.value().rows[0][0].AsInt(), 0);
+}
+
+TEST_F(SapSchemaTest, KonvPricingEncodesDiscountAndTax) {
+  tpcd::DbGen gen(0.0005);
+  SapLoader loader(&sys_->app, &gen);
+  ASSERT_OK(loader.FastLoadAll());
+  // For the first lineitem of order 1, KONV's DISC/TAX rows must encode the
+  // generator's percentages in per-mille (the paper's 1 + KBETR/1000).
+  tpcd::OrderRec first;
+  bool got = false;
+  (void)gen.ForEachOrder([&](const tpcd::OrderRec& o) {
+    if (!got) {
+      first = o;
+      got = true;
+    }
+    return Status::OK();
+  });
+  auto rows = sys_->app.dictionary()->ReadLogical(
+      "KONV", {appsys::DictCond{"KNUMV", rdbms::CmpOp::kEq,
+                                Value::Str(Knumv(first.orderkey))},
+               appsys::DictCond{"KPOSN", rdbms::CmpOp::kEq,
+                                Value::Str(Posnr(1))}});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 3u);  // PR00, DISC, TAX
+  double disc = 0, tax = 0;
+  for (const rdbms::Row& r : rows.value()) {
+    if (r[5].string_value() == kKschlDiscount) disc = r[6].AsDouble();
+    if (r[5].string_value() == kKschlTax) tax = r[6].AsDouble();
+  }
+  EXPECT_DOUBLE_EQ(disc, -static_cast<double>(first.lines[0].discount_bp) * 10);
+  EXPECT_DOUBLE_EQ(tax, static_cast<double>(first.lines[0].tax_bp) * 10);
+}
+
+TEST_F(SapSchemaTest, JoinViewsResolveThroughOpenSql) {
+  tpcd::DbGen gen(0.0005);
+  SapLoader loader(&sys_->app, &gen);
+  ASSERT_OK(loader.FastLoadAll());
+  appsys::OpenSqlQuery q;
+  q.table = "VLIPS";  // VBAP x VBEP join view — usable even in Release 2.2
+  q.columns = {"VBELN", "POSNR", "EDATU"};
+  q.up_to = 5;
+  auto res = sys_->app.open_sql()->Select(q);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().rows.size(), 5u);
+  // Views are read-only.
+  EXPECT_FALSE(sys_->app.dictionary()
+                   ->InsertLogical("VLIPS", rdbms::Row{})
+                   .ok());
+}
+
+TEST_F(SapSchemaTest, BatchInputRejectsOrderForUnknownCustomer) {
+  tpcd::DbGen gen(0.0005);
+  SapLoader loader(&sys_->app, &gen);
+  // Master data NOT loaded: entering an order must fail its checks.
+  tpcd::OrderRec order = gen.MakeRefreshOrder(0);
+  Status st = loader.EnterOrder(order);
+  EXPECT_EQ(st.code(), StatusCode::kConstraintViolation) << st.ToString();
+}
+
+TEST_F(SapSchemaTest, DeleteOrderRemovesAllFragments) {
+  tpcd::DbGen gen(0.0005);
+  SapLoader loader(&sys_->app, &gen);
+  ASSERT_OK(loader.FastLoadAll());
+  tpcd::OrderRec extra = gen.MakeRefreshOrder(0);
+  ASSERT_OK(loader.EnterOrder(extra));
+  ASSERT_OK(loader.DeleteOrder(extra.orderkey));
+  auto vbap = sys_->db.Query(
+      "SELECT COUNT(*) FROM VBAP WHERE VBELN = '" + Vbeln(extra.orderkey) + "'");
+  ASSERT_TRUE(vbap.ok());
+  EXPECT_EQ(vbap.value().rows[0][0].AsInt(), 0);
+  auto konv = sys_->app.dictionary()->ReadLogical(
+      "KONV", {appsys::DictCond{"KNUMV", rdbms::CmpOp::kEq,
+                                Value::Str(Knumv(extra.orderkey))}});
+  ASSERT_TRUE(konv.ok());
+  EXPECT_TRUE(konv.value().empty());
+  auto texts = sys_->db.Query(
+      "SELECT COUNT(*) FROM STXL WHERE TDNAME = '" + Vbeln(extra.orderkey) +
+      "'");
+  ASSERT_TRUE(texts.ok());
+  EXPECT_EQ(texts.value().rows[0][0].AsInt(), 0);
+}
+
+}  // namespace
+}  // namespace sap
+}  // namespace r3

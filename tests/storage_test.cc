@@ -1,0 +1,317 @@
+// Storage-engine tests: slotted pages, heap files, and the buffer pool
+// (eviction, pinning, sequential/random classification, cost charging).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rdbms/storage/buffer_pool.h"
+#include "rdbms/storage/heap_file.h"
+#include "rdbms/storage/page.h"
+
+namespace r3 {
+namespace rdbms {
+namespace {
+
+#define ASSERT_OK(expr)                        \
+  do {                                         \
+    ::r3::Status _st = (expr);                 \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();   \
+  } while (false)
+
+// ---------------------------------------------------------------------------
+// SlottedPage
+// ---------------------------------------------------------------------------
+
+class SlottedPageTest : public ::testing::Test {
+ protected:
+  SlottedPageTest() : page_(buf_) { page_.Init(); }
+  char buf_[kPageSize] = {};
+  SlottedPage page_;
+};
+
+TEST_F(SlottedPageTest, InsertAndRead) {
+  auto s1 = page_.Insert("hello");
+  auto s2 = page_.Insert("world!");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(page_.Read(s1.value()).value(), "hello");
+  EXPECT_EQ(page_.Read(s2.value()).value(), "world!");
+  EXPECT_EQ(page_.slot_count(), 2);
+}
+
+TEST_F(SlottedPageTest, DeleteMarksSlot) {
+  uint16_t s = page_.Insert("x").value();
+  ASSERT_OK(page_.Delete(s));
+  EXPECT_FALSE(page_.IsLive(s));
+  EXPECT_FALSE(page_.Read(s).ok());
+  EXPECT_FALSE(page_.Delete(s).ok());  // double delete
+}
+
+TEST_F(SlottedPageTest, UpdateInPlaceAndGrow) {
+  uint16_t s = page_.Insert("abcdef").value();
+  ASSERT_OK(page_.Update(s, "xy"));  // shrink in place
+  EXPECT_EQ(page_.Read(s).value(), "xy");
+  ASSERT_OK(page_.Update(s, std::string(100, 'q')));  // grow, relocate
+  EXPECT_EQ(page_.Read(s).value(), std::string(100, 'q'));
+}
+
+TEST_F(SlottedPageTest, FillsUntilFull) {
+  std::string rec(100, 'r');
+  int inserted = 0;
+  while (true) {
+    auto s = page_.Insert(rec);
+    if (!s.ok()) break;
+    ++inserted;
+  }
+  // 8 KiB / (100 bytes + 4-byte slot) ~ 78.
+  EXPECT_GT(inserted, 70);
+  EXPECT_LT(inserted, 85);
+}
+
+TEST_F(SlottedPageTest, CompactionReclaimsDeletedSpace) {
+  std::string rec(400, 'a');
+  std::vector<uint16_t> slots;
+  while (true) {
+    auto s = page_.Insert(rec);
+    if (!s.ok()) break;
+    slots.push_back(s.value());
+  }
+  // Delete every other record; a new insert must succeed via compaction.
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_OK(page_.Delete(slots[i]));
+  }
+  auto s = page_.Insert(std::string(600, 'b'));
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  // Survivors must be intact after compaction.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    EXPECT_EQ(page_.Read(slots[i]).value(), rec);
+  }
+}
+
+TEST_F(SlottedPageTest, OversizeRecordRejected) {
+  EXPECT_FALSE(page_.Insert(std::string(kPageSize, 'x')).ok());
+}
+
+TEST_F(SlottedPageTest, LiveBytesAccounting) {
+  page_.Insert("12345").value();
+  uint16_t s = page_.Insert("678").value();
+  EXPECT_EQ(page_.LiveBytes(), 8u);
+  ASSERT_OK(page_.Delete(s));
+  EXPECT_EQ(page_.LiveBytes(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Disk
+// ---------------------------------------------------------------------------
+
+TEST(DiskTest, FileAndPageLifecycle) {
+  Disk disk;
+  uint32_t f = disk.CreateFile();
+  EXPECT_EQ(disk.FilePages(f).value(), 0u);
+  uint32_t p = disk.AllocatePage(f).value();
+  EXPECT_EQ(p, 0u);
+  char w[kPageSize] = {};
+  w[0] = 'z';
+  ASSERT_OK(disk.WritePage(PageId{f, p}, w));
+  char r[kPageSize] = {};
+  ASSERT_OK(disk.ReadPage(PageId{f, p}, r));
+  EXPECT_EQ(r[0], 'z');
+  EXPECT_EQ(disk.FileSizeBytes(f).value(), kPageSize);
+  ASSERT_OK(disk.TruncateFile(f));
+  EXPECT_EQ(disk.FilePages(f).value(), 0u);
+}
+
+TEST(DiskTest, BadIdsRejected) {
+  Disk disk;
+  char buf[kPageSize];
+  EXPECT_FALSE(disk.ReadPage(PageId{0, 0}, buf).ok());
+  EXPECT_FALSE(disk.AllocatePage(9).ok());
+  uint32_t f = disk.CreateFile();
+  EXPECT_FALSE(disk.ReadPage(PageId{f, 5}, buf).ok());
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() : pool_(&disk_, &clock_, 16 * kPageSize) {
+    file_ = disk_.CreateFile();
+  }
+  Disk disk_;
+  SimClock clock_;
+  BufferPool pool_;
+  uint32_t file_ = 0;
+};
+
+TEST_F(BufferPoolTest, NewPageThenFetchHits) {
+  uint32_t pn = 0;
+  {
+    auto h = pool_.NewPage(file_, &pn);
+    ASSERT_TRUE(h.ok());
+    h.value().data()[0] = 'a';
+    h.value().MarkDirty();
+  }
+  auto h2 = pool_.FetchPage(PageId{file_, pn});
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(h2.value().data()[0], 'a');
+  EXPECT_EQ(pool_.stats().physical_reads, 0u);  // still resident
+}
+
+TEST_F(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  // Fill beyond capacity; first pages get evicted and must survive on disk.
+  for (int i = 0; i < 40; ++i) {
+    uint32_t pn = 0;
+    auto h = pool_.NewPage(file_, &pn);
+    ASSERT_TRUE(h.ok());
+    h.value().data()[0] = static_cast<char>('A' + i % 26);
+    h.value().MarkDirty();
+  }
+  for (int i = 0; i < 40; ++i) {
+    auto h = pool_.FetchPage(PageId{file_, static_cast<uint32_t>(i)});
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h.value().data()[0], static_cast<char>('A' + i % 26)) << i;
+  }
+  EXPECT_GT(pool_.stats().physical_reads, 0u);
+  EXPECT_GT(pool_.stats().page_writes, 0u);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  uint32_t pn = 0;
+  auto pinned = pool_.NewPage(file_, &pn);
+  ASSERT_TRUE(pinned.ok());
+  pinned.value().data()[7] = 'P';
+  // Thrash the pool.
+  for (int i = 0; i < 64; ++i) {
+    uint32_t other = 0;
+    ASSERT_TRUE(pool_.NewPage(file_, &other).ok());
+  }
+  EXPECT_EQ(pinned.value().data()[7], 'P');
+}
+
+TEST_F(BufferPoolTest, ExhaustionWhenAllPinned) {
+  std::vector<PageHandle> handles;
+  for (int i = 0; i < 16; ++i) {
+    uint32_t pn = 0;
+    auto h = pool_.NewPage(file_, &pn);
+    ASSERT_TRUE(h.ok());
+    handles.push_back(std::move(h).value());
+  }
+  uint32_t pn = 0;
+  EXPECT_FALSE(pool_.NewPage(file_, &pn).ok());
+}
+
+TEST_F(BufferPoolTest, SequentialVsRandomClassification) {
+  for (int i = 0; i < 8; ++i) {
+    uint32_t pn = 0;
+    ASSERT_TRUE(pool_.NewPage(file_, &pn).ok());
+  }
+  ASSERT_OK(pool_.Reset());  // flush + drop, so fetches hit the disk
+  pool_.ResetStats();
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool_.FetchPage(PageId{file_, i}).ok());
+  }
+  // First fetch is random, the following 7 sequential.
+  EXPECT_EQ(pool_.stats().random_reads, 1u);
+  EXPECT_EQ(pool_.stats().sequential_reads, 7u);
+
+  ASSERT_OK(pool_.Reset());
+  pool_.ResetStats();
+  int64_t before = clock_.NowMicros();
+  for (uint32_t i = 8; i-- > 0;) {
+    ASSERT_TRUE(pool_.FetchPage(PageId{file_, i}).ok());
+  }
+  EXPECT_EQ(pool_.stats().random_reads, 8u);
+  // Random reads charge more than sequential ones would have.
+  EXPECT_GE(clock_.NowMicros() - before,
+            8 * clock_.model().random_page_read_us);
+}
+
+TEST_F(BufferPoolTest, HitRatioStat) {
+  uint32_t pn = 0;
+  ASSERT_TRUE(pool_.NewPage(file_, &pn).ok());
+  pool_.ResetStats();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pool_.FetchPage(PageId{file_, pn}).ok());
+  }
+  EXPECT_DOUBLE_EQ(pool_.stats().HitRatio(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// HeapFile
+// ---------------------------------------------------------------------------
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  HeapFileTest()
+      : pool_(&disk_, &clock_, 64 * kPageSize),
+        heap_(&pool_, disk_.CreateFile()) {}
+  Disk disk_;
+  SimClock clock_;
+  BufferPool pool_;
+  HeapFile heap_;
+};
+
+TEST_F(HeapFileTest, InsertGetDelete) {
+  Rid rid = heap_.Insert("record-1").value();
+  std::string out;
+  ASSERT_OK(heap_.Get(rid, &out));
+  EXPECT_EQ(out, "record-1");
+  ASSERT_OK(heap_.Delete(rid));
+  EXPECT_FALSE(heap_.Get(rid, &out).ok());
+}
+
+TEST_F(HeapFileTest, SpansManyPages) {
+  std::string rec(1000, 'x');
+  std::vector<Rid> rids;
+  for (int i = 0; i < 100; ++i) {
+    rids.push_back(heap_.Insert(rec + std::to_string(i)).value());
+  }
+  EXPECT_GT(heap_.NumPages().value(), 10u);
+  std::string out;
+  ASSERT_OK(heap_.Get(rids[55], &out));
+  EXPECT_EQ(out, rec + "55");
+}
+
+TEST_F(HeapFileTest, IteratorSeesLiveRecordsOnly) {
+  std::vector<Rid> rids;
+  for (int i = 0; i < 20; ++i) {
+    rids.push_back(heap_.Insert("r" + std::to_string(i)).value());
+  }
+  ASSERT_OK(heap_.Delete(rids[3]));
+  ASSERT_OK(heap_.Delete(rids[17]));
+  HeapFile::Iterator it(&heap_);
+  Rid rid;
+  std::string rec;
+  int seen = 0;
+  while (it.Next(&rid, &rec).value()) {
+    EXPECT_NE(rec, "r3");
+    EXPECT_NE(rec, "r17");
+    ++seen;
+  }
+  EXPECT_EQ(seen, 18);
+}
+
+TEST_F(HeapFileTest, UpdateMayRelocate) {
+  // Fill a page tightly, then grow one record beyond its page.
+  std::vector<Rid> rids;
+  for (int i = 0; i < 7; ++i) {
+    rids.push_back(heap_.Insert(std::string(1000, 'a')).value());
+  }
+  Rid moved = heap_.Update(rids[0], std::string(7000, 'b')).value();
+  std::string out;
+  ASSERT_OK(heap_.Get(moved, &out));
+  EXPECT_EQ(out.size(), 7000u);
+  EXPECT_EQ(out[0], 'b');
+}
+
+TEST_F(HeapFileTest, RidPackUnpack) {
+  Rid rid{123456, 789};
+  Rid back = Rid::Unpack(rid.Pack());
+  EXPECT_EQ(back, rid);
+}
+
+}  // namespace
+}  // namespace rdbms
+}  // namespace r3

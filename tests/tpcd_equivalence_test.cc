@@ -1,0 +1,170 @@
+// The central correctness property of the reproduction: all four
+// implementation strategies (isolated RDBMS, Native SQL, Open SQL 2.2,
+// Open SQL 3.0) produce equivalent answers for every TPC-D query.
+#include <gtest/gtest.h>
+
+#include "sap/loader.h"
+#include "sap/schema.h"
+#include "sap/views.h"
+#include "tpcd/loader.h"
+#include "tpcd/queries.h"
+#include "tpcd/schema.h"
+#include "tpcd/update_functions.h"
+#include "tpcd/validate.h"
+
+namespace r3 {
+namespace tpcd {
+namespace {
+
+constexpr double kSf = 0.002;
+
+#define ASSERT_OK(expr)                        \
+  do {                                         \
+    ::r3::Status _st = (expr);                 \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();   \
+  } while (false)
+
+/// Queries whose output order is fully specified (compare ordered).
+bool OrderedOutput(int q) {
+  switch (q) {
+    case 1:
+    case 4:
+    case 12:
+    case 13:
+      return true;  // deterministic single-column sorts
+    default:
+      return false;  // ties on float sort keys make order ambiguous
+  }
+}
+
+struct Fixture {
+  std::unique_ptr<rdbms::Database> rdbms_db;
+  std::unique_ptr<appsys::R3System> sap22;
+  std::unique_ptr<appsys::R3System> sap30;
+  std::unique_ptr<DbGen> gen;
+  QueryParams params;
+
+  std::unique_ptr<IQuerySet> q_rdbms;
+  std::unique_ptr<IQuerySet> q_native22;
+  std::unique_ptr<IQuerySet> q_open22;
+  std::unique_ptr<IQuerySet> q_native30;
+  std::unique_ptr<IQuerySet> q_open30;
+
+  static Fixture* Get() {
+    static Fixture* instance = []() {
+      auto* f = new Fixture();
+      f->Setup();
+      return f;
+    }();
+    return instance;
+  }
+
+  void Setup() {
+    gen = std::make_unique<DbGen>(kSf);
+    params = QueryParams::Defaults(kSf);
+
+    rdbms_db = std::make_unique<rdbms::Database>();
+    ASSERT_OK(CreateTpcdSchema(rdbms_db.get()));
+    ASSERT_OK(LoadTpcdDatabase(rdbms_db.get(), gen.get()));
+    q_rdbms = MakeRdbmsQuerySet(rdbms_db.get());
+
+    auto make_sap = [&](appsys::Release release)
+        -> std::unique_ptr<appsys::R3System> {
+      appsys::AppServerOptions opts;
+      opts.release = release;
+      auto sys = std::make_unique<appsys::R3System>(opts);
+      Status st = sys->app.Bootstrap();
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      st = sap::CreateSapSchema(&sys->app);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      st = sap::CreateJoinViews(&sys->app);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      sap::SapLoader loader(&sys->app, gen.get());
+      st = loader.FastLoadAll();
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      return sys;
+    };
+    sap22 = make_sap(appsys::Release::kRelease22);
+    q_native22 = MakeNativeQuerySet(&sap22->app);
+    q_open22 = MakeOpen22QuerySet(&sap22->app);
+
+    sap30 = make_sap(appsys::Release::kRelease30);
+    Status st = sap30->app.dictionary()->ConvertToTransparent(
+        "KONV", appsys::Release::kRelease30);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    q_native30 = MakeNativeQuerySet(&sap30->app);
+    q_open30 = MakeOpen30QuerySet(&sap30->app);
+  }
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EquivalenceTest, AllVariantsAgree) {
+  int q = GetParam();
+  Fixture* f = Fixture::Get();
+
+  auto reference = f->q_rdbms->RunQuery(q, f->params);
+  ASSERT_TRUE(reference.ok()) << "rdbms Q" << q << ": "
+                              << reference.status().ToString();
+
+  struct VariantRef {
+    const char* name;
+    IQuerySet* set;
+  };
+  VariantRef variants[] = {
+      {"native22", f->q_native22.get()},
+      {"open22", f->q_open22.get()},
+      {"native30", f->q_native30.get()},
+      {"open30", f->q_open30.get()},
+  };
+  for (const VariantRef& v : variants) {
+    auto res = v.set->RunQuery(q, f->params);
+    ASSERT_TRUE(res.ok()) << v.name << " Q" << q << ": "
+                          << res.status().ToString();
+    std::string diff;
+    EXPECT_TRUE(ResultsEquivalent(reference.value(), res.value(),
+                                  OrderedOutput(q), &diff))
+        << v.name << " Q" << q << " differs from rdbms: " << diff
+        << "\n(reference rows=" << reference.value().rows.size()
+        << ", variant rows=" << res.value().rows.size() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, EquivalenceTest,
+                         ::testing::Range(1, kNumQueries + 1),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+TEST(UpdateFunctionsTest, Uf1ThenUf2RestoresCounts) {
+  Fixture* f = Fixture::Get();
+  int64_t count = UpdateFunctionCount(*f->gen);
+
+  auto order_count = [&](rdbms::Database* db) -> int64_t {
+    auto res = db->Query("SELECT COUNT(*) FROM ORDERS");
+    EXPECT_TRUE(res.ok());
+    return res.value().rows[0][0].AsInt();
+  };
+  int64_t before = order_count(f->rdbms_db.get());
+  ASSERT_OK(RunUf1Rdbms(f->rdbms_db.get(), f->gen.get(), count));
+  EXPECT_EQ(order_count(f->rdbms_db.get()), before + count);
+  ASSERT_OK(RunUf2Rdbms(f->rdbms_db.get(), f->gen.get(), count));
+  EXPECT_EQ(order_count(f->rdbms_db.get()), before);
+
+  // SAP side via batch input.
+  auto vbak_count = [&](appsys::R3System* sys) -> int64_t {
+    auto res = sys->db.Query("SELECT COUNT(*) FROM VBAK");
+    EXPECT_TRUE(res.ok());
+    return res.value().rows[0][0].AsInt();
+  };
+  sap::SapLoader loader(&f->sap30->app, f->gen.get());
+  int64_t sap_before = vbak_count(f->sap30.get());
+  ASSERT_OK(RunUf1Sap(&loader, count));
+  EXPECT_EQ(vbak_count(f->sap30.get()), sap_before + count);
+  ASSERT_OK(RunUf2Sap(&loader, count));
+  EXPECT_EQ(vbak_count(f->sap30.get()), sap_before);
+}
+
+}  // namespace
+}  // namespace tpcd
+}  // namespace r3

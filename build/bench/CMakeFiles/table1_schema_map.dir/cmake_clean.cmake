@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_schema_map.dir/table1_schema_map.cc.o"
+  "CMakeFiles/table1_schema_map.dir/table1_schema_map.cc.o.d"
+  "table1_schema_map"
+  "table1_schema_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_schema_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

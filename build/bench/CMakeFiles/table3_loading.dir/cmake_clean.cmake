@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_loading.dir/table3_loading.cc.o"
+  "CMakeFiles/table3_loading.dir/table3_loading.cc.o.d"
+  "table3_loading"
+  "table3_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_power_r22.dir/table4_power_r22.cc.o"
+  "CMakeFiles/table4_power_r22.dir/table4_power_r22.cc.o.d"
+  "table4_power_r22"
+  "table4_power_r22.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_power_r22.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

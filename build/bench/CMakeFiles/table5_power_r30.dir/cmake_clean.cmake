@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_power_r30.dir/table5_power_r30.cc.o"
+  "CMakeFiles/table5_power_r30.dir/table5_power_r30.cc.o.d"
+  "table5_power_r30"
+  "table5_power_r30.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_power_r30.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

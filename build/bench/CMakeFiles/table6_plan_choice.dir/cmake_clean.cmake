@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_plan_choice.dir/table6_plan_choice.cc.o"
+  "CMakeFiles/table6_plan_choice.dir/table6_plan_choice.cc.o.d"
+  "table6_plan_choice"
+  "table6_plan_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_plan_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_aggregation.dir/table7_aggregation.cc.o"
+  "CMakeFiles/table7_aggregation.dir/table7_aggregation.cc.o.d"
+  "table7_aggregation"
+  "table7_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_caching.dir/table8_caching.cc.o"
+  "CMakeFiles/table8_caching.dir/table8_caching.cc.o.d"
+  "table8_caching"
+  "table8_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_warehouse.dir/table9_warehouse.cc.o"
+  "CMakeFiles/table9_warehouse.dir/table9_warehouse.cc.o.d"
+  "table9_warehouse"
+  "table9_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

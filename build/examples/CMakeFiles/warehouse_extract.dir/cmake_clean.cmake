@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_extract.dir/warehouse_extract.cpp.o"
+  "CMakeFiles/warehouse_extract.dir/warehouse_extract.cpp.o.d"
+  "warehouse_extract"
+  "warehouse_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/appsys/app_server.cc" "src/CMakeFiles/r3_appsys.dir/appsys/app_server.cc.o" "gcc" "src/CMakeFiles/r3_appsys.dir/appsys/app_server.cc.o.d"
+  "/root/repo/src/appsys/batch_input.cc" "src/CMakeFiles/r3_appsys.dir/appsys/batch_input.cc.o" "gcc" "src/CMakeFiles/r3_appsys.dir/appsys/batch_input.cc.o.d"
+  "/root/repo/src/appsys/connection.cc" "src/CMakeFiles/r3_appsys.dir/appsys/connection.cc.o" "gcc" "src/CMakeFiles/r3_appsys.dir/appsys/connection.cc.o.d"
+  "/root/repo/src/appsys/data_dictionary.cc" "src/CMakeFiles/r3_appsys.dir/appsys/data_dictionary.cc.o" "gcc" "src/CMakeFiles/r3_appsys.dir/appsys/data_dictionary.cc.o.d"
+  "/root/repo/src/appsys/native_sql.cc" "src/CMakeFiles/r3_appsys.dir/appsys/native_sql.cc.o" "gcc" "src/CMakeFiles/r3_appsys.dir/appsys/native_sql.cc.o.d"
+  "/root/repo/src/appsys/open_sql.cc" "src/CMakeFiles/r3_appsys.dir/appsys/open_sql.cc.o" "gcc" "src/CMakeFiles/r3_appsys.dir/appsys/open_sql.cc.o.d"
+  "/root/repo/src/appsys/report.cc" "src/CMakeFiles/r3_appsys.dir/appsys/report.cc.o" "gcc" "src/CMakeFiles/r3_appsys.dir/appsys/report.cc.o.d"
+  "/root/repo/src/appsys/table_buffer.cc" "src/CMakeFiles/r3_appsys.dir/appsys/table_buffer.cc.o" "gcc" "src/CMakeFiles/r3_appsys.dir/appsys/table_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/r3_rdbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/r3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r3_appsys.dir/appsys/app_server.cc.o"
+  "CMakeFiles/r3_appsys.dir/appsys/app_server.cc.o.d"
+  "CMakeFiles/r3_appsys.dir/appsys/batch_input.cc.o"
+  "CMakeFiles/r3_appsys.dir/appsys/batch_input.cc.o.d"
+  "CMakeFiles/r3_appsys.dir/appsys/connection.cc.o"
+  "CMakeFiles/r3_appsys.dir/appsys/connection.cc.o.d"
+  "CMakeFiles/r3_appsys.dir/appsys/data_dictionary.cc.o"
+  "CMakeFiles/r3_appsys.dir/appsys/data_dictionary.cc.o.d"
+  "CMakeFiles/r3_appsys.dir/appsys/native_sql.cc.o"
+  "CMakeFiles/r3_appsys.dir/appsys/native_sql.cc.o.d"
+  "CMakeFiles/r3_appsys.dir/appsys/open_sql.cc.o"
+  "CMakeFiles/r3_appsys.dir/appsys/open_sql.cc.o.d"
+  "CMakeFiles/r3_appsys.dir/appsys/report.cc.o"
+  "CMakeFiles/r3_appsys.dir/appsys/report.cc.o.d"
+  "CMakeFiles/r3_appsys.dir/appsys/table_buffer.cc.o"
+  "CMakeFiles/r3_appsys.dir/appsys/table_buffer.cc.o.d"
+  "libr3_appsys.a"
+  "libr3_appsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r3_appsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

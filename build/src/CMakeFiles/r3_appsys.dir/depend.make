@@ -1,0 +1,2 @@
+# Empty dependencies file for r3_appsys.
+# This may be replaced when dependencies are built.

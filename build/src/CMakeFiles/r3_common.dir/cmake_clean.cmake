@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r3_common.dir/common/date.cc.o"
+  "CMakeFiles/r3_common.dir/common/date.cc.o.d"
+  "CMakeFiles/r3_common.dir/common/rng.cc.o"
+  "CMakeFiles/r3_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/r3_common.dir/common/sim_clock.cc.o"
+  "CMakeFiles/r3_common.dir/common/sim_clock.cc.o.d"
+  "CMakeFiles/r3_common.dir/common/status.cc.o"
+  "CMakeFiles/r3_common.dir/common/status.cc.o.d"
+  "CMakeFiles/r3_common.dir/common/str_util.cc.o"
+  "CMakeFiles/r3_common.dir/common/str_util.cc.o.d"
+  "libr3_common.a"
+  "libr3_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r3_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdbms/catalog.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/catalog.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/catalog.cc.o.d"
+  "/root/repo/src/rdbms/db.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/db.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/db.cc.o.d"
+  "/root/repo/src/rdbms/exec/agg_ops.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/exec/agg_ops.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/exec/agg_ops.cc.o.d"
+  "/root/repo/src/rdbms/exec/executor.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/exec/executor.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/exec/executor.cc.o.d"
+  "/root/repo/src/rdbms/exec/join_ops.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/exec/join_ops.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/exec/join_ops.cc.o.d"
+  "/root/repo/src/rdbms/exec/sort_ops.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/exec/sort_ops.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/exec/sort_ops.cc.o.d"
+  "/root/repo/src/rdbms/expr/eval.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/expr/eval.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/expr/eval.cc.o.d"
+  "/root/repo/src/rdbms/expr/expr.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/expr/expr.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/expr/expr.cc.o.d"
+  "/root/repo/src/rdbms/index/btree.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/index/btree.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/index/btree.cc.o.d"
+  "/root/repo/src/rdbms/index/key_codec.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/index/key_codec.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/index/key_codec.cc.o.d"
+  "/root/repo/src/rdbms/optimizer/optimizer.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/rdbms/optimizer/stats.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/optimizer/stats.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/optimizer/stats.cc.o.d"
+  "/root/repo/src/rdbms/plan/logical_plan.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/plan/logical_plan.cc.o.d"
+  "/root/repo/src/rdbms/row.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/row.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/row.cc.o.d"
+  "/root/repo/src/rdbms/schema.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/schema.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/schema.cc.o.d"
+  "/root/repo/src/rdbms/sql/ast.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/sql/ast.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/sql/ast.cc.o.d"
+  "/root/repo/src/rdbms/sql/binder.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/sql/binder.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/sql/binder.cc.o.d"
+  "/root/repo/src/rdbms/sql/lexer.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/sql/lexer.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/sql/lexer.cc.o.d"
+  "/root/repo/src/rdbms/sql/parser.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/sql/parser.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/sql/parser.cc.o.d"
+  "/root/repo/src/rdbms/storage/buffer_pool.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/rdbms/storage/disk.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/storage/disk.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/storage/disk.cc.o.d"
+  "/root/repo/src/rdbms/storage/heap_file.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/storage/heap_file.cc.o.d"
+  "/root/repo/src/rdbms/storage/page.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/storage/page.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/storage/page.cc.o.d"
+  "/root/repo/src/rdbms/value.cc" "src/CMakeFiles/r3_rdbms.dir/rdbms/value.cc.o" "gcc" "src/CMakeFiles/r3_rdbms.dir/rdbms/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/r3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for r3_rdbms.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sap/loader.cc" "src/CMakeFiles/r3_sap.dir/sap/loader.cc.o" "gcc" "src/CMakeFiles/r3_sap.dir/sap/loader.cc.o.d"
+  "/root/repo/src/sap/schema.cc" "src/CMakeFiles/r3_sap.dir/sap/schema.cc.o" "gcc" "src/CMakeFiles/r3_sap.dir/sap/schema.cc.o.d"
+  "/root/repo/src/sap/views.cc" "src/CMakeFiles/r3_sap.dir/sap/views.cc.o" "gcc" "src/CMakeFiles/r3_sap.dir/sap/views.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/r3_appsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/r3_rdbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/r3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r3_sap.dir/sap/loader.cc.o"
+  "CMakeFiles/r3_sap.dir/sap/loader.cc.o.d"
+  "CMakeFiles/r3_sap.dir/sap/schema.cc.o"
+  "CMakeFiles/r3_sap.dir/sap/schema.cc.o.d"
+  "CMakeFiles/r3_sap.dir/sap/views.cc.o"
+  "CMakeFiles/r3_sap.dir/sap/views.cc.o.d"
+  "libr3_sap.a"
+  "libr3_sap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r3_sap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libr3_sap.a"
+)

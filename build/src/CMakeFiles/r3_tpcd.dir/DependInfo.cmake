@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpcd/dbgen.cc" "src/CMakeFiles/r3_tpcd.dir/tpcd/dbgen.cc.o" "gcc" "src/CMakeFiles/r3_tpcd.dir/tpcd/dbgen.cc.o.d"
+  "/root/repo/src/tpcd/loader.cc" "src/CMakeFiles/r3_tpcd.dir/tpcd/loader.cc.o" "gcc" "src/CMakeFiles/r3_tpcd.dir/tpcd/loader.cc.o.d"
+  "/root/repo/src/tpcd/power_test.cc" "src/CMakeFiles/r3_tpcd.dir/tpcd/power_test.cc.o" "gcc" "src/CMakeFiles/r3_tpcd.dir/tpcd/power_test.cc.o.d"
+  "/root/repo/src/tpcd/qgen.cc" "src/CMakeFiles/r3_tpcd.dir/tpcd/qgen.cc.o" "gcc" "src/CMakeFiles/r3_tpcd.dir/tpcd/qgen.cc.o.d"
+  "/root/repo/src/tpcd/queries_native.cc" "src/CMakeFiles/r3_tpcd.dir/tpcd/queries_native.cc.o" "gcc" "src/CMakeFiles/r3_tpcd.dir/tpcd/queries_native.cc.o.d"
+  "/root/repo/src/tpcd/queries_open22.cc" "src/CMakeFiles/r3_tpcd.dir/tpcd/queries_open22.cc.o" "gcc" "src/CMakeFiles/r3_tpcd.dir/tpcd/queries_open22.cc.o.d"
+  "/root/repo/src/tpcd/queries_open30.cc" "src/CMakeFiles/r3_tpcd.dir/tpcd/queries_open30.cc.o" "gcc" "src/CMakeFiles/r3_tpcd.dir/tpcd/queries_open30.cc.o.d"
+  "/root/repo/src/tpcd/queries_rdbms.cc" "src/CMakeFiles/r3_tpcd.dir/tpcd/queries_rdbms.cc.o" "gcc" "src/CMakeFiles/r3_tpcd.dir/tpcd/queries_rdbms.cc.o.d"
+  "/root/repo/src/tpcd/schema.cc" "src/CMakeFiles/r3_tpcd.dir/tpcd/schema.cc.o" "gcc" "src/CMakeFiles/r3_tpcd.dir/tpcd/schema.cc.o.d"
+  "/root/repo/src/tpcd/update_functions.cc" "src/CMakeFiles/r3_tpcd.dir/tpcd/update_functions.cc.o" "gcc" "src/CMakeFiles/r3_tpcd.dir/tpcd/update_functions.cc.o.d"
+  "/root/repo/src/tpcd/validate.cc" "src/CMakeFiles/r3_tpcd.dir/tpcd/validate.cc.o" "gcc" "src/CMakeFiles/r3_tpcd.dir/tpcd/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/r3_sap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/r3_appsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/r3_rdbms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/r3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

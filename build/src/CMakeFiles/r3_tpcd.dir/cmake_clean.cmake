@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r3_tpcd.dir/tpcd/dbgen.cc.o"
+  "CMakeFiles/r3_tpcd.dir/tpcd/dbgen.cc.o.d"
+  "CMakeFiles/r3_tpcd.dir/tpcd/loader.cc.o"
+  "CMakeFiles/r3_tpcd.dir/tpcd/loader.cc.o.d"
+  "CMakeFiles/r3_tpcd.dir/tpcd/power_test.cc.o"
+  "CMakeFiles/r3_tpcd.dir/tpcd/power_test.cc.o.d"
+  "CMakeFiles/r3_tpcd.dir/tpcd/qgen.cc.o"
+  "CMakeFiles/r3_tpcd.dir/tpcd/qgen.cc.o.d"
+  "CMakeFiles/r3_tpcd.dir/tpcd/queries_native.cc.o"
+  "CMakeFiles/r3_tpcd.dir/tpcd/queries_native.cc.o.d"
+  "CMakeFiles/r3_tpcd.dir/tpcd/queries_open22.cc.o"
+  "CMakeFiles/r3_tpcd.dir/tpcd/queries_open22.cc.o.d"
+  "CMakeFiles/r3_tpcd.dir/tpcd/queries_open30.cc.o"
+  "CMakeFiles/r3_tpcd.dir/tpcd/queries_open30.cc.o.d"
+  "CMakeFiles/r3_tpcd.dir/tpcd/queries_rdbms.cc.o"
+  "CMakeFiles/r3_tpcd.dir/tpcd/queries_rdbms.cc.o.d"
+  "CMakeFiles/r3_tpcd.dir/tpcd/schema.cc.o"
+  "CMakeFiles/r3_tpcd.dir/tpcd/schema.cc.o.d"
+  "CMakeFiles/r3_tpcd.dir/tpcd/update_functions.cc.o"
+  "CMakeFiles/r3_tpcd.dir/tpcd/update_functions.cc.o.d"
+  "CMakeFiles/r3_tpcd.dir/tpcd/validate.cc.o"
+  "CMakeFiles/r3_tpcd.dir/tpcd/validate.cc.o.d"
+  "libr3_tpcd.a"
+  "libr3_tpcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r3_tpcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r3_warehouse.dir/warehouse/extract.cc.o"
+  "CMakeFiles/r3_warehouse.dir/warehouse/extract.cc.o.d"
+  "libr3_warehouse.a"
+  "libr3_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r3_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appsys_test.dir/appsys_test.cc.o"
+  "CMakeFiles/appsys_test.dir/appsys_test.cc.o.d"
+  "appsys_test"
+  "appsys_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appsys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for appsys_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbgen_test.dir/dbgen_test.cc.o"
+  "CMakeFiles/dbgen_test.dir/dbgen_test.cc.o.d"
+  "dbgen_test"
+  "dbgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdbms_sql_test.dir/rdbms_sql_test.cc.o"
+  "CMakeFiles/rdbms_sql_test.dir/rdbms_sql_test.cc.o.d"
+  "rdbms_sql_test"
+  "rdbms_sql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdbms_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sap_schema_test.dir/sap_schema_test.cc.o"
+  "CMakeFiles/sap_schema_test.dir/sap_schema_test.cc.o.d"
+  "sap_schema_test"
+  "sap_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sap_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "common/cost_model.h"
 
@@ -13,16 +15,44 @@ namespace r3 {
 /// All layers charge their simulated costs here. One SimClock instance is
 /// shared by a Database and the AppServer running on top of it, so simulated
 /// times compose across the tiers exactly like wall-clock time would.
+///
+/// Parallel execution uses per-worker *lanes*: a worker thread enters a lane
+/// (EnterLane), after which every Charge() made on that thread accumulates
+/// into the lane instead of the shared clock. At the gather barrier the
+/// coordinator merges the lanes as max(lane elapsed) — critical-path
+/// accounting, so simulated time models parallel speedup deterministically
+/// regardless of how the OS actually scheduled the workers.
 class SimClock {
  public:
+  /// Per-worker charge accumulator. Each lane also carries its own
+  /// sequential-read detection state (file -> last page read), so a worker's
+  /// read stream is classified independently of interleaving with other
+  /// workers' reads.
+  struct Lane {
+    int64_t elapsed_us = 0;
+    std::unordered_map<uint32_t, uint32_t> last_read_page;
+
+    void Reset() {
+      elapsed_us = 0;
+      last_read_page.clear();
+    }
+  };
+
   explicit SimClock(const CostModel& model = DefaultCostModel())
       : model_(model) {}
 
   SimClock(const SimClock&) = delete;
   SimClock& operator=(const SimClock&) = delete;
 
-  /// Adds `us` microseconds of simulated elapsed time.
-  void Charge(int64_t us) { now_us_ += us; }
+  /// Adds `us` microseconds of simulated elapsed time — to the calling
+  /// thread's active lane if one is set, else to the shared clock.
+  void Charge(int64_t us) {
+    if (Lane* lane = tl_active_lane_) {
+      lane->elapsed_us += us;
+    } else {
+      now_us_ += us;
+    }
+  }
 
   void ChargeSeqPageRead() { Charge(model_.seq_page_read_us); }
   void ChargeRandomPageRead() { Charge(model_.random_page_read_us); }
@@ -35,6 +65,23 @@ class SimClock {
   void ChargeBufferProbe() { Charge(model_.app_buffer_probe_us); }
   void ChargeBatchInputStep() { Charge(model_.batch_input_step_us); }
 
+  /// Routes subsequent Charge() calls on the *calling thread* into `lane`.
+  static void EnterLane(Lane* lane) { tl_active_lane_ = lane; }
+  static void ExitLane() { tl_active_lane_ = nullptr; }
+  static Lane* active_lane() { return tl_active_lane_; }
+
+  /// Advances the shared clock by the slowest lane (the critical path of a
+  /// parallel region). Must be called with no lane active on this thread.
+  void MergeLanes(const std::vector<Lane>& lanes) {
+    int64_t critical_path_us = 0;
+    for (const Lane& lane : lanes) {
+      if (lane.elapsed_us > critical_path_us) {
+        critical_path_us = lane.elapsed_us;
+      }
+    }
+    now_us_ += critical_path_us;
+  }
+
   /// Current simulated time in microseconds since construction/reset.
   int64_t NowMicros() const { return now_us_; }
 
@@ -45,6 +92,17 @@ class SimClock {
  private:
   const CostModel model_;
   int64_t now_us_ = 0;
+  static thread_local Lane* tl_active_lane_;
+};
+
+/// RAII lane scope for worker threads.
+class LaneScope {
+ public:
+  explicit LaneScope(SimClock::Lane* lane) { SimClock::EnterLane(lane); }
+  ~LaneScope() { SimClock::ExitLane(); }
+
+  LaneScope(const LaneScope&) = delete;
+  LaneScope& operator=(const LaneScope&) = delete;
 };
 
 /// Measures a span of simulated time: `SimTimer t(clock); ...; t.ElapsedUs()`.

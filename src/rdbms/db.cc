@@ -24,6 +24,16 @@ Database::Database(SimClock* clock, DatabaseOptions options)
                                        options_.buffer_pool_bytes);
   catalog_ = std::make_unique<Catalog>(pool_.get());
   options_.planner.work_mem_bytes = options_.work_mem_bytes;
+  options_.planner.dop = options_.dop;
+}
+
+void Database::set_dop(int dop) {
+  if (dop < 1) dop = 1;
+  if (dop == options_.dop) return;
+  options_.dop = dop;
+  options_.planner.dop = dop;
+  // Cached plans embed the old lane count; recompile on next use.
+  prepared_.clear();
 }
 
 ExecContext Database::MakeExecContext(SubqueryRunnerImpl* runner,
@@ -34,6 +44,7 @@ ExecContext Database::MakeExecContext(SubqueryRunnerImpl* runner,
   ctx.params = params;
   ctx.subqueries = runner;
   ctx.work_mem_bytes = options_.work_mem_bytes;
+  ctx.dop = options_.dop;
   return ctx;
 }
 
@@ -113,7 +124,7 @@ Status Database::ExecuteSelect(const SelectStmt& stmt,
   R3_ASSIGN_OR_RETURN(PhysicalPlan plan, opt.Plan(std::move(bq)));
 
   plan.runner->BindExecution(pool_.get(), clock_, &params,
-                             options_.work_mem_bytes);
+                             options_.work_mem_bytes, options_.dop);
   ExecContext ctx = MakeExecContext(plan.runner.get(), &params);
   result->schema = plan.output_schema;
   result->column_names = plan.column_names;
@@ -150,7 +161,7 @@ Result<PreparedStatement*> Database::Prepare(const std::string& sql) {
 Result<QueryResult> Database::ExecutePrepared(PreparedStatement* stmt,
                                               const std::vector<Value>& params) {
   stmt->plan_.runner->BindExecution(pool_.get(), clock_, &params,
-                                    options_.work_mem_bytes);
+                                    options_.work_mem_bytes, options_.dop);
   ExecContext ctx = MakeExecContext(stmt->plan_.runner.get(), &params);
   QueryResult result;
   result.schema = stmt->plan_.output_schema;

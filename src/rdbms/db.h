@@ -22,6 +22,10 @@ struct DatabaseOptions {
   /// its back-end (Section 3.3 of the paper); benches keep this setting.
   size_t buffer_pool_bytes = 10u << 20;
   size_t work_mem_bytes = 4u << 20;
+  /// Degree of intra-query parallelism (1 = serial, the paper's setting).
+  /// Copied into `planner.dop` at construction; change later via
+  /// Database::set_dop().
+  int dop = 1;
   PlannerOptions planner;
 };
 
@@ -69,6 +73,12 @@ class Database {
   BufferPool* pool() { return pool_.get(); }
   SimClock* clock() { return clock_; }
   const DatabaseOptions& options() const { return options_; }
+
+  /// Changes the degree of parallelism for subsequent statements. Plans fix
+  /// their lane count at compile time, so the prepared-statement cache is
+  /// invalidated.
+  void set_dop(int dop);
+  int dop() const { return options_.dop; }
 
   // -- SQL entry points -----------------------------------------------------
 

@@ -1,7 +1,8 @@
-#include <map>
-#include <set>
+#include <algorithm>
+#include <unordered_map>
 
 #include "common/str_util.h"
+#include "rdbms/exec/agg_state.h"
 #include "rdbms/exec/executor.h"
 #include "rdbms/index/key_codec.h"
 
@@ -23,74 +24,17 @@ std::string Indent(const std::string& s) {
   return out;
 }
 
+// Cap on speculative reserve() sizing so a wild cardinality estimate cannot
+// allocate an absurd table up front.
+constexpr uint64_t kMaxReserve = 1u << 20;
+
 }  // namespace
 
-/// Accumulator for one aggregate call within one group.
-struct HashAggOp::AggState {
-  int64_t count = 0;
-  double sum = 0.0;
-  bool sum_is_int = true;
-  int64_t isum = 0;
-  Value min;
-  Value max;
-  std::set<std::string> distinct;  // encoded values, for DISTINCT aggs
-
-  void Accumulate(const Expr& call, const Value& v) {
-    if (call.agg_func == AggFunc::kCountStar) {
-      ++count;
-      return;
-    }
-    if (v.is_null()) return;  // SQL: aggregates ignore NULLs
-    if (call.agg_distinct) {
-      if (!distinct.insert(key_codec::Encode(v)).second) return;
-    }
-    ++count;
-    switch (call.agg_func) {
-      case AggFunc::kCountStar:
-      case AggFunc::kCount:
-        break;
-      case AggFunc::kSum:
-      case AggFunc::kAvg:
-        if (v.type() == DataType::kInt64 && sum_is_int) {
-          isum += v.int_value();
-        } else {
-          sum_is_int = false;
-        }
-        sum += v.AsDouble();
-        break;
-      case AggFunc::kMin:
-        if (min.is_null() || v.Compare(min) < 0) min = v;
-        break;
-      case AggFunc::kMax:
-        if (max.is_null() || v.Compare(max) > 0) max = v;
-        break;
-    }
-  }
-
-  Value Finalize(const Expr& call) const {
-    switch (call.agg_func) {
-      case AggFunc::kCountStar:
-      case AggFunc::kCount:
-        return Value::Int(count);
-      case AggFunc::kSum:
-        if (count == 0) return Value::Null(DataType::kDouble);
-        if (sum_is_int) return Value::Int(isum);
-        return Value::Dbl(sum);
-      case AggFunc::kAvg:
-        if (count == 0) return Value::Null(DataType::kDouble);
-        return Value::Dbl(sum / static_cast<double>(count));
-      case AggFunc::kMin:
-        return min;
-      case AggFunc::kMax:
-        return max;
-    }
-    return Value::Null();
-  }
-};
-
 HashAggOp::HashAggOp(OperatorPtr child, std::vector<const Expr*> group_exprs,
-                     std::vector<const Expr*> agg_calls)
+                     std::vector<const Expr*> agg_calls,
+                     uint64_t est_input_rows)
     : child_(std::move(child)),
+      est_input_rows_(est_input_rows),
       group_exprs_(std::move(group_exprs)),
       agg_calls_(std::move(agg_calls)) {}
 
@@ -104,28 +48,31 @@ Status HashAggOp::Open(ExecContext* ctx) {
     Row keys;
     std::vector<AggState> states;
   };
-  // std::map keeps groups in key order — harmless determinism bonus.
-  std::map<std::string, Group> groups;
+  std::unordered_map<std::string, Group> groups;
+  if (est_input_rows_ > 0) {
+    groups.reserve(static_cast<size_t>(
+        std::min<uint64_t>(est_input_rows_, kMaxReserve)));
+  }
 
   Row row;
-  size_t input_rows = 0;
+  Row keys;
+  std::string key;  // reused encode buffer — no per-row allocation
   while (true) {
     R3_ASSIGN_OR_RETURN(bool ok, child_->Next(&row));
     if (!ok) break;
-    ++input_rows;
     ctx_->clock->ChargeDbmsTuple();
     EvalContext ec = ctx_->MakeEvalContext(&row);
-    Row keys;
-    keys.reserve(group_exprs_.size());
+    key.clear();
+    keys.clear();
     for (const Expr* g : group_exprs_) {
       Value v;
       R3_RETURN_IF_ERROR(EvalExpr(*g, ec, &v));
+      key_codec::EncodeValue(v, &key);
       keys.push_back(std::move(v));
     }
-    std::string key = key_codec::Encode(keys);
     auto [it, inserted] = groups.try_emplace(key);
     if (inserted) {
-      it->second.keys = std::move(keys);
+      it->second.keys = keys;
       it->second.states.resize(agg_calls_.size());
     }
     for (size_t i = 0; i < agg_calls_.size(); ++i) {
@@ -149,11 +96,18 @@ Status HashAggOp::Open(ExecContext* ctx) {
     results_.push_back(std::move(out));
     return Status::OK();
   }
-  results_.reserve(groups.size());
-  for (auto& [key, g] : groups) {
-    Row out = std::move(g.keys);
+  // Emit in encoded-key order (what the previous std::map implementation
+  // produced) so result order stays deterministic.
+  std::vector<std::pair<const std::string*, Group*>> ordered;
+  ordered.reserve(groups.size());
+  for (auto& [k, g] : groups) ordered.emplace_back(&k, &g);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  results_.reserve(ordered.size());
+  for (auto& [k, g] : ordered) {
+    Row out = std::move(g->keys);
     for (size_t i = 0; i < agg_calls_.size(); ++i) {
-      out.push_back(g.states[i].Finalize(*agg_calls_[i]));
+      out.push_back(g->states[i].Finalize(*agg_calls_[i]));
     }
     results_.push_back(std::move(out));
   }

@@ -1,5 +1,7 @@
 #include "rdbms/exec/executor.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
 #include "rdbms/index/key_codec.h"
 
@@ -285,11 +287,16 @@ std::string LimitOp::DebugString() const {
 // DistinctOp
 // ---------------------------------------------------------------------------
 
-DistinctOp::DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
+DistinctOp::DistinctOp(OperatorPtr child, uint64_t est_rows)
+    : child_(std::move(child)), est_rows_(est_rows) {}
 
 Status DistinctOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   seen_.clear();
+  if (est_rows_ > 0) {
+    seen_.reserve(
+        static_cast<size_t>(std::min<uint64_t>(est_rows_, uint64_t{1} << 20)));
+  }
   return child_->Open(ctx);
 }
 
@@ -298,7 +305,10 @@ Result<bool> DistinctOp::Next(Row* out) {
     R3_ASSIGN_OR_RETURN(bool ok, child_->Next(out));
     if (!ok) return false;
     ctx_->clock->ChargeDbmsTuple();
-    if (seen_.insert(RowKey(*out)).second) return true;
+    // Encode into a reused scratch buffer; the set only copies on insert.
+    key_scratch_.clear();
+    for (const Value& v : *out) key_codec::EncodeValue(v, &key_scratch_);
+    if (seen_.insert(key_scratch_).second) return true;
   }
 }
 

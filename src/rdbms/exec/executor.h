@@ -30,6 +30,10 @@ struct ExecContext {
   SubqueryRunner* subqueries = nullptr;
   const Row* outer_row = nullptr;
   size_t work_mem_bytes = 4u << 20;  ///< sort/aggregate memory budget
+  /// Worker-thread budget for parallel (Gather) plan fragments. The plan's
+  /// own degree of parallelism is fixed by the optimizer; this only caps how
+  /// many OS threads execute it (1 = run all lanes on the calling thread).
+  int dop = 1;
 
   EvalContext MakeEvalContext(const Row* row) const {
     EvalContext ec;
@@ -191,10 +195,11 @@ class LimitOp : public Operator {
   int64_t produced_ = 0;
 };
 
-/// Drops duplicate rows (hash-based).
+/// Drops duplicate rows (hash-based). `est_rows` (0 = unknown) pre-sizes the
+/// hash set from the optimizer's cardinality estimate.
 class DistinctOp : public Operator {
  public:
-  explicit DistinctOp(OperatorPtr child);
+  explicit DistinctOp(OperatorPtr child, uint64_t est_rows = 0);
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(Row* out) override;
@@ -204,8 +209,10 @@ class DistinctOp : public Operator {
 
  private:
   OperatorPtr child_;
+  uint64_t est_rows_;
   ExecContext* ctx_ = nullptr;
   std::unordered_set<std::string> seen_;
+  std::string key_scratch_;
 };
 
 /// Materializes and re-emits child rows; Open() after the first run replays
@@ -247,14 +254,17 @@ struct FilledRange {
 /// Hash join: builds on `build`, probes with `probe`, merging wide rows.
 /// With `preserve_probe` (left-outer semantics where the probe side is the
 /// preserved side), probe rows without a match are emitted with the build
-/// ranges left NULL.
+/// ranges left NULL. `est_build_rows` (0 = unknown) pre-sizes the hash table
+/// from the optimizer's cardinality estimate. When the build child is a
+/// GatherOp, the table is built by its worker pool (partitioned build).
 class HashJoinOp : public Operator {
  public:
   HashJoinOp(OperatorPtr build, OperatorPtr probe,
              std::vector<const Expr*> build_keys,
              std::vector<const Expr*> probe_keys,
              std::vector<const Expr*> residual,
-             std::vector<FilledRange> build_ranges, bool preserve_probe);
+             std::vector<FilledRange> build_ranges, bool preserve_probe,
+             uint64_t est_build_rows = 0);
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(Row* out) override;
@@ -272,9 +282,11 @@ class HashJoinOp : public Operator {
   std::vector<const Expr*> residual_;
   std::vector<FilledRange> build_ranges_;
   bool preserve_probe_;
+  uint64_t est_build_rows_;
 
   ExecContext* ctx_ = nullptr;
   std::unordered_map<std::string, std::vector<Row>> table_;
+  std::string key_scratch_;
   Row probe_row_;
   bool have_probe_ = false;
   const std::vector<Row>* matches_ = nullptr;
@@ -354,11 +366,12 @@ class NestedLoopsJoinOp : public Operator {
 
 /// Hash aggregation. Output rows: [group values..., aggregate results...].
 /// Without GROUP BY, emits exactly one row (aggregates over the empty input
-/// follow SQL: COUNT = 0, SUM/AVG/MIN/MAX = NULL).
+/// follow SQL: COUNT = 0, SUM/AVG/MIN/MAX = NULL). `est_input_rows`
+/// (0 = unknown) pre-sizes the hash table from the optimizer's estimate.
 class HashAggOp : public Operator {
  public:
   HashAggOp(OperatorPtr child, std::vector<const Expr*> group_exprs,
-            std::vector<const Expr*> agg_calls);
+            std::vector<const Expr*> agg_calls, uint64_t est_input_rows = 0);
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(Row* out) override;
@@ -369,9 +382,8 @@ class HashAggOp : public Operator {
   std::string DebugString() const override;
 
  private:
-  struct AggState;
-
   OperatorPtr child_;
+  uint64_t est_input_rows_;
   std::vector<const Expr*> group_exprs_;
   std::vector<const Expr*> agg_calls_;
   ExecContext* ctx_ = nullptr;
@@ -412,6 +424,14 @@ class SortOp : public Operator {
 /// usable as a hash/equality key.
 std::string RowKey(const Row& row);
 std::string ValuesKey(const std::vector<Value>& values);
+
+/// Evaluates equi-join key expressions into a canonical byte key, appending
+/// to a caller-owned (reusable) buffer after clearing it. Numerics are
+/// normalized to double so INT 5 and DECIMAL 5.00 meet; `*null_key` is set
+/// when any key value is NULL (SQL equi-join never matches on NULL).
+/// Shared by HashJoinOp and the parallel partitioned join build.
+Status EvalJoinKey(const std::vector<const Expr*>& keys, const EvalContext& ec,
+                   std::string* out, bool* null_key);
 
 }  // namespace rdbms
 }  // namespace r3

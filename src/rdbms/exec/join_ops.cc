@@ -1,5 +1,8 @@
+#include <algorithm>
+
 #include "common/str_util.h"
 #include "rdbms/exec/executor.h"
+#include "rdbms/exec/parallel_ops.h"
 #include "rdbms/index/key_codec.h"
 
 namespace r3 {
@@ -29,9 +32,27 @@ Result<bool> PassesAll(const std::vector<const Expr*>& preds,
   return true;
 }
 
-/// Evaluates key expressions into a canonical byte key. Returns an empty
-/// optional-style flag (*null_key) when any key value is NULL (SQL equi-join
-/// never matches on NULL).
+void MergeRanges(const Row& src, const std::vector<FilledRange>& ranges,
+                 Row* dst) {
+  for (const FilledRange& r : ranges) {
+    for (size_t i = 0; i < r.width; ++i) {
+      (*dst)[r.offset + i] = src[r.offset + i];
+    }
+  }
+}
+
+void NullRanges(const std::vector<FilledRange>& ranges, Row* dst) {
+  for (const FilledRange& r : ranges) {
+    for (size_t i = 0; i < r.width; ++i) {
+      (*dst)[r.offset + i] = Value::Null();
+    }
+  }
+}
+
+constexpr uint64_t kMaxReserve = 1u << 20;
+
+}  // namespace
+
 Status EvalJoinKey(const std::vector<const Expr*>& keys, const EvalContext& ec,
                    std::string* out, bool* null_key) {
   out->clear();
@@ -52,25 +73,6 @@ Status EvalJoinKey(const std::vector<const Expr*>& keys, const EvalContext& ec,
   return Status::OK();
 }
 
-void MergeRanges(const Row& src, const std::vector<FilledRange>& ranges,
-                 Row* dst) {
-  for (const FilledRange& r : ranges) {
-    for (size_t i = 0; i < r.width; ++i) {
-      (*dst)[r.offset + i] = src[r.offset + i];
-    }
-  }
-}
-
-void NullRanges(const std::vector<FilledRange>& ranges, Row* dst) {
-  for (const FilledRange& r : ranges) {
-    for (size_t i = 0; i < r.width; ++i) {
-      (*dst)[r.offset + i] = Value::Null();
-    }
-  }
-}
-
-}  // namespace
-
 // ---------------------------------------------------------------------------
 // HashJoinOp
 // ---------------------------------------------------------------------------
@@ -80,14 +82,15 @@ HashJoinOp::HashJoinOp(OperatorPtr build, OperatorPtr probe,
                        std::vector<const Expr*> probe_keys,
                        std::vector<const Expr*> residual,
                        std::vector<FilledRange> build_ranges,
-                       bool preserve_probe)
+                       bool preserve_probe, uint64_t est_build_rows)
     : build_(std::move(build)),
       probe_(std::move(probe)),
       build_keys_(std::move(build_keys)),
       probe_keys_(std::move(probe_keys)),
       residual_(std::move(residual)),
       build_ranges_(std::move(build_ranges)),
-      preserve_probe_(preserve_probe) {}
+      preserve_probe_(preserve_probe),
+      est_build_rows_(est_build_rows) {}
 
 Status HashJoinOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
@@ -98,6 +101,17 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   have_probe_ = false;
   emitted_for_probe_ = false;
 
+  if (est_build_rows_ > 0) {
+    table_.reserve(
+        static_cast<size_t>(std::min<uint64_t>(est_build_rows_, kMaxReserve)));
+  }
+  // A Gather build child runs the scan + key evaluation on its worker pool
+  // (partitioned build); the serial path drains the child row by row.
+  if (auto* gather = dynamic_cast<GatherOp*>(build_.get())) {
+    R3_RETURN_IF_ERROR(
+        gather->BuildJoinTable(ctx, build_keys_, &table_, est_build_rows_));
+    return probe_->Open(ctx);
+  }
   R3_RETURN_IF_ERROR(build_->Open(ctx));
   Row row;
   while (true) {
@@ -105,11 +119,10 @@ Status HashJoinOp::Open(ExecContext* ctx) {
     if (!ok) break;
     ctx_->clock->ChargeDbmsTuple();
     EvalContext ec = ctx_->MakeEvalContext(&row);
-    std::string key;
     bool null_key = false;
-    R3_RETURN_IF_ERROR(EvalJoinKey(build_keys_, ec, &key, &null_key));
+    R3_RETURN_IF_ERROR(EvalJoinKey(build_keys_, ec, &key_scratch_, &null_key));
     if (null_key) continue;
-    table_[key].push_back(row);
+    table_[key_scratch_].push_back(row);
   }
   R3_RETURN_IF_ERROR(build_->Close());
   return probe_->Open(ctx);
@@ -123,13 +136,12 @@ Result<bool> HashJoinOp::ProbeAdvance() {
   }
   ctx_->clock->ChargeDbmsTuple();
   EvalContext ec = ctx_->MakeEvalContext(&probe_row_);
-  std::string key;
   bool null_key = false;
-  R3_RETURN_IF_ERROR(EvalJoinKey(probe_keys_, ec, &key, &null_key));
+  R3_RETURN_IF_ERROR(EvalJoinKey(probe_keys_, ec, &key_scratch_, &null_key));
   if (null_key) {
     matches_ = nullptr;
   } else {
-    auto it = table_.find(key);
+    auto it = table_.find(key_scratch_);
     matches_ = it == table_.end() ? nullptr : &it->second;
   }
   match_pos_ = 0;

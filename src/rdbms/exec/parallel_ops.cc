@@ -1,0 +1,348 @@
+#include "rdbms/exec/parallel_ops.h"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+
+#include "common/str_util.h"
+#include "rdbms/exec/agg_state.h"
+#include "rdbms/index/key_codec.h"
+#include "rdbms/storage/page.h"
+
+namespace r3 {
+namespace rdbms {
+
+namespace {
+
+std::string Indent(const std::string& s) {
+  std::string out;
+  size_t start = 0;
+  while (start < s.size()) {
+    size_t end = s.find('\n', start);
+    if (end == std::string::npos) end = s.size();
+    out += "  " + s.substr(start, end - start) + "\n";
+    start = end + 1;
+  }
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+Result<bool> PassesAll(const std::vector<const Expr*>& preds,
+                       const EvalContext& ec) {
+  for (const Expr* p : preds) {
+    R3_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*p, ec));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+constexpr uint64_t kMaxReserve = 1u << 20;
+
+size_t CappedReserve(uint64_t est) {
+  return static_cast<size_t>(std::min<uint64_t>(est, kMaxReserve));
+}
+
+}  // namespace
+
+GatherOp::GatherOp(const TableInfo* table, size_t offset, size_t wide_width,
+                   std::vector<const Expr*> filters, int dop,
+                   uint64_t est_rows)
+    : table_(table),
+      offset_(offset),
+      wide_width_(wide_width),
+      filters_(std::move(filters)),
+      dop_(dop < 1 ? 1 : dop),
+      est_rows_(est_rows),
+      mode_(Mode::kRows) {}
+
+GatherOp::GatherOp(const TableInfo* table, size_t offset, size_t wide_width,
+                   std::vector<const Expr*> filters, int dop,
+                   uint64_t est_rows, std::vector<const Expr*> group_exprs,
+                   std::vector<const Expr*> agg_calls)
+    : table_(table),
+      offset_(offset),
+      wide_width_(wide_width),
+      filters_(std::move(filters)),
+      dop_(dop < 1 ? 1 : dop),
+      est_rows_(est_rows),
+      mode_(Mode::kPartialAgg),
+      group_exprs_(std::move(group_exprs)),
+      agg_calls_(std::move(agg_calls)) {}
+
+Status GatherOp::ScanMorsel(
+    ExecContext* ctx, const Morsel& m, size_t morsel_idx, size_t lane,
+    char* page_buf, Row* table_row, Row* wide,
+    const std::function<Status(size_t, size_t, Row&&)>& emit) {
+  const uint32_t file_id = table_->heap->file_id();
+  for (uint32_t pg = m.first_page; pg < m.end_page; ++pg) {
+    R3_RETURN_IF_ERROR(
+        ctx->pool->ReadPageForScan(PageId{file_id, pg}, page_buf));
+    SlottedPage sp(page_buf);
+    const uint16_t slots = sp.slot_count();
+    for (uint16_t s = 0; s < slots; ++s) {
+      if (!sp.IsLive(s)) continue;
+      ctx->clock->ChargeDbmsTuple();  // routed to this worker's lane
+      R3_ASSIGN_OR_RETURN(std::string_view rec, sp.Read(s));
+      R3_RETURN_IF_ERROR(DeserializeRow(table_->schema, rec, table_row));
+      wide->assign(wide_width_, Value::Null());
+      for (size_t i = 0; i < table_row->size(); ++i) {
+        (*wide)[offset_ + i] = std::move((*table_row)[i]);
+      }
+      EvalContext ec = ctx->MakeEvalContext(wide);
+      R3_ASSIGN_OR_RETURN(bool pass, PassesAll(filters_, ec));
+      if (!pass) continue;
+      R3_RETURN_IF_ERROR(emit(morsel_idx, lane, std::move(*wide)));
+    }
+  }
+  return Status::OK();
+}
+
+Status GatherOp::RunParallel(
+    ExecContext* ctx,
+    const std::function<Status(size_t morsel, size_t lane, Row&& row)>&
+        emit) {
+  morsels_.clear();
+  R3_ASSIGN_OR_RETURN(uint32_t num_pages, table_->heap->NumPages());
+  for (uint32_t pg = 0; pg < num_pages; pg += kMorselPages) {
+    morsels_.push_back(
+        Morsel{pg, std::min<uint32_t>(pg + kMorselPages, num_pages)});
+  }
+  if (mode_ == Mode::kRows) {
+    morsel_rows_.assign(morsels_.size(), {});
+  }
+
+  std::vector<SimClock::Lane> lanes(static_cast<size_t>(dop_));
+  std::vector<Status> lane_status(lanes.size(), Status::OK());
+
+  auto run_lane = [&](size_t lane) -> Status {
+    LaneScope scope(&lanes[lane]);
+    std::unique_ptr<char[]> page_buf(new char[kPageSize]);
+    Row table_row;
+    Row wide;
+    for (size_t mi = lane; mi < morsels_.size();
+         mi += static_cast<size_t>(dop_)) {
+      R3_RETURN_IF_ERROR(ScanMorsel(ctx, morsels_[mi], mi, lane,
+                                    page_buf.get(), &table_row, &wide, emit));
+    }
+    return Status::OK();
+  };
+
+  // The plan's dop fixes the number of lanes (and therefore all results and
+  // simulated charges); ctx->dop only caps the physical thread count.
+  const size_t num_threads = static_cast<size_t>(
+      std::min<int>(dop_, std::max(1, ctx->dop)));
+  if (num_threads <= 1) {
+    for (size_t lane = 0; lane < lanes.size(); ++lane) {
+      lane_status[lane] = run_lane(lane);
+    }
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (size_t tid = 0; tid < num_threads; ++tid) {
+      threads.emplace_back([&, tid]() {
+        for (size_t lane = tid; lane < lanes.size(); lane += num_threads) {
+          lane_status[lane] = run_lane(lane);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  for (const Status& st : lane_status) {
+    R3_RETURN_IF_ERROR(st);
+  }
+  // Barrier: the region's simulated cost is its critical path.
+  ctx->clock->MergeLanes(lanes);
+  return Status::OK();
+}
+
+Status GatherOp::Open(ExecContext* ctx) {
+  out_morsel_ = 0;
+  out_pos_ = 0;
+  agg_results_.clear();
+  morsel_rows_.clear();
+
+  if (mode_ == Mode::kRows) {
+    return RunParallel(
+        ctx, [this](size_t morsel, size_t /*lane*/, Row&& row) -> Status {
+          morsel_rows_[morsel].push_back(std::move(row));
+          return Status::OK();
+        });
+  }
+
+  // kPartialAgg: each lane accumulates into a private aggregation table.
+  struct Group {
+    Row keys;
+    std::vector<AggState> states;
+  };
+  std::vector<std::unordered_map<std::string, Group>> partials(
+      static_cast<size_t>(dop_));
+  if (est_rows_ > 0) {
+    for (auto& p : partials) {
+      p.reserve(CappedReserve(est_rows_ / static_cast<uint64_t>(dop_) + 1));
+    }
+  }
+  std::vector<std::string> key_scratch(static_cast<size_t>(dop_));
+  std::vector<Row> keys_scratch(static_cast<size_t>(dop_));
+
+  Status st = RunParallel(
+      ctx, [&](size_t /*morsel*/, size_t lane, Row&& row) -> Status {
+        ExecContext* c = ctx;
+        c->clock->ChargeDbmsTuple();  // aggregation CPU, charged in-lane
+        EvalContext ec = c->MakeEvalContext(&row);
+        std::string& key = key_scratch[lane];
+        Row& keys = keys_scratch[lane];
+        key.clear();
+        keys.clear();
+        for (const Expr* g : group_exprs_) {
+          Value v;
+          R3_RETURN_IF_ERROR(EvalExpr(*g, ec, &v));
+          key_codec::EncodeValue(v, &key);
+          keys.push_back(std::move(v));
+        }
+        auto [it, inserted] = partials[lane].try_emplace(key);
+        if (inserted) {
+          it->second.keys = keys;
+          it->second.states.resize(agg_calls_.size());
+        }
+        for (size_t i = 0; i < agg_calls_.size(); ++i) {
+          const Expr& call = *agg_calls_[i];
+          Value arg;
+          if (call.agg_func != AggFunc::kCountStar) {
+            R3_RETURN_IF_ERROR(EvalExpr(*call.children[0], ec, &arg));
+          }
+          it->second.states[i].Accumulate(call, arg);
+        }
+        return Status::OK();
+      });
+  R3_RETURN_IF_ERROR(st);
+
+  // Merge the partials (lane order, then encoded-key order for output —
+  // matching the serial HashAggOp's emission order).
+  std::map<std::string, Group> merged;
+  for (auto& partial : partials) {
+    for (auto& [key, group] : partial) {
+      auto [it, inserted] = merged.try_emplace(key);
+      if (inserted) {
+        it->second = std::move(group);
+      } else {
+        for (size_t i = 0; i < agg_calls_.size(); ++i) {
+          it->second.states[i].Merge(group.states[i]);
+        }
+      }
+    }
+  }
+  if (merged.empty() && group_exprs_.empty()) {
+    Row out;
+    for (const Expr* call : agg_calls_) {
+      AggState empty;
+      out.push_back(empty.Finalize(*call));
+    }
+    agg_results_.push_back(std::move(out));
+    return Status::OK();
+  }
+  agg_results_.reserve(merged.size());
+  for (auto& [key, group] : merged) {
+    Row out = std::move(group.keys);
+    for (size_t i = 0; i < agg_calls_.size(); ++i) {
+      out.push_back(group.states[i].Finalize(*agg_calls_[i]));
+    }
+    agg_results_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Status GatherOp::BuildJoinTable(
+    ExecContext* ctx, const std::vector<const Expr*>& keys,
+    std::unordered_map<std::string, std::vector<Row>>* table,
+    uint64_t est_build_rows) {
+  // Lanes do the scan + key evaluation; each morsel collects its (key, row)
+  // pairs privately, and the barrier inserts them in morsel order — the
+  // exact order the serial build would have used.
+  std::vector<std::vector<std::pair<std::string, Row>>> pairs;
+  std::vector<std::string> key_scratch(static_cast<size_t>(dop_));
+
+  // Pre-size the per-morsel slots before the workers start (RunParallel
+  // recomputes the same page partition deterministically).
+  {
+    R3_ASSIGN_OR_RETURN(uint32_t num_pages, table_->heap->NumPages());
+    size_t n = (num_pages + kMorselPages - 1) / kMorselPages;
+    pairs.assign(n, {});
+  }
+  Status st = RunParallel(ctx, [&](size_t morsel, size_t lane,
+                                   Row&& row) -> Status {
+    ctx->clock->ChargeDbmsTuple();  // build CPU, charged in-lane
+    EvalContext ec = ctx->MakeEvalContext(&row);
+    std::string& key = key_scratch[lane];
+    bool null_key = false;
+    R3_RETURN_IF_ERROR(EvalJoinKey(keys, ec, &key, &null_key));
+    if (null_key) return Status::OK();
+    pairs[morsel].emplace_back(key, std::move(row));
+    return Status::OK();
+  });
+  R3_RETURN_IF_ERROR(st);
+
+  if (est_build_rows > 0) table->reserve(CappedReserve(est_build_rows));
+  for (auto& morsel_pairs : pairs) {
+    for (auto& [key, row] : morsel_pairs) {
+      (*table)[key].push_back(std::move(row));
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> GatherOp::Next(Row* out) {
+  if (mode_ == Mode::kPartialAgg) {
+    if (out_pos_ >= agg_results_.size()) return false;
+    *out = agg_results_[out_pos_++];
+    return true;
+  }
+  while (out_morsel_ < morsel_rows_.size()) {
+    if (out_pos_ < morsel_rows_[out_morsel_].size()) {
+      *out = std::move(morsel_rows_[out_morsel_][out_pos_++]);
+      return true;
+    }
+    ++out_morsel_;
+    out_pos_ = 0;
+  }
+  return false;
+}
+
+Status GatherOp::Close() {
+  morsel_rows_.clear();
+  agg_results_.clear();
+  out_morsel_ = 0;
+  out_pos_ = 0;
+  return Status::OK();
+}
+
+size_t GatherOp::OutputWidth() const {
+  return mode_ == Mode::kPartialAgg
+             ? group_exprs_.size() + agg_calls_.size()
+             : wide_width_;
+}
+
+std::string GatherOp::DebugString() const {
+  std::string out = "Gather(dop=" + std::to_string(dop_) + ")";
+  std::string scan = "ParallelSeqScan(" + table_->name;
+  for (const Expr* f : filters_) scan += ", " + f->ToString();
+  scan += ")";
+  if (mode_ == Mode::kPartialAgg) {
+    std::string agg = "PartialHashAggregate(groups=[";
+    for (size_t i = 0; i < group_exprs_.size(); ++i) {
+      if (i != 0) agg += ", ";
+      agg += group_exprs_[i]->ToString();
+    }
+    agg += "], aggs=[";
+    for (size_t i = 0; i < agg_calls_.size(); ++i) {
+      if (i != 0) agg += ", ";
+      agg += agg_calls_[i]->ToString();
+    }
+    agg += "])";
+    return out + "\n" + Indent(agg + "\n" + Indent(scan));
+  }
+  return out + "\n" + Indent(scan);
+}
+
+}  // namespace rdbms
+}  // namespace r3

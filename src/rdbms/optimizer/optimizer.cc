@@ -5,6 +5,7 @@
 
 #include "common/cost_model.h"
 #include "common/str_util.h"
+#include "rdbms/exec/parallel_ops.h"
 #include "rdbms/expr/eval.h"
 #include "rdbms/index/key_codec.h"
 
@@ -386,11 +387,12 @@ SubqueryRunnerImpl::~SubqueryRunnerImpl() = default;
 
 void SubqueryRunnerImpl::BindExecution(BufferPool* pool, SimClock* clock,
                                        const std::vector<Value>* params,
-                                       size_t work_mem) {
+                                       size_t work_mem, int dop) {
   pool_ = pool;
   clock_ = clock;
   params_ = params;
   work_mem_ = work_mem;
+  dop_ = dop;
   for (auto& cs : subqueries) {
     cs->scalar_cached = false;
     cs->exists_cached = false;
@@ -398,7 +400,7 @@ void SubqueryRunnerImpl::BindExecution(BufferPool* pool, SimClock* clock,
     cs->in_set.clear();
     cs->in_set_has_null = false;
     if (cs->runner != nullptr) {
-      cs->runner->BindExecution(pool, clock, params, work_mem);
+      cs->runner->BindExecution(pool, clock, params, work_mem, dop);
     }
   }
 }
@@ -412,6 +414,7 @@ ExecContext SubqueryRunnerImpl::MakeContext(CompiledSubquery* cs,
   ctx.subqueries = cs->runner.get();
   ctx.outer_row = outer;
   ctx.work_mem_bytes = work_mem_;
+  ctx.dop = dop_;
   return ctx;
 }
 
@@ -597,6 +600,19 @@ Result<Optimizer::PlanResult> Optimizer::PlanQueryTree(BoundQuery* bq) {
     }
   }
 
+  // Parallel (Gather) eligibility: only sequential scans of large non-outer
+  // tables in subquery-free query levels qualify. Subquery-free matters
+  // because worker lanes must never re-enter the (serial, caching) subquery
+  // machinery.
+  auto parallel_eligible = [&](size_t t) -> bool {
+    if (options_.dop <= 1) return false;
+    if (!bq->subqueries.empty()) return false;
+    const BoundTableRef& ref = bq->tables[t];
+    if (ref.left_outer) return false;
+    if (cands[t].path.index != nullptr) return false;
+    return RowCountOf(*ref.table) >= options_.parallel_threshold_rows;
+  };
+
   auto make_scan = [&](size_t t) -> OperatorPtr {
     const TableCandidate& cand = cands[t];
     const BoundTableRef& ref = bq->tables[t];
@@ -608,6 +624,11 @@ Result<Optimizer::PlanResult> Optimizer::PlanQueryTree(BoundQuery* bq) {
       return std::make_unique<IndexScanOp>(ref.table, cand.path.index,
                                            ref.offset, bq->wide_width,
                                            cand.path.bounds, residual);
+    }
+    if (parallel_eligible(t)) {
+      return std::make_unique<GatherOp>(
+          ref.table, ref.offset, bq->wide_width, residual, options_.dop,
+          static_cast<uint64_t>(std::max(0.0, cand.path.est_rows)));
     }
     return std::make_unique<SeqScanOp>(ref.table, ref.offset, bq->wide_width,
                                        residual);
@@ -909,7 +930,8 @@ Result<Optimizer::PlanResult> Optimizer::PlanQueryTree(BoundQuery* bq) {
       std::set<size_t> t_set{t};
       tree = std::make_unique<HashJoinOp>(
           make_scan(t), std::move(tree), t_keys, s_keys, residual,
-          RangesFor(*bq, t_set), outer);
+          RangesFor(*bq, t_set), outer,
+          static_cast<uint64_t>(std::max(0.0, cands[t].path.est_rows)));
       built = true;
     }
     if (!built) {
@@ -936,7 +958,29 @@ Result<Optimizer::PlanResult> Optimizer::PlanQueryTree(BoundQuery* bq) {
     std::vector<const Expr*> groups, aggs;
     for (const ExprPtr& g : bq->group_by) groups.push_back(g.get());
     for (const ExprPtr& a : bq->agg_calls) aggs.push_back(a.get());
-    tree = std::make_unique<HashAggOp>(std::move(tree), groups, aggs);
+    bool has_distinct_agg = false;
+    for (const Expr* a : aggs) {
+      if (a->agg_distinct) has_distinct_agg = true;
+    }
+    // Single-table scan-aggregate queries (the TPC-D Q1/Q6 shape) run as
+    // one parallel partial-aggregation pipeline: scan, filter, and partial
+    // aggregation all happen in the worker lanes; only merged groups cross
+    // the gather barrier. DISTINCT aggregates are not losslessly mergeable
+    // from partials and keep the serial HashAggOp.
+    if (!has_distinct_agg && bq->tables.size() == 1 && parallel_eligible(0)) {
+      std::vector<const Expr*> filters = cands[0].singles;
+      filters.insert(filters.end(), zero_table.begin(), zero_table.end());
+      filters.insert(filters.end(), leftover.begin(), leftover.end());
+      tree = std::make_unique<GatherOp>(
+          bq->tables[0].table, bq->tables[0].offset, bq->wide_width,
+          std::move(filters), options_.dop,
+          static_cast<uint64_t>(std::max(0.0, cands[0].path.est_rows)),
+          groups, aggs);
+    } else {
+      tree = std::make_unique<HashAggOp>(
+          std::move(tree), groups, aggs,
+          static_cast<uint64_t>(std::max(0.0, current_rows)));
+    }
     if (bq->having != nullptr) {
       tree = std::make_unique<FilterOp>(std::move(tree),
                                         std::vector<const Expr*>{bq->having.get()});
@@ -949,7 +993,12 @@ Result<Optimizer::PlanResult> Optimizer::PlanQueryTree(BoundQuery* bq) {
   tree = std::make_unique<ProjectOp>(std::move(tree), select);
 
   if (bq->distinct) {
-    tree = std::make_unique<DistinctOp>(std::move(tree));
+    // Cardinality hint only meaningful when no aggregation collapsed the
+    // stream first.
+    uint64_t est = bq->has_aggregation
+                       ? 0
+                       : static_cast<uint64_t>(std::max(0.0, current_rows));
+    tree = std::make_unique<DistinctOp>(std::move(tree), est);
   }
   if (!bq->order_by.empty()) {
     std::vector<SortKey> keys;

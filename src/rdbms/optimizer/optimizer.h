@@ -31,6 +31,16 @@ struct PlannerOptions {
 
   /// Master switch for index-nested-loops joins.
   bool enable_index_nl_join = true;
+
+  /// Degree of intra-query parallelism plans may use (1 = serial plans
+  /// only). Parallel plans fix their lane count at plan time, so results
+  /// and simulated times depend on this value, not on the executing
+  /// machine.
+  int dop = 1;
+
+  /// Minimum estimated base-table cardinality before a parallel (Gather)
+  /// scan is worth its startup cost.
+  uint64_t parallel_threshold_rows = 5000;
 };
 
 /// A compiled subquery plan plus its (per-execution) caches.
@@ -49,8 +59,10 @@ class SubqueryRunnerImpl : public SubqueryRunner {
 
   /// Points the runner (recursively) at the current execution's context
   /// pieces and clears value caches. Call once per statement execution.
+  /// `dop` is the worker-thread budget forwarded to subquery ExecContexts.
   void BindExecution(BufferPool* pool, SimClock* clock,
-                     const std::vector<Value>* params, size_t work_mem);
+                     const std::vector<Value>* params, size_t work_mem,
+                     int dop = 1);
 
   std::vector<std::unique_ptr<CompiledSubquery>> subqueries;
 
@@ -61,6 +73,7 @@ class SubqueryRunnerImpl : public SubqueryRunner {
   SimClock* clock_ = nullptr;
   const std::vector<Value>* params_ = nullptr;
   size_t work_mem_ = 4u << 20;
+  int dop_ = 1;
 };
 
 struct CompiledSubquery {

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstring>
+#include <mutex>
 
 #include "common/str_util.h"
 
@@ -32,7 +33,11 @@ PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
 }
 
 void PageHandle::MarkDirty() {
-  if (pool_ != nullptr) pool_->frames_[frame_idx_].dirty = true;
+  if (pool_ == nullptr) return;
+  // The frame's id is stable while we hold a pin.
+  BufferPool::Frame& f = pool_->frames_[frame_idx_];
+  std::lock_guard<std::mutex> lk(pool_->ShardOf(f.id).mu);
+  f.dirty = true;
 }
 
 void PageHandle::Release() {
@@ -55,70 +60,158 @@ BufferPool::BufferPool(Disk* disk, SimClock* clock, size_t capacity_bytes)
   }
 }
 
-void BufferPool::ChargeRead(PageId id) {
-  auto it = last_read_page_.find(id.file_id);
-  bool sequential = it != last_read_page_.end() && id.page_no == it->second + 1;
+bool BufferPool::ChargeRead(PageId id) {
+  // Workers classify against their lane's private read stream; the serial
+  // path uses the pool-wide stream under stream_mu_. Either way, back-to-back
+  // page_no values within one stream count as sequential I/O.
+  std::unordered_map<uint32_t, uint32_t>* stream;
+  std::unique_lock<std::mutex> lk;
+  if (SimClock::Lane* lane = SimClock::active_lane()) {
+    stream = &lane->last_read_page;
+  } else {
+    lk = std::unique_lock<std::mutex>(stream_mu_);
+    stream = &last_read_page_;
+  }
+  auto it = stream->find(id.file_id);
+  bool sequential = it != stream->end() && id.page_no == it->second + 1;
+  (*stream)[id.file_id] = id.page_no;
   if (sequential) {
-    ++stats_.sequential_reads;
     clock_->ChargeSeqPageRead();
   } else {
-    ++stats_.random_reads;
     clock_->ChargeRandomPageRead();
   }
-  last_read_page_[id.file_id] = id.page_no;
+  return sequential;
 }
 
 Result<size_t> BufferPool::GetVictimFrame() {
-  if (!free_frames_.empty()) {
-    size_t idx = free_frames_.back();
-    free_frames_.pop_back();
+  {
+    std::lock_guard<std::mutex> lk(lru_mu_);
+    if (!free_frames_.empty()) {
+      size_t idx = free_frames_.back();
+      free_frames_.pop_back();
+      return idx;
+    }
+  }
+  while (true) {
+    size_t idx;
+    {
+      std::lock_guard<std::mutex> lk(lru_mu_);
+      if (lru_.empty()) {
+        return Status::Internal("buffer pool exhausted: all frames pinned");
+      }
+      idx = lru_.front();
+      lru_.pop_front();
+      frames_[idx].in_lru = false;
+    }
+    Frame& f = frames_[idx];
+    Shard& vs = ShardOf(f.id);
+    std::lock_guard<std::mutex> lk(vs.mu);
+    // A concurrent FetchPage may have re-pinned the frame between the LRU
+    // pop and here; it will be pushed back on unpin, so just skip it.
+    if (f.pin_count > 0) continue;
+    if (f.dirty) {
+      R3_RETURN_IF_ERROR(disk_->WritePage(f.id, f.data.get()));
+      ++vs.stats.page_writes;
+      clock_->ChargePageWrite();
+      f.dirty = false;
+    }
+    vs.page_table.erase(f.id);
+    f.in_use = false;
     return idx;
   }
-  if (lru_.empty()) {
-    return Status::Internal("buffer pool exhausted: all frames pinned");
-  }
-  size_t idx = lru_.front();
-  lru_.pop_front();
-  Frame& f = frames_[idx];
-  f.in_lru = false;
-  if (f.dirty) {
-    R3_RETURN_IF_ERROR(disk_->WritePage(f.id, f.data.get()));
-    ++stats_.page_writes;
-    clock_->ChargePageWrite();
-    f.dirty = false;
-  }
-  page_table_.erase(f.id);
-  f.in_use = false;
-  return idx;
 }
 
 Result<PageHandle> BufferPool::FetchPage(PageId id) {
-  ++stats_.logical_reads;
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    size_t idx = it->second;
-    Frame& f = frames_[idx];
-    if (f.in_lru) {
-      lru_.erase(f.lru_it);
-      f.in_lru = false;
+  Shard& s = ShardOf(id);
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    ++s.stats.logical_reads;
+    auto it = s.page_table.find(id);
+    if (it != s.page_table.end()) {
+      size_t idx = it->second;
+      Frame& f = frames_[idx];
+      {
+        std::lock_guard<std::mutex> lru_lk(lru_mu_);
+        if (f.in_lru) {
+          lru_.erase(f.lru_it);
+          f.in_lru = false;
+        }
+      }
+      ++f.pin_count;
+      return PageHandle(this, idx, f.data.get());
     }
-    ++f.pin_count;
-    return PageHandle(this, idx, f.data.get());
   }
-  ++stats_.physical_reads;
+  // Miss: the load/eviction path runs one thread at a time.
+  std::lock_guard<std::mutex> ev(evict_mu_);
+  {
+    // Another thread may have loaded the page while we waited.
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.page_table.find(id);
+    if (it != s.page_table.end()) {
+      size_t idx = it->second;
+      Frame& f = frames_[idx];
+      {
+        std::lock_guard<std::mutex> lru_lk(lru_mu_);
+        if (f.in_lru) {
+          lru_.erase(f.lru_it);
+          f.in_lru = false;
+        }
+      }
+      ++f.pin_count;
+      return PageHandle(this, idx, f.data.get());
+    }
+  }
   R3_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
   Frame& f = frames_[idx];
   R3_RETURN_IF_ERROR(disk_->ReadPage(id, f.data.get()));
-  ChargeRead(id);
+  bool sequential = ChargeRead(id);
   f.id = id;
   f.in_use = true;
   f.dirty = false;
   f.pin_count = 1;
-  page_table_[id] = idx;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    ++s.stats.physical_reads;
+    if (sequential) {
+      ++s.stats.sequential_reads;
+    } else {
+      ++s.stats.random_reads;
+    }
+    s.page_table[id] = idx;
+  }
   return PageHandle(this, idx, f.data.get());
 }
 
+Status BufferPool::ReadPageForScan(PageId id, char* buf) {
+  Shard& s = ShardOf(id);
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    ++s.stats.logical_reads;
+    auto it = s.page_table.find(id);
+    if (it != s.page_table.end()) {
+      std::memcpy(buf, frames_[it->second].data.get(), kPageSize);
+      return Status::OK();
+    }
+  }
+  // Miss: read straight from disk into the caller's buffer. No frame is
+  // allocated and nothing is evicted, so replacement state (and therefore
+  // every other reader's hit/miss outcome) is unaffected.
+  R3_RETURN_IF_ERROR(disk_->ReadPage(id, buf));
+  bool sequential = ChargeRead(id);
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    ++s.stats.physical_reads;
+    if (sequential) {
+      ++s.stats.sequential_reads;
+    } else {
+      ++s.stats.random_reads;
+    }
+  }
+  return Status::OK();
+}
+
 Result<PageHandle> BufferPool::NewPage(uint32_t file_id, uint32_t* page_no) {
+  std::lock_guard<std::mutex> ev(evict_mu_);
   R3_ASSIGN_OR_RETURN(uint32_t pn, disk_->AllocatePage(file_id));
   *page_no = pn;
   R3_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
@@ -128,15 +221,21 @@ Result<PageHandle> BufferPool::NewPage(uint32_t file_id, uint32_t* page_no) {
   f.in_use = true;
   f.dirty = true;
   f.pin_count = 1;
-  page_table_[f.id] = idx;
+  Shard& s = ShardOf(f.id);
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.page_table[f.id] = idx;
   return PageHandle(this, idx, f.data.get());
 }
 
 void BufferPool::Unpin(size_t frame_idx, bool dirty) {
   Frame& f = frames_[frame_idx];
+  // f.id is stable while pinned, so this resolves the right shard.
+  Shard& s = ShardOf(f.id);
+  std::lock_guard<std::mutex> lk(s.mu);
   assert(f.pin_count > 0);
   if (dirty) f.dirty = true;
   if (--f.pin_count == 0) {
+    std::lock_guard<std::mutex> lru_lk(lru_mu_);
     lru_.push_back(frame_idx);
     f.lru_it = std::prev(lru_.end());
     f.in_lru = true;
@@ -144,10 +243,15 @@ void BufferPool::Unpin(size_t frame_idx, bool dirty) {
 }
 
 Status BufferPool::FlushAll() {
+  // Runs in serial context only (no concurrent workers).
+  std::lock_guard<std::mutex> ev(evict_mu_);
   for (Frame& f : frames_) {
     if (f.in_use && f.dirty) {
       R3_RETURN_IF_ERROR(disk_->WritePage(f.id, f.data.get()));
-      ++stats_.page_writes;
+      {
+        std::lock_guard<std::mutex> lk(ShardOf(f.id).mu);
+        ++ShardOf(f.id).stats.page_writes;
+      }
       clock_->ChargePageWrite();
       f.dirty = false;
     }
@@ -157,12 +261,17 @@ Status BufferPool::FlushAll() {
 
 Status BufferPool::Reset() {
   R3_RETURN_IF_ERROR(FlushAll());
+  std::lock_guard<std::mutex> ev(evict_mu_);
   for (Frame& f : frames_) {
     if (f.pin_count > 0) {
       return Status::Internal("Reset with pinned pages");
     }
   }
-  page_table_.clear();
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.page_table.clear();
+  }
+  std::lock_guard<std::mutex> lru_lk(lru_mu_);
   lru_.clear();
   free_frames_.clear();
   for (size_t i = 0; i < frames_.size(); ++i) {
@@ -171,8 +280,25 @@ Status BufferPool::Reset() {
     frames_[i].dirty = false;
     free_frames_.push_back(frames_.size() - 1 - i);
   }
+  std::lock_guard<std::mutex> stream_lk(stream_mu_);
   last_read_page_.clear();
   return Status::OK();
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats total;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    total += s.stats;
+  }
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.stats = BufferPoolStats();
+  }
 }
 
 }  // namespace rdbms

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -45,7 +46,7 @@ class PageHandle {
 
 /// I/O statistics (cumulative).
 struct BufferPoolStats {
-  uint64_t logical_reads = 0;   ///< FetchPage calls
+  uint64_t logical_reads = 0;   ///< FetchPage/ReadPageForScan calls
   uint64_t physical_reads = 0;  ///< misses that hit the Disk
   uint64_t sequential_reads = 0;
   uint64_t random_reads = 0;
@@ -56,6 +57,15 @@ struct BufferPoolStats {
                ? 0.0
                : 1.0 - static_cast<double>(physical_reads) / logical_reads;
   }
+
+  BufferPoolStats& operator+=(const BufferPoolStats& o) {
+    logical_reads += o.logical_reads;
+    physical_reads += o.physical_reads;
+    sequential_reads += o.sequential_reads;
+    random_reads += o.random_reads;
+    page_writes += o.page_writes;
+    return *this;
+  }
 };
 
 /// Fixed-capacity LRU buffer pool over a Disk.
@@ -65,16 +75,39 @@ struct BufferPoolStats {
 /// can reproduce that setting. Every physical transfer charges the shared
 /// SimClock, classifying a read as sequential when it follows the previous
 /// read of the same file by exactly one page.
+///
+/// Thread safety: the page table is partitioned into kNumShards shards
+/// (hash(PageId) -> shard), each guarded by its own latch and carrying its
+/// own stats counters (aggregated on read by stats()). The LRU list and
+/// free list stay global under `lru_mu_` — a single replacement order keeps
+/// serial eviction behaviour identical to the unsharded pool — and the
+/// miss/eviction path is serialized by `evict_mu_`. Lock order: shard -> lru,
+/// evict -> shard, evict -> lru; lru_mu_ is always innermost, so there is no
+/// cycle.
+///
+/// Parallel table scans use ReadPageForScan(), which copies a resident frame
+/// out under the shard latch (or reads the Disk into the caller's buffer on
+/// a miss) without pinning, touching the LRU, or evicting — pool state is
+/// untouched, so concurrent-scan hit/miss behaviour depends only on the pool
+/// contents before the parallel region. That keeps simulated time
+/// deterministic and models scan-resistant buffer management (large scans do
+/// not flush the working set).
 class BufferPool {
  public:
+  static constexpr size_t kNumShards = 16;  // power of two
+
   /// `capacity_bytes` is rounded down to whole frames (>= 8 frames enforced).
   BufferPool(Disk* disk, SimClock* clock, size_t capacity_bytes);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Pins the page in memory, reading it from disk on a miss.
+  /// Pins the page in memory, reading it from disk on a miss. Thread-safe.
   Result<PageHandle> FetchPage(PageId id);
+
+  /// Copies the page into `buf` (kPageSize bytes) without pinning or
+  /// disturbing replacement state. Thread-safe; see class comment.
+  Status ReadPageForScan(PageId id, char* buf);
 
   /// Allocates a fresh page in `file_id` and pins it (zeroed, dirty).
   Result<PageHandle> NewPage(uint32_t file_id, uint32_t* page_no);
@@ -85,8 +118,10 @@ class BufferPool {
   /// Drops all frames (asserts nothing pinned); flushes dirty ones.
   Status Reset();
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats(); }
+  /// Aggregates per-shard counters; a consistent snapshot only while no
+  /// reads are in flight.
+  BufferPoolStats stats() const;
+  void ResetStats();
 
   size_t capacity_frames() const { return frames_.size(); }
   SimClock* clock() { return clock_; }
@@ -105,18 +140,31 @@ class BufferPool {
     bool in_lru = false;
   };
 
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PageId, size_t, PageIdHash> page_table;
+    BufferPoolStats stats;
+  };
+
+  Shard& ShardOf(PageId id) { return shards_[PageIdHash{}(id) % kNumShards]; }
+
   void Unpin(size_t frame_idx, bool dirty);
+  /// Caller must hold evict_mu_.
   Result<size_t> GetVictimFrame();
-  void ChargeRead(PageId id);
+  /// Classifies a physical read against the active lane's (or the shared)
+  /// read stream, charges the clock, and returns true when sequential.
+  bool ChargeRead(PageId id);
 
   Disk* disk_;
   SimClock* clock_;
   std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t, PageIdHash> page_table_;
+  Shard shards_[kNumShards];
+  std::mutex lru_mu_;      // guards lru_ + free_frames_ + Frame lru links
+  std::mutex evict_mu_;    // serializes the miss/eviction path
+  std::mutex stream_mu_;   // guards last_read_page_ (serial read stream)
   std::list<size_t> lru_;  // front = least recently used
   std::vector<size_t> free_frames_;
   std::unordered_map<uint32_t, uint32_t> last_read_page_;  // file -> page_no
-  BufferPoolStats stats_;
 };
 
 }  // namespace rdbms

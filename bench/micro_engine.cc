@@ -5,6 +5,9 @@
 // itself (the paper tables measure simulated time).
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "appsys/app_server.h"
 #include "common/str_util.h"
 #include "rdbms/db.h"
@@ -17,8 +20,13 @@ using rdbms::Database;
 using rdbms::Row;
 using rdbms::Value;
 
+/// Set by --batch-size=N (0 = engine default). 1 reproduces the legacy
+/// row-at-a-time pipeline shape for before/after ablations.
+size_t g_batch_rows = 0;
+
 std::unique_ptr<Database> MakeDbWithTable(int64_t rows) {
   auto db = std::make_unique<Database>();
+  if (g_batch_rows > 0) db->set_batch_rows(g_batch_rows);
   Status st = db->Execute(
       "CREATE TABLE t (id INT, grp INT, payload CHAR(32), val DECIMAL, "
       "PRIMARY KEY (id))");
@@ -113,6 +121,23 @@ void BM_UnpreparedPointQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_UnpreparedPointQuery);
 
+void BM_ScanFilterAgg(benchmark::State& state) {
+  // The batch-size ablation: scan -> filter -> hash aggregate over 20k rows
+  // at the arg's RowBatch capacity (1 = legacy row-at-a-time shape).
+  // Simulated time is batch-size invariant; wall-clock is what moves.
+  auto db = MakeDbWithTable(20000);
+  db->set_batch_rows(g_batch_rows > 0 ? g_batch_rows
+                                      : static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto res = db->Query(
+        "SELECT grp, COUNT(*), SUM(val) FROM t WHERE val > 100.0 GROUP BY grp");
+    if (!res.ok()) std::abort();
+    benchmark::DoNotOptimize(res.value().rows.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_ScanFilterAgg)->Arg(1)->Arg(7)->Arg(64)->Arg(1024);
+
 void BM_HashJoinQuery(benchmark::State& state) {
   auto db = std::make_unique<Database>();
   if (!db->Execute("CREATE TABLE a (id INT, x INT, PRIMARY KEY (id))").ok() ||
@@ -178,4 +203,26 @@ BENCHMARK(BM_ClusterDecode);
 }  // namespace
 }  // namespace r3
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus one extra flag: --batch-size=N pins every
+// benchmark database to N-row batches (1 = legacy row-at-a-time shape),
+// overriding BM_ScanFilterAgg's per-arg sweep.
+int main(int argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--batch-size=";
+    if (arg.rfind(prefix, 0) == 0) {
+      r3::g_batch_rows =
+          static_cast<size_t>(std::strtoull(arg.c_str() + prefix.size(),
+                                            nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -27,9 +27,23 @@ Result<rdbms::QueryResult> DbConnection::ExecuteCursor(
     ++stats_.cursor_cache_hits;
   }
   R3_ASSIGN_OR_RETURN(rdbms::PreparedStatement * stmt, db_->Prepare(sql));
-  R3_ASSIGN_OR_RETURN(rdbms::QueryResult result,
-                      db_->ExecutePrepared(stmt, params));
-  ChargeShipment(result);
+  R3_ASSIGN_OR_RETURN(rdbms::Cursor cur, db_->OpenCursor(stmt, params));
+  rdbms::QueryResult result;
+  result.schema = stmt->output_schema();
+  result.column_names = stmt->column_names();
+  rdbms::RowBatch batch(db_->batch_rows());
+  while (true) {
+    R3_ASSIGN_OR_RETURN(bool ok, cur.FetchBatch(&batch));
+    if (!ok) break;
+    // The ship charge is per tuple crossing the interface; batching the
+    // fetch amortizes the call, not the per-tuple cost.
+    stats_.rows_shipped += static_cast<int64_t>(batch.size());
+    clock_->ChargeTupleShip(static_cast<int64_t>(batch.size()));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      result.rows.push_back(std::move(batch.row(i)));
+    }
+  }
+  R3_RETURN_IF_ERROR(cur.Close());
   return result;
 }
 

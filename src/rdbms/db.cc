@@ -36,6 +36,12 @@ void Database::set_dop(int dop) {
   prepared_.clear();
 }
 
+void Database::set_batch_rows(size_t batch_rows) {
+  // Plans are batch-size agnostic (capacity is picked per execution), so
+  // the prepared-statement cache stays valid.
+  options_.batch_rows = batch_rows < 1 ? 1 : batch_rows;
+}
+
 ExecContext Database::MakeExecContext(SubqueryRunnerImpl* runner,
                                       const std::vector<Value>* params) {
   ExecContext ctx;
@@ -45,7 +51,55 @@ ExecContext Database::MakeExecContext(SubqueryRunnerImpl* runner,
   ctx.subqueries = runner;
   ctx.work_mem_bytes = options_.work_mem_bytes;
   ctx.dop = options_.dop;
+  ctx.batch_size = options_.batch_rows < 1 ? 1 : options_.batch_rows;
   return ctx;
+}
+
+// ---------------------------------------------------------------------------
+// Cursor
+// ---------------------------------------------------------------------------
+
+Cursor::~Cursor() {
+  Status st = Close();
+  (void)st;
+}
+
+const Schema& Cursor::output_schema() const {
+  return state_->stmt->plan_.output_schema;
+}
+
+const std::vector<std::string>& Cursor::column_names() const {
+  return state_->stmt->plan_.column_names;
+}
+
+Result<bool> Cursor::FetchBatch(RowBatch* batch) {
+  batch->Clear();
+  if (state_ == nullptr || state_->done) return false;
+  R3_ASSIGN_OR_RETURN(bool ok, state_->stmt->plan_.root->NextBatch(batch));
+  if (!ok) state_->done = true;
+  return ok;
+}
+
+Status Cursor::Close() {
+  if (state_ == nullptr) return Status::OK();
+  Status st = state_->stmt->plan_.root->Close();
+  state_.reset();
+  return st;
+}
+
+Result<Cursor> Database::OpenCursor(PreparedStatement* stmt,
+                                    const std::vector<Value>& params) {
+  Cursor cur;
+  cur.state_ = std::make_unique<Cursor::State>();
+  Cursor::State* st = cur.state_.get();
+  st->stmt = stmt;
+  st->params = params;
+  stmt->plan_.runner->BindExecution(pool_.get(), clock_, &st->params,
+                                    options_.work_mem_bytes, options_.dop,
+                                    options_.batch_rows);
+  st->ctx = MakeExecContext(stmt->plan_.runner.get(), &st->params);
+  R3_RETURN_IF_ERROR(stmt->plan_.root->Open(&st->ctx));
+  return cur;
 }
 
 Status Database::Execute(const std::string& sql,
@@ -124,17 +178,20 @@ Status Database::ExecuteSelect(const SelectStmt& stmt,
   R3_ASSIGN_OR_RETURN(PhysicalPlan plan, opt.Plan(std::move(bq)));
 
   plan.runner->BindExecution(pool_.get(), clock_, &params,
-                             options_.work_mem_bytes, options_.dop);
+                             options_.work_mem_bytes, options_.dop,
+                             options_.batch_rows);
   ExecContext ctx = MakeExecContext(plan.runner.get(), &params);
   result->schema = plan.output_schema;
   result->column_names = plan.column_names;
   result->rows.clear();
   R3_RETURN_IF_ERROR(plan.root->Open(&ctx));
-  Row row;
+  RowBatch batch(ctx.batch_size);
   while (true) {
-    R3_ASSIGN_OR_RETURN(bool ok, plan.root->Next(&row));
+    R3_ASSIGN_OR_RETURN(bool ok, plan.root->NextBatch(&batch));
     if (!ok) break;
-    result->rows.push_back(std::move(row));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      result->rows.push_back(std::move(batch.row(i)));
+    }
   }
   return plan.root->Close();
 }
@@ -160,20 +217,19 @@ Result<PreparedStatement*> Database::Prepare(const std::string& sql) {
 
 Result<QueryResult> Database::ExecutePrepared(PreparedStatement* stmt,
                                               const std::vector<Value>& params) {
-  stmt->plan_.runner->BindExecution(pool_.get(), clock_, &params,
-                                    options_.work_mem_bytes, options_.dop);
-  ExecContext ctx = MakeExecContext(stmt->plan_.runner.get(), &params);
+  R3_ASSIGN_OR_RETURN(Cursor cur, OpenCursor(stmt, params));
   QueryResult result;
   result.schema = stmt->plan_.output_schema;
   result.column_names = stmt->plan_.column_names;
-  R3_RETURN_IF_ERROR(stmt->plan_.root->Open(&ctx));
-  Row row;
+  RowBatch batch(options_.batch_rows < 1 ? 1 : options_.batch_rows);
   while (true) {
-    R3_ASSIGN_OR_RETURN(bool ok, stmt->plan_.root->Next(&row));
+    R3_ASSIGN_OR_RETURN(bool ok, cur.FetchBatch(&batch));
     if (!ok) break;
-    result.rows.push_back(std::move(row));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      result.rows.push_back(std::move(batch.row(i)));
+    }
   }
-  R3_RETURN_IF_ERROR(stmt->plan_.root->Close());
+  R3_RETURN_IF_ERROR(cur.Close());
   return result;
 }
 
@@ -184,6 +240,41 @@ Result<std::string> Database::Explain(const std::string& sql) {
   Optimizer opt(catalog_.get(), options_.planner);
   R3_ASSIGN_OR_RETURN(PhysicalPlan plan, opt.Plan(std::move(bq)));
   return plan.Explain();
+}
+
+Result<std::string> Database::ExplainAnalyze(const std::string& sql,
+                                             const std::vector<Value>& params) {
+  clock_->ChargeStatementCompile();
+  R3_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, ParseSelect(sql));
+  Binder binder(catalog_.get());
+  R3_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bq, binder.BindSelect(*sel));
+  Optimizer opt(catalog_.get(), options_.planner);
+  R3_ASSIGN_OR_RETURN(PhysicalPlan plan, opt.Plan(std::move(bq)));
+
+  plan.runner->BindExecution(pool_.get(), clock_, &params,
+                             options_.work_mem_bytes, options_.dop,
+                             options_.batch_rows);
+  ExecContext ctx = MakeExecContext(plan.runner.get(), &params);
+  ExecContext::Totals totals;
+  ctx.totals = &totals;
+  R3_RETURN_IF_ERROR(plan.root->Open(&ctx));
+  RowBatch batch(ctx.batch_size);
+  int64_t result_rows = 0;
+  while (true) {
+    R3_ASSIGN_OR_RETURN(bool ok, plan.root->NextBatch(&batch));
+    if (!ok) break;
+    result_rows += static_cast<int64_t>(batch.size());
+  }
+  R3_RETURN_IF_ERROR(plan.root->Close());
+  std::string out = ExplainPlan(*plan.root, /*analyze=*/true);
+  out += str::Format(
+      "\nTotals: result_rows=%lld exchanged_rows=%lld batches=%lld "
+      "opens=%lld closes=%lld",
+      static_cast<long long>(result_rows), static_cast<long long>(totals.rows),
+      static_cast<long long>(totals.batches),
+      static_cast<long long>(totals.opens),
+      static_cast<long long>(totals.closes));
+  return out;
 }
 
 // ---------------------------------------------------------------------------

@@ -26,6 +26,10 @@ struct DatabaseOptions {
   /// Copied into `planner.dop` at construction; change later via
   /// Database::set_dop().
   int dop = 1;
+  /// Rows per RowBatch in the execution pipeline (1 = row-at-a-time shape).
+  /// Purely a wall-clock knob: results and simulated times do not depend on
+  /// it (DESIGN.md §6).
+  size_t batch_rows = kDefaultBatchRows;
   PlannerOptions planner;
 };
 
@@ -49,8 +53,47 @@ class PreparedStatement {
 
  private:
   friend class Database;
+  friend class Cursor;
   std::string sql_;
   PhysicalPlan plan_;
+};
+
+/// An open server-side cursor over a prepared statement: the unit the app
+/// server's Open SQL layer fetches from, one batch per FetchBatch call.
+/// Movable; closing (or destroying) releases the plan for the next open.
+class Cursor {
+ public:
+  Cursor() = default;
+  ~Cursor();
+
+  Cursor(Cursor&&) noexcept = default;
+  Cursor& operator=(Cursor&&) noexcept = default;
+  Cursor(const Cursor&) = delete;
+  Cursor& operator=(const Cursor&) = delete;
+
+  bool valid() const { return state_ != nullptr; }
+  const Schema& output_schema() const;
+  const std::vector<std::string>& column_names() const;
+
+  /// Fills `*batch` with up to `batch->capacity()` result rows; returns
+  /// false when the cursor is exhausted (the batch is then empty).
+  Result<bool> FetchBatch(RowBatch* batch);
+
+  /// Closes the underlying plan. Idempotent; the destructor calls it too.
+  Status Close();
+
+ private:
+  friend class Database;
+
+  /// Heap-allocated so the ExecContext's pointer to `params` survives moves
+  /// of the Cursor object.
+  struct State {
+    PreparedStatement* stmt = nullptr;
+    std::vector<Value> params;
+    ExecContext ctx;
+    bool done = false;
+  };
+  std::unique_ptr<State> state_;
 };
 
 /// The embedded relational database: the stand-in for the paper's unnamed
@@ -80,6 +123,11 @@ class Database {
   void set_dop(int dop);
   int dop() const { return options_.dop; }
 
+  /// Changes the execution batch size for subsequent statements (min 1).
+  /// Plans don't embed it, so cached prepared statements stay valid.
+  void set_batch_rows(size_t batch_rows);
+  size_t batch_rows() const { return options_.batch_rows; }
+
   // -- SQL entry points -----------------------------------------------------
 
   /// Parses, plans, and runs a statement of any kind. For SELECTs the rows
@@ -100,8 +148,21 @@ class Database {
   Result<QueryResult> ExecutePrepared(PreparedStatement* stmt,
                                       const std::vector<Value>& params = {});
 
+  /// Opens a server-side cursor on a prepared statement: binds `params`,
+  /// opens the plan, and returns a Cursor to FetchBatch from. One cursor at
+  /// a time per PreparedStatement (the plan tree is single-use until
+  /// closed).
+  Result<Cursor> OpenCursor(PreparedStatement* stmt,
+                            const std::vector<Value>& params = {});
+
   /// Plans a SELECT and renders the physical plan without running it.
   Result<std::string> Explain(const std::string& sql);
+
+  /// Plans, runs, and renders the physical plan annotated with per-operator
+  /// runtime counters (rows/batches/opens/simulated time) plus query-wide
+  /// totals — the EXPLAIN ANALYZE view.
+  Result<std::string> ExplainAnalyze(const std::string& sql,
+                                     const std::vector<Value>& params = {});
 
   // -- Direct (non-SQL) row interface; used by bulk loaders ------------------
 

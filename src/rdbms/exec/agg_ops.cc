@@ -38,7 +38,7 @@ HashAggOp::HashAggOp(OperatorPtr child, std::vector<const Expr*> group_exprs,
       group_exprs_(std::move(group_exprs)),
       agg_calls_(std::move(agg_calls)) {}
 
-Status HashAggOp::Open(ExecContext* ctx) {
+Status HashAggOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   results_.clear();
   pos_ = 0;
@@ -54,34 +54,37 @@ Status HashAggOp::Open(ExecContext* ctx) {
         std::min<uint64_t>(est_input_rows_, kMaxReserve)));
   }
 
-  Row row;
   Row keys;
   std::string key;  // reused encode buffer — no per-row allocation
+  EvalContext ec = ctx_->MakeEvalContext(nullptr);
   while (true) {
-    R3_ASSIGN_OR_RETURN(bool ok, child_->Next(&row));
+    child_batch_.Reset(ctx->batch_size);
+    R3_ASSIGN_OR_RETURN(bool ok, child_->NextBatch(&child_batch_));
     if (!ok) break;
-    ctx_->clock->ChargeDbmsTuple();
-    EvalContext ec = ctx_->MakeEvalContext(&row);
-    key.clear();
-    keys.clear();
-    for (const Expr* g : group_exprs_) {
-      Value v;
-      R3_RETURN_IF_ERROR(EvalExpr(*g, ec, &v));
-      key_codec::EncodeValue(v, &key);
-      keys.push_back(std::move(v));
-    }
-    auto [it, inserted] = groups.try_emplace(key);
-    if (inserted) {
-      it->second.keys = keys;
-      it->second.states.resize(agg_calls_.size());
-    }
-    for (size_t i = 0; i < agg_calls_.size(); ++i) {
-      const Expr& call = *agg_calls_[i];
-      Value arg;
-      if (call.agg_func != AggFunc::kCountStar) {
-        R3_RETURN_IF_ERROR(EvalExpr(*call.children[0], ec, &arg));
+    for (size_t r = 0; r < child_batch_.size(); ++r) {
+      ctx_->clock->ChargeDbmsTuple();
+      ec.row = &child_batch_.row(r);
+      key.clear();
+      keys.clear();
+      for (const Expr* g : group_exprs_) {
+        Value v;
+        R3_RETURN_IF_ERROR(EvalExpr(*g, ec, &v));
+        key_codec::EncodeValue(v, &key);
+        keys.push_back(std::move(v));
       }
-      it->second.states[i].Accumulate(call, arg);
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) {
+        it->second.keys = keys;
+        it->second.states.resize(agg_calls_.size());
+      }
+      for (size_t i = 0; i < agg_calls_.size(); ++i) {
+        const Expr& call = *agg_calls_[i];
+        Value arg;
+        if (call.agg_func != AggFunc::kCountStar) {
+          R3_RETURN_IF_ERROR(EvalExpr(*call.children[0], ec, &arg));
+        }
+        it->second.states[i].Accumulate(call, arg);
+      }
     }
   }
   R3_RETURN_IF_ERROR(child_->Close());
@@ -114,19 +117,20 @@ Status HashAggOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Result<bool> HashAggOp::Next(Row* out) {
-  if (pos_ >= results_.size()) return false;
-  *out = results_[pos_++];
-  return true;
+Result<bool> HashAggOp::NextBatchImpl(RowBatch* out) {
+  while (!out->full() && pos_ < results_.size()) {
+    out->AppendRow() = results_[pos_++];  // copy: results_ replay on re-open
+  }
+  return !out->empty();
 }
 
-Status HashAggOp::Close() {
+Status HashAggOp::CloseImpl() {
   results_.clear();
   pos_ = 0;
   return Status::OK();
 }
 
-std::string HashAggOp::DebugString() const {
+std::string HashAggOp::Describe(bool analyze) const {
   std::string out = "HashAggregate(groups=[";
   for (size_t i = 0; i < group_exprs_.size(); ++i) {
     if (i != 0) out += ", ";
@@ -137,7 +141,8 @@ std::string HashAggOp::DebugString() const {
     if (i != 0) out += ", ";
     out += agg_calls_[i]->ToString();
   }
-  return out + "])\n" + Indent(child_->DebugString());
+  return out + "])" + StatsSuffix(analyze) + "\n" +
+         Indent(child_->Describe(analyze));
 }
 
 }  // namespace rdbms

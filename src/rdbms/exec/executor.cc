@@ -4,6 +4,7 @@
 
 #include "common/str_util.h"
 #include "rdbms/index/key_codec.h"
+#include "rdbms/storage/page.h"
 
 namespace r3 {
 namespace rdbms {
@@ -24,18 +25,57 @@ std::string Indent(const std::string& s) {
   return out;
 }
 
-Result<bool> PassesAll(const std::vector<const Expr*>& preds,
-                       const EvalContext& ec) {
-  for (const Expr* p : preds) {
-    R3_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*p, ec));
-    if (!ok) return false;
-  }
-  return true;
-}
-
 }  // namespace
 
-std::string ExplainPlan(const Operator& root) { return root.DebugString(); }
+// ---------------------------------------------------------------------------
+// Operator wrappers
+// ---------------------------------------------------------------------------
+
+Status Operator::Open(ExecContext* ctx) {
+  stats_clock_ = ctx->clock;
+  totals_ = ctx->totals;
+  ++stats_.opens;
+  if (totals_ != nullptr) ++totals_->opens;
+  int64_t t0 = stats_clock_ != nullptr ? stats_clock_->NowMicros() : 0;
+  Status s = OpenImpl(ctx);
+  if (stats_clock_ != nullptr) stats_.sim_us += stats_clock_->NowMicros() - t0;
+  return s;
+}
+
+Result<bool> Operator::NextBatch(RowBatch* out) {
+  out->Clear();
+  int64_t t0 = stats_clock_ != nullptr ? stats_clock_->NowMicros() : 0;
+  Result<bool> r = NextBatchImpl(out);
+  if (stats_clock_ != nullptr) stats_.sim_us += stats_clock_->NowMicros() - t0;
+  if (r.ok() && r.value()) {
+    stats_.rows_out += static_cast<int64_t>(out->size());
+    ++stats_.batches_out;
+    if (totals_ != nullptr) {
+      totals_->rows += static_cast<int64_t>(out->size());
+      ++totals_->batches;
+    }
+  }
+  return r;
+}
+
+Status Operator::Close() {
+  ++stats_.closes;
+  if (totals_ != nullptr) ++totals_->closes;
+  return CloseImpl();
+}
+
+std::string Operator::StatsSuffix(bool analyze) const {
+  if (!analyze) return "";
+  return str::Format(" [rows=%lld batches=%lld opens=%lld sim=%lldus]",
+                     static_cast<long long>(stats_.rows_out),
+                     static_cast<long long>(stats_.batches_out),
+                     static_cast<long long>(stats_.opens),
+                     static_cast<long long>(stats_.sim_us));
+}
+
+std::string ExplainPlan(const Operator& root, bool analyze) {
+  return root.Describe(analyze);
+}
 
 std::string RowKey(const Row& row) { return key_codec::Encode(row); }
 std::string ValuesKey(const std::vector<Value>& values) {
@@ -53,40 +93,61 @@ SeqScanOp::SeqScanOp(const TableInfo* table, size_t offset, size_t wide_width,
       wide_width_(wide_width),
       filters_(std::move(filters)) {}
 
-Status SeqScanOp::Open(ExecContext* ctx) {
+Status SeqScanOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
-  it_ = std::make_unique<HeapFile::Iterator>(table_->heap.get());
+  page_no_ = 0;
+  slot_ = 0;
+  done_ = false;
   return Status::OK();
 }
 
-Result<bool> SeqScanOp::Next(Row* out) {
-  Rid rid;
-  std::string rec;
-  Row table_row;
-  while (true) {
-    R3_ASSIGN_OR_RETURN(bool ok, it_->Next(&rid, &rec));
-    if (!ok) return false;
-    ctx_->clock->ChargeDbmsTuple();
-    R3_RETURN_IF_ERROR(DeserializeRow(table_->schema, rec, &table_row));
-    out->assign(wide_width_, Value::Null());
-    for (size_t i = 0; i < table_row.size(); ++i) {
-      (*out)[offset_ + i] = std::move(table_row[i]);
+Result<bool> SeqScanOp::NextBatchImpl(RowBatch* out) {
+  if (done_) return false;
+  R3_ASSIGN_OR_RETURN(uint32_t num_pages, table_->heap->NumPages());
+  EvalContext ec = ctx_->MakeEvalContext(nullptr);
+  while (!out->full()) {
+    if (page_no_ >= num_pages) {
+      done_ = true;
+      break;
     }
-    EvalContext ec = ctx_->MakeEvalContext(out);
-    R3_ASSIGN_OR_RETURN(bool pass, PassesAll(filters_, ec));
-    if (pass) return true;
+    size_t first = out->size();
+    {
+      R3_ASSIGN_OR_RETURN(
+          PageHandle h,
+          ctx_->pool->FetchPage(PageId{table_->heap->file_id(), page_no_}));
+      SlottedPage page(h.data());
+      while (slot_ < page.slot_count() && !out->full()) {
+        uint16_t s = static_cast<uint16_t>(slot_++);
+        if (!page.IsLive(s)) continue;
+        ctx_->clock->ChargeDbmsTuple();
+        R3_ASSIGN_OR_RETURN(std::string_view rec, page.Read(s));
+        R3_RETURN_IF_ERROR(DeserializeRow(table_->schema, rec, &table_row_));
+        Row& wide = out->AppendRow();
+        wide.assign(wide_width_, Value::Null());
+        for (size_t i = 0; i < table_row_.size(); ++i) {
+          wide[offset_ + i] = std::move(table_row_[i]);
+        }
+      }
+      if (slot_ >= page.slot_count()) {
+        ++page_no_;
+        slot_ = 0;
+      }
+    }  // pin released before filters run (they may execute subqueries)
+    if (!filters_.empty() && out->size() > first) {
+      R3_RETURN_IF_ERROR(
+          EvalPredicatesBatch(filters_, &ec, *out, first, &sel_));
+      out->Keep(sel_, first);
+    }
   }
+  return !out->empty();
 }
 
-Status SeqScanOp::Close() {
-  it_.reset();
-  return Status::OK();
-}
+Status SeqScanOp::CloseImpl() { return Status::OK(); }
 
-std::string SeqScanOp::DebugString() const {
+std::string SeqScanOp::Describe(bool analyze) const {
   std::string out = "SeqScan(" + table_->name;
   for (const Expr* f : filters_) out += ", " + f->ToString();
-  return out + ")";
+  return out + ")" + StatsSuffix(analyze);
 }
 
 // ---------------------------------------------------------------------------
@@ -103,7 +164,7 @@ IndexScanOp::IndexScanOp(const TableInfo* table, const IndexInfo* index,
       bounds_(std::move(bounds)),
       filters_(std::move(residual_filters)) {}
 
-Status IndexScanOp::Open(ExecContext* ctx) {
+Status IndexScanOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   done_ = false;
   // Evaluate the bound expressions (no row context: literals/params only).
@@ -143,47 +204,49 @@ Status IndexScanOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Result<bool> IndexScanOp::Next(Row* out) {
+Result<bool> IndexScanOp::NextBatchImpl(RowBatch* out) {
   if (done_) return false;
+  EvalContext ec = ctx_->MakeEvalContext(nullptr);
   std::string key;
   uint64_t payload = 0;
-  std::string rec;
-  Row table_row;
-  while (true) {
-    R3_ASSIGN_OR_RETURN(bool ok, cursor_->Next(&key, &payload));
-    if (!ok) {
-      done_ = true;
-      return false;
+  while (!out->full() && !done_) {
+    size_t first = out->size();
+    while (!out->full()) {
+      R3_ASSIGN_OR_RETURN(bool ok, cursor_->Next(&key, &payload));
+      if (!ok || (!stop_key_.empty() && key >= stop_key_)) {
+        done_ = true;
+        break;
+      }
+      ctx_->clock->ChargeDbmsTuple();
+      R3_RETURN_IF_ERROR(table_->heap->Get(Rid::Unpack(payload), &rec_));
+      R3_RETURN_IF_ERROR(DeserializeRow(table_->schema, rec_, &table_row_));
+      Row& wide = out->AppendRow();
+      wide.assign(wide_width_, Value::Null());
+      for (size_t i = 0; i < table_row_.size(); ++i) {
+        wide[offset_ + i] = std::move(table_row_[i]);
+      }
     }
-    if (!stop_key_.empty() && key >= stop_key_) {
-      done_ = true;
-      return false;
+    if (!filters_.empty() && out->size() > first) {
+      R3_RETURN_IF_ERROR(
+          EvalPredicatesBatch(filters_, &ec, *out, first, &sel_));
+      out->Keep(sel_, first);
     }
-    ctx_->clock->ChargeDbmsTuple();
-    R3_RETURN_IF_ERROR(table_->heap->Get(Rid::Unpack(payload), &rec));
-    R3_RETURN_IF_ERROR(DeserializeRow(table_->schema, rec, &table_row));
-    out->assign(wide_width_, Value::Null());
-    for (size_t i = 0; i < table_row.size(); ++i) {
-      (*out)[offset_ + i] = std::move(table_row[i]);
-    }
-    EvalContext ec = ctx_->MakeEvalContext(out);
-    R3_ASSIGN_OR_RETURN(bool pass, PassesAll(filters_, ec));
-    if (pass) return true;
   }
+  return !out->empty();
 }
 
-Status IndexScanOp::Close() {
+Status IndexScanOp::CloseImpl() {
   cursor_.reset();
   return Status::OK();
 }
 
-std::string IndexScanOp::DebugString() const {
+std::string IndexScanOp::Describe(bool analyze) const {
   std::string out = "IndexScan(" + table_->name + " via " + index_->name;
   out += str::Format(", eq=%zu", bounds_.eq_exprs.size());
   if (bounds_.lower != nullptr) out += ", lo=" + bounds_.lower->ToString();
   if (bounds_.upper != nullptr) out += ", hi=" + bounds_.upper->ToString();
   for (const Expr* f : filters_) out += ", " + f->ToString();
-  return out + ")";
+  return out + ")" + StatsSuffix(analyze);
 }
 
 // ---------------------------------------------------------------------------
@@ -193,30 +256,37 @@ std::string IndexScanOp::DebugString() const {
 FilterOp::FilterOp(OperatorPtr child, std::vector<const Expr*> predicates)
     : child_(std::move(child)), predicates_(std::move(predicates)) {}
 
-Status FilterOp::Open(ExecContext* ctx) {
+Status FilterOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   return child_->Open(ctx);
 }
 
-Result<bool> FilterOp::Next(Row* out) {
-  while (true) {
-    R3_ASSIGN_OR_RETURN(bool ok, child_->Next(out));
+Result<bool> FilterOp::NextBatchImpl(RowBatch* out) {
+  EvalContext ec = ctx_->MakeEvalContext(nullptr);
+  while (out->empty()) {
+    // Capacity-bounded pull: the child produces at most as many rows as the
+    // caller still wants, so an early-exiting caller never triggers work the
+    // row-at-a-time engine would not have done (DESIGN.md §6).
+    child_batch_.Reset(out->capacity());
+    R3_ASSIGN_OR_RETURN(bool ok, child_->NextBatch(&child_batch_));
     if (!ok) return false;
-    EvalContext ec = ctx_->MakeEvalContext(out);
-    R3_ASSIGN_OR_RETURN(bool pass, PassesAll(predicates_, ec));
-    if (pass) return true;
+    R3_RETURN_IF_ERROR(
+        EvalPredicatesBatch(predicates_, &ec, child_batch_, 0, &sel_));
+    for (uint32_t idx : sel_) out->PushRow(std::move(child_batch_.row(idx)));
   }
+  return true;
 }
 
-Status FilterOp::Close() { return child_->Close(); }
+Status FilterOp::CloseImpl() { return child_->Close(); }
 
-std::string FilterOp::DebugString() const {
+std::string FilterOp::Describe(bool analyze) const {
   std::string out = "Filter(";
   for (size_t i = 0; i < predicates_.size(); ++i) {
     if (i != 0) out += " AND ";
     out += predicates_[i]->ToString();
   }
-  return out + ")\n" + Indent(child_->DebugString());
+  return out + ")" + StatsSuffix(analyze) + "\n" +
+         Indent(child_->Describe(analyze));
 }
 
 // ---------------------------------------------------------------------------
@@ -226,34 +296,30 @@ std::string FilterOp::DebugString() const {
 ProjectOp::ProjectOp(OperatorPtr child, std::vector<const Expr*> exprs)
     : child_(std::move(child)), exprs_(std::move(exprs)) {}
 
-Status ProjectOp::Open(ExecContext* ctx) {
+Status ProjectOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   return child_->Open(ctx);
 }
 
-Result<bool> ProjectOp::Next(Row* out) {
-  R3_ASSIGN_OR_RETURN(bool ok, child_->Next(&scratch_));
+Result<bool> ProjectOp::NextBatchImpl(RowBatch* out) {
+  child_batch_.Reset(out->capacity());
+  R3_ASSIGN_OR_RETURN(bool ok, child_->NextBatch(&child_batch_));
   if (!ok) return false;
-  out->clear();
-  out->reserve(exprs_.size());
-  EvalContext ec = ctx_->MakeEvalContext(&scratch_);
-  for (const Expr* e : exprs_) {
-    Value v;
-    R3_RETURN_IF_ERROR(EvalExpr(*e, ec, &v));
-    out->push_back(std::move(v));
-  }
+  EvalContext ec = ctx_->MakeEvalContext(nullptr);
+  R3_RETURN_IF_ERROR(EvalProjectionBatch(exprs_, &ec, child_batch_, out));
   return true;
 }
 
-Status ProjectOp::Close() { return child_->Close(); }
+Status ProjectOp::CloseImpl() { return child_->Close(); }
 
-std::string ProjectOp::DebugString() const {
+std::string ProjectOp::Describe(bool analyze) const {
   std::string out = "Project(";
   for (size_t i = 0; i < exprs_.size(); ++i) {
     if (i != 0) out += ", ";
     out += exprs_[i]->ToString();
   }
-  return out + ")\n" + Indent(child_->DebugString());
+  return out + ")" + StatsSuffix(analyze) + "\n" +
+         Indent(child_->Describe(analyze));
 }
 
 // ---------------------------------------------------------------------------
@@ -263,24 +329,29 @@ std::string ProjectOp::DebugString() const {
 LimitOp::LimitOp(OperatorPtr child, int64_t limit)
     : child_(std::move(child)), limit_(limit) {}
 
-Status LimitOp::Open(ExecContext* ctx) {
+Status LimitOp::OpenImpl(ExecContext* ctx) {
   produced_ = 0;
   return child_->Open(ctx);
 }
 
-Result<bool> LimitOp::Next(Row* out) {
+Result<bool> LimitOp::NextBatchImpl(RowBatch* out) {
   if (produced_ >= limit_) return false;
-  R3_ASSIGN_OR_RETURN(bool ok, child_->Next(out));
+  // Shrink the pull to the remaining row budget so a LIMIT cutting
+  // mid-batch never makes the child produce (or charge for) surplus rows.
+  size_t want = std::min<size_t>(
+      out->capacity(), static_cast<size_t>(limit_ - produced_));
+  out->Reset(want);
+  R3_ASSIGN_OR_RETURN(bool ok, child_->NextBatch(out));
   if (!ok) return false;
-  ++produced_;
+  produced_ += static_cast<int64_t>(out->size());
   return true;
 }
 
-Status LimitOp::Close() { return child_->Close(); }
+Status LimitOp::CloseImpl() { return child_->Close(); }
 
-std::string LimitOp::DebugString() const {
-  return str::Format("Limit(%lld)\n", static_cast<long long>(limit_)) +
-         Indent(child_->DebugString());
+std::string LimitOp::Describe(bool analyze) const {
+  return str::Format("Limit(%lld)", static_cast<long long>(limit_)) +
+         StatsSuffix(analyze) + "\n" + Indent(child_->Describe(analyze));
 }
 
 // ---------------------------------------------------------------------------
@@ -290,7 +361,7 @@ std::string LimitOp::DebugString() const {
 DistinctOp::DistinctOp(OperatorPtr child, uint64_t est_rows)
     : child_(std::move(child)), est_rows_(est_rows) {}
 
-Status DistinctOp::Open(ExecContext* ctx) {
+Status DistinctOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   seen_.clear();
   if (est_rows_ > 0) {
@@ -300,25 +371,31 @@ Status DistinctOp::Open(ExecContext* ctx) {
   return child_->Open(ctx);
 }
 
-Result<bool> DistinctOp::Next(Row* out) {
-  while (true) {
-    R3_ASSIGN_OR_RETURN(bool ok, child_->Next(out));
+Result<bool> DistinctOp::NextBatchImpl(RowBatch* out) {
+  while (out->empty()) {
+    child_batch_.Reset(out->capacity());
+    R3_ASSIGN_OR_RETURN(bool ok, child_->NextBatch(&child_batch_));
     if (!ok) return false;
-    ctx_->clock->ChargeDbmsTuple();
-    // Encode into a reused scratch buffer; the set only copies on insert.
-    key_scratch_.clear();
-    for (const Value& v : *out) key_codec::EncodeValue(v, &key_scratch_);
-    if (seen_.insert(key_scratch_).second) return true;
+    for (size_t i = 0; i < child_batch_.size(); ++i) {
+      ctx_->clock->ChargeDbmsTuple();
+      Row& row = child_batch_.row(i);
+      // Encode into a reused scratch buffer; the set only copies on insert.
+      key_scratch_.clear();
+      for (const Value& v : row) key_codec::EncodeValue(v, &key_scratch_);
+      if (seen_.insert(key_scratch_).second) out->PushRow(std::move(row));
+    }
   }
+  return true;
 }
 
-Status DistinctOp::Close() {
+Status DistinctOp::CloseImpl() {
   seen_.clear();
   return child_->Close();
 }
 
-std::string DistinctOp::DebugString() const {
-  return "Distinct\n" + Indent(child_->DebugString());
+std::string DistinctOp::Describe(bool analyze) const {
+  return "Distinct" + StatsSuffix(analyze) + "\n" +
+         Indent(child_->Describe(analyze));
 }
 
 // ---------------------------------------------------------------------------
@@ -328,32 +405,36 @@ std::string DistinctOp::DebugString() const {
 MaterializeOp::MaterializeOp(OperatorPtr child, bool cacheable)
     : child_(std::move(child)), cacheable_(cacheable) {}
 
-Status MaterializeOp::Open(ExecContext* ctx) {
+Status MaterializeOp::OpenImpl(ExecContext* ctx) {
   pos_ = 0;
   if (loaded_ && cacheable_) return Status::OK();
   rows_.clear();
   R3_RETURN_IF_ERROR(child_->Open(ctx));
-  Row row;
   while (true) {
-    R3_ASSIGN_OR_RETURN(bool ok, child_->Next(&row));
+    child_batch_.Reset(ctx->batch_size);
+    R3_ASSIGN_OR_RETURN(bool ok, child_->NextBatch(&child_batch_));
     if (!ok) break;
-    rows_.push_back(row);
+    for (size_t i = 0; i < child_batch_.size(); ++i) {
+      rows_.push_back(std::move(child_batch_.row(i)));
+    }
   }
   R3_RETURN_IF_ERROR(child_->Close());
   loaded_ = true;
   return Status::OK();
 }
 
-Result<bool> MaterializeOp::Next(Row* out) {
-  if (pos_ >= rows_.size()) return false;
-  *out = rows_[pos_++];
-  return true;
+Result<bool> MaterializeOp::NextBatchImpl(RowBatch* out) {
+  while (!out->full() && pos_ < rows_.size()) {
+    out->AppendRow() = rows_[pos_++];  // copy: rows_ replays on re-open
+  }
+  return !out->empty();
 }
 
-Status MaterializeOp::Close() { return Status::OK(); }
+Status MaterializeOp::CloseImpl() { return Status::OK(); }
 
-std::string MaterializeOp::DebugString() const {
-  return "Materialize\n" + Indent(child_->DebugString());
+std::string MaterializeOp::Describe(bool analyze) const {
+  return "Materialize" + StatsSuffix(analyze) + "\n" +
+         Indent(child_->Describe(analyze));
 }
 
 }  // namespace rdbms

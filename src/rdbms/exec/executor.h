@@ -13,6 +13,7 @@
 #include "rdbms/expr/eval.h"
 #include "rdbms/expr/expr.h"
 #include "rdbms/row.h"
+#include "rdbms/row_batch.h"
 
 namespace r3 {
 namespace rdbms {
@@ -34,6 +35,20 @@ struct ExecContext {
   /// own degree of parallelism is fixed by the optimizer; this only caps how
   /// many OS threads execute it (1 = run all lanes on the calling thread).
   int dop = 1;
+  /// Rows per RowBatch for operator-internal pulls (1 = legacy
+  /// row-at-a-time shape). A pure execution knob: results and simulated
+  /// times are identical at any value (DESIGN.md §6).
+  size_t batch_size = kDefaultBatchRows;
+
+  /// Query-wide operator counters, summed across every operator of the plan
+  /// (EXPLAIN ANALYZE sets this; normal execution leaves it null).
+  struct Totals {
+    int64_t rows = 0;     ///< rows exchanged between operators
+    int64_t batches = 0;  ///< non-empty batches exchanged
+    int64_t opens = 0;
+    int64_t closes = 0;
+  };
+  Totals* totals = nullptr;
 
   EvalContext MakeEvalContext(const Row* row) const {
     EvalContext ec;
@@ -45,33 +60,75 @@ struct ExecContext {
   }
 };
 
-/// Volcano-style iterator. All rows exchanged between operators of one query
-/// are "wide rows": the concatenation of every base table's columns (see
-/// plan/logical_plan.h), except downstream of aggregation/projection where
-/// the layouts documented there apply.
+/// Per-operator runtime counters, accumulated across the operator's
+/// lifetime by the non-virtual Open/NextBatch/Close wrappers.
+struct OperatorStats {
+  int64_t rows_out = 0;
+  int64_t batches_out = 0;
+  int64_t opens = 0;
+  int64_t closes = 0;
+  /// Inclusive simulated time (this operator plus its inputs), measured as
+  /// the shared-clock delta across Open and every NextBatch call.
+  int64_t sim_us = 0;
+};
+
+/// Batch-at-a-time (vectorized Volcano) operator. All rows exchanged
+/// between operators of one query are "wide rows": the concatenation of
+/// every base table's columns (see plan/logical_plan.h), except downstream
+/// of aggregation/projection where the layouts documented there apply.
+///
+/// NextBatch contract: the wrapper clears `*out`; the operator fills at
+/// most `out->capacity()` rows and returns true iff it produced at least
+/// one (false is sticky until the next Open, and implies an empty batch).
+/// Partial batches do NOT signal exhaustion. Operators must bound every
+/// child pull by the caller's capacity so early-exiting consumers (LIMIT,
+/// EXISTS/scalar subqueries) trigger exactly the work — and therefore the
+/// simulated charges — of the row-at-a-time engine.
 class Operator {
  public:
   virtual ~Operator() = default;
 
   /// (Re)initializes; must be callable repeatedly.
-  virtual Status Open(ExecContext* ctx) = 0;
+  Status Open(ExecContext* ctx);
 
-  /// Produces the next row into `*out`; returns false when exhausted.
-  virtual Result<bool> Next(Row* out) = 0;
+  /// Produces the next batch of rows into `*out` (cleared first); returns
+  /// false when exhausted.
+  Result<bool> NextBatch(RowBatch* out);
 
-  virtual Status Close() = 0;
+  Status Close();
 
   /// Width of rows this operator produces.
   virtual size_t OutputWidth() const = 0;
 
-  /// Human-readable plan node for EXPLAIN-style rendering.
-  virtual std::string DebugString() const = 0;
+  /// Human-readable plan node for EXPLAIN-style rendering. With `analyze`,
+  /// nodes append their runtime counters (see StatsSuffix).
+  virtual std::string Describe(bool analyze) const = 0;
+
+  /// Plan rendering without runtime counters (byte-identical to the
+  /// pre-batch engine's output).
+  std::string DebugString() const { return Describe(false); }
+
+  const OperatorStats& stats() const { return stats_; }
+
+ protected:
+  virtual Status OpenImpl(ExecContext* ctx) = 0;
+  virtual Result<bool> NextBatchImpl(RowBatch* out) = 0;
+  virtual Status CloseImpl() = 0;
+
+  /// " [rows=... batches=... opens=... sim=...us]" when `analyze`, else "".
+  std::string StatsSuffix(bool analyze) const;
+
+ private:
+  OperatorStats stats_;
+  SimClock* stats_clock_ = nullptr;
+  ExecContext::Totals* totals_ = nullptr;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
-/// Renders the plan tree (indented, one node per line).
-std::string ExplainPlan(const Operator& root);
+/// Renders the plan tree (indented, one node per line). With `analyze`,
+/// every node is annotated with its accumulated runtime counters.
+std::string ExplainPlan(const Operator& root, bool analyze = false);
 
 // ---------------------------------------------------------------------------
 // Scans
@@ -79,16 +136,23 @@ std::string ExplainPlan(const Operator& root);
 
 /// Full scan of `table`, emitting wide rows with the table's columns at
 /// `offset` and NULL elsewhere; applies pushed-down filters.
+///
+/// Batched: pins each heap page once per fill loop and decodes rows
+/// straight from the frame (the row-at-a-time path re-fetched the pinned
+/// page per record), releasing the pin before filters run so predicates
+/// with subqueries cannot pile up pins.
 class SeqScanOp : public Operator {
  public:
   SeqScanOp(const TableInfo* table, size_t offset, size_t wide_width,
             std::vector<const Expr*> filters);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Row* out) override;
-  Status Close() override;
   size_t OutputWidth() const override { return wide_width_; }
-  std::string DebugString() const override;
+  std::string Describe(bool analyze) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Status CloseImpl() override;
 
  private:
   const TableInfo* table_;
@@ -96,7 +160,11 @@ class SeqScanOp : public Operator {
   size_t wide_width_;
   std::vector<const Expr*> filters_;
   ExecContext* ctx_ = nullptr;
-  std::unique_ptr<HeapFile::Iterator> it_;
+  uint32_t page_no_ = 0;
+  uint32_t slot_ = 0;  // next slot to examine on page_no_
+  bool done_ = false;
+  Row table_row_;  // decode scratch
+  SelVector sel_;
 };
 
 /// Bounds of an index scan. Leading index columns are constrained by
@@ -120,11 +188,13 @@ class IndexScanOp : public Operator {
               size_t wide_width, IndexBounds bounds,
               std::vector<const Expr*> residual_filters);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Row* out) override;
-  Status Close() override;
   size_t OutputWidth() const override { return wide_width_; }
-  std::string DebugString() const override;
+  std::string Describe(bool analyze) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Status CloseImpl() override;
 
  private:
   const TableInfo* table_;
@@ -137,27 +207,35 @@ class IndexScanOp : public Operator {
   std::unique_ptr<BTree::Cursor> cursor_;
   std::string stop_key_;  ///< exclusive upper bound ("" = none)
   bool done_ = false;
+  std::string rec_;  // heap-fetch scratch
+  Row table_row_;
+  SelVector sel_;
 };
 
 // ---------------------------------------------------------------------------
-// Row-at-a-time transforms
+// Streaming transforms
 // ---------------------------------------------------------------------------
 
-/// Applies residual predicates.
+/// Applies residual predicates, compacting each child batch down to the
+/// surviving rows via a selection vector.
 class FilterOp : public Operator {
  public:
   FilterOp(OperatorPtr child, std::vector<const Expr*> predicates);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Row* out) override;
-  Status Close() override;
   size_t OutputWidth() const override { return child_->OutputWidth(); }
-  std::string DebugString() const override;
+  std::string Describe(bool analyze) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Status CloseImpl() override;
 
  private:
   OperatorPtr child_;
   std::vector<const Expr*> predicates_;
   ExecContext* ctx_ = nullptr;
+  RowBatch child_batch_;
+  SelVector sel_;
 };
 
 /// Evaluates the select list, producing output rows.
@@ -165,29 +243,34 @@ class ProjectOp : public Operator {
  public:
   ProjectOp(OperatorPtr child, std::vector<const Expr*> exprs);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Row* out) override;
-  Status Close() override;
   size_t OutputWidth() const override { return exprs_.size(); }
-  std::string DebugString() const override;
+  std::string Describe(bool analyze) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Status CloseImpl() override;
 
  private:
   OperatorPtr child_;
   std::vector<const Expr*> exprs_;
   ExecContext* ctx_ = nullptr;
-  Row scratch_;
+  RowBatch child_batch_;
 };
 
-/// Stops after `limit` rows.
+/// Stops after `limit` rows, shrinking the pull capacity to the remaining
+/// count so a cut mid-batch never pulls (or charges for) surplus rows.
 class LimitOp : public Operator {
  public:
   LimitOp(OperatorPtr child, int64_t limit);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Row* out) override;
-  Status Close() override;
   size_t OutputWidth() const override { return child_->OutputWidth(); }
-  std::string DebugString() const override;
+  std::string Describe(bool analyze) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Status CloseImpl() override;
 
  private:
   OperatorPtr child_;
@@ -201,11 +284,13 @@ class DistinctOp : public Operator {
  public:
   explicit DistinctOp(OperatorPtr child, uint64_t est_rows = 0);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Row* out) override;
-  Status Close() override;
   size_t OutputWidth() const override { return child_->OutputWidth(); }
-  std::string DebugString() const override;
+  std::string Describe(bool analyze) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Status CloseImpl() override;
 
  private:
   OperatorPtr child_;
@@ -213,6 +298,7 @@ class DistinctOp : public Operator {
   ExecContext* ctx_ = nullptr;
   std::unordered_set<std::string> seen_;
   std::string key_scratch_;
+  RowBatch child_batch_;
 };
 
 /// Materializes and re-emits child rows; Open() after the first run replays
@@ -224,14 +310,16 @@ class MaterializeOp : public Operator {
   /// parameters that change between Opens.
   explicit MaterializeOp(OperatorPtr child, bool cacheable = true);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Row* out) override;
-  Status Close() override;
   size_t OutputWidth() const override { return child_->OutputWidth(); }
-  std::string DebugString() const override;
+  std::string Describe(bool analyze) const override;
 
   /// Accesses the materialized rows after Open.
   const std::vector<Row>& rows() const { return rows_; }
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Status CloseImpl() override;
 
  private:
   OperatorPtr child_;
@@ -239,6 +327,7 @@ class MaterializeOp : public Operator {
   bool loaded_ = false;
   std::vector<Row> rows_;
   size_t pos_ = 0;
+  RowBatch child_batch_;
 };
 
 // ---------------------------------------------------------------------------
@@ -266,15 +355,15 @@ class HashJoinOp : public Operator {
              std::vector<FilledRange> build_ranges, bool preserve_probe,
              uint64_t est_build_rows = 0);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Row* out) override;
-  Status Close() override;
   size_t OutputWidth() const override { return probe_->OutputWidth(); }
-  std::string DebugString() const override;
+  std::string Describe(bool analyze) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Status CloseImpl() override;
 
  private:
-  Result<bool> ProbeAdvance();
-
   OperatorPtr build_;
   OperatorPtr probe_;
   std::vector<const Expr*> build_keys_;
@@ -287,7 +376,8 @@ class HashJoinOp : public Operator {
   ExecContext* ctx_ = nullptr;
   std::unordered_map<std::string, std::vector<Row>> table_;
   std::string key_scratch_;
-  Row probe_row_;
+  RowBatch probe_batch_;
+  size_t probe_pos_ = 0;
   bool have_probe_ = false;
   const std::vector<Row>* matches_ = nullptr;
   size_t match_pos_ = 0;
@@ -306,14 +396,17 @@ class IndexNLJoinOp : public Operator {
                 std::vector<const Expr*> key_exprs,
                 std::vector<const Expr*> residual, bool preserve_left);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Row* out) override;
-  Status Close() override;
   size_t OutputWidth() const override { return left_->OutputWidth(); }
-  std::string DebugString() const override;
+  std::string Describe(bool analyze) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Status CloseImpl() override;
 
  private:
-  Result<bool> AdvanceLeft();
+  /// Computes the probe key and cursor for the current left row.
+  Status BeginProbe(EvalContext* ec);
 
   OperatorPtr left_;
   const TableInfo* table_;
@@ -324,12 +417,16 @@ class IndexNLJoinOp : public Operator {
   bool preserve_left_;
 
   ExecContext* ctx_ = nullptr;
-  Row left_row_;
+  RowBatch left_batch_;
+  size_t left_pos_ = 0;
   bool have_left_ = false;
   bool left_done_ = false;
   std::unique_ptr<BTree::Cursor> cursor_;
   std::string probe_key_;
+  std::string stop_key_;  ///< per-probe upper bound, computed once per probe
   bool emitted_for_left_ = false;
+  std::string rec_;  // heap-fetch scratch
+  Row inner_row_;
 };
 
 /// Nested-loops join over a materialized right side, with an arbitrary
@@ -340,11 +437,13 @@ class NestedLoopsJoinOp : public Operator {
                     std::vector<const Expr*> predicates,
                     std::vector<FilledRange> right_ranges, bool preserve_left);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Row* out) override;
-  Status Close() override;
   size_t OutputWidth() const override { return left_->OutputWidth(); }
-  std::string DebugString() const override;
+  std::string Describe(bool analyze) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Status CloseImpl() override;
 
  private:
   OperatorPtr left_;
@@ -354,8 +453,10 @@ class NestedLoopsJoinOp : public Operator {
   bool preserve_left_;
 
   ExecContext* ctx_ = nullptr;
-  Row left_row_;
-  bool left_done_ = true;
+  RowBatch left_batch_;
+  size_t left_pos_ = 0;
+  bool have_left_ = false;
+  bool left_done_ = false;
   size_t right_pos_ = 0;
   bool emitted_for_left_ = false;
 };
@@ -373,13 +474,15 @@ class HashAggOp : public Operator {
   HashAggOp(OperatorPtr child, std::vector<const Expr*> group_exprs,
             std::vector<const Expr*> agg_calls, uint64_t est_input_rows = 0);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Row* out) override;
-  Status Close() override;
   size_t OutputWidth() const override {
     return group_exprs_.size() + agg_calls_.size();
   }
-  std::string DebugString() const override;
+  std::string Describe(bool analyze) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Status CloseImpl() override;
 
  private:
   OperatorPtr child_;
@@ -389,6 +492,7 @@ class HashAggOp : public Operator {
   ExecContext* ctx_ = nullptr;
   std::vector<Row> results_;
   size_t pos_ = 0;
+  RowBatch child_batch_;
 };
 
 // ---------------------------------------------------------------------------
@@ -407,17 +511,20 @@ class SortOp : public Operator {
  public:
   SortOp(OperatorPtr child, std::vector<SortKey> keys);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Row* out) override;
-  Status Close() override;
   size_t OutputWidth() const override { return child_->OutputWidth(); }
-  std::string DebugString() const override;
+  std::string Describe(bool analyze) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Status CloseImpl() override;
 
  private:
   OperatorPtr child_;
   std::vector<SortKey> keys_;
   std::vector<Row> rows_;
   size_t pos_ = 0;
+  RowBatch child_batch_;
 };
 
 /// Encodes a row (or a subset of its values) into a canonical byte string

@@ -23,15 +23,6 @@ std::string Indent(const std::string& s) {
   return out;
 }
 
-Result<bool> PassesAll(const std::vector<const Expr*>& preds,
-                       const EvalContext& ec) {
-  for (const Expr* p : preds) {
-    R3_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*p, ec));
-    if (!ok) return false;
-  }
-  return true;
-}
-
 void MergeRanges(const Row& src, const std::vector<FilledRange>& ranges,
                  Row* dst) {
   for (const FilledRange& r : ranges) {
@@ -92,7 +83,7 @@ HashJoinOp::HashJoinOp(OperatorPtr build, OperatorPtr probe,
       preserve_probe_(preserve_probe),
       est_build_rows_(est_build_rows) {}
 
-Status HashJoinOp::Open(ExecContext* ctx) {
+Status HashJoinOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   table_.clear();
   matches_ = nullptr;
@@ -100,94 +91,109 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   probe_done_ = false;
   have_probe_ = false;
   emitted_for_probe_ = false;
+  probe_batch_.Clear();
+  probe_pos_ = 0;
 
   if (est_build_rows_ > 0) {
     table_.reserve(
         static_cast<size_t>(std::min<uint64_t>(est_build_rows_, kMaxReserve)));
   }
   // A Gather build child runs the scan + key evaluation on its worker pool
-  // (partitioned build); the serial path drains the child row by row.
+  // (partitioned build); the serial path drains the child batch by batch
+  // (probe_batch_ doubles as the drain scratch until probing starts).
   if (auto* gather = dynamic_cast<GatherOp*>(build_.get())) {
     R3_RETURN_IF_ERROR(
         gather->BuildJoinTable(ctx, build_keys_, &table_, est_build_rows_));
     return probe_->Open(ctx);
   }
   R3_RETURN_IF_ERROR(build_->Open(ctx));
-  Row row;
+  EvalContext ec = ctx_->MakeEvalContext(nullptr);
   while (true) {
-    R3_ASSIGN_OR_RETURN(bool ok, build_->Next(&row));
+    probe_batch_.Reset(ctx->batch_size);
+    R3_ASSIGN_OR_RETURN(bool ok, build_->NextBatch(&probe_batch_));
     if (!ok) break;
-    ctx_->clock->ChargeDbmsTuple();
-    EvalContext ec = ctx_->MakeEvalContext(&row);
-    bool null_key = false;
-    R3_RETURN_IF_ERROR(EvalJoinKey(build_keys_, ec, &key_scratch_, &null_key));
-    if (null_key) continue;
-    table_[key_scratch_].push_back(row);
+    for (size_t i = 0; i < probe_batch_.size(); ++i) {
+      ctx_->clock->ChargeDbmsTuple();
+      ec.row = &probe_batch_.row(i);
+      bool null_key = false;
+      R3_RETURN_IF_ERROR(
+          EvalJoinKey(build_keys_, ec, &key_scratch_, &null_key));
+      if (null_key) continue;
+      table_[key_scratch_].push_back(std::move(probe_batch_.row(i)));
+    }
   }
   R3_RETURN_IF_ERROR(build_->Close());
+  probe_batch_.Clear();
   return probe_->Open(ctx);
 }
 
-Result<bool> HashJoinOp::ProbeAdvance() {
-  R3_ASSIGN_OR_RETURN(bool ok, probe_->Next(&probe_row_));
-  if (!ok) {
-    probe_done_ = true;
-    return false;
-  }
-  ctx_->clock->ChargeDbmsTuple();
-  EvalContext ec = ctx_->MakeEvalContext(&probe_row_);
-  bool null_key = false;
-  R3_RETURN_IF_ERROR(EvalJoinKey(probe_keys_, ec, &key_scratch_, &null_key));
-  if (null_key) {
-    matches_ = nullptr;
-  } else {
-    auto it = table_.find(key_scratch_);
-    matches_ = it == table_.end() ? nullptr : &it->second;
-  }
-  match_pos_ = 0;
-  emitted_for_probe_ = false;
-  return true;
-}
-
-Result<bool> HashJoinOp::Next(Row* out) {
-  while (true) {
-    if (probe_done_) return false;
+Result<bool> HashJoinOp::NextBatchImpl(RowBatch* out) {
+  EvalContext ec = ctx_->MakeEvalContext(nullptr);
+  while (!probe_done_) {
     if (!have_probe_) {
-      R3_ASSIGN_OR_RETURN(bool ok, ProbeAdvance());
-      if (!ok) return false;
+      if (probe_pos_ >= probe_batch_.size()) {
+        probe_batch_.Reset(out->capacity());
+        R3_ASSIGN_OR_RETURN(bool ok, probe_->NextBatch(&probe_batch_));
+        if (!ok) {
+          probe_done_ = true;
+          break;
+        }
+        probe_pos_ = 0;
+      }
+      ctx_->clock->ChargeDbmsTuple();
+      ec.row = &probe_batch_.row(probe_pos_);
+      bool null_key = false;
+      R3_RETURN_IF_ERROR(
+          EvalJoinKey(probe_keys_, ec, &key_scratch_, &null_key));
+      if (null_key) {
+        matches_ = nullptr;
+      } else {
+        auto it = table_.find(key_scratch_);
+        matches_ = it == table_.end() ? nullptr : &it->second;
+      }
+      match_pos_ = 0;
+      emitted_for_probe_ = false;
       have_probe_ = true;
     }
+    const Row& probe_row = probe_batch_.row(probe_pos_);
     if (matches_ != nullptr) {
+      // matches_ stays valid across suspensions: unordered_map values are
+      // node-stable and the table is immutable during probing.
       while (match_pos_ < matches_->size()) {
-        Row candidate = probe_row_;
+        if (out->full()) return true;
+        Row& candidate = out->AppendRow();
+        candidate = probe_row;
         MergeRanges((*matches_)[match_pos_], build_ranges_, &candidate);
         ++match_pos_;
-        EvalContext ec = ctx_->MakeEvalContext(&candidate);
-        R3_ASSIGN_OR_RETURN(bool pass, PassesAll(residual_, ec));
+        ec.row = &candidate;
+        R3_ASSIGN_OR_RETURN(bool pass, EvalPredicates(residual_, ec));
         if (pass) {
           emitted_for_probe_ = true;
-          *out = std::move(candidate);
-          return true;
+        } else {
+          out->PopRow();
         }
       }
     }
     // This probe row has no (further) matches.
-    have_probe_ = false;
     if (preserve_probe_ && !emitted_for_probe_) {
+      if (out->full()) return true;
+      Row& preserved = out->AppendRow();
+      preserved = probe_row;
+      NullRanges(build_ranges_, &preserved);
       emitted_for_probe_ = true;
-      *out = probe_row_;
-      NullRanges(build_ranges_, out);
-      return true;
     }
+    have_probe_ = false;
+    ++probe_pos_;
   }
+  return !out->empty();
 }
 
-Status HashJoinOp::Close() {
+Status HashJoinOp::CloseImpl() {
   table_.clear();
   return probe_->Close();
 }
 
-std::string HashJoinOp::DebugString() const {
+std::string HashJoinOp::Describe(bool analyze) const {
   std::string out = preserve_probe_ ? "HashLeftOuterJoin(" : "HashJoin(";
   for (size_t i = 0; i < build_keys_.size(); ++i) {
     if (i != 0) out += ", ";
@@ -195,8 +201,8 @@ std::string HashJoinOp::DebugString() const {
   }
   for (const Expr* r : residual_) out += ", " + r->ToString();
   out += ")";
-  return out + "\n" + Indent(build_->DebugString()) + "\n" +
-         Indent(probe_->DebugString());
+  return out + StatsSuffix(analyze) + "\n" + Indent(build_->Describe(analyze)) +
+         "\n" + Indent(probe_->Describe(analyze));
 }
 
 // ---------------------------------------------------------------------------
@@ -216,89 +222,105 @@ IndexNLJoinOp::IndexNLJoinOp(OperatorPtr left, const TableInfo* table,
       residual_(std::move(residual)),
       preserve_left_(preserve_left) {}
 
-Status IndexNLJoinOp::Open(ExecContext* ctx) {
+Status IndexNLJoinOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   left_done_ = false;
   have_left_ = false;
   cursor_.reset();
   emitted_for_left_ = false;
+  left_batch_.Clear();
+  left_pos_ = 0;
   return left_->Open(ctx);
 }
 
-Result<bool> IndexNLJoinOp::AdvanceLeft() {
-  R3_ASSIGN_OR_RETURN(bool ok, left_->Next(&left_row_));
-  if (!ok) {
-    left_done_ = true;
-    cursor_.reset();
-    return false;
-  }
+Status IndexNLJoinOp::BeginProbe(EvalContext* ec) {
   emitted_for_left_ = false;
   // Compute the probe key; NULL key means no matches.
-  EvalContext ec = ctx_->MakeEvalContext(&left_row_);
+  ec->row = &left_batch_.row(left_pos_);
   probe_key_.clear();
+  stop_key_.clear();
   cursor_.reset();
   for (size_t i = 0; i < key_exprs_.size(); ++i) {
     Value v;
-    R3_RETURN_IF_ERROR(EvalExpr(*key_exprs_[i], ec, &v));
-    if (v.is_null()) return true;  // no cursor -> no matches
+    R3_RETURN_IF_ERROR(EvalExpr(*key_exprs_[i], *ec, &v));
+    if (v.is_null()) return Status::OK();  // no cursor -> no matches
     size_t col = index_->column_indices[i];
     R3_ASSIGN_OR_RETURN(v, v.CastTo(table_->schema.column(col).type));
     key_codec::EncodeValue(v, &probe_key_);
   }
+  // Computed once per probe, not per fetched index entry.
+  stop_key_ = key_codec::PrefixUpperBound(probe_key_);
   R3_ASSIGN_OR_RETURN(BTree::Cursor c, index_->btree->Seek(probe_key_));
   cursor_ = std::make_unique<BTree::Cursor>(std::move(c));
-  return true;
+  return Status::OK();
 }
 
-Result<bool> IndexNLJoinOp::Next(Row* out) {
+Result<bool> IndexNLJoinOp::NextBatchImpl(RowBatch* out) {
+  EvalContext ec = ctx_->MakeEvalContext(nullptr);
   std::string key;
   uint64_t payload = 0;
-  std::string rec;
-  Row inner_row;
-  while (true) {
-    if (left_done_) return false;
+  while (!left_done_) {
     if (!have_left_) {
-      R3_ASSIGN_OR_RETURN(bool ok, AdvanceLeft());
-      if (!ok) return false;
+      if (left_pos_ >= left_batch_.size()) {
+        // The outer side stays row-at-a-time: each probe interleaves index
+        // and inner-heap page reads with the outer scan, so prefetching a
+        // batch of outer rows would reorder page accesses and — once the
+        // buffer pool is evicting — change simulated I/O. Output batching
+        // is unaffected.
+        left_batch_.Reset(1);
+        R3_ASSIGN_OR_RETURN(bool ok, left_->NextBatch(&left_batch_));
+        if (!ok) {
+          left_done_ = true;
+          cursor_.reset();
+          break;
+        }
+        left_pos_ = 0;
+      }
+      R3_RETURN_IF_ERROR(BeginProbe(&ec));
       have_left_ = true;
     }
+    const Row& left_row = left_batch_.row(left_pos_);
     while (cursor_ != nullptr) {
-      std::string stop = key_codec::PrefixUpperBound(probe_key_);
+      if (out->full()) return true;  // resume from the cursor on re-entry
       R3_ASSIGN_OR_RETURN(bool ok, cursor_->Next(&key, &payload));
-      if (!ok || (!stop.empty() && key >= stop)) {
+      if (!ok || (!stop_key_.empty() && key >= stop_key_)) {
         cursor_.reset();
         break;
       }
       ctx_->clock->ChargeDbmsTuple();
-      R3_RETURN_IF_ERROR(table_->heap->Get(Rid::Unpack(payload), &rec));
-      R3_RETURN_IF_ERROR(DeserializeRow(table_->schema, rec, &inner_row));
-      Row candidate = left_row_;
-      for (size_t i = 0; i < inner_row.size(); ++i) {
-        candidate[table_offset_ + i] = std::move(inner_row[i]);
+      R3_RETURN_IF_ERROR(table_->heap->Get(Rid::Unpack(payload), &rec_));
+      R3_RETURN_IF_ERROR(DeserializeRow(table_->schema, rec_, &inner_row_));
+      Row& candidate = out->AppendRow();
+      candidate = left_row;
+      for (size_t i = 0; i < inner_row_.size(); ++i) {
+        candidate[table_offset_ + i] = std::move(inner_row_[i]);
       }
-      EvalContext ec = ctx_->MakeEvalContext(&candidate);
-      R3_ASSIGN_OR_RETURN(bool pass, PassesAll(residual_, ec));
-      if (!pass) continue;
-      emitted_for_left_ = true;
-      *out = std::move(candidate);
-      return true;
+      ec.row = &candidate;
+      R3_ASSIGN_OR_RETURN(bool pass, EvalPredicates(residual_, ec));
+      if (pass) {
+        emitted_for_left_ = true;
+      } else {
+        out->PopRow();
+      }
     }
     // Left row exhausted its matches.
-    have_left_ = false;
     if (preserve_left_ && !emitted_for_left_) {
+      if (out->full()) return true;
+      out->AppendRow() = left_row;  // inner columns already NULL in wide row
       emitted_for_left_ = true;
-      *out = left_row_;  // inner columns are already NULL in the wide row
-      return true;
     }
+    have_left_ = false;
+    ++left_pos_;
   }
+  return !out->empty();
 }
 
-Status IndexNLJoinOp::Close() {
+Status IndexNLJoinOp::CloseImpl() {
   cursor_.reset();
   return left_->Close();
 }
 
-std::string IndexNLJoinOp::DebugString() const {
+std::string IndexNLJoinOp::Describe(bool analyze) const {
   std::string out = preserve_left_ ? "IndexNLOuterJoin(" : "IndexNLJoin(";
   out += table_->name + " via " + index_->name + ", keys=";
   for (size_t i = 0; i < key_exprs_.size(); ++i) {
@@ -306,7 +328,8 @@ std::string IndexNLJoinOp::DebugString() const {
     out += key_exprs_[i]->ToString();
   }
   for (const Expr* r : residual_) out += ", " + r->ToString();
-  return out + ")\n" + Indent(left_->DebugString());
+  return out + ")" + StatsSuffix(analyze) + "\n" +
+         Indent(left_->Describe(analyze));
 }
 
 // ---------------------------------------------------------------------------
@@ -324,66 +347,80 @@ NestedLoopsJoinOp::NestedLoopsJoinOp(OperatorPtr left, OperatorPtr right,
       right_ranges_(std::move(right_ranges)),
       preserve_left_(preserve_left) {}
 
-Status NestedLoopsJoinOp::Open(ExecContext* ctx) {
+Status NestedLoopsJoinOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   left_done_ = false;
-  left_row_.clear();
+  have_left_ = false;
+  left_batch_.Clear();
+  left_pos_ = 0;
   right_pos_ = 0;
   emitted_for_left_ = false;
   R3_RETURN_IF_ERROR(right_->Open(ctx));
   return left_->Open(ctx);
 }
 
-Result<bool> NestedLoopsJoinOp::Next(Row* out) {
+Result<bool> NestedLoopsJoinOp::NextBatchImpl(RowBatch* out) {
   const std::vector<Row>& inner = right_->rows();
-  while (true) {
-    if (left_done_) return false;
-    if (left_row_.empty()) {
-      R3_ASSIGN_OR_RETURN(bool ok, left_->Next(&left_row_));
-      if (!ok) {
-        left_done_ = true;
-        return false;
+  EvalContext ec = ctx_->MakeEvalContext(nullptr);
+  while (!left_done_) {
+    if (!have_left_) {
+      if (left_pos_ >= left_batch_.size()) {
+        left_batch_.Reset(out->capacity());
+        R3_ASSIGN_OR_RETURN(bool ok, left_->NextBatch(&left_batch_));
+        if (!ok) {
+          left_done_ = true;
+          break;
+        }
+        left_pos_ = 0;
       }
       right_pos_ = 0;
       emitted_for_left_ = false;
+      have_left_ = true;
     }
+    const Row& left_row = left_batch_.row(left_pos_);
     while (right_pos_ < inner.size()) {
+      if (out->full()) return true;
       ctx_->clock->ChargeDbmsTuple();
-      Row candidate = left_row_;
+      Row& candidate = out->AppendRow();
+      candidate = left_row;
       MergeRanges(inner[right_pos_], right_ranges_, &candidate);
       ++right_pos_;
-      EvalContext ec = ctx_->MakeEvalContext(&candidate);
-      R3_ASSIGN_OR_RETURN(bool pass, PassesAll(predicates_, ec));
+      ec.row = &candidate;
+      R3_ASSIGN_OR_RETURN(bool pass, EvalPredicates(predicates_, ec));
       if (pass) {
         emitted_for_left_ = true;
-        *out = std::move(candidate);
-        return true;
+      } else {
+        out->PopRow();
       }
     }
     // Inner exhausted for this left row.
     if (preserve_left_ && !emitted_for_left_) {
-      *out = left_row_;
-      NullRanges(right_ranges_, out);
-      left_row_.clear();
-      return true;
+      if (out->full()) return true;
+      Row& preserved = out->AppendRow();
+      preserved = left_row;
+      NullRanges(right_ranges_, &preserved);
+      emitted_for_left_ = true;
     }
-    left_row_.clear();
+    have_left_ = false;
+    ++left_pos_;
   }
+  return !out->empty();
 }
 
-Status NestedLoopsJoinOp::Close() {
+Status NestedLoopsJoinOp::CloseImpl() {
   R3_RETURN_IF_ERROR(right_->Close());
   return left_->Close();
 }
 
-std::string NestedLoopsJoinOp::DebugString() const {
+std::string NestedLoopsJoinOp::Describe(bool analyze) const {
   std::string out = preserve_left_ ? "NLOuterJoin(" : "NLJoin(";
   for (size_t i = 0; i < predicates_.size(); ++i) {
     if (i != 0) out += " AND ";
     out += predicates_[i]->ToString();
   }
-  return out + ")\n" + Indent(left_->DebugString()) + "\n" +
-         Indent(right_->DebugString());
+  return out + ")" + StatsSuffix(analyze) + "\n" +
+         Indent(left_->Describe(analyze)) + "\n" +
+         Indent(right_->Describe(analyze));
 }
 
 }  // namespace rdbms

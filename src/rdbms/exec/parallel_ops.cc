@@ -27,15 +27,6 @@ std::string Indent(const std::string& s) {
   return out;
 }
 
-Result<bool> PassesAll(const std::vector<const Expr*>& preds,
-                       const EvalContext& ec) {
-  for (const Expr* p : preds) {
-    R3_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*p, ec));
-    if (!ok) return false;
-  }
-  return true;
-}
-
 constexpr uint64_t kMaxReserve = 1u << 20;
 
 size_t CappedReserve(uint64_t est) {
@@ -69,11 +60,26 @@ GatherOp::GatherOp(const TableInfo* table, size_t offset, size_t wide_width,
       group_exprs_(std::move(group_exprs)),
       agg_calls_(std::move(agg_calls)) {}
 
+Status GatherOp::FilterTail(ExecContext* ctx, EvalContext* ec,
+                            LaneScratch* scratch) {
+  if (filters_.empty()) {
+    scratch->tail_first = scratch->batch.size();
+    return Status::OK();
+  }
+  R3_RETURN_IF_ERROR(EvalPredicatesBatch(filters_, ec, scratch->batch,
+                                         scratch->tail_first, &scratch->sel));
+  scratch->batch.Keep(scratch->sel, scratch->tail_first);
+  scratch->tail_first = scratch->batch.size();
+  return Status::OK();
+}
+
 Status GatherOp::ScanMorsel(
     ExecContext* ctx, const Morsel& m, size_t morsel_idx, size_t lane,
-    char* page_buf, Row* table_row, Row* wide,
-    const std::function<Status(size_t, size_t, Row&&)>& emit) {
+    char* page_buf, LaneScratch* scratch,
+    const std::function<Status(size_t, size_t, RowBatch*)>& emit) {
   const uint32_t file_id = table_->heap->file_id();
+  RowBatch& batch = scratch->batch;
+  EvalContext ec = ctx->MakeEvalContext(nullptr);
   for (uint32_t pg = m.first_page; pg < m.end_page; ++pg) {
     R3_RETURN_IF_ERROR(
         ctx->pool->ReadPageForScan(PageId{file_id, pg}, page_buf));
@@ -83,23 +89,37 @@ Status GatherOp::ScanMorsel(
       if (!sp.IsLive(s)) continue;
       ctx->clock->ChargeDbmsTuple();  // routed to this worker's lane
       R3_ASSIGN_OR_RETURN(std::string_view rec, sp.Read(s));
-      R3_RETURN_IF_ERROR(DeserializeRow(table_->schema, rec, table_row));
-      wide->assign(wide_width_, Value::Null());
-      for (size_t i = 0; i < table_row->size(); ++i) {
-        (*wide)[offset_ + i] = std::move((*table_row)[i]);
+      R3_RETURN_IF_ERROR(
+          DeserializeRow(table_->schema, rec, &scratch->table_row));
+      Row& wide = batch.AppendRow();
+      wide.assign(wide_width_, Value::Null());
+      for (size_t i = 0; i < scratch->table_row.size(); ++i) {
+        wide[offset_ + i] = std::move(scratch->table_row[i]);
       }
-      EvalContext ec = ctx->MakeEvalContext(wide);
-      R3_ASSIGN_OR_RETURN(bool pass, PassesAll(filters_, ec));
-      if (!pass) continue;
-      R3_RETURN_IF_ERROR(emit(morsel_idx, lane, std::move(*wide)));
+      if (batch.full()) {
+        R3_RETURN_IF_ERROR(FilterTail(ctx, &ec, scratch));
+        if (batch.full()) {  // every held row survived: hand off
+          R3_RETURN_IF_ERROR(emit(morsel_idx, lane, &batch));
+          batch.Clear();
+          scratch->tail_first = 0;
+        }
+      }
     }
+  }
+  // Morsel boundary: flush so a batch never spans morsels (the consumer's
+  // per-morsel slots depend on it).
+  R3_RETURN_IF_ERROR(FilterTail(ctx, &ec, scratch));
+  if (!batch.empty()) {
+    R3_RETURN_IF_ERROR(emit(morsel_idx, lane, &batch));
+    batch.Clear();
+    scratch->tail_first = 0;
   }
   return Status::OK();
 }
 
 Status GatherOp::RunParallel(
     ExecContext* ctx,
-    const std::function<Status(size_t morsel, size_t lane, Row&& row)>&
+    const std::function<Status(size_t morsel, size_t lane, RowBatch* batch)>&
         emit) {
   morsels_.clear();
   R3_ASSIGN_OR_RETURN(uint32_t num_pages, table_->heap->NumPages());
@@ -117,12 +137,12 @@ Status GatherOp::RunParallel(
   auto run_lane = [&](size_t lane) -> Status {
     LaneScope scope(&lanes[lane]);
     std::unique_ptr<char[]> page_buf(new char[kPageSize]);
-    Row table_row;
-    Row wide;
+    LaneScratch scratch;
+    scratch.batch.Reset(ctx->batch_size);
     for (size_t mi = lane; mi < morsels_.size();
          mi += static_cast<size_t>(dop_)) {
       R3_RETURN_IF_ERROR(ScanMorsel(ctx, morsels_[mi], mi, lane,
-                                    page_buf.get(), &table_row, &wide, emit));
+                                    page_buf.get(), &scratch, emit));
     }
     return Status::OK();
   };
@@ -156,7 +176,7 @@ Status GatherOp::RunParallel(
   return Status::OK();
 }
 
-Status GatherOp::Open(ExecContext* ctx) {
+Status GatherOp::OpenImpl(ExecContext* ctx) {
   out_morsel_ = 0;
   out_pos_ = 0;
   agg_results_.clear();
@@ -164,8 +184,12 @@ Status GatherOp::Open(ExecContext* ctx) {
 
   if (mode_ == Mode::kRows) {
     return RunParallel(
-        ctx, [this](size_t morsel, size_t /*lane*/, Row&& row) -> Status {
-          morsel_rows_[morsel].push_back(std::move(row));
+        ctx,
+        [this](size_t morsel, size_t /*lane*/, RowBatch* batch) -> Status {
+          std::vector<Row>& rows = morsel_rows_[morsel];
+          for (size_t i = 0; i < batch->size(); ++i) {
+            rows.push_back(std::move(batch->row(i)));
+          }
           return Status::OK();
         });
   }
@@ -186,32 +210,34 @@ Status GatherOp::Open(ExecContext* ctx) {
   std::vector<Row> keys_scratch(static_cast<size_t>(dop_));
 
   Status st = RunParallel(
-      ctx, [&](size_t /*morsel*/, size_t lane, Row&& row) -> Status {
-        ExecContext* c = ctx;
-        c->clock->ChargeDbmsTuple();  // aggregation CPU, charged in-lane
-        EvalContext ec = c->MakeEvalContext(&row);
+      ctx, [&](size_t /*morsel*/, size_t lane, RowBatch* batch) -> Status {
+        EvalContext ec = ctx->MakeEvalContext(nullptr);
         std::string& key = key_scratch[lane];
         Row& keys = keys_scratch[lane];
-        key.clear();
-        keys.clear();
-        for (const Expr* g : group_exprs_) {
-          Value v;
-          R3_RETURN_IF_ERROR(EvalExpr(*g, ec, &v));
-          key_codec::EncodeValue(v, &key);
-          keys.push_back(std::move(v));
-        }
-        auto [it, inserted] = partials[lane].try_emplace(key);
-        if (inserted) {
-          it->second.keys = keys;
-          it->second.states.resize(agg_calls_.size());
-        }
-        for (size_t i = 0; i < agg_calls_.size(); ++i) {
-          const Expr& call = *agg_calls_[i];
-          Value arg;
-          if (call.agg_func != AggFunc::kCountStar) {
-            R3_RETURN_IF_ERROR(EvalExpr(*call.children[0], ec, &arg));
+        for (size_t r = 0; r < batch->size(); ++r) {
+          ctx->clock->ChargeDbmsTuple();  // aggregation CPU, charged in-lane
+          ec.row = &batch->row(r);
+          key.clear();
+          keys.clear();
+          for (const Expr* g : group_exprs_) {
+            Value v;
+            R3_RETURN_IF_ERROR(EvalExpr(*g, ec, &v));
+            key_codec::EncodeValue(v, &key);
+            keys.push_back(std::move(v));
           }
-          it->second.states[i].Accumulate(call, arg);
+          auto [it, inserted] = partials[lane].try_emplace(key);
+          if (inserted) {
+            it->second.keys = keys;
+            it->second.states.resize(agg_calls_.size());
+          }
+          for (size_t i = 0; i < agg_calls_.size(); ++i) {
+            const Expr& call = *agg_calls_[i];
+            Value arg;
+            if (call.agg_func != AggFunc::kCountStar) {
+              R3_RETURN_IF_ERROR(EvalExpr(*call.children[0], ec, &arg));
+            }
+            it->second.states[i].Accumulate(call, arg);
+          }
         }
         return Status::OK();
       });
@@ -269,17 +295,20 @@ Status GatherOp::BuildJoinTable(
     size_t n = (num_pages + kMorselPages - 1) / kMorselPages;
     pairs.assign(n, {});
   }
-  Status st = RunParallel(ctx, [&](size_t morsel, size_t lane,
-                                   Row&& row) -> Status {
-    ctx->clock->ChargeDbmsTuple();  // build CPU, charged in-lane
-    EvalContext ec = ctx->MakeEvalContext(&row);
-    std::string& key = key_scratch[lane];
-    bool null_key = false;
-    R3_RETURN_IF_ERROR(EvalJoinKey(keys, ec, &key, &null_key));
-    if (null_key) return Status::OK();
-    pairs[morsel].emplace_back(key, std::move(row));
-    return Status::OK();
-  });
+  Status st = RunParallel(
+      ctx, [&](size_t morsel, size_t lane, RowBatch* batch) -> Status {
+        EvalContext ec = ctx->MakeEvalContext(nullptr);
+        std::string& key = key_scratch[lane];
+        for (size_t r = 0; r < batch->size(); ++r) {
+          ctx->clock->ChargeDbmsTuple();  // build CPU, charged in-lane
+          ec.row = &batch->row(r);
+          bool null_key = false;
+          R3_RETURN_IF_ERROR(EvalJoinKey(keys, ec, &key, &null_key));
+          if (null_key) continue;
+          pairs[morsel].emplace_back(key, std::move(batch->row(r)));
+        }
+        return Status::OK();
+      });
   R3_RETURN_IF_ERROR(st);
 
   if (est_build_rows > 0) table->reserve(CappedReserve(est_build_rows));
@@ -291,24 +320,25 @@ Status GatherOp::BuildJoinTable(
   return Status::OK();
 }
 
-Result<bool> GatherOp::Next(Row* out) {
+Result<bool> GatherOp::NextBatchImpl(RowBatch* out) {
   if (mode_ == Mode::kPartialAgg) {
-    if (out_pos_ >= agg_results_.size()) return false;
-    *out = agg_results_[out_pos_++];
-    return true;
-  }
-  while (out_morsel_ < morsel_rows_.size()) {
-    if (out_pos_ < morsel_rows_[out_morsel_].size()) {
-      *out = std::move(morsel_rows_[out_morsel_][out_pos_++]);
-      return true;
+    while (!out->full() && out_pos_ < agg_results_.size()) {
+      out->AppendRow() = agg_results_[out_pos_++];  // copy: replay on re-open
     }
-    ++out_morsel_;
-    out_pos_ = 0;
+    return !out->empty();
   }
-  return false;
+  while (!out->full() && out_morsel_ < morsel_rows_.size()) {
+    if (out_pos_ < morsel_rows_[out_morsel_].size()) {
+      out->PushRow(std::move(morsel_rows_[out_morsel_][out_pos_++]));
+    } else {
+      ++out_morsel_;
+      out_pos_ = 0;
+    }
+  }
+  return !out->empty();
 }
 
-Status GatherOp::Close() {
+Status GatherOp::CloseImpl() {
   morsel_rows_.clear();
   agg_results_.clear();
   out_morsel_ = 0;
@@ -322,8 +352,9 @@ size_t GatherOp::OutputWidth() const {
              : wide_width_;
 }
 
-std::string GatherOp::DebugString() const {
+std::string GatherOp::Describe(bool analyze) const {
   std::string out = "Gather(dop=" + std::to_string(dop_) + ")";
+  out += StatsSuffix(analyze);
   std::string scan = "ParallelSeqScan(" + table_->name;
   for (const Expr* f : filters_) scan += ", " + f->ToString();
   scan += ")";

@@ -30,6 +30,12 @@ inline constexpr uint32_t kMorselPages = 16;
 /// lanes merge into the shared clock as max(lane elapsed) — critical-path
 /// accounting of the parallel region.
 ///
+/// Lanes exchange RowBatches: every worker fills a lane-local batch
+/// (ExecContext::batch_size rows) and hands it to the consumer when it
+/// fills up or the morsel ends. Batch granularity only changes how often
+/// the consumer runs — per-row charges stay in-lane and rows stay in
+/// morsel order, so results and simulated times are batch-size invariant.
+///
 /// Modes:
 ///  * kRows — parallel scan+filter. Rows are emitted in morsel order, which
 ///    equals the serial SeqScanOp's heap order, so downstream operators see
@@ -57,11 +63,8 @@ class GatherOp : public Operator {
            std::vector<const Expr*> group_exprs,
            std::vector<const Expr*> agg_calls);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Row* out) override;
-  Status Close() override;
   size_t OutputWidth() const override;
-  std::string DebugString() const override;
+  std::string Describe(bool analyze) const override;
 
   Mode mode() const { return mode_; }
   int dop() const { return dop_; }
@@ -74,24 +77,43 @@ class GatherOp : public Operator {
                         std::unordered_map<std::string, std::vector<Row>>* table,
                         uint64_t est_build_rows);
 
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
+  Status CloseImpl() override;
+
  private:
   struct Morsel {
     uint32_t first_page = 0;
     uint32_t end_page = 0;  // exclusive
   };
 
+  /// Per-lane scan scratch, reused across the lane's morsels.
+  struct LaneScratch {
+    RowBatch batch;          // filled rows awaiting hand-off
+    size_t tail_first = 0;   // start of the not-yet-filtered tail
+    SelVector sel;
+    Row table_row;
+  };
+
   /// Runs the parallel region: partitions the heap into morsels, executes
-  /// the scan on worker lanes, calls `emit(morsel, lane, row)` from the
-  /// owning worker for every row that passes the filters, then merges the
-  /// lanes into the shared clock. `emit` must only touch lane/morsel-local
-  /// state (slots indexed by `morsel` or `lane` are private to one worker).
+  /// the scan on worker lanes, calls `emit(morsel, lane, &batch)` from the
+  /// owning worker for every filled batch of filter-surviving rows (always
+  /// whole-morsel: a batch never spans morsels), then merges the lanes into
+  /// the shared clock. `emit` must only touch lane/morsel-local state
+  /// (slots indexed by `morsel` or `lane` are private to one worker) and
+  /// may move rows out of the batch.
   Status RunParallel(
       ExecContext* ctx,
-      const std::function<Status(size_t morsel, size_t lane, Row&& row)>&
+      const std::function<Status(size_t morsel, size_t lane, RowBatch* batch)>&
           emit);
   Status ScanMorsel(ExecContext* ctx, const Morsel& m, size_t morsel_idx,
-                    size_t lane, char* page_buf, Row* table_row, Row* wide,
-                    const std::function<Status(size_t, size_t, Row&&)>& emit);
+                    size_t lane, char* page_buf, LaneScratch* scratch,
+                    const std::function<Status(size_t, size_t, RowBatch*)>&
+                        emit);
+  /// Runs the filters over the unfiltered tail of the lane batch and
+  /// compacts it; afterwards every held row is a survivor.
+  Status FilterTail(ExecContext* ctx, EvalContext* ec, LaneScratch* scratch);
 
   const TableInfo* table_;
   size_t offset_;

@@ -35,18 +35,21 @@ size_t ApproxRowBytes(const Row& row) {
 SortOp::SortOp(OperatorPtr child, std::vector<SortKey> keys)
     : child_(std::move(child)), keys_(std::move(keys)) {}
 
-Status SortOp::Open(ExecContext* ctx) {
+Status SortOp::OpenImpl(ExecContext* ctx) {
   rows_.clear();
   pos_ = 0;
   R3_RETURN_IF_ERROR(child_->Open(ctx));
-  Row row;
   size_t bytes = 0;
   while (true) {
-    R3_ASSIGN_OR_RETURN(bool ok, child_->Next(&row));
+    child_batch_.Reset(ctx->batch_size);
+    R3_ASSIGN_OR_RETURN(bool ok, child_->NextBatch(&child_batch_));
     if (!ok) break;
-    ctx->clock->ChargeDbmsTuple();
-    bytes += ApproxRowBytes(row);
-    rows_.push_back(std::move(row));
+    for (size_t i = 0; i < child_batch_.size(); ++i) {
+      ctx->clock->ChargeDbmsTuple();
+      Row& row = child_batch_.row(i);
+      bytes += ApproxRowBytes(row);
+      rows_.push_back(std::move(row));
+    }
   }
   R3_RETURN_IF_ERROR(child_->Close());
 
@@ -71,25 +74,27 @@ Status SortOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Result<bool> SortOp::Next(Row* out) {
-  if (pos_ >= rows_.size()) return false;
-  *out = rows_[pos_++];
-  return true;
+Result<bool> SortOp::NextBatchImpl(RowBatch* out) {
+  while (!out->full() && pos_ < rows_.size()) {
+    out->AppendRow() = rows_[pos_++];  // copy: rows_ replay on re-open
+  }
+  return !out->empty();
 }
 
-Status SortOp::Close() {
+Status SortOp::CloseImpl() {
   rows_.clear();
   pos_ = 0;
   return Status::OK();
 }
 
-std::string SortOp::DebugString() const {
+std::string SortOp::Describe(bool analyze) const {
   std::string out = "Sort(";
   for (size_t i = 0; i < keys_.size(); ++i) {
     if (i != 0) out += ", ";
     out += str::Format("#%zu %s", keys_[i].column, keys_[i].asc ? "asc" : "desc");
   }
-  return out + ")\n" + Indent(child_->DebugString());
+  return out + ")" + StatsSuffix(analyze) + "\n" +
+         Indent(child_->Describe(analyze));
 }
 
 }  // namespace rdbms

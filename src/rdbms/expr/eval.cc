@@ -431,5 +431,42 @@ Result<bool> EvalPredicate(const Expr& e, const EvalContext& ctx) {
   return !v.is_null() && v.bool_value();
 }
 
+Result<bool> EvalPredicates(const std::vector<const Expr*>& preds,
+                            const EvalContext& ctx) {
+  for (const Expr* p : preds) {
+    R3_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*p, ctx));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Status EvalPredicatesBatch(const std::vector<const Expr*>& preds,
+                           EvalContext* ec, const RowBatch& batch,
+                           size_t first, SelVector* sel) {
+  sel->clear();
+  for (size_t i = first; i < batch.size(); ++i) {
+    ec->row = &batch.row(i);
+    R3_ASSIGN_OR_RETURN(bool pass, EvalPredicates(preds, *ec));
+    if (pass) sel->push_back(static_cast<uint32_t>(i));
+  }
+  return Status::OK();
+}
+
+Status EvalProjectionBatch(const std::vector<const Expr*>& exprs,
+                           EvalContext* ec, const RowBatch& in,
+                           RowBatch* out) {
+  for (size_t i = 0; i < in.size(); ++i) {
+    ec->row = &in.row(i);
+    Row& dst = out->AppendRow();
+    dst.reserve(exprs.size());
+    for (const Expr* e : exprs) {
+      Value v;
+      R3_RETURN_IF_ERROR(EvalExpr(*e, *ec, &v));
+      dst.push_back(std::move(v));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace rdbms
 }  // namespace r3

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "rdbms/expr/expr.h"
 #include "rdbms/row.h"
+#include "rdbms/row_batch.h"
 
 namespace r3 {
 namespace rdbms {
@@ -46,6 +47,29 @@ Status EvalExpr(const Expr& e, const EvalContext& ctx, Value* out);
 /// Evaluates `e` as a predicate: true iff the result is TRUE (UNKNOWN and
 /// FALSE both reject the row).
 Result<bool> EvalPredicate(const Expr& e, const EvalContext& ctx);
+
+/// Evaluates a predicate conjunction against one row: true iff every
+/// predicate is TRUE.
+Result<bool> EvalPredicates(const std::vector<const Expr*>& preds,
+                            const EvalContext& ctx);
+
+// ---------------------------------------------------------------------------
+// Batch evaluation
+// ---------------------------------------------------------------------------
+// One EvalContext is reused for the whole batch (`ec->row` is repointed per
+// row) — the row-at-a-time engine rebuilt the context per row, which was
+// pure overhead since only the row pointer changes.
+
+/// Filters the batch tail [first, size): appends the absolute index of every
+/// row on which all `preds` are TRUE to `*sel` (cleared first, ascending).
+Status EvalPredicatesBatch(const std::vector<const Expr*>& preds,
+                           EvalContext* ec, const RowBatch& batch,
+                           size_t first, SelVector* sel);
+
+/// Evaluates a select list over every row of `in`, appending one projected
+/// row per input row to `*out`. The caller guarantees capacity.
+Status EvalProjectionBatch(const std::vector<const Expr*>& exprs,
+                           EvalContext* ec, const RowBatch& in, RowBatch* out);
 
 }  // namespace rdbms
 }  // namespace r3

@@ -387,12 +387,14 @@ SubqueryRunnerImpl::~SubqueryRunnerImpl() = default;
 
 void SubqueryRunnerImpl::BindExecution(BufferPool* pool, SimClock* clock,
                                        const std::vector<Value>* params,
-                                       size_t work_mem, int dop) {
+                                       size_t work_mem, int dop,
+                                       size_t batch_rows) {
   pool_ = pool;
   clock_ = clock;
   params_ = params;
   work_mem_ = work_mem;
   dop_ = dop;
+  batch_rows_ = batch_rows < 1 ? 1 : batch_rows;
   for (auto& cs : subqueries) {
     cs->scalar_cached = false;
     cs->exists_cached = false;
@@ -400,7 +402,8 @@ void SubqueryRunnerImpl::BindExecution(BufferPool* pool, SimClock* clock,
     cs->in_set.clear();
     cs->in_set_has_null = false;
     if (cs->runner != nullptr) {
-      cs->runner->BindExecution(pool, clock, params, work_mem, dop);
+      cs->runner->BindExecution(pool, clock, params, work_mem, dop,
+                                batch_rows);
     }
   }
 }
@@ -415,6 +418,7 @@ ExecContext SubqueryRunnerImpl::MakeContext(CompiledSubquery* cs,
   ctx.outer_row = outer;
   ctx.work_mem_bytes = work_mem_;
   ctx.dop = dop_;
+  ctx.batch_size = batch_rows_;
   return ctx;
 }
 
@@ -427,13 +431,15 @@ Status SubqueryRunnerImpl::RunScalar(size_t idx, const Row* outer, Value* out) {
   }
   ExecContext ctx = MakeContext(cs, cs->correlated ? outer : nullptr);
   R3_RETURN_IF_ERROR(cs->root->Open(&ctx));
-  Row row;
-  R3_ASSIGN_OR_RETURN(bool ok, cs->root->Next(&row));
+  // Single-row pulls reproduce the row-at-a-time engine's two Next calls
+  // (value, then uniqueness check) charge for charge.
+  cs->scratch.Reset(1);
+  R3_ASSIGN_OR_RETURN(bool ok, cs->root->NextBatch(&cs->scratch));
   if (!ok) {
     *out = Value::Null();
   } else {
-    *out = row[0];
-    R3_ASSIGN_OR_RETURN(bool more, cs->root->Next(&row));
+    *out = cs->scratch.row(0)[0];  // copy before the next pull clears it
+    R3_ASSIGN_OR_RETURN(bool more, cs->root->NextBatch(&cs->scratch));
     if (more) {
       return Status::InvalidArgument("scalar subquery produced more than one row");
     }
@@ -455,8 +461,8 @@ Status SubqueryRunnerImpl::RunExists(size_t idx, const Row* outer, bool* out) {
   }
   ExecContext ctx = MakeContext(cs, cs->correlated ? outer : nullptr);
   R3_RETURN_IF_ERROR(cs->root->Open(&ctx));
-  Row row;
-  R3_ASSIGN_OR_RETURN(bool ok, cs->root->Next(&row));
+  cs->scratch.Reset(1);  // EXISTS needs one row: don't pull more
+  R3_ASSIGN_OR_RETURN(bool ok, cs->root->NextBatch(&cs->scratch));
   *out = ok;
   R3_RETURN_IF_ERROR(cs->root->Close());
   if (!cs->correlated) {
@@ -480,14 +486,17 @@ Status SubqueryRunnerImpl::RunInProbe(size_t idx, const Row* outer,
     if (!cs->in_set_cached) {
       ExecContext ctx = MakeContext(cs, nullptr);
       R3_RETURN_IF_ERROR(cs->root->Open(&ctx));
-      Row row;
+      cs->scratch.Reset(batch_rows_);  // full drain: batch freely
       while (true) {
-        R3_ASSIGN_OR_RETURN(bool ok, cs->root->Next(&row));
+        R3_ASSIGN_OR_RETURN(bool ok, cs->root->NextBatch(&cs->scratch));
         if (!ok) break;
-        if (row[0].is_null()) {
-          cs->in_set_has_null = true;
-        } else {
-          cs->in_set.insert(key_codec::Encode(normalize(row[0])));
+        for (size_t i = 0; i < cs->scratch.size(); ++i) {
+          const Value& v = cs->scratch.row(i)[0];
+          if (v.is_null()) {
+            cs->in_set_has_null = true;
+          } else {
+            cs->in_set.insert(key_codec::Encode(normalize(v)));
+          }
         }
       }
       R3_RETURN_IF_ERROR(cs->root->Close());
@@ -513,17 +522,20 @@ Status SubqueryRunnerImpl::RunInProbe(size_t idx, const Row* outer,
   }
   ExecContext ctx = MakeContext(cs, outer);
   R3_RETURN_IF_ERROR(cs->root->Open(&ctx));
-  Row row;
+  // Single-row pulls so the early exit on a match stops the subquery at
+  // exactly the row the row-at-a-time engine stopped at.
+  cs->scratch.Reset(1);
   bool saw_null = false;
   bool matched = false;
   while (true) {
-    R3_ASSIGN_OR_RETURN(bool ok, cs->root->Next(&row));
+    R3_ASSIGN_OR_RETURN(bool ok, cs->root->NextBatch(&cs->scratch));
     if (!ok) break;
-    if (row[0].is_null()) {
+    const Value& v = cs->scratch.row(0)[0];
+    if (v.is_null()) {
       saw_null = true;
       continue;
     }
-    if (row[0].Compare(probe) == 0) {
+    if (v.Compare(probe) == 0) {
       matched = true;
       break;
     }

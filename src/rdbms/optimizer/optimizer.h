@@ -59,10 +59,11 @@ class SubqueryRunnerImpl : public SubqueryRunner {
 
   /// Points the runner (recursively) at the current execution's context
   /// pieces and clears value caches. Call once per statement execution.
-  /// `dop` is the worker-thread budget forwarded to subquery ExecContexts.
+  /// `dop` is the worker-thread budget forwarded to subquery ExecContexts;
+  /// `batch_rows` the RowBatch capacity for subquery pulls.
   void BindExecution(BufferPool* pool, SimClock* clock,
                      const std::vector<Value>* params, size_t work_mem,
-                     int dop = 1);
+                     int dop = 1, size_t batch_rows = kDefaultBatchRows);
 
   std::vector<std::unique_ptr<CompiledSubquery>> subqueries;
 
@@ -74,6 +75,7 @@ class SubqueryRunnerImpl : public SubqueryRunner {
   const std::vector<Value>* params_ = nullptr;
   size_t work_mem_ = 4u << 20;
   int dop_ = 1;
+  size_t batch_rows_ = kDefaultBatchRows;
 };
 
 struct CompiledSubquery {
@@ -93,6 +95,9 @@ struct CompiledSubquery {
   bool in_set_cached = false;
   std::unordered_set<std::string> in_set;
   bool in_set_has_null = false;
+
+  /// Reusable pull scratch for this subquery's executions.
+  RowBatch scratch;
 };
 
 /// A ready-to-execute statement: operator tree + subquery machinery +

@@ -196,6 +196,52 @@ TEST_P(ParallelEquivalenceTest, Dop4SimulatedTimeIsDeterministic) {
   }
 }
 
+// Batch capacity is a wall-clock knob only: every query must return
+// row-for-row identical results and bit-identical simulated times when
+// executed one row at a time (batch 1, the legacy Volcano shape) and with
+// the default 1024-row batches — at DOP 1 and DOP 4 alike.
+TEST_P(ParallelEquivalenceTest, BatchSizeInvariantResultsAndSimTime) {
+  int q = GetParam();
+  Fixture* f = Fixture::Get();
+
+  for (const Fixture::Variant& v : f->Variants()) {
+    for (int dop : {1, kParallelDop}) {
+      v.db->set_dop(dop);
+      auto warm = v.set->RunQuery(q, f->params);
+      ASSERT_TRUE(warm.ok()) << v.name << " Q" << q << ": "
+                             << warm.status().ToString();
+
+      const size_t batch_sizes[2] = {1, rdbms::kDefaultBatchRows};
+      int64_t us[2] = {0, 0};
+      rdbms::QueryResult results[2];
+      for (int k = 0; k < 2; ++k) {
+        v.db->set_batch_rows(batch_sizes[k]);
+        ASSERT_OK(v.db->pool()->Reset());
+        SimTimer t(*v.db->clock());
+        auto r = v.set->RunQuery(q, f->params);
+        us[k] = t.ElapsedUs();
+        ASSERT_TRUE(r.ok()) << v.name << " Q" << q << " (batch "
+                            << batch_sizes[k] << "): "
+                            << r.status().ToString();
+        results[k] = std::move(r.value());
+      }
+      v.db->set_batch_rows(rdbms::kDefaultBatchRows);
+
+      EXPECT_EQ(us[0], us[1])
+          << v.name << " Q" << q << " dop " << dop << ": batch-1 simulated "
+          << us[0] << "us vs batch-" << rdbms::kDefaultBatchRows << " "
+          << us[1] << "us";
+      std::string diff;
+      EXPECT_TRUE(ResultsEquivalent(results[0], results[1],
+                                    /*ordered=*/true, &diff))
+          << v.name << " Q" << q << " dop " << dop
+          << " batch 1 differs from batch " << rdbms::kDefaultBatchRows
+          << ": " << diff;
+    }
+    v.db->set_dop(1);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllQueries, ParallelEquivalenceTest,
                          ::testing::Range(1, kNumQueries + 1),
                          [](const ::testing::TestParamInfo<int>& info) {

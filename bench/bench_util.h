@@ -3,11 +3,17 @@
 
 // Shared setup for the per-table benchmark binaries. Each binary regenerates
 // one table of the paper; all of them accept:
-//   --sf=<double>     scale factor (default 0.01; the paper used 0.2)
-//   --seed=<uint64>   dbgen seed
+//   --sf=<double>       scale factor (default 0.01; the paper used 0.2)
+//   --seed=<uint64>     dbgen seed
+//   --json              machine-readable results: one JSON document on
+//                       stdout, the human report rerouted to stderr
+//   --trace-json=<path> write a Chrome trace_event JSON of the bench's
+//                       measured run (load via chrome://tracing / Perfetto)
 // and print a paper-vs-measured comparison. Absolute paper numbers were
 // measured on 1996 hardware at SF=0.2; the *shape* (ratios, orderings,
 // crossovers) is the reproduction target — see EXPERIMENTS.md.
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,37 +23,17 @@
 #include <string>
 
 #include "appsys/app_server.h"
+#include "common/json.h"
+#include "common/metrics.h"
 #include "common/sim_clock.h"
 #include "common/str_util.h"
+#include "common/trace.h"
 #include "sap/loader.h"
 #include "sap/schema.h"
 #include "sap/views.h"
 #include "tpcd/dbgen.h"
 #include "tpcd/loader.h"
 #include "tpcd/schema.h"
-
-namespace r3 {
-namespace bench {
-
-struct Flags {
-  double sf = 0.01;
-  uint64_t seed = 19970607;
-};
-
-inline Flags ParseFlags(int argc, char** argv) {
-  Flags f;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--sf=", 5) == 0) {
-      f.sf = std::strtod(argv[i] + 5, nullptr);
-    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
-      f.seed = std::strtoull(argv[i] + 7, nullptr, 10);
-    } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--sf=<double>] [--seed=<n>]\n", argv[0]);
-      std::exit(0);
-    }
-  }
-  return f;
-}
 
 #define BENCH_CHECK_OK(expr)                                             \
   do {                                                                   \
@@ -58,6 +44,84 @@ inline Flags ParseFlags(int argc, char** argv) {
       std::exit(1);                                                      \
     }                                                                    \
   } while (false)
+
+namespace r3 {
+namespace bench {
+
+struct Flags {
+  double sf = 0.01;
+  uint64_t seed = 19970607;
+  bool json = false;        ///< emit one JSON document on stdout
+  std::string trace_json;   ///< when non-empty: Chrome trace output path
+  int saved_stdout = -1;    ///< original stdout fd while json reroutes it
+};
+
+inline Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--sf=", 5) == 0) {
+      f.sf = std::strtod(argv[i] + 5, nullptr);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      f.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      f.json = true;
+    } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
+      f.trace_json = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: %s [--sf=<double>] [--seed=<n>] [--json] "
+          "[--trace-json=<path>]\n",
+          argv[0]);
+      std::exit(0);
+    }
+  }
+  if (f.json) {
+    // Keep stdout pure JSON: every printf in the bench (and in shared
+    // builders) goes to stderr instead; EmitJson() writes to the saved fd.
+    std::fflush(stdout);
+    f.saved_stdout = dup(STDOUT_FILENO);
+    dup2(STDERR_FILENO, STDOUT_FILENO);
+  }
+  return f;
+}
+
+/// The start of every bench's JSON document: identity + parameters.
+inline json::Value BenchDoc(const char* bench, const Flags& f) {
+  json::Value doc = json::Value::Object();
+  doc.Set("bench", json::Value::Str(bench));
+  doc.Set("sf", json::Value::Double(f.sf));
+  doc.Set("seed", json::Value::Int(static_cast<int64_t>(f.seed)));
+  return doc;
+}
+
+/// Writes `doc` (plus a trailing newline) to the real stdout. No-op without
+/// --json.
+inline void EmitJson(const Flags& f, const json::Value& doc) {
+  if (!f.json || f.saved_stdout < 0) return;
+  std::string text = doc.Dump(2);
+  text += '\n';
+  size_t off = 0;
+  while (off < text.size()) {
+    ssize_t n = write(f.saved_stdout, text.data() + off, text.size() - off);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+}
+
+/// Exports `tracer` to flags.trace_json and records the path (and event
+/// count) in `doc`. No-op when --trace-json was not given.
+inline void MaybeWriteTrace(const Flags& f, const Tracer& tracer,
+                            json::Value* doc) {
+  if (f.trace_json.empty()) return;
+  BENCH_CHECK_OK(tracer.WriteChromeJson(f.trace_json));
+  std::printf("[trace: %zu events -> %s]\n", tracer.event_count(),
+              f.trace_json.c_str());
+  if (doc != nullptr) {
+    doc->Set("trace_file", json::Value::Str(f.trace_json));
+    doc->Set("trace_events",
+             json::Value::Int(static_cast<int64_t>(tracer.event_count())));
+  }
+}
 
 /// Memory parameters scale with SF so the data-to-memory geometry matches
 /// the paper's (10 MB of RDBMS buffer against a 2.8 GB database at SF=0.2).
@@ -74,9 +138,13 @@ inline rdbms::DatabaseOptions ScaledDbOptions(double sf) {
 }
 
 /// The isolated-RDBMS configuration: original TPC-D schema, loaded, analyzed.
-inline std::unique_ptr<rdbms::Database> BuildRdbmsSystem(tpcd::DbGen* gen) {
-  auto db = std::make_unique<rdbms::Database>(
-      nullptr, ScaledDbOptions(gen->scale_factor()));
+/// Pass a registry when the bench builds several systems side by side, so
+/// their metrics don't mix in GlobalMetrics().
+inline std::unique_ptr<rdbms::Database> BuildRdbmsSystem(
+    tpcd::DbGen* gen, MetricsRegistry* metrics = nullptr) {
+  rdbms::DatabaseOptions db_opts = ScaledDbOptions(gen->scale_factor());
+  db_opts.metrics = metrics;
+  auto db = std::make_unique<rdbms::Database>(nullptr, db_opts);
   BENCH_CHECK_OK(tpcd::CreateTpcdSchema(db.get()));
   BENCH_CHECK_OK(tpcd::LoadTpcdDatabase(db.get(), gen));
   return db;
@@ -87,12 +155,14 @@ inline std::unique_ptr<rdbms::Database> BuildRdbmsSystem(tpcd::DbGen* gen) {
 /// `drop_shipdate_index` models the paper's 3.0 tuning step.
 inline std::unique_ptr<appsys::R3System> BuildSapSystem(
     tpcd::DbGen* gen, appsys::Release release, bool convert_konv,
-    bool drop_shipdate_index = false, size_t table_buffer_bytes = 0) {
+    bool drop_shipdate_index = false, size_t table_buffer_bytes = 0,
+    MetricsRegistry* metrics = nullptr) {
   appsys::AppServerOptions opts;
   opts.release = release;
   opts.table_buffer_bytes = table_buffer_bytes;
-  auto sys = std::make_unique<appsys::R3System>(
-      opts, ScaledDbOptions(gen->scale_factor()));
+  rdbms::DatabaseOptions db_opts = ScaledDbOptions(gen->scale_factor());
+  db_opts.metrics = metrics;
+  auto sys = std::make_unique<appsys::R3System>(opts, db_opts);
   BENCH_CHECK_OK(sys->app.Bootstrap());
   BENCH_CHECK_OK(sap::CreateSapSchema(&sys->app));
   BENCH_CHECK_OK(sap::CreateJoinViews(&sys->app));

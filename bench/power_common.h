@@ -4,7 +4,10 @@
 // Shared machinery for the two power-test benches (Tables 4 and 5).
 
 #include <functional>
+#include <memory>
+#include <string>
 
+#include "appsys/perf_monitor.h"
 #include "bench/bench_util.h"
 #include "tpcd/power_test.h"
 #include "tpcd/qgen.h"
@@ -101,6 +104,108 @@ inline void PrintPowerTable(const PaperPower* paper, size_t paper_rows,
       "\nShape check (queries total): Native/RDBMS = %.1fx, Open/RDBMS = "
       "%.1fx\n",
       n_over_r, o_over_r);
+}
+
+inline json::Value PowerResultJson(const tpcd::PowerResult& result) {
+  json::Value out = json::Value::Object();
+  out.Set("config", json::Value::Str(result.config));
+  json::Value items = json::Value::Array();
+  for (const tpcd::PowerItem& item : result.items) {
+    json::Value v = json::Value::Object();
+    v.Set("label", json::Value::Str(item.label));
+    v.Set("sim_us", json::Value::Int(item.sim_us));
+    v.Set("real_us", json::Value::Int(item.real_us));
+    v.Set("rows", json::Value::Int(static_cast<int64_t>(item.result_rows)));
+    items.Append(std::move(v));
+  }
+  out.Set("items", std::move(items));
+  out.Set("total_queries_sim_us",
+          json::Value::Int(result.TotalQueriesSimUs()));
+  out.Set("total_all_sim_us", json::Value::Int(result.TotalAllSimUs()));
+  return out;
+}
+
+/// Everything that differs between the Table 4 and Table 5 benches.
+struct PowerBenchSpec {
+  const char* bench_name;  ///< "table4_power_r22" / "table5_power_r30"
+  const char* title;
+  appsys::Release release = appsys::Release::kRelease22;
+  bool convert_konv = false;
+  bool drop_shipdate_index = false;
+  const char* open_label = "Open SQL (SAP DB)";
+  std::function<std::unique_ptr<tpcd::IQuerySet>(appsys::AppServer*)>
+      make_open_queries;
+  const PaperPower* paper = nullptr;
+  size_t paper_rows = 0;
+};
+
+/// The common body of the two power benches: three configurations (isolated
+/// RDBMS, Native SQL, Open SQL), each with its own metrics registry; the
+/// Open SQL run — the full stack, so its trace covers every layer — runs
+/// under the perf monitor and, with --trace-json, under a Tracer.
+inline int RunPowerBench(const PowerBenchSpec& spec, int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+  PrintHeader(spec.title, flags);
+
+  tpcd::DbGen gen(flags.sf, flags.seed);
+  tpcd::QueryParams params = tpcd::QueryParams::Defaults(flags.sf);
+  int64_t uf_count = tpcd::UpdateFunctionCount(gen);
+
+  MetricsRegistry rdbms_metrics;
+  MetricsRegistry sap_metrics;
+  std::printf("[loading isolated RDBMS database...]\n");
+  auto rdb = BuildRdbmsSystem(&gen, &rdbms_metrics);
+  std::printf("[loading SAP database...]\n");
+  auto sap = BuildSapSystem(&gen, spec.release, spec.convert_konv,
+                            spec.drop_shipdate_index,
+                            /*table_buffer_bytes=*/0, &sap_metrics);
+  sap::SapLoader loader(&sap->app, &gen);
+
+  std::printf("[running power test: RDBMS on TPCD-DB]\n");
+  auto q_rdbms = tpcd::MakeRdbmsQuerySet(rdb.get());
+  auto r_rdbms = tpcd::RunPowerTest(
+      "RDBMS (TPCD-DB)", q_rdbms.get(), params, rdb->clock(),
+      [&] { return tpcd::RunUf1Rdbms(rdb.get(), &gen, uf_count); },
+      [&] { return tpcd::RunUf2Rdbms(rdb.get(), &gen, uf_count); });
+  BENCH_CHECK_OK(r_rdbms.status());
+
+  std::printf("[running power test: Native SQL on SAP DB]\n");
+  auto q_native = tpcd::MakeNativeQuerySet(&sap->app);
+  auto r_native = tpcd::RunPowerTest(
+      "Native SQL (SAP DB)", q_native.get(), params, sap->app.clock(),
+      [&] { return tpcd::RunUf1Sap(&loader, uf_count); },
+      [&] { return tpcd::RunUf2Sap(&loader, uf_count); });
+  BENCH_CHECK_OK(r_native.status());
+
+  std::printf("[running power test: %s]\n", spec.open_label);
+  std::unique_ptr<Tracer> tracer;
+  if (!flags.trace_json.empty()) {
+    tracer = std::make_unique<Tracer>(sap->app.clock());
+  }
+  appsys::PerfMonitor monitor(sap->app.clock(), &sap_metrics);
+  auto q_open = spec.make_open_queries(&sap->app);
+  auto r_open = tpcd::RunPowerTest(
+      spec.open_label, q_open.get(), params, sap->app.clock(),
+      [&] { return tpcd::RunUf1Sap(&loader, uf_count); },
+      [&] { return tpcd::RunUf2Sap(&loader, uf_count); }, &monitor);
+  BENCH_CHECK_OK(r_open.status());
+
+  std::printf("\nAll times are simulated (cost-model) durations; paper "
+              "columns are at SF=0.2 on 1996 hardware.\n\n");
+  PrintPowerTable(spec.paper, spec.paper_rows, r_rdbms.value(),
+                  r_native.value(), r_open.value());
+  std::printf("\n%s", monitor.RenderReport().c_str());
+
+  json::Value doc = BenchDoc(spec.bench_name, flags);
+  json::Value results = json::Value::Array();
+  results.Append(PowerResultJson(r_rdbms.value()));
+  results.Append(PowerResultJson(r_native.value()));
+  results.Append(PowerResultJson(r_open.value()));
+  doc.Set("results", std::move(results));
+  doc.Set("perf_monitor", monitor.ToJson());
+  if (tracer != nullptr) MaybeWriteTrace(flags, *tracer, &doc);
+  EmitJson(flags, doc);
+  return 0;
 }
 
 }  // namespace bench

@@ -41,7 +41,8 @@ Sample RunAtDop(rdbms::Database* db, const std::string& sql, int dop) {
   return s;
 }
 
-void RunQuery(rdbms::Database* db, const char* label, const std::string& sql) {
+json::Value RunQuery(rdbms::Database* db, const char* key, const char* label,
+                     const std::string& sql) {
   std::printf("\n%s\n", label);
 
   db->set_dop(4);
@@ -49,6 +50,9 @@ void RunQuery(rdbms::Database* db, const char* label, const std::string& sql) {
   BENCH_CHECK_OK(plan.status());
   std::printf("plan at DOP 4:\n%s\n", plan.value().c_str());
 
+  json::Value out = json::Value::Object();
+  out.Set("query", json::Value::Str(key));
+  json::Value samples = json::Value::Array();
   std::printf("  %-6s %-14s %-10s %-12s %-10s\n", "DOP", "sim time",
               "sim spdup", "wall ms", "wall spdup");
   Sample base;
@@ -59,8 +63,16 @@ void RunQuery(rdbms::Database* db, const char* label, const std::string& sql) {
                 FormatDuration(s.sim_us).c_str(),
                 s.sim_us > 0 ? static_cast<double>(base.sim_us) / s.sim_us : 0,
                 s.wall_ms, s.wall_ms > 0 ? base.wall_ms / s.wall_ms : 0);
+    json::Value v = json::Value::Object();
+    v.Set("dop", json::Value::Int(dop));
+    v.Set("sim_us", json::Value::Int(s.sim_us));
+    v.Set("wall_ms", json::Value::Double(s.wall_ms));
+    v.Set("rows", json::Value::Int(static_cast<int64_t>(s.rows)));
+    samples.Append(std::move(v));
   }
   db->set_dop(1);
+  out.Set("samples", std::move(samples));
+  return out;
 }
 
 int Run(int argc, char** argv) {
@@ -70,28 +82,39 @@ int Run(int argc, char** argv) {
 
   tpcd::DbGen gen(flags.sf, flags.seed);
   auto db = BuildRdbmsSystem(&gen);
+  std::unique_ptr<Tracer> tracer;
+  if (!flags.trace_json.empty()) {
+    tracer = std::make_unique<Tracer>(db->clock());
+  }
 
+  json::Value doc = BenchDoc("table10_parallel", flags);
+  json::Value queries = json::Value::Array();
   int32_t q1_cutoff = date::FromYmd(1998, 12, 1) - 90;
-  RunQuery(db.get(), "Q1-style: grouped aggregation over LINEITEM",
-           "SELECT L_RETURNFLAG, L_LINESTATUS, SUM(L_QUANTITY), "
-           "SUM(L_EXTENDEDPRICE), "
-           "SUM(L_EXTENDEDPRICE * (1 - L_DISCOUNT)), AVG(L_QUANTITY), "
-           "COUNT(*) FROM LINEITEM WHERE L_SHIPDATE <= DATE '" +
-               date::ToString(q1_cutoff) +
-               "' GROUP BY L_RETURNFLAG, L_LINESTATUS "
-               "ORDER BY L_RETURNFLAG, L_LINESTATUS");
+  queries.Append(RunQuery(
+      db.get(), "Q1", "Q1-style: grouped aggregation over LINEITEM",
+      "SELECT L_RETURNFLAG, L_LINESTATUS, SUM(L_QUANTITY), "
+      "SUM(L_EXTENDEDPRICE), "
+      "SUM(L_EXTENDEDPRICE * (1 - L_DISCOUNT)), AVG(L_QUANTITY), "
+      "COUNT(*) FROM LINEITEM WHERE L_SHIPDATE <= DATE '" +
+          date::ToString(q1_cutoff) +
+          "' GROUP BY L_RETURNFLAG, L_LINESTATUS "
+          "ORDER BY L_RETURNFLAG, L_LINESTATUS"));
 
-  RunQuery(db.get(), "Q6-style: filtered ungrouped aggregation over LINEITEM",
-           "SELECT SUM(L_EXTENDEDPRICE * L_DISCOUNT) FROM LINEITEM "
-           "WHERE L_SHIPDATE >= DATE '1994-01-01' "
-           "AND L_SHIPDATE < DATE '1995-01-01' "
-           "AND L_DISCOUNT >= 0.05 AND L_DISCOUNT <= 0.07 "
-           "AND L_QUANTITY < 24");
+  queries.Append(RunQuery(
+      db.get(), "Q6", "Q6-style: filtered ungrouped aggregation over LINEITEM",
+      "SELECT SUM(L_EXTENDEDPRICE * L_DISCOUNT) FROM LINEITEM "
+      "WHERE L_SHIPDATE >= DATE '1994-01-01' "
+      "AND L_SHIPDATE < DATE '1995-01-01' "
+      "AND L_DISCOUNT >= 0.05 AND L_DISCOUNT <= 0.07 "
+      "AND L_QUANTITY < 24"));
 
   std::printf(
       "\nSimulated speedup is deterministic (critical-path lane merge); the "
       "scan parallelizes while plan/filter overheads and the final merge stay "
       "serial, so speedup is sublinear in DOP.\n");
+  doc.Set("queries", std::move(queries));
+  if (tracer != nullptr) MaybeWriteTrace(flags, *tracer, &doc);
+  EmitJson(flags, doc);
   return 0;
 }
 

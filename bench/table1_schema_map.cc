@@ -44,6 +44,8 @@ int Run(int argc, char** argv) {
                             /*convert_konv=*/false);
   appsys::DataDictionary* dict = sys->app.dictionary();
 
+  json::Value doc = BenchDoc("table1_schema_map", flags);
+  json::Value tables = json::Value::Array();
   std::printf("%-8s %-30s %-22s %-12s %-10s %s\n", "SAP tab", "Description",
               "Orig. TPC-D tab", "kind", "physical", "cols");
   int shown = 0;
@@ -57,6 +59,14 @@ int Run(int argc, char** argv) {
                 row.description, row.tpcd_table, kind,
                 t.value()->physical_table.c_str(),
                 t.value()->schema.NumColumns());
+    json::Value v = json::Value::Object();
+    v.Set("sap_table", json::Value::Str(row.sap_table));
+    v.Set("tpcd_table", json::Value::Str(row.tpcd_table));
+    v.Set("kind", json::Value::Str(kind));
+    v.Set("physical", json::Value::Str(t.value()->physical_table));
+    v.Set("columns", json::Value::Int(
+                         static_cast<int64_t>(t.value()->schema.NumColumns())));
+    tables.Append(std::move(v));
     ++shown;
   }
   std::printf(
@@ -66,6 +76,8 @@ int Run(int argc, char** argv) {
   std::printf(
       "Encapsulated by default: A004 (pool, physical KAPOL), KONV (cluster, "
       "physical KOCLU) — matching the paper.\n");
+  doc.Set("tables", std::move(tables));
+  EmitJson(flags, doc);
   return 0;
 }
 

@@ -63,6 +63,8 @@ int Run(int argc, char** argv) {
 
   // AUSP and STXL hold rows of several entities; report them separately and
   // fold them only into the totals (like the paper's "Total" row).
+  json::Value doc = BenchDoc("table2_db_sizes", flags);
+  json::Value entities = json::Value::Array();
   std::printf("%-10s | %10s %10s | %10s %10s | paper SAP/orig (data)\n",
               "table", "orig data", "orig idx", "SAP data", "SAP idx");
   int64_t to_d = 0, to_i = 0, ts_d = 0, ts_i = 0;
@@ -85,6 +87,13 @@ int Run(int argc, char** argv) {
                 static_cast<unsigned long long>(o.index_kb),
                 static_cast<long long>(sd), static_cast<long long>(si),
                 paper_ratio);
+    json::Value v = json::Value::Object();
+    v.Set("table", json::Value::Str(row.table));
+    v.Set("orig_data_kb", json::Value::Int(static_cast<int64_t>(o.data_kb)));
+    v.Set("orig_index_kb", json::Value::Int(static_cast<int64_t>(o.index_kb)));
+    v.Set("sap_data_kb", json::Value::Int(sd));
+    v.Set("sap_index_kb", json::Value::Int(si));
+    entities.Append(std::move(v));
   }
   int64_t ausp_d = static_cast<int64_t>(sapsz["AUSP"].data_kb);
   int64_t ausp_i = static_cast<int64_t>(sapsz["AUSP"].index_kb);
@@ -119,6 +128,14 @@ int Run(int argc, char** argv) {
       "(%.1fx; paper: ~3x)\n",
       static_cast<long long>(koclu), static_cast<long long>(konv),
       koclu > 0 ? static_cast<double>(konv) / koclu : 0);
+  doc.Set("entities", std::move(entities));
+  doc.Set("total_orig_data_kb", json::Value::Int(to_d));
+  doc.Set("total_orig_index_kb", json::Value::Int(to_i));
+  doc.Set("total_sap_data_kb", json::Value::Int(ts_d));
+  doc.Set("total_sap_index_kb", json::Value::Int(ts_i));
+  doc.Set("konv_cluster_kb", json::Value::Int(koclu));
+  doc.Set("konv_transparent_kb", json::Value::Int(konv));
+  EmitJson(flags, doc);
   return 0;
 }
 

@@ -27,6 +27,8 @@ int Run(int argc, char** argv) {
   sys.app.buffer()->EnableFor("T005");
   sys.app.buffer()->EnableFor("LFA1");
   sap::SapLoader loader(&sys.app, &gen);
+  std::unique_ptr<Tracer> tracer;
+  if (!flags.trace_json.empty()) tracer = std::make_unique<Tracer>(&sys.clock);
 
   struct Timing {
     std::string label;
@@ -112,6 +114,23 @@ int Run(int argc, char** argv) {
       static_cast<long long>(stats.screens),
       static_cast<long long>(stats.checks),
       static_cast<unsigned long long>(rows));
+
+  json::Value doc = BenchDoc("table3_loading", flags);
+  json::Value phases = json::Value::Array();
+  for (const Timing& t : timings) {
+    json::Value v = json::Value::Object();
+    v.Set("phase", json::Value::Str(t.label));
+    v.Set("sim_us", json::Value::Int(t.sim_us));
+    phases.Append(std::move(v));
+  }
+  doc.Set("phases", std::move(phases));
+  doc.Set("total_sim_us", json::Value::Int(total));
+  doc.Set("transactions", json::Value::Int(stats.transactions));
+  doc.Set("screens", json::Value::Int(stats.screens));
+  doc.Set("checks", json::Value::Int(stats.checks));
+  doc.Set("rows_inserted", json::Value::Int(static_cast<int64_t>(rows)));
+  if (tracer != nullptr) MaybeWriteTrace(flags, *tracer, &doc);
+  EmitJson(flags, doc);
   return 0;
 }
 

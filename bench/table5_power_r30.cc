@@ -7,59 +7,18 @@
 // transparent KONV).
 #include "bench/power_common.h"
 
-namespace r3 {
-namespace bench {
-namespace {
-
-int Run(int argc, char** argv) {
-  Flags flags = ParseFlags(argc, argv);
-  PrintHeader("Table 5: TPC-D power test, SAP R/3 Release 3.0E", flags);
-
-  tpcd::DbGen gen(flags.sf, flags.seed);
-  tpcd::QueryParams params = tpcd::QueryParams::Defaults(flags.sf);
-  int64_t uf_count = tpcd::UpdateFunctionCount(gen);
-
-  std::printf("[loading isolated RDBMS database...]\n");
-  auto rdb = BuildRdbmsSystem(&gen);
-  std::printf("[loading SAP database (Release 3.0, KONV transparent)...]\n");
-  auto sap = BuildSapSystem(&gen, appsys::Release::kRelease30,
-                            /*convert_konv=*/true,
-                            /*drop_shipdate_index=*/true);
-  sap::SapLoader loader(&sap->app, &gen);
-
-  std::printf("[running power test: RDBMS on TPCD-DB]\n");
-  auto q_rdbms = tpcd::MakeRdbmsQuerySet(rdb.get());
-  auto r_rdbms = tpcd::RunPowerTest(
-      "RDBMS (TPCD-DB)", q_rdbms.get(), params, rdb->clock(),
-      [&] { return tpcd::RunUf1Rdbms(rdb.get(), &gen, uf_count); },
-      [&] { return tpcd::RunUf2Rdbms(rdb.get(), &gen, uf_count); });
-  BENCH_CHECK_OK(r_rdbms.status());
-
-  std::printf("[running power test: Native SQL on SAP DB]\n");
-  auto q_native = tpcd::MakeNativeQuerySet(&sap->app);
-  auto r_native = tpcd::RunPowerTest(
-      "Native SQL (SAP DB)", q_native.get(), params, sap->app.clock(),
-      [&] { return tpcd::RunUf1Sap(&loader, uf_count); },
-      [&] { return tpcd::RunUf2Sap(&loader, uf_count); });
-  BENCH_CHECK_OK(r_native.status());
-
-  std::printf("[running power test: Open SQL 3.0 on SAP DB]\n");
-  auto q_open = tpcd::MakeOpen30QuerySet(&sap->app);
-  auto r_open = tpcd::RunPowerTest(
-      "Open SQL 3.0 (SAP DB)", q_open.get(), params, sap->app.clock(),
-      [&] { return tpcd::RunUf1Sap(&loader, uf_count); },
-      [&] { return tpcd::RunUf2Sap(&loader, uf_count); });
-  BENCH_CHECK_OK(r_open.status());
-
-  std::printf("\nAll times are simulated (cost-model) durations; paper "
-              "columns are at SF=0.2 on 1996 hardware.\n\n");
-  PrintPowerTable(kPaperTable5, std::size(kPaperTable5), r_rdbms.value(),
-                  r_native.value(), r_open.value());
-  return 0;
+int main(int argc, char** argv) {
+  r3::bench::PowerBenchSpec spec;
+  spec.bench_name = "table5_power_r30";
+  spec.title = "Table 5: TPC-D power test, SAP R/3 Release 3.0E";
+  spec.release = r3::appsys::Release::kRelease30;
+  spec.convert_konv = true;
+  spec.drop_shipdate_index = true;
+  spec.open_label = "Open SQL 3.0 (SAP DB)";
+  spec.make_open_queries = [](r3::appsys::AppServer* app) {
+    return r3::tpcd::MakeOpen30QuerySet(app);
+  };
+  spec.paper = r3::bench::kPaperTable5;
+  spec.paper_rows = std::size(r3::bench::kPaperTable5);
+  return r3::bench::RunPowerBench(spec, argc, argv);
 }
-
-}  // namespace
-}  // namespace bench
-}  // namespace r3
-
-int main(int argc, char** argv) { return r3::bench::Run(argc, argv); }

@@ -26,6 +26,10 @@ int Run(int argc, char** argv) {
   BENCH_CHECK_OK(sap->app.dictionary()->CreateSecondaryIndex(
       "VBAP", "Q", {"MANDT", "KWMENG"}));
   BENCH_CHECK_OK(sap->db.Analyze("VBAP"));
+  std::unique_ptr<Tracer> tracer;
+  if (!flags.trace_json.empty()) {
+    tracer = std::make_unique<Tracer>(sap->app.clock());
+  }
 
   struct Cell {
     int64_t sim_us = 0;
@@ -93,6 +97,21 @@ int Run(int argc, char** argv) {
       "~22x); rows %zu vs %zu\n",
       n_lo.sim_us > 0 ? static_cast<double>(o_lo.sim_us) / n_lo.sim_us : 0,
       n_lo.rows, o_lo.rows);
+
+  json::Value doc = BenchDoc("table6_plan_choice", flags);
+  auto cell_json = [](const Cell& c) {
+    json::Value v = json::Value::Object();
+    v.Set("sim_us", json::Value::Int(c.sim_us));
+    v.Set("rows", json::Value::Int(static_cast<int64_t>(c.rows)));
+    v.Set("plan", json::Value::Str(c.plan));
+    return v;
+  };
+  doc.Set("native_high_selectivity", cell_json(n_hi));
+  doc.Set("native_low_selectivity", cell_json(n_lo));
+  doc.Set("open_high_selectivity", cell_json(o_hi));
+  doc.Set("open_low_selectivity", cell_json(o_lo));
+  if (tracer != nullptr) MaybeWriteTrace(flags, *tracer, &doc);
+  EmitJson(flags, doc);
   return 0;
 }
 

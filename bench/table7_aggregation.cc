@@ -24,6 +24,10 @@ int Run(int argc, char** argv) {
   auto sap = BuildSapSystem(&gen, appsys::Release::kRelease30,
                             /*convert_konv=*/true);
   const std::string mandt = sap->app.client();
+  std::unique_ptr<Tracer> tracer;
+  if (!flags.trace_json.empty()) {
+    tracer = std::make_unique<Tracer>(sap->app.clock());
+  }
 
   // Native SQL (Figure 4, left): one statement, pushed down.
   int64_t native_us = 0;
@@ -82,6 +86,14 @@ int Run(int argc, char** argv) {
       "Shape check: Open/Native = %.1fx (paper: 3.3x) — tuple shipping plus "
       "the two-phase sort/re-read in the application server.\n",
       native_us > 0 ? static_cast<double>(open_us) / native_us : 0);
+
+  json::Value doc = BenchDoc("table7_aggregation", flags);
+  doc.Set("native_sim_us", json::Value::Int(native_us));
+  doc.Set("open_sim_us", json::Value::Int(open_us));
+  doc.Set("native_groups", json::Value::Int(static_cast<int64_t>(native_groups)));
+  doc.Set("open_groups", json::Value::Int(static_cast<int64_t>(open_groups)));
+  if (tracer != nullptr) MaybeWriteTrace(flags, *tracer, &doc);
+  EmitJson(flags, doc);
   return 0;
 }
 

@@ -27,6 +27,10 @@ int Run(int argc, char** argv) {
   tpcd::DbGen gen(flags.sf, flags.seed);
   auto sap = BuildSapSystem(&gen, appsys::Release::kRelease30,
                             /*convert_konv=*/true);
+  std::unique_ptr<Tracer> tracer;
+  if (!flags.trace_json.empty()) {
+    tracer = std::make_unique<Tracer>(sap->app.clock());
+  }
 
   std::vector<std::string> files;
   auto timings = warehouse::ExtractWarehouse(&sap->app, &files);
@@ -51,6 +55,21 @@ int Run(int argc, char** argv) {
       total > 0 ? 100.0 * static_cast<double>(timings.value().back().sim_us) /
                       static_cast<double>(total)
                 : 0);
+
+  json::Value doc = BenchDoc("table9_warehouse", flags);
+  json::Value extracts = json::Value::Array();
+  for (const warehouse::ExtractTiming& t : timings.value()) {
+    json::Value v = json::Value::Object();
+    v.Set("table", json::Value::Str(t.table));
+    v.Set("sim_us", json::Value::Int(t.sim_us));
+    v.Set("rows", json::Value::Int(t.rows));
+    v.Set("ascii_bytes", json::Value::Int(static_cast<int64_t>(t.ascii_bytes)));
+    extracts.Append(std::move(v));
+  }
+  doc.Set("extracts", std::move(extracts));
+  doc.Set("total_sim_us", json::Value::Int(total));
+  if (tracer != nullptr) MaybeWriteTrace(flags, *tracer, &doc);
+  EmitJson(flags, doc);
   return 0;
 }
 

@@ -12,8 +12,8 @@ AppServer::AppServer(rdbms::Database* db, AppServerOptions options)
     : db_(db), options_(std::move(options)) {
   dict_ = std::make_unique<DataDictionary>(db_);
   conn_ = std::make_unique<DbConnection>(db_, db_->clock());
-  buffer_ = std::make_unique<TableBuffer>(db_->clock(),
-                                          options_.table_buffer_bytes);
+  buffer_ = std::make_unique<TableBuffer>(
+      db_->clock(), options_.table_buffer_bytes, db_->metrics());
   open_sql_ = std::make_unique<OpenSql>(dict_.get(), conn_.get(), buffer_.get(),
                                         db_->clock(), options_.release,
                                         options_.client);

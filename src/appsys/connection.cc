@@ -1,30 +1,40 @@
 #include "appsys/connection.h"
 
+#include "common/trace.h"
+
 namespace r3 {
 namespace appsys {
 
 void DbConnection::ChargeShipment(const rdbms::QueryResult& result) {
   stats_.rows_shipped += static_cast<int64_t>(result.rows.size());
+  m_rows_shipped_->Add(static_cast<int64_t>(result.rows.size()));
   clock_->ChargeTupleShip(static_cast<int64_t>(result.rows.size()));
 }
 
 Result<rdbms::QueryResult> DbConnection::ExecuteSql(
     const std::string& sql, const std::vector<rdbms::Value>& params) {
+  TraceSpan span(clock_, "interface", "db_call.exec_sql");
   ++stats_.round_trips;
+  m_round_trips_->Add(1);
   clock_->ChargeRoundTrip();
   R3_ASSIGN_OR_RETURN(rdbms::QueryResult result, db_->Query(sql, params));
   ChargeShipment(result);
+  span.ArgInt("rows_shipped", static_cast<int64_t>(result.rows.size()));
   return result;
 }
 
 Result<rdbms::QueryResult> DbConnection::ExecuteCursor(
     const std::string& sql, const std::vector<rdbms::Value>& params) {
+  TraceSpan span(clock_, "interface", "db_call.cursor");
   ++stats_.round_trips;
+  m_round_trips_->Add(1);
   clock_->ChargeRoundTrip();
   if (seen_statements_.insert(sql).second) {
     ++stats_.cursor_cache_misses;
+    m_cursor_misses_->Add(1);
   } else {
     ++stats_.cursor_cache_hits;
+    m_cursor_hits_->Add(1);
   }
   R3_ASSIGN_OR_RETURN(rdbms::PreparedStatement * stmt, db_->Prepare(sql));
   R3_ASSIGN_OR_RETURN(rdbms::Cursor cur, db_->OpenCursor(stmt, params));
@@ -38,19 +48,23 @@ Result<rdbms::QueryResult> DbConnection::ExecuteCursor(
     // The ship charge is per tuple crossing the interface; batching the
     // fetch amortizes the call, not the per-tuple cost.
     stats_.rows_shipped += static_cast<int64_t>(batch.size());
+    m_rows_shipped_->Add(static_cast<int64_t>(batch.size()));
     clock_->ChargeTupleShip(static_cast<int64_t>(batch.size()));
     for (size_t i = 0; i < batch.size(); ++i) {
       result.rows.push_back(std::move(batch.row(i)));
     }
   }
   R3_RETURN_IF_ERROR(cur.Close());
+  span.ArgInt("rows_shipped", static_cast<int64_t>(result.rows.size()));
   return result;
 }
 
 Status DbConnection::ExecuteDml(const std::string& sql,
                                 const std::vector<rdbms::Value>& params,
                                 int64_t* affected_rows) {
+  TraceSpan span(clock_, "interface", "db_call.dml");
   ++stats_.round_trips;
+  m_round_trips_->Add(1);
   clock_->ChargeRoundTrip();
   return db_->Execute(sql, params, nullptr, affected_rows);
 }

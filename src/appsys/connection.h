@@ -21,7 +21,18 @@ namespace appsys {
 /// prepared-statement cache: a repeated statement skips the hard parse.
 class DbConnection {
  public:
-  DbConnection(rdbms::Database* db, SimClock* clock) : db_(db), clock_(clock) {}
+  /// Interface counters are mirrored into the database's MetricsRegistry
+  /// under `appsys.connection.*`.
+  DbConnection(rdbms::Database* db, SimClock* clock)
+      : db_(db), clock_(clock) {
+    MetricsRegistry* metrics = db_->metrics();
+    m_round_trips_ = metrics->GetCounter("appsys.connection.round_trips");
+    m_rows_shipped_ = metrics->GetCounter("appsys.connection.rows_shipped");
+    m_cursor_hits_ =
+        metrics->GetCounter("appsys.connection.cursor_cache_hits");
+    m_cursor_misses_ =
+        metrics->GetCounter("appsys.connection.cursor_cache_misses");
+  }
 
   /// Native SQL path: statement text with literals, no cursor caching
   /// (EXEC SQL re-parses each time).
@@ -56,6 +67,10 @@ class DbConnection {
   SimClock* clock_;
   Stats stats_;
   std::unordered_set<std::string> seen_statements_;
+  Counter* m_round_trips_;
+  Counter* m_rows_shipped_;
+  Counter* m_cursor_hits_;
+  Counter* m_cursor_misses_;
 };
 
 }  // namespace appsys

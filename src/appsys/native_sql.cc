@@ -1,16 +1,20 @@
 #include "appsys/native_sql.h"
 
+#include "common/trace.h"
+
 namespace r3 {
 namespace appsys {
 
 Result<rdbms::QueryResult> NativeSql::ExecSql(
     const std::string& sql, const std::vector<rdbms::Value>& params) {
+  TraceSpan span(conn_->db()->clock(), "app", "nativesql.exec_sql");
   return conn_->ExecuteSql(sql, params);
 }
 
 Status NativeSql::ExecDml(const std::string& sql,
                           const std::vector<rdbms::Value>& params,
                           int64_t* affected) {
+  TraceSpan span(conn_->db()->clock(), "app", "nativesql.exec_dml");
   return conn_->ExecuteDml(sql, params, affected);
 }
 

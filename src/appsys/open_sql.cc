@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/str_util.h"
+#include "common/trace.h"
 
 namespace r3 {
 namespace appsys {
@@ -327,10 +328,14 @@ Result<QueryResult> OpenSql::SelectEncapsulated(const OpenSqlQuery& q) {
 }
 
 Result<QueryResult> OpenSql::Select(const OpenSqlQuery& q) {
+  TraceSpan span(clock_, "app", "opensql.select");
+  span.ArgStr("table", str::ToUpper(q.table));
   R3_RETURN_IF_ERROR(Validate(q));
   bool encapsulated = dict_->IsEncapsulated(q.table);
   if (encapsulated) return SelectEncapsulated(q);
+  TraceSpan translate_span(clock_, "app", "opensql.translate");
   R3_ASSIGN_OR_RETURN(Translation t, Translate(q));
+  translate_span.End();
   return conn_->ExecuteCursor(t.sql, t.params);
 }
 
@@ -362,7 +367,12 @@ Result<std::optional<Row>> OpenSql::SelectSingle(
   bool use_buffer = full_key && buffer_->IsEnabled(t->name);
   if (use_buffer) {
     std::optional<Row> hit = buffer_->Get(t->name, buffer_key);
-    if (hit.has_value()) return hit;
+    if (hit.has_value()) {
+      if (Tracer* tr = clock_->tracer()) {
+        tr->Instant("app", "table_buffer.hit");
+      }
+      return hit;
+    }
   }
   OpenSqlQuery q;
   q.table = table;

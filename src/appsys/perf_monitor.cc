@@ -1,0 +1,166 @@
+#include "appsys/perf_monitor.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace r3 {
+namespace appsys {
+
+PerfMonitor::PerfMonitor(SimClock* clock, MetricsRegistry* metrics)
+    : clock_(clock),
+      metrics_(metrics != nullptr ? metrics : GlobalMetrics()),
+      baseline_(SnapshotCounters()) {}
+
+std::map<std::string, int64_t> PerfMonitor::SnapshotCounters() const {
+  std::map<std::string, int64_t> out;
+  for (const MetricSample& s : metrics_->Snapshot()) {
+    if (s.kind == MetricSample::Kind::kCounter) out[s.name] = s.value;
+  }
+  return out;
+}
+
+void PerfMonitor::BeginOperation(const std::string& name) {
+  if (open_) EndOperation();
+  open_ = true;
+  open_name_ = name;
+  open_sim_start_us_ = clock_->NowMicros();
+  open_counters_ = SnapshotCounters();
+  open_span_ = TraceSpan(clock_, "app", name);
+}
+
+void PerfMonitor::EndOperation() {
+  if (!open_) return;
+  open_ = false;
+  open_span_.End();
+
+  auto it = index_.find(open_name_);
+  if (it == index_.end()) {
+    index_[open_name_] = ops_.size();
+    ops_.push_back(OperationStats{open_name_, 0, 0, {}});
+    it = index_.find(open_name_);
+  }
+  OperationStats& op = ops_[it->second];
+  op.calls += 1;
+  op.sim_us += clock_->NowMicros() - open_sim_start_us_;
+  for (const auto& [name, value] : SnapshotCounters()) {
+    auto before = open_counters_.find(name);
+    int64_t delta = value - (before == open_counters_.end() ? 0 : before->second);
+    if (delta != 0) op.counters[name] += delta;
+  }
+}
+
+int64_t PerfMonitor::Total(const std::string& counter) const {
+  auto base = baseline_.find(counter);
+  return metrics_->Value(counter) -
+         (base == baseline_.end() ? 0 : base->second);
+}
+
+void PerfMonitor::Reset() {
+  open_ = false;
+  open_span_ = TraceSpan();
+  ops_.clear();
+  index_.clear();
+  baseline_ = SnapshotCounters();
+}
+
+namespace {
+
+/// "hits out of probes" as a percentage; 100% when nothing was probed.
+double Quality(int64_t hits, int64_t probes) {
+  return probes == 0 ? 100.0 : 100.0 * static_cast<double>(hits) / probes;
+}
+
+}  // namespace
+
+std::string PerfMonitor::RenderReport() const {
+  int64_t logical = Total("rdbms.bufferpool.logical_reads");
+  int64_t physical = Total("rdbms.bufferpool.physical_reads");
+  int64_t statements = Total("rdbms.sql.statements");
+  int64_t hard_parses = Total("rdbms.sql.hard_parses");
+  int64_t tb_probes = Total("appsys.table_buffer.probes");
+  int64_t tb_hits = Total("appsys.table_buffer.hits");
+
+  std::string out;
+  out += "R/3 performance monitor (ST04-style)\n";
+  out += "====================================\n";
+  out += str::Format(
+      "SQL           statements=%lld  hard_parses=%lld  prepared_hits=%lld  "
+      "parse quality=%.1f%%\n",
+      static_cast<long long>(statements),
+      static_cast<long long>(hard_parses),
+      static_cast<long long>(Total("rdbms.sql.prepared_cache_hits")),
+      Quality(statements - hard_parses, statements));
+  out += str::Format(
+      "Buffer pool   logical=%lld  physical=%lld (seq=%lld random=%lld)  "
+      "writes=%lld  quality=%.1f%%\n",
+      static_cast<long long>(logical), static_cast<long long>(physical),
+      static_cast<long long>(Total("rdbms.bufferpool.sequential_reads")),
+      static_cast<long long>(Total("rdbms.bufferpool.random_reads")),
+      static_cast<long long>(Total("rdbms.bufferpool.page_writes")),
+      Quality(logical - physical, logical));
+  out += str::Format(
+      "Interface     round_trips=%lld  rows_shipped=%lld  cursor "
+      "hits=%lld misses=%lld\n",
+      static_cast<long long>(Total("appsys.connection.round_trips")),
+      static_cast<long long>(Total("appsys.connection.rows_shipped")),
+      static_cast<long long>(Total("appsys.connection.cursor_cache_hits")),
+      static_cast<long long>(Total("appsys.connection.cursor_cache_misses")));
+  out += str::Format(
+      "Table buffer  probes=%lld  hits=%lld  misses=%lld  "
+      "invalidations=%lld  quality=%.1f%%\n",
+      static_cast<long long>(tb_probes), static_cast<long long>(tb_hits),
+      static_cast<long long>(Total("appsys.table_buffer.misses")),
+      static_cast<long long>(Total("appsys.table_buffer.invalidations")),
+      Quality(tb_hits, tb_probes));
+
+  if (!ops_.empty()) {
+    out += str::Format("Operations (%zu):\n", ops_.size());
+    out += str::Format("  %-16s %6s %14s %14s %8s %10s %12s\n", "name",
+                       "calls", "sim total", "sim/call", "trips", "phys.rd",
+                       "rows.shp");
+    for (const OperationStats& op : ops_) {
+      out += str::Format(
+          "  %-16s %6lld %14s %14s %8lld %10lld %12lld\n", op.name.c_str(),
+          static_cast<long long>(op.calls),
+          FormatDuration(op.sim_us).c_str(),
+          FormatDuration(op.calls == 0 ? 0 : op.sim_us / op.calls).c_str(),
+          static_cast<long long>(
+              op.CounterValue("appsys.connection.round_trips")),
+          static_cast<long long>(
+              op.CounterValue("rdbms.bufferpool.physical_reads")),
+          static_cast<long long>(
+              op.CounterValue("appsys.connection.rows_shipped")));
+    }
+  }
+  return out;
+}
+
+json::Value PerfMonitor::ToJson() const {
+  json::Value totals = json::Value::Object();
+  for (const auto& [name, base] : SnapshotCounters()) {
+    (void)base;
+    int64_t v = Total(name);
+    if (v != 0) totals.Set(name, json::Value::Int(v));
+  }
+  json::Value operations = json::Value::Array();
+  for (const OperationStats& op : ops_) {
+    json::Value o = json::Value::Object();
+    o.Set("name", json::Value::Str(op.name));
+    o.Set("calls", json::Value::Int(op.calls));
+    o.Set("sim_us", json::Value::Int(op.sim_us));
+    json::Value counters = json::Value::Object();
+    for (const auto& [name, delta] : op.counters) {
+      counters.Set(name, json::Value::Int(delta));
+    }
+    o.Set("counters", std::move(counters));
+    operations.Append(std::move(o));
+  }
+  json::Value out = json::Value::Object();
+  out.Set("totals", std::move(totals));
+  out.Set("operations", std::move(operations));
+  return out;
+}
+
+}  // namespace appsys
+}  // namespace r3

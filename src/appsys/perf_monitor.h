@@ -1,0 +1,107 @@
+#ifndef R3DB_APPSYS_PERF_MONITOR_H_
+#define R3DB_APPSYS_PERF_MONITOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/sim_clock.h"
+#include "common/trace.h"
+
+namespace r3 {
+namespace appsys {
+
+/// The installation's performance monitor — the analogue of SAP's database
+/// monitor (transaction ST04), which the paper's authors used to watch
+/// buffer quality, parse counts, and per-statement load while tuning R/3.
+///
+/// The monitor sits on top of the MetricsRegistry shared by the Database
+/// and the AppServer: BeginOperation()/EndOperation() bracket a named unit
+/// of work (a report, a power-test item), and the monitor attributes the
+/// registry's counter deltas and the simulated elapsed time to that name.
+/// Repeated operations under one name aggregate. It never charges the
+/// simulated clock and adds no cost to the layers it watches.
+class PerfMonitor {
+ public:
+  /// Watches `metrics` (null = GlobalMetrics()) and times on `clock`.
+  explicit PerfMonitor(SimClock* clock, MetricsRegistry* metrics = nullptr);
+
+  PerfMonitor(const PerfMonitor&) = delete;
+  PerfMonitor& operator=(const PerfMonitor&) = delete;
+
+  /// Opens a named operation; an operation already open is closed first
+  /// (operations do not nest — neither do R/3 dialog steps).
+  void BeginOperation(const std::string& name);
+
+  /// Closes the open operation and books its deltas; no-op when none open.
+  void EndOperation();
+
+  /// RAII form of Begin/EndOperation.
+  class Scope {
+   public:
+    Scope(PerfMonitor* monitor, const std::string& name) : monitor_(monitor) {
+      if (monitor_ != nullptr) monitor_->BeginOperation(name);
+    }
+    ~Scope() {
+      if (monitor_ != nullptr) monitor_->EndOperation();
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PerfMonitor* monitor_;
+  };
+
+  /// Aggregated view of one operation name.
+  struct OperationStats {
+    std::string name;
+    int64_t calls = 0;
+    int64_t sim_us = 0;  ///< total simulated time across calls
+    /// Non-zero registry counter deltas attributed to this operation.
+    std::map<std::string, int64_t> counters;
+
+    int64_t CounterValue(const std::string& counter) const {
+      auto it = counters.find(counter);
+      return it == counters.end() ? 0 : it->second;
+    }
+  };
+
+  /// Operations in first-seen order.
+  const std::vector<OperationStats>& operations() const { return ops_; }
+
+  /// Counter total since construction (or the last Reset), monitor-wide.
+  int64_t Total(const std::string& counter) const;
+
+  /// Forgets all operations and re-bases the monitor-wide totals.
+  void Reset();
+
+  /// The ST04-style text report: system-wide quality ratios, then the
+  /// per-operation table.
+  std::string RenderReport() const;
+
+  /// The same data as JSON: {"totals": {...}, "operations": [...]}.
+  json::Value ToJson() const;
+
+ private:
+  std::map<std::string, int64_t> SnapshotCounters() const;
+
+  SimClock* clock_;
+  MetricsRegistry* metrics_;
+  std::map<std::string, int64_t> baseline_;  ///< totals re-base point
+
+  bool open_ = false;
+  std::string open_name_;
+  int64_t open_sim_start_us_ = 0;
+  std::map<std::string, int64_t> open_counters_;
+  TraceSpan open_span_;
+
+  std::vector<OperationStats> ops_;
+  std::map<std::string, size_t> index_;  ///< name -> index into ops_
+};
+
+}  // namespace appsys
+}  // namespace r3
+
+#endif  // R3DB_APPSYS_PERF_MONITOR_H_

@@ -30,11 +30,17 @@ size_t TableBuffer::RowBytes(const rdbms::Row& row) {
 std::optional<rdbms::Row> TableBuffer::Get(const std::string& table,
                                            const std::string& key) {
   ++stats_.probes;
+  m_probes_->Add(1);
   clock_->ChargeBufferProbe();
   std::string full_key = str::ToUpper(table) + '\x00' + key;
   auto it = map_.find(full_key);
-  if (it == map_.end()) return std::nullopt;
+  if (it == map_.end()) {
+    ++stats_.misses;
+    m_misses_->Add(1);
+    return std::nullopt;
+  }
   ++stats_.hits;
+  m_hits_->Add(1);
   // Move to MRU position.
   lru_.splice(lru_.end(), lru_, it->second);
   return it->second->row;
@@ -59,6 +65,8 @@ void TableBuffer::Put(const std::string& table, const std::string& key,
     size_ -= victim.bytes;
     map_.erase(victim.full_key);
     lru_.pop_front();
+    ++stats_.evictions;
+    m_evictions_->Add(1);
   }
   size_ += e.bytes;
   lru_.push_back(std::move(e));
@@ -72,6 +80,8 @@ void TableBuffer::InvalidateTable(const std::string& table) {
       size_ -= it->bytes;
       map_.erase(it->full_key);
       it = lru_.erase(it);
+      ++stats_.invalidations;
+      m_invalidations_->Add(1);
     } else {
       ++it;
     }

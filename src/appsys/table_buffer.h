@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "common/sim_clock.h"
 #include "rdbms/row.h"
 
@@ -23,8 +24,18 @@ namespace appsys {
 /// not modeled (single app server).
 class TableBuffer {
  public:
-  TableBuffer(SimClock* clock, size_t capacity_bytes)
-      : clock_(clock), capacity_(capacity_bytes) {}
+  /// Buffer activity is mirrored into `metrics` (null = GlobalMetrics())
+  /// under `appsys.table_buffer.*` — the Table 8 instrumentation.
+  TableBuffer(SimClock* clock, size_t capacity_bytes,
+              MetricsRegistry* metrics = nullptr)
+      : clock_(clock), capacity_(capacity_bytes) {
+    if (metrics == nullptr) metrics = GlobalMetrics();
+    m_probes_ = metrics->GetCounter("appsys.table_buffer.probes");
+    m_hits_ = metrics->GetCounter("appsys.table_buffer.hits");
+    m_misses_ = metrics->GetCounter("appsys.table_buffer.misses");
+    m_invalidations_ = metrics->GetCounter("appsys.table_buffer.invalidations");
+    m_evictions_ = metrics->GetCounter("appsys.table_buffer.evictions");
+  }
 
   /// Buffering is opt-in per table (SAP's "buffered table" attribute).
   void EnableFor(const std::string& table);
@@ -49,6 +60,9 @@ class TableBuffer {
   struct Stats {
     int64_t probes = 0;
     int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t invalidations = 0;  ///< entries dropped by InvalidateTable
+    int64_t evictions = 0;      ///< entries dropped by LRU pressure
     double HitRatio() const {
       return probes == 0 ? 0.0 : static_cast<double>(hits) / probes;
     }
@@ -74,6 +88,11 @@ class TableBuffer {
   std::list<Entry> lru_;  ///< back = most recent
   std::unordered_map<std::string, std::list<Entry>::iterator> map_;
   Stats stats_;
+  Counter* m_probes_;
+  Counter* m_hits_;
+  Counter* m_misses_;
+  Counter* m_invalidations_;
+  Counter* m_evictions_;
 };
 
 }  // namespace appsys

@@ -1,0 +1,429 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace r3 {
+namespace json {
+
+Value& Value::Set(const std::string& key, Value v) {
+  for (auto& kv : members_) {
+    if (kv.first == key) {
+      kv.second = std::move(v);
+      return kv.second;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+  return members_.back().second;
+}
+
+const Value& Value::Get(const std::string& key) const {
+  static const Value kNull;
+  for (const auto& kv : members_) {
+    if (kv.first == key) return kv.second;
+  }
+  return kNull;
+}
+
+bool Value::Has(const std::string& key) const {
+  for (const auto& kv : members_) {
+    if (kv.first == key) return true;
+  }
+  return false;
+}
+
+void EscapeTo(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+namespace {
+
+void Indent(std::string* out, int indent, int depth) {
+  if (indent < 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+void AppendDouble(std::string* out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no Inf/NaN; null is the conventional stand-in.
+    out->append("null");
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out->append(buf);
+}
+
+}  // namespace
+
+void Value::DumpTo(std::string* out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out->append("null");
+      return;
+    case Kind::kBool:
+      out->append(bool_ ? "true" : "false");
+      return;
+    case Kind::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      out->append(buf);
+      return;
+    }
+    case Kind::kDouble:
+      AppendDouble(out, double_);
+      return;
+    case Kind::kString:
+      out->push_back('"');
+      EscapeTo(str_, out);
+      out->push_back('"');
+      return;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out->append("[]");
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        Indent(out, indent, depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      Indent(out, indent, depth);
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out->append("{}");
+        return;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        Indent(out, indent, depth + 1);
+        out->push_back('"');
+        EscapeTo(members_[i].first, out);
+        out->append(indent < 0 ? "\":" : "\": ");
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      Indent(out, indent, depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  if (indent >= 0) out.push_back('\n');
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Result<Value> ParseDocument() {
+    Value v;
+    R3_RETURN_IF_ERROR(ParseValue(&v, 0));
+    SkipWs();
+    if (pos_ != s_.size()) return Err("trailing characters after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("json: " + msg + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Err(std::string("expected '") + c + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    SkipWs();
+    if (pos_ >= s_.size()) return Err("unexpected end of input");
+    char c = s_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string str;
+        R3_RETURN_IF_ERROR(ParseString(&str));
+        *out = Value::Str(std::move(str));
+        return Status::OK();
+      }
+      case 't':
+        return ParseLiteral("true", Value::Bool(true), out);
+      case 'f':
+        return ParseLiteral("false", Value::Bool(false), out);
+      case 'n':
+        return ParseLiteral("null", Value::Null(), out);
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+        return Err("unexpected character");
+    }
+  }
+
+  Status ParseLiteral(const char* lit, Value v, Value* out) {
+    size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return Err("invalid literal");
+    pos_ += n;
+    *out = std::move(v);
+    return Status::OK();
+  }
+
+  Status ParseObject(Value* out, int depth) {
+    R3_RETURN_IF_ERROR(Expect('{'));
+    *out = Value::Object();
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      std::string key;
+      R3_RETURN_IF_ERROR(ParseString(&key));
+      SkipWs();
+      R3_RETURN_IF_ERROR(Expect(':'));
+      Value v;
+      R3_RETURN_IF_ERROR(ParseValue(&v, depth + 1));
+      out->members().emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      return Expect('}');
+    }
+  }
+
+  Status ParseArray(Value* out, int depth) {
+    R3_RETURN_IF_ERROR(Expect('['));
+    *out = Value::Array();
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      Value v;
+      R3_RETURN_IF_ERROR(ParseValue(&v, depth + 1));
+      out->Append(std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      return Expect(']');
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    R3_RETURN_IF_ERROR(Expect('"'));
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Err("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return Err("dangling escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return Err("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Err("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are kept as
+          // two independently-encoded halves; good enough for our ASCII
+          // producers).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Err("invalid escape character");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseNumber(Value* out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      return Err("invalid number");
+    }
+    // Leading zero may not be followed by more digits.
+    if (s_[pos_] == '0' && pos_ + 1 < s_.size() &&
+        std::isdigit(static_cast<unsigned char>(s_[pos_ + 1]))) {
+      return Err("leading zero in number");
+    }
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    bool is_double = false;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return Err("missing fraction digits");
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return Err("missing exponent digits");
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    std::string tok = s_.substr(start, pos_ - start);
+    if (is_double) {
+      *out = Value::Double(std::strtod(tok.c_str(), nullptr));
+    } else {
+      errno = 0;
+      long long v = std::strtoll(tok.c_str(), nullptr, 10);
+      if (errno == ERANGE) {
+        *out = Value::Double(std::strtod(tok.c_str(), nullptr));
+      } else {
+        *out = Value::Int(v);
+      }
+    }
+    return Status::OK();
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(const std::string& text) {
+  return Parser(text).ParseDocument();
+}
+
+Status Validate(const std::string& text) {
+  Result<Value> v = Parse(text);
+  return v.ok() ? Status::OK() : v.status();
+}
+
+}  // namespace json
+}  // namespace r3

@@ -1,0 +1,125 @@
+#ifndef R3DB_COMMON_JSON_H_
+#define R3DB_COMMON_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace r3 {
+namespace json {
+
+/// Minimal JSON document tree, enough for trace export, bench result files,
+/// and validating them in tests/CI. Objects preserve insertion order so
+/// rendered documents are deterministic.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Value() : kind_(Kind::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) {
+    Value v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v;
+    v.kind_ = Kind::kInt;
+    v.int_ = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.kind_ = Kind::kDouble;
+    v.double_ = d;
+    return v;
+  }
+  static Value Str(std::string s) {
+    Value v;
+    v.kind_ = Kind::kString;
+    v.str_ = std::move(s);
+    return v;
+  }
+  static Value Array() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static Value Object() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+
+  bool bool_value() const { return bool_; }
+  int64_t int_value() const {
+    return kind_ == Kind::kDouble ? static_cast<int64_t>(double_) : int_;
+  }
+  double double_value() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& string_value() const { return str_; }
+
+  // -- Array access -----------------------------------------------------------
+  std::vector<Value>& items() { return items_; }
+  const std::vector<Value>& items() const { return items_; }
+  Value& Append(Value v) {
+    items_.push_back(std::move(v));
+    return items_.back();
+  }
+
+  // -- Object access ----------------------------------------------------------
+  std::vector<std::pair<std::string, Value>>& members() { return members_; }
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+  /// Sets (or replaces) a member and returns a reference to it.
+  Value& Set(const std::string& key, Value v);
+  /// Null-object pattern: returns a static null Value when absent.
+  const Value& Get(const std::string& key) const;
+  bool Has(const std::string& key) const;
+
+  /// Renders the document. `indent` < 0 yields compact one-line output.
+  std::string Dump(int indent = -1) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+  std::vector<Value> items_;                          // kArray
+  std::vector<std::pair<std::string, Value>> members_;  // kObject
+};
+
+/// Appends `s` JSON-escaped (without surrounding quotes) to `*out`.
+void EscapeTo(const std::string& s, std::string* out);
+
+/// Strict recursive-descent parse of a complete JSON document (trailing
+/// garbage is an error). Used by tests and by the CI bench-smoke validator.
+Result<Value> Parse(const std::string& text);
+
+/// Cheap well-formedness check: Parse() discarding the tree.
+Status Validate(const std::string& text);
+
+}  // namespace json
+}  // namespace r3
+
+#endif  // R3DB_COMMON_JSON_H_

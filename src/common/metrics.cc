@@ -1,0 +1,171 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace r3 {
+
+Histogram::Histogram(std::vector<int64_t> bounds) : bounds_(std::move(bounds)) {
+  counts_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(int64_t value) {
+  size_t idx = std::upper_bound(bounds_.begin(), bounds_.end(), value - 1) -
+               bounds_.begin();
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+int64_t Histogram::TotalCount() const {
+  int64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::DefaultDurationBoundsUs() {
+  // 1us .. 100s, one bucket per decade step of {1, 2.5(ish), 5}.
+  std::vector<int64_t> bounds;
+  for (int64_t decade = 1; decade <= 100000000; decade *= 10) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 25 / 10);
+    bounds.push_back(decade * 5);
+  }
+  return bounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (!e.counter) {
+    e.kind = MetricSample::Kind::kCounter;
+    e.counter = std::make_unique<Counter>();
+  }
+  return e.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (!e.gauge) {
+    e.kind = MetricSample::Kind::kGauge;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return e.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (!e.histogram) {
+    e.kind = MetricSample::Kind::kHistogram;
+    if (bounds.empty()) bounds = Histogram::DefaultDurationBoundsUs();
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return e.histogram.get();
+}
+
+int64_t MetricsRegistry::Value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) return 0;
+  const Entry& e = it->second;
+  if (e.counter) return e.counter->Value();
+  if (e.gauge) return e.gauge->Value();
+  if (e.histogram) return e.histogram->TotalCount();
+  return 0;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(metrics_.size());
+  for (const auto& kv : metrics_) {  // std::map: already sorted by name
+    const Entry& e = kv.second;
+    MetricSample s;
+    s.name = kv.first;
+    s.kind = e.kind;
+    if (e.counter) {
+      s.value = e.counter->Value();
+    } else if (e.gauge) {
+      s.value = e.gauge->Value();
+    } else if (e.histogram) {
+      s.value = e.histogram->TotalCount();
+      s.sum = e.histogram->Sum();
+      const auto& bounds = e.histogram->bounds();
+      for (size_t i = 0; i <= bounds.size(); ++i) {
+        int64_t count = e.histogram->BucketCount(i);
+        if (count == 0) continue;
+        int64_t bound = i < bounds.size() ? bounds[i] : -1;  // -1 = overflow
+        s.buckets.emplace_back(bound, count);
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::string out;
+  char buf[128];
+  for (const MetricSample& s : Snapshot()) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+      case MetricSample::Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), " %lld\n",
+                      static_cast<long long>(s.value));
+        out += s.name;
+        out += buf;
+        break;
+      case MetricSample::Kind::kHistogram:
+        std::snprintf(buf, sizeof(buf), " count=%lld sum=%lld",
+                      static_cast<long long>(s.value),
+                      static_cast<long long>(s.sum));
+        out += s.name;
+        out += buf;
+        for (const auto& b : s.buckets) {
+          if (b.first < 0) {
+            std::snprintf(buf, sizeof(buf), " le_inf=%lld",
+                          static_cast<long long>(b.second));
+          } else {
+            std::snprintf(buf, sizeof(buf), " le_%lld=%lld",
+                          static_cast<long long>(b.first),
+                          static_cast<long long>(b.second));
+          }
+          out += buf;
+        }
+        out += '\n';
+        break;
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : metrics_) {
+    Entry& e = kv.second;
+    if (e.counter) e.counter->Reset();
+    if (e.gauge) e.gauge->Reset();
+    if (e.histogram) e.histogram->Reset();
+  }
+}
+
+MetricsRegistry* GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace r3

@@ -1,0 +1,158 @@
+#ifndef R3DB_COMMON_METRICS_H_
+#define R3DB_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace r3 {
+
+/// Monotonic event counter, sharded across cache lines so concurrent
+/// writers (parallel scan workers, shard latches' owners) never contend on
+/// one atomic. Add() is a relaxed fetch_add on the calling thread's shard —
+/// no locks, no ordering — and Value() sums the shards. Sums are exact
+/// integers, so totals stay deterministic no matter how the OS scheduled
+/// the writers.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Add(int64_t n = 1) {
+    shards_[ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  int64_t Value() const {
+    int64_t sum = 0;
+    for (const auto& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void Reset() {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> v{0};
+  };
+
+  static size_t ShardIndex() {
+    // Hash of the thread id, computed once per thread.
+    static thread_local size_t idx =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+    return idx;
+  }
+
+  Shard shards_[kShards];
+};
+
+/// Last-write-wins instantaneous value (pool capacity, cache bytes, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Bucket bounds are chosen at registration and
+/// never change, so Observe() is a binary search plus one relaxed
+/// fetch_add — no locks on the hot path.
+class Histogram {
+ public:
+  /// `bounds` are upper bounds (inclusive) of the finite buckets, strictly
+  /// increasing; one overflow bucket is added on top.
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  void Observe(int64_t value);
+
+  int64_t TotalCount() const;
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Count in bucket `i` (the overflow bucket is index bounds().size()).
+  int64_t BucketCount(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+
+  void Reset();
+
+  /// Exponential 1us..~100s default bounds for simulated durations.
+  static std::vector<int64_t> DefaultDurationBoundsUs();
+
+ private:
+  std::vector<int64_t> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Point-in-time view of one metric, for rendering and tests.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  int64_t value = 0;  ///< counter/gauge value; histogram total count
+  int64_t sum = 0;    ///< histogram only
+  std::vector<std::pair<int64_t, int64_t>> buckets;  ///< (upper bound, count)
+};
+
+/// Name -> metric registry. Registration (Get*) takes a mutex and returns a
+/// stable pointer callers cache once; all subsequent updates go straight to
+/// the lock-free metric objects. One registry typically spans a whole
+/// Database + the AppServer on top of it (the "process" of the simulated
+/// installation); benches that build several systems side by side give each
+/// its own registry so their numbers don't mix.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Empty `bounds` uses Histogram::DefaultDurationBoundsUs(). Bounds are
+  /// fixed by the first registration of `name`.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<int64_t> bounds = {});
+
+  /// Counter/gauge value by name; 0 when the metric does not exist.
+  int64_t Value(const std::string& name) const;
+
+  /// All metrics, sorted by name.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// "name value" per line, sorted by name (histograms render count/sum and
+  /// the non-empty buckets). Deterministic; used by tests for byte-compares.
+  std::string RenderText() const;
+
+  /// Zeroes every registered metric (names and bucket layouts survive).
+  void ResetAll();
+
+ private:
+  struct Entry {
+    MetricSample::Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;
+};
+
+/// Fallback process-wide registry, used by components constructed without
+/// an explicit one.
+MetricsRegistry* GlobalMetrics();
+
+}  // namespace r3
+
+#endif  // R3DB_COMMON_METRICS_H_

@@ -10,6 +10,8 @@
 
 namespace r3 {
 
+class Tracer;
+
 /// Deterministic virtual clock.
 ///
 /// All layers charge their simulated costs here. One SimClock instance is
@@ -89,9 +91,18 @@ class SimClock {
 
   const CostModel& model() const { return model_; }
 
+  /// The clock doubles as the cross-layer rendezvous point for tracing:
+  /// every instrumented component already holds a SimClock*, so attaching a
+  /// Tracer here (done by the Tracer's constructor) lights up spans in all
+  /// of them at once. Null — the default — means tracing is off and each
+  /// instrumentation site costs one pointer test.
+  Tracer* tracer() const { return tracer_; }
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   const CostModel model_;
   int64_t now_us_ = 0;
+  Tracer* tracer_ = nullptr;
   static thread_local Lane* tl_active_lane_;
 };
 

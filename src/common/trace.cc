@@ -1,0 +1,191 @@
+#include "common/trace.h"
+
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace r3 {
+
+Tracer::Tracer(SimClock* clock, TraceOptions options)
+    : clock_(clock), options_(options) {
+  origin_sim_us_ = clock_->NowMicros();
+  origin_wall_ = std::chrono::steady_clock::now();
+  clock_->set_tracer(this);
+}
+
+Tracer::~Tracer() {
+  if (clock_->tracer() == this) clock_->set_tracer(nullptr);
+}
+
+int64_t Tracer::WallNow() const {
+  if (!options_.include_wall_time) return 0;
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - origin_wall_)
+      .count();
+}
+
+void Tracer::Push(Event e) {
+  if (events_.size() >= options_.max_events) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(e));
+}
+
+uint64_t Tracer::BeginSpan(const char* category, std::string name) {
+  if (!Recording()) return kInactive;
+  Event e;
+  e.category = category;
+  e.name = std::move(name);
+  e.sim_ts = SimNow();
+  e.wall_ts = WallNow();
+  size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    open_[slot] = std::move(e);
+  } else {
+    slot = open_.size();
+    open_.push_back(std::move(e));
+  }
+  return slot;
+}
+
+void Tracer::SpanArgInt(uint64_t token, const char* key, int64_t value) {
+  if (token == kInactive) return;
+  open_[token].args.push_back({key, std::to_string(value), false});
+}
+
+void Tracer::SpanArgStr(uint64_t token, const char* key, std::string value) {
+  if (token == kInactive) return;
+  open_[token].args.push_back({key, std::move(value), true});
+}
+
+void Tracer::EndSpan(uint64_t token) {
+  if (token == kInactive) return;
+  Event e = std::move(open_[token]);
+  free_slots_.push_back(token);
+  e.sim_dur = SimNow() - e.sim_ts;
+  e.wall_dur = WallNow() - e.wall_ts;
+  Push(std::move(e));
+}
+
+void Tracer::Instant(const char* category, std::string name) {
+  if (!Recording()) return;
+  Event e;
+  e.category = category;
+  e.name = std::move(name);
+  e.phase = 'i';
+  e.sim_ts = SimNow();
+  e.wall_ts = WallNow();
+  Push(std::move(e));
+}
+
+void Tracer::Complete(const char* category, std::string name,
+                      int64_t sim_start_us, int64_t sim_dur_us) {
+  if (!Recording()) return;
+  Event e;
+  e.category = category;
+  e.name = std::move(name);
+  e.sim_ts = sim_start_us - origin_sim_us_;
+  e.sim_dur = sim_dur_us;
+  e.wall_ts = WallNow();
+  Push(std::move(e));
+}
+
+void Tracer::Clear() {
+  events_.clear();
+  open_.clear();
+  free_slots_.clear();
+  dropped_ = 0;
+  origin_sim_us_ = clock_->NowMicros();
+  origin_wall_ = std::chrono::steady_clock::now();
+}
+
+std::string Tracer::ExportChromeJson() const {
+  std::string out = "{\"traceEvents\":[";
+  char buf[96];
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    json::EscapeTo(e.name, &out);
+    out += "\",\"cat\":\"";
+    json::EscapeTo(e.category, &out);
+    out += "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":1,\"tid\":1";
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%lld",
+                  static_cast<long long>(e.sim_ts));
+    out += buf;
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%lld",
+                    static_cast<long long>(e.sim_dur));
+      out += buf;
+    } else {
+      out += ",\"s\":\"t\"";  // instant scope: thread
+    }
+    bool has_args = !e.args.empty() || options_.include_wall_time;
+    if (has_args) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      if (options_.include_wall_time) {
+        std::snprintf(buf, sizeof(buf), "\"wall_us\":%lld",
+                      static_cast<long long>(e.wall_ts));
+        out += buf;
+        if (e.phase == 'X') {
+          std::snprintf(buf, sizeof(buf), ",\"wall_dur_us\":%lld",
+                        static_cast<long long>(e.wall_dur));
+          out += buf;
+        }
+        first_arg = false;
+      }
+      for (const Arg& a : e.args) {
+        if (!first_arg) out += ',';
+        first_arg = false;
+        out += '"';
+        json::EscapeTo(a.key, &out);
+        out += "\":";
+        if (a.is_string) {
+          out += '"';
+          json::EscapeTo(a.value, &out);
+          out += '"';
+        } else {
+          out += a.value;
+        }
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"simulated\"";
+  std::snprintf(buf, sizeof(buf), ",\"dropped_events\":%lld}}",
+                static_cast<long long>(dropped_));
+  out += buf;
+  return out;
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace output file: " + path);
+  }
+  std::string doc = ExportChromeJson();
+  size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != doc.size() || close_rc != 0) {
+    return Status::IoError("short write to trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+TraceSpan::TraceSpan(Tracer* tracer, const char* category, std::string name) {
+  if (tracer == nullptr) return;
+  uint64_t token = tracer->BeginSpan(category, std::move(name));
+  if (token == Tracer::kInactive) return;
+  tracer_ = tracer;
+  token_ = token;
+}
+
+}  // namespace r3

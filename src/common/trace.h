@@ -1,0 +1,183 @@
+#ifndef R3DB_COMMON_TRACE_H_
+#define R3DB_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace r3 {
+
+struct TraceOptions {
+  /// Record wall-clock timestamps next to the simulated ones. Turn off to
+  /// make exports byte-comparable across runs (the determinism tests do).
+  bool include_wall_time = true;
+  /// Hard cap on buffered events; once full, further events are counted in
+  /// dropped_events() and discarded.
+  size_t max_events = 1u << 20;
+};
+
+/// Hierarchical trace-span recorder over the shared SimClock.
+///
+/// Constructing a Tracer attaches it to the clock (SimClock::tracer()), which
+/// is how every layer finds it: instrumentation sites do
+/// `TraceSpan span(clock, "cat", "name");` and pay a single null check when
+/// no tracer is attached — tracing off is the default and costs nothing on
+/// the hot path (no allocation, no branch beyond the pointer test, and no
+/// simulated charge ever).
+///
+/// Timestamps: every event carries the simulated time (microseconds since
+/// the tracer's origin — construction or the last Clear()) and optionally
+/// the wall clock. Simulated timestamps are deterministic: byte-identical
+/// across runs and across worker-thread budgets (exec_threads). Across
+/// *batch sizes* the event structure, durations, and row counts are
+/// invariant, and per-statement boundaries line up exactly, but timestamps
+/// *inside* a statement may shift: batch capacity decides whether a
+/// consumer's per-tuple charges land between or after its producer's, and
+/// the trace honestly records that interleaving (DESIGN.md §7).
+///
+/// Threading: events are only recorded on coordinator threads. Calls made
+/// while a SimClock lane is active (parallel workers) are intentionally
+/// dropped — worker-side spans would arrive in OS-scheduling order and
+/// break determinism; the coordinator's enclosing span already carries the
+/// merged critical-path time. The tracer itself is therefore single-threaded
+/// by construction and takes no locks.
+class Tracer {
+ public:
+  static constexpr uint64_t kInactive = ~0ull;
+
+  /// Attaches to `clock`; detaches on destruction.
+  explicit Tracer(SimClock* clock, TraceOptions options = {});
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Opens a span; returns a token for EndSpan (kInactive when suppressed).
+  uint64_t BeginSpan(const char* category, std::string name);
+  /// Attaches an argument to a still-open span.
+  void SpanArgInt(uint64_t token, const char* key, int64_t value);
+  void SpanArgStr(uint64_t token, const char* key, std::string value);
+  void EndSpan(uint64_t token);
+
+  /// Records a zero-duration instant event.
+  void Instant(const char* category, std::string name);
+
+  /// Records an already-elapsed span (used by the buffer pool, which knows
+  /// a physical transfer's charge only after charging it).
+  void Complete(const char* category, std::string name, int64_t sim_start_us,
+                int64_t sim_dur_us);
+
+  /// Drops all events and re-bases the time origin at the clock's current
+  /// simulated time (and wall now). Call between runs to compare traces.
+  void Clear();
+
+  size_t event_count() const { return events_.size(); }
+  size_t dropped_events() const { return dropped_; }
+
+  /// Chrome trace_event JSON ("X"/"i" events on one pid/tid, `ts`/`dur` in
+  /// simulated microseconds; wall-clock in args when enabled). Load via
+  /// chrome://tracing or https://ui.perfetto.dev.
+  std::string ExportChromeJson() const;
+
+  /// Writes ExportChromeJson() to `path`.
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  friend class TraceSpan;
+
+  struct Arg {
+    std::string key;
+    std::string value;
+    bool is_string = false;
+  };
+
+  struct Event {
+    const char* category = "";
+    std::string name;
+    char phase = 'X';
+    int64_t sim_ts = 0;
+    int64_t sim_dur = 0;
+    int64_t wall_ts = 0;
+    int64_t wall_dur = 0;
+    std::vector<Arg> args;
+  };
+
+  /// True when an event may be recorded right now.
+  bool Recording() const {
+    return enabled_ && SimClock::active_lane() == nullptr;
+  }
+  int64_t SimNow() const { return clock_->NowMicros() - origin_sim_us_; }
+  int64_t WallNow() const;
+  void Push(Event e);
+
+  SimClock* clock_;
+  TraceOptions options_;
+  bool enabled_ = true;
+  int64_t origin_sim_us_ = 0;
+  std::chrono::steady_clock::time_point origin_wall_;
+  std::vector<Event> events_;
+  std::vector<Event> open_;
+  std::vector<size_t> free_slots_;
+  size_t dropped_ = 0;
+};
+
+/// RAII span: opens on construction (no-op when no tracer is attached to
+/// the clock, tracing is disabled, or a worker lane is active) and closes
+/// on destruction or End().
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(SimClock* clock, const char* category, std::string name)
+      : TraceSpan(clock ? clock->tracer() : nullptr, category,
+                  std::move(name)) {}
+  TraceSpan(Tracer* tracer, const char* category, std::string name);
+  ~TraceSpan() { End(); }
+
+  TraceSpan(TraceSpan&& o) noexcept
+      : tracer_(o.tracer_), token_(o.token_) {
+    o.tracer_ = nullptr;
+    o.token_ = Tracer::kInactive;
+  }
+  TraceSpan& operator=(TraceSpan&& o) noexcept {
+    if (this != &o) {
+      End();
+      tracer_ = o.tracer_;
+      token_ = o.token_;
+      o.tracer_ = nullptr;
+      o.token_ = Tracer::kInactive;
+    }
+    return *this;
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return token_ != Tracer::kInactive; }
+  void ArgInt(const char* key, int64_t value) {
+    if (active()) tracer_->SpanArgInt(token_, key, value);
+  }
+  void ArgStr(const char* key, std::string value) {
+    if (active()) tracer_->SpanArgStr(token_, key, std::move(value));
+  }
+  void End() {
+    if (active()) {
+      tracer_->EndSpan(token_);
+      token_ = Tracer::kInactive;
+    }
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  uint64_t token_ = Tracer::kInactive;
+};
+
+}  // namespace r3
+
+#endif  // R3DB_COMMON_TRACE_H_

@@ -19,9 +19,14 @@ Database::Database(SimClock* clock, DatabaseOptions options)
   } else {
     clock_ = clock;
   }
+  metrics_ = options_.metrics != nullptr ? options_.metrics : GlobalMetrics();
+  m_statements_ = metrics_->GetCounter("rdbms.sql.statements");
+  m_hard_parses_ = metrics_->GetCounter("rdbms.sql.hard_parses");
+  m_prepared_hits_ = metrics_->GetCounter("rdbms.sql.prepared_cache_hits");
+  h_statement_sim_us_ = metrics_->GetHistogram("rdbms.sql.statement_sim_us");
   disk_ = std::make_unique<Disk>();
   pool_ = std::make_unique<BufferPool>(disk_.get(), clock_,
-                                       options_.buffer_pool_bytes);
+                                       options_.buffer_pool_bytes, metrics_);
   catalog_ = std::make_unique<Catalog>(pool_.get());
   options_.planner.work_mem_bytes = options_.work_mem_bytes;
   options_.planner.dop = options_.dop;
@@ -42,6 +47,11 @@ void Database::set_batch_rows(size_t batch_rows) {
   options_.batch_rows = batch_rows < 1 ? 1 : batch_rows;
 }
 
+uint64_t Database::BeginStatement() {
+  m_statements_->Add(1);
+  return ++statement_epoch_;
+}
+
 ExecContext Database::MakeExecContext(SubqueryRunnerImpl* runner,
                                       const std::vector<Value>* params) {
   ExecContext ctx;
@@ -50,8 +60,9 @@ ExecContext Database::MakeExecContext(SubqueryRunnerImpl* runner,
   ctx.params = params;
   ctx.subqueries = runner;
   ctx.work_mem_bytes = options_.work_mem_bytes;
-  ctx.dop = options_.dop;
+  ctx.dop = EffectiveExecThreads();
   ctx.batch_size = options_.batch_rows < 1 ? 1 : options_.batch_rows;
+  ctx.statement_epoch = statement_epoch_;
   return ctx;
 }
 
@@ -89,14 +100,19 @@ Status Cursor::Close() {
 
 Result<Cursor> Database::OpenCursor(PreparedStatement* stmt,
                                     const std::vector<Value>& params) {
+  BeginStatement();
   Cursor cur;
   cur.state_ = std::make_unique<Cursor::State>();
   Cursor::State* st = cur.state_.get();
   st->stmt = stmt;
   st->params = params;
+  // Covers the whole open..fetch..close window; ends in Cursor::Close after
+  // the plan's own Close (State members are destroyed span-first).
+  st->span = TraceSpan(clock_, "sql", "execute");
   stmt->plan_.runner->BindExecution(pool_.get(), clock_, &st->params,
-                                    options_.work_mem_bytes, options_.dop,
-                                    options_.batch_rows);
+                                    options_.work_mem_bytes,
+                                    EffectiveExecThreads(),
+                                    options_.batch_rows, statement_epoch_);
   st->ctx = MakeExecContext(stmt->plan_.runner.get(), &st->params);
   R3_RETURN_IF_ERROR(stmt->plan_.root->Open(&st->ctx));
   return cur;
@@ -105,7 +121,9 @@ Result<Cursor> Database::OpenCursor(PreparedStatement* stmt,
 Status Database::Execute(const std::string& sql,
                          const std::vector<Value>& params, QueryResult* result,
                          int64_t* affected_rows) {
+  TraceSpan parse_span(clock_, "sql", "parse");
   R3_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  parse_span.End();
   int64_t affected = 0;
   switch (stmt.kind) {
     case Statement::Kind::kSelect: {
@@ -171,19 +189,27 @@ Result<QueryResult> Database::Query(const std::string& sql,
 Status Database::ExecuteSelect(const SelectStmt& stmt,
                                const std::vector<Value>& params,
                                QueryResult* result) {
+  BeginStatement();
+  m_hard_parses_->Add(1);
+  SimTimer timer(*clock_);
   clock_->ChargeStatementCompile();
+  TraceSpan bind_span(clock_, "sql", "bind");
   Binder binder(catalog_.get());
   R3_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bq, binder.BindSelect(stmt));
-  Optimizer opt(catalog_.get(), options_.planner);
+  bind_span.End();
+  TraceSpan opt_span(clock_, "sql", "optimize");
+  Optimizer opt(catalog_.get(), options_.planner, metrics_);
   R3_ASSIGN_OR_RETURN(PhysicalPlan plan, opt.Plan(std::move(bq)));
+  opt_span.End();
 
   plan.runner->BindExecution(pool_.get(), clock_, &params,
-                             options_.work_mem_bytes, options_.dop,
-                             options_.batch_rows);
+                             options_.work_mem_bytes, EffectiveExecThreads(),
+                             options_.batch_rows, statement_epoch_);
   ExecContext ctx = MakeExecContext(plan.runner.get(), &params);
   result->schema = plan.output_schema;
   result->column_names = plan.column_names;
   result->rows.clear();
+  TraceSpan exec_span(clock_, "sql", "execute");
   R3_RETURN_IF_ERROR(plan.root->Open(&ctx));
   RowBatch batch(ctx.batch_size);
   while (true) {
@@ -193,19 +219,34 @@ Status Database::ExecuteSelect(const SelectStmt& stmt,
       result->rows.push_back(std::move(batch.row(i)));
     }
   }
-  return plan.root->Close();
+  Status close_status = plan.root->Close();
+  exec_span.ArgInt("rows", static_cast<int64_t>(result->rows.size()));
+  exec_span.End();
+  h_statement_sim_us_->Observe(timer.ElapsedUs());
+  return close_status;
 }
 
 Result<PreparedStatement*> Database::Prepare(const std::string& sql) {
   auto it = prepared_.find(sql);
-  if (it != prepared_.end()) return it->second.get();
+  if (it != prepared_.end()) {
+    m_prepared_hits_->Add(1);
+    return it->second.get();
+  }
 
+  m_hard_parses_->Add(1);
+  TraceSpan prepare_span(clock_, "sql", "prepare");
   clock_->ChargeStatementCompile();
+  TraceSpan parse_span(clock_, "sql", "parse");
   R3_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, ParseSelect(sql));
+  parse_span.End();
+  TraceSpan bind_span(clock_, "sql", "bind");
   Binder binder(catalog_.get());
   R3_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bq, binder.BindSelect(*sel));
-  Optimizer opt(catalog_.get(), options_.planner);
+  bind_span.End();
+  TraceSpan opt_span(clock_, "sql", "optimize");
+  Optimizer opt(catalog_.get(), options_.planner, metrics_);
   R3_ASSIGN_OR_RETURN(PhysicalPlan plan, opt.Plan(std::move(bq)));
+  opt_span.End();
 
   auto stmt = std::make_unique<PreparedStatement>();
   stmt->sql_ = sql;
@@ -217,6 +258,7 @@ Result<PreparedStatement*> Database::Prepare(const std::string& sql) {
 
 Result<QueryResult> Database::ExecutePrepared(PreparedStatement* stmt,
                                               const std::vector<Value>& params) {
+  SimTimer timer(*clock_);
   R3_ASSIGN_OR_RETURN(Cursor cur, OpenCursor(stmt, params));
   QueryResult result;
   result.schema = stmt->plan_.output_schema;
@@ -230,6 +272,7 @@ Result<QueryResult> Database::ExecutePrepared(PreparedStatement* stmt,
     }
   }
   R3_RETURN_IF_ERROR(cur.Close());
+  h_statement_sim_us_->Observe(timer.ElapsedUs());
   return result;
 }
 
@@ -237,26 +280,30 @@ Result<std::string> Database::Explain(const std::string& sql) {
   R3_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, ParseSelect(sql));
   Binder binder(catalog_.get());
   R3_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bq, binder.BindSelect(*sel));
-  Optimizer opt(catalog_.get(), options_.planner);
+  Optimizer opt(catalog_.get(), options_.planner, metrics_);
   R3_ASSIGN_OR_RETURN(PhysicalPlan plan, opt.Plan(std::move(bq)));
   return plan.Explain();
 }
 
 Result<std::string> Database::ExplainAnalyze(const std::string& sql,
                                              const std::vector<Value>& params) {
+  BeginStatement();
+  m_hard_parses_->Add(1);
+  SimTimer timer(*clock_);
   clock_->ChargeStatementCompile();
   R3_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, ParseSelect(sql));
   Binder binder(catalog_.get());
   R3_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bq, binder.BindSelect(*sel));
-  Optimizer opt(catalog_.get(), options_.planner);
+  Optimizer opt(catalog_.get(), options_.planner, metrics_);
   R3_ASSIGN_OR_RETURN(PhysicalPlan plan, opt.Plan(std::move(bq)));
 
   plan.runner->BindExecution(pool_.get(), clock_, &params,
-                             options_.work_mem_bytes, options_.dop,
-                             options_.batch_rows);
+                             options_.work_mem_bytes, EffectiveExecThreads(),
+                             options_.batch_rows, statement_epoch_);
   ExecContext ctx = MakeExecContext(plan.runner.get(), &params);
   ExecContext::Totals totals;
   ctx.totals = &totals;
+  BufferPoolStats pool_before = pool_->stats();
   R3_RETURN_IF_ERROR(plan.root->Open(&ctx));
   RowBatch batch(ctx.batch_size);
   int64_t result_rows = 0;
@@ -266,6 +313,8 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql,
     result_rows += static_cast<int64_t>(batch.size());
   }
   R3_RETURN_IF_ERROR(plan.root->Close());
+  BufferPoolStats pool_after = pool_->stats();
+  h_statement_sim_us_->Observe(timer.ElapsedUs());
   std::string out = ExplainPlan(*plan.root, /*analyze=*/true);
   out += str::Format(
       "\nTotals: result_rows=%lld exchanged_rows=%lld batches=%lld "
@@ -274,6 +323,25 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql,
       static_cast<long long>(totals.batches),
       static_cast<long long>(totals.opens),
       static_cast<long long>(totals.closes));
+  out += "\nOptimizer: " + plan.choices.Summary();
+  uint64_t logical = pool_after.logical_reads - pool_before.logical_reads;
+  uint64_t physical = pool_after.physical_reads - pool_before.physical_reads;
+  double hit_pct =
+      logical == 0 ? 100.0
+                   : 100.0 * (1.0 - static_cast<double>(physical) /
+                                        static_cast<double>(logical));
+  out += str::Format(
+      "\nBuffer pool: logical_reads=%llu physical_reads=%llu "
+      "(seq=%llu random=%llu) page_writes=%llu hit=%.1f%%",
+      static_cast<unsigned long long>(logical),
+      static_cast<unsigned long long>(physical),
+      static_cast<unsigned long long>(pool_after.sequential_reads -
+                                      pool_before.sequential_reads),
+      static_cast<unsigned long long>(pool_after.random_reads -
+                                      pool_before.random_reads),
+      static_cast<unsigned long long>(pool_after.page_writes -
+                                      pool_before.page_writes),
+      hit_pct);
   return out;
 }
 

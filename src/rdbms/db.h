@@ -6,8 +6,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "rdbms/catalog.h"
 #include "rdbms/optimizer/optimizer.h"
 #include "rdbms/sql/ast.h"
@@ -30,6 +32,16 @@ struct DatabaseOptions {
   /// Purely a wall-clock knob: results and simulated times do not depend on
   /// it (DESIGN.md §6).
   size_t batch_rows = kDefaultBatchRows;
+  /// OS worker-thread cap for parallel plan fragments; 0 (default) follows
+  /// `dop`. Unlike `dop` — which fixes the *plan's* lane count and thereby
+  /// results and simulated times — this is purely a wall-clock knob: the
+  /// same dop-N plan runs its N lanes on up to `exec_threads` threads with
+  /// identical simulated behaviour (DESIGN.md §7).
+  int exec_threads = 0;
+  /// Registry for `rdbms.*` (and, via the AppServer, `appsys.*`) metrics.
+  /// Null uses the process-wide GlobalMetrics(). Benches that build several
+  /// systems side by side pass one registry per system.
+  MetricsRegistry* metrics = nullptr;
   PlannerOptions planner;
 };
 
@@ -92,6 +104,7 @@ class Cursor {
     std::vector<Value> params;
     ExecContext ctx;
     bool done = false;
+    TraceSpan span;  ///< "sql/execute" span covering open..close
   };
   std::unique_ptr<State> state_;
 };
@@ -115,6 +128,7 @@ class Database {
   const Catalog* catalog() const { return catalog_.get(); }
   BufferPool* pool() { return pool_.get(); }
   SimClock* clock() { return clock_; }
+  MetricsRegistry* metrics() const { return metrics_; }
   const DatabaseOptions& options() const { return options_; }
 
   /// Changes the degree of parallelism for subsequent statements. Plans fix
@@ -127,6 +141,12 @@ class Database {
   /// Plans don't embed it, so cached prepared statements stay valid.
   void set_batch_rows(size_t batch_rows);
   size_t batch_rows() const { return options_.batch_rows; }
+
+  /// Caps the OS worker threads for parallel fragments (0 = follow dop).
+  /// A pure wall-clock knob: plans, results, and simulated times are
+  /// unaffected, so cached prepared statements stay valid.
+  void set_exec_threads(int n) { options_.exec_threads = n < 0 ? 0 : n; }
+  int exec_threads() const { return options_.exec_threads; }
 
   // -- SQL entry points -----------------------------------------------------
 
@@ -213,13 +233,29 @@ class Database {
   ExecContext MakeExecContext(SubqueryRunnerImpl* runner,
                               const std::vector<Value>* params);
 
+  /// Effective OS-thread budget for parallel fragments.
+  int EffectiveExecThreads() const {
+    return options_.exec_threads > 0 ? options_.exec_threads : options_.dop;
+  }
+
+  /// Advances the statement epoch (operator stats reset on next Open) and
+  /// counts the statement; called once per top-level executed statement.
+  uint64_t BeginStatement();
+
   DatabaseOptions options_;
   std::unique_ptr<SimClock> owned_clock_;
   SimClock* clock_;
+  MetricsRegistry* metrics_;
   std::unique_ptr<Disk> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
   std::unordered_map<std::string, std::unique_ptr<PreparedStatement>> prepared_;
+  uint64_t statement_epoch_ = 0;
+  // Cached registry mirrors (see constructor).
+  Counter* m_statements_;
+  Counter* m_hard_parses_;
+  Counter* m_prepared_hits_;
+  Histogram* h_statement_sim_us_;
 };
 
 }  // namespace rdbms

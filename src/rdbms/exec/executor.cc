@@ -34,6 +34,23 @@ std::string Indent(const std::string& s) {
 Status Operator::Open(ExecContext* ctx) {
   stats_clock_ = ctx->clock;
   totals_ = ctx->totals;
+  if (ctx->statement_epoch != stats_epoch_) {
+    // First Open on behalf of a new top-level statement: drop the counters
+    // accumulated by earlier executions of this (cached) plan.
+    stats_ = OperatorStats();
+    stats_epoch_ = ctx->statement_epoch;
+  }
+  if (Tracer* tracer =
+          stats_clock_ != nullptr ? stats_clock_->tracer() : nullptr) {
+    if (span_token_ != Tracer::kInactive) tracer->EndSpan(span_token_);
+    if (span_name_.empty()) {
+      span_name_ = Describe(false);
+      size_t eol = span_name_.find('\n');
+      if (eol != std::string::npos) span_name_.resize(eol);
+    }
+    span_token_ = tracer->BeginSpan("exec", span_name_);
+    span_rows_base_ = stats_.rows_out;
+  }
   ++stats_.opens;
   if (totals_ != nullptr) ++totals_->opens;
   int64_t t0 = stats_clock_ != nullptr ? stats_clock_->NowMicros() : 0;
@@ -61,7 +78,15 @@ Result<bool> Operator::NextBatch(RowBatch* out) {
 Status Operator::Close() {
   ++stats_.closes;
   if (totals_ != nullptr) ++totals_->closes;
-  return CloseImpl();
+  Status s = CloseImpl();
+  if (span_token_ != Tracer::kInactive && stats_clock_ != nullptr) {
+    if (Tracer* tracer = stats_clock_->tracer()) {
+      tracer->SpanArgInt(span_token_, "rows", stats_.rows_out - span_rows_base_);
+      tracer->EndSpan(span_token_);
+    }
+    span_token_ = Tracer::kInactive;
+  }
+  return s;
 }
 
 std::string Operator::StatsSuffix(bool analyze) const {

@@ -9,6 +9,7 @@
 
 #include "common/sim_clock.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "rdbms/catalog.h"
 #include "rdbms/expr/eval.h"
 #include "rdbms/expr/expr.h"
@@ -39,6 +40,12 @@ struct ExecContext {
   /// row-at-a-time shape). A pure execution knob: results and simulated
   /// times are identical at any value (DESIGN.md §6).
   size_t batch_size = kDefaultBatchRows;
+  /// Monotonic id of the top-level statement execution this context belongs
+  /// to. Operators compare it against the epoch of their accumulated stats
+  /// and zero them when it moves on — a cached (prepared) plan re-executed
+  /// on a reused Database reports per-statement counters, not lifetime
+  /// totals (DESIGN.md §7).
+  uint64_t statement_epoch = 0;
 
   /// Query-wide operator counters, summed across every operator of the plan
   /// (EXPLAIN ANALYZE sets this; normal execution leaves it null).
@@ -122,6 +129,12 @@ class Operator {
   OperatorStats stats_;
   SimClock* stats_clock_ = nullptr;
   ExecContext::Totals* totals_ = nullptr;
+  uint64_t stats_epoch_ = 0;
+  /// Trace state: one "exec" span per Open→Close cycle (suppressed inside
+  /// worker lanes and when no tracer is attached).
+  uint64_t span_token_ = Tracer::kInactive;
+  int64_t span_rows_base_ = 0;
+  std::string span_name_;  ///< cached first line of Describe(false)
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

@@ -1,6 +1,8 @@
 #include "rdbms/optimizer/optimizer.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <set>
 
 #include "common/cost_model.h"
@@ -388,13 +390,15 @@ SubqueryRunnerImpl::~SubqueryRunnerImpl() = default;
 void SubqueryRunnerImpl::BindExecution(BufferPool* pool, SimClock* clock,
                                        const std::vector<Value>* params,
                                        size_t work_mem, int dop,
-                                       size_t batch_rows) {
+                                       size_t batch_rows,
+                                       uint64_t statement_epoch) {
   pool_ = pool;
   clock_ = clock;
   params_ = params;
   work_mem_ = work_mem;
   dop_ = dop;
   batch_rows_ = batch_rows < 1 ? 1 : batch_rows;
+  statement_epoch_ = statement_epoch;
   for (auto& cs : subqueries) {
     cs->scalar_cached = false;
     cs->exists_cached = false;
@@ -403,7 +407,7 @@ void SubqueryRunnerImpl::BindExecution(BufferPool* pool, SimClock* clock,
     cs->in_set_has_null = false;
     if (cs->runner != nullptr) {
       cs->runner->BindExecution(pool, clock, params, work_mem, dop,
-                                batch_rows);
+                                batch_rows, statement_epoch);
     }
   }
 }
@@ -419,6 +423,7 @@ ExecContext SubqueryRunnerImpl::MakeContext(CompiledSubquery* cs,
   ctx.work_mem_bytes = work_mem_;
   ctx.dop = dop_;
   ctx.batch_size = batch_rows_;
+  ctx.statement_epoch = statement_epoch_;
   return ctx;
 }
 
@@ -1035,6 +1040,77 @@ Result<Optimizer::PlanResult> Optimizer::PlanQueryTree(BoundQuery* bq) {
   return out;
 }
 
+std::string PlanChoices::Summary() const {
+  return str::Format(
+      "scans{seq=%d index=%d parallel=%d} joins{hash=%d index_nl=%d nl=%d} "
+      "aggs{hash=%d partial=%d} sort=%d distinct=%d limit=%d materialize=%d "
+      "gather{nodes=%d dop=%d} subplans=%d",
+      seq_scans, index_scans, parallel_scans, hash_joins, index_nl_joins,
+      nl_joins, hash_aggs, partial_aggs, sorts, distincts, limits,
+      materializes, gather_nodes, gather_dop, subquery_plans);
+}
+
+namespace {
+
+/// Counts plan-node kinds by their Describe() name prefixes. The plan text
+/// is the one stable cross-layer contract for node identity (tests already
+/// byte-compare it), so EXPLAIN-style counting beats adding a virtual kind
+/// to every operator.
+void CountPlanText(const std::string& text, PlanChoices* c) {
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    size_t first = text.find_first_not_of(' ', start);
+    if (first != std::string::npos && first < end) {
+      const char* line = text.c_str() + first;
+      auto has_prefix = [line](const char* p) {
+        return std::strncmp(line, p, std::strlen(p)) == 0;
+      };
+      if (has_prefix("SeqScan(")) {
+        ++c->seq_scans;
+      } else if (has_prefix("IndexScan(")) {
+        ++c->index_scans;
+      } else if (has_prefix("ParallelSeqScan(")) {
+        ++c->parallel_scans;
+      } else if (has_prefix("HashJoin(") || has_prefix("HashLeftOuterJoin(")) {
+        ++c->hash_joins;
+      } else if (has_prefix("IndexNLJoin(") || has_prefix("IndexNLOuterJoin(")) {
+        ++c->index_nl_joins;
+      } else if (has_prefix("NLJoin(") || has_prefix("NLOuterJoin(")) {
+        ++c->nl_joins;
+      } else if (has_prefix("HashAggregate(")) {
+        ++c->hash_aggs;
+      } else if (has_prefix("PartialHashAggregate(")) {
+        ++c->partial_aggs;
+      } else if (has_prefix("Sort(")) {
+        ++c->sorts;
+      } else if (has_prefix("Distinct")) {
+        ++c->distincts;
+      } else if (has_prefix("Limit(")) {
+        ++c->limits;
+      } else if (has_prefix("Materialize")) {
+        ++c->materializes;
+      } else if (has_prefix("Gather(dop=")) {
+        ++c->gather_nodes;
+        c->gather_dop = std::atoi(line + std::strlen("Gather(dop="));
+      }
+    }
+    start = end + 1;
+  }
+}
+
+void CountSubqueries(const SubqueryRunnerImpl* runner, PlanChoices* c) {
+  if (runner == nullptr) return;
+  for (const auto& cs : runner->subqueries) {
+    ++c->subquery_plans;
+    if (cs->root != nullptr) CountPlanText(cs->root->DebugString(), c);
+    CountSubqueries(cs->runner.get(), c);
+  }
+}
+
+}  // namespace
+
 Result<PhysicalPlan> Optimizer::Plan(std::unique_ptr<BoundQuery> bq) {
   R3_ASSIGN_OR_RETURN(PlanResult res, PlanQueryTree(bq.get()));
   PhysicalPlan plan;
@@ -1044,6 +1120,20 @@ Result<PhysicalPlan> Optimizer::Plan(std::unique_ptr<BoundQuery> bq) {
   plan.column_names = bq->column_names;
   plan.num_params = bq->num_params;
   plan.query = std::move(bq);
+  if (plan.root != nullptr) CountPlanText(plan.root->DebugString(), &plan.choices);
+  CountSubqueries(plan.runner.get(), &plan.choices);
+
+  MetricsRegistry* metrics = metrics_ != nullptr ? metrics_ : GlobalMetrics();
+  const PlanChoices& c = plan.choices;
+  metrics->GetCounter("rdbms.optimizer.plans")->Add(1);
+  metrics->GetCounter("rdbms.optimizer.seq_scans")->Add(c.seq_scans);
+  metrics->GetCounter("rdbms.optimizer.index_scans")->Add(c.index_scans);
+  metrics->GetCounter("rdbms.optimizer.parallel_scans")->Add(c.parallel_scans);
+  metrics->GetCounter("rdbms.optimizer.hash_joins")->Add(c.hash_joins);
+  metrics->GetCounter("rdbms.optimizer.index_nl_joins")->Add(c.index_nl_joins);
+  metrics->GetCounter("rdbms.optimizer.nl_joins")->Add(c.nl_joins);
+  metrics->GetCounter("rdbms.optimizer.sorts")->Add(c.sorts);
+  metrics->GetCounter("rdbms.optimizer.gather_nodes")->Add(c.gather_nodes);
   return plan;
 }
 

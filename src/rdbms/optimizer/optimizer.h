@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "rdbms/catalog.h"
 #include "rdbms/exec/executor.h"
@@ -60,10 +61,13 @@ class SubqueryRunnerImpl : public SubqueryRunner {
   /// Points the runner (recursively) at the current execution's context
   /// pieces and clears value caches. Call once per statement execution.
   /// `dop` is the worker-thread budget forwarded to subquery ExecContexts;
-  /// `batch_rows` the RowBatch capacity for subquery pulls.
+  /// `batch_rows` the RowBatch capacity for subquery pulls;
+  /// `statement_epoch` stamps subquery ExecContexts so cached plans reset
+  /// their operator stats per top-level statement.
   void BindExecution(BufferPool* pool, SimClock* clock,
                      const std::vector<Value>* params, size_t work_mem,
-                     int dop = 1, size_t batch_rows = kDefaultBatchRows);
+                     int dop = 1, size_t batch_rows = kDefaultBatchRows,
+                     uint64_t statement_epoch = 0);
 
   std::vector<std::unique_ptr<CompiledSubquery>> subqueries;
 
@@ -76,6 +80,7 @@ class SubqueryRunnerImpl : public SubqueryRunner {
   size_t work_mem_ = 4u << 20;
   int dop_ = 1;
   size_t batch_rows_ = kDefaultBatchRows;
+  uint64_t statement_epoch_ = 0;
 };
 
 struct CompiledSubquery {
@@ -100,6 +105,30 @@ struct CompiledSubquery {
   RowBatch scratch;
 };
 
+/// What the planner decided for one statement — the per-plan slice of the
+/// paper's "which access path / join method did the optimizer pick" story.
+/// Counted over the main tree plus all (nested) subquery plans.
+struct PlanChoices {
+  int seq_scans = 0;
+  int index_scans = 0;
+  int parallel_scans = 0;
+  int hash_joins = 0;
+  int index_nl_joins = 0;
+  int nl_joins = 0;
+  int hash_aggs = 0;
+  int partial_aggs = 0;
+  int sorts = 0;
+  int distincts = 0;
+  int limits = 0;
+  int materializes = 0;
+  int gather_nodes = 0;
+  int gather_dop = 0;  ///< dop of the plan's Gather nodes (0 = serial plan)
+  int subquery_plans = 0;
+
+  /// One-line rendering for EXPLAIN ANALYZE / the performance monitor.
+  std::string Summary() const;
+};
+
 /// A ready-to-execute statement: operator tree + subquery machinery +
 /// ownership of all bound expressions.
 struct PhysicalPlan {
@@ -109,6 +138,7 @@ struct PhysicalPlan {
   Schema output_schema;
   std::vector<std::string> column_names;
   size_t num_params = 0;
+  PlanChoices choices;
 
   std::string Explain() const { return root ? ExplainPlan(*root) : "<empty>"; }
 };
@@ -119,8 +149,11 @@ struct PhysicalPlan {
 /// matching the behaviour the paper observed in its commercial RDBMS.
 class Optimizer {
  public:
-  Optimizer(const Catalog* catalog, PlannerOptions options)
-      : catalog_(catalog), options_(options) {}
+  /// `metrics` (null = GlobalMetrics()) receives `rdbms.optimizer.*`
+  /// counters for every plan produced.
+  Optimizer(const Catalog* catalog, PlannerOptions options,
+            MetricsRegistry* metrics = nullptr)
+      : catalog_(catalog), options_(options), metrics_(metrics) {}
 
   /// Consumes the bound query and produces an executable plan.
   Result<PhysicalPlan> Plan(std::unique_ptr<BoundQuery> bq);
@@ -135,6 +168,7 @@ class Optimizer {
 
   const Catalog* catalog_;
   PlannerOptions options_;
+  MetricsRegistry* metrics_;
 };
 
 }  // namespace rdbms

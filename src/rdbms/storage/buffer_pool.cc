@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/str_util.h"
+#include "common/trace.h"
 
 namespace r3 {
 namespace rdbms {
@@ -48,8 +49,16 @@ void PageHandle::Release() {
   }
 }
 
-BufferPool::BufferPool(Disk* disk, SimClock* clock, size_t capacity_bytes)
+BufferPool::BufferPool(Disk* disk, SimClock* clock, size_t capacity_bytes,
+                       MetricsRegistry* metrics)
     : disk_(disk), clock_(clock) {
+  if (metrics == nullptr) metrics = GlobalMetrics();
+  m_logical_reads_ = metrics->GetCounter("rdbms.bufferpool.logical_reads");
+  m_physical_reads_ = metrics->GetCounter("rdbms.bufferpool.physical_reads");
+  m_sequential_reads_ =
+      metrics->GetCounter("rdbms.bufferpool.sequential_reads");
+  m_random_reads_ = metrics->GetCounter("rdbms.bufferpool.random_reads");
+  m_page_writes_ = metrics->GetCounter("rdbms.bufferpool.page_writes");
   size_t n = capacity_bytes / kPageSize;
   if (n < 8) n = 8;
   frames_.resize(n);
@@ -75,10 +84,14 @@ bool BufferPool::ChargeRead(PageId id) {
   auto it = stream->find(id.file_id);
   bool sequential = it != stream->end() && id.page_no == it->second + 1;
   (*stream)[id.file_id] = id.page_no;
-  if (sequential) {
-    clock_->ChargeSeqPageRead();
-  } else {
-    clock_->ChargeRandomPageRead();
+  int64_t cost_us = sequential ? clock_->model().seq_page_read_us
+                               : clock_->model().random_page_read_us;
+  clock_->Charge(cost_us);
+  if (Tracer* t = clock_->tracer()) {
+    // Lane-active calls are dropped inside Complete(); the coordinator's
+    // Gather span already carries the workers' merged critical path.
+    t->Complete("io", sequential ? "page_read.seq" : "page_read.rand",
+                clock_->NowMicros() - cost_us, cost_us);
   }
   return sequential;
 }
@@ -112,7 +125,13 @@ Result<size_t> BufferPool::GetVictimFrame() {
     if (f.dirty) {
       R3_RETURN_IF_ERROR(disk_->WritePage(f.id, f.data.get()));
       ++vs.stats.page_writes;
+      m_page_writes_->Add(1);
       clock_->ChargePageWrite();
+      if (Tracer* t = clock_->tracer()) {
+        int64_t cost_us = clock_->model().page_write_us;
+        t->Complete("io", "page_write", clock_->NowMicros() - cost_us,
+                    cost_us);
+      }
       f.dirty = false;
     }
     vs.page_table.erase(f.id);
@@ -123,6 +142,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
 
 Result<PageHandle> BufferPool::FetchPage(PageId id) {
   Shard& s = ShardOf(id);
+  m_logical_reads_->Add(1);
   {
     std::lock_guard<std::mutex> lk(s.mu);
     ++s.stats.logical_reads;
@@ -169,6 +189,8 @@ Result<PageHandle> BufferPool::FetchPage(PageId id) {
   f.in_use = true;
   f.dirty = false;
   f.pin_count = 1;
+  m_physical_reads_->Add(1);
+  (sequential ? m_sequential_reads_ : m_random_reads_)->Add(1);
   {
     std::lock_guard<std::mutex> lk(s.mu);
     ++s.stats.physical_reads;
@@ -184,6 +206,7 @@ Result<PageHandle> BufferPool::FetchPage(PageId id) {
 
 Status BufferPool::ReadPageForScan(PageId id, char* buf) {
   Shard& s = ShardOf(id);
+  m_logical_reads_->Add(1);
   {
     std::lock_guard<std::mutex> lk(s.mu);
     ++s.stats.logical_reads;
@@ -198,6 +221,8 @@ Status BufferPool::ReadPageForScan(PageId id, char* buf) {
   // every other reader's hit/miss outcome) is unaffected.
   R3_RETURN_IF_ERROR(disk_->ReadPage(id, buf));
   bool sequential = ChargeRead(id);
+  m_physical_reads_->Add(1);
+  (sequential ? m_sequential_reads_ : m_random_reads_)->Add(1);
   {
     std::lock_guard<std::mutex> lk(s.mu);
     ++s.stats.physical_reads;
@@ -252,6 +277,7 @@ Status BufferPool::FlushAll() {
         std::lock_guard<std::mutex> lk(ShardOf(f.id).mu);
         ++ShardOf(f.id).stats.page_writes;
       }
+      m_page_writes_->Add(1);
       clock_->ChargePageWrite();
       f.dirty = false;
     }

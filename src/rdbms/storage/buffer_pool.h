@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "rdbms/storage/disk.h"
@@ -97,7 +98,11 @@ class BufferPool {
   static constexpr size_t kNumShards = 16;  // power of two
 
   /// `capacity_bytes` is rounded down to whole frames (>= 8 frames enforced).
-  BufferPool(Disk* disk, SimClock* clock, size_t capacity_bytes);
+  /// I/O counters are mirrored into `metrics` under `rdbms.bufferpool.*`
+  /// (GlobalMetrics() when null); the counter pointers are resolved once
+  /// here, so the hot paths never touch the registry.
+  BufferPool(Disk* disk, SimClock* clock, size_t capacity_bytes,
+             MetricsRegistry* metrics = nullptr);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -152,11 +157,19 @@ class BufferPool {
   /// Caller must hold evict_mu_.
   Result<size_t> GetVictimFrame();
   /// Classifies a physical read against the active lane's (or the shared)
-  /// read stream, charges the clock, and returns true when sequential.
+  /// read stream, charges the clock (and emits an "io" trace event when a
+  /// tracer is attached and no lane is active), and returns true when
+  /// sequential.
   bool ChargeRead(PageId id);
 
   Disk* disk_;
   SimClock* clock_;
+  // Registry mirrors of the shard stats (cached pointers; see constructor).
+  Counter* m_logical_reads_;
+  Counter* m_physical_reads_;
+  Counter* m_sequential_reads_;
+  Counter* m_random_reads_;
+  Counter* m_page_writes_;
   std::vector<Frame> frames_;
   Shard shards_[kNumShards];
   std::mutex lru_mu_;      // guards lru_ + free_frames_ + Frame lru links

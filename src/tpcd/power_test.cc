@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/str_util.h"
+#include "common/trace.h"
 
 namespace r3 {
 namespace tpcd {
@@ -41,12 +42,18 @@ const PowerItem* PowerResult::Find(const std::string& label) const {
 Result<PowerResult> RunPowerTest(const std::string& config, IQuerySet* queries,
                                  const QueryParams& params, SimClock* clock,
                                  const std::function<Status()>& uf1,
-                                 const std::function<Status()>& uf2) {
+                                 const std::function<Status()>& uf2,
+                                 appsys::PerfMonitor* monitor) {
   PowerResult out;
   out.config = config;
 
   auto timed = [&](const std::string& label,
                    const std::function<Result<size_t>()>& body) -> Status {
+    // The monitor's operation scope already opens an "app" trace span named
+    // after the item; open one ourselves only when running unmonitored.
+    appsys::PerfMonitor::Scope op(monitor, label);
+    TraceSpan span;
+    if (monitor == nullptr) span = TraceSpan(clock, "app", label);
     SimTimer sim(*clock);
     int64_t wall = WallMicros();
     R3_ASSIGN_OR_RETURN(size_t rows, body());

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "appsys/perf_monitor.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "tpcd/queries.h"
@@ -32,10 +33,15 @@ struct PowerResult {
 /// Runs the TPC-D power test against one query set: UF1, Q1..Q17, UF2, each
 /// timed individually on the shared simulated clock (reported in the
 /// paper's Q1..Q17, UF1, UF2 order).
+///
+/// When `monitor` is given, every item is also booked as a perf-monitor
+/// operation under its label; either way each item is covered by an
+/// "app"-category trace span when a Tracer is attached to `clock`.
 Result<PowerResult> RunPowerTest(const std::string& config, IQuerySet* queries,
                                  const QueryParams& params, SimClock* clock,
                                  const std::function<Status()>& uf1,
-                                 const std::function<Status()>& uf2);
+                                 const std::function<Status()>& uf2,
+                                 appsys::PerfMonitor* monitor = nullptr);
 
 /// Renders a PowerResult column as the paper formats it.
 std::string FormatPowerColumn(const PowerResult& result);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "appsys/app_server.h"
+#include "common/metrics.h"
 
 namespace r3 {
 namespace appsys {
@@ -36,7 +37,9 @@ class AppSysTest : public ::testing::Test {
     AppServerOptions opts;
     opts.release = release;
     opts.table_buffer_bytes = 1u << 20;
-    sys_ = std::make_unique<R3System>(opts);
+    rdbms::DatabaseOptions db_opts;
+    db_opts.metrics = &metrics_;
+    sys_ = std::make_unique<R3System>(opts, db_opts);
     ASSERT_OK(sys_->app.Bootstrap());
     DefineSchema();
   }
@@ -69,6 +72,9 @@ class AppSysTest : public ::testing::Test {
                Value::Str(kschl), Value::Decimal(kbetr), Value::Decimal(kawrt)};
   }
 
+  // Declared before sys_ so the system (whose TableBuffer and Database cache
+  // counter pointers) is destroyed first.
+  MetricsRegistry metrics_;
   std::unique_ptr<R3System> sys_;
 };
 
@@ -274,6 +280,45 @@ TEST_F(AppSysTest, BufferInvalidatedOnWrite) {
   auto r2 = osql->SelectSingle("MARA", {OsqlCond::Eq("MATNR", Value::Str("M1"))});
   ASSERT_TRUE(r2.ok());
   EXPECT_EQ(sys_->app.connection()->stats().round_trips - before.round_trips, 1);
+}
+
+TEST_F(AppSysTest, TableBufferMetricsMirrorBufferStats) {
+  // The Table 8 instrumentation: every probe/hit/miss/invalidation the
+  // buffer's own stats struct records is mirrored into the shared metrics
+  // registry under appsys.table_buffer.*, where the performance monitor
+  // computes its buffer-quality ratio from.
+  OpenSql* osql = sys_->app.open_sql();
+  TableBuffer* buffer = sys_->app.buffer();
+  buffer->EnableFor("MARA");
+  ASSERT_OK(osql->Insert("MARA", MaraRow("M1", "FERT", 1.0)));
+
+  for (int i = 0; i < 10; ++i) {
+    auto row = osql->SelectSingle(
+        "MARA", {OsqlCond::Eq("MATNR", Value::Str("M1"))});
+    ASSERT_TRUE(row.ok()) << row.status().ToString();
+  }
+  // One miss (cold), nine hits — the Table 8 shape.
+  EXPECT_EQ(buffer->stats().misses, 1);
+  EXPECT_EQ(buffer->stats().hits, 9);
+
+  // A local write drops the table's entry; the next probe misses again.
+  ASSERT_OK(osql->Insert("MARA", MaraRow("M2", "FERT", 2.0)));
+  EXPECT_EQ(buffer->stats().invalidations, 1);
+  auto reload = osql->SelectSingle(
+      "MARA", {OsqlCond::Eq("MATNR", Value::Str("M1"))});
+  ASSERT_TRUE(reload.ok());
+
+  const TableBuffer::Stats& s = buffer->stats();
+  EXPECT_EQ(s.probes, s.hits + s.misses);
+  EXPECT_EQ(metrics_.Value("appsys.table_buffer.probes"), s.probes);
+  EXPECT_EQ(metrics_.Value("appsys.table_buffer.hits"), s.hits);
+  EXPECT_EQ(metrics_.Value("appsys.table_buffer.misses"), s.misses);
+  EXPECT_EQ(metrics_.Value("appsys.table_buffer.invalidations"),
+            s.invalidations);
+  EXPECT_EQ(metrics_.Value("appsys.table_buffer.evictions"), s.evictions);
+  // The connection's round-trip mirror agrees with its struct stats too.
+  EXPECT_EQ(metrics_.Value("appsys.connection.round_trips"),
+            sys_->app.connection()->stats().round_trips);
 }
 
 TEST_F(AppSysTest, ExtractTwoPhaseGrouping) {

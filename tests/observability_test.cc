@@ -1,0 +1,552 @@
+// Observability-layer tests: the metrics registry (sharded counters, gauges,
+// fixed-bucket histograms), cross-layer trace spans and their Chrome export,
+// the JSON helper underneath both, the ST04-style performance monitor — and
+// the headline determinism guarantee: simulated-time trace exports and the
+// sim-charging counters are byte-identical no matter how many OS worker
+// threads run the plan's lanes or how many rows travel per batch (DESIGN.md
+// §7). Also the regression fence for per-statement state: operator runtime
+// counters and trace output must not bleed between statements on a reused
+// Database.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "appsys/app_server.h"
+#include "appsys/perf_monitor.h"
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "tpcd/loader.h"
+#include "tpcd/queries.h"
+#include "tpcd/schema.h"
+
+namespace r3 {
+namespace {
+
+using rdbms::Value;
+
+#define ASSERT_OK(expr)                        \
+  do {                                         \
+    ::r3::Status _st = (expr);                 \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();   \
+  } while (false)
+
+/// EXPECT_EQ on multi-megabyte strings prints both operands on failure;
+/// this reports just the first differing byte with a little context.
+void ExpectSameBytes(const std::string& a, const std::string& b,
+                     const char* what) {
+  if (a == b) return;
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  size_t from = i > 60 ? i - 60 : 0;
+  ADD_FAILURE() << what << " differ (sizes " << a.size() << " vs " << b.size()
+                << ") at byte " << i << ":\n  a: ..." << a.substr(from, 120)
+                << "\n  b: ..." << b.substr(from, 120);
+}
+
+// -- Metrics ------------------------------------------------------------------
+
+TEST(MetricsTest, CounterSumsExactlyAcrossThreads) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  c.Add(5);
+  EXPECT_EQ(c.Value(), kThreads * kPerThread + 5);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  Gauge g;
+  g.Set(42);
+  g.Add(-2);
+  EXPECT_EQ(g.Value(), 40);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(MetricsTest, HistogramBucketsAndSum) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h", {10, 100});
+  h->Observe(5);
+  h->Observe(10);   // bucket bounds are inclusive
+  h->Observe(50);
+  h->Observe(1000);  // overflow bucket
+  EXPECT_EQ(h->TotalCount(), 4);
+  EXPECT_EQ(h->Sum(), 1065);
+  EXPECT_EQ(h->BucketCount(0), 2);
+  EXPECT_EQ(h->BucketCount(1), 1);
+  EXPECT_EQ(h->BucketCount(2), 1);  // overflow
+  h->Reset();
+  EXPECT_EQ(h->TotalCount(), 0);
+  EXPECT_EQ(h->Sum(), 0);
+}
+
+TEST(MetricsTest, RegistrySnapshotAndRenderAreDeterministic) {
+  MetricsRegistry registry;
+  registry.GetCounter("z.last")->Add(3);
+  registry.GetCounter("a.first")->Add(1);
+  registry.GetGauge("m.gauge")->Set(7);
+  registry.GetHistogram("m.hist", {10})->Observe(4);
+
+  EXPECT_EQ(registry.Value("a.first"), 1);
+  EXPECT_EQ(registry.Value("m.gauge"), 7);
+  EXPECT_EQ(registry.Value("no.such.metric"), 0);
+
+  std::vector<MetricSample> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].name, "a.first");  // sorted by name
+  EXPECT_EQ(snap[3].name, "z.last");
+  EXPECT_TRUE(std::is_sorted(
+      snap.begin(), snap.end(),
+      [](const MetricSample& x, const MetricSample& y) {
+        return x.name < y.name;
+      }));
+
+  std::string text = registry.RenderText();
+  EXPECT_EQ(text, registry.RenderText());
+  EXPECT_NE(text.find("a.first"), std::string::npos);
+  EXPECT_NE(text.find("m.hist"), std::string::npos);
+
+  // ResetAll zeroes values but keeps the metric set (and bucket layout).
+  registry.ResetAll();
+  EXPECT_EQ(registry.Value("z.last"), 0);
+  EXPECT_EQ(registry.Snapshot().size(), 4u);
+  registry.GetCounter("z.last")->Add(2);
+  EXPECT_EQ(registry.Value("z.last"), 2);
+}
+
+// -- JSON ---------------------------------------------------------------------
+
+TEST(JsonTest, RoundTripPreservesDocument) {
+  json::Value doc = json::Value::Object();
+  doc.Set("name", json::Value::Str("bench \"quoted\"\n"));
+  doc.Set("count", json::Value::Int(-12345));
+  doc.Set("ratio", json::Value::Double(0.25));
+  doc.Set("ok", json::Value::Bool(true));
+  doc.Set("none", json::Value::Null());
+  json::Value arr = json::Value::Array();
+  arr.Append(json::Value::Int(1));
+  arr.Append(json::Value::Str("two"));
+  doc.Set("items", std::move(arr));
+
+  std::string text = doc.Dump();
+  auto parsed = json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value& v = parsed.value();
+  EXPECT_EQ(v.Get("name").string_value(), "bench \"quoted\"\n");
+  EXPECT_EQ(v.Get("count").int_value(), -12345);
+  EXPECT_DOUBLE_EQ(v.Get("ratio").double_value(), 0.25);
+  EXPECT_TRUE(v.Get("ok").bool_value());
+  EXPECT_TRUE(v.Get("none").is_null());
+  ASSERT_EQ(v.Get("items").items().size(), 2u);
+  EXPECT_EQ(v.Get("items").items()[1].string_value(), "two");
+  // Re-dump of the parse is byte-identical (insertion order preserved).
+  EXPECT_EQ(parsed.value().Dump(), text);
+}
+
+TEST(JsonTest, MalformedDocumentsAreRejected) {
+  EXPECT_FALSE(json::Parse("{").ok());
+  EXPECT_FALSE(json::Parse("[1,]").ok());
+  EXPECT_FALSE(json::Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(json::Parse("{'a':1}").ok());
+  EXPECT_FALSE(json::Validate("not json").ok());
+  EXPECT_TRUE(json::Validate("{\"a\":[1,2,{\"b\":null}]}").ok());
+}
+
+// -- Trace spans across the RDBMS layers -------------------------------------
+
+/// Category/name pairs present in a Chrome export.
+std::set<std::pair<std::string, std::string>> EventSet(
+    const std::string& chrome_json) {
+  auto doc = json::Parse(chrome_json);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  std::set<std::pair<std::string, std::string>> out;
+  if (!doc.ok()) return out;
+  for (const json::Value& e : doc.value().Get("traceEvents").items()) {
+    out.emplace(e.Get("cat").string_value(), e.Get("name").string_value());
+  }
+  return out;
+}
+
+TEST(TraceTest, SpansCoverSqlExecAndIoLayers) {
+  MetricsRegistry registry;
+  rdbms::DatabaseOptions opts;
+  opts.metrics = &registry;
+  rdbms::Database db(nullptr, opts);
+  ASSERT_OK(db.Execute("CREATE TABLE t (a INT, b CHAR(16))"));
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_OK(db.InsertRow("t", {Value::Int(i), Value::Str("some filler")}));
+  }
+  ASSERT_OK(db.pool()->Reset());  // cold pool: the scan pays physical I/O
+
+  Tracer tracer(db.clock());
+  auto res = db.Query("SELECT SUM(a) FROM t WHERE a >= 10");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_GT(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+
+  std::string exported = tracer.ExportChromeJson();
+  ASSERT_OK(json::Validate(exported));
+  auto events = EventSet(exported);
+  // The sql pipeline stages...
+  EXPECT_TRUE(events.count({"sql", "parse"}));
+  EXPECT_TRUE(events.count({"sql", "optimize"}));
+  EXPECT_TRUE(events.count({"sql", "execute"}));
+  // ...the executor's per-operator spans...
+  bool has_exec = false, has_io = false;
+  for (const auto& [cat, name] : events) {
+    if (cat == "exec") has_exec = true;
+    if (cat == "io" && name.rfind("page_read", 0) == 0) has_io = true;
+  }
+  EXPECT_TRUE(has_exec);
+  // ...and the buffer pool's physical transfers.
+  EXPECT_TRUE(has_io);
+  EXPECT_GT(registry.Value("rdbms.bufferpool.physical_reads"), 0);
+}
+
+TEST(TraceTest, TracingChargesNoSimulatedTime) {
+  rdbms::Database db;
+  ASSERT_OK(db.Execute("CREATE TABLE t (a INT)"));
+  for (int i = 0; i < 500; ++i) ASSERT_OK(db.InsertRow("t", {Value::Int(i)}));
+  const std::string sql = "SELECT COUNT(*) FROM t WHERE a < 250";
+  ASSERT_TRUE(db.Query(sql).ok());  // warm the pool
+
+  SimTimer untraced(*db.clock());
+  ASSERT_TRUE(db.Query(sql).ok());
+  int64_t untraced_us = untraced.ElapsedUs();
+
+  Tracer tracer(db.clock());
+  SimTimer traced(*db.clock());
+  ASSERT_TRUE(db.Query(sql).ok());
+  EXPECT_EQ(traced.ElapsedUs(), untraced_us);
+  EXPECT_GT(tracer.event_count(), 0u);
+}
+
+TEST(TraceTest, NoStateBleedsBetweenStatementsOnReusedDatabase) {
+  rdbms::Database db;
+  ASSERT_OK(db.Execute("CREATE TABLE t (a INT, b INT)"));
+  for (int i = 0; i < 800; ++i) {
+    ASSERT_OK(db.InsertRow("t", {Value::Int(i), Value::Int(i % 7)}));
+  }
+  const std::string sql =
+      "SELECT b, COUNT(*), SUM(a) FROM t WHERE a >= 100 GROUP BY b ORDER BY b";
+  ASSERT_TRUE(db.Query(sql).ok());  // warm the pool
+
+  TraceOptions trace_opts;
+  trace_opts.include_wall_time = false;
+  Tracer tracer(db.clock(), trace_opts);
+
+  // Operator runtime counters reset per statement: repeated runs of the same
+  // statement on the same Database trace identically (rows args included) and
+  // charge identical simulated time.
+  tracer.Clear();
+  SimTimer t1(*db.clock());
+  ASSERT_TRUE(db.Query(sql).ok());
+  int64_t run1_us = t1.ElapsedUs();
+  std::string export1 = tracer.ExportChromeJson();
+
+  tracer.Clear();
+  SimTimer t2(*db.clock());
+  ASSERT_TRUE(db.Query(sql).ok());
+  EXPECT_EQ(t2.ElapsedUs(), run1_us);
+  ExpectSameBytes(export1, tracer.ExportChromeJson(),
+                  "trace exports of identical consecutive statements");
+
+  // The EXPLAIN ANALYZE counters are per-statement too: a second run reports
+  // the same rows/batches/opens, not accumulated totals.
+  auto ea1 = db.ExplainAnalyze(sql);
+  ASSERT_TRUE(ea1.ok()) << ea1.status().ToString();
+  auto ea2 = db.ExplainAnalyze(sql);
+  ASSERT_TRUE(ea2.ok());
+  ExpectSameBytes(ea1.value(), ea2.value(), "EXPLAIN ANALYZE reports");
+}
+
+// -- The app layer in the trace, and table-buffer metrics ---------------------
+
+TEST(TraceTest, AppServerLayersAppearInTrace) {
+  MetricsRegistry registry;
+  appsys::AppServerOptions app_opts;
+  app_opts.table_buffer_bytes = 1u << 20;
+  rdbms::DatabaseOptions db_opts;
+  db_opts.metrics = &registry;
+  appsys::R3System sys(app_opts, db_opts);
+  ASSERT_OK(sys.app.Bootstrap());
+  rdbms::Schema mara({rdbms::ColChar("MANDT", 3), rdbms::ColChar("MATNR", 16),
+                      rdbms::ColDecimal("BRGEW")});
+  ASSERT_OK(sys.app.dictionary()->DefineTransparent("MARA", mara,
+                                                    {"MANDT", "MATNR"}));
+  appsys::OpenSql* osql = sys.app.open_sql();
+  sys.app.buffer()->EnableFor("MARA");
+  ASSERT_OK(osql->Insert(
+      "MARA", {Value::Str("301"), Value::Str("M1"), Value::Decimal(1.5)}));
+
+  Tracer tracer(sys.app.clock());
+  auto miss = osql->SelectSingle(
+      "MARA", {appsys::OsqlCond::Eq("MATNR", Value::Str("M1"))});
+  ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+  auto hit = osql->SelectSingle(
+      "MARA", {appsys::OsqlCond::Eq("MATNR", Value::Str("M1"))});
+  ASSERT_TRUE(hit.ok());
+  appsys::OpenSqlQuery q;
+  q.table = "MARA";
+  ASSERT_TRUE(osql->Select(q).ok());
+
+  auto events = EventSet(tracer.ExportChromeJson());
+  EXPECT_TRUE(events.count({"app", "opensql.select"}));
+  EXPECT_TRUE(events.count({"app", "opensql.translate"}));
+  EXPECT_TRUE(events.count({"app", "table_buffer.hit"}));
+  bool has_interface = false, has_sql = false;
+  for (const auto& [cat, name] : events) {
+    if (cat == "interface" && name.rfind("db_call.", 0) == 0)
+      has_interface = true;
+    if (cat == "sql") has_sql = true;
+  }
+  EXPECT_TRUE(has_interface);  // DbConnection round trips
+  EXPECT_TRUE(has_sql);        // the RDBMS underneath the same spans
+
+  // The connection's registry mirror agrees with its struct stats.
+  EXPECT_EQ(registry.Value("appsys.connection.round_trips"),
+            sys.app.connection()->stats().round_trips);
+  EXPECT_GT(registry.Value("appsys.connection.round_trips"), 0);
+}
+
+// -- Performance monitor ------------------------------------------------------
+
+TEST(PerfMonitorTest, AggregatesOperationsWithCounterDeltas) {
+  MetricsRegistry registry;
+  rdbms::DatabaseOptions db_opts;
+  db_opts.metrics = &registry;
+  appsys::R3System sys(appsys::AppServerOptions{}, db_opts);
+  ASSERT_OK(sys.app.Bootstrap());
+  rdbms::Schema mara({rdbms::ColChar("MANDT", 3), rdbms::ColChar("MATNR", 16),
+                      rdbms::ColDecimal("BRGEW")});
+  ASSERT_OK(sys.app.dictionary()->DefineTransparent("MARA", mara,
+                                                    {"MANDT", "MATNR"}));
+  appsys::PerfMonitor monitor(sys.app.clock(), &registry);
+
+  {
+    appsys::PerfMonitor::Scope op(&monitor, "load");
+    ASSERT_OK(sys.app.open_sql()->Insert(
+        "MARA", {Value::Str("301"), Value::Str("M1"), Value::Decimal(1.0)}));
+  }
+  for (int i = 0; i < 2; ++i) {
+    appsys::PerfMonitor::Scope op(&monitor, "report");
+    appsys::OpenSqlQuery q;
+    q.table = "MARA";
+    ASSERT_TRUE(sys.app.open_sql()->Select(q).ok());
+  }
+
+  const auto& ops = monitor.operations();
+  ASSERT_EQ(ops.size(), 2u);  // first-seen order, aggregated by name
+  EXPECT_EQ(ops[0].name, "load");
+  EXPECT_EQ(ops[0].calls, 1);
+  EXPECT_EQ(ops[1].name, "report");
+  EXPECT_EQ(ops[1].calls, 2);
+  EXPECT_GT(ops[1].sim_us, 0);
+  EXPECT_GT(ops[1].CounterValue("rdbms.sql.statements"), 0);
+  EXPECT_EQ(ops[1].CounterValue("appsys.connection.round_trips"), 2);
+  EXPECT_GE(monitor.Total("rdbms.sql.statements"),
+            ops[0].CounterValue("rdbms.sql.statements") +
+                ops[1].CounterValue("rdbms.sql.statements"));
+
+  std::string report = monitor.RenderReport();
+  EXPECT_NE(report.find("performance monitor"), std::string::npos);
+  EXPECT_NE(report.find("report"), std::string::npos);
+  auto parsed = json::Parse(monitor.ToJson().Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value().Has("totals"));
+  ASSERT_TRUE(parsed.value().Has("operations"));
+  EXPECT_EQ(parsed.value().Get("operations").items().size(), 2u);
+
+  monitor.Reset();
+  EXPECT_TRUE(monitor.operations().empty());
+  EXPECT_EQ(monitor.Total("rdbms.sql.statements"), 0);
+}
+
+TEST(PerfMonitorTest, OperationsDoNotNest) {
+  appsys::R3System sys;
+  appsys::PerfMonitor monitor(&sys.clock);
+  monitor.BeginOperation("outer");
+  sys.clock.Charge(10);
+  monitor.BeginOperation("inner");  // closes "outer" first
+  sys.clock.Charge(5);
+  monitor.EndOperation();
+  monitor.EndOperation();  // no-op: nothing open
+  ASSERT_EQ(monitor.operations().size(), 2u);
+  EXPECT_EQ(monitor.operations()[0].name, "outer");
+  EXPECT_EQ(monitor.operations()[0].sim_us, 10);
+  EXPECT_EQ(monitor.operations()[1].sim_us, 5);
+}
+
+// -- The headline guarantee ---------------------------------------------------
+
+/// Counters whose values must not depend on worker-thread budget or batch
+/// size: everything that charges simulated time, plus statement/plan counts.
+/// (`rdbms.bufferpool.logical_reads` is deliberately absent — re-pinning a
+/// page on every batch fill makes it batch-size-variant, and it charges no
+/// simulated time; DESIGN.md §7.)
+const char* const kInvariantCounters[] = {
+    "rdbms.bufferpool.physical_reads",
+    "rdbms.bufferpool.sequential_reads",
+    "rdbms.bufferpool.random_reads",
+    "rdbms.bufferpool.page_writes",
+    "rdbms.sql.statements",
+    "rdbms.sql.hard_parses",
+    "rdbms.optimizer.plans",
+    "rdbms.optimizer.seq_scans",
+    "rdbms.optimizer.parallel_scans",
+    "rdbms.optimizer.hash_joins",
+    "rdbms.optimizer.sorts",
+    "rdbms.optimizer.gather_nodes",
+};
+
+std::map<std::string, int64_t> InvariantCounterValues(
+    const MetricsRegistry& registry) {
+  std::map<std::string, int64_t> out;
+  for (const char* name : kInvariantCounters) out[name] = registry.Value(name);
+  return out;
+}
+
+/// Erases every `"ts":<n>` field from a Chrome export. Batch capacity
+/// decides whether a consumer's per-tuple charges interleave between or
+/// after its producer's, so timestamps *inside* a statement legitimately
+/// shift with batch size; everything else — event order, names, categories,
+/// durations, row-count args — must not (see trace.h).
+std::string StripTimestamps(const std::string& chrome_json) {
+  std::string out;
+  out.reserve(chrome_json.size());
+  size_t i = 0;
+  const std::string key = "\"ts\":";
+  while (i < chrome_json.size()) {
+    if (chrome_json.compare(i, key.size(), key) == 0) {
+      i += key.size();
+      while (i < chrome_json.size() &&
+             (chrome_json[i] == '-' || (chrome_json[i] >= '0' &&
+                                        chrome_json[i] <= '9'))) {
+        ++i;
+      }
+      out += "\"ts\":0";
+      continue;
+    }
+    out += chrome_json[i++];
+  }
+  return out;
+}
+
+TEST(ObservabilityDeterminismTest, TraceAndCountersInvariantAcrossThreadsAndBatches) {
+  constexpr double kSf = 0.002;
+  MetricsRegistry registry;
+  rdbms::DatabaseOptions db_opts;
+  db_opts.dop = 2;  // fixed plan-lane count: parallel plans in every run
+  db_opts.planner.parallel_threshold_rows = 500;
+  db_opts.metrics = &registry;
+  rdbms::Database db(nullptr, db_opts);
+  tpcd::DbGen gen(kSf);
+  ASSERT_OK(tpcd::CreateTpcdSchema(&db));
+  ASSERT_OK(tpcd::LoadTpcdDatabase(&db, &gen));
+  auto queries = tpcd::MakeRdbmsQuerySet(&db);
+  tpcd::QueryParams params = tpcd::QueryParams::Defaults(kSf);
+
+  // Per-query simulated elapsed times, collected alongside the row counts.
+  auto run_all = [&](std::vector<size_t>* row_counts,
+                     std::vector<int64_t>* sim_times) {
+    for (int q = 1; q <= tpcd::kNumQueries; ++q) {
+      SimTimer t(*db.clock());
+      auto res = queries->RunQuery(q, params);
+      ASSERT_TRUE(res.ok()) << "Q" << q << ": " << res.status().ToString();
+      row_counts->push_back(res.value().rows.size());
+      sim_times->push_back(t.ElapsedUs());
+    }
+  };
+
+  // Warm-up pass so every measured pass starts from identical engine state.
+  {
+    std::vector<size_t> ignored_rows;
+    std::vector<int64_t> ignored_times;
+    run_all(&ignored_rows, &ignored_times);
+  }
+
+  TraceOptions trace_opts;
+  trace_opts.include_wall_time = false;  // byte-comparable exports
+  Tracer tracer(db.clock(), trace_opts);
+
+  struct Pass {
+    int exec_threads;   // OS-thread budget for the plan's 2 lanes
+    size_t batch_rows;  // rows per RowBatch in the pipeline
+    std::string exported;
+    std::map<std::string, int64_t> counters;
+    std::vector<size_t> rows;
+    std::vector<int64_t> sim_times;
+  };
+  std::vector<Pass> passes = {
+      {1, 1024}, {4, 1024}, {1, 1}, {4, 1}, {1, 7},
+  };
+  for (Pass& pass : passes) {
+    db.set_exec_threads(pass.exec_threads);
+    db.set_batch_rows(pass.batch_rows);
+    ASSERT_OK(db.pool()->Reset());  // identical cold-cache start every pass
+    registry.ResetAll();
+    tracer.Clear();
+    run_all(&pass.rows, &pass.sim_times);
+    ASSERT_EQ(tracer.dropped_events(), 0u);
+    pass.exported = tracer.ExportChromeJson();
+    pass.counters = InvariantCounterValues(registry);
+  }
+  const Pass& ref = passes[0];
+
+  // The baseline must actually exercise what the test claims to pin down:
+  // parallel plans, physical I/O, and spans from every layer.
+  EXPECT_GT(ref.counters.at("rdbms.optimizer.gather_nodes"), 0);
+  EXPECT_GT(ref.counters.at("rdbms.bufferpool.physical_reads"), 0);
+  // >= because some of the 17 report programs issue more than one statement.
+  EXPECT_GE(ref.counters.at("rdbms.sql.statements"),
+            static_cast<int64_t>(tpcd::kNumQueries));
+  ASSERT_OK(json::Validate(ref.exported));
+  for (const char* needle :
+       {"\"cat\":\"sql\"", "\"cat\":\"exec\"", "\"cat\":\"io\""}) {
+    EXPECT_NE(ref.exported.find(needle), std::string::npos) << needle;
+  }
+
+  const std::string ref_stripped = StripTimestamps(ref.exported);
+  for (size_t i = 1; i < passes.size(); ++i) {
+    const Pass& pass = passes[i];
+    SCOPED_TRACE(::testing::Message() << "exec_threads=" << pass.exec_threads
+                                      << " batch_rows=" << pass.batch_rows);
+    EXPECT_EQ(pass.rows, ref.rows);
+    EXPECT_EQ(pass.sim_times, ref.sim_times);  // per-query totals invariant
+    EXPECT_EQ(pass.counters, ref.counters);
+    if (pass.batch_rows == ref.batch_rows) {
+      // Worker-thread budget: full byte-identical exports, timestamps and
+      // all — the trace never sees OS scheduling.
+      ExpectSameBytes(ref.exported, pass.exported,
+                      "trace exports across exec_threads");
+    } else {
+      // Batch capacity: identical modulo intra-statement charge
+      // interleaving (see StripTimestamps).
+      ExpectSameBytes(ref_stripped, StripTimestamps(pass.exported),
+                      "timestamp-stripped trace exports across batch sizes");
+    }
+  }
+  // Thread-budget invariance at the small batch size too: passes {1,1} and
+  // {4,1} must match byte-for-byte.
+  ExpectSameBytes(passes[2].exported, passes[3].exported,
+                  "trace exports across exec_threads at batch_rows=1");
+}
+
+}  // namespace
+}  // namespace r3

@@ -1,0 +1,243 @@
+// Table 11 (beyond the paper): the TPC-D throughput test on the isolated
+// RDBMS. The paper ran only the power test (single stream); the spec's
+// throughput test runs S query streams concurrently with one update stream
+// (S refresh pairs, one RF1/RF2 pair per query stream).
+//
+// Concurrency is modelled as a deterministic discrete-event simulation:
+// every statement executes atomically against the real engine (WAL on, one
+// database transaction per refresh order) and is charged its simulated
+// cost; a LockSchedule then decides when each statement *could* have
+// started had the streams truly interleaved under table-level S/X locking.
+// No threads and no wall-clock feed the metric, so the JSON output is
+// byte-identical across runs.
+//
+//   --streams=<n>   number of query streams (default 4)
+//
+// Metric: TPC-D throughput power = S * 17 * 3600e6 / span_us * SF (queries
+// per hour, scaled), where span_us is the virtual time at which the last
+// stream finishes.
+#include <cinttypes>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "rdbms/txn/lock_manager.h"
+#include "tpcd/queries.h"
+#include "tpcd/update_functions.h"
+
+namespace r3 {
+namespace bench {
+namespace {
+
+using rdbms::txn::LockMode;
+using rdbms::txn::LockSchedule;
+
+/// Base tables each query reads (for the virtual lock schedule). Only
+/// ORDERS/LINEITEM ever conflict with the update stream's X locks, but the
+/// full read sets keep the model honest.
+const std::vector<std::string>& QueryTables(int q) {
+  static const std::vector<std::string> kTables[18] = {
+      /* 0 */ {},
+      /* 1 */ {"LINEITEM"},
+      /* 2 */ {"PART", "SUPPLIER", "PARTSUPP", "NATION", "REGION"},
+      /* 3 */ {"CUSTOMER", "ORDERS", "LINEITEM"},
+      /* 4 */ {"ORDERS", "LINEITEM"},
+      /* 5 */ {"CUSTOMER", "ORDERS", "LINEITEM", "SUPPLIER", "NATION",
+               "REGION"},
+      /* 6 */ {"LINEITEM"},
+      /* 7 */ {"SUPPLIER", "LINEITEM", "ORDERS", "CUSTOMER", "NATION"},
+      /* 8 */ {"PART", "SUPPLIER", "LINEITEM", "ORDERS", "CUSTOMER", "NATION",
+               "REGION"},
+      /* 9 */ {"PART", "SUPPLIER", "LINEITEM", "PARTSUPP", "ORDERS", "NATION"},
+      /* 10 */ {"CUSTOMER", "ORDERS", "LINEITEM", "NATION"},
+      /* 11 */ {"PARTSUPP", "SUPPLIER", "NATION"},
+      /* 12 */ {"ORDERS", "LINEITEM"},
+      /* 13 */ {"ORDERS", "LINEITEM"},
+      /* 14 */ {"LINEITEM", "PART"},
+      /* 15 */ {"SUPPLIER", "LINEITEM"},
+      /* 16 */ {"PARTSUPP", "PART", "SUPPLIER"},
+      /* 17 */ {"LINEITEM", "PART"},
+  };
+  return kTables[q];
+}
+
+const std::vector<std::string>& RefreshTables() {
+  static const std::vector<std::string> kTables = {"ORDERS", "LINEITEM"};
+  return kTables;
+}
+
+struct Item {
+  std::string label;
+  int64_t cost_us = 0;   ///< simulated execution cost
+  int64_t start_us = 0;  ///< virtual start (after lock waits)
+  int64_t end_us = 0;    ///< virtual completion
+};
+
+struct Stream {
+  int id = 0;          ///< 0 = update stream, 1..S = query streams
+  bool update = false;
+  int next = 0;        ///< next work-item index
+  int64_t vt = 0;      ///< virtual time: when the stream is ready again
+  std::vector<Item> items;
+};
+
+int Run(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+  int num_query_streams = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--streams=", 10) == 0) {
+      num_query_streams = std::atoi(argv[i] + 10);
+    }
+  }
+  if (num_query_streams < 1) num_query_streams = 1;
+  PrintHeader("Table 11: TPC-D throughput test (beyond the paper)", flags);
+  std::printf("%d query streams + 1 update stream\n", num_query_streams);
+
+  tpcd::DbGen gen(flags.sf, flags.seed);
+  auto db = BuildRdbmsSystem(&gen);
+  std::unique_ptr<Tracer> tracer;
+  if (!flags.trace_json.empty()) {
+    tracer = std::make_unique<Tracer>(db->clock());
+  }
+  BENCH_CHECK_OK(db->EnableWal());
+
+  auto queries = tpcd::MakeRdbmsQuerySet(db.get());
+  tpcd::QueryParams params = tpcd::QueryParams::Defaults(flags.sf);
+  int64_t pair_count = tpcd::UpdateFunctionCount(gen);
+
+  // Build the work lists. The update stream runs one RF1/RF2 pair per query
+  // stream, pair p over refresh order indices [p*count, (p+1)*count), one
+  // database transaction per order — so the run leaves the database exactly
+  // as it found it. Query stream s runs the 17 queries rotated by s.
+  std::vector<Stream> streams(static_cast<size_t>(num_query_streams) + 1);
+  streams[0].id = 0;
+  streams[0].update = true;
+  for (int64_t p = 0; p < num_query_streams; ++p) {
+    for (int64_t i = 0; i < pair_count; ++i) {
+      streams[0].items.push_back(
+          {str::Format("RF1#%lld", static_cast<long long>(p * pair_count + i)),
+           0, 0, 0});
+    }
+    for (int64_t i = 0; i < pair_count; ++i) {
+      streams[0].items.push_back(
+          {str::Format("RF2#%lld", static_cast<long long>(p * pair_count + i)),
+           0, 0, 0});
+    }
+  }
+  for (int s = 1; s <= num_query_streams; ++s) {
+    streams[s].id = s;
+    for (int q = 0; q < tpcd::kNumQueries; ++q) {
+      int qnum = (q + s - 1) % tpcd::kNumQueries + 1;
+      streams[s].items.push_back({str::Format("Q%d", qnum), 0, 0, 0});
+    }
+  }
+
+  // Discrete-event loop: always advance the ready stream with the smallest
+  // virtual time (ties to the lowest id), run its next statement atomically
+  // on the real engine, then place it on the virtual timeline behind any
+  // conflicting lock holders.
+  LockSchedule schedule;
+  while (true) {
+    Stream* pick = nullptr;
+    for (Stream& s : streams) {
+      if (s.next >= static_cast<int>(s.items.size())) continue;
+      if (pick == nullptr || s.vt < pick->vt) pick = &s;
+    }
+    if (pick == nullptr) break;
+
+    Item& item = pick->items[static_cast<size_t>(pick->next)];
+    int64_t order_index = 0;
+    int qnum = 0;
+    LockMode mode = LockMode::kS;
+    const std::vector<std::string>* tables;
+    if (pick->update) {
+      order_index = std::atoll(item.label.c_str() + 4);
+      mode = LockMode::kX;
+      tables = &RefreshTables();
+    } else {
+      qnum = std::atoi(item.label.c_str() + 1);
+      tables = &QueryTables(qnum);
+    }
+
+    SimTimer sim(*db->clock());
+    if (pick->update) {
+      if (item.label[2] == '1') {
+        BENCH_CHECK_OK(
+            tpcd::RunRefreshOrderTxn(db.get(), &gen, order_index));
+      } else {
+        BENCH_CHECK_OK(
+            tpcd::DeleteRefreshOrderTxn(db.get(), &gen, order_index));
+      }
+    } else {
+      BENCH_CHECK_OK(queries->RunQuery(qnum, params).status());
+    }
+    item.cost_us = sim.ElapsedUs();
+
+    int64_t start = pick->vt;
+    for (const std::string& t : *tables) {
+      int64_t g = schedule.GrantStart(t, mode, start);
+      if (g > start) start = g;
+    }
+    item.start_us = start;
+    item.end_us = start + item.cost_us;
+    for (const std::string& t : *tables) {
+      schedule.Record(t, mode, item.end_us);
+    }
+    pick->vt = item.end_us;
+    ++pick->next;
+  }
+
+  int64_t span_us = 0;
+  for (const Stream& s : streams) {
+    if (s.vt > span_us) span_us = s.vt;
+  }
+  double qph = span_us > 0 ? static_cast<double>(num_query_streams) *
+                                 tpcd::kNumQueries * 3600e6 / span_us * flags.sf
+                           : 0.0;
+
+  json::Value doc = BenchDoc("table11_throughput", flags);
+  doc.Set("query_streams", json::Value::Int(num_query_streams));
+  doc.Set("refresh_pairs", json::Value::Int(num_query_streams));
+  doc.Set("orders_per_pair", json::Value::Int(pair_count));
+  json::Value jstreams = json::Value::Array();
+  std::printf("\n  %-8s %-7s %-14s %-14s\n", "stream", "items", "busy(sim)",
+              "finish(virtual)");
+  for (const Stream& s : streams) {
+    int64_t busy = 0;
+    for (const Item& it : s.items) busy += it.cost_us;
+    std::printf("  %-8s %-7zu %-14s %-14s\n",
+                s.update ? "update" : str::Format("query%d", s.id).c_str(),
+                s.items.size(), FormatDuration(busy).c_str(),
+                FormatDuration(s.vt).c_str());
+    json::Value js = json::Value::Object();
+    js.Set("stream", json::Value::Str(
+                         s.update ? "update" : str::Format("query%d", s.id)));
+    js.Set("busy_us", json::Value::Int(busy));
+    js.Set("finish_us", json::Value::Int(s.vt));
+    json::Value jitems = json::Value::Array();
+    for (const Item& it : s.items) {
+      json::Value ji = json::Value::Object();
+      ji.Set("label", json::Value::Str(it.label));
+      ji.Set("cost_us", json::Value::Int(it.cost_us));
+      ji.Set("start_us", json::Value::Int(it.start_us));
+      ji.Set("end_us", json::Value::Int(it.end_us));
+      jitems.Append(std::move(ji));
+    }
+    js.Set("items", std::move(jitems));
+    jstreams.Append(std::move(js));
+  }
+  doc.Set("streams", std::move(jstreams));
+  doc.Set("span_us", json::Value::Int(span_us));
+  doc.Set("qph_scaled", json::Value::Double(qph));
+  std::printf("\nspan %s, throughput %.2f Qph@SF (S=%d)\n",
+              FormatDuration(span_us).c_str(), qph, num_query_streams);
+
+  if (tracer != nullptr) MaybeWriteTrace(flags, *tracer, &doc);
+  EmitJson(flags, doc);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace r3
+
+int main(int argc, char** argv) { return r3::bench::Run(argc, argv); }

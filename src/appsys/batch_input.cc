@@ -8,7 +8,20 @@ using rdbms::Value;
 BatchInput::Transaction BatchInput::Begin(const std::string& tcode) {
   (void)tcode;
   ++stats_.transactions;
-  return Transaction(this);
+  Transaction txn(this);
+  rdbms::Database* db = conn_->db();
+  // Belt and braces: if an abandoned dialog somehow left a database
+  // transaction open (the destructor normally rolls it back), clear it
+  // before starting the next one.
+  if (db->in_txn()) (void)db->Rollback();
+  if (db->Begin().ok()) txn.open_ = true;
+  return txn;
+}
+
+BatchInput::Transaction::~Transaction() {
+  if (open_ && bi_ != nullptr) {
+    (void)bi_->conn_->db()->Rollback();
+  }
 }
 
 void BatchInput::Transaction::Screen() {
@@ -64,7 +77,15 @@ Status BatchInput::Transaction::Insert(const std::string& table,
 
 Status BatchInput::Transaction::Commit() {
   if (failed_) {
+    if (open_) {
+      (void)bi_->conn_->db()->Rollback();
+      open_ = false;
+    }
     return Status::ConstraintViolation("transaction had failed checks");
+  }
+  if (open_) {
+    open_ = false;
+    R3_RETURN_IF_ERROR(bi_->conn_->db()->Commit());
   }
   bi_->clock_->ChargeRoundTrip();  // commit
   return Status::OK();

@@ -33,9 +33,23 @@ class BatchInput {
       : osql_(osql), conn_(conn), clock_(clock) {}
 
   /// One dialog transaction in flight. Obtain via Begin(); every helper
-  /// charges its realistic cost.
+  /// charges its realistic cost. Backed by a real database transaction
+  /// (the paper's update-task semantics): Commit() commits it, and a
+  /// Transaction that goes out of scope without committing — a validation
+  /// failure made the caller bail mid-dialog — rolls every record write
+  /// back, like the real system discarding an aborted dialog step.
   class Transaction {
    public:
+    ~Transaction();
+    Transaction(Transaction&& o) noexcept
+        : bi_(o.bi_), failed_(o.failed_), open_(o.open_) {
+      o.bi_ = nullptr;
+      o.open_ = false;
+    }
+    Transaction(const Transaction&) = delete;
+    Transaction& operator=(const Transaction&) = delete;
+    Transaction& operator=(Transaction&&) = delete;
+
     /// Processes one dynpro screen (field transport + validation logic).
     void Screen();
 
@@ -61,6 +75,7 @@ class BatchInput {
     explicit Transaction(BatchInput* bi) : bi_(bi) {}
     BatchInput* bi_;
     bool failed_ = false;
+    bool open_ = false;  ///< a database transaction is active
   };
 
   Transaction Begin(const std::string& tcode);

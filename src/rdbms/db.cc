@@ -7,6 +7,7 @@
 #include "rdbms/index/key_codec.h"
 #include "rdbms/sql/binder.h"
 #include "rdbms/sql/parser.h"
+#include "rdbms/txn/recovery.h"
 
 namespace r3 {
 namespace rdbms {
@@ -28,8 +29,162 @@ Database::Database(SimClock* clock, DatabaseOptions options)
   pool_ = std::make_unique<BufferPool>(disk_.get(), clock_,
                                        options_.buffer_pool_bytes, metrics_);
   catalog_ = std::make_unique<Catalog>(pool_.get());
+  txn_mgr_ = std::make_unique<txn::TxnManager>(pool_.get(), clock_, metrics_);
   options_.planner.work_mem_bytes = options_.work_mem_bytes;
   options_.planner.dop = options_.dop;
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+Status Database::Begin() {
+  undo_log_.clear();
+  return txn_mgr_->Begin().status();
+}
+
+Status Database::Commit() {
+  R3_RETURN_IF_ERROR(txn_mgr_->Commit());
+  undo_log_.clear();
+  return Status::OK();
+}
+
+Status Database::Rollback() {
+  if (!txn_mgr_->in_txn()) {
+    return Status::InvalidArgument("no active transaction");
+  }
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    R3_RETURN_IF_ERROR(UndoOne(*it));
+  }
+  undo_log_.clear();
+  R3_RETURN_IF_ERROR(txn_mgr_->FinishRollback());
+  // A reused connection must not bleed per-statement state across the
+  // aborted boundary: advance the operator-stats epoch (operators of a
+  // cached plan re-opened later reset their counters — same mechanism as a
+  // successful statement) and clear any stale SimClock lane binding an
+  // aborted parallel region could have left on this thread.
+  BeginStatement();
+  SimClock::ExitLane();
+  return Status::OK();
+}
+
+Status Database::EnableWal() { return txn_mgr_->EnableWal(); }
+
+Status Database::Checkpoint() { return txn_mgr_->Checkpoint(); }
+
+Status Database::SimulateCrash() {
+  undo_log_.clear();
+  txn_mgr_->ResetAfterCrash();
+  R3_RETURN_IF_ERROR(pool_->DropAllNoFlush());
+  if (txn_mgr_->wal() != nullptr) txn_mgr_->wal()->DropUnflushed();
+  prepared_.clear();
+  return Status::OK();
+}
+
+Status Database::Recover() {
+  if (!txn_mgr_->wal_enabled()) {
+    return Status::InvalidArgument("Recover requires EnableWal");
+  }
+  R3_RETURN_IF_ERROR(txn::RunRecovery(catalog_.get(), pool_.get(),
+                                      txn_mgr_->wal(), clock_, metrics_)
+                         .status());
+  // Leave a clean image + bounded log behind; also re-baselines page LSNs.
+  R3_RETURN_IF_ERROR(txn_mgr_->Checkpoint());
+  BeginStatement();
+  return Status::OK();
+}
+
+Result<uint64_t> Database::TableChecksum(const std::string& table) const {
+  R3_ASSIGN_OR_RETURN(TableInfo * t, catalog_->GetTable(table));
+  // FNV-1a per record, combined commutatively: the checksum depends only on
+  // the multiset of live record images, not on their RIDs or scan order
+  // (undo and recovery may relocate records).
+  uint64_t sum = 0;
+  uint64_t count = 0;
+  R3_ASSIGN_OR_RETURN(uint32_t num_pages, t->heap->NumPages());
+  std::vector<char> buf(kPageSize);
+  for (uint32_t p = 0; p < num_pages; ++p) {
+    R3_RETURN_IF_ERROR(pool_->ReadPageForScan(
+        PageId{t->heap->file_id(), p}, buf.data()));
+    SlottedPage page(buf.data());
+    for (uint16_t s = 0; s < page.slot_count(); ++s) {
+      if (!page.IsLive(s)) continue;
+      R3_ASSIGN_OR_RETURN(std::string_view rec, page.Read(s));
+      uint64_t h = 1469598103934665603ull;  // FNV offset basis
+      for (unsigned char c : rec) {
+        h ^= c;
+        h *= 1099511628211ull;  // FNV prime
+      }
+      sum += h;
+      ++count;
+    }
+  }
+  return sum + count * 0x9E3779B97F4A7C15ull;
+}
+
+Status Database::LockTableForWrite(TableInfo* table) {
+  if (!txn_mgr_->in_txn()) return Status::OK();
+  uint64_t id = txn_mgr_->active_txn_id();
+  txn::LockManager* locks = txn_mgr_->locks();
+  R3_RETURN_IF_ERROR(locks->Acquire(id, "", txn::LockMode::kIX));
+  return locks->Acquire(id, table->name, txn::LockMode::kX);
+}
+
+Status Database::UndoOne(const UndoEntry& e) {
+  TableInfo* table = e.table;
+  switch (e.kind) {
+    case UndoEntry::Kind::kInsert: {
+      R3_RETURN_IF_ERROR(table->heap->Delete(e.rid));
+      for (IndexInfo* idx : table->indexes) {
+        R3_RETURN_IF_ERROR(
+            idx->btree->Delete(IndexKeyForRow(*idx, e.row), e.rid.Pack()));
+      }
+      if (table->row_count > 0) table->row_count -= 1;
+      size_t bytes = SerializedRowSize(table->schema, e.row);
+      table->data_bytes =
+          table->data_bytes > bytes ? table->data_bytes - bytes : 0;
+      return Status::OK();
+    }
+    case UndoEntry::Kind::kDelete: {
+      std::string rec;
+      R3_RETURN_IF_ERROR(SerializeRow(table->schema, e.row, &rec));
+      R3_RETURN_IF_ERROR(table->heap->InsertAt(e.rid, rec));
+      for (IndexInfo* idx : table->indexes) {
+        R3_RETURN_IF_ERROR(idx->btree->Insert(IndexKeyForRow(*idx, e.row),
+                                              e.rid.Pack(), false));
+      }
+      table->row_count += 1;
+      table->data_bytes += rec.size();
+      return Status::OK();
+    }
+    case UndoEntry::Kind::kUpdate: {
+      std::string rec;
+      R3_RETURN_IF_ERROR(SerializeRow(table->schema, e.row, &rec));
+      Rid final_rid;
+      if (e.new_rid == e.rid) {
+        // May relocate again if the pre-image no longer fits in place;
+        // harmless — checksums and index fixes below are RID-aware.
+        R3_ASSIGN_OR_RETURN(final_rid, table->heap->Update(e.rid, rec));
+      } else {
+        R3_RETURN_IF_ERROR(table->heap->Delete(e.new_rid));
+        R3_RETURN_IF_ERROR(table->heap->InsertAt(e.rid, rec));
+        final_rid = e.rid;
+      }
+      // The live index entry for this row is (key(new_row), new_rid) whether
+      // or not the forward op touched the index; swap it for the pre-image.
+      for (IndexInfo* idx : table->indexes) {
+        std::string old_key = IndexKeyForRow(*idx, e.row);
+        std::string new_key = IndexKeyForRow(*idx, e.new_row);
+        if (new_key != old_key || !(e.new_rid == final_rid)) {
+          R3_RETURN_IF_ERROR(idx->btree->Delete(new_key, e.new_rid.Pack()));
+          R3_RETURN_IF_ERROR(
+              idx->btree->Insert(old_key, final_rid.Pack(), false));
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown undo kind");
 }
 
 void Database::set_dop(int dop) {
@@ -407,8 +562,13 @@ Status Database::InsertRowChecked(TableInfo* table, Row row, Rid* rid_out) {
   }
   std::string rec;
   R3_RETURN_IF_ERROR(SerializeRow(schema, row, &rec));
+  R3_RETURN_IF_ERROR(LockTableForWrite(table));
   R3_ASSIGN_OR_RETURN(Rid rid, table->heap->Insert(rec));
   clock_->ChargeDbmsTuple();
+  // Logged immediately (before the index work can trigger an eviction) so
+  // the no-steal pin and page LSN are in place while the page is dirty.
+  R3_RETURN_IF_ERROR(txn_mgr_->LogHeapOp(txn::LogType::kHeapInsert,
+                                         table->heap->file_id(), rid, rec));
 
   // Maintain indexes; undo on unique violation.
   std::vector<IndexInfo*> done;
@@ -420,6 +580,10 @@ Status Database::InsertRowChecked(TableInfo* table, Row row, Rid* rid_out) {
         (void)u->btree->Delete(IndexKeyForRow(*u, row), rid.Pack());
       }
       (void)table->heap->Delete(rid);
+      // A compensating log record instead of unlogging: redo replays the
+      // insert and this delete, netting out to nothing.
+      (void)txn_mgr_->LogHeapOp(txn::LogType::kHeapDelete,
+                                table->heap->file_id(), rid, {});
       if (st.code() == StatusCode::kAlreadyExists) {
         return Status::ConstraintViolation("duplicate key for index " +
                                            idx->name);
@@ -430,6 +594,10 @@ Status Database::InsertRowChecked(TableInfo* table, Row row, Rid* rid_out) {
   }
   table->row_count += 1;
   table->data_bytes += rec.size();
+  if (txn_mgr_->in_txn()) {
+    undo_log_.push_back(UndoEntry{UndoEntry::Kind::kInsert, table, rid, rid,
+                                  row, Row{}});
+  }
   if (rid_out != nullptr) *rid_out = rid;
   return Status::OK();
 }
@@ -440,7 +608,10 @@ Status Database::InsertRow(const std::string& table, const Row& row) {
 }
 
 Status Database::DeleteRowAt(TableInfo* table, Rid rid, const Row& row) {
+  R3_RETURN_IF_ERROR(LockTableForWrite(table));
   R3_RETURN_IF_ERROR(table->heap->Delete(rid));
+  R3_RETURN_IF_ERROR(txn_mgr_->LogHeapOp(txn::LogType::kHeapDelete,
+                                         table->heap->file_id(), rid, {}));
   for (IndexInfo* idx : table->indexes) {
     R3_RETURN_IF_ERROR(idx->btree->Delete(IndexKeyForRow(*idx, row), rid.Pack()));
   }
@@ -448,6 +619,10 @@ Status Database::DeleteRowAt(TableInfo* table, Rid rid, const Row& row) {
   size_t bytes = SerializedRowSize(table->schema, row);
   table->data_bytes = table->data_bytes > bytes ? table->data_bytes - bytes : 0;
   clock_->ChargeDbmsTuple();
+  if (txn_mgr_->in_txn()) {
+    undo_log_.push_back(
+        UndoEntry{UndoEntry::Kind::kDelete, table, rid, rid, row, Row{}});
+  }
   return Status::OK();
 }
 
@@ -640,8 +815,24 @@ Status Database::ExecuteUpdate(const UpdateStmt& stmt,
     }
     std::string rec;
     R3_RETURN_IF_ERROR(SerializeRow(table->schema, new_row, &rec));
+    R3_RETURN_IF_ERROR(LockTableForWrite(table));
     R3_ASSIGN_OR_RETURN(Rid new_rid, table->heap->Update(rid, rec));
     clock_->ChargeDbmsTuple();
+    if (new_rid == rid) {
+      R3_RETURN_IF_ERROR(txn_mgr_->LogHeapOp(
+          txn::LogType::kHeapUpdate, table->heap->file_id(), rid, rec));
+    } else {
+      // The heap relocated the record: physiologically that is a delete at
+      // the old RID plus an insert at the new one.
+      R3_RETURN_IF_ERROR(txn_mgr_->LogHeapOp(
+          txn::LogType::kHeapDelete, table->heap->file_id(), rid, {}));
+      R3_RETURN_IF_ERROR(txn_mgr_->LogHeapOp(
+          txn::LogType::kHeapInsert, table->heap->file_id(), new_rid, rec));
+    }
+    if (txn_mgr_->in_txn()) {
+      undo_log_.push_back(UndoEntry{UndoEntry::Kind::kUpdate, table, rid,
+                                    new_rid, old_row, new_row});
+    }
     for (IndexInfo* idx : table->indexes) {
       std::string old_key = IndexKeyForRow(*idx, old_row);
       std::string new_key = IndexKeyForRow(*idx, new_row);

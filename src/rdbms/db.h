@@ -15,6 +15,7 @@
 #include "rdbms/sql/ast.h"
 #include "rdbms/storage/buffer_pool.h"
 #include "rdbms/storage/disk.h"
+#include "rdbms/txn/txn_manager.h"
 
 namespace r3 {
 namespace rdbms {
@@ -112,9 +113,13 @@ class Cursor {
 /// The embedded relational database: the stand-in for the paper's unnamed
 /// commercial back-end RDBMS.
 ///
-/// Not thread-safe (one session), autocommit semantics: every statement
-/// either fully applies or reports an error with best-effort cleanup of
-/// partial index entries.
+/// Not thread-safe (one session). Statements outside Begin()/Commit() run
+/// in autocommit: every statement either fully applies or reports an error
+/// with best-effort cleanup of partial index entries. Explicit transactions
+/// add multi-statement atomicity (Rollback undoes every record write since
+/// Begin) and — once EnableWal() is on — crash durability with redo-only
+/// recovery (DESIGN.md §8). WAL is off by default; nothing changes for
+/// databases that never call EnableWal().
 class Database {
  public:
   /// `clock` is shared with whatever runs on top (the application server);
@@ -147,6 +152,52 @@ class Database {
   /// unaffected, so cached prepared statements stay valid.
   void set_exec_threads(int n) { options_.exec_threads = n < 0 ? 0 : n; }
   int exec_threads() const { return options_.exec_threads; }
+
+  // -- Transactions ---------------------------------------------------------
+
+  /// Starts an explicit transaction (one at a time per session).
+  Status Begin();
+
+  /// Commits: forces the WAL (when enabled) so the transaction is durable
+  /// before control returns, then releases its locks. On a WAL write
+  /// failure (injected crash) the transaction stays open and the database
+  /// must be crashed + recovered.
+  Status Commit();
+
+  /// Undoes every record write of the active transaction (reverse order,
+  /// in memory), releases its locks, and resets per-statement execution
+  /// state (operator-stats epoch, SimClock lane binding) so a reused
+  /// connection starts the next statement clean.
+  Status Rollback();
+
+  bool in_txn() const { return txn_mgr_->in_txn(); }
+
+  /// Turns on write-ahead logging with the current contents as the durable
+  /// baseline (schema + loaded data are the fixture; only changes after
+  /// this call are logged). Idempotent.
+  Status EnableWal();
+
+  /// Fuzzy checkpoint: flushes committed dirty pages, records the redo
+  /// point, truncates the log.
+  Status Checkpoint();
+
+  /// Simulates the process image dying: every non-flushed buffer page and
+  /// every non-flushed WAL record is lost; the active transaction (if any)
+  /// evaporates. The Disk plays the surviving storage device.
+  Status SimulateCrash();
+
+  /// Restart recovery after SimulateCrash(): log scan, redo committed work,
+  /// discard losers, rebuild derived state, checkpoint.
+  Status Recover();
+
+  /// Order-independent checksum over a table's live rows (content only, not
+  /// RIDs — stable across record relocation). For refresh-idempotence and
+  /// crash-recovery verification.
+  Result<uint64_t> TableChecksum(const std::string& table) const;
+
+  txn::TxnManager* txn_manager() { return txn_mgr_.get(); }
+  /// Null until EnableWal().
+  txn::Wal* wal() { return txn_mgr_->wal(); }
 
   // -- SQL entry points -----------------------------------------------------
 
@@ -230,6 +281,22 @@ class Database {
   Status DeleteRowAt(TableInfo* table, Rid rid, const Row& row);
   Status AnalyzeTable(TableInfo* table);
 
+  /// One reversible record write of the active transaction.
+  struct UndoEntry {
+    enum class Kind { kInsert, kDelete, kUpdate };
+    Kind kind;
+    TableInfo* table;
+    Rid rid;      ///< insert/delete: the row's RID; update: the pre-image RID
+    Rid new_rid;  ///< update only: RID after the update (may equal rid)
+    Row row;      ///< insert: inserted values; delete/update: pre-image
+    Row new_row;  ///< update only: post-image (for index undo)
+  };
+
+  /// Takes the table-level X lock (plus the root intention lock) for the
+  /// active transaction; no-op in autocommit.
+  Status LockTableForWrite(TableInfo* table);
+  Status UndoOne(const UndoEntry& e);
+
   ExecContext MakeExecContext(SubqueryRunnerImpl* runner,
                               const std::vector<Value>* params);
 
@@ -249,6 +316,8 @@ class Database {
   std::unique_ptr<Disk> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<txn::TxnManager> txn_mgr_;
+  std::vector<UndoEntry> undo_log_;
   std::unordered_map<std::string, std::unique_ptr<PreparedStatement>> prepared_;
   uint64_t statement_epoch_ = 0;
   // Cached registry mirrors (see constructor).

@@ -105,12 +105,33 @@ Result<size_t> BufferPool::GetVictimFrame() {
       return idx;
     }
   }
-  while (true) {
+  // No-steal frames popped while hunting for a victim go back to the LRU
+  // front (original relative order) once the hunt is over.
+  std::vector<size_t> skipped;
+  auto reinsert_skipped = [&] {
+    for (size_t i = skipped.size(); i-- > 0;) {
+      Frame& sf = frames_[skipped[i]];
+      std::lock_guard<std::mutex> shard_lk(ShardOf(sf.id).mu);
+      std::lock_guard<std::mutex> lru_lk(lru_mu_);
+      // A concurrent fetch may have pinned it meanwhile; Unpin re-lists it.
+      if (sf.in_use && sf.pin_count == 0 && !sf.in_lru) {
+        lru_.push_front(skipped[i]);
+        sf.lru_it = lru_.begin();
+        sf.in_lru = true;
+      }
+    }
+  };
+  Result<size_t> result = Status::Internal("victim search did not conclude");
+  bool decided = false;
+  while (!decided) {
     size_t idx;
     {
       std::lock_guard<std::mutex> lk(lru_mu_);
       if (lru_.empty()) {
-        return Status::Internal("buffer pool exhausted: all frames pinned");
+        result = Status::Internal(
+            "buffer pool exhausted: all frames pinned or held by active "
+            "transactions");
+        break;
       }
       idx = lru_.front();
       lru_.pop_front();
@@ -122,8 +143,26 @@ Result<size_t> BufferPool::GetVictimFrame() {
     // A concurrent FetchPage may have re-pinned the frame between the LRU
     // pop and here; it will be pushed back on unpin, so just skip it.
     if (f.pin_count > 0) continue;
+    if (f.no_steal) {
+      skipped.push_back(idx);
+      continue;
+    }
     if (f.dirty) {
-      R3_RETURN_IF_ERROR(disk_->WritePage(f.id, f.data.get()));
+      Status st;
+      if (wal_hook_ != nullptr && f.wal_lsn != 0) {
+        st = wal_hook_->EnsureDurable(f.wal_lsn);
+      }
+      if (st.ok()) st = disk_->WritePage(f.id, f.data.get());
+      if (!st.ok()) {
+        // Put the frame back (still dirty, still resident) and fail the
+        // fetch: with the log device gone nothing may reach the disk.
+        std::lock_guard<std::mutex> lru_lk(lru_mu_);
+        lru_.push_front(idx);
+        f.lru_it = lru_.begin();
+        f.in_lru = true;
+        result = st;
+        break;
+      }
       ++vs.stats.page_writes;
       m_page_writes_->Add(1);
       clock_->ChargePageWrite();
@@ -134,10 +173,17 @@ Result<size_t> BufferPool::GetVictimFrame() {
       }
       f.dirty = false;
     }
+    f.wal_lsn = 0;
+    f.rec_lsn = 0;
     vs.page_table.erase(f.id);
     f.in_use = false;
-    return idx;
+    result = idx;
+    decided = true;
   }
+  // Reinserted outside any shard lock (a skipped frame may share the
+  // victim's shard; shard mutexes are not recursive).
+  reinsert_skipped();
+  return result;
 }
 
 Result<PageHandle> BufferPool::FetchPage(PageId id) {
@@ -272,6 +318,10 @@ Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> ev(evict_mu_);
   for (Frame& f : frames_) {
     if (f.in_use && f.dirty) {
+      if (f.no_steal) continue;  // an active txn's page; see header comment
+      if (wal_hook_ != nullptr && f.wal_lsn != 0) {
+        R3_RETURN_IF_ERROR(wal_hook_->EnsureDurable(f.wal_lsn));
+      }
       R3_RETURN_IF_ERROR(disk_->WritePage(f.id, f.data.get()));
       {
         std::lock_guard<std::mutex> lk(ShardOf(f.id).mu);
@@ -280,6 +330,8 @@ Status BufferPool::FlushAll() {
       m_page_writes_->Add(1);
       clock_->ChargePageWrite();
       f.dirty = false;
+      f.wal_lsn = 0;
+      f.rec_lsn = 0;
     }
   }
   return Status::OK();
@@ -291,6 +343,9 @@ Status BufferPool::Reset() {
   for (Frame& f : frames_) {
     if (f.pin_count > 0) {
       return Status::Internal("Reset with pinned pages");
+    }
+    if (f.in_use && f.no_steal) {
+      return Status::Internal("Reset with an active transaction's pages");
     }
   }
   for (Shard& s : shards_) {
@@ -304,11 +359,81 @@ Status BufferPool::Reset() {
     frames_[i].in_use = false;
     frames_[i].in_lru = false;
     frames_[i].dirty = false;
+    frames_[i].wal_lsn = 0;
+    frames_[i].rec_lsn = 0;
+    frames_[i].no_steal = false;
     free_frames_.push_back(frames_.size() - 1 - i);
   }
   std::lock_guard<std::mutex> stream_lk(stream_mu_);
   last_read_page_.clear();
   return Status::OK();
+}
+
+Status BufferPool::DropAllNoFlush() {
+  // Serial context only: the "crash" happens with no statements in flight.
+  std::lock_guard<std::mutex> ev(evict_mu_);
+  for (Frame& f : frames_) {
+    if (f.pin_count > 0) {
+      return Status::Internal("DropAllNoFlush with pinned pages");
+    }
+  }
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.page_table.clear();
+  }
+  std::lock_guard<std::mutex> lru_lk(lru_mu_);
+  lru_.clear();
+  free_frames_.clear();
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    f.in_use = false;
+    f.in_lru = false;
+    f.dirty = false;
+    f.wal_lsn = 0;
+    f.rec_lsn = 0;
+    f.no_steal = false;
+    free_frames_.push_back(frames_.size() - 1 - i);
+  }
+  std::lock_guard<std::mutex> stream_lk(stream_mu_);
+  last_read_page_.clear();
+  return Status::OK();
+}
+
+Status BufferPool::MarkWalDirty(PageId id, uint64_t lsn, bool no_steal) {
+  Shard& s = ShardOf(id);
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.page_table.find(id);
+  if (it == s.page_table.end()) {
+    return Status::Internal(
+        str::Format("MarkWalDirty: page %u:%u not resident", id.file_id,
+                    id.page_no));
+  }
+  Frame& f = frames_[it->second];
+  f.dirty = true;
+  f.wal_lsn = lsn;
+  if (f.rec_lsn == 0) f.rec_lsn = lsn;
+  if (no_steal) f.no_steal = true;
+  return Status::OK();
+}
+
+void BufferPool::ClearNoSteal(PageId id) {
+  Shard& s = ShardOf(id);
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.page_table.find(id);
+  if (it == s.page_table.end()) return;
+  frames_[it->second].no_steal = false;
+}
+
+uint64_t BufferPool::MinDirtyRecLsn() const {
+  // Serial context only (checkpoint path); reads frame fields unlatched the
+  // same way FlushAll does.
+  uint64_t min_lsn = 0;
+  for (const Frame& f : frames_) {
+    if (f.in_use && f.dirty && f.rec_lsn != 0) {
+      if (min_lsn == 0 || f.rec_lsn < min_lsn) min_lsn = f.rec_lsn;
+    }
+  }
+  return min_lsn;
 }
 
 BufferPoolStats BufferPool::stats() const {

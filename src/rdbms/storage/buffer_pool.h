@@ -18,6 +18,17 @@ namespace rdbms {
 
 class BufferPool;
 
+/// WAL-before-data hook. The transaction manager implements this; before the
+/// pool writes a dirty frame whose latest change carries a WAL LSN, it calls
+/// EnsureDurable(lsn) so the log reaches the device first. Declared here
+/// (rather than pulling txn/ headers into storage/) to keep the layering
+/// acyclic: storage knows only this one interface.
+class WalHook {
+ public:
+  virtual ~WalHook() = default;
+  virtual Status EnsureDurable(uint64_t lsn) = 0;
+};
+
 /// RAII pin on a buffered page. Unpins on destruction; call MarkDirty()
 /// after modifying the frame.
 class PageHandle {
@@ -117,11 +128,37 @@ class BufferPool {
   /// Allocates a fresh page in `file_id` and pins it (zeroed, dirty).
   Result<PageHandle> NewPage(uint32_t file_id, uint32_t* page_no);
 
-  /// Writes back all dirty frames.
+  /// Writes back all dirty frames. Frames held by an active transaction
+  /// (no-steal) are skipped — FlushAll doubles as the fuzzy-checkpoint
+  /// writer, which must not persist uncommitted changes.
   Status FlushAll();
 
-  /// Drops all frames (asserts nothing pinned); flushes dirty ones.
+  /// Drops all frames (asserts nothing pinned); flushes dirty ones. Fails
+  /// if any frame is still no-steal (an active transaction's page).
   Status Reset();
+
+  /// Crash simulation: discards every frame *without* writing anything back,
+  /// so the Disk keeps only what earlier evictions/flushes persisted. Fails
+  /// if any page is pinned.
+  Status DropAllNoFlush();
+
+  /// Installs the WAL-before-data hook (null to detach).
+  void set_wal_hook(WalHook* hook) { wal_hook_ = hook; }
+
+  /// Tags the resident page `id` with the WAL LSN of the change just applied
+  /// to it. `no_steal` pins the frame against eviction/flush until
+  /// ClearNoSteal — set for pages dirtied by an active explicit transaction
+  /// (redo-only logging is only correct if loser pages never reach disk).
+  /// The page must be resident (it was just modified through a pin).
+  Status MarkWalDirty(PageId id, uint64_t lsn, bool no_steal);
+
+  /// Lifts the no-steal pin at transaction end (commit or rollback).
+  void ClearNoSteal(PageId id);
+
+  /// Smallest rec_lsn (LSN of the *first* change since the frame was last
+  /// clean) over all dirty frames; 0 when none. The fuzzy checkpoint uses
+  /// this as its redo-point bound.
+  uint64_t MinDirtyRecLsn() const;
 
   /// Aggregates per-shard counters; a consistent snapshot only while no
   /// reads are in flight.
@@ -143,6 +180,10 @@ class BufferPool {
     int pin_count = 0;
     std::list<size_t>::iterator lru_it;  // valid iff pin_count == 0 && in_use
     bool in_lru = false;
+    // WAL state, guarded by the frame's shard mutex like `dirty`:
+    uint64_t wal_lsn = 0;   // latest logged change (flush log up to here)
+    uint64_t rec_lsn = 0;   // first logged change since last clean
+    bool no_steal = false;  // dirtied by an active txn; not evictable
   };
 
   struct Shard {
@@ -164,6 +205,7 @@ class BufferPool {
 
   Disk* disk_;
   SimClock* clock_;
+  WalHook* wal_hook_ = nullptr;
   // Registry mirrors of the shard stats (cached pointers; see constructor).
   Counter* m_logical_reads_;
   Counter* m_physical_reads_;

@@ -28,6 +28,26 @@ Result<Rid> HeapFile::Insert(std::string_view record) {
   return Rid{page_no, slot};
 }
 
+Status HeapFile::InsertAt(Rid rid, std::string_view record) {
+  // After a crash the Disk retains every allocated page (allocation is
+  // durable), so this loop only runs when redo replays an insert into a page
+  // the pre-crash run allocated but a fresh file does not have.
+  R3_ASSIGN_OR_RETURN(uint32_t num_pages, NumPages());
+  while (num_pages <= rid.page_no) {
+    uint32_t page_no = 0;
+    R3_ASSIGN_OR_RETURN(PageHandle h, pool_->NewPage(file_id_, &page_no));
+    SlottedPage(h.data()).Init();
+    h.MarkDirty();
+    ++num_pages;
+  }
+  R3_ASSIGN_OR_RETURN(PageHandle h,
+                      pool_->FetchPage(PageId{file_id_, rid.page_no}));
+  SlottedPage page(h.data());
+  R3_RETURN_IF_ERROR(page.InsertAt(rid.slot, record));
+  h.MarkDirty();
+  return Status::OK();
+}
+
 Status HeapFile::Get(Rid rid, std::string* out) const {
   R3_ASSIGN_OR_RETURN(PageHandle h,
                       pool_->FetchPage(PageId{file_id_, rid.page_no}));

@@ -23,6 +23,14 @@ class HeapFile {
   /// Appends a record, allocating pages as needed.
   Result<Rid> Insert(std::string_view record);
 
+  /// Places a record at exactly `rid` (undo/redo path: a record must return
+  /// to its original RID so index payloads stay valid). Allocates missing
+  /// pages up to rid.page_no; the slot must not hold a live record.
+  Status InsertAt(Rid rid, std::string_view record);
+
+  /// Forgets the append-locality hint (after crash recovery rebuilt state).
+  void ResetInsertHint() { has_last_insert_page_ = false; }
+
   /// Copies the record at `rid` into `*out`.
   Status Get(Rid rid, std::string* out) const;
 

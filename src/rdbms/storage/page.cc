@@ -11,6 +11,22 @@ namespace rdbms {
 void SlottedPage::Init() {
   Put16(0, 0);
   Put16(2, static_cast<uint16_t>(kPageSize));
+  set_lsn(0);
+}
+
+uint64_t SlottedPage::lsn() const {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p_[4 + i]);
+  }
+  return v;
+}
+
+void SlottedPage::set_lsn(uint64_t lsn) {
+  for (int i = 0; i < 8; ++i) {
+    p_[4 + i] = static_cast<char>(lsn & 0xff);
+    lsn >>= 8;
+  }
 }
 
 size_t SlottedPage::FreeSpace() const {
@@ -41,6 +57,39 @@ Result<uint16_t> SlottedPage::Insert(std::string_view record) {
   Put16(kHeaderSize + slot * kSlotSize + 2, static_cast<uint16_t>(record.size()));
   Put16(0, static_cast<uint16_t>(slot + 1));
   return slot;
+}
+
+Status SlottedPage::InsertAt(uint16_t slot, std::string_view record) {
+  // A frame that was allocated but never flushed reads back zeroed after a
+  // crash; data_start 0 is impossible on an initialized page, so treat it as
+  // "needs Init" (preserving the zero LSN).
+  if (data_start() == 0) Init();
+  uint16_t count = slot_count();
+  if (slot < count && SlotOffset(slot) != kDeleted) {
+    return Status::Internal(str::Format("slot %u is live", slot));
+  }
+  size_t new_slots = slot < count ? 0 : static_cast<size_t>(slot - count) + 1;
+  size_t needed = record.size() + new_slots * kSlotSize;
+  if (FreeSpace() < needed) {
+    Compact();
+    if (FreeSpace() < needed) {
+      return Status::OutOfRange("page full");
+    }
+  }
+  if (slot >= count) {
+    for (uint16_t s = count; s <= slot; ++s) {
+      Put16(kHeaderSize + s * kSlotSize, kDeleted);
+      Put16(kHeaderSize + s * kSlotSize + 2, 0);
+    }
+    Put16(0, static_cast<uint16_t>(slot + 1));
+  }
+  uint16_t new_start = static_cast<uint16_t>(data_start() - record.size());
+  std::memcpy(p_ + new_start, record.data(), record.size());
+  Put16(2, new_start);
+  Put16(kHeaderSize + slot * kSlotSize, new_start);
+  Put16(kHeaderSize + slot * kSlotSize + 2,
+        static_cast<uint16_t>(record.size()));
+  return Status::OK();
 }
 
 Result<std::string_view> SlottedPage::Read(uint16_t slot) const {

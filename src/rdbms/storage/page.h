@@ -36,13 +36,19 @@ struct Rid {
 /// Layout:
 ///   [0..2)  uint16 slot_count
 ///   [2..4)  uint16 data_start (offset of the lowest record byte)
-///   [4..)   slot directory: per slot {uint16 offset, uint16 length}
+///   [4..12) uint64 page LSN (last WAL record applied; 0 = pre-WAL page)
+///   [12..)  slot directory: per slot {uint16 offset, uint16 length}
 ///   ...free space...
 ///   [data_start..kPageSize) record bytes, growing downward
 ///
 /// A deleted slot has offset == 0xFFFF. Slots are never reused across
 /// deletes within a page's lifetime (keeps RIDs stable); the space of the
 /// deleted record is reclaimed only by compaction on demand.
+///
+/// The page LSN makes redo idempotent: recovery skips a log record when the
+/// on-disk page already carries an equal-or-newer LSN (DESIGN.md §8). It is
+/// maintained by the transaction manager; pages written outside a WAL-enabled
+/// database keep LSN 0 and are always older than any log record.
 class SlottedPage {
  public:
   /// Wraps an existing frame; does not own it.
@@ -53,11 +59,22 @@ class SlottedPage {
 
   uint16_t slot_count() const { return Get16(0); }
 
+  /// LSN of the last WAL record applied to this page (0 = never stamped).
+  uint64_t lsn() const;
+  void set_lsn(uint64_t lsn);
+
   /// Contiguous free bytes available for one more record (+ its slot).
   size_t FreeSpace() const;
 
   /// Inserts a record; returns its slot or kNotFound if it does not fit.
   Result<uint16_t> Insert(std::string_view record);
+
+  /// Inserts a record at exactly `slot` (recovery/undo path: restores a
+  /// record to its original RID). The slot must be deleted or beyond the
+  /// current directory; intermediate slots materialize as deleted
+  /// placeholders. Works on a zeroed (never-initialized) frame. Fails with
+  /// kInternal if the slot is live, kOutOfRange if out of space.
+  Status InsertAt(uint16_t slot, std::string_view record);
 
   /// Returns the record bytes in `slot` (view into the frame).
   Result<std::string_view> Read(uint16_t slot) const;
@@ -77,7 +94,7 @@ class SlottedPage {
 
  private:
   static constexpr uint16_t kDeleted = 0xffff;
-  static constexpr size_t kHeaderSize = 4;
+  static constexpr size_t kHeaderSize = 12;
   static constexpr size_t kSlotSize = 4;
 
   uint16_t Get16(size_t off) const {

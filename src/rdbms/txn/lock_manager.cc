@@ -1,0 +1,154 @@
+#include "rdbms/txn/lock_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace r3 {
+namespace rdbms {
+namespace txn {
+namespace {
+
+// A wait this long means a lock cycle, not a slow holder.
+constexpr auto kDeadlockTimeout = std::chrono::seconds(30);
+
+// Least upper bound of two held modes on one resource (S+IX -> X).
+LockMode Supremum(LockMode a, LockMode b) {
+  if (a == b) return a;
+  if (a == LockMode::kX || b == LockMode::kX) return LockMode::kX;
+  if ((a == LockMode::kS && b == LockMode::kIX) ||
+      (a == LockMode::kIX && b == LockMode::kS)) {
+    return LockMode::kX;
+  }
+  if (a == LockMode::kS || b == LockMode::kS) return LockMode::kS;
+  if (a == LockMode::kIX || b == LockMode::kIX) return LockMode::kIX;
+  return LockMode::kIS;
+}
+
+// True when holding `held` already implies `want`.
+bool Covers(LockMode held, LockMode want) {
+  if (held == want) return true;
+  switch (held) {
+    case LockMode::kX:
+      return true;
+    case LockMode::kS:
+      return want == LockMode::kIS;
+    case LockMode::kIX:
+      return want == LockMode::kIS;
+    case LockMode::kIS:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kIS:
+      return "IS";
+    case LockMode::kIX:
+      return "IX";
+    case LockMode::kS:
+      return "S";
+    case LockMode::kX:
+      return "X";
+  }
+  return "?";
+}
+
+bool LockCompatible(LockMode a, LockMode b) {
+  if (a == LockMode::kX || b == LockMode::kX) return false;
+  if (a == LockMode::kS && b == LockMode::kIX) return false;
+  if (a == LockMode::kIX && b == LockMode::kS) return false;
+  return true;
+}
+
+bool LockManager::Grantable(const Resource& res, uint64_t txn_id,
+                            LockMode mode) const {
+  for (const Holder& h : res.holders) {
+    if (h.txn_id == txn_id) continue;
+    if (!LockCompatible(h.mode, mode)) return false;
+  }
+  return true;
+}
+
+Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
+                            LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Resource& res = resources_[resource];
+  Holder* own = nullptr;
+  for (Holder& h : res.holders) {
+    if (h.txn_id == txn_id) {
+      own = &h;
+      break;
+    }
+  }
+  if (own != nullptr && Covers(own->mode, mode)) return Status::OK();
+
+  auto deadline = std::chrono::steady_clock::now() + kDeadlockTimeout;
+  while (!Grantable(res, txn_id, mode)) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Status::Internal("lock wait timeout on '" + resource + "' (" +
+                              LockModeName(mode) + "); possible deadlock");
+    }
+  }
+  if (own != nullptr) {
+    // `own` may dangle if the map rehashed while we waited; re-find it.
+    for (Holder& h : res.holders) {
+      if (h.txn_id == txn_id) {
+        h.mode = Supremum(h.mode, mode);
+        return Status::OK();
+      }
+    }
+  }
+  res.holders.push_back(Holder{txn_id, mode});
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, res] : resources_) {
+      auto& hs = res.holders;
+      hs.erase(std::remove_if(
+                   hs.begin(), hs.end(),
+                   [txn_id](const Holder& h) { return h.txn_id == txn_id; }),
+               hs.end());
+    }
+  }
+  cv_.notify_all();
+}
+
+size_t LockManager::HeldCount(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [name, res] : resources_) {
+    for (const Holder& h : res.holders) {
+      if (h.txn_id == txn_id) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+int64_t LockSchedule::GrantStart(const std::string& resource, LockMode mode,
+                                 int64_t t) const {
+  auto it = tails_.find(resource);
+  if (it == tails_.end()) return t;
+  int64_t earliest =
+      mode == LockMode::kX ? it->second.last_any_end : it->second.last_x_end;
+  return std::max(t, earliest);
+}
+
+void LockSchedule::Record(const std::string& resource, LockMode mode,
+                          int64_t end) {
+  Tail& tail = tails_[resource];
+  tail.last_any_end = std::max(tail.last_any_end, end);
+  if (mode == LockMode::kX) tail.last_x_end = std::max(tail.last_x_end, end);
+}
+
+}  // namespace txn
+}  // namespace rdbms
+}  // namespace r3

@@ -1,0 +1,48 @@
+#ifndef R3DB_RDBMS_TXN_RECOVERY_H_
+#define R3DB_RDBMS_TXN_RECOVERY_H_
+
+#include <cstdint>
+
+#include "common/metrics.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "rdbms/catalog.h"
+#include "rdbms/storage/buffer_pool.h"
+#include "rdbms/txn/wal.h"
+
+namespace r3 {
+namespace rdbms {
+namespace txn {
+
+struct RecoveryStats {
+  int64_t scanned_records = 0;
+  int64_t redone_records = 0;
+  int64_t winner_txns = 0;
+  int64_t loser_txns = 0;
+  int64_t tables_rebuilt = 0;
+};
+
+/// Restart recovery over an already-crashed image: the caller has dropped
+/// the buffer pool (so every read below sees the durable Disk state) and
+/// truncated the WAL to its durable prefix (Wal::DropUnflushed).
+///
+/// Three passes (DESIGN.md §8):
+///  1. Analysis — find the last checkpoint's redo point; partition txn ids
+///     into winners (a commit record exists; autocommit id 0 always wins)
+///     and losers (everything else — discarded, never redone; no-steal
+///     buffering guarantees their changes are not on disk).
+///  2. Redo — replay winners' heap operations in LSN order, skipping pages
+///     whose on-disk LSN already covers the record (idempotence).
+///  3. Rebuild — for every table touched by any scanned record: recount
+///     row/byte stats from the heap and rebuild its B-trees from scratch
+///     (index pages carry no LSNs; rebuilding from the recovered heap is
+///     the recovery story for secondary structures).
+Result<RecoveryStats> RunRecovery(Catalog* catalog, BufferPool* pool, Wal* wal,
+                                  SimClock* clock,
+                                  MetricsRegistry* metrics = nullptr);
+
+}  // namespace txn
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_TXN_RECOVERY_H_

@@ -1,0 +1,99 @@
+#ifndef R3DB_RDBMS_TXN_TXN_MANAGER_H_
+#define R3DB_RDBMS_TXN_TXN_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_set>
+
+#include "common/metrics.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "rdbms/storage/buffer_pool.h"
+#include "rdbms/txn/lock_manager.h"
+#include "rdbms/txn/wal.h"
+
+namespace r3 {
+namespace rdbms {
+namespace txn {
+
+/// Transaction lifecycle + WAL coordination for one Database.
+///
+/// One explicit transaction at a time per Database session (the engine is a
+/// single-session system; concurrency across sessions is modeled by the
+/// throughput bench's deterministic scheduler, and the thread-safe
+/// LockManager protects the real multi-threaded paths). Operations outside
+/// an explicit transaction are autocommit: logged under txn id 0 — treated
+/// as implicitly committed by recovery — and made durable by the next group
+/// flush rather than forcing one per statement.
+///
+/// Policy summary (DESIGN.md §8): redo-only logging + no-steal buffering.
+/// Commit forces the log (group flush); rollback undoes in memory from the
+/// Database's undo log and writes an abort marker; recovery redoes winners
+/// and simply discards losers, whose pages were never allowed to reach disk.
+class TxnManager : public WalHook {
+ public:
+  TxnManager(BufferPool* pool, SimClock* clock,
+             MetricsRegistry* metrics = nullptr);
+
+  /// Turns on write-ahead logging: flushes the current pool contents as the
+  /// baseline image, installs the WAL-before-data hook, and logs an initial
+  /// checkpoint. DDL and bulk loads before this call are not logged (and not
+  /// recoverable — they are the fixture, re-created by the harness).
+  Status EnableWal();
+
+  bool wal_enabled() const { return wal_ != nullptr; }
+  Wal* wal() { return wal_.get(); }
+  LockManager* locks() { return &locks_; }
+
+  bool in_txn() const { return active_txn_ != 0; }
+  uint64_t active_txn_id() const { return active_txn_; }
+  /// True when DML must be recorded (for undo and/or redo).
+  bool tracking() const { return in_txn() || wal_enabled(); }
+
+  Result<uint64_t> Begin();
+  /// Logs the commit record and forces the log. On failure (injected crash)
+  /// the transaction stays open; the caller simulates the crash.
+  Status Commit();
+  /// Called by Database *after* it applied the in-memory undo: logs the
+  /// abort marker, lifts no-steal pins, releases locks.
+  Status FinishRollback();
+
+  /// Logs one heap operation of the current txn (or autocommit txn 0),
+  /// stamps the page LSN, and marks the frame WAL-dirty. No-op status when
+  /// WAL is off but a txn is active (undo-only mode).
+  Status LogHeapOp(LogType type, uint32_t file_id, Rid rid,
+                   std::string_view payload);
+
+  /// Fuzzy checkpoint: flushes what is flushable, logs a checkpoint record
+  /// with the redo point, forces the log, truncates it.
+  Status Checkpoint();
+
+  /// Crash aftermath: forgets the active transaction, its locks and page
+  /// pins (the buffer pool is dropped separately by the Database).
+  void ResetAfterCrash();
+
+  /// WalHook: the buffer pool calls this before writing a WAL-dirty page.
+  Status EnsureDurable(uint64_t lsn) override;
+
+ private:
+  BufferPool* pool_;
+  SimClock* clock_;
+  MetricsRegistry* metrics_;
+  LockManager locks_;
+  std::unique_ptr<Wal> wal_;
+  uint64_t next_txn_id_ = 1;
+  uint64_t active_txn_ = 0;
+  uint64_t active_begin_lsn_ = 0;
+  std::unordered_set<PageId, PageIdHash> txn_pages_;
+  Counter* m_begins_;
+  Counter* m_commits_;
+  Counter* m_rollbacks_;
+  Counter* m_checkpoints_;
+};
+
+}  // namespace txn
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_TXN_TXN_MANAGER_H_

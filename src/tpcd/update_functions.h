@@ -19,10 +19,41 @@ namespace tpcd {
 /// by the Native and Open SQL configurations — the paper implemented both
 /// via batch input, with "virtually identical performance") drives a full
 /// dialog transaction per order.
+///
+/// Each refresh order is one database transaction: an order and its line
+/// items commit (or roll back) atomically, so a crash mid-refresh leaves a
+/// committed prefix of whole orders — the recovery tests depend on this.
 int64_t UpdateFunctionCount(const DbGen& gen);
 
-Status RunUf1Rdbms(rdbms::Database* db, DbGen* gen, int64_t count);
-Status RunUf2Rdbms(rdbms::Database* db, DbGen* gen, int64_t count);
+/// Inserts refresh order `index` (ORDERS row + its LINEITEMs) in one
+/// transaction. Any failure rolls the partial order back.
+Status RunRefreshOrderTxn(rdbms::Database* db, DbGen* gen, int64_t index);
+
+/// Deletes refresh order `index` (LINEITEMs first, then the ORDERS row) in
+/// one transaction.
+Status DeleteRefreshOrderTxn(rdbms::Database* db, DbGen* gen, int64_t index);
+
+/// Runs `count` per-order transactions starting at refresh index `start`.
+Status RunUf1Rdbms(rdbms::Database* db, DbGen* gen, int64_t count,
+                   int64_t start = 0);
+Status RunUf2Rdbms(rdbms::Database* db, DbGen* gen, int64_t count,
+                   int64_t start = 0);
+
+/// Captures ORDERS/LINEITEM row counts and content checksums before a
+/// UF1+UF2 pair and asserts afterwards that the pair restored the database
+/// to its exact starting state (order-independent, so heap placement may
+/// differ).
+class RefreshVerifier {
+ public:
+  Status Capture(rdbms::Database* db);
+  Status VerifyRestored(rdbms::Database* db) const;
+
+ private:
+  uint64_t orders_rows_ = 0;
+  uint64_t lineitem_rows_ = 0;
+  uint64_t orders_sum_ = 0;
+  uint64_t lineitem_sum_ = 0;
+};
 
 Status RunUf1Sap(sap::SapLoader* loader, int64_t count);
 Status RunUf2Sap(sap::SapLoader* loader, int64_t count);

@@ -219,6 +219,34 @@ TEST(TraceTest, SpansCoverSqlExecAndIoLayers) {
   EXPECT_GT(registry.Value("rdbms.bufferpool.physical_reads"), 0);
 }
 
+TEST(TraceTest, TxnWalAndRecoverySpansAppear) {
+  MetricsRegistry registry;
+  rdbms::DatabaseOptions opts;
+  opts.metrics = &registry;
+  rdbms::Database db(nullptr, opts);
+  ASSERT_OK(db.Execute("CREATE TABLE t (a INT, b CHAR(8))"));
+  ASSERT_OK(db.EnableWal());
+
+  Tracer tracer(db.clock());
+  ASSERT_OK(db.Begin());
+  ASSERT_OK(db.InsertRow("t", {Value::Int(1), Value::Str("one")}));
+  ASSERT_OK(db.Commit());
+  ASSERT_OK(db.SimulateCrash());
+  ASSERT_OK(db.Recover());
+
+  auto events = EventSet(tracer.ExportChromeJson());
+  EXPECT_TRUE(events.count({"wal", "flush"}));
+  EXPECT_TRUE(events.count({"txn", "commit"}));
+  EXPECT_TRUE(events.count({"recovery", "redo"}));
+  // The subsystem's counters land in the Database's registry, not the
+  // global one.
+  EXPECT_GT(registry.Value("wal.flushes"), 0);
+  EXPECT_GT(registry.Value("wal.appends"), 0);
+  EXPECT_EQ(registry.Value("txn.begins"), 1);
+  EXPECT_EQ(registry.Value("txn.commits"), 1);
+  EXPECT_EQ(registry.Value("recovery.runs"), 1);
+}
+
 TEST(TraceTest, TracingChargesNoSimulatedTime) {
   rdbms::Database db;
   ASSERT_OK(db.Execute("CREATE TABLE t (a INT)"));

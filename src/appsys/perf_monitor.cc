@@ -113,6 +113,14 @@ std::string PerfMonitor::RenderReport() const {
       static_cast<long long>(Total("appsys.table_buffer.misses")),
       static_cast<long long>(Total("appsys.table_buffer.invalidations")),
       Quality(tb_hits, tb_probes));
+  out += str::Format(
+      "Lock conflict lock_waits=%lld  deadlock_aborts=%lld  "
+      "snapshots=%lld  version_reads=%lld  invisible_skips=%lld\n",
+      static_cast<long long>(Total("txn.lock_waits")),
+      static_cast<long long>(Total("txn.deadlock_aborts")),
+      static_cast<long long>(Total("mvcc.snapshots_taken")),
+      static_cast<long long>(Total("mvcc.alt_version_reads")),
+      static_cast<long long>(Total("mvcc.invisible_rows_skipped")));
 
   if (!ops_.empty()) {
     out += str::Format("Operations (%zu):\n", ops_.size());
@@ -156,8 +164,24 @@ json::Value PerfMonitor::ToJson() const {
     o.Set("counters", std::move(counters));
     operations.Append(std::move(o));
   }
+  // Explicit lock-contention section: always present (zeros included) so
+  // dashboards and CI assertions need not special-case quiet runs.
+  json::Value contention = json::Value::Object();
+  contention.Set("lock_waits", json::Value::Int(Total("txn.lock_waits")));
+  contention.Set("deadlock_aborts",
+                 json::Value::Int(Total("txn.deadlock_aborts")));
+  contention.Set("mvcc_snapshots",
+                 json::Value::Int(Total("mvcc.snapshots_taken")));
+  contention.Set("mvcc_version_reads",
+                 json::Value::Int(Total("mvcc.alt_version_reads")));
+  contention.Set("mvcc_invisible_skips",
+                 json::Value::Int(Total("mvcc.invisible_rows_skipped")));
+  contention.Set("mvcc_gc_trimmed",
+                 json::Value::Int(Total("mvcc.versions_trimmed")));
+
   json::Value out = json::Value::Object();
   out.Set("totals", std::move(totals));
+  out.Set("lock_contention", std::move(contention));
   out.Set("operations", std::move(operations));
   return out;
 }

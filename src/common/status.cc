@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

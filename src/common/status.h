@@ -19,6 +19,7 @@ enum class StatusCode {
   kUnsupported,       ///< feature not available (e.g. in this R/3 release)
   kInternal,          ///< invariant breach inside the engine
   kIoError,           ///< simulated-storage failure
+  kAborted,           ///< transaction aborted (deadlock victim); retryable
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
@@ -60,6 +61,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

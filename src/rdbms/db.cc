@@ -122,12 +122,23 @@ Result<uint64_t> Database::TableChecksum(const std::string& table) const {
   return sum + count * 0x9E3779B97F4A7C15ull;
 }
 
-Status Database::LockTableForWrite(TableInfo* table) {
+Status Database::LockTableIntent(TableInfo* table) {
   if (!txn_mgr_->in_txn()) return Status::OK();
   uint64_t id = txn_mgr_->active_txn_id();
   txn::LockManager* locks = txn_mgr_->locks();
-  R3_RETURN_IF_ERROR(locks->Acquire(id, "", txn::LockMode::kIX));
-  return locks->Acquire(id, table->name, txn::LockMode::kX);
+  R3_RETURN_IF_ERROR(
+      locks->Acquire(id, txn::LockKey::Root(), txn::LockMode::kIX));
+  return locks->Acquire(id, txn::LockKey::Table(table->heap->file_id()),
+                        txn::LockMode::kIX);
+}
+
+Status Database::LockRowForWrite(TableInfo* table, Rid rid) {
+  if (!txn_mgr_->in_txn()) return Status::OK();
+  R3_RETURN_IF_ERROR(LockTableIntent(table));
+  return txn_mgr_->locks()->Acquire(
+      txn_mgr_->active_txn_id(),
+      txn::LockKey::Row(table->heap->file_id(), rid.Pack()),
+      txn::LockMode::kX);
 }
 
 Status Database::UndoOne(const UndoEntry& e) {
@@ -268,7 +279,11 @@ Result<Cursor> Database::OpenCursor(PreparedStatement* stmt,
                                     options_.work_mem_bytes,
                                     EffectiveExecThreads(),
                                     options_.batch_rows, statement_epoch_);
+  st->snapshot = txn_mgr_->AcquireSnapshot();
+  stmt->plan_.runner->BindMvcc(txn_mgr_->mvcc(), st->snapshot.get());
   st->ctx = MakeExecContext(stmt->plan_.runner.get(), &st->params);
+  st->ctx.mvcc = txn_mgr_->mvcc();
+  st->ctx.snapshot = st->snapshot.get();
   R3_RETURN_IF_ERROR(stmt->plan_.root->Open(&st->ctx));
   return cur;
 }
@@ -287,15 +302,36 @@ Status Database::Execute(const std::string& sql,
           ExecuteSelect(*stmt.select, params, result != nullptr ? result : &local));
       return Status::OK();
     }
-    case Statement::Kind::kInsert:
-      R3_RETURN_IF_ERROR(ExecuteInsert(*stmt.insert, params, &affected));
+    case Statement::Kind::kInsert: {
+      uint64_t wid = txn_mgr_->AllocWriteId();
+      write_id_ = wid;
+      Status st = ExecuteInsert(*stmt.insert, params, &affected);
+      write_id_ = 0;
+      // Autocommit DML's physical effects persist even on mid-statement
+      // failure (no statement-level undo), so its version-map footprint
+      // commits unconditionally to keep both views consistent.
+      txn_mgr_->FinishAutocommitWrite(wid, /*committed=*/true);
+      R3_RETURN_IF_ERROR(st);
       break;
-    case Statement::Kind::kDelete:
-      R3_RETURN_IF_ERROR(ExecuteDelete(*stmt.del, params, &affected));
+    }
+    case Statement::Kind::kDelete: {
+      uint64_t wid = txn_mgr_->AllocWriteId();
+      write_id_ = wid;
+      Status st = ExecuteDelete(*stmt.del, params, &affected);
+      write_id_ = 0;
+      txn_mgr_->FinishAutocommitWrite(wid, /*committed=*/true);
+      R3_RETURN_IF_ERROR(st);
       break;
-    case Statement::Kind::kUpdate:
-      R3_RETURN_IF_ERROR(ExecuteUpdate(*stmt.update, params, &affected));
+    }
+    case Statement::Kind::kUpdate: {
+      uint64_t wid = txn_mgr_->AllocWriteId();
+      write_id_ = wid;
+      Status st = ExecuteUpdate(*stmt.update, params, &affected);
+      write_id_ = 0;
+      txn_mgr_->FinishAutocommitWrite(wid, /*committed=*/true);
+      R3_RETURN_IF_ERROR(st);
       break;
+    }
     case Statement::Kind::kCreateTable:
       R3_RETURN_IF_ERROR(ExecuteCreateTable(*stmt.create_table));
       break;
@@ -360,7 +396,11 @@ Status Database::ExecuteSelect(const SelectStmt& stmt,
   plan.runner->BindExecution(pool_.get(), clock_, &params,
                              options_.work_mem_bytes, EffectiveExecThreads(),
                              options_.batch_rows, statement_epoch_);
+  std::shared_ptr<const txn::Snapshot> snapshot = txn_mgr_->AcquireSnapshot();
+  plan.runner->BindMvcc(txn_mgr_->mvcc(), snapshot.get());
   ExecContext ctx = MakeExecContext(plan.runner.get(), &params);
+  ctx.mvcc = txn_mgr_->mvcc();
+  ctx.snapshot = snapshot.get();
   result->schema = plan.output_schema;
   result->column_names = plan.column_names;
   result->rows.clear();
@@ -455,7 +495,11 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql,
   plan.runner->BindExecution(pool_.get(), clock_, &params,
                              options_.work_mem_bytes, EffectiveExecThreads(),
                              options_.batch_rows, statement_epoch_);
+  std::shared_ptr<const txn::Snapshot> snapshot = txn_mgr_->AcquireSnapshot();
+  plan.runner->BindMvcc(txn_mgr_->mvcc(), snapshot.get());
   ExecContext ctx = MakeExecContext(plan.runner.get(), &params);
+  ctx.mvcc = txn_mgr_->mvcc();
+  ctx.snapshot = snapshot.get();
   ExecContext::Totals totals;
   ctx.totals = &totals;
   BufferPoolStats pool_before = pool_->stats();
@@ -562,8 +606,11 @@ Status Database::InsertRowChecked(TableInfo* table, Row row, Rid* rid_out) {
   }
   std::string rec;
   R3_RETURN_IF_ERROR(SerializeRow(schema, row, &rec));
-  R3_RETURN_IF_ERROR(LockTableForWrite(table));
+  // Intent locks first; the row X lock must wait until the heap hands out
+  // the RID (a fresh RID, so it can never block or deadlock).
+  R3_RETURN_IF_ERROR(LockTableIntent(table));
   R3_ASSIGN_OR_RETURN(Rid rid, table->heap->Insert(rec));
+  R3_RETURN_IF_ERROR(LockRowForWrite(table, rid));
   clock_->ChargeDbmsTuple();
   // Logged immediately (before the index work can trigger an eviction) so
   // the no-steal pin and page LSN are in place while the page is dirty.
@@ -594,6 +641,9 @@ Status Database::InsertRowChecked(TableInfo* table, Row row, Rid* rid_out) {
   }
   table->row_count += 1;
   table->data_bytes += rec.size();
+  // Only after index maintenance succeeded: the unique-violation path above
+  // physically removed the row again, so no version-map entry may exist yet.
+  txn_mgr_->mvcc()->OnInsert(table->heap->file_id(), rid, write_id_);
   if (txn_mgr_->in_txn()) {
     undo_log_.push_back(UndoEntry{UndoEntry::Kind::kInsert, table, rid, rid,
                                   row, Row{}});
@@ -604,12 +654,27 @@ Status Database::InsertRowChecked(TableInfo* table, Row row, Rid* rid_out) {
 
 Status Database::InsertRow(const std::string& table, const Row& row) {
   R3_ASSIGN_OR_RETURN(TableInfo * ti, catalog_->GetTable(table));
-  return InsertRowChecked(ti, row, nullptr);
+  uint64_t wid = txn_mgr_->AllocWriteId();
+  write_id_ = wid;
+  Status st = InsertRowChecked(ti, row, nullptr);
+  write_id_ = 0;
+  txn_mgr_->FinishAutocommitWrite(wid, /*committed=*/true);
+  return st;
 }
 
 Status Database::DeleteRowAt(TableInfo* table, Rid rid, const Row& row) {
-  R3_RETURN_IF_ERROR(LockTableForWrite(table));
+  R3_RETURN_IF_ERROR(LockRowForWrite(table, rid));
+  // Pre-image for the version chain, captured before the physical delete.
+  // Serialization is a faithful round trip of the stored record (rows come
+  // from DeserializeRow of that record).
+  std::string pre;
+  if (write_id_ != 0) {
+    R3_RETURN_IF_ERROR(SerializeRow(table->schema, row, &pre));
+  }
   R3_RETURN_IF_ERROR(table->heap->Delete(rid));
+  if (write_id_ != 0) {
+    txn_mgr_->mvcc()->OnDelete(table->heap->file_id(), rid, write_id_, pre);
+  }
   R3_RETURN_IF_ERROR(txn_mgr_->LogHeapOp(txn::LogType::kHeapDelete,
                                          table->heap->file_id(), rid, {}));
   for (IndexInfo* idx : table->indexes) {
@@ -815,12 +880,20 @@ Status Database::ExecuteUpdate(const UpdateStmt& stmt,
     }
     std::string rec;
     R3_RETURN_IF_ERROR(SerializeRow(table->schema, new_row, &rec));
-    R3_RETURN_IF_ERROR(LockTableForWrite(table));
+    R3_RETURN_IF_ERROR(LockRowForWrite(table, rid));
+    std::string old_rec;
+    if (write_id_ != 0) {
+      R3_RETURN_IF_ERROR(SerializeRow(table->schema, old_row, &old_rec));
+    }
     R3_ASSIGN_OR_RETURN(Rid new_rid, table->heap->Update(rid, rec));
     clock_->ChargeDbmsTuple();
     if (new_rid == rid) {
       R3_RETURN_IF_ERROR(txn_mgr_->LogHeapOp(
           txn::LogType::kHeapUpdate, table->heap->file_id(), rid, rec));
+      if (write_id_ != 0) {
+        txn_mgr_->mvcc()->OnUpdate(table->heap->file_id(), rid, write_id_,
+                                   old_rec);
+      }
     } else {
       // The heap relocated the record: physiologically that is a delete at
       // the old RID plus an insert at the new one.
@@ -828,6 +901,11 @@ Status Database::ExecuteUpdate(const UpdateStmt& stmt,
           txn::LogType::kHeapDelete, table->heap->file_id(), rid, {}));
       R3_RETURN_IF_ERROR(txn_mgr_->LogHeapOp(
           txn::LogType::kHeapInsert, table->heap->file_id(), new_rid, rec));
+      if (write_id_ != 0) {
+        txn_mgr_->mvcc()->OnDelete(table->heap->file_id(), rid, write_id_,
+                                   old_rec);
+        txn_mgr_->mvcc()->OnInsert(table->heap->file_id(), new_rid, write_id_);
+      }
     }
     if (txn_mgr_->in_txn()) {
       undo_log_.push_back(UndoEntry{UndoEntry::Kind::kUpdate, table, rid,

@@ -103,6 +103,10 @@ class Cursor {
   struct State {
     PreparedStatement* stmt = nullptr;
     std::vector<Value> params;
+    /// Pins the statement's snapshot-isolation view (and its GC horizon)
+    /// for the cursor's whole open..close window, so rows written by other
+    /// transactions after the open never appear in later FetchBatch calls.
+    std::shared_ptr<const txn::Snapshot> snapshot;
     ExecContext ctx;
     bool done = false;
     TraceSpan span;  ///< "sql/execute" span covering open..close
@@ -292,9 +296,13 @@ class Database {
     Row new_row;  ///< update only: post-image (for index undo)
   };
 
-  /// Takes the table-level X lock (plus the root intention lock) for the
-  /// active transaction; no-op in autocommit.
-  Status LockTableForWrite(TableInfo* table);
+  /// Takes the intention locks above a row write (root IX + table IX) for
+  /// the active transaction; no-op in autocommit. kAborted = this txn was
+  /// chosen as a deadlock victim and must roll back.
+  Status LockTableIntent(TableInfo* table);
+  /// Row-granularity write lock: intention locks plus the {table, rid} X
+  /// lock. Writers of different rows no longer serialize on the table.
+  Status LockRowForWrite(TableInfo* table, Rid rid);
   Status UndoOne(const UndoEntry& e);
 
   ExecContext MakeExecContext(SubqueryRunnerImpl* runner,
@@ -317,6 +325,10 @@ class Database {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<txn::TxnManager> txn_mgr_;
+  /// MVCC write id of the DML statement currently executing: the active
+  /// txn's id, or a fresh instantly-committed id per autocommit statement
+  /// (TxnManager::AllocWriteId). 0 = no DML in flight / MVCC off.
+  uint64_t write_id_ = 0;
   std::vector<UndoEntry> undo_log_;
   std::unordered_map<std::string, std::unique_ptr<PreparedStatement>> prepared_;
   uint64_t statement_epoch_ = 0;

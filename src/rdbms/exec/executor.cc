@@ -5,6 +5,7 @@
 #include "common/str_util.h"
 #include "rdbms/index/key_codec.h"
 #include "rdbms/storage/page.h"
+#include "rdbms/txn/mvcc.h"
 
 namespace r3 {
 namespace rdbms {
@@ -107,6 +108,26 @@ std::string ValuesKey(const std::vector<Value>& values) {
   return key_codec::Encode(values);
 }
 
+Result<bool> MvccFetchRow(const ExecContext& ctx, const TableInfo* table,
+                          Rid rid, std::string* rec) {
+  R3_RETURN_IF_ERROR(table->heap->Get(rid, rec));
+  if (ctx.mvcc == nullptr || ctx.snapshot == nullptr ||
+      !ctx.mvcc->MightHaveVersions(table->heap->file_id())) {
+    return true;
+  }
+  std::string alt;
+  switch (ctx.mvcc->Check(table->heap->file_id(), rid, *ctx.snapshot, &alt)) {
+    case txn::MvccManager::Visibility::kCurrent:
+      return true;
+    case txn::MvccManager::Visibility::kAltVersion:
+      *rec = std::move(alt);
+      return true;
+    case txn::MvccManager::Visibility::kInvisible:
+      return false;
+  }
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // SeqScanOp
 // ---------------------------------------------------------------------------
@@ -123,29 +144,59 @@ Status SeqScanOp::OpenImpl(ExecContext* ctx) {
   page_no_ = 0;
   slot_ = 0;
   done_ = false;
+  pending_ghosts_.clear();
+  ghost_pos_ = 0;
   return Status::OK();
 }
 
 Result<bool> SeqScanOp::NextBatchImpl(RowBatch* out) {
   if (done_) return false;
   R3_ASSIGN_OR_RETURN(uint32_t num_pages, table_->heap->NumPages());
+  const uint32_t file_id = table_->heap->file_id();
+  // Consult the version map only when it could matter: it is empty unless a
+  // transaction is (or recently was) rewriting rows under MVCC.
+  const bool mvcc_active = ctx_->mvcc != nullptr && ctx_->snapshot != nullptr &&
+                           ctx_->mvcc->MightHaveVersions(file_id);
   EvalContext ec = ctx_->MakeEvalContext(nullptr);
   while (!out->full()) {
-    if (page_no_ >= num_pages) {
+    size_t first = out->size();
+    if (ghost_pos_ < pending_ghosts_.size()) {
+      // Drain ghosts of the page just finished: rows whose physical delete
+      // this snapshot must not observe.
+      while (ghost_pos_ < pending_ghosts_.size() && !out->full()) {
+        ctx_->clock->ChargeDbmsTuple();
+        const std::string& rec = pending_ghosts_[ghost_pos_++].second;
+        R3_RETURN_IF_ERROR(DeserializeRow(table_->schema, rec, &table_row_));
+        Row& wide = out->AppendRow();
+        wide.assign(wide_width_, Value::Null());
+        for (size_t i = 0; i < table_row_.size(); ++i) {
+          wide[offset_ + i] = std::move(table_row_[i]);
+        }
+      }
+    } else if (page_no_ >= num_pages) {
       done_ = true;
       break;
-    }
-    size_t first = out->size();
-    {
-      R3_ASSIGN_OR_RETURN(
-          PageHandle h,
-          ctx_->pool->FetchPage(PageId{table_->heap->file_id(), page_no_}));
+    } else {
+      R3_ASSIGN_OR_RETURN(PageHandle h,
+                          ctx_->pool->FetchPage(PageId{file_id, page_no_}));
       SlottedPage page(h.data());
       while (slot_ < page.slot_count() && !out->full()) {
         uint16_t s = static_cast<uint16_t>(slot_++);
         if (!page.IsLive(s)) continue;
         ctx_->clock->ChargeDbmsTuple();
         R3_ASSIGN_OR_RETURN(std::string_view rec, page.Read(s));
+        if (mvcc_active) {
+          switch (ctx_->mvcc->Check(file_id, Rid{page_no_, s}, *ctx_->snapshot,
+                                    &alt_rec_)) {
+            case txn::MvccManager::Visibility::kCurrent:
+              break;
+            case txn::MvccManager::Visibility::kAltVersion:
+              rec = alt_rec_;
+              break;
+            case txn::MvccManager::Visibility::kInvisible:
+              continue;
+          }
+        }
         R3_RETURN_IF_ERROR(DeserializeRow(table_->schema, rec, &table_row_));
         Row& wide = out->AppendRow();
         wide.assign(wide_width_, Value::Null());
@@ -154,6 +205,12 @@ Result<bool> SeqScanOp::NextBatchImpl(RowBatch* out) {
         }
       }
       if (slot_ >= page.slot_count()) {
+        if (mvcc_active) {
+          pending_ghosts_.clear();
+          ghost_pos_ = 0;
+          ctx_->mvcc->VisibleGhosts(file_id, page_no_, *ctx_->snapshot,
+                                    &pending_ghosts_);
+        }
         ++page_no_;
         slot_ = 0;
       }
@@ -243,7 +300,10 @@ Result<bool> IndexScanOp::NextBatchImpl(RowBatch* out) {
         break;
       }
       ctx_->clock->ChargeDbmsTuple();
-      R3_RETURN_IF_ERROR(table_->heap->Get(Rid::Unpack(payload), &rec_));
+      R3_ASSIGN_OR_RETURN(
+          bool visible,
+          MvccFetchRow(*ctx_, table_, Rid::Unpack(payload), &rec_));
+      if (!visible) continue;  // row created after this statement's snapshot
       R3_RETURN_IF_ERROR(DeserializeRow(table_->schema, rec_, &table_row_));
       Row& wide = out->AppendRow();
       wide.assign(wide_width_, Value::Null());

@@ -19,6 +19,11 @@
 namespace r3 {
 namespace rdbms {
 
+namespace txn {
+class MvccManager;
+struct Snapshot;
+}  // namespace txn
+
 /// Runtime state shared by the operators of one executing statement.
 ///
 /// Operators are re-openable: a plan tree is built once (at prepare time)
@@ -46,6 +51,13 @@ struct ExecContext {
   /// on a reused Database reports per-statement counters, not lifetime
   /// totals (DESIGN.md §7).
   uint64_t statement_epoch = 0;
+
+  /// MVCC hooks for snapshot-isolation reads: scan/index operators consult
+  /// `mvcc` with `snapshot` to decide which version of each heap row this
+  /// statement sees. Both null (WAL/MVCC off, or DML internals) = read the
+  /// heap as-is — the pre-MVCC behavior, byte for byte.
+  txn::MvccManager* mvcc = nullptr;
+  const txn::Snapshot* snapshot = nullptr;
 
   /// Query-wide operator counters, summed across every operator of the plan
   /// (EXPLAIN ANALYZE sets this; normal execution leaves it null).
@@ -143,6 +155,14 @@ using OperatorPtr = std::unique_ptr<Operator>;
 /// every node is annotated with its accumulated runtime counters.
 std::string ExplainPlan(const Operator& root, bool analyze = false);
 
+/// MVCC-aware heap fetch for index-driven operators: reads the row at `rid`
+/// into `*rec` and substitutes the snapshot-visible version when the current
+/// heap image is newer than the statement's snapshot. Returns false when no
+/// version of the row is visible (caller skips it). With no MVCC context on
+/// `ctx` this is exactly `heap->Get`.
+Result<bool> MvccFetchRow(const ExecContext& ctx, const TableInfo* table,
+                          Rid rid, std::string* rec);
+
 // ---------------------------------------------------------------------------
 // Scans
 // ---------------------------------------------------------------------------
@@ -177,6 +197,12 @@ class SeqScanOp : public Operator {
   uint32_t slot_ = 0;  // next slot to examine on page_no_
   bool done_ = false;
   Row table_row_;  // decode scratch
+  std::string alt_rec_;  // MVCC alternate-version scratch
+  /// Ghost rows of the page just finished — physically deleted rows whose
+  /// deletion this statement's snapshot must not see — drained into output
+  /// (batch-capacity aware) before the scan advances to the next page.
+  std::vector<std::pair<uint16_t, std::string>> pending_ghosts_;
+  size_t ghost_pos_ = 0;
   SelVector sel_;
 };
 

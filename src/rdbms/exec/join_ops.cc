@@ -288,7 +288,10 @@ Result<bool> IndexNLJoinOp::NextBatchImpl(RowBatch* out) {
         break;
       }
       ctx_->clock->ChargeDbmsTuple();
-      R3_RETURN_IF_ERROR(table_->heap->Get(Rid::Unpack(payload), &rec_));
+      R3_ASSIGN_OR_RETURN(
+          bool visible,
+          MvccFetchRow(*ctx_, table_, Rid::Unpack(payload), &rec_));
+      if (!visible) continue;  // row created after this statement's snapshot
       R3_RETURN_IF_ERROR(DeserializeRow(table_->schema, rec_, &inner_row_));
       Row& candidate = out->AppendRow();
       candidate = left_row;

@@ -8,6 +8,7 @@
 #include "rdbms/exec/agg_state.h"
 #include "rdbms/index/key_codec.h"
 #include "rdbms/storage/page.h"
+#include "rdbms/txn/mvcc.h"
 
 namespace r3 {
 namespace rdbms {
@@ -62,6 +63,7 @@ GatherOp::GatherOp(const TableInfo* table, size_t offset, size_t wide_width,
 
 Status GatherOp::FilterTail(ExecContext* ctx, EvalContext* ec,
                             LaneScratch* scratch) {
+  (void)ctx;
   if (filters_.empty()) {
     scratch->tail_first = scratch->batch.size();
     return Status::OK();
@@ -80,6 +82,31 @@ Status GatherOp::ScanMorsel(
   const uint32_t file_id = table_->heap->file_id();
   RowBatch& batch = scratch->batch;
   EvalContext ec = ctx->MakeEvalContext(nullptr);
+  // Version-map checks only when some row of the system has version info;
+  // otherwise this is the pre-MVCC scan, byte for byte.
+  const bool mvcc_active = ctx->mvcc != nullptr && ctx->snapshot != nullptr &&
+                           ctx->mvcc->MightHaveVersions(file_id);
+  std::string alt_rec;
+  std::vector<std::pair<uint16_t, std::string>> ghosts;
+  // Appends one record to the lane's batch, flushing at capacity.
+  auto append_rec = [&](std::string_view rec) -> Status {
+    R3_RETURN_IF_ERROR(
+        DeserializeRow(table_->schema, rec, &scratch->table_row));
+    Row& wide = batch.AppendRow();
+    wide.assign(wide_width_, Value::Null());
+    for (size_t i = 0; i < scratch->table_row.size(); ++i) {
+      wide[offset_ + i] = std::move(scratch->table_row[i]);
+    }
+    if (batch.full()) {
+      R3_RETURN_IF_ERROR(FilterTail(ctx, &ec, scratch));
+      if (batch.full()) {  // every held row survived: hand off
+        R3_RETURN_IF_ERROR(emit(morsel_idx, lane, &batch));
+        batch.Clear();
+        scratch->tail_first = 0;
+      }
+    }
+    return Status::OK();
+  };
   for (uint32_t pg = m.first_page; pg < m.end_page; ++pg) {
     R3_RETURN_IF_ERROR(
         ctx->pool->ReadPageForScan(PageId{file_id, pg}, page_buf));
@@ -89,20 +116,26 @@ Status GatherOp::ScanMorsel(
       if (!sp.IsLive(s)) continue;
       ctx->clock->ChargeDbmsTuple();  // routed to this worker's lane
       R3_ASSIGN_OR_RETURN(std::string_view rec, sp.Read(s));
-      R3_RETURN_IF_ERROR(
-          DeserializeRow(table_->schema, rec, &scratch->table_row));
-      Row& wide = batch.AppendRow();
-      wide.assign(wide_width_, Value::Null());
-      for (size_t i = 0; i < scratch->table_row.size(); ++i) {
-        wide[offset_ + i] = std::move(scratch->table_row[i]);
-      }
-      if (batch.full()) {
-        R3_RETURN_IF_ERROR(FilterTail(ctx, &ec, scratch));
-        if (batch.full()) {  // every held row survived: hand off
-          R3_RETURN_IF_ERROR(emit(morsel_idx, lane, &batch));
-          batch.Clear();
-          scratch->tail_first = 0;
+      if (mvcc_active) {
+        switch (ctx->mvcc->Check(file_id, Rid{pg, s}, *ctx->snapshot,
+                                 &alt_rec)) {
+          case txn::MvccManager::Visibility::kCurrent:
+            break;
+          case txn::MvccManager::Visibility::kAltVersion:
+            rec = alt_rec;
+            break;
+          case txn::MvccManager::Visibility::kInvisible:
+            continue;
         }
+      }
+      R3_RETURN_IF_ERROR(append_rec(rec));
+    }
+    if (mvcc_active) {
+      ghosts.clear();
+      ctx->mvcc->VisibleGhosts(file_id, pg, *ctx->snapshot, &ghosts);
+      for (const auto& [slot, rec] : ghosts) {
+        ctx->clock->ChargeDbmsTuple();
+        R3_RETURN_IF_ERROR(append_rec(rec));
       }
     }
   }

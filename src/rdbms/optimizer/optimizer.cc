@@ -410,6 +410,19 @@ void SubqueryRunnerImpl::BindExecution(BufferPool* pool, SimClock* clock,
                                 batch_rows, statement_epoch);
     }
   }
+  // Reset per statement; the caller re-binds via BindMvcc when the
+  // statement reads under a snapshot.
+  mvcc_ = nullptr;
+  snapshot_ = nullptr;
+}
+
+void SubqueryRunnerImpl::BindMvcc(txn::MvccManager* mvcc,
+                                  const txn::Snapshot* snapshot) {
+  mvcc_ = mvcc;
+  snapshot_ = snapshot;
+  for (auto& cs : subqueries) {
+    if (cs->runner != nullptr) cs->runner->BindMvcc(mvcc, snapshot);
+  }
 }
 
 ExecContext SubqueryRunnerImpl::MakeContext(CompiledSubquery* cs,
@@ -424,6 +437,8 @@ ExecContext SubqueryRunnerImpl::MakeContext(CompiledSubquery* cs,
   ctx.dop = dop_;
   ctx.batch_size = batch_rows_;
   ctx.statement_epoch = statement_epoch_;
+  ctx.mvcc = mvcc_;
+  ctx.snapshot = snapshot_;
   return ctx;
 }
 

@@ -69,6 +69,11 @@ class SubqueryRunnerImpl : public SubqueryRunner {
                      int dop = 1, size_t batch_rows = kDefaultBatchRows,
                      uint64_t statement_epoch = 0);
 
+  /// Points the runner (recursively) at the statement's MVCC context so
+  /// subquery scans apply the same snapshot-visibility rules as the main
+  /// plan. Call after BindExecution; both null = non-MVCC reads.
+  void BindMvcc(txn::MvccManager* mvcc, const txn::Snapshot* snapshot);
+
   std::vector<std::unique_ptr<CompiledSubquery>> subqueries;
 
  private:
@@ -81,6 +86,8 @@ class SubqueryRunnerImpl : public SubqueryRunner {
   int dop_ = 1;
   size_t batch_rows_ = kDefaultBatchRows;
   uint64_t statement_epoch_ = 0;
+  txn::MvccManager* mvcc_ = nullptr;
+  const txn::Snapshot* snapshot_ = nullptr;
 };
 
 struct CompiledSubquery {

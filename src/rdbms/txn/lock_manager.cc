@@ -8,8 +8,9 @@ namespace rdbms {
 namespace txn {
 namespace {
 
-// A wait this long means a lock cycle, not a slow holder.
-constexpr auto kDeadlockTimeout = std::chrono::seconds(30);
+// A wait this long means a scheduling bug, not a slow holder: real cycles
+// are caught by the waits-for detector long before this fires.
+constexpr auto kLockWaitTimeout = std::chrono::seconds(30);
 
 // Least upper bound of two held modes on one resource (S+IX -> X).
 LockMode Supremum(LockMode a, LockMode b) {
@@ -63,6 +64,20 @@ bool LockCompatible(LockMode a, LockMode b) {
   return true;
 }
 
+std::string LockKey::DebugString() const {
+  if (table_id == 0) return "<root>";
+  std::string s = "t" + std::to_string(table_id - 1);
+  if (row != kWholeTable) s += "#" + std::to_string(row);
+  return s;
+}
+
+LockManager::LockManager(MetricsRegistry* metrics) {
+  MetricsRegistry* m = metrics != nullptr ? metrics : GlobalMetrics();
+  m_lock_waits_ = m->GetCounter("txn.lock_waits");
+  m_deadlock_aborts_ = m->GetCounter("txn.deadlock_aborts");
+  h_wait_us_ = m->GetHistogram("txn.lock_wait_us");
+}
+
 bool LockManager::Grantable(const Resource& res, uint64_t txn_id,
                             LockMode mode) const {
   for (const Holder& h : res.holders) {
@@ -72,10 +87,61 @@ bool LockManager::Grantable(const Resource& res, uint64_t txn_id,
   return true;
 }
 
-Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
-                            LockMode mode) {
+uint64_t LockManager::DetectDeadlockLocked(const Resource& res,
+                                           uint64_t txn_id, LockMode mode) {
+  // Refresh this txn's outgoing edges: it waits for every conflicting
+  // holder of the resource.
+  auto& edges = waits_for_[txn_id];
+  edges.clear();
+  for (const Holder& h : res.holders) {
+    if (h.txn_id != txn_id && !LockCompatible(h.mode, mode)) {
+      edges.insert(h.txn_id);
+    }
+  }
+  // DFS from txn_id over waits_for_; a path back to txn_id is a cycle.
+  // Iterative, with the path kept explicit so the victim can be chosen
+  // from exactly the cycle members.
+  std::vector<uint64_t> path{txn_id};
+  std::vector<std::unordered_set<uint64_t>::const_iterator> frontier;
+  std::unordered_set<uint64_t> visited{txn_id};
+  auto it0 = waits_for_.find(txn_id);
+  if (it0 == waits_for_.end() || it0->second.empty()) return 0;
+  frontier.push_back(it0->second.begin());
+  while (!frontier.empty()) {
+    uint64_t at = path.back();
+    auto eit = waits_for_.find(at);
+    if (eit == waits_for_.end() || frontier.back() == eit->second.end()) {
+      path.pop_back();
+      frontier.pop_back();
+      continue;
+    }
+    uint64_t next = *frontier.back();
+    ++frontier.back();
+    if (next == txn_id) {
+      // Cycle = current path. Victim: the youngest (highest id) member.
+      // Every member is parked on this mutex's CV, so the choice cannot
+      // depend on thread timing — deterministic across runs.
+      uint64_t victim = *std::max_element(path.begin(), path.end());
+      victims_.insert(victim);
+      m_deadlock_aborts_->Increment();
+      return victim;
+    }
+    if (!visited.insert(next).second) continue;
+    auto nit = waits_for_.find(next);
+    if (nit == waits_for_.end() || nit->second.empty()) continue;
+    path.push_back(next);
+    frontier.push_back(nit->second.begin());
+  }
+  return 0;
+}
+
+Status LockManager::Acquire(uint64_t txn_id, LockKey key, LockMode mode) {
   std::unique_lock<std::mutex> lock(mu_);
-  Resource& res = resources_[resource];
+  if (victims_.count(txn_id) != 0) {
+    return Status::Aborted("transaction " + std::to_string(txn_id) +
+                           " chosen as deadlock victim");
+  }
+  Resource& res = resources_[key];
   Holder* own = nullptr;
   for (Holder& h : res.holders) {
     if (h.txn_id == txn_id) {
@@ -85,12 +151,47 @@ Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
   }
   if (own != nullptr && Covers(own->mode, mode)) return Status::OK();
 
-  auto deadline = std::chrono::steady_clock::now() + kDeadlockTimeout;
+  bool waited = false;
+  auto wait_start = std::chrono::steady_clock::now();
+  auto deadline = wait_start + kLockWaitTimeout;
   while (!Grantable(res, txn_id, mode)) {
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      return Status::Internal("lock wait timeout on '" + resource + "' (" +
-                              LockModeName(mode) + "); possible deadlock");
+    if (!waited) {
+      waited = true;
+      m_lock_waits_->Increment();
     }
+    uint64_t victim = DetectDeadlockLocked(res, txn_id, mode);
+    if (victim != 0) {
+      // Wake everyone: parked victims must notice their mark.
+      cv_.notify_all();
+      if (victim == txn_id) {
+        waits_for_.erase(txn_id);
+        h_wait_us_->Observe(std::chrono::duration_cast<std::chrono::microseconds>(
+                                std::chrono::steady_clock::now() - wait_start)
+                                .count());
+        return Status::Aborted("transaction " + std::to_string(txn_id) +
+                               " chosen as deadlock victim on " +
+                               key.DebugString());
+      }
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      waits_for_.erase(txn_id);
+      return Status::Internal("lock wait timeout on '" + key.DebugString() +
+                              "' (" + LockModeName(mode) + ")");
+    }
+    if (victims_.count(txn_id) != 0) {
+      waits_for_.erase(txn_id);
+      h_wait_us_->Observe(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - wait_start)
+                              .count());
+      return Status::Aborted("transaction " + std::to_string(txn_id) +
+                             " chosen as deadlock victim");
+    }
+  }
+  waits_for_.erase(txn_id);
+  if (waited) {
+    h_wait_us_->Observe(std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - wait_start)
+                            .count());
   }
   if (own != nullptr) {
     // `own` may dangle if the map rehashed while we waited; re-find it.
@@ -108,13 +209,15 @@ Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
 void LockManager::ReleaseAll(uint64_t txn_id) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [name, res] : resources_) {
+    for (auto& [key, res] : resources_) {
       auto& hs = res.holders;
       hs.erase(std::remove_if(
                    hs.begin(), hs.end(),
                    [txn_id](const Holder& h) { return h.txn_id == txn_id; }),
                hs.end());
     }
+    waits_for_.erase(txn_id);
+    victims_.erase(txn_id);
   }
   cv_.notify_all();
 }
@@ -122,7 +225,7 @@ void LockManager::ReleaseAll(uint64_t txn_id) {
 size_t LockManager::HeldCount(uint64_t txn_id) const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
-  for (const auto& [name, res] : resources_) {
+  for (const auto& [key, res] : resources_) {
     for (const Holder& h : res.holders) {
       if (h.txn_id == txn_id) {
         ++n;

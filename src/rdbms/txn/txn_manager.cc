@@ -11,8 +11,11 @@ namespace txn {
 
 TxnManager::TxnManager(BufferPool* pool, SimClock* clock,
                        MetricsRegistry* metrics)
-    : pool_(pool), clock_(clock), metrics_(metrics) {
-  if (metrics_ == nullptr) metrics_ = GlobalMetrics();
+    : pool_(pool),
+      clock_(clock),
+      metrics_(metrics == nullptr ? GlobalMetrics() : metrics),
+      locks_(metrics_),
+      mvcc_(metrics_) {
   m_begins_ = metrics_->GetCounter("txn.begins");
   m_commits_ = metrics_->GetCounter("txn.commits");
   m_rollbacks_ = metrics_->GetCounter("txn.rollbacks");
@@ -29,6 +32,9 @@ Status TxnManager::EnableWal() {
   R3_RETURN_IF_ERROR(pool_->FlushAll());
   wal_ = std::make_unique<Wal>(clock_, metrics_);
   pool_->set_wal_hook(this);
+  // Version tracking rides on the WAL switch: both mark the transition from
+  // "fixture loading" to "transactional operation".
+  mvcc_.set_enabled(true);
   return Checkpoint();
 }
 
@@ -37,6 +43,7 @@ Result<uint64_t> TxnManager::Begin() {
     return Status::InvalidArgument("transaction already active");
   }
   active_txn_ = next_txn_id_++;
+  mvcc_.BeginTxn(active_txn_);
   if (wal_enabled()) {
     LogRecord rec;
     rec.txn_id = active_txn_;
@@ -62,6 +69,7 @@ Status TxnManager::Commit() {
   }
   for (const PageId& pid : txn_pages_) pool_->ClearNoSteal(pid);
   txn_pages_.clear();
+  mvcc_.CommitTxn(active_txn_);
   locks_.ReleaseAll(active_txn_);
   active_txn_ = 0;
   active_begin_lsn_ = 0;
@@ -80,6 +88,9 @@ Status TxnManager::FinishRollback() {
   }
   for (const PageId& pid : txn_pages_) pool_->ClearNoSteal(pid);
   txn_pages_.clear();
+  // The Database already restored the heap images; revert the version map
+  // to match.
+  mvcc_.AbortTxn(active_txn_);
   locks_.ReleaseAll(active_txn_);
   active_txn_ = 0;
   active_begin_lsn_ = 0;
@@ -138,6 +149,24 @@ void TxnManager::ResetAfterCrash() {
   active_txn_ = 0;
   active_begin_lsn_ = 0;
   txn_pages_.clear();
+  // Recovery rebuilds only committed state, visible to every snapshot; any
+  // version chains describe heap images that no longer exist.
+  mvcc_.Reset();
+}
+
+uint64_t TxnManager::AllocWriteId() {
+  if (in_txn()) return active_txn_;
+  if (!mvcc_.enabled()) return 0;
+  return next_txn_id_++;
+}
+
+void TxnManager::FinishAutocommitWrite(uint64_t write_id, bool committed) {
+  if (write_id == 0 || write_id == active_txn_) return;
+  if (committed) {
+    mvcc_.CommitTxn(write_id);
+  } else {
+    mvcc_.AbortTxn(write_id);
+  }
 }
 
 Status TxnManager::EnsureDurable(uint64_t lsn) {

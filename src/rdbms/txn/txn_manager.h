@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "rdbms/storage/buffer_pool.h"
 #include "rdbms/txn/lock_manager.h"
+#include "rdbms/txn/mvcc.h"
 #include "rdbms/txn/wal.h"
 
 namespace r3 {
@@ -45,6 +46,7 @@ class TxnManager : public WalHook {
   bool wal_enabled() const { return wal_ != nullptr; }
   Wal* wal() { return wal_.get(); }
   LockManager* locks() { return &locks_; }
+  MvccManager* mvcc() { return &mvcc_; }
 
   bool in_txn() const { return active_txn_ != 0; }
   uint64_t active_txn_id() const { return active_txn_; }
@@ -52,6 +54,26 @@ class TxnManager : public WalHook {
   bool tracking() const { return in_txn() || wal_enabled(); }
 
   Result<uint64_t> Begin();
+
+  /// MVCC write id for the statement about to run: the active txn's id
+  /// inside a transaction, else (autocommit, MVCC on) a fresh id with
+  /// instant-commit semantics — it never enters the active set, so
+  /// snapshots taken before the statement exclude it by id comparison
+  /// alone, and snapshots taken after see it as committed. Returns 0 when
+  /// MVCC is off (hooks no-op on 0). WAL records keep txn id 0 for
+  /// autocommit either way, so the log stays byte-identical.
+  uint64_t AllocWriteId();
+
+  /// Closes an autocommit write id from AllocWriteId: moves its version-map
+  /// footprint to GC (committed) or reverts it (statement failed after the
+  /// Database's physical undo). No-op for in-txn ids — Commit/FinishRollback
+  /// handle those.
+  void FinishAutocommitWrite(uint64_t write_id, bool committed);
+
+  /// Snapshot for the statement or transaction about to read.
+  std::shared_ptr<const Snapshot> AcquireSnapshot() {
+    return mvcc_.AcquireSnapshot(active_txn_);
+  }
   /// Logs the commit record and forces the log. On failure (injected crash)
   /// the transaction stays open; the caller simulates the crash.
   Status Commit();
@@ -81,6 +103,7 @@ class TxnManager : public WalHook {
   SimClock* clock_;
   MetricsRegistry* metrics_;
   LockManager locks_;
+  MvccManager mvcc_;
   std::unique_ptr<Wal> wal_;
   uint64_t next_txn_id_ = 1;
   uint64_t active_txn_ = 0;

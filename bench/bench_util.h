@@ -53,6 +53,7 @@ struct Flags {
   uint64_t seed = 19970607;
   bool json = false;        ///< emit one JSON document on stdout
   std::string trace_json;   ///< when non-empty: Chrome trace output path
+  std::string engine = "row";  ///< default table storage engine
   int saved_stdout = -1;    ///< original stdout fd while json reroutes it
 };
 
@@ -67,10 +68,12 @@ inline Flags ParseFlags(int argc, char** argv) {
       f.json = true;
     } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
       f.trace_json = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
+      f.engine = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--sf=<double>] [--seed=<n>] [--json] "
-          "[--trace-json=<path>]\n",
+          "[--trace-json=<path>] [--engine=row|columnar]\n",
           argv[0]);
       std::exit(0);
     }
@@ -140,10 +143,19 @@ inline rdbms::DatabaseOptions ScaledDbOptions(double sf) {
 /// The isolated-RDBMS configuration: original TPC-D schema, loaded, analyzed.
 /// Pass a registry when the bench builds several systems side by side, so
 /// their metrics don't mix in GlobalMetrics().
+/// Resolves --engine; exits with a usage error on an unknown name.
+inline rdbms::EngineKind EngineFromFlags(const Flags& f) {
+  auto kind = rdbms::ParseEngineKind(f.engine);
+  BENCH_CHECK_OK(kind.status());
+  return kind.value();
+}
+
 inline std::unique_ptr<rdbms::Database> BuildRdbmsSystem(
-    tpcd::DbGen* gen, MetricsRegistry* metrics = nullptr) {
+    tpcd::DbGen* gen, MetricsRegistry* metrics = nullptr,
+    rdbms::EngineKind engine = rdbms::EngineKind::kRowHeap) {
   rdbms::DatabaseOptions db_opts = ScaledDbOptions(gen->scale_factor());
   db_opts.metrics = metrics;
+  db_opts.default_engine = engine;
   auto db = std::make_unique<rdbms::Database>(nullptr, db_opts);
   BENCH_CHECK_OK(tpcd::CreateTpcdSchema(db.get()));
   BENCH_CHECK_OK(tpcd::LoadTpcdDatabase(db.get(), gen));
@@ -156,12 +168,14 @@ inline std::unique_ptr<rdbms::Database> BuildRdbmsSystem(
 inline std::unique_ptr<appsys::R3System> BuildSapSystem(
     tpcd::DbGen* gen, appsys::Release release, bool convert_konv,
     bool drop_shipdate_index = false, size_t table_buffer_bytes = 0,
-    MetricsRegistry* metrics = nullptr) {
+    MetricsRegistry* metrics = nullptr,
+    rdbms::EngineKind engine = rdbms::EngineKind::kRowHeap) {
   appsys::AppServerOptions opts;
   opts.release = release;
   opts.table_buffer_bytes = table_buffer_bytes;
   rdbms::DatabaseOptions db_opts = ScaledDbOptions(gen->scale_factor());
   db_opts.metrics = metrics;
+  db_opts.default_engine = engine;
   auto sys = std::make_unique<appsys::R3System>(opts, db_opts);
   BENCH_CHECK_OK(sys->app.Bootstrap());
   BENCH_CHECK_OK(sap::CreateSapSchema(&sys->app));

@@ -22,7 +22,10 @@ int Run(int argc, char** argv) {
 
   tpcd::DbGen gen(flags.sf, flags.seed);
   auto sap = BuildSapSystem(&gen, appsys::Release::kRelease30,
-                            /*convert_konv=*/true);
+                            /*convert_konv=*/true,
+                            /*drop_shipdate_index=*/false,
+                            /*table_buffer_bytes=*/0, /*metrics=*/nullptr,
+                            EngineFromFlags(flags));
   const std::string mandt = sap->app.client();
   std::unique_ptr<Tracer> tracer;
   if (!flags.trace_json.empty()) {
@@ -92,6 +95,8 @@ int Run(int argc, char** argv) {
   doc.Set("open_sim_us", json::Value::Int(open_us));
   doc.Set("native_groups", json::Value::Int(static_cast<int64_t>(native_groups)));
   doc.Set("open_groups", json::Value::Int(static_cast<int64_t>(open_groups)));
+  // Only labeled when non-default, keeping row-engine output byte-stable.
+  if (flags.engine != "row") doc.Set("engine", json::Value::Str(flags.engine));
   if (tracer != nullptr) MaybeWriteTrace(flags, *tracer, &doc);
   EmitJson(flags, doc);
   return 0;

@@ -121,6 +121,23 @@ std::string PerfMonitor::RenderReport() const {
       static_cast<long long>(Total("mvcc.snapshots_taken")),
       static_cast<long long>(Total("mvcc.alt_version_reads")),
       static_cast<long long>(Total("mvcc.invisible_rows_skipped")));
+  // Columnar engine line: only rendered when a columnar table exists, so
+  // row-engine reports stay byte-identical to the pre-engine monitor.
+  int64_t col_segments = Total("columnar.segments_read");
+  int64_t col_scanned = Total("columnar.values_scanned");
+  int64_t col_mat = Total("columnar.values_materialized");
+  int64_t col_compressed = metrics_->Value("columnar.compressed_bytes");
+  int64_t col_raw = metrics_->Value("columnar.raw_bytes");
+  if (col_segments + col_scanned + col_mat + col_compressed != 0) {
+    out += str::Format(
+        "Columnar      segments_read=%lld  values{scanned=%lld "
+        "materialized=%lld}  bytes{compressed=%lld raw=%lld saved=%lld}\n",
+        static_cast<long long>(col_segments),
+        static_cast<long long>(col_scanned), static_cast<long long>(col_mat),
+        static_cast<long long>(col_compressed), static_cast<long long>(col_raw),
+        static_cast<long long>(
+            metrics_->Value("columnar.dict_bytes_saved")));
+  }
 
   if (!ops_.empty()) {
     out += str::Format("Operations (%zu):\n", ops_.size());
@@ -182,6 +199,19 @@ json::Value PerfMonitor::ToJson() const {
   json::Value out = json::Value::Object();
   out.Set("totals", std::move(totals));
   out.Set("lock_contention", std::move(contention));
+  // Columnar compression gauges (counters already flow through `totals`);
+  // emitted only when a columnar engine published them, keeping row-engine
+  // documents unchanged.
+  int64_t col_compressed = metrics_->Value("columnar.compressed_bytes");
+  if (col_compressed != 0) {
+    json::Value columnar = json::Value::Object();
+    columnar.Set("compressed_bytes", json::Value::Int(col_compressed));
+    columnar.Set("raw_bytes",
+                 json::Value::Int(metrics_->Value("columnar.raw_bytes")));
+    columnar.Set("dict_bytes_saved",
+                 json::Value::Int(metrics_->Value("columnar.dict_bytes_saved")));
+    out.Set("columnar", std::move(columnar));
+  }
   out.Set("operations", std::move(operations));
   return out;
 }

@@ -50,6 +50,10 @@ struct CostModel {
   /// buffer-management bookkeeping in the interpreted runtime); charged on
   /// hits *and* misses — why the paper's 2 MB cache gained nothing.
   int64_t app_buffer_probe_us = 700;
+  /// Touching one value in a memory-resident compressed column segment
+  /// (decode a dictionary code or read a fixed-width slot — a few dozen
+  /// instructions, vs. ~3000 to slot-probe and copy a whole heap tuple).
+  int64_t columnar_value_cpu_us = 1;
   /// Executing one dynpro screen of a batch-input dialog transaction —
   /// field transport, validation logic, document-flow bookkeeping —
   /// excluding the SQL calls it issues (charged separately). Real R/3

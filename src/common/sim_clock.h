@@ -64,6 +64,9 @@ class SimClock {
   void ChargeTupleShip(int64_t n = 1) { Charge(n * model_.tuple_ship_us); }
   void ChargeAbapTuple(int64_t n = 1) { Charge(n * model_.abap_tuple_cpu_us); }
   void ChargeStatementCompile() { Charge(model_.statement_compile_us); }
+  void ChargeColumnarValue(int64_t n = 1) {
+    Charge(n * model_.columnar_value_cpu_us);
+  }
   void ChargeBufferProbe() { Charge(model_.app_buffer_probe_us); }
   void ChargeBatchInputStep() { Charge(model_.batch_input_step_us); }
 

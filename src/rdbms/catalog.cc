@@ -5,11 +5,19 @@
 #include "common/str_util.h"
 #include "rdbms/index/key_codec.h"
 #include "rdbms/row.h"
+#include "rdbms/storage/columnar/columnar_engine.h"
+#include "rdbms/storage/row_heap_engine.h"
 
 namespace r3 {
 namespace rdbms {
 
-Result<TableInfo*> Catalog::CreateTable(const std::string& name, Schema schema) {
+Result<TableInfo*> Catalog::CreateTable(const std::string& name,
+                                        Schema schema) {
+  return CreateTable(name, std::move(schema), default_engine_);
+}
+
+Result<TableInfo*> Catalog::CreateTable(const std::string& name, Schema schema,
+                                        EngineKind kind) {
   std::string key = str::ToUpper(name);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
@@ -20,8 +28,19 @@ Result<TableInfo*> Catalog::CreateTable(const std::string& name, Schema schema) 
   auto info = std::make_unique<TableInfo>();
   info->name = name;
   info->schema = std::move(schema);
+  // Even the columnar engine reserves a Disk file id: it is the namespace
+  // row locks, MVCC versions, and index payload RIDs are keyed by.
   uint32_t file_id = pool_->disk()->CreateFile();
-  info->heap = std::make_unique<HeapFile>(pool_, file_id);
+  switch (kind) {
+    case EngineKind::kRowHeap:
+      info->storage =
+          std::make_unique<RowHeapEngine>(pool_, file_id, &info->schema);
+      break;
+    case EngineKind::kColumnar:
+      info->storage = std::make_unique<ColumnarEngine>(
+          pool_, file_id, &info->schema, metrics_);
+      break;
+  }
   TableInfo* raw = info.get();
   tables_.emplace(key, std::move(info));
   table_order_.push_back(key);
@@ -54,7 +73,8 @@ Status Catalog::DropTable(const std::string& name) {
   for (const std::string& iname : doomed) {
     R3_RETURN_IF_ERROR(DropIndex(iname));
   }
-  R3_RETURN_IF_ERROR(pool_->disk()->TruncateFile(it->second->heap->file_id()));
+  R3_RETURN_IF_ERROR(
+      pool_->disk()->TruncateFile(it->second->storage->file_id()));
   tables_.erase(it);
   table_order_.erase(std::remove(table_order_.begin(), table_order_.end(), key),
                      table_order_.end());
@@ -82,12 +102,12 @@ Result<IndexInfo*> Catalog::CreateIndex(const std::string& index_name,
   info->btree = std::make_unique<BTree>(std::move(tree));
 
   // Backfill from existing rows.
-  HeapFile::Iterator it(tbl->heap.get());
+  std::unique_ptr<RecordIterator> it = tbl->storage->NewIterator();
   Rid rid;
   std::string rec;
   Row row;
   while (true) {
-    R3_ASSIGN_OR_RETURN(bool ok, it.Next(&rid, &rec));
+    R3_ASSIGN_OR_RETURN(bool ok, it->Next(&rid, &rec));
     if (!ok) break;
     R3_RETURN_IF_ERROR(DeserializeRow(tbl->schema, rec, &row));
     R3_RETURN_IF_ERROR(

@@ -6,12 +6,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "rdbms/index/btree.h"
 #include "rdbms/optimizer/stats.h"
 #include "rdbms/row.h"
 #include "rdbms/schema.h"
 #include "rdbms/storage/heap_file.h"
+#include "rdbms/storage/storage_engine.h"
 
 namespace r3 {
 namespace rdbms {
@@ -29,7 +31,9 @@ struct IndexInfo {
 struct TableInfo {
   std::string name;
   Schema schema;
-  std::unique_ptr<HeapFile> heap;
+  /// The table's storage engine (row heap by default); owns the record
+  /// layout, scan cursors, and per-engine optimizer costs.
+  std::unique_ptr<StorageEngine> storage;
   /// Indices into `Catalog::indexes_` of this table's indexes.
   std::vector<IndexInfo*> indexes;
   TableStats stats;
@@ -51,8 +55,20 @@ class Catalog {
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
-  /// Creates an empty table (and its heap file).
+  /// Engine used when CreateTable is not given an explicit kind.
+  void set_default_engine(EngineKind kind) { default_engine_ = kind; }
+  EngineKind default_engine() const { return default_engine_; }
+
+  /// Metrics registry handed to engines that report compression/scan
+  /// counters (may be null).
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Creates an empty table under the catalog's default engine.
   Result<TableInfo*> CreateTable(const std::string& name, Schema schema);
+
+  /// Creates an empty table under an explicit storage engine.
+  Result<TableInfo*> CreateTable(const std::string& name, Schema schema,
+                                 EngineKind kind);
 
   /// Looks up a table (case-insensitive). kNotFound if absent.
   Result<TableInfo*> GetTable(const std::string& name) const;
@@ -85,6 +101,8 @@ class Catalog {
 
  private:
   BufferPool* pool_;
+  EngineKind default_engine_ = EngineKind::kRowHeap;
+  MetricsRegistry* metrics_ = nullptr;
   std::unordered_map<std::string, std::unique_ptr<TableInfo>> tables_;
   std::unordered_map<std::string, std::unique_ptr<IndexInfo>> indexes_;
   std::unordered_map<std::string, ViewInfo> views_;

@@ -1,5 +1,6 @@
 #include "rdbms/db.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "common/str_util.h"
@@ -29,6 +30,8 @@ Database::Database(SimClock* clock, DatabaseOptions options)
   pool_ = std::make_unique<BufferPool>(disk_.get(), clock_,
                                        options_.buffer_pool_bytes, metrics_);
   catalog_ = std::make_unique<Catalog>(pool_.get());
+  catalog_->set_default_engine(options_.default_engine);
+  catalog_->set_metrics(metrics_);
   txn_mgr_ = std::make_unique<txn::TxnManager>(pool_.get(), clock_, metrics_);
   options_.planner.work_mem_bytes = options_.work_mem_bytes;
   options_.planner.dop = options_.dop;
@@ -40,23 +43,35 @@ Database::Database(SimClock* clock, DatabaseOptions options)
 
 Status Database::Begin() {
   undo_log_.clear();
+  R3_RETURN_IF_ERROR(DrainDeferredIndexDeletes(/*force=*/false));
   return txn_mgr_->Begin().status();
 }
 
 Status Database::Commit() {
   R3_RETURN_IF_ERROR(txn_mgr_->Commit());
   undo_log_.clear();
-  return Status::OK();
+  // Commit may have advanced the horizon past our (and others') deletes.
+  return DrainDeferredIndexDeletes(/*force=*/false);
 }
 
 Status Database::Rollback() {
   if (!txn_mgr_->in_txn()) {
     return Status::InvalidArgument("no active transaction");
   }
+  const uint64_t aborting = txn_mgr_->active_txn_id();
   for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
     R3_RETURN_IF_ERROR(UndoOne(*it));
   }
   undo_log_.clear();
+  // Undone deletes restored their rows in place; the B-tree entries they
+  // had queued for deferred removal are live again and must stay.
+  deferred_index_deletes_.erase(
+      std::remove_if(deferred_index_deletes_.begin(),
+                     deferred_index_deletes_.end(),
+                     [aborting](const DeferredIndexDelete& d) {
+                       return d.xmax == aborting;
+                     }),
+      deferred_index_deletes_.end());
   R3_RETURN_IF_ERROR(txn_mgr_->FinishRollback());
   // A reused connection must not bleed per-statement state across the
   // aborted boundary: advance the operator-stats epoch (operators of a
@@ -68,16 +83,43 @@ Status Database::Rollback() {
   return Status::OK();
 }
 
-Status Database::EnableWal() { return txn_mgr_->EnableWal(); }
+Status Database::EnableWal() {
+  for (const TableInfo* t : catalog_->AllTables()) {
+    if (!t->storage->wal_capable()) {
+      return Status::InvalidArgument(
+          "EnableWal: table '" + t->name + "' uses the non-durable " +
+          std::string(t->storage->name()) + " engine");
+    }
+  }
+  return txn_mgr_->EnableWal();
+}
 
 Status Database::Checkpoint() { return txn_mgr_->Checkpoint(); }
 
 Status Database::SimulateCrash() {
   undo_log_.clear();
+  // Pending B-tree cleanups die with the process; recovery rebuilds the
+  // indexes from the surviving committed heap, which has no ghost entries.
+  deferred_index_deletes_.clear();
   txn_mgr_->ResetAfterCrash();
   R3_RETURN_IF_ERROR(pool_->DropAllNoFlush());
   if (txn_mgr_->wal() != nullptr) txn_mgr_->wal()->DropUnflushed();
   prepared_.clear();
+  // Engines without WAL backing (columnar) are memory-resident: a crash
+  // empties them, and their indexes with them. Recovery never visits these
+  // files — a warehouse re-extracts its tables instead.
+  for (const TableInfo* ct : catalog_->AllTables()) {
+    if (ct->storage->wal_capable()) continue;
+    R3_ASSIGN_OR_RETURN(TableInfo * t, catalog_->GetTable(ct->name));
+    t->storage->Clear();
+    for (IndexInfo* idx : t->indexes) {
+      R3_ASSIGN_OR_RETURN(BTree tree, BTree::Create(pool_.get()));
+      *idx->btree = std::move(tree);
+    }
+    t->row_count = 0;
+    t->data_bytes = 0;
+    t->stats = TableStats();
+  }
   return Status::OK();
 }
 
@@ -96,30 +138,7 @@ Status Database::Recover() {
 
 Result<uint64_t> Database::TableChecksum(const std::string& table) const {
   R3_ASSIGN_OR_RETURN(TableInfo * t, catalog_->GetTable(table));
-  // FNV-1a per record, combined commutatively: the checksum depends only on
-  // the multiset of live record images, not on their RIDs or scan order
-  // (undo and recovery may relocate records).
-  uint64_t sum = 0;
-  uint64_t count = 0;
-  R3_ASSIGN_OR_RETURN(uint32_t num_pages, t->heap->NumPages());
-  std::vector<char> buf(kPageSize);
-  for (uint32_t p = 0; p < num_pages; ++p) {
-    R3_RETURN_IF_ERROR(pool_->ReadPageForScan(
-        PageId{t->heap->file_id(), p}, buf.data()));
-    SlottedPage page(buf.data());
-    for (uint16_t s = 0; s < page.slot_count(); ++s) {
-      if (!page.IsLive(s)) continue;
-      R3_ASSIGN_OR_RETURN(std::string_view rec, page.Read(s));
-      uint64_t h = 1469598103934665603ull;  // FNV offset basis
-      for (unsigned char c : rec) {
-        h ^= c;
-        h *= 1099511628211ull;  // FNV prime
-      }
-      sum += h;
-      ++count;
-    }
-  }
-  return sum + count * 0x9E3779B97F4A7C15ull;
+  return t->storage->Checksum();
 }
 
 Status Database::LockTableIntent(TableInfo* table) {
@@ -128,7 +147,7 @@ Status Database::LockTableIntent(TableInfo* table) {
   txn::LockManager* locks = txn_mgr_->locks();
   R3_RETURN_IF_ERROR(
       locks->Acquire(id, txn::LockKey::Root(), txn::LockMode::kIX));
-  return locks->Acquire(id, txn::LockKey::Table(table->heap->file_id()),
+  return locks->Acquire(id, txn::LockKey::Table(table->storage->file_id()),
                         txn::LockMode::kIX);
 }
 
@@ -137,15 +156,45 @@ Status Database::LockRowForWrite(TableInfo* table, Rid rid) {
   R3_RETURN_IF_ERROR(LockTableIntent(table));
   return txn_mgr_->locks()->Acquire(
       txn_mgr_->active_txn_id(),
-      txn::LockKey::Row(table->heap->file_id(), rid.Pack()),
+      txn::LockKey::Row(table->storage->file_id(), rid.Pack()),
       txn::LockMode::kX);
+}
+
+Status Database::LogEngineOp(TableInfo* table, txn::LogType type, Rid rid,
+                             std::string_view rec) {
+  // Non-WAL-capable engines (columnar) keep no pages to redo; their crash
+  // story is Clear-and-reextract, so nothing is logged for them.
+  if (!table->storage->wal_capable()) return Status::OK();
+  return txn_mgr_->LogHeapOp(type, table->storage->file_id(), rid, rec);
+}
+
+Status Database::DrainDeferredIndexDeletes(bool force) {
+  if (deferred_index_deletes_.empty()) return Status::OK();
+  // An entry is removable once every live snapshot sees its deletion, i.e.
+  // the deleting txn committed below the horizon. The deleter's own
+  // in-flight txn keeps the horizon at or below its id, so uncommitted
+  // deletes never drain.
+  const uint64_t horizon =
+      force ? UINT64_MAX : txn_mgr_->mvcc()->Horizon();
+  size_t kept = 0;
+  for (size_t i = 0; i < deferred_index_deletes_.size(); ++i) {
+    DeferredIndexDelete& d = deferred_index_deletes_[i];
+    if (d.xmax >= horizon) {
+      if (kept != i) deferred_index_deletes_[kept] = std::move(d);
+      ++kept;
+      continue;
+    }
+    R3_RETURN_IF_ERROR(d.index->btree->Delete(d.key, d.rid_pack));
+  }
+  deferred_index_deletes_.resize(kept);
+  return Status::OK();
 }
 
 Status Database::UndoOne(const UndoEntry& e) {
   TableInfo* table = e.table;
   switch (e.kind) {
     case UndoEntry::Kind::kInsert: {
-      R3_RETURN_IF_ERROR(table->heap->Delete(e.rid));
+      R3_RETURN_IF_ERROR(table->storage->Delete(e.rid));
       for (IndexInfo* idx : table->indexes) {
         R3_RETURN_IF_ERROR(
             idx->btree->Delete(IndexKeyForRow(*idx, e.row), e.rid.Pack()));
@@ -159,10 +208,15 @@ Status Database::UndoOne(const UndoEntry& e) {
     case UndoEntry::Kind::kDelete: {
       std::string rec;
       R3_RETURN_IF_ERROR(SerializeRow(table->schema, e.row, &rec));
-      R3_RETURN_IF_ERROR(table->heap->InsertAt(e.rid, rec));
-      for (IndexInfo* idx : table->indexes) {
-        R3_RETURN_IF_ERROR(idx->btree->Insert(IndexKeyForRow(*idx, e.row),
-                                              e.rid.Pack(), false));
+      R3_RETURN_IF_ERROR(table->storage->InsertAt(e.rid, rec));
+      // A deferred-cleanup delete never removed its B-tree entries
+      // (Rollback purges them from the drain queue); re-inserting here
+      // would duplicate them.
+      if (!e.deferred_index) {
+        for (IndexInfo* idx : table->indexes) {
+          R3_RETURN_IF_ERROR(idx->btree->Insert(IndexKeyForRow(*idx, e.row),
+                                                e.rid.Pack(), false));
+        }
       }
       table->row_count += 1;
       table->data_bytes += rec.size();
@@ -175,10 +229,10 @@ Status Database::UndoOne(const UndoEntry& e) {
       if (e.new_rid == e.rid) {
         // May relocate again if the pre-image no longer fits in place;
         // harmless — checksums and index fixes below are RID-aware.
-        R3_ASSIGN_OR_RETURN(final_rid, table->heap->Update(e.rid, rec));
+        R3_ASSIGN_OR_RETURN(final_rid, table->storage->Update(e.rid, rec));
       } else {
-        R3_RETURN_IF_ERROR(table->heap->Delete(e.new_rid));
-        R3_RETURN_IF_ERROR(table->heap->InsertAt(e.rid, rec));
+        R3_RETURN_IF_ERROR(table->storage->Delete(e.new_rid));
+        R3_RETURN_IF_ERROR(table->storage->InsertAt(e.rid, rec));
         final_rid = e.rid;
       }
       // The live index entry for this row is (key(new_row), new_rid) whether
@@ -321,6 +375,9 @@ Status Database::Execute(const std::string& sql,
       write_id_ = 0;
       txn_mgr_->FinishAutocommitWrite(wid, /*committed=*/true);
       R3_RETURN_IF_ERROR(st);
+      // An autocommit delete is committed now; with no older snapshot
+      // alive its deferred index entries drain immediately.
+      R3_RETURN_IF_ERROR(DrainDeferredIndexDeletes(/*force=*/false));
       break;
     }
     case Statement::Kind::kUpdate: {
@@ -351,6 +408,27 @@ Status Database::Execute(const std::string& sql,
       break;
     case Statement::Kind::kDrop:
       prepared_.clear();  // plans may reference the dropped object
+      // Pending deferred index cleanups that point into the dropped object
+      // would dangle; they die with it.
+      if (!deferred_index_deletes_.empty()) {
+        std::unordered_set<const IndexInfo*> doomed;
+        if (stmt.drop->target == DropStmt::Target::kTable) {
+          auto t = catalog_->GetTable(stmt.drop->name);
+          if (t.ok()) {
+            for (const IndexInfo* idx : t.value()->indexes) doomed.insert(idx);
+          }
+        }
+        const std::string& dropped = stmt.drop->name;
+        auto is_doomed = [&](const DeferredIndexDelete& d) {
+          return stmt.drop->target == DropStmt::Target::kIndex
+                     ? d.index->name == dropped
+                     : doomed.count(d.index) != 0;
+        };
+        deferred_index_deletes_.erase(
+            std::remove_if(deferred_index_deletes_.begin(),
+                           deferred_index_deletes_.end(), is_doomed),
+            deferred_index_deletes_.end());
+      }
       switch (stmt.drop->target) {
         case DropStmt::Target::kTable:
           R3_RETURN_IF_ERROR(catalog_->DropTable(stmt.drop->name));
@@ -609,13 +687,13 @@ Status Database::InsertRowChecked(TableInfo* table, Row row, Rid* rid_out) {
   // Intent locks first; the row X lock must wait until the heap hands out
   // the RID (a fresh RID, so it can never block or deadlock).
   R3_RETURN_IF_ERROR(LockTableIntent(table));
-  R3_ASSIGN_OR_RETURN(Rid rid, table->heap->Insert(rec));
+  R3_ASSIGN_OR_RETURN(Rid rid, table->storage->Insert(rec));
   R3_RETURN_IF_ERROR(LockRowForWrite(table, rid));
   clock_->ChargeDbmsTuple();
   // Logged immediately (before the index work can trigger an eviction) so
   // the no-steal pin and page LSN are in place while the page is dirty.
-  R3_RETURN_IF_ERROR(txn_mgr_->LogHeapOp(txn::LogType::kHeapInsert,
-                                         table->heap->file_id(), rid, rec));
+  R3_RETURN_IF_ERROR(
+      LogEngineOp(table, txn::LogType::kHeapInsert, rid, rec));
 
   // Maintain indexes; undo on unique violation.
   std::vector<IndexInfo*> done;
@@ -626,11 +704,10 @@ Status Database::InsertRowChecked(TableInfo* table, Row row, Rid* rid_out) {
       for (IndexInfo* u : done) {
         (void)u->btree->Delete(IndexKeyForRow(*u, row), rid.Pack());
       }
-      (void)table->heap->Delete(rid);
+      (void)table->storage->Delete(rid);
       // A compensating log record instead of unlogging: redo replays the
       // insert and this delete, netting out to nothing.
-      (void)txn_mgr_->LogHeapOp(txn::LogType::kHeapDelete,
-                                table->heap->file_id(), rid, {});
+      (void)LogEngineOp(table, txn::LogType::kHeapDelete, rid, {});
       if (st.code() == StatusCode::kAlreadyExists) {
         return Status::ConstraintViolation("duplicate key for index " +
                                            idx->name);
@@ -643,7 +720,7 @@ Status Database::InsertRowChecked(TableInfo* table, Row row, Rid* rid_out) {
   table->data_bytes += rec.size();
   // Only after index maintenance succeeded: the unique-violation path above
   // physically removed the row again, so no version-map entry may exist yet.
-  txn_mgr_->mvcc()->OnInsert(table->heap->file_id(), rid, write_id_);
+  txn_mgr_->mvcc()->OnInsert(table->storage->file_id(), rid, write_id_);
   if (txn_mgr_->in_txn()) {
     undo_log_.push_back(UndoEntry{UndoEntry::Kind::kInsert, table, rid, rid,
                                   row, Row{}});
@@ -671,22 +748,35 @@ Status Database::DeleteRowAt(TableInfo* table, Rid rid, const Row& row) {
   if (write_id_ != 0) {
     R3_RETURN_IF_ERROR(SerializeRow(table->schema, row, &pre));
   }
-  R3_RETURN_IF_ERROR(table->heap->Delete(rid));
+  R3_RETURN_IF_ERROR(table->storage->Delete(rid));
   if (write_id_ != 0) {
-    txn_mgr_->mvcc()->OnDelete(table->heap->file_id(), rid, write_id_, pre);
+    txn_mgr_->mvcc()->OnDelete(table->storage->file_id(), rid, write_id_, pre);
   }
-  R3_RETURN_IF_ERROR(txn_mgr_->LogHeapOp(txn::LogType::kHeapDelete,
-                                         table->heap->file_id(), rid, {}));
-  for (IndexInfo* idx : table->indexes) {
-    R3_RETURN_IF_ERROR(idx->btree->Delete(IndexKeyForRow(*idx, row), rid.Pack()));
+  R3_RETURN_IF_ERROR(LogEngineOp(table, txn::LogType::kHeapDelete, rid, {}));
+  const bool defer_index = options_.mvcc_index_ghosts && write_id_ != 0;
+  if (defer_index) {
+    // Leave the B-tree entries pointing at the ghost: index probes resolve
+    // them through MvccManager::GhostImage exactly the way sequential
+    // scans resolve page ghosts, and the entries drain once no snapshot
+    // can see the row (DESIGN.md §9).
+    for (IndexInfo* idx : table->indexes) {
+      deferred_index_deletes_.push_back(DeferredIndexDelete{
+          idx, IndexKeyForRow(*idx, row), rid.Pack(), write_id_});
+    }
+  } else {
+    for (IndexInfo* idx : table->indexes) {
+      R3_RETURN_IF_ERROR(
+          idx->btree->Delete(IndexKeyForRow(*idx, row), rid.Pack()));
+    }
   }
   if (table->row_count > 0) table->row_count -= 1;
   size_t bytes = SerializedRowSize(table->schema, row);
   table->data_bytes = table->data_bytes > bytes ? table->data_bytes - bytes : 0;
   clock_->ChargeDbmsTuple();
   if (txn_mgr_->in_txn()) {
-    undo_log_.push_back(
-        UndoEntry{UndoEntry::Kind::kDelete, table, rid, rid, row, Row{}});
+    UndoEntry e{UndoEntry::Kind::kDelete, table, rid, rid, row, Row{}};
+    e.deferred_index = defer_index;
+    undo_log_.push_back(std::move(e));
   }
   return Status::OK();
 }
@@ -803,7 +893,12 @@ Status Database::CollectMatches(TableInfo* table, const Expr* where,
       if (!ok || (!stop.empty() && key >= stop)) break;
       clock_->ChargeDbmsTuple();
       Rid rid = Rid::Unpack(payload);
-      R3_RETURN_IF_ERROR(table->heap->Get(rid, &rec));
+      Status got = table->storage->Get(rid, &rec);
+      // Under deferred index cleanup a probe can land on the entry of an
+      // MVCC-deleted row. DML reads current committed state, so the ghost
+      // is simply not a match.
+      if (got.code() == StatusCode::kNotFound) continue;
+      R3_RETURN_IF_ERROR(got);
       R3_RETURN_IF_ERROR(DeserializeRow(table->schema, rec, &row));
       ec.row = &row;
       R3_ASSIGN_OR_RETURN(bool match, EvalPredicate(*where, ec));
@@ -812,10 +907,10 @@ Status Database::CollectMatches(TableInfo* table, const Expr* where,
     return Status::OK();
   }
 
-  HeapFile::Iterator it(table->heap.get());
+  std::unique_ptr<RecordIterator> it = table->storage->NewIterator();
   Rid rid;
   while (true) {
-    R3_ASSIGN_OR_RETURN(bool ok, it.Next(&rid, &rec));
+    R3_ASSIGN_OR_RETURN(bool ok, it->Next(&rid, &rec));
     if (!ok) break;
     clock_->ChargeDbmsTuple();
     R3_RETURN_IF_ERROR(DeserializeRow(table->schema, rec, &row));
@@ -885,26 +980,26 @@ Status Database::ExecuteUpdate(const UpdateStmt& stmt,
     if (write_id_ != 0) {
       R3_RETURN_IF_ERROR(SerializeRow(table->schema, old_row, &old_rec));
     }
-    R3_ASSIGN_OR_RETURN(Rid new_rid, table->heap->Update(rid, rec));
+    R3_ASSIGN_OR_RETURN(Rid new_rid, table->storage->Update(rid, rec));
     clock_->ChargeDbmsTuple();
     if (new_rid == rid) {
-      R3_RETURN_IF_ERROR(txn_mgr_->LogHeapOp(
-          txn::LogType::kHeapUpdate, table->heap->file_id(), rid, rec));
+      R3_RETURN_IF_ERROR(
+          LogEngineOp(table, txn::LogType::kHeapUpdate, rid, rec));
       if (write_id_ != 0) {
-        txn_mgr_->mvcc()->OnUpdate(table->heap->file_id(), rid, write_id_,
+        txn_mgr_->mvcc()->OnUpdate(table->storage->file_id(), rid, write_id_,
                                    old_rec);
       }
     } else {
       // The heap relocated the record: physiologically that is a delete at
       // the old RID plus an insert at the new one.
-      R3_RETURN_IF_ERROR(txn_mgr_->LogHeapOp(
-          txn::LogType::kHeapDelete, table->heap->file_id(), rid, {}));
-      R3_RETURN_IF_ERROR(txn_mgr_->LogHeapOp(
-          txn::LogType::kHeapInsert, table->heap->file_id(), new_rid, rec));
+      R3_RETURN_IF_ERROR(
+          LogEngineOp(table, txn::LogType::kHeapDelete, rid, {}));
+      R3_RETURN_IF_ERROR(
+          LogEngineOp(table, txn::LogType::kHeapInsert, new_rid, rec));
       if (write_id_ != 0) {
-        txn_mgr_->mvcc()->OnDelete(table->heap->file_id(), rid, write_id_,
+        txn_mgr_->mvcc()->OnDelete(table->storage->file_id(), rid, write_id_,
                                    old_rec);
-        txn_mgr_->mvcc()->OnInsert(table->heap->file_id(), new_rid, write_id_);
+        txn_mgr_->mvcc()->OnInsert(table->storage->file_id(), new_rid, write_id_);
       }
     }
     if (txn_mgr_->in_txn()) {
@@ -925,7 +1020,16 @@ Status Database::ExecuteUpdate(const UpdateStmt& stmt,
 }
 
 Status Database::ExecuteCreateTable(const CreateTableStmt& stmt) {
-  R3_RETURN_IF_ERROR(catalog_->CreateTable(stmt.table, Schema(stmt.columns)).status());
+  EngineKind kind = catalog_->default_engine();
+  if (!stmt.engine.empty()) {
+    R3_ASSIGN_OR_RETURN(kind, ParseEngineKind(stmt.engine));
+  }
+  if (kind != EngineKind::kRowHeap && txn_mgr_->wal_enabled()) {
+    return Status::InvalidArgument(
+        "cannot create a non-WAL-capable table after EnableWal");
+  }
+  R3_RETURN_IF_ERROR(
+      catalog_->CreateTable(stmt.table, Schema(stmt.columns), kind).status());
   if (!stmt.primary_key.empty()) {
     R3_RETURN_IF_ERROR(catalog_
                            ->CreateIndex("PK_" + str::ToUpper(stmt.table),
@@ -945,12 +1049,12 @@ Status Database::AnalyzeTable(TableInfo* table) {
   stats.columns.resize(table->schema.NumColumns());
   std::vector<std::unordered_set<std::string>> distinct(
       table->schema.NumColumns());
-  HeapFile::Iterator it(table->heap.get());
+  std::unique_ptr<RecordIterator> it = table->storage->NewIterator();
   Rid rid;
   std::string rec;
   Row row;
   while (true) {
-    R3_ASSIGN_OR_RETURN(bool ok, it.Next(&rid, &rec));
+    R3_ASSIGN_OR_RETURN(bool ok, it->Next(&rid, &rec));
     if (!ok) break;
     clock_->ChargeDbmsTuple();
     R3_RETURN_IF_ERROR(DeserializeRow(table->schema, rec, &row));
@@ -998,8 +1102,7 @@ Result<std::vector<Database::TableSize>> Database::TableSizes() const {
     TableSize ts;
     ts.name = t->name;
     ts.rows = t->row_count;
-    R3_ASSIGN_OR_RETURN(uint64_t data_bytes,
-                        pool_->disk()->FileSizeBytes(t->heap->file_id()));
+    R3_ASSIGN_OR_RETURN(uint64_t data_bytes, t->storage->DataBytes());
     ts.data_kb = data_bytes / 1024;
     uint64_t index_bytes = 0;
     for (const IndexInfo* idx : t->indexes) {

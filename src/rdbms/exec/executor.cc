@@ -110,13 +110,23 @@ std::string ValuesKey(const std::vector<Value>& values) {
 
 Result<bool> MvccFetchRow(const ExecContext& ctx, const TableInfo* table,
                           Rid rid, std::string* rec) {
-  R3_RETURN_IF_ERROR(table->heap->Get(rid, rec));
+  Status got = table->storage->Get(rid, rec);
+  if (got.code() == StatusCode::kNotFound && ctx.mvcc != nullptr &&
+      ctx.snapshot != nullptr) {
+    // Under deferred index cleanup (DatabaseOptions::mvcc_index_ghosts) a
+    // B-tree entry can outlive its row: emit the ghost image when this
+    // snapshot must still see the row, skip the entry otherwise.
+    return ctx.mvcc->GhostImage(table->storage->file_id(), rid, *ctx.snapshot,
+                                rec);
+  }
+  R3_RETURN_IF_ERROR(got);
   if (ctx.mvcc == nullptr || ctx.snapshot == nullptr ||
-      !ctx.mvcc->MightHaveVersions(table->heap->file_id())) {
+      !ctx.mvcc->MightHaveVersions(table->storage->file_id())) {
     return true;
   }
   std::string alt;
-  switch (ctx.mvcc->Check(table->heap->file_id(), rid, *ctx.snapshot, &alt)) {
+  switch (
+      ctx.mvcc->Check(table->storage->file_id(), rid, *ctx.snapshot, &alt)) {
     case txn::MvccManager::Visibility::kCurrent:
       return true;
     case txn::MvccManager::Visibility::kAltVersion:
@@ -132,89 +142,114 @@ Result<bool> MvccFetchRow(const ExecContext& ctx, const TableInfo* table,
 // SeqScanOp
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Collects the table-local column ids a predicate reads (wide-row refs
+/// rebased by `offset`, clipped to the table's width). Correlated outer
+/// refs and subquery internals are charged-for conservatively elsewhere.
+void CollectLocalCols(const Expr& e, size_t offset, size_t ncols,
+                      std::vector<size_t>* out) {
+  if (e.kind == ExprKind::kColumnRef && e.column_index >= offset &&
+      e.column_index < offset + ncols) {
+    out->push_back(e.column_index - offset);
+  }
+  for (const ExprPtr& c : e.children) {
+    if (c != nullptr) CollectLocalCols(*c, offset, ncols, out);
+  }
+}
+
+void SortUnique(std::vector<size_t>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+bool IsSubqueryNode(const Expr& e) {
+  return e.kind == ExprKind::kScalarSubquery ||
+         e.kind == ExprKind::kExistsSubquery ||
+         e.kind == ExprKind::kInSubquery;
+}
+
+}  // namespace
+
 SeqScanOp::SeqScanOp(const TableInfo* table, size_t offset, size_t wide_width,
-                     std::vector<const Expr*> filters)
+                     std::vector<const Expr*> filters,
+                     std::optional<std::vector<size_t>> needed_cols)
     : table_(table),
       offset_(offset),
       wide_width_(wide_width),
-      filters_(std::move(filters)) {}
+      filters_(std::move(filters)),
+      needed_cols_(std::move(needed_cols)) {}
+
+Status SeqScanOp::BuildScanSpec(ExecContext* ctx, ScanSpec* spec) const {
+  spec->mvcc = ctx->mvcc;
+  spec->snapshot = ctx->snapshot;
+  spec->offset = offset_;
+  spec->wide_width = wide_width_;
+  if (needed_cols_.has_value()) {
+    spec->all_columns = false;
+    spec->needed_cols = *needed_cols_;
+    SortUnique(&spec->needed_cols);
+  }
+  if (table_->storage->kind() == EngineKind::kRowHeap) return Status::OK();
+  // Columnar extras: which columns the filters read (charging), and which
+  // string-equality predicates can pre-filter on dictionary codes. A
+  // pushed-down equality is evaluated exactly like EvalExpr would on the
+  // materialized value (NULL never matches), and the original predicate
+  // stays in filters_, so this can only skip decode work — never change
+  // results.
+  const size_t ncols = table_->schema.NumColumns();
+  EvalContext ec = ctx->MakeEvalContext(nullptr);
+  for (const Expr* f : filters_) {
+    CollectLocalCols(*f, offset_, ncols, &spec->filter_cols);
+    if (f->kind != ExprKind::kCompare || f->cmp_op != CmpOp::kEq ||
+        f->children.size() != 2) {
+      continue;
+    }
+    for (int side = 0; side < 2; ++side) {
+      const Expr& col = *f->children[side];
+      const Expr& konst = *f->children[1 - side];
+      if (col.kind != ExprKind::kColumnRef || col.column_index < offset_ ||
+          col.column_index >= offset_ + ncols) {
+        continue;
+      }
+      size_t local = col.column_index - offset_;
+      if (table_->schema.column(local).type != DataType::kString) continue;
+      if (ExprHasColumnRefs(konst) || ExprContains(konst, IsSubqueryNode)) {
+        continue;
+      }
+      Value v;
+      Status st = EvalExpr(konst, ec, &v);
+      if (!st.ok() || v.is_null() || v.type() != DataType::kString) continue;
+      spec->dict_eqs.push_back(ScanSpec::DictEq{local, v.string_value()});
+      break;
+    }
+  }
+  SortUnique(&spec->filter_cols);
+  return Status::OK();
+}
 
 Status SeqScanOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
-  page_no_ = 0;
-  slot_ = 0;
   done_ = false;
-  pending_ghosts_.clear();
-  ghost_pos_ = 0;
+  ScanSpec spec;
+  R3_RETURN_IF_ERROR(BuildScanSpec(ctx, &spec));
+  cursor_ = table_->storage->NewScanCursor(spec);
   return Status::OK();
 }
 
 Result<bool> SeqScanOp::NextBatchImpl(RowBatch* out) {
   if (done_) return false;
-  R3_ASSIGN_OR_RETURN(uint32_t num_pages, table_->heap->NumPages());
-  const uint32_t file_id = table_->heap->file_id();
-  // Consult the version map only when it could matter: it is empty unless a
-  // transaction is (or recently was) rewriting rows under MVCC.
-  const bool mvcc_active = ctx_->mvcc != nullptr && ctx_->snapshot != nullptr &&
-                           ctx_->mvcc->MightHaveVersions(file_id);
+  R3_RETURN_IF_ERROR(cursor_->BeginBatch());
   EvalContext ec = ctx_->MakeEvalContext(nullptr);
   while (!out->full()) {
     size_t first = out->size();
-    if (ghost_pos_ < pending_ghosts_.size()) {
-      // Drain ghosts of the page just finished: rows whose physical delete
-      // this snapshot must not observe.
-      while (ghost_pos_ < pending_ghosts_.size() && !out->full()) {
-        ctx_->clock->ChargeDbmsTuple();
-        const std::string& rec = pending_ghosts_[ghost_pos_++].second;
-        R3_RETURN_IF_ERROR(DeserializeRow(table_->schema, rec, &table_row_));
-        Row& wide = out->AppendRow();
-        wide.assign(wide_width_, Value::Null());
-        for (size_t i = 0; i < table_row_.size(); ++i) {
-          wide[offset_ + i] = std::move(table_row_[i]);
-        }
-      }
-    } else if (page_no_ >= num_pages) {
+    R3_ASSIGN_OR_RETURN(bool more, cursor_->NextChunk(out));
+    if (!more) {
       done_ = true;
       break;
-    } else {
-      R3_ASSIGN_OR_RETURN(PageHandle h,
-                          ctx_->pool->FetchPage(PageId{file_id, page_no_}));
-      SlottedPage page(h.data());
-      while (slot_ < page.slot_count() && !out->full()) {
-        uint16_t s = static_cast<uint16_t>(slot_++);
-        if (!page.IsLive(s)) continue;
-        ctx_->clock->ChargeDbmsTuple();
-        R3_ASSIGN_OR_RETURN(std::string_view rec, page.Read(s));
-        if (mvcc_active) {
-          switch (ctx_->mvcc->Check(file_id, Rid{page_no_, s}, *ctx_->snapshot,
-                                    &alt_rec_)) {
-            case txn::MvccManager::Visibility::kCurrent:
-              break;
-            case txn::MvccManager::Visibility::kAltVersion:
-              rec = alt_rec_;
-              break;
-            case txn::MvccManager::Visibility::kInvisible:
-              continue;
-          }
-        }
-        R3_RETURN_IF_ERROR(DeserializeRow(table_->schema, rec, &table_row_));
-        Row& wide = out->AppendRow();
-        wide.assign(wide_width_, Value::Null());
-        for (size_t i = 0; i < table_row_.size(); ++i) {
-          wide[offset_ + i] = std::move(table_row_[i]);
-        }
-      }
-      if (slot_ >= page.slot_count()) {
-        if (mvcc_active) {
-          pending_ghosts_.clear();
-          ghost_pos_ = 0;
-          ctx_->mvcc->VisibleGhosts(file_id, page_no_, *ctx_->snapshot,
-                                    &pending_ghosts_);
-        }
-        ++page_no_;
-        slot_ = 0;
-      }
-    }  // pin released before filters run (they may execute subqueries)
+    }
+    // Any page pin was released inside the cursor before filters run (they
+    // may execute subqueries).
     if (!filters_.empty() && out->size() > first) {
       R3_RETURN_IF_ERROR(
           EvalPredicatesBatch(filters_, &ec, *out, first, &sel_));
@@ -224,10 +259,16 @@ Result<bool> SeqScanOp::NextBatchImpl(RowBatch* out) {
   return !out->empty();
 }
 
-Status SeqScanOp::CloseImpl() { return Status::OK(); }
+Status SeqScanOp::CloseImpl() {
+  cursor_.reset();
+  return Status::OK();
+}
 
 std::string SeqScanOp::Describe(bool analyze) const {
-  std::string out = "SeqScan(" + table_->name;
+  std::string out = table_->storage->kind() == EngineKind::kColumnar
+                        ? "ColumnarScan("
+                        : "SeqScan(";
+  out += table_->name;
   for (const Expr* f : filters_) out += ", " + f->ToString();
   return out + ")" + StatsSuffix(analyze);
 }

@@ -2,6 +2,7 @@
 #define R3DB_RDBMS_EXEC_EXECUTOR_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -159,7 +160,7 @@ std::string ExplainPlan(const Operator& root, bool analyze = false);
 /// into `*rec` and substitutes the snapshot-visible version when the current
 /// heap image is newer than the statement's snapshot. Returns false when no
 /// version of the row is visible (caller skips it). With no MVCC context on
-/// `ctx` this is exactly `heap->Get`.
+/// `ctx` this is exactly `storage->Get`.
 Result<bool> MvccFetchRow(const ExecContext& ctx, const TableInfo* table,
                           Rid rid, std::string* rec);
 
@@ -167,17 +168,24 @@ Result<bool> MvccFetchRow(const ExecContext& ctx, const TableInfo* table,
 // Scans
 // ---------------------------------------------------------------------------
 
-/// Full scan of `table`, emitting wide rows with the table's columns at
-/// `offset` and NULL elsewhere; applies pushed-down filters.
+/// Full scan of `table` through its storage engine's ScanCursor, emitting
+/// wide rows with the table's columns at `offset` and NULL elsewhere;
+/// applies pushed-down filters. Renders as "SeqScan" over the row heap and
+/// "ColumnarScan" over the columnar engine — same operator, different
+/// engine-provided cursor.
 ///
-/// Batched: pins each heap page once per fill loop and decodes rows
-/// straight from the frame (the row-at-a-time path re-fetched the pinned
-/// page per record), releasing the pin before filters run so predicates
-/// with subqueries cannot pile up pins.
+/// Batched: the cursor stages one heap page (or columnar chunk) per fill
+/// step, releasing any page pin before filters run so predicates with
+/// subqueries cannot pile up pins.
+///
+/// `needed_cols` (table-local indices) is the optimizer's projection set;
+/// a columnar cursor decodes only those columns. Empty optional = all
+/// columns. The row engine always materializes full rows either way.
 class SeqScanOp : public Operator {
  public:
   SeqScanOp(const TableInfo* table, size_t offset, size_t wide_width,
-            std::vector<const Expr*> filters);
+            std::vector<const Expr*> filters,
+            std::optional<std::vector<size_t>> needed_cols = std::nullopt);
 
   size_t OutputWidth() const override { return wide_width_; }
   std::string Describe(bool analyze) const override;
@@ -188,21 +196,20 @@ class SeqScanOp : public Operator {
   Status CloseImpl() override;
 
  private:
+  /// Fills the engine scan spec: MVCC context, projection set, and — for
+  /// dictionary-compressed engines — string-equality predicates that can be
+  /// pre-filtered on dictionary codes (the predicates stay in `filters_`
+  /// and are re-checked on materialized survivors).
+  Status BuildScanSpec(ExecContext* ctx, ScanSpec* spec) const;
+
   const TableInfo* table_;
   size_t offset_;
   size_t wide_width_;
   std::vector<const Expr*> filters_;
+  std::optional<std::vector<size_t>> needed_cols_;
   ExecContext* ctx_ = nullptr;
-  uint32_t page_no_ = 0;
-  uint32_t slot_ = 0;  // next slot to examine on page_no_
+  std::unique_ptr<ScanCursor> cursor_;
   bool done_ = false;
-  Row table_row_;  // decode scratch
-  std::string alt_rec_;  // MVCC alternate-version scratch
-  /// Ghost rows of the page just finished — physically deleted rows whose
-  /// deletion this statement's snapshot must not see — drained into output
-  /// (batch-capacity aware) before the scan advances to the next page.
-  std::vector<std::pair<uint16_t, std::string>> pending_ghosts_;
-  size_t ghost_pos_ = 0;
   SelVector sel_;
 };
 

@@ -79,7 +79,7 @@ Status GatherOp::ScanMorsel(
     ExecContext* ctx, const Morsel& m, size_t morsel_idx, size_t lane,
     char* page_buf, LaneScratch* scratch,
     const std::function<Status(size_t, size_t, RowBatch*)>& emit) {
-  const uint32_t file_id = table_->heap->file_id();
+  const uint32_t file_id = table_->storage->file_id();
   RowBatch& batch = scratch->batch;
   EvalContext ec = ctx->MakeEvalContext(nullptr);
   // Version-map checks only when some row of the system has version info;
@@ -155,7 +155,7 @@ Status GatherOp::RunParallel(
     const std::function<Status(size_t morsel, size_t lane, RowBatch* batch)>&
         emit) {
   morsels_.clear();
-  R3_ASSIGN_OR_RETURN(uint32_t num_pages, table_->heap->NumPages());
+  R3_ASSIGN_OR_RETURN(uint32_t num_pages, table_->storage->NumPages());
   for (uint32_t pg = 0; pg < num_pages; pg += kMorselPages) {
     morsels_.push_back(
         Morsel{pg, std::min<uint32_t>(pg + kMorselPages, num_pages)});
@@ -324,7 +324,7 @@ Status GatherOp::BuildJoinTable(
   // Pre-size the per-morsel slots before the workers start (RunParallel
   // recomputes the same page partition deterministically).
   {
-    R3_ASSIGN_OR_RETURN(uint32_t num_pages, table_->heap->NumPages());
+    R3_ASSIGN_OR_RETURN(uint32_t num_pages, table_->storage->NumPages());
     size_t n = (num_pages + kMorselPages - 1) / kMorselPages;
     pairs.assign(n, {});
   }

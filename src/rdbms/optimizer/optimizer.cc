@@ -270,9 +270,15 @@ AccessPath ChooseAccessPath(const BoundTableRef& t,
   AccessPath best_blind;
   size_t best_blind_score = 0;
   uint32_t pages = 1;
-  if (auto p = t.table->heap->NumPages(); p.ok()) pages = std::max(1u, p.value());
-  double seq_cost = static_cast<double>(pages) * cost.seq_page_read_us +
-                    static_cast<double>(rows) * cost.dbms_tuple_cpu_us;
+  if (auto p = t.table->storage->NumPages(); p.ok()) {
+    pages = std::max(1u, p.value());
+  }
+  // Per-engine costs (MariaDB OPTIMIZER_COSTS style): the row heap reports
+  // the CostModel integers verbatim, so its plan arithmetic is bit-identical
+  // to the pre-engine costing.
+  const StorageCosts ecost = t.table->storage->ScanCosts(cost);
+  double seq_cost = static_cast<double>(pages) * ecost.seq_page_us +
+                    static_cast<double>(rows) * ecost.tuple_cpu_us;
 
   for (const IndexInfo* idx : t.table->indexes) {
     IndexBounds bounds;
@@ -336,7 +342,7 @@ AccessPath ChooseAccessPath(const BoundTableRef& t,
     bool full_unique_match = idx->unique &&
                              bounds.eq_exprs.size() == idx->column_indices.size();
     double est_match = std::max(1.0, idx_sel * static_cast<double>(rows));
-    double idx_cost = est_match * (cost.random_page_read_us + cost.dbms_tuple_cpu_us);
+    double idx_cost = est_match * (ecost.random_page_us + ecost.tuple_cpu_us);
     AccessPath cand;
     cand.index = idx;
     cand.bounds = bounds;
@@ -640,6 +646,9 @@ Result<Optimizer::PlanResult> Optimizer::PlanQueryTree(BoundQuery* bq) {
     if (options_.dop <= 1) return false;
     if (!bq->subqueries.empty()) return false;
     const BoundTableRef& ref = bq->tables[t];
+    // Only the row heap partitions by page range; other engines scan
+    // serially (their chunk-granular cost accounting is DOP-invariant).
+    if (ref.table->storage->kind() != EngineKind::kRowHeap) return false;
     if (ref.left_outer) return false;
     if (cands[t].path.index != nullptr) return false;
     return RowCountOf(*ref.table) >= options_.parallel_threshold_rows;
@@ -662,8 +671,27 @@ Result<Optimizer::PlanResult> Optimizer::PlanQueryTree(BoundQuery* bq) {
           ref.table, ref.offset, bq->wide_width, residual, options_.dop,
           static_cast<uint64_t>(std::max(0.0, cand.path.est_rows)));
     }
+    // Projection set for engines that materialize lazily: every wide-row
+    // position any expression of this query level reads, rebased to the
+    // table. With subqueries present fall back to all columns — a deeply
+    // nested correlation could reference a position no top-level walk sees.
+    std::optional<std::vector<size_t>> needed;
+    if (ref.table->storage->kind() != EngineKind::kRowHeap &&
+        bq->subqueries.empty()) {
+      std::set<size_t> positions;
+      ForEachExprOfQuery(
+          *bq, [&](const Expr& e) { CollectPositions(e, *bq, &positions); });
+      const size_t ncols = ref.table->schema.NumColumns();
+      std::vector<size_t> local;
+      for (size_t p : positions) {
+        if (p >= ref.offset && p < ref.offset + ncols) {
+          local.push_back(p - ref.offset);
+        }
+      }
+      needed = std::move(local);
+    }
     return std::make_unique<SeqScanOp>(ref.table, ref.offset, bq->wide_width,
-                                       residual);
+                                       residual, std::move(needed));
   };
 
   // 3. Greedy join ordering.
@@ -910,14 +938,15 @@ Result<Optimizer::PlanResult> Optimizer::PlanQueryTree(BoundQuery* bq) {
           }
           fanout = std::max(1.0, static_cast<double>(t_rows_raw) / ndv);
         }
-        double inl_cost = current_rows * (cost.random_page_read_us * 2) +
-                          current_rows * fanout * cost.random_page_read_us;
+        const StorageCosts tcost = ref.table->storage->ScanCosts(cost);
+        double inl_cost = current_rows * (tcost.random_page_us * 2) +
+                          current_rows * fanout * tcost.random_page_us;
         uint32_t t_pages = 1;
-        if (auto p = ref.table->heap->NumPages(); p.ok()) {
+        if (auto p = ref.table->storage->NumPages(); p.ok()) {
           t_pages = std::max(1u, p.value());
         }
-        double hash_cost = static_cast<double>(t_pages) * cost.seq_page_read_us +
-                           static_cast<double>(t_rows_raw) * cost.dbms_tuple_cpu_us;
+        double hash_cost = static_cast<double>(t_pages) * tcost.seq_page_us +
+                           static_cast<double>(t_rows_raw) * tcost.tuple_cpu_us;
         if (inl_cost > hash_cost && probe_exprs.size() < idx->column_indices.size()) {
           continue;  // partial prefix and not cheaper: let hash handle it
         }
@@ -1056,13 +1085,19 @@ Result<Optimizer::PlanResult> Optimizer::PlanQueryTree(BoundQuery* bq) {
 }
 
 std::string PlanChoices::Summary() const {
-  return str::Format(
+  std::string out = str::Format(
       "scans{seq=%d index=%d parallel=%d} joins{hash=%d index_nl=%d nl=%d} "
       "aggs{hash=%d partial=%d} sort=%d distinct=%d limit=%d materialize=%d "
       "gather{nodes=%d dop=%d} subplans=%d",
       seq_scans, index_scans, parallel_scans, hash_joins, index_nl_joins,
       nl_joins, hash_aggs, partial_aggs, sorts, distincts, limits,
       materializes, gather_nodes, gather_dop, subquery_plans);
+  // Appended only when present, keeping the rendering byte-identical for
+  // plans over row tables.
+  if (columnar_scans > 0) {
+    out += str::Format(" columnar_scans=%d", columnar_scans);
+  }
+  return out;
 }
 
 namespace {
@@ -1084,6 +1119,8 @@ void CountPlanText(const std::string& text, PlanChoices* c) {
       };
       if (has_prefix("SeqScan(")) {
         ++c->seq_scans;
+      } else if (has_prefix("ColumnarScan(")) {
+        ++c->columnar_scans;
       } else if (has_prefix("IndexScan(")) {
         ++c->index_scans;
       } else if (has_prefix("ParallelSeqScan(")) {

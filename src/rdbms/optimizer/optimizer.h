@@ -119,6 +119,7 @@ struct PlanChoices {
   int seq_scans = 0;
   int index_scans = 0;
   int parallel_scans = 0;
+  int columnar_scans = 0;
   int hash_joins = 0;
   int index_nl_joins = 0;
   int nl_joins = 0;

@@ -77,6 +77,8 @@ struct CreateTableStmt {
   std::string table;
   std::vector<Column> columns;
   std::vector<std::string> primary_key;  ///< creates a unique index if set
+  /// Optional `ENGINE = row|columnar` clause; empty = the database default.
+  std::string engine;
 };
 
 struct CreateIndexStmt {

@@ -613,6 +613,10 @@ Result<Statement> Parser::ParseCreate() {
       }
     } while (MatchOp(","));
     R3_RETURN_IF_ERROR(ExpectOp(")"));
+    if (MatchKeyword("ENGINE")) {
+      MatchOp("=");  // the `=` is optional, MySQL-style
+      R3_ASSIGN_OR_RETURN(ct->engine, ExpectIdentifier("engine name"));
+    }
     Statement out;
     out.kind = Statement::Kind::kCreateTable;
     out.create_table = std::move(ct);

@@ -1,0 +1,155 @@
+#ifndef R3DB_RDBMS_STORAGE_COLUMNAR_COLUMNAR_ENGINE_H_
+#define R3DB_RDBMS_STORAGE_COLUMNAR_COLUMNAR_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "rdbms/schema.h"
+#include "rdbms/storage/buffer_pool.h"
+#include "rdbms/storage/storage_engine.h"
+#include "rdbms/value.h"
+
+namespace r3 {
+namespace rdbms {
+
+class ColumnarScanCursor;
+
+/// Read-optimized, memory-resident column store for the warehouse path:
+/// per-column segments with dictionary compression for string (CHAR) keys
+/// and run-length coding that collapses default-valued filler columns to a
+/// handful of runs. Batch scans decode only the columns a query touches and
+/// materialize survivors late, charging simulated time per compressed
+/// segment byte and per decoded value instead of per heap page and tuple.
+///
+/// Rows are addressed by synthetic RIDs — page_no is the chunk index
+/// (kChunkRows rows per chunk), slot the offset within the chunk — which
+/// keeps B-tree payloads, row locks, and MVCC version keys working
+/// unchanged. Slots are never reused, mirroring the heap's tombstones.
+///
+/// Not WAL-capable: segments live outside the buffer pool and are dropped
+/// by crash simulation (a warehouse re-extracts after a crash; see
+/// DESIGN.md). Writes are single-threaded (DML holds row locks); concurrent
+/// read-only scans are safe.
+class ColumnarEngine : public StorageEngine {
+ public:
+  static constexpr uint32_t kChunkRows = 4096;
+
+  /// `schema` must outlive the engine. `file_id` is a reserved Disk file id
+  /// used purely as the lock/MVCC/index namespace; no pages are written.
+  ColumnarEngine(BufferPool* pool, uint32_t file_id, const Schema* schema,
+                 MetricsRegistry* metrics = nullptr);
+
+  EngineKind kind() const override { return EngineKind::kColumnar; }
+  uint32_t file_id() const override { return file_id_; }
+  bool wal_capable() const override { return false; }
+
+  Result<Rid> Insert(std::string_view record) override;
+  Status InsertAt(Rid rid, std::string_view record) override;
+  Status Get(Rid rid, std::string* out) const override;
+  Status Delete(Rid rid) override;
+  Result<Rid> Update(Rid rid, std::string_view record) override;
+
+  std::unique_ptr<ScanCursor> NewScanCursor(const ScanSpec& spec) override;
+  std::unique_ptr<RecordIterator> NewIterator() const override;
+
+  Result<uint32_t> NumPages() const override;
+  Result<uint64_t> DataBytes() const override;
+  Result<uint64_t> Checksum() const override;
+  StorageCosts ScanCosts(const CostModel& cost) const override;
+  void Clear() override;
+
+  // -- Introspection (tests, PerfMonitor) ------------------------------------
+
+  /// Total compressed segment + dictionary bytes (lazily recomputed).
+  uint64_t CompressedBytes() const;
+  /// Total serialized-record bytes of the live rows (the row-heap payload
+  /// the compression is measured against).
+  uint64_t RawBytes() const;
+  size_t live_row_count() const { return live_rows_; }
+  /// Highest slot index ever allocated (live or tombstoned) plus one.
+  size_t total_slot_count() const { return total_slots_; }
+
+ private:
+  friend class ColumnarScanCursor;
+
+  /// One column's segments: exactly one of {codes, ints, dbls} is populated
+  /// depending on the declared type; `nulls` marks NULL slots everywhere.
+  struct ColumnData {
+    DataType type = DataType::kInt64;
+    std::vector<uint32_t> codes;  ///< string columns: dictionary codes
+    std::vector<std::string> dict;
+    std::unordered_map<std::string, uint32_t> dict_map;
+    std::vector<int64_t> ints;   ///< bool / int64 / decimal / date
+    std::vector<double> dbls;    ///< double
+    std::vector<uint8_t> nulls;  ///< 1 = NULL at that slot
+  };
+
+  /// Per-column compressed sizes, recomputed when `stats_dirty_`.
+  struct ColumnStats {
+    uint64_t dict_bytes = 0;
+    uint64_t total_bytes = 0;             ///< dict + all chunk payloads
+    std::vector<uint64_t> chunk_bytes;    ///< RLE payload bytes per chunk
+  };
+
+  size_t SlotIndex(Rid rid) const {
+    return static_cast<size_t>(rid.page_no) * kChunkRows + rid.slot;
+  }
+  Rid RidOfIndex(size_t idx) const {
+    return Rid{static_cast<uint32_t>(idx / kChunkRows),
+               static_cast<uint16_t>(idx % kChunkRows)};
+  }
+  bool LiveAt(size_t idx) const { return idx < live_.size() && live_[idx]; }
+
+  /// Appends one slot's worth of storage to every column (value payload for
+  /// live rows, placeholder for holes).
+  void AppendSlot(const Row& row);
+  /// Overwrites the values at `idx` from `row` (slot must exist).
+  void StoreAt(size_t idx, const Row& row);
+  /// Reconstructs the Value of column `c` at slot `idx`.
+  Value ValueAt(size_t c, size_t idx) const;
+  /// Deserializes `record` against the schema, validating arity.
+  Status DecodeRecord(std::string_view record, Row* row) const;
+  void MarkDirty();
+  /// Recomputes per-column RLE/dictionary sizes under stats_mu_.
+  void RecomputeStats() const;
+  /// Publishes compression gauges after a stats recompute.
+  void PublishGauges(uint64_t compressed) const;
+
+  size_t num_chunks() const {
+    return (total_slots_ + kChunkRows - 1) / kChunkRows;
+  }
+
+  BufferPool* pool_;
+  uint32_t file_id_;
+  const Schema* schema_;
+
+  std::vector<ColumnData> cols_;
+  std::vector<uint8_t> live_;
+  std::vector<uint32_t> rec_bytes_;  ///< serialized size per live slot
+  size_t total_slots_ = 0;
+  size_t live_rows_ = 0;
+  uint64_t raw_bytes_ = 0;
+
+  mutable std::mutex stats_mu_;
+  mutable bool stats_dirty_ = true;
+  mutable std::vector<ColumnStats> col_stats_;
+  mutable uint64_t compressed_bytes_ = 0;
+
+  Counter* m_segments_read_ = nullptr;
+  Counter* m_values_scanned_ = nullptr;
+  Counter* m_values_materialized_ = nullptr;
+  Gauge* g_compressed_bytes_ = nullptr;
+  Gauge* g_raw_bytes_ = nullptr;
+  Gauge* g_bytes_saved_ = nullptr;
+};
+
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_STORAGE_COLUMNAR_COLUMNAR_ENGINE_H_

@@ -1,0 +1,63 @@
+#ifndef R3DB_RDBMS_STORAGE_ROW_HEAP_ENGINE_H_
+#define R3DB_RDBMS_STORAGE_ROW_HEAP_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "rdbms/schema.h"
+#include "rdbms/storage/heap_file.h"
+#include "rdbms/storage/storage_engine.h"
+
+namespace r3 {
+namespace rdbms {
+
+/// The transactional default engine: slotted heap pages in the buffer pool,
+/// WAL-logged and MVCC-versioned. A thin wrapper over HeapFile — every
+/// operation forwards unchanged, so behavior (and simulated cost) is
+/// byte-identical to the pre-engine code that used TableInfo::heap directly.
+class RowHeapEngine : public StorageEngine {
+ public:
+  /// `schema` must outlive the engine (it points into the owning TableInfo).
+  RowHeapEngine(BufferPool* pool, uint32_t file_id, const Schema* schema);
+
+  EngineKind kind() const override { return EngineKind::kRowHeap; }
+  uint32_t file_id() const override { return heap_.file_id(); }
+  bool wal_capable() const override { return true; }
+  HeapFile* heap_file() const override { return &heap_; }
+
+  Result<Rid> Insert(std::string_view record) override {
+    return heap_.Insert(record);
+  }
+  Status InsertAt(Rid rid, std::string_view record) override {
+    return heap_.InsertAt(rid, record);
+  }
+  Status Get(Rid rid, std::string* out) const override {
+    return heap_.Get(rid, out);
+  }
+  Status Delete(Rid rid) override { return heap_.Delete(rid); }
+  Result<Rid> Update(Rid rid, std::string_view record) override {
+    return heap_.Update(rid, record);
+  }
+  void ResetInsertHint() override { heap_.ResetInsertHint(); }
+
+  std::unique_ptr<ScanCursor> NewScanCursor(const ScanSpec& spec) override;
+  std::unique_ptr<RecordIterator> NewIterator() const override;
+
+  Result<uint32_t> NumPages() const override { return heap_.NumPages(); }
+  Result<uint64_t> DataBytes() const override;
+  Result<uint64_t> Checksum() const override;
+  StorageCosts ScanCosts(const CostModel& cost) const override;
+
+ private:
+  BufferPool* pool_;
+  // mutable: the const heap_file() accessor hands out the non-const pointer
+  // that WAL redo and recovery rebuild need.
+  mutable HeapFile heap_;
+  const Schema* schema_;
+};
+
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_STORAGE_ROW_HEAP_ENGINE_H_

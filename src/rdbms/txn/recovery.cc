@@ -8,6 +8,7 @@
 #include "rdbms/index/btree.h"
 #include "rdbms/row.h"
 #include "rdbms/storage/heap_file.h"
+#include "rdbms/storage/storage_engine.h"
 #include "rdbms/storage/page.h"
 
 namespace r3 {
@@ -51,7 +52,7 @@ Status RedoHeapOp(BufferPool* pool, TableInfo* table, const LogRecord& rec) {
 /// Recounts row/byte stats from the heap and rebuilds every index of
 /// `table` against the recovered record images.
 Status RebuildTable(Catalog* catalog, BufferPool* pool, TableInfo* table) {
-  table->heap->ResetInsertHint();
+  table->storage->ResetInsertHint();
   uint64_t rows = 0;
   uint64_t bytes = 0;
   for (IndexInfo* idx : table->indexes) {
@@ -60,12 +61,12 @@ Status RebuildTable(Catalog* catalog, BufferPool* pool, TableInfo* table) {
     R3_ASSIGN_OR_RETURN(BTree tree, BTree::Create(pool));
     *idx->btree = std::move(tree);
   }
-  HeapFile::Iterator it(table->heap.get());
+  std::unique_ptr<RecordIterator> it = table->storage->NewIterator();
   Rid rid;
   std::string rec;
   Row row;
   while (true) {
-    R3_ASSIGN_OR_RETURN(bool ok, it.Next(&rid, &rec));
+    R3_ASSIGN_OR_RETURN(bool ok, it->Next(&rid, &rec));
     if (!ok) break;
     ++rows;
     bytes += rec.size();
@@ -108,7 +109,9 @@ Result<RecoveryStats> RunRecovery(Catalog* catalog, BufferPool* pool, Wal* wal,
   std::unordered_map<uint32_t, TableInfo*> by_file;
   for (const TableInfo* t : catalog->AllTables()) {
     R3_ASSIGN_OR_RETURN(TableInfo * mt, catalog->GetTable(t->name));
-    by_file[mt->heap->file_id()] = mt;
+    // Only WAL-capable engines appear in the log; a columnar table's file
+    // id never shows up (its writes are not logged).
+    if (mt->storage->wal_capable()) by_file[mt->storage->file_id()] = mt;
   }
 
   // Pass 2: redo winners (and autocommit txn 0) from the redo point.

@@ -353,7 +353,11 @@ TEST(MvccStressTest, ConcurrentWritersReadersAndGc) {
       std::string alt;
       std::vector<std::pair<uint16_t, std::string>> ghosts;
       uint64_t spins = 0;
-      while (!stop.load(std::memory_order_acquire)) {
+      // do-while: every reader completes at least one full pass even when
+      // the writers finish before this thread is first scheduled (fast
+      // machines under parallel ctest load), so the spin count assertion
+      // below cannot flake on scheduling.
+      do {
         auto snap = m.AcquireSnapshot();
         for (uint32_t w = 0; w < kWriters; ++w) {
           for (uint16_t s = 0; s < 32; ++s) {
@@ -364,7 +368,7 @@ TEST(MvccStressTest, ConcurrentWritersReadersAndGc) {
         }
         ++spins;
         (void)r;
-      }
+      } while (!stop.load(std::memory_order_acquire));
       EXPECT_GT(spins, 0u);
     });
   }
@@ -455,6 +459,115 @@ TEST(MvccDatabaseTest, TxnRollbackRevertsVersionMap) {
   db.txn_manager()->mvcc()->GarbageCollect();
   EXPECT_EQ(db.txn_manager()->mvcc()->live_entries(), 0u);
   EXPECT_EQ(db.txn_manager()->mvcc()->live_txns(), 0u);
+}
+
+// -- Index vs. sequential read-path symmetry (DESIGN.md §9) -------------------
+
+namespace symmetry {
+
+/// T(A, B) with 256 fat rows A=1..256 and an index on A, stats analyzed so
+/// an equality probe on A plans as an index scan (asserted): the filler
+/// column pushes the heap to enough pages that the probe beats the scan.
+void BuildIndexedTable(Database* db) {
+  ASSERT_OK(db->Execute("CREATE TABLE T (A INTEGER, B CHAR(200))", {}, nullptr,
+                        nullptr));
+  ASSERT_OK(db->Execute("CREATE INDEX T_A ON T (A)", {}, nullptr, nullptr));
+  ASSERT_OK(db->EnableWal());  // turns MVCC on
+  const std::string filler(180, 'x');
+  for (int64_t v = 1; v <= 256; ++v) {
+    ASSERT_OK(db->Execute("INSERT INTO T (A, B) VALUES (" + std::to_string(v) +
+                              ", '" + filler + "')",
+                          {}, nullptr, nullptr));
+  }
+  ASSERT_OK(db->Analyze("T"));
+  auto plan = db->Explain("SELECT A FROM T WHERE A = 2");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_NE(plan.value().find("IndexScan"), std::string::npos) << plan.value();
+}
+
+}  // namespace symmetry
+
+TEST(MvccIndexAsymmetryTest, EagerIndexDeletesMissGhostsByDefault) {
+  Database db;
+  symmetry::BuildIndexedTable(&db);
+
+  auto seq_stmt = db.Prepare("SELECT A FROM T");
+  auto idx_stmt = db.Prepare("SELECT A FROM T WHERE A = 2");
+  ASSERT_TRUE(seq_stmt.ok() && idx_stmt.ok());
+  auto seq_cur = db.OpenCursor(seq_stmt.value(), {});
+  auto idx_cur = db.OpenCursor(idx_stmt.value(), {});
+  ASSERT_TRUE(seq_cur.ok() && idx_cur.ok());
+
+  ASSERT_OK(db.Execute("DELETE FROM T WHERE A = 2", {}, nullptr, nullptr));
+
+  // The sequential scan resolves the ghost for its older snapshot...
+  std::vector<int64_t> seq_rows = CollectInts(&db, &seq_cur.value());
+  EXPECT_EQ(seq_rows.size(), 256u);
+  EXPECT_TRUE(std::binary_search(seq_rows.begin(), seq_rows.end(), 2));
+  // ...but the index probe lost its B-tree entry with the delete: the
+  // documented default asymmetry.
+  std::vector<int64_t> idx_rows = CollectInts(&db, &idx_cur.value());
+  EXPECT_TRUE(idx_rows.empty());
+}
+
+TEST(MvccIndexAsymmetryTest, DeferredCleanupResolvesGhostsOnIndexScans) {
+  DatabaseOptions opts;
+  opts.mvcc_index_ghosts = true;
+  Database db(nullptr, opts);
+  symmetry::BuildIndexedTable(&db);
+
+  auto idx_stmt = db.Prepare("SELECT A FROM T WHERE A = 2");
+  ASSERT_TRUE(idx_stmt.ok());
+  auto idx_cur = db.OpenCursor(idx_stmt.value(), {});
+  ASSERT_TRUE(idx_cur.ok());
+
+  ASSERT_OK(db.Execute("DELETE FROM T WHERE A = 2", {}, nullptr, nullptr));
+
+  // A second delete probes the stale entry, finds the row gone, and
+  // matches nothing — DML never sees ghosts.
+  int64_t affected = -1;
+  ASSERT_OK(db.Execute("DELETE FROM T WHERE A = 2", {}, nullptr, &affected));
+  EXPECT_EQ(affected, 0);
+
+  // The index cursor's older snapshot resolves the ghost through the
+  // retained entry — same answer the sequential scan gives.
+  std::vector<int64_t> idx_rows = CollectInts(&db, &idx_cur.value());
+  EXPECT_EQ(idx_rows, (std::vector<int64_t>{2}));
+  ASSERT_OK(idx_cur.value().Close());
+
+  // With the pinning snapshot gone the entry drains at the next
+  // transaction boundary, and fresh probes stay clean.
+  ASSERT_OK(db.Begin());
+  ASSERT_OK(db.Commit());
+  auto now = db.Query("SELECT A FROM T WHERE A = 2");
+  ASSERT_TRUE(now.ok()) << now.status().ToString();
+  EXPECT_TRUE(now.value().rows.empty());
+}
+
+TEST(MvccIndexAsymmetryTest, RollbackKeepsDeferredEntriesLive) {
+  DatabaseOptions opts;
+  opts.mvcc_index_ghosts = true;
+  Database db(nullptr, opts);
+  symmetry::BuildIndexedTable(&db);
+
+  ASSERT_OK(db.Begin());
+  ASSERT_OK(db.Execute("DELETE FROM T WHERE A = 2", {}, nullptr, nullptr));
+  ASSERT_OK(db.Rollback());
+
+  // The entry was never removed and the undo did not re-insert it:
+  // exactly one match, not zero, not two.
+  auto rows = db.Query("SELECT A FROM T WHERE A = 2");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows.value().rows.size(), 1u);
+  EXPECT_EQ(rows.value().rows[0][0].int_value(), 2);
+
+  // And the restored row still deletes normally afterwards.
+  int64_t affected = 0;
+  ASSERT_OK(db.Execute("DELETE FROM T WHERE A = 2", {}, nullptr, &affected));
+  EXPECT_EQ(affected, 1);
+  auto gone = db.Query("SELECT A FROM T WHERE A = 2");
+  ASSERT_TRUE(gone.ok()) << gone.status().ToString();
+  EXPECT_TRUE(gone.value().rows.empty());
 }
 
 }  // namespace

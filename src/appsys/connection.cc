@@ -29,14 +29,22 @@ Result<rdbms::QueryResult> DbConnection::ExecuteCursor(
   ++stats_.round_trips;
   m_round_trips_->Add(1);
   clock_->ChargeRoundTrip();
-  if (seen_statements_.insert(sql).second) {
+  rdbms::Database::BindPeekInfo peek;
+  R3_ASSIGN_OR_RETURN(rdbms::PreparedStatement * stmt,
+                      db_->PrepareWithParams(sql, params, &peek));
+  // With bind peeking on, the cursor cache holds one entry per plan variant:
+  // landing in a new selectivity bucket is a miss (new cursor compiled),
+  // re-execution within a known bucket is a hit.
+  std::string cursor_key =
+      peek.peeked ? sql + '\x1f' + static_cast<char>('0' + peek.bucket) : sql;
+  if (seen_statements_.insert(cursor_key).second) {
     ++stats_.cursor_cache_misses;
     m_cursor_misses_->Add(1);
   } else {
     ++stats_.cursor_cache_hits;
     m_cursor_hits_->Add(1);
   }
-  R3_ASSIGN_OR_RETURN(rdbms::PreparedStatement * stmt, db_->Prepare(sql));
+  if (peek.peeked) span.ArgInt("peek_bucket", peek.bucket);
   R3_ASSIGN_OR_RETURN(rdbms::Cursor cur, db_->OpenCursor(stmt, params));
   rdbms::QueryResult result;
   result.schema = stmt->output_schema();

@@ -66,6 +66,8 @@ class DbConnection {
   rdbms::Database* db_;
   SimClock* clock_;
   Stats stats_;
+  /// Cursor-cache keys: the statement text, or `sql \x1f bucket` when the
+  /// database peeks binds (one cursor per plan variant).
   std::unordered_set<std::string> seen_statements_;
   Counter* m_round_trips_;
   Counter* m_rows_shipped_;

@@ -336,6 +336,12 @@ Result<QueryResult> OpenSql::Select(const OpenSqlQuery& q) {
   TraceSpan translate_span(clock_, "app", "opensql.translate");
   R3_ASSIGN_OR_RETURN(Translation t, Translate(q));
   translate_span.End();
+  // With optimizer v2 bind peeking on, the back end classifies these bind
+  // values into a selectivity bucket; mark the statement so traces show
+  // which Open SQL selects went through the parameter-sensitive plan cache.
+  if (conn_->db()->bind_peeking()) {
+    if (Tracer* tr = clock_->tracer()) tr->Instant("app", "opensql.peeked");
+  }
   return conn_->ExecuteCursor(t.sql, t.params);
 }
 

@@ -39,6 +39,20 @@ struct TableInfo {
   TableStats stats;
   uint64_t row_count = 0;   ///< maintained on insert/delete
   uint64_t data_bytes = 0;  ///< live record bytes (approximate after updates)
+  /// Rows inserted/deleted/updated since the last ANALYZE. Bulk DML (RF1/RF2,
+  /// LOAD-style inserts) used to silently leave stale TableStats in place;
+  /// past a threshold the stats are flagged stale and EXPLAIN ANALYZE warns.
+  uint64_t mods_since_analyze = 0;
+
+  /// True when enough DML has accumulated since the last ANALYZE that the
+  /// stats are likely misleading (>10% of the analyzed row count, with a
+  /// floor so small tables do not flap).
+  bool stats_stale() const {
+    if (!stats.valid) return false;
+    uint64_t threshold = stats.row_count / 10;
+    if (threshold < 64) threshold = 64;
+    return mods_since_analyze > threshold;
+  }
 };
 
 /// A named view: the SQL text is re-parsed and inlined at bind time.

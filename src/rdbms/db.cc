@@ -6,6 +6,7 @@
 #include "common/str_util.h"
 #include "rdbms/expr/eval.h"
 #include "rdbms/index/key_codec.h"
+#include "rdbms/optimizer/optimizer_costs.h"
 #include "rdbms/sql/binder.h"
 #include "rdbms/sql/parser.h"
 #include "rdbms/txn/recovery.h"
@@ -25,6 +26,11 @@ Database::Database(SimClock* clock, DatabaseOptions options)
   m_statements_ = metrics_->GetCounter("rdbms.sql.statements");
   m_hard_parses_ = metrics_->GetCounter("rdbms.sql.hard_parses");
   m_prepared_hits_ = metrics_->GetCounter("rdbms.sql.prepared_cache_hits");
+  m_plan_variants_ = metrics_->GetCounter("rdbms.sql.plan_cache.variants");
+  for (int b = 0; b < kPeekBuckets; ++b) {
+    m_bucket_hits_[b] = metrics_->GetCounter(
+        str::Format("rdbms.sql.plan_cache.bucket%d_hits", b));
+  }
   h_statement_sim_us_ = metrics_->GetHistogram("rdbms.sql.statement_sim_us");
   disk_ = std::make_unique<Disk>();
   pool_ = std::make_unique<BufferPool>(disk_.get(), clock_,
@@ -259,6 +265,14 @@ void Database::set_dop(int dop) {
   options_.planner.dop = dop;
   // Cached plans embed the old lane count; recompile on next use.
   prepared_.clear();
+}
+
+void Database::set_bind_peeking(bool on) {
+  if (on == options_.planner.bind_peeking) return;
+  options_.planner.bind_peeking = on;
+  // Cached plans embed the peeking decision; recompile on next use.
+  prepared_.clear();
+  peeked_prepared_.clear();
 }
 
 void Database::set_batch_rows(size_t batch_rows) {
@@ -529,6 +543,84 @@ Result<PreparedStatement*> Database::Prepare(const std::string& sql) {
   return raw;
 }
 
+Result<std::unique_ptr<PreparedStatement>> Database::CompilePeekedVariant(
+    const std::string& sql, const std::vector<Value>& params,
+    PeekClassifier* classifier_out) {
+  m_hard_parses_->Add(1);
+  TraceSpan prepare_span(clock_, "sql", "prepare");
+  clock_->ChargeStatementCompile();
+  TraceSpan parse_span(clock_, "sql", "parse");
+  R3_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, ParseSelect(sql));
+  parse_span.End();
+  TraceSpan bind_span(clock_, "sql", "bind");
+  Binder binder(catalog_.get());
+  R3_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bq, binder.BindSelect(*sel));
+  bind_span.End();
+  if (classifier_out != nullptr) *classifier_out = BuildPeekClassifier(*bq);
+  TraceSpan opt_span(clock_, "sql", "optimize");
+  PlannerOptions popts = options_.planner;
+  popts.peeked_params = &params;
+  Optimizer opt(catalog_.get(), popts, metrics_);
+  R3_ASSIGN_OR_RETURN(PhysicalPlan plan, opt.Plan(std::move(bq)));
+  opt_span.End();
+  auto stmt = std::make_unique<PreparedStatement>();
+  stmt->sql_ = sql;
+  stmt->plan_ = std::move(plan);
+  m_plan_variants_->Add(1);
+  return stmt;
+}
+
+Result<PreparedStatement*> Database::PrepareWithParams(
+    const std::string& sql, const std::vector<Value>& params,
+    BindPeekInfo* info) {
+  if (info != nullptr) *info = BindPeekInfo{};
+  if (!options_.planner.bind_peeking) return Prepare(sql);
+
+  auto it = peeked_prepared_.find(sql);
+  if (it == peeked_prepared_.end()) {
+    // First sight: one hard parse builds both the classifier and the first
+    // variant, filed under the bucket these bind values land in.
+    PeekedStatement ps;
+    R3_ASSIGN_OR_RETURN(std::unique_ptr<PreparedStatement> stmt,
+                        CompilePeekedVariant(sql, params, &ps.classifier));
+    double est = PeekEstimate(ps.classifier, params);
+    int bucket = PeekBucket(est);
+    PreparedStatement* raw = stmt.get();
+    ps.variants[static_cast<size_t>(bucket)] = std::move(stmt);
+    peeked_prepared_.emplace(sql, std::move(ps));
+    if (info != nullptr) {
+      info->peeked = true;
+      info->bucket = bucket;
+      info->est_fraction = est;
+    }
+    return raw;
+  }
+
+  // Known statement: classify (no simulated charges) and pick the variant.
+  PeekedStatement& ps = it->second;
+  double est = PeekEstimate(ps.classifier, params);
+  int bucket = PeekBucket(est);
+  if (info != nullptr) {
+    info->peeked = true;
+    info->bucket = bucket;
+    info->est_fraction = est;
+  }
+  std::unique_ptr<PreparedStatement>& slot =
+      ps.variants[static_cast<size_t>(bucket)];
+  if (slot != nullptr) {
+    m_prepared_hits_->Add(1);
+    m_bucket_hits_[static_cast<size_t>(bucket)]->Add(1);
+    if (info != nullptr) info->variant_hit = true;
+    return slot.get();
+  }
+  // Bucket boundary crossed: compile one new variant for this bucket.
+  R3_ASSIGN_OR_RETURN(std::unique_ptr<PreparedStatement> stmt,
+                      CompilePeekedVariant(sql, params, nullptr));
+  PreparedStatement* raw = stmt.get();
+  slot = std::move(stmt);
+  return raw;
+}
+
 Result<QueryResult> Database::ExecutePrepared(PreparedStatement* stmt,
                                               const std::vector<Value>& params) {
   SimTimer timer(*clock_);
@@ -558,6 +650,31 @@ Result<std::string> Database::Explain(const std::string& sql) {
   return plan.Explain();
 }
 
+Result<std::string> Database::Explain(const std::string& sql,
+                                      const std::vector<Value>& params) {
+  R3_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, ParseSelect(sql));
+  Binder binder(catalog_.get());
+  R3_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bq, binder.BindSelect(*sel));
+  PeekClassifier classifier = BuildPeekClassifier(*bq);
+  double est = PeekEstimate(classifier, params);
+  int bucket = PeekBucket(est);
+  std::vector<const TableInfo*> tables;
+  for (const BoundTableRef& bt : bq->tables) tables.push_back(bt.table);
+  PlannerOptions popts = options_.planner;
+  popts.bind_peeking = true;
+  popts.peeked_params = &params;
+  Optimizer opt(catalog_.get(), popts, metrics_);
+  R3_ASSIGN_OR_RETURN(PhysicalPlan plan, opt.Plan(std::move(bq)));
+  std::string out =
+      str::Format("Peek: bucket=%d est_fraction=%.6f\n", bucket, est);
+  const CostModel& cost = DefaultCostModel();
+  for (const TableInfo* t : tables) {
+    out += OptimizerCosts::ForTable(*t, cost).Describe(t->name) + "\n";
+  }
+  out += plan.Explain();
+  return out;
+}
+
 Result<std::string> Database::ExplainAnalyze(const std::string& sql,
                                              const std::vector<Value>& params) {
   BeginStatement();
@@ -567,6 +684,8 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql,
   R3_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, ParseSelect(sql));
   Binder binder(catalog_.get());
   R3_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bq, binder.BindSelect(*sel));
+  std::vector<const TableInfo*> plan_tables;
+  for (const BoundTableRef& bt : bq->tables) plan_tables.push_back(bt.table);
   Optimizer opt(catalog_.get(), options_.planner, metrics_);
   R3_ASSIGN_OR_RETURN(PhysicalPlan plan, opt.Plan(std::move(bq)));
 
@@ -619,6 +738,16 @@ Result<std::string> Database::ExplainAnalyze(const std::string& sql,
       static_cast<unsigned long long>(pool_after.page_writes -
                                       pool_before.page_writes),
       hit_pct);
+  for (const TableInfo* t : plan_tables) {
+    if (!t->stats_stale()) continue;
+    uint64_t threshold = t->stats.row_count / 10;
+    if (threshold < 64) threshold = 64;
+    out += str::Format(
+        "\nStats: %s stale (mods=%llu since ANALYZE, threshold=%llu)",
+        t->name.c_str(),
+        static_cast<unsigned long long>(t->mods_since_analyze),
+        static_cast<unsigned long long>(threshold));
+  }
   return out;
 }
 
@@ -718,6 +847,7 @@ Status Database::InsertRowChecked(TableInfo* table, Row row, Rid* rid_out) {
   }
   table->row_count += 1;
   table->data_bytes += rec.size();
+  table->mods_since_analyze += 1;
   // Only after index maintenance succeeded: the unique-violation path above
   // physically removed the row again, so no version-map entry may exist yet.
   txn_mgr_->mvcc()->OnInsert(table->storage->file_id(), rid, write_id_);
@@ -770,6 +900,7 @@ Status Database::DeleteRowAt(TableInfo* table, Rid rid, const Row& row) {
     }
   }
   if (table->row_count > 0) table->row_count -= 1;
+  table->mods_since_analyze += 1;
   size_t bytes = SerializedRowSize(table->schema, row);
   table->data_bytes = table->data_bytes > bytes ? table->data_bytes - bytes : 0;
   clock_->ChargeDbmsTuple();
@@ -1014,6 +1145,7 @@ Status Database::ExecuteUpdate(const UpdateStmt& stmt,
         R3_RETURN_IF_ERROR(idx->btree->Insert(new_key, new_rid.Pack(), false));
       }
     }
+    table->mods_since_analyze += 1;
     ++*affected;
   }
   return Status::OK();
@@ -1049,6 +1181,7 @@ Status Database::AnalyzeTable(TableInfo* table) {
   stats.columns.resize(table->schema.NumColumns());
   std::vector<std::unordered_set<std::string>> distinct(
       table->schema.NumColumns());
+  std::vector<std::vector<Value>> samples(table->schema.NumColumns());
   std::unique_ptr<RecordIterator> it = table->storage->NewIterator();
   Rid rid;
   std::string rec;
@@ -1075,13 +1208,22 @@ Status Database::AnalyzeTable(TableInfo* table) {
         if (row[i].Compare(cs.max) > 0) cs.max = row[i];
       }
       distinct[i].insert(key_codec::Encode(row[i]));
+      samples[i].push_back(row[i]);
     }
   }
   for (size_t i = 0; i < distinct.size(); ++i) {
-    stats.columns[i].ndv = distinct[i].size();
+    ColumnStats& cs = stats.columns[i];
+    cs.ndv = distinct[i].size();
+    // Equi-height histograms ride on the values ANALYZE already read; the
+    // in-memory sort is free of simulated charges (the paper's systems fold
+    // it into the utility's CPU budget).
+    std::sort(samples[i].begin(), samples[i].end(),
+              [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+    BuildEquiHeightHistogram(std::move(samples[i]), &cs);
   }
   stats.valid = true;
   table->stats = std::move(stats);
+  table->mods_since_analyze = 0;
   return Status::OK();
 }
 

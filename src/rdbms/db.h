@@ -1,6 +1,7 @@
 #ifndef R3DB_RDBMS_DB_H_
 #define R3DB_RDBMS_DB_H_
 
+#include <array>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -233,6 +234,29 @@ class Database {
   /// makes cursor caching pay).
   Result<PreparedStatement*> Prepare(const std::string& sql);
 
+  /// What PrepareWithParams decided for one call (optimizer v2 telemetry).
+  struct BindPeekInfo {
+    bool peeked = false;        ///< false = peeking off, plain Prepare path
+    int bucket = 0;             ///< selectivity bucket (see PeekBucket)
+    double est_fraction = 1.0;  ///< peeked selectivity estimate
+    bool variant_hit = false;   ///< reused a cached plan variant (no compile)
+  };
+
+  /// Bind-value-peeking Prepare (optimizer v2): classifies `params` into a
+  /// selectivity bucket and keeps one compiled plan variant per
+  /// (statement, bucket) — a parameter-sensitive plan cache. Re-executions
+  /// in a known bucket reuse the variant without a hard parse; crossing a
+  /// bucket boundary compiles one new variant. When `bind_peeking()` is off
+  /// this forwards to Prepare() — byte-identical to the v1 path.
+  Result<PreparedStatement*> PrepareWithParams(const std::string& sql,
+                                               const std::vector<Value>& params,
+                                               BindPeekInfo* info = nullptr);
+
+  /// Toggles bind-value peeking (optimizer v2 master switch). Cached plans
+  /// embed the peeking decision, so both plan caches are flushed.
+  void set_bind_peeking(bool on);
+  bool bind_peeking() const { return options_.planner.bind_peeking; }
+
   /// Runs a prepared SELECT with the given parameter bindings.
   Result<QueryResult> ExecutePrepared(PreparedStatement* stmt,
                                       const std::vector<Value>& params = {});
@@ -246,6 +270,12 @@ class Database {
 
   /// Plans a SELECT and renders the physical plan without running it.
   Result<std::string> Explain(const std::string& sql);
+
+  /// Plans a SELECT under the given bind values with peeking forced on and
+  /// renders the bucket classification, peeked selectivity, and per-engine
+  /// calibrated optimizer costs ahead of the chosen plan.
+  Result<std::string> Explain(const std::string& sql,
+                              const std::vector<Value>& params);
 
   /// Plans, runs, and renders the physical plan annotated with per-operator
   /// runtime counters (rows/batches/opens/simulated time) plus query-wide
@@ -342,6 +372,13 @@ class Database {
   ExecContext MakeExecContext(SubqueryRunnerImpl* runner,
                               const std::vector<Value>* params);
 
+  /// Hard-parses one plan variant with `params` visible to the planner as
+  /// peeked constants. `classifier_out` (optional) receives the statement's
+  /// peek classifier, extracted before planning consumes the bound query.
+  Result<std::unique_ptr<PreparedStatement>> CompilePeekedVariant(
+      const std::string& sql, const std::vector<Value>& params,
+      PeekClassifier* classifier_out);
+
   /// Effective OS-thread budget for parallel fragments.
   int EffectiveExecThreads() const {
     return options_.exec_threads > 0 ? options_.exec_threads : options_.dop;
@@ -367,11 +404,20 @@ class Database {
   /// Pending B-tree cleanups under `mvcc_index_ghosts` (see above).
   std::vector<DeferredIndexDelete> deferred_index_deletes_;
   std::unordered_map<std::string, std::unique_ptr<PreparedStatement>> prepared_;
+  /// Parameter-sensitive plan cache (bind peeking on): one classifier per
+  /// statement text plus up to kPeekBuckets compiled variants.
+  struct PeekedStatement {
+    PeekClassifier classifier;
+    std::array<std::unique_ptr<PreparedStatement>, kPeekBuckets> variants;
+  };
+  std::unordered_map<std::string, PeekedStatement> peeked_prepared_;
   uint64_t statement_epoch_ = 0;
   // Cached registry mirrors (see constructor).
   Counter* m_statements_;
   Counter* m_hard_parses_;
   Counter* m_prepared_hits_;
+  Counter* m_plan_variants_;
+  std::array<Counter*, kPeekBuckets> m_bucket_hits_;
   Histogram* h_statement_sim_us_;
 };
 

@@ -92,11 +92,21 @@ Status Operator::Close() {
 
 std::string Operator::StatsSuffix(bool analyze) const {
   if (!analyze) return "";
-  return str::Format(" [rows=%lld batches=%lld opens=%lld sim=%lldus]",
-                     static_cast<long long>(stats_.rows_out),
-                     static_cast<long long>(stats_.batches_out),
-                     static_cast<long long>(stats_.opens),
-                     static_cast<long long>(stats_.sim_us));
+  std::string out =
+      str::Format(" [rows=%lld batches=%lld opens=%lld sim=%lldus]",
+                  static_cast<long long>(stats_.rows_out),
+                  static_cast<long long>(stats_.batches_out),
+                  static_cast<long long>(stats_.opens),
+                  static_cast<long long>(stats_.sim_us));
+  // Est-vs-actual drift for nodes the optimizer recorded an estimate on;
+  // the stale-stats story of EXPLAIN ANALYZE (plain EXPLAIN is untouched).
+  if (est_rows_ > 0) {
+    double actual = static_cast<double>(stats_.rows_out);
+    double drift = actual / static_cast<double>(est_rows_);
+    out += str::Format(" [est_rows=%llu drift=%.2fx]",
+                       static_cast<unsigned long long>(est_rows_), drift);
+  }
+  return out;
 }
 
 std::string ExplainPlan(const Operator& root, bool analyze) {
@@ -290,6 +300,8 @@ IndexScanOp::IndexScanOp(const TableInfo* table, const IndexInfo* index,
 Status IndexScanOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   done_ = false;
+  key_ranges_.clear();
+  next_range_ = 0;
   // Evaluate the bound expressions (no row context: literals/params only).
   EvalContext ec = ctx_->MakeEvalContext(nullptr);
   std::string prefix;
@@ -300,6 +312,63 @@ Status IndexScanOp::OpenImpl(ExecContext* ctx) {
     size_t col = index_->column_indices[i];
     R3_ASSIGN_OR_RETURN(v, v.CastTo(table_->schema.column(col).type));
     key_codec::EncodeValue(v, &prefix);
+  }
+  if (!bounds_.ranges.empty()) {
+    // Multi-range (optimizer v2): compile every range to an encoded
+    // (start, stop) pair, then sort and merge overlaps so the scan emits
+    // each qualifying row exactly once, in key order.
+    const size_t col = index_->column_indices[bounds_.eq_exprs.size()];
+    const DataType ct = table_->schema.column(col).type;
+    auto encode = [&](const Expr& e, std::string* out_key) -> Status {
+      Value v;
+      R3_RETURN_IF_ERROR(EvalExpr(e, ec, &v));
+      R3_ASSIGN_OR_RETURN(v, v.CastTo(ct));
+      *out_key = prefix;
+      key_codec::EncodeValue(v, out_key);
+      return Status::OK();
+    };
+    for (const IndexRange& r : bounds_.ranges) {
+      std::string start = prefix;
+      std::string stop = key_codec::PrefixUpperBound(prefix);
+      std::string enc;
+      if (r.point != nullptr) {
+        R3_RETURN_IF_ERROR(encode(*r.point, &enc));
+        start = enc;
+        stop = key_codec::PrefixUpperBound(enc);
+      } else {
+        if (r.lower != nullptr) {
+          R3_RETURN_IF_ERROR(encode(*r.lower, &enc));
+          start = r.lower_inclusive ? enc : key_codec::PrefixUpperBound(enc);
+        }
+        if (r.upper != nullptr) {
+          R3_RETURN_IF_ERROR(encode(*r.upper, &enc));
+          stop = r.upper_inclusive ? key_codec::PrefixUpperBound(enc) : enc;
+        }
+      }
+      if (!stop.empty() && start >= stop) continue;  // provably empty
+      key_ranges_.emplace_back(std::move(start), std::move(stop));
+    }
+    std::sort(key_ranges_.begin(), key_ranges_.end());
+    std::vector<std::pair<std::string, std::string>> merged;
+    for (auto& kr : key_ranges_) {
+      if (!merged.empty()) {
+        auto& last = merged.back();
+        const bool last_unbounded = last.second.empty();
+        if (last_unbounded || kr.first <= last.second) {
+          if (last_unbounded || kr.second.empty()) {
+            last.second.clear();
+          } else if (kr.second > last.second) {
+            last.second = kr.second;
+          }
+          continue;
+        }
+      }
+      merged.push_back(std::move(kr));
+    }
+    key_ranges_ = std::move(merged);
+    R3_ASSIGN_OR_RETURN(bool any, SeekNextRange());
+    done_ = !any;
+    return Status::OK();
   }
   std::string start = prefix;
   stop_key_ = key_codec::PrefixUpperBound(prefix);
@@ -327,6 +396,15 @@ Status IndexScanOp::OpenImpl(ExecContext* ctx) {
   return Status::OK();
 }
 
+Result<bool> IndexScanOp::SeekNextRange() {
+  if (next_range_ >= key_ranges_.size()) return false;
+  const auto& kr = key_ranges_[next_range_++];
+  stop_key_ = kr.second;
+  R3_ASSIGN_OR_RETURN(BTree::Cursor c, index_->btree->Seek(kr.first));
+  cursor_ = std::make_unique<BTree::Cursor>(std::move(c));
+  return true;
+}
+
 Result<bool> IndexScanOp::NextBatchImpl(RowBatch* out) {
   if (done_) return false;
   EvalContext ec = ctx_->MakeEvalContext(nullptr);
@@ -337,6 +415,8 @@ Result<bool> IndexScanOp::NextBatchImpl(RowBatch* out) {
     while (!out->full()) {
       R3_ASSIGN_OR_RETURN(bool ok, cursor_->Next(&key, &payload));
       if (!ok || (!stop_key_.empty() && key >= stop_key_)) {
+        R3_ASSIGN_OR_RETURN(bool more, SeekNextRange());
+        if (more) continue;
         done_ = true;
         break;
       }
@@ -369,6 +449,24 @@ Status IndexScanOp::CloseImpl() {
 std::string IndexScanOp::Describe(bool analyze) const {
   std::string out = "IndexScan(" + table_->name + " via " + index_->name;
   out += str::Format(", eq=%zu", bounds_.eq_exprs.size());
+  if (!bounds_.ranges.empty()) {
+    // v2 multi-range rendering (never produced by legacy plans).
+    out += str::Format(", ranges=%zu{", bounds_.ranges.size());
+    for (size_t i = 0; i < bounds_.ranges.size(); ++i) {
+      const IndexRange& r = bounds_.ranges[i];
+      if (i > 0) out += ",";
+      if (r.point != nullptr) {
+        out += "=" + r.point->ToString();
+      } else {
+        out += r.lower_inclusive ? "[" : "(";
+        if (r.lower != nullptr) out += r.lower->ToString();
+        out += "..";
+        if (r.upper != nullptr) out += r.upper->ToString();
+        out += r.upper_inclusive ? "]" : ")";
+      }
+    }
+    out += "}";
+  }
   if (bounds_.lower != nullptr) out += ", lo=" + bounds_.lower->ToString();
   if (bounds_.upper != nullptr) out += ", hi=" + bounds_.upper->ToString();
   for (const Expr* f : filters_) out += ", " + f->ToString();

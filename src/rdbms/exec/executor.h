@@ -130,6 +130,12 @@ class Operator {
 
   const OperatorStats& stats() const { return stats_; }
 
+  /// Optimizer's estimated output cardinality for this node (0 = none
+  /// recorded). EXPLAIN ANALYZE renders est-vs-actual drift from it; plain
+  /// EXPLAIN output is unaffected.
+  void set_est_rows(uint64_t est) { est_rows_ = est; }
+  uint64_t est_rows() const { return est_rows_; }
+
  protected:
   virtual Status OpenImpl(ExecContext* ctx) = 0;
   virtual Result<bool> NextBatchImpl(RowBatch* out) = 0;
@@ -140,6 +146,7 @@ class Operator {
 
  private:
   OperatorStats stats_;
+  uint64_t est_rows_ = 0;
   SimClock* stats_clock_ = nullptr;
   ExecContext::Totals* totals_ = nullptr;
   uint64_t stats_epoch_ = 0;
@@ -218,12 +225,28 @@ class SeqScanOp : public Operator {
 /// All bound expressions are evaluated once at Open (literals or `?`
 /// parameters) — or per probe against the left row for index-nested-loops
 /// (see IndexNLJoinOp, which evaluates them itself).
+/// One range on the index column after the equality prefix. A point range
+/// (`a IN (…)` item, OR'd equality) sets `point`; otherwise lower/upper with
+/// open/closed edges (either side may be absent).
+struct IndexRange {
+  const Expr* point = nullptr;
+  const Expr* lower = nullptr;
+  bool lower_inclusive = true;
+  const Expr* upper = nullptr;
+  bool upper_inclusive = true;
+};
+
 struct IndexBounds {
   std::vector<const Expr*> eq_exprs;
   const Expr* lower = nullptr;  ///< range lower bound (on next column)
   bool lower_inclusive = true;
   const Expr* upper = nullptr;
   bool upper_inclusive = true;
+  /// Optimizer-v2 multi-range access (`a IN (…)`, OR-of-ranges): when
+  /// non-empty the scan visits each range in key order and the single-range
+  /// fields above are ignored. Only v2 plans (bind peeking on) produce
+  /// these, so legacy plan text never changes.
+  std::vector<IndexRange> ranges;
 };
 
 /// Index range scan + heap fetch; the random fetches charge the cost model
@@ -243,6 +266,10 @@ class IndexScanOp : public Operator {
   Status CloseImpl() override;
 
  private:
+  /// Seeks the cursor to the next compiled key range; false when all ranges
+  /// are exhausted.
+  Result<bool> SeekNextRange();
+
   const TableInfo* table_;
   const IndexInfo* index_;
   size_t offset_;
@@ -256,6 +283,10 @@ class IndexScanOp : public Operator {
   std::string rec_;  // heap-fetch scratch
   Row table_row_;
   SelVector sel_;
+  /// Multi-range execution state: encoded (start, stop) per range, sorted
+  /// and merged at Open; `next_range_` is the next one to seek.
+  std::vector<std::pair<std::string, std::string>> key_ranges_;
+  size_t next_range_ = 0;
 };
 
 // ---------------------------------------------------------------------------

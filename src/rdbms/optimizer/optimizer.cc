@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <set>
 
 #include "common/cost_model.h"
@@ -10,11 +11,21 @@
 #include "rdbms/exec/parallel_ops.h"
 #include "rdbms/expr/eval.h"
 #include "rdbms/index/key_codec.h"
+#include "rdbms/optimizer/optimizer_costs.h"
 
 namespace r3 {
 namespace rdbms {
 
 namespace {
+
+/// Everything the v2 estimation path needs, threaded through the free
+/// helper functions. Default-constructed = the legacy (pre-v2) optimizer:
+/// no histograms, no peeked parameters, single-range index access, raw
+/// StorageCosts arithmetic — bit-identical plans.
+struct EstimationContext {
+  bool v2 = false;
+  const std::vector<Value>* peeked = nullptr;
+};
 
 // ---------------------------------------------------------------------------
 // Expression analysis helpers
@@ -92,15 +103,18 @@ bool IsRuntimeConstant(const Expr& e) {
 /// Evaluates a runtime-constant expression at *plan* time. Fails (kNotFound
 /// used as the "unknown" signal) when the value depends on parameters or
 /// outer rows, which are unavailable to the optimizer — the heart of the
-/// paper's Table 6 observation.
-Result<Value> PlanTimeValue(const Expr& e) {
-  if (ExprHasParams(e)) {
+/// paper's Table 6 observation. With bind peeking (`est.peeked`), parameter
+/// references resolve against the peeked bind values and the optimizer is
+/// no longer blind.
+Result<Value> PlanTimeValue(const Expr& e, const EstimationContext& est) {
+  if (ExprHasParams(e) && est.peeked == nullptr) {
     return Status::NotFound("value depends on a parameter");
   }
   if (ExprContains(e, [](const Expr& x) { return x.kind == ExprKind::kOuterRef; })) {
     return Status::NotFound("value depends on an outer row");
   }
   EvalContext ec;
+  ec.params = est.peeked;
   Value v;
   Status st = EvalExpr(e, ec, &v);
   if (!st.ok()) return Status::NotFound("not plan-time evaluable");
@@ -186,23 +200,26 @@ bool MatchColCompare(const Expr& e, const BoundTableRef& t, ColCompare* out) {
 /// Estimated selectivity of one conjunct against table `t`.
 /// `*unknown` is set when the constant is invisible at plan time.
 double EstimateConjunctSelectivity(const Expr& e, const BoundTableRef& t,
-                                   bool* unknown) {
+                                   bool* unknown,
+                                   const EstimationContext& est) {
   *unknown = false;
+  const bool hist = est.v2;
   ColCompare cc;
   if (MatchColCompare(e, t, &cc)) {
     const ColumnStats* s = StatsFor(*t.table, cc.column);
     if (cc.is_between) {
-      auto lo = PlanTimeValue(*cc.value);
-      auto hi = PlanTimeValue(*cc.value2);
+      auto lo = PlanTimeValue(*cc.value, est);
+      auto hi = PlanTimeValue(*cc.value2, est);
       if (!lo.ok() || !hi.ok() || s == nullptr) {
         *unknown = !lo.ok() || !hi.ok();
         return selectivity::kDefaultRange / 2;
       }
-      double below_hi = selectivity::LessThan(*s, hi.value());
-      double below_lo = selectivity::LessThan(*s, lo.value());
-      return std::max(0.0, below_hi - below_lo);
+      double below_hi = selectivity::LessThan(*s, hi.value(), hist);
+      double below_lo = selectivity::LessThan(*s, lo.value(), hist);
+      double eq_hi = hist ? selectivity::Equals(*s, hi.value(), hist) : 0.0;
+      return std::max(0.0, below_hi + eq_hi - below_lo);
     }
-    auto v = PlanTimeValue(*cc.value);
+    auto v = PlanTimeValue(*cc.value, est);
     if (!v.ok()) {
       *unknown = true;
       return cc.op == CmpOp::kEq ? selectivity::kDefaultEquals
@@ -214,19 +231,43 @@ double EstimateConjunctSelectivity(const Expr& e, const BoundTableRef& t,
     }
     switch (cc.op) {
       case CmpOp::kEq:
-        return selectivity::Equals(*s, v.value());
+        return selectivity::Equals(*s, v.value(), hist);
       case CmpOp::kLt:
       case CmpOp::kLe:
-        return selectivity::LessThan(*s, v.value());
+        return selectivity::LessThan(*s, v.value(), hist);
       case CmpOp::kGt:
       case CmpOp::kGe:
-        return selectivity::GreaterThan(*s, v.value());
+        return selectivity::GreaterThan(*s, v.value(), hist);
       case CmpOp::kNe:
-        return 1.0 - selectivity::Equals(*s, v.value());
+        return 1.0 - selectivity::Equals(*s, v.value(), hist);
     }
   }
   if (e.kind == ExprKind::kLike) return 0.05;
   if (e.kind == ExprKind::kInList) {
+    if (est.v2 && !e.negated && e.children.size() > 1) {
+      // v2: sum the per-item equality estimates when the target is a local
+      // column and every item's value is visible (literals or peeked).
+      size_t width = t.table->schema.NumColumns();
+      const Expr& target = *e.children[0];
+      if (target.kind == ExprKind::kColumnRef &&
+          target.column_index >= t.offset &&
+          target.column_index < t.offset + width) {
+        const ColumnStats* s =
+            StatsFor(*t.table, target.column_index - t.offset);
+        double sum = 0;
+        bool all_known = true;
+        for (size_t i = 1; i < e.children.size(); ++i) {
+          auto v = PlanTimeValue(*e.children[i], est);
+          if (!v.ok()) {
+            all_known = false;
+            break;
+          }
+          sum += s != nullptr ? selectivity::Equals(*s, v.value(), hist)
+                              : selectivity::kDefaultEquals;
+        }
+        if (all_known) return std::min(1.0, sum);
+      }
+    }
     return std::min(1.0, selectivity::kDefaultEquals *
                              static_cast<double>(e.children.size() - 1) * 2.0);
   }
@@ -250,16 +291,143 @@ struct TableCandidate {
   AccessPath path;
 };
 
+/// True when `op` constrains a range (not equality).
+bool IsRangeOp(CmpOp op) {
+  return op == CmpOp::kLt || op == CmpOp::kLe || op == CmpOp::kGt ||
+         op == CmpOp::kGe;
+}
+
+/// Flattens an OR chain into index ranges on `col` of `t`; false when any
+/// leaf is not an index-compatible comparison on that column.
+bool FlattenOrRanges(const Expr& e, const BoundTableRef& t, size_t col,
+                     std::vector<IndexRange>* out) {
+  if (e.kind == ExprKind::kLogic && e.logic_op == LogicOp::kOr) {
+    for (const ExprPtr& c : e.children) {
+      if (c == nullptr || !FlattenOrRanges(*c, t, col, out)) return false;
+    }
+    return true;
+  }
+  ColCompare cc;
+  if (!MatchColCompare(e, t, &cc) || cc.column != col) return false;
+  IndexRange r;
+  if (cc.is_between) {
+    r.lower = cc.value;
+    r.upper = cc.value2;
+  } else {
+    switch (cc.op) {
+      case CmpOp::kEq:
+        r.point = cc.value;
+        break;
+      case CmpOp::kLt:
+        r.upper = cc.value;
+        r.upper_inclusive = false;
+        break;
+      case CmpOp::kLe:
+        r.upper = cc.value;
+        break;
+      case CmpOp::kGt:
+        r.lower = cc.value;
+        r.lower_inclusive = false;
+        break;
+      case CmpOp::kGe:
+        r.lower = cc.value;
+        break;
+      default:
+        return false;  // != is not indexable
+    }
+  }
+  out->push_back(r);
+  return true;
+}
+
+/// Estimated selectivity of one index range on a column with stats `s`.
+double RangeSelectivity(const IndexRange& r, const ColumnStats* s,
+                        const EstimationContext& est, bool* unknown) {
+  *unknown = false;
+  if (r.point != nullptr) {
+    auto v = PlanTimeValue(*r.point, est);
+    if (!v.ok()) {
+      *unknown = true;
+      return selectivity::kDefaultEquals;
+    }
+    return s != nullptr ? selectivity::Equals(*s, v.value(), est.v2)
+                        : selectivity::kDefaultEquals;
+  }
+  double lo_frac = 0.0;
+  double hi_frac = 1.0;
+  if (r.lower != nullptr) {
+    auto v = PlanTimeValue(*r.lower, est);
+    if (!v.ok()) {
+      *unknown = true;
+      return selectivity::kDefaultRange;
+    }
+    if (s != nullptr) lo_frac = selectivity::LessThan(*s, v.value(), est.v2);
+  }
+  if (r.upper != nullptr) {
+    auto v = PlanTimeValue(*r.upper, est);
+    if (!v.ok()) {
+      *unknown = true;
+      return selectivity::kDefaultRange;
+    }
+    if (s != nullptr) {
+      hi_frac = selectivity::LessThan(*s, v.value(), est.v2);
+      if (r.upper_inclusive) {
+        hi_frac += selectivity::Equals(*s, v.value(), est.v2);
+      }
+    }
+  }
+  if (s == nullptr && (r.lower != nullptr || r.upper != nullptr)) {
+    return selectivity::kDefaultRange;
+  }
+  return std::max(0.0, std::min(1.0, hi_frac) - lo_frac);
+}
+
 /// Chooses the access path for one table given its pushed conjuncts.
 AccessPath ChooseAccessPath(const BoundTableRef& t,
                             const std::vector<const Expr*>& singles,
                             const PlannerOptions& options,
-                            const CostModel& cost) {
+                            const CostModel& cost,
+                            const EstimationContext& est) {
   AccessPath seq;
   double sel_total = 1.0;
-  for (const Expr* c : singles) {
-    bool unknown = false;
-    sel_total *= EstimateConjunctSelectivity(*c, t, &unknown);
+  // Per-conjunct estimates, with one correction: range conjuncts whose
+  // bounds are invisible at plan time are combined *per column* before
+  // multiplying. `x >= ? AND x <= ?` used to contribute kDefaultRange² —
+  // double-counting the same column's range — where the equivalent
+  // `x BETWEEN ? AND ?` contributed kDefaultRange/2.
+  {
+    std::vector<double> sels(singles.size(), 1.0);
+    std::vector<int64_t> unk_range_col(singles.size(), -1);
+    std::map<size_t, std::pair<bool, bool>> col_bounds;  // col -> (lo, hi)
+    for (size_t i = 0; i < singles.size(); ++i) {
+      bool unknown = false;
+      sels[i] = EstimateConjunctSelectivity(*singles[i], t, &unknown, est);
+      ColCompare cc;
+      if (unknown && MatchColCompare(*singles[i], t, &cc) &&
+          (cc.is_between || IsRangeOp(cc.op))) {
+        unk_range_col[i] = static_cast<int64_t>(cc.column);
+        auto& b = col_bounds[cc.column];
+        if (cc.is_between) {
+          b.first = b.second = true;
+        } else if (cc.op == CmpOp::kGt || cc.op == CmpOp::kGe) {
+          b.first = true;
+        } else {
+          b.second = true;
+        }
+      }
+    }
+    std::set<size_t> counted;
+    for (size_t i = 0; i < singles.size(); ++i) {
+      if (unk_range_col[i] >= 0) {
+        size_t col = static_cast<size_t>(unk_range_col[i]);
+        if (!counted.insert(col).second) continue;  // deduped
+        const auto& b = col_bounds[col];
+        sel_total *= b.first && b.second ? selectivity::kDefaultRange / 2
+                                         : selectivity::kDefaultRange;
+      } else {
+        sel_total *= sels[i];
+      }
+    }
   }
   uint64_t rows = std::max<uint64_t>(1, RowCountOf(*t.table));
   seq.est_rows = std::max(1.0, sel_total * static_cast<double>(rows));
@@ -275,8 +443,11 @@ AccessPath ChooseAccessPath(const BoundTableRef& t,
   }
   // Per-engine costs (MariaDB OPTIMIZER_COSTS style): the row heap reports
   // the CostModel integers verbatim, so its plan arithmetic is bit-identical
-  // to the pre-engine costing.
+  // to the pre-engine costing. The v2 path additionally consults the split
+  // OptimizerCosts fields (descent vs entry CPU vs row fetch), which is
+  // where the columnar engine's cheap in-memory row fetch finally shows up.
   const StorageCosts ecost = t.table->storage->ScanCosts(cost);
+  const OptimizerCosts ocost = OptimizerCosts::ForTable(*t.table, cost);
   double seq_cost = static_cast<double>(pages) * ecost.seq_page_us +
                     static_cast<double>(rows) * ecost.tuple_cpu_us;
 
@@ -296,7 +467,7 @@ AccessPath ChooseAccessPath(const BoundTableRef& t,
             cc.op == CmpOp::kEq && cc.column == idx->column_indices[k]) {
           eq_value = cc.value;
           bool unknown = false;
-          idx_sel *= EstimateConjunctSelectivity(*c, t, &unknown);
+          idx_sel *= EstimateConjunctSelectivity(*c, t, &unknown, est);
           any_unknown = any_unknown || unknown;
           consumed.insert(c);
           break;
@@ -314,7 +485,7 @@ AccessPath ChooseAccessPath(const BoundTableRef& t,
           continue;
         }
         bool unknown = false;
-        double s = EstimateConjunctSelectivity(*c, t, &unknown);
+        double s = EstimateConjunctSelectivity(*c, t, &unknown, est);
         if (cc.is_between) {
           if (bounds.lower != nullptr || bounds.upper != nullptr) continue;
           bounds.lower = cc.value;
@@ -336,13 +507,69 @@ AccessPath ChooseAccessPath(const BoundTableRef& t,
         any_unknown = any_unknown || unknown;
         consumed.insert(c);
       }
+      // v2 multi-range: when no contiguous range folded in, try `a IN (…)`
+      // or an OR-of-ranges on this column — each becomes one key range of
+      // the same IndexScan (one descent per range).
+      if (est.v2 && bounds.lower == nullptr && bounds.upper == nullptr) {
+        const size_t range_col = idx->column_indices[k];
+        for (const Expr* c : singles) {
+          if (consumed.count(c) > 0) continue;
+          std::vector<IndexRange> ranges;
+          bool matched = false;
+          if (c->kind == ExprKind::kInList && !c->negated &&
+              c->children.size() > 1) {
+            const Expr& target = *c->children[0];
+            const size_t width = t.table->schema.NumColumns();
+            if (target.kind == ExprKind::kColumnRef &&
+                target.column_index >= t.offset &&
+                target.column_index < t.offset + width &&
+                target.column_index - t.offset == range_col) {
+              matched = true;
+              for (size_t i = 1; i < c->children.size(); ++i) {
+                if (!IsRuntimeConstant(*c->children[i])) {
+                  matched = false;
+                  break;
+                }
+                IndexRange r;
+                r.point = c->children[i].get();
+                ranges.push_back(r);
+              }
+            }
+          } else if (c->kind == ExprKind::kLogic &&
+                     c->logic_op == LogicOp::kOr) {
+            matched = FlattenOrRanges(*c, t, range_col, &ranges);
+          }
+          if (!matched || ranges.empty()) continue;
+          const ColumnStats* s = StatsFor(*t.table, range_col);
+          double sum = 0;
+          bool unk = false;
+          for (const IndexRange& r : ranges) {
+            bool u = false;
+            sum += RangeSelectivity(r, s, est, &u);
+            unk = unk || u;
+          }
+          idx_sel *= std::min(1.0, sum);
+          any_unknown = any_unknown || unk;
+          bounds.ranges = std::move(ranges);
+          consumed.insert(c);
+          break;
+        }
+      }
     }
     if (consumed.empty()) continue;  // index not applicable
 
     bool full_unique_match = idx->unique &&
                              bounds.eq_exprs.size() == idx->column_indices.size();
     double est_match = std::max(1.0, idx_sel * static_cast<double>(rows));
-    double idx_cost = est_match * (ecost.random_page_us + ecost.tuple_cpu_us);
+    double idx_cost;
+    if (est.v2) {
+      const double nranges =
+          bounds.ranges.empty() ? 1.0 : static_cast<double>(bounds.ranges.size());
+      idx_cost = nranges * ocost.index_descent_us +
+                 est_match * (ocost.index_entry_cpu_us + ocost.row_fetch_us);
+    } else {
+      idx_cost = est_match * (ecost.random_page_us + ecost.tuple_cpu_us);
+    }
     AccessPath cand;
     cand.index = idx;
     cand.bounds = bounds;
@@ -583,6 +810,9 @@ Status SubqueryRunnerImpl::RunInProbe(size_t idx, const Row* outer,
 
 Result<Optimizer::PlanResult> Optimizer::PlanQueryTree(BoundQuery* bq) {
   const CostModel& cost = DefaultCostModel();
+  EstimationContext est;
+  est.v2 = options_.bind_peeking;
+  est.peeked = options_.bind_peeking ? options_.peeked_params : nullptr;
 
   // 0. Compile subqueries (recursively) into the runner.
   auto runner = std::make_unique<SubqueryRunnerImpl>();
@@ -627,7 +857,7 @@ Result<Optimizer::PlanResult> Optimizer::PlanQueryTree(BoundQuery* bq) {
       }
     }
     cands[t].path =
-        ChooseAccessPath(bq->tables[t], cands[t].singles, options_, cost);
+        ChooseAccessPath(bq->tables[t], cands[t].singles, options_, cost, est);
   }
   // Zero-table conjuncts attach to the first scan.
   std::vector<const Expr*> zero_table;
@@ -657,19 +887,27 @@ Result<Optimizer::PlanResult> Optimizer::PlanQueryTree(BoundQuery* bq) {
   auto make_scan = [&](size_t t) -> OperatorPtr {
     const TableCandidate& cand = cands[t];
     const BoundTableRef& ref = bq->tables[t];
+    // Estimated post-filter cardinality, recorded on the scan node so
+    // EXPLAIN ANALYZE can report est-vs-actual drift (stale-stats story).
+    const uint64_t scan_est =
+        static_cast<uint64_t>(std::max(0.0, cand.path.est_rows));
     std::vector<const Expr*> residual;
     for (const Expr* s : cand.singles) {
       if (cand.path.consumed.count(s) == 0) residual.push_back(s);
     }
     if (cand.path.index != nullptr) {
-      return std::make_unique<IndexScanOp>(ref.table, cand.path.index,
-                                           ref.offset, bq->wide_width,
-                                           cand.path.bounds, residual);
+      auto op = std::make_unique<IndexScanOp>(ref.table, cand.path.index,
+                                              ref.offset, bq->wide_width,
+                                              cand.path.bounds, residual);
+      op->set_est_rows(scan_est);
+      return op;
     }
     if (parallel_eligible(t)) {
-      return std::make_unique<GatherOp>(
-          ref.table, ref.offset, bq->wide_width, residual, options_.dop,
-          static_cast<uint64_t>(std::max(0.0, cand.path.est_rows)));
+      auto op = std::make_unique<GatherOp>(ref.table, ref.offset,
+                                           bq->wide_width, residual,
+                                           options_.dop, scan_est);
+      op->set_est_rows(scan_est);
+      return op;
     }
     // Projection set for engines that materialize lazily: every wide-row
     // position any expression of this query level reads, rebased to the
@@ -690,8 +928,11 @@ Result<Optimizer::PlanResult> Optimizer::PlanQueryTree(BoundQuery* bq) {
       }
       needed = std::move(local);
     }
-    return std::make_unique<SeqScanOp>(ref.table, ref.offset, bq->wide_width,
-                                       residual, std::move(needed));
+    auto op = std::make_unique<SeqScanOp>(ref.table, ref.offset,
+                                          bq->wide_width, residual,
+                                          std::move(needed));
+    op->set_est_rows(scan_est);
+    return op;
   };
 
   // 3. Greedy join ordering.
@@ -939,8 +1180,19 @@ Result<Optimizer::PlanResult> Optimizer::PlanQueryTree(BoundQuery* bq) {
           fanout = std::max(1.0, static_cast<double>(t_rows_raw) / ndv);
         }
         const StorageCosts tcost = ref.table->storage->ScanCosts(cost);
-        double inl_cost = current_rows * (tcost.random_page_us * 2) +
-                          current_rows * fanout * tcost.random_page_us;
+        double inl_cost;
+        if (est.v2) {
+          // Split per-engine costs: descent is page-priced for every
+          // engine, but the per-match row fetch is an in-memory decode on
+          // the columnar engine (OptimizerCosts::ForTable).
+          const OptimizerCosts toc = OptimizerCosts::ForTable(*ref.table, cost);
+          inl_cost = current_rows * toc.index_descent_us +
+                     current_rows * fanout *
+                         (toc.index_entry_cpu_us + toc.row_fetch_us);
+        } else {
+          inl_cost = current_rows * (tcost.random_page_us * 2) +
+                     current_rows * fanout * tcost.random_page_us;
+        }
         uint32_t t_pages = 1;
         if (auto p = ref.table->storage->NumPages(); p.ok()) {
           t_pages = std::max(1u, p.value());
@@ -1001,6 +1253,8 @@ Result<Optimizer::PlanResult> Optimizer::PlanQueryTree(BoundQuery* bq) {
                                                  residual, RangesFor(*bq, t_set),
                                                  outer);
     }
+    // Estimated join output rows, for EXPLAIN ANALYZE drift reporting.
+    tree->set_est_rows(static_cast<uint64_t>(std::max(1.0, best_result)));
     joined.insert(t);
     current_rows = std::max(1.0, best_result);
   }
@@ -1162,6 +1416,93 @@ void CountSubqueries(const SubqueryRunnerImpl* runner, PlanChoices* c) {
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Bind-value peeking: bucket classification for the plan-variant cache
+// ---------------------------------------------------------------------------
+
+int PeekBucket(double est_fraction) {
+  if (est_fraction <= 0.001) return 0;
+  if (est_fraction <= 0.02) return 1;
+  if (est_fraction <= 0.2) return 2;
+  return 3;
+}
+
+PeekClassifier BuildPeekClassifier(const BoundQuery& bq) {
+  PeekClassifier out;
+  for (const ExprPtr& c : bq.conjuncts) {
+    if (c == nullptr) continue;
+    std::set<size_t> positions;
+    CollectPositions(*c, bq, &positions);
+    std::set<size_t> tables;
+    for (size_t p : positions) {
+      size_t t = TableOfPosition(bq, p);
+      if (t != static_cast<size_t>(-1)) tables.insert(t);
+    }
+    if (tables.size() != 1) continue;
+    const BoundTableRef& t = bq.tables[*tables.begin()];
+    ColCompare cc;
+    if (!MatchColCompare(*c, t, &cc)) continue;
+    PeekClassifier::Entry e;
+    e.table = t.table;
+    e.column = cc.column;
+    e.op = cc.op;
+    e.is_between = cc.is_between;
+    e.value = cc.value->Clone();
+    if (cc.value2 != nullptr) e.value2 = cc.value2->Clone();
+    out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
+double PeekEstimate(const PeekClassifier& c, const std::vector<Value>& params) {
+  std::map<const TableInfo*, double> per_table;
+  EvalContext ec;
+  ec.params = &params;
+  for (const PeekClassifier::Entry& e : c.entries) {
+    const ColumnStats* s = StatsFor(*e.table, e.column);
+    Value v;
+    if (!EvalExpr(*e.value, ec, &v).ok()) continue;
+    double sel;
+    if (e.is_between) {
+      Value v2;
+      if (e.value2 == nullptr || !EvalExpr(*e.value2, ec, &v2).ok()) continue;
+      if (s == nullptr) {
+        sel = selectivity::kDefaultRange / 2;
+      } else {
+        double hi = selectivity::LessThan(*s, v2, /*use_histogram=*/true) +
+                    selectivity::Equals(*s, v2, /*use_histogram=*/true);
+        double lo = selectivity::LessThan(*s, v, /*use_histogram=*/true);
+        sel = std::max(0.0, std::min(1.0, hi) - lo);
+      }
+    } else if (s == nullptr) {
+      sel = e.op == CmpOp::kEq ? selectivity::kDefaultEquals
+                               : selectivity::kDefaultRange;
+    } else {
+      switch (e.op) {
+        case CmpOp::kEq:
+          sel = selectivity::Equals(*s, v, true);
+          break;
+        case CmpOp::kLt:
+        case CmpOp::kLe:
+          sel = selectivity::LessThan(*s, v, true);
+          break;
+        case CmpOp::kGt:
+        case CmpOp::kGe:
+          sel = selectivity::GreaterThan(*s, v, true);
+          break;
+        case CmpOp::kNe:
+        default:
+          sel = 1.0 - selectivity::Equals(*s, v, true);
+          break;
+      }
+    }
+    per_table.emplace(e.table, 1.0).first->second *= sel;
+  }
+  double min_frac = 1.0;
+  for (const auto& kv : per_table) min_frac = std::min(min_frac, kv.second);
+  return min_frac;
+}
 
 Result<PhysicalPlan> Optimizer::Plan(std::unique_ptr<BoundQuery> bq) {
   R3_ASSIGN_OR_RETURN(PlanResult res, PlanQueryTree(bq.get()));

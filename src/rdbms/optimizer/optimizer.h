@@ -42,7 +42,48 @@ struct PlannerOptions {
   /// Minimum estimated base-table cardinality before a parallel (Gather)
   /// scan is worth its startup cost.
   uint64_t parallel_threshold_rows = 5000;
+
+  /// Optimizer v2 master switch: bind-value peeking plus everything that
+  /// rides on it — histogram-routed selectivity, the split per-engine
+  /// OptimizerCosts index formulas, and multi-range index access. Off (the
+  /// default) keeps every plan, estimate, and simulated time byte-identical
+  /// to the pre-v2 optimizer; the Table 6 blindness repro stays intact.
+  bool bind_peeking = false;
+
+  /// The actual bind values visible to the planner when `bind_peeking` is
+  /// on (null = none). Set transiently per compile by the plan-variant
+  /// cache; parameterized predicates are then estimated like literals.
+  const std::vector<Value>* peeked_params = nullptr;
 };
+
+/// Selectivity-bucket classification for the parameter-sensitive plan
+/// cache: estimated fraction ≤0.1% / ≤2% / ≤20% / rest.
+int PeekBucket(double est_fraction);
+inline constexpr int kPeekBuckets = 4;
+
+/// The per-statement classifier the plan-variant cache uses to map bind
+/// values to a selectivity bucket without re-planning. Built once from the
+/// bound query at first compile; entries clone the comparison value
+/// expressions so they outlive the (consumed) BoundQuery.
+struct PeekClassifier {
+  struct Entry {
+    const TableInfo* table = nullptr;
+    size_t column = 0;  ///< table-local
+    CmpOp op = CmpOp::kEq;
+    bool is_between = false;
+    ExprPtr value;   ///< comparison constant (may reference params)
+    ExprPtr value2;  ///< BETWEEN upper bound
+  };
+  std::vector<Entry> entries;
+};
+
+/// Extracts the classifier from a bound query's single-table predicates.
+PeekClassifier BuildPeekClassifier(const BoundQuery& bq);
+
+/// Estimated fraction of the driving table selected under `params`:
+/// per-table product of predicate selectivities (histogram-backed), then
+/// the minimum across tables. 1.0 when nothing is estimable.
+double PeekEstimate(const PeekClassifier& c, const std::vector<Value>& params);
 
 /// A compiled subquery plan plus its (per-execution) caches.
 struct CompiledSubquery;

@@ -1,0 +1,47 @@
+#include "rdbms/optimizer/optimizer_costs.h"
+
+#include "common/str_util.h"
+#include "rdbms/storage/storage_engine.h"
+
+namespace r3 {
+namespace rdbms {
+
+OptimizerCosts OptimizerCosts::ForTable(const TableInfo& t,
+                                        const CostModel& cost) {
+  const StorageCosts base = t.storage->ScanCosts(cost);
+  OptimizerCosts oc;
+  oc.seq_page_us = base.seq_page_us;
+  oc.random_page_us = base.random_page_us;
+  oc.tuple_cpu_us = base.tuple_cpu_us;
+  // B-tree descent touches buffer-pool pages for every engine; assume a
+  // two-level descent (root + leaf) at the global random-page rate.
+  oc.index_descent_us = 2.0 * static_cast<double>(cost.random_page_read_us);
+  // The executor charges one dbms-tuple CPU unit per index entry visited,
+  // engine-independent (IndexScanOp::NextBatchImpl).
+  oc.index_entry_cpu_us = static_cast<double>(cost.dbms_tuple_cpu_us);
+  switch (t.storage->kind()) {
+    case EngineKind::kColumnar:
+      // ColumnarEngine::Get decodes ncols values from memory-resident
+      // vectors and charges exactly tuple_cpu_us — no page I/O.
+      oc.row_fetch_us = base.tuple_cpu_us;
+      break;
+    case EngineKind::kRowHeap:
+    default:
+      // Heap fetch by RID: one random page read (plus the per-tuple CPU
+      // already counted via index_entry_cpu_us).
+      oc.row_fetch_us = base.random_page_us;
+      break;
+  }
+  return oc;
+}
+
+std::string OptimizerCosts::Describe(const std::string& table_name) const {
+  return str::Format(
+      "Costs(%s): seq_page=%.0f random_page=%.0f tuple_cpu=%.1f "
+      "index_descent=%.0f index_entry_cpu=%.1f row_fetch=%.1f",
+      table_name.c_str(), seq_page_us, random_page_us, tuple_cpu_us,
+      index_descent_us, index_entry_cpu_us, row_fetch_us);
+}
+
+}  // namespace rdbms
+}  // namespace r3

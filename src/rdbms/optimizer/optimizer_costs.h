@@ -1,0 +1,51 @@
+#ifndef R3DB_RDBMS_OPTIMIZER_OPTIMIZER_COSTS_H_
+#define R3DB_RDBMS_OPTIMIZER_OPTIMIZER_COSTS_H_
+
+#include <string>
+
+#include "common/cost_model.h"
+#include "rdbms/catalog.h"
+
+namespace r3 {
+namespace rdbms {
+
+/// Per-engine optimizer cost structure (MariaDB `optimizer_costs.h` style):
+/// one calibrated cost table per storage engine instead of one global
+/// CostModel shared by every access path.
+///
+/// The v2 refinement over the raw `StorageCosts` triple is splitting index
+/// access into the pieces that actually differ per engine:
+///   - `index_descent_us`: one B-tree root-to-leaf descent. Index pages live
+///     in the buffer pool for *both* engines, so this is page-priced for
+///     both.
+///   - `index_entry_cpu_us`: CPU per index entry visited. The executor
+///     charges `dbms_tuple_cpu_us` per entry regardless of engine.
+///   - `row_fetch_us`: materializing one table row by RID after an index
+///     match. Row heap: a random heap-page read. Columnar: an in-memory
+///     decode of `ncols` values (`ChargeColumnarValue(ncols)` in
+///     `ColumnarEngine::Get`) — the calibration PR 6 deliberately skipped by
+///     pricing every columnar random access at the full page cost.
+///
+/// Only the optimizer-v2 path (behind `PlannerOptions::bind_peeking`)
+/// consults the split fields; the legacy path keeps using the raw
+/// `StorageCosts` arithmetic bit for bit.
+struct OptimizerCosts {
+  double seq_page_us = 0;
+  double random_page_us = 0;
+  double tuple_cpu_us = 0;
+
+  double index_descent_us = 0;
+  double index_entry_cpu_us = 0;
+  double row_fetch_us = 0;
+
+  /// Derives the per-engine cost table for `t` from its engine's ScanCosts.
+  static OptimizerCosts ForTable(const TableInfo& t, const CostModel& cost);
+
+  /// One-line rendering for EXPLAIN tooling.
+  std::string Describe(const std::string& table_name) const;
+};
+
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_OPTIMIZER_OPTIMIZER_COSTS_H_

@@ -35,23 +35,95 @@ double Fraction(const ColumnStats& s, const Value& v) {
   return Clamp01((v.AsDouble() - lo) / (hi - lo));
 }
 
+// Position of v within one histogram bucket (lo, hi] as a fraction.
+double BucketFraction(const Value& lo, const Value& hi, const Value& v) {
+  if (v.type() == DataType::kString || hi.type() == DataType::kString) {
+    return 0.5;  // no within-bucket interpolation for strings
+  }
+  double a = lo.is_null() ? hi.AsDouble() : lo.AsDouble();
+  double b = hi.AsDouble();
+  if (b <= a) return 1.0;
+  return Clamp01((v.AsDouble() - a) / (b - a));
+}
+
+// Index of the first bucket whose upper bound is >= v, or hist.size() when
+// v exceeds the domain.
+size_t FindBucket(const std::vector<HistogramBucket>& hist, const Value& v) {
+  size_t lo = 0, hi = hist.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (hist[mid].upper.Compare(v) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Fraction of the column's *rows* (null and non-null) that the histogram
+// covers; range estimates scale by it so NULL-heavy columns do not
+// over-estimate.
+double NonNullFraction(const ColumnStats& s) {
+  double total = static_cast<double>(s.hist_rows + s.null_count);
+  if (total <= 0) return 1.0;
+  return static_cast<double>(s.hist_rows) / total;
+}
+
+// P(col < v) over the non-null rows, from the histogram.
+double HistLessThan(const ColumnStats& s, const Value& v) {
+  if (s.hist_rows == 0) return 0.0;
+  if (s.min.Compare(v) >= 0) return 0.0;
+  size_t b = FindBucket(s.hist, v);
+  if (b >= s.hist.size()) return 1.0;
+  uint64_t below = 0;
+  for (size_t i = 0; i < b; ++i) below += s.hist[i].rows;
+  const Value& lo = b == 0 ? s.min : s.hist[b - 1].upper;
+  double within = BucketFraction(lo, s.hist[b].upper, v) *
+                  static_cast<double>(s.hist[b].rows);
+  return Clamp01((static_cast<double>(below) + within) /
+                 static_cast<double>(s.hist_rows));
+}
+
+// P(col = v) over the non-null rows, from the histogram.
+double HistEquals(const ColumnStats& s, const Value& v) {
+  if (s.hist_rows == 0) return 0.0;
+  if (s.min.Compare(v) > 0 || s.max.Compare(v) < 0) return 0.0;
+  size_t b = FindBucket(s.hist, v);
+  if (b >= s.hist.size()) return 0.0;
+  const HistogramBucket& bk = s.hist[b];
+  double per_value = static_cast<double>(bk.rows) /
+                     static_cast<double>(std::max<uint64_t>(1, bk.ndv));
+  return Clamp01(per_value / static_cast<double>(s.hist_rows));
+}
+
 }  // namespace
 
-double Equals(const ColumnStats& s, const Value& v) {
+double Equals(const ColumnStats& s, const Value& v, bool use_histogram) {
+  if (use_histogram && !s.hist.empty()) {
+    return Clamp01(HistEquals(s, v) * NonNullFraction(s));
+  }
   if (!s.valid || s.ndv == 0) return kDefaultEquals;
   // Out-of-domain constants match nothing.
   if (s.min.Compare(v) > 0 || s.max.Compare(v) < 0) return 0.0;
   return Clamp01(1.0 / static_cast<double>(s.ndv));
 }
 
-double LessThan(const ColumnStats& s, const Value& v) {
+double LessThan(const ColumnStats& s, const Value& v, bool use_histogram) {
+  if (use_histogram && !s.hist.empty()) {
+    return Clamp01(HistLessThan(s, v) * NonNullFraction(s));
+  }
   if (!s.valid) return kDefaultRange;
   if (s.min.Compare(v) > 0) return 0.0;
   if (s.max.Compare(v) < 0) return 1.0;
   return Fraction(s, v);
 }
 
-double GreaterThan(const ColumnStats& s, const Value& v) {
+double GreaterThan(const ColumnStats& s, const Value& v, bool use_histogram) {
+  if (use_histogram && !s.hist.empty()) {
+    double gt = 1.0 - HistLessThan(s, v) - HistEquals(s, v);
+    return Clamp01(std::max(0.0, gt) * NonNullFraction(s));
+  }
   if (!s.valid) return kDefaultRange;
   if (s.max.Compare(v) < 0) return 0.0;
   if (s.min.Compare(v) > 0) return 1.0;
@@ -59,5 +131,42 @@ double GreaterThan(const ColumnStats& s, const Value& v) {
 }
 
 }  // namespace selectivity
+
+void BuildEquiHeightHistogram(std::vector<Value> sorted_values,
+                              ColumnStats* s) {
+  s->hist.clear();
+  s->hist_rows = static_cast<uint64_t>(sorted_values.size());
+  if (sorted_values.empty()) return;
+  const size_t n = sorted_values.size();
+  const size_t nbuckets =
+      std::max<size_t>(1, std::min(kHistogramBuckets,
+                                   static_cast<size_t>(s->ndv == 0 ? n : s->ndv)));
+  const size_t target = (n + nbuckets - 1) / nbuckets;  // rows per bucket
+
+  HistogramBucket cur;
+  size_t cur_rows = 0;
+  size_t cur_ndv = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool new_value = i == 0 || sorted_values[i].Compare(sorted_values[i - 1]) != 0;
+    if (new_value && cur_rows >= target) {
+      // Close the bucket at a value boundary: equal values never straddle
+      // buckets, so per-bucket frequency stays exact for heavy hitters.
+      cur.upper = sorted_values[i - 1];
+      cur.rows = cur_rows;
+      cur.ndv = cur_ndv;
+      s->hist.push_back(std::move(cur));
+      cur = HistogramBucket();
+      cur_rows = 0;
+      cur_ndv = 0;
+    }
+    if (new_value) ++cur_ndv;
+    ++cur_rows;
+  }
+  cur.upper = sorted_values.back();
+  cur.rows = cur_rows;
+  cur.ndv = cur_ndv;
+  s->hist.push_back(std::move(cur));
+}
+
 }  // namespace rdbms
 }  // namespace r3

@@ -9,6 +9,16 @@
 namespace r3 {
 namespace rdbms {
 
+/// One bucket of an equi-height histogram. Buckets partition the sorted
+/// non-null values of a column; `upper` is the largest value in the bucket
+/// (inclusive). The lower edge is the previous bucket's `upper`, exclusive
+/// (the first bucket's lower edge is the column min, inclusive).
+struct HistogramBucket {
+  Value upper;
+  uint64_t rows = 0;  ///< values in this bucket
+  uint64_t ndv = 0;   ///< distinct values in this bucket
+};
+
 /// Per-column optimizer statistics, produced by ANALYZE.
 struct ColumnStats {
   bool valid = false;
@@ -16,7 +26,17 @@ struct ColumnStats {
   Value max;
   uint64_t ndv = 0;         ///< number of distinct values (exact at our scale)
   uint64_t null_count = 0;
+
+  /// Equi-height histogram over the non-null values (empty = none built).
+  /// ANALYZE always builds it, but the planner only consults it when
+  /// `PlannerOptions::bind_peeking` is on — with the knob off, estimation
+  /// stays byte-identical to the min/max+ndv interpolation below.
+  std::vector<HistogramBucket> hist;
+  uint64_t hist_rows = 0;  ///< total non-null rows behind `hist`
 };
+
+/// Number of buckets ANALYZE targets (fewer when ndv is smaller).
+inline constexpr size_t kHistogramBuckets = 64;
 
 /// Per-table optimizer statistics.
 struct TableStats {
@@ -32,22 +52,38 @@ struct TableStats {
 /// Open SQL case, where SAP translates every literal into a `?` parameter —
 /// these functions are not called at all and the planner falls back to a
 /// blind index-preferring heuristic (Section 4.1 / Table 6 of the paper).
+///
+/// With `use_histogram` (the optimizer-v2 path behind the bind-peeking
+/// knob), estimates route through the column's equi-height histogram when
+/// one exists, falling back to the interpolation path for histogram-less
+/// columns. The default keeps the original arithmetic bit for bit.
 namespace selectivity {
 
-/// P(col = v). 1/ndv, clamped.
-double Equals(const ColumnStats& s, const Value& v);
+/// P(col = v). 1/ndv, clamped; with a histogram, bucket-rows / bucket-ndv.
+double Equals(const ColumnStats& s, const Value& v, bool use_histogram = false);
 
 /// P(col < v) (or <=; we do not distinguish at estimation granularity).
-double LessThan(const ColumnStats& s, const Value& v);
+double LessThan(const ColumnStats& s, const Value& v,
+                bool use_histogram = false);
 
 /// P(col > v).
-double GreaterThan(const ColumnStats& s, const Value& v);
+double GreaterThan(const ColumnStats& s, const Value& v,
+                   bool use_histogram = false);
 
 /// Fallback when nothing is known.
 inline constexpr double kDefaultEquals = 0.01;
 inline constexpr double kDefaultRange = 1.0 / 3.0;
 
 }  // namespace selectivity
+
+/// Builds an equi-height histogram from the column's value sample.
+/// `sorted_values` must be sorted ascending (Value::Compare order) and
+/// contain no NULLs; the function fills `s->hist` / `s->hist_rows`.
+/// Bucket edges never split runs of equal values, so heavy hitters keep
+/// accurate per-bucket frequency.
+void BuildEquiHeightHistogram(std::vector<Value> sorted_values,
+                              ColumnStats* s);
+
 }  // namespace rdbms
 }  // namespace r3
 

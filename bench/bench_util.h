@@ -9,6 +9,9 @@
 //                       stdout, the human report rerouted to stderr
 //   --trace-json=<path> write a Chrome trace_event JSON of the bench's
 //                       measured run (load via chrome://tracing / Perfetto)
+//   --out=<path>        write the same JSON document (schema-versioned) to a
+//                       file, independent of --json — the perf-trajectory
+//                       harness input (tools/bench_compare.py)
 // and print a paper-vs-measured comparison. Absolute paper numbers were
 // measured on 1996 hardware at SF=0.2; the *shape* (ratios, orderings,
 // crossovers) is the reproduction target — see EXPERIMENTS.md.
@@ -53,6 +56,7 @@ struct Flags {
   uint64_t seed = 19970607;
   bool json = false;        ///< emit one JSON document on stdout
   std::string trace_json;   ///< when non-empty: Chrome trace output path
+  std::string out;          ///< when non-empty: result-file output path
   std::string engine = "row";  ///< default table storage engine
   int saved_stdout = -1;    ///< original stdout fd while json reroutes it
 };
@@ -68,12 +72,14 @@ inline Flags ParseFlags(int argc, char** argv) {
       f.json = true;
     } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
       f.trace_json = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      f.out = argv[i] + 6;
     } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
       f.engine = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--sf=<double>] [--seed=<n>] [--json] "
-          "[--trace-json=<path>] [--engine=row|columnar]\n",
+          "[--trace-json=<path>] [--out=<path>] [--engine=row|columnar]\n",
           argv[0]);
       std::exit(0);
     }
@@ -97,9 +103,64 @@ inline json::Value BenchDoc(const char* bench, const Flags& f) {
   return doc;
 }
 
-/// Writes `doc` (plus a trailing newline) to the real stdout. No-op without
-/// --json.
+/// Current layout version of the bench result files. Bump on any change to
+/// the meaning (not just the set) of emitted keys; tools/bench_compare.py
+/// refuses to diff documents with mismatched versions.
+constexpr int64_t kBenchSchemaVersion = 1;
+
+/// Recursively drops wall-clock and environment keys (real_us, trace_file,
+/// trace_events) so the result file is byte-identical across runs and
+/// machines — the property the perf-trajectory harness builds on. The
+/// --json stdout document keeps them: interactive runs want wall time.
+inline json::Value StripVolatileKeys(const json::Value& v) {
+  if (v.is_object()) {
+    json::Value out = json::Value::Object();
+    for (const auto& [key, value] : v.members()) {
+      if (key == "real_us" || key == "trace_file" || key == "trace_events") {
+        continue;
+      }
+      out.Set(key, StripVolatileKeys(value));
+    }
+    return out;
+  }
+  if (v.is_array()) {
+    json::Value out = json::Value::Array();
+    for (const json::Value& item : v.items()) {
+      out.Append(StripVolatileKeys(item));
+    }
+    return out;
+  }
+  return v;
+}
+
+/// Writes `doc` as a schema-versioned result file to flags.out — the
+/// perf-trajectory harness record compared against the committed
+/// BENCH_<name>.json baselines by tools/bench_compare.py. No-op when --out
+/// was not given. Works with or without --json.
+inline void WriteBenchFile(const Flags& f, const json::Value& doc) {
+  if (f.out.empty()) return;
+  json::Value versioned = json::Value::Object();
+  versioned.Set("schema_version", json::Value::Int(kBenchSchemaVersion));
+  for (const auto& [key, value] : doc.members()) {
+    versioned.Set(key, StripVolatileKeys(value));
+  }
+  std::string text = versioned.Dump(2);
+  text += '\n';
+  std::FILE* fp = std::fopen(f.out.c_str(), "w");
+  if (fp == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot open --out file %s\n", f.out.c_str());
+    std::exit(1);
+  }
+  std::fwrite(text.data(), 1, text.size(), fp);
+  std::fclose(fp);
+  std::printf("[bench result -> %s]\n", f.out.c_str());
+}
+
+/// Writes `doc` (plus a trailing newline) to the real stdout (no-op without
+/// --json) and to the --out result file (no-op without --out). Every bench
+/// funnels its finished document through here.
 inline void EmitJson(const Flags& f, const json::Value& doc) {
+  WriteBenchFile(f, doc);
   if (!f.json || f.saved_stdout < 0) return;
   std::string text = doc.Dump(2);
   text += '\n';

@@ -290,17 +290,17 @@ int Run(int argc, char** argv) {
   MetricsRegistry* metrics = GlobalMetrics();
   json::Value jmvcc = json::Value::Object();
   jmvcc.Set("snapshots_taken",
-            json::Value::Int(metrics->Value("mvcc.snapshots_taken")));
+            json::Value::Int(metrics->Value("rdbms.mvcc.snapshots_taken")));
   jmvcc.Set("versions_created",
-            json::Value::Int(metrics->Value("mvcc.versions_created")));
+            json::Value::Int(metrics->Value("rdbms.mvcc.versions_created")));
   jmvcc.Set("ghosts_created",
-            json::Value::Int(metrics->Value("mvcc.ghosts_created")));
+            json::Value::Int(metrics->Value("rdbms.mvcc.ghosts_created")));
   jmvcc.Set("versions_trimmed",
-            json::Value::Int(metrics->Value("mvcc.versions_trimmed")));
+            json::Value::Int(metrics->Value("rdbms.mvcc.versions_trimmed")));
   jmvcc.Set("engine_lock_waits",
-            json::Value::Int(metrics->Value("txn.lock_waits")));
+            json::Value::Int(metrics->Value("rdbms.txn.lock_waits")));
   jmvcc.Set("deadlock_aborts",
-            json::Value::Int(metrics->Value("txn.deadlock_aborts")));
+            json::Value::Int(metrics->Value("rdbms.txn.deadlock_aborts")));
   doc.Set("mvcc", std::move(jmvcc));
   std::printf("\nspan %s, throughput %.2f Qph@SF (S=%d, %s locks)\n",
               FormatDuration(span_us).c_str(), qph, num_query_streams,
@@ -310,10 +310,10 @@ int Run(int argc, char** argv) {
       "ghosts=%lld gc_trimmed=%lld\n",
       static_cast<long long>(reader_lock_waits),
       FormatDuration(reader_lock_wait_us).c_str(),
-      static_cast<long long>(metrics->Value("mvcc.snapshots_taken")),
-      static_cast<long long>(metrics->Value("mvcc.versions_created")),
-      static_cast<long long>(metrics->Value("mvcc.ghosts_created")),
-      static_cast<long long>(metrics->Value("mvcc.versions_trimmed")));
+      static_cast<long long>(metrics->Value("rdbms.mvcc.snapshots_taken")),
+      static_cast<long long>(metrics->Value("rdbms.mvcc.versions_created")),
+      static_cast<long long>(metrics->Value("rdbms.mvcc.ghosts_created")),
+      static_cast<long long>(metrics->Value("rdbms.mvcc.versions_trimmed")));
 
   if (tracer != nullptr) MaybeWriteTrace(flags, *tracer, &doc);
   EmitJson(flags, doc);

@@ -21,6 +21,13 @@ namespace {
 
 int Run(int argc, char** argv) {
   Flags flags = ParseFlags(argc, argv);
+  // --st05 attaches an SQL trace to the blind installation's connection and
+  // prints/emits the ranked statement report. Recording never charges the
+  // clock, so the measured cells are unchanged.
+  bool st05 = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--st05") == 0) st05 = true;
+  }
   PrintHeader("Table 6: one-table query, index on KWMENG available", flags);
 
   tpcd::DbGen gen(flags.sf, flags.seed);
@@ -49,6 +56,11 @@ int Run(int argc, char** argv) {
   std::unique_ptr<Tracer> tracer;
   if (!flags.trace_json.empty()) {
     tracer = std::make_unique<Tracer>(sap->app.clock());
+  }
+  std::unique_ptr<appsys::SqlTrace> sql_trace;
+  if (st05) {
+    sql_trace = std::make_unique<appsys::SqlTrace>();
+    sap->app.connection()->set_sql_trace(sql_trace.get());
   }
 
   struct Cell {
@@ -205,6 +217,15 @@ int Run(int argc, char** argv) {
   doc.Set("open_v2_high_selectivity", v2_json(v_hi));
   doc.Set("open_v2_low_selectivity", v2_json(v_lo));
   doc.Set("v2_cursor_cache_hits", json::Value::Int(v2_cursor_hits));
+  if (sql_trace != nullptr) {
+    // Re-run the blind low-selectivity statement once, after the measured
+    // cells: the trace now holds an identical-select repeat of the top
+    // db-time consumer, exactly what an ST05 on the paper's installation
+    // showed.
+    open_case(9999);
+    std::printf("\n%s", sql_trace->RenderReport().c_str());
+    doc.Set("st05", sql_trace->ToJson());
+  }
   if (tracer != nullptr) MaybeWriteTrace(flags, *tracer, &doc);
   EmitJson(flags, doc);
   return 0;

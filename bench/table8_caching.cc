@@ -22,6 +22,13 @@ struct CacheRun {
 
 int Run(int argc, char** argv) {
   Flags flags = ParseFlags(argc, argv);
+  // --st03 brackets each configuration's Figure-5 work as one dialog step in
+  // a workload monitor and prints/emits the wait/load/db/processing
+  // decomposition. Monitoring never charges the clock.
+  bool st03 = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--st03") == 0) st03 = true;
+  }
   PrintHeader("Table 8: effectiveness of caching (Figure 5 report)", flags);
 
   tpcd::DbGen gen(flags.sf, flags.seed);
@@ -43,6 +50,7 @@ int Run(int argc, char** argv) {
   size_t cache_bytes[] = {0, small_cache, large_cache};
 
   json::Value doc = BenchDoc("table8_caching", flags);
+  json::Value st03_steps = json::Value::Array();
   for (int i = 0; i < 3; ++i) {
     auto sap = BuildSapSystem(&gen, appsys::Release::kRelease22,
                               /*convert_konv=*/false,
@@ -54,6 +62,12 @@ int Run(int argc, char** argv) {
     std::unique_ptr<Tracer> tracer;
     if (!flags.trace_json.empty() && i == 2) {
       tracer = std::make_unique<Tracer>(sap->app.clock());
+    }
+    std::unique_ptr<appsys::WorkloadMonitor> st03_monitor;
+    if (st03) {
+      st03_monitor = std::make_unique<appsys::WorkloadMonitor>(sap->app.clock());
+      sap->app.connection()->set_workload_monitor(st03_monitor.get());
+      st03_monitor->BeginStep(runs[i].label);
     }
 
     // Figure 5: SELECT * FROM VBAP. -> SELECT SINGLE * FROM MARA WHERE
@@ -76,6 +90,11 @@ int Run(int argc, char** argv) {
     (void)vbap_us;
     runs[i].sim_us = mara_timer.ElapsedUs();
     runs[i].hit_ratio = sap->app.buffer()->stats().HitRatio();
+    if (st03_monitor != nullptr) {
+      st03_monitor->EndStep();
+      std::printf("\n%s", st03_monitor->RenderReport().c_str());
+      st03_steps.Append(st03_monitor->ToJson().Get("steps").items()[0]);
+    }
     if (tracer != nullptr) MaybeWriteTrace(flags, *tracer, &doc);
   }
 
@@ -103,6 +122,11 @@ int Run(int argc, char** argv) {
     configs.Append(std::move(v));
   }
   doc.Set("configs", std::move(configs));
+  if (st03) {
+    json::Value st03_doc = json::Value::Object();
+    st03_doc.Set("steps", std::move(st03_steps));
+    doc.Set("st03", std::move(st03_doc));
+  }
   EmitJson(flags, doc);
   return 0;
 }

@@ -4,6 +4,21 @@
 
 namespace r3 {
 namespace appsys {
+namespace {
+
+// Bind fingerprint for the SQL trace's identical-select detection: the
+// parameter renderings '\x1f'-joined (a character that cannot appear in a
+// rendered value).
+std::string JoinBinds(const std::vector<rdbms::Value>& params) {
+  std::string out;
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) out += '\x1f';
+    out += params[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace
 
 void DbConnection::ChargeShipment(const rdbms::QueryResult& result) {
   stats_.rows_shipped += static_cast<int64_t>(result.rows.size());
@@ -14,18 +29,39 @@ void DbConnection::ChargeShipment(const rdbms::QueryResult& result) {
 Result<rdbms::QueryResult> DbConnection::ExecuteSql(
     const std::string& sql, const std::vector<rdbms::Value>& params) {
   TraceSpan span(clock_, "interface", "db_call.exec_sql");
+  int64_t start_us = clock_->NowMicros();
+  int64_t phys_before =
+      sql_trace_ != nullptr ? m_bp_physical_reads_->Value() : 0;
   ++stats_.round_trips;
   m_round_trips_->Add(1);
   clock_->ChargeRoundTrip();
   R3_ASSIGN_OR_RETURN(rdbms::QueryResult result, db_->Query(sql, params));
   ChargeShipment(result);
   span.ArgInt("rows_shipped", static_cast<int64_t>(result.rows.size()));
+  int64_t dur_us = clock_->NowMicros() - start_us;
+  if (workload_monitor_ != nullptr) {
+    workload_monitor_->AddDbRequestTime(dur_us);
+  }
+  if (sql_trace_ != nullptr) {
+    SqlTraceEvent e;
+    e.interface_kind = SqlInterface::kNativeSql;
+    e.sql = sql;
+    e.binds = JoinBinds(params);
+    e.sim_start_us = start_us;
+    e.db_us = dur_us;
+    e.rows = static_cast<int64_t>(result.rows.size());
+    e.physical_reads = m_bp_physical_reads_->Value() - phys_before;
+    sql_trace_->RecordEvent(std::move(e));
+  }
   return result;
 }
 
 Result<rdbms::QueryResult> DbConnection::ExecuteCursor(
     const std::string& sql, const std::vector<rdbms::Value>& params) {
   TraceSpan span(clock_, "interface", "db_call.cursor");
+  int64_t start_us = clock_->NowMicros();
+  int64_t phys_before =
+      sql_trace_ != nullptr ? m_bp_physical_reads_->Value() : 0;
   ++stats_.round_trips;
   m_round_trips_->Add(1);
   clock_->ChargeRoundTrip();
@@ -37,10 +73,13 @@ Result<rdbms::QueryResult> DbConnection::ExecuteCursor(
   // re-execution within a known bucket is a hit.
   std::string cursor_key =
       peek.peeked ? sql + '\x1f' + static_cast<char>('0' + peek.bucket) : sql;
+  bool cursor_hit;
   if (seen_statements_.insert(cursor_key).second) {
+    cursor_hit = false;
     ++stats_.cursor_cache_misses;
     m_cursor_misses_->Add(1);
   } else {
+    cursor_hit = true;
     ++stats_.cursor_cache_hits;
     m_cursor_hits_->Add(1);
   }
@@ -50,9 +89,11 @@ Result<rdbms::QueryResult> DbConnection::ExecuteCursor(
   result.schema = stmt->output_schema();
   result.column_names = stmt->column_names();
   rdbms::RowBatch batch(db_->batch_rows());
+  int64_t fetches = 0;
   while (true) {
     R3_ASSIGN_OR_RETURN(bool ok, cur.FetchBatch(&batch));
     if (!ok) break;
+    ++fetches;
     // The ship charge is per tuple crossing the interface; batching the
     // fetch amortizes the call, not the per-tuple cost.
     stats_.rows_shipped += static_cast<int64_t>(batch.size());
@@ -64,6 +105,25 @@ Result<rdbms::QueryResult> DbConnection::ExecuteCursor(
   }
   R3_RETURN_IF_ERROR(cur.Close());
   span.ArgInt("rows_shipped", static_cast<int64_t>(result.rows.size()));
+  int64_t dur_us = clock_->NowMicros() - start_us;
+  if (workload_monitor_ != nullptr) {
+    workload_monitor_->AddDbRequestTime(dur_us);
+  }
+  if (sql_trace_ != nullptr) {
+    SqlTraceEvent e;
+    e.interface_kind = SqlInterface::kOpenSql;
+    e.sql = sql;
+    e.binds = JoinBinds(params);
+    e.sim_start_us = start_us;
+    e.db_us = dur_us;
+    e.rows = static_cast<int64_t>(result.rows.size());
+    e.fetches = fetches;
+    e.cursor = cursor_hit ? 1 : 0;
+    e.peeked = peek.peeked;
+    e.bucket = peek.peeked ? peek.bucket : -1;
+    e.physical_reads = m_bp_physical_reads_->Value() - phys_before;
+    sql_trace_->RecordEvent(std::move(e));
+  }
   return result;
 }
 
@@ -71,10 +131,32 @@ Status DbConnection::ExecuteDml(const std::string& sql,
                                 const std::vector<rdbms::Value>& params,
                                 int64_t* affected_rows) {
   TraceSpan span(clock_, "interface", "db_call.dml");
+  int64_t start_us = clock_->NowMicros();
+  int64_t phys_before =
+      sql_trace_ != nullptr ? m_bp_physical_reads_->Value() : 0;
   ++stats_.round_trips;
   m_round_trips_->Add(1);
   clock_->ChargeRoundTrip();
-  return db_->Execute(sql, params, nullptr, affected_rows);
+  int64_t affected = 0;
+  Status st = db_->Execute(sql, params, nullptr, &affected);
+  if (affected_rows != nullptr) *affected_rows = affected;
+  if (!st.ok()) return st;
+  int64_t dur_us = clock_->NowMicros() - start_us;
+  if (workload_monitor_ != nullptr) {
+    workload_monitor_->AddDbRequestTime(dur_us);
+  }
+  if (sql_trace_ != nullptr) {
+    SqlTraceEvent e;
+    e.interface_kind = SqlInterface::kDml;
+    e.sql = sql;
+    e.binds = JoinBinds(params);
+    e.sim_start_us = start_us;
+    e.db_us = dur_us;
+    e.rows = affected;
+    e.physical_reads = m_bp_physical_reads_->Value() - phys_before;
+    sql_trace_->RecordEvent(std::move(e));
+  }
+  return st;
 }
 
 }  // namespace appsys

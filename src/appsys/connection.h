@@ -5,6 +5,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "appsys/sql_trace.h"
+#include "appsys/workload_monitor.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "rdbms/db.h"
@@ -32,6 +34,8 @@ class DbConnection {
         metrics->GetCounter("appsys.connection.cursor_cache_hits");
     m_cursor_misses_ =
         metrics->GetCounter("appsys.connection.cursor_cache_misses");
+    m_bp_physical_reads_ =
+        metrics->GetCounter("rdbms.bufferpool.physical_reads");
   }
 
   /// Native SQL path: statement text with literals, no cursor caching
@@ -60,6 +64,19 @@ class DbConnection {
 
   rdbms::Database* db() { return db_; }
 
+  /// Attaches an ST05-style trace: every successful call through this
+  /// connection is recorded. Null (the default) detaches — the only cost
+  /// left is one pointer test per call.
+  void set_sql_trace(SqlTrace* trace) { sql_trace_ = trace; }
+  SqlTrace* sql_trace() { return sql_trace_; }
+
+  /// Attaches an ST03-style workload monitor: each call's simulated time is
+  /// booked as database-request time of the monitor's open dialog step.
+  void set_workload_monitor(WorkloadMonitor* monitor) {
+    workload_monitor_ = monitor;
+  }
+  WorkloadMonitor* workload_monitor() { return workload_monitor_; }
+
  private:
   void ChargeShipment(const rdbms::QueryResult& result);
 
@@ -73,6 +90,11 @@ class DbConnection {
   Counter* m_rows_shipped_;
   Counter* m_cursor_hits_;
   Counter* m_cursor_misses_;
+  /// The buffer pool's miss counter in the same registry — read before and
+  /// after a traced call to attribute physical reads per statement.
+  Counter* m_bp_physical_reads_;
+  SqlTrace* sql_trace_ = nullptr;
+  WorkloadMonitor* workload_monitor_ = nullptr;
 };
 
 }  // namespace appsys

@@ -116,11 +116,11 @@ std::string PerfMonitor::RenderReport() const {
   out += str::Format(
       "Lock conflict lock_waits=%lld  deadlock_aborts=%lld  "
       "snapshots=%lld  version_reads=%lld  invisible_skips=%lld\n",
-      static_cast<long long>(Total("txn.lock_waits")),
-      static_cast<long long>(Total("txn.deadlock_aborts")),
-      static_cast<long long>(Total("mvcc.snapshots_taken")),
-      static_cast<long long>(Total("mvcc.alt_version_reads")),
-      static_cast<long long>(Total("mvcc.invisible_rows_skipped")));
+      static_cast<long long>(Total("rdbms.txn.lock_waits")),
+      static_cast<long long>(Total("rdbms.txn.deadlock_aborts")),
+      static_cast<long long>(Total("rdbms.mvcc.snapshots_taken")),
+      static_cast<long long>(Total("rdbms.mvcc.alt_version_reads")),
+      static_cast<long long>(Total("rdbms.mvcc.invisible_rows_skipped")));
   // Columnar engine line: only rendered when a columnar table exists, so
   // row-engine reports stay byte-identical to the pre-engine monitor.
   int64_t col_segments = Total("columnar.segments_read");
@@ -184,21 +184,44 @@ json::Value PerfMonitor::ToJson() const {
   // Explicit lock-contention section: always present (zeros included) so
   // dashboards and CI assertions need not special-case quiet runs.
   json::Value contention = json::Value::Object();
-  contention.Set("lock_waits", json::Value::Int(Total("txn.lock_waits")));
+  contention.Set("lock_waits", json::Value::Int(Total("rdbms.txn.lock_waits")));
   contention.Set("deadlock_aborts",
-                 json::Value::Int(Total("txn.deadlock_aborts")));
+                 json::Value::Int(Total("rdbms.txn.deadlock_aborts")));
   contention.Set("mvcc_snapshots",
-                 json::Value::Int(Total("mvcc.snapshots_taken")));
+                 json::Value::Int(Total("rdbms.mvcc.snapshots_taken")));
   contention.Set("mvcc_version_reads",
-                 json::Value::Int(Total("mvcc.alt_version_reads")));
+                 json::Value::Int(Total("rdbms.mvcc.alt_version_reads")));
   contention.Set("mvcc_invisible_skips",
-                 json::Value::Int(Total("mvcc.invisible_rows_skipped")));
+                 json::Value::Int(Total("rdbms.mvcc.invisible_rows_skipped")));
   contention.Set("mvcc_gc_trimmed",
-                 json::Value::Int(Total("mvcc.versions_trimmed")));
+                 json::Value::Int(Total("rdbms.mvcc.versions_trimmed")));
+
+  // Registered histograms with data, with their percentile summary. Values
+  // are absolute (histograms are not delta-based like `totals`). Empty
+  // histograms are skipped, and so are wall-time-valued ones (`*_wall_us`):
+  // their values depend on OS scheduling, and every bench JSON document
+  // must stay byte-deterministic across runs.
+  json::Value histograms = json::Value::Object();
+  for (const MetricSample& s : metrics_->Snapshot()) {
+    if (s.kind != MetricSample::Kind::kHistogram || s.value == 0) continue;
+    if (s.name.size() >= 8 &&
+        s.name.compare(s.name.size() - 8, 8, "_wall_us") == 0) {
+      continue;
+    }
+    json::Value h = json::Value::Object();
+    h.Set("count", json::Value::Int(s.value));
+    h.Set("sum", json::Value::Int(s.sum));
+    h.Set("p50", json::Value::Int(s.p50));
+    h.Set("p95", json::Value::Int(s.p95));
+    h.Set("p99", json::Value::Int(s.p99));
+    h.Set("max", json::Value::Int(s.max));
+    histograms.Set(s.name, std::move(h));
+  }
 
   json::Value out = json::Value::Object();
   out.Set("totals", std::move(totals));
   out.Set("lock_contention", std::move(contention));
+  out.Set("histograms", std::move(histograms));
   // Columnar compression gauges (counters already flow through `totals`);
   // emitted only when a columnar engine published them, keeping row-engine
   // documents unchanged.

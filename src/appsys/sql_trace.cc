@@ -1,0 +1,149 @@
+#include "appsys/sql_trace.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/sim_clock.h"
+#include "common/str_util.h"
+
+namespace r3 {
+namespace appsys {
+
+const char* SqlInterfaceName(SqlInterface i) {
+  switch (i) {
+    case SqlInterface::kOpenSql:
+      return "open_sql";
+    case SqlInterface::kNativeSql:
+      return "native_sql";
+    case SqlInterface::kDml:
+      return "dml";
+  }
+  return "?";
+}
+
+SqlTrace::SqlTrace(size_t max_events) : max_events_(max_events) {}
+
+void SqlTrace::RecordEvent(SqlTraceEvent e) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(e));
+}
+
+std::vector<SqlStatementStats> SqlTrace::TopStatements(size_t limit) const {
+  // Aggregate by statement text (std::map: deterministic iteration).
+  std::map<std::string, SqlStatementStats> by_sql;
+  std::map<std::string, std::map<std::string, int64_t>> binds_seen;
+  for (const SqlTraceEvent& e : events_) {
+    SqlStatementStats& s = by_sql[e.sql];
+    if (s.executions == 0) {
+      s.sql = e.sql;
+      s.interface_kind = e.interface_kind;
+      s.min_exec_us = e.db_us;
+      s.max_exec_us = e.db_us;
+    }
+    s.executions += 1;
+    s.total_db_us += e.db_us;
+    s.min_exec_us = std::min(s.min_exec_us, e.db_us);
+    s.max_exec_us = std::max(s.max_exec_us, e.db_us);
+    s.rows += e.rows;
+    s.fetches += e.fetches;
+    if (e.cursor == 1) s.cursor_hits += 1;
+    if (e.cursor == 0) s.cursor_misses += 1;
+    s.physical_reads += e.physical_reads;
+    if (e.peeked) s.peeked_any = true;
+    binds_seen[e.sql][e.binds] += 1;
+  }
+  std::vector<SqlStatementStats> out;
+  out.reserve(by_sql.size());
+  for (auto& [sql, s] : by_sql) {
+    for (const auto& [binds, count] : binds_seen[sql]) {
+      if (count > 1) s.identical_repeats += count - 1;
+    }
+    bool cursor_cached = s.cursor_hits + s.cursor_misses > 0;
+    s.blind_cursor_suspect =
+        cursor_cached && !s.peeked_any && s.executions >= 2 &&
+        s.max_exec_us >= 10 * std::max<int64_t>(s.min_exec_us, 1);
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SqlStatementStats& a, const SqlStatementStats& b) {
+              if (a.total_db_us != b.total_db_us) {
+                return a.total_db_us > b.total_db_us;
+              }
+              return a.sql < b.sql;
+            });
+  if (limit != 0 && out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::string SqlTrace::RenderReport(size_t limit) const {
+  int64_t total_db_us = 0;
+  for (const SqlTraceEvent& e : events_) total_db_us += e.db_us;
+  std::string out;
+  out += "SQL trace (ST05-style)\n";
+  out += "======================\n";
+  out += str::Format("events=%zu  dropped=%zu  total_db=%s\n", events_.size(),
+                     dropped_, FormatDuration(total_db_us).c_str());
+  std::vector<SqlStatementStats> top = TopStatements(limit);
+  if (top.empty()) return out;
+  out += str::Format("Top %zu statements by db time:\n", top.size());
+  out += str::Format("  %12s %6s %8s %8s %9s %8s %8s  %s\n", "db_us", "execs",
+                     "rows", "fetches", "cur(h/m)", "phys.rd", "repeats",
+                     "sql");
+  for (const SqlStatementStats& s : top) {
+    std::string flags;
+    if (s.identical_repeats > 0) flags += " [identical-selects]";
+    if (s.blind_cursor_suspect) flags += " [blind-cursor]";
+    out += str::Format(
+        "  %12lld %6lld %8lld %8lld %4lld/%-4lld %8lld %8lld  %s%s\n",
+        static_cast<long long>(s.total_db_us),
+        static_cast<long long>(s.executions), static_cast<long long>(s.rows),
+        static_cast<long long>(s.fetches),
+        static_cast<long long>(s.cursor_hits),
+        static_cast<long long>(s.cursor_misses),
+        static_cast<long long>(s.physical_reads),
+        static_cast<long long>(s.identical_repeats), s.sql.c_str(),
+        flags.c_str());
+  }
+  return out;
+}
+
+json::Value SqlTrace::ToJson(size_t limit) const {
+  int64_t total_db_us = 0;
+  for (const SqlTraceEvent& e : events_) total_db_us += e.db_us;
+  json::Value statements = json::Value::Array();
+  for (const SqlStatementStats& s : TopStatements(limit)) {
+    json::Value o = json::Value::Object();
+    o.Set("sql", json::Value::Str(s.sql));
+    o.Set("interface", json::Value::Str(SqlInterfaceName(s.interface_kind)));
+    o.Set("executions", json::Value::Int(s.executions));
+    o.Set("db_us", json::Value::Int(s.total_db_us));
+    o.Set("min_exec_us", json::Value::Int(s.min_exec_us));
+    o.Set("max_exec_us", json::Value::Int(s.max_exec_us));
+    o.Set("rows", json::Value::Int(s.rows));
+    o.Set("fetches", json::Value::Int(s.fetches));
+    o.Set("cursor_hits", json::Value::Int(s.cursor_hits));
+    o.Set("cursor_misses", json::Value::Int(s.cursor_misses));
+    o.Set("physical_reads", json::Value::Int(s.physical_reads));
+    o.Set("identical_repeats", json::Value::Int(s.identical_repeats));
+    o.Set("blind_cursor_suspect", json::Value::Bool(s.blind_cursor_suspect));
+    statements.Append(std::move(o));
+  }
+  json::Value out = json::Value::Object();
+  out.Set("events", json::Value::Int(static_cast<int64_t>(events_.size())));
+  out.Set("dropped", json::Value::Int(static_cast<int64_t>(dropped_)));
+  out.Set("total_db_us", json::Value::Int(total_db_us));
+  out.Set("statements", std::move(statements));
+  return out;
+}
+
+void SqlTrace::Clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace appsys
+}  // namespace r3

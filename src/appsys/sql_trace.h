@@ -1,0 +1,102 @@
+#ifndef R3DB_APPSYS_SQL_TRACE_H_
+#define R3DB_APPSYS_SQL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace r3 {
+namespace appsys {
+
+/// Which database interface a traced statement went through — the first
+/// thing the paper's authors read off an SQL trace, since Open SQL (cursor
+/// cached, bind variables) and Native SQL (literals, re-parsed) have very
+/// different cost profiles.
+enum class SqlInterface : uint8_t { kOpenSql, kNativeSql, kDml };
+
+const char* SqlInterfaceName(SqlInterface i);
+
+/// One statement execution as seen at the DbConnection choke point.
+struct SqlTraceEvent {
+  SqlInterface interface_kind = SqlInterface::kOpenSql;
+  std::string sql;
+  /// Bound parameter values, '\x1f'-joined renderings; empty when none.
+  /// Lets the aggregation spot *identical selects* — the same statement
+  /// re-executed with the same values, the classic R/3 redundancy an ST05
+  /// trace exposes.
+  std::string binds;
+  int64_t sim_start_us = 0;
+  int64_t db_us = 0;    ///< whole-call simulated time (parse+exec+ship)
+  int64_t rows = 0;     ///< rows shipped back across the interface
+  int64_t fetches = 0;  ///< FETCH round trips (cursor interface only)
+  /// Cursor-cache outcome: -1 not applicable (native/DML), 0 miss, 1 hit.
+  int cursor = -1;
+  bool peeked = false;  ///< plan chosen by bind peeking
+  int bucket = -1;      ///< peek selectivity bucket (when peeked)
+  int64_t physical_reads = 0;  ///< buffer-pool misses charged to this call
+};
+
+/// Aggregated view of one statement text.
+struct SqlStatementStats {
+  std::string sql;
+  SqlInterface interface_kind = SqlInterface::kOpenSql;
+  int64_t executions = 0;
+  int64_t total_db_us = 0;
+  int64_t min_exec_us = 0;
+  int64_t max_exec_us = 0;
+  int64_t rows = 0;
+  int64_t fetches = 0;
+  int64_t cursor_hits = 0;
+  int64_t cursor_misses = 0;
+  int64_t physical_reads = 0;
+  /// Executions beyond the first with an already-seen bind set — the
+  /// statement's "identical select" repeat count.
+  int64_t identical_repeats = 0;
+  bool peeked_any = false;
+  /// Heuristic: a cursor-cached statement whose plan was *not* peeked and
+  /// whose executions differ >= 10x in cost — the blind-cursor plan
+  /// mismatch of Table 6 (one plan serving selectivities it is wrong for).
+  bool blind_cursor_suspect = false;
+};
+
+/// ST05-style SQL trace: records every successful statement execution made
+/// through a DbConnection and aggregates them into a ranked "top statements"
+/// report. Attach with DbConnection::set_sql_trace(); detached (the default)
+/// the connection pays one pointer test per call. Single-threaded, like the
+/// DbConnection it observes; recording never charges the simulated clock.
+class SqlTrace {
+ public:
+  explicit SqlTrace(size_t max_events = 1u << 20);
+
+  SqlTrace(const SqlTrace&) = delete;
+  SqlTrace& operator=(const SqlTrace&) = delete;
+
+  void RecordEvent(SqlTraceEvent e);
+
+  const std::vector<SqlTraceEvent>& events() const { return events_; }
+  size_t dropped_events() const { return dropped_; }
+
+  /// Statements aggregated by text, ranked by total db time (descending;
+  /// ties broken by text). `limit` 0 = all.
+  std::vector<SqlStatementStats> TopStatements(size_t limit = 0) const;
+
+  /// The trace list header + top-statements table, flags inline.
+  std::string RenderReport(size_t limit = 10) const;
+
+  /// {"total_db_us":..,"events":..,"statements":[{...}]}.
+  json::Value ToJson(size_t limit = 10) const;
+
+  void Clear();
+
+ private:
+  size_t max_events_;
+  std::vector<SqlTraceEvent> events_;
+  size_t dropped_ = 0;
+};
+
+}  // namespace appsys
+}  // namespace r3
+
+#endif  // R3DB_APPSYS_SQL_TRACE_H_

@@ -1,0 +1,104 @@
+#include "appsys/workload_monitor.h"
+
+#include "common/str_util.h"
+
+namespace r3 {
+namespace appsys {
+
+void WorkloadMonitor::BeginStep(const std::string& task_type) {
+  if (open_) EndStep();
+  open_ = true;
+  open_task_ = task_type;
+  open_start_us_ = clock_->NowMicros();
+  open_wait_us_ = 0;
+  open_load_us_ = 0;
+  open_db_us_ = 0;
+}
+
+void WorkloadMonitor::EndStep() {
+  if (!open_) return;
+  open_ = false;
+  int64_t total = clock_->NowMicros() - open_start_us_;
+  // The residual is processing time; clamp so a mis-booked component can
+  // never drive it negative (the sum identity still holds via the clamp of
+  // the booked parts against total).
+  int64_t booked = open_wait_us_ + open_load_us_ + open_db_us_;
+  int64_t processing = total - booked;
+  if (processing < 0) processing = 0;
+
+  auto it = index_.find(open_task_);
+  if (it == index_.end()) {
+    index_[open_task_] = steps_.size();
+    steps_.push_back(StepStats{open_task_, 0, 0, 0, 0, 0, 0});
+    it = index_.find(open_task_);
+  }
+  StepStats& s = steps_[it->second];
+  s.steps += 1;
+  s.total_us += total;
+  s.wait_us += open_wait_us_;
+  s.load_us += open_load_us_;
+  s.db_request_us += open_db_us_;
+  s.processing_us += processing;
+}
+
+void WorkloadMonitor::AddDbRequestTime(int64_t sim_us) {
+  if (open_) open_db_us_ += sim_us;
+}
+
+void WorkloadMonitor::AddWaitTime(int64_t sim_us) {
+  if (open_) open_wait_us_ += sim_us;
+}
+
+void WorkloadMonitor::AddLoadTime(int64_t sim_us) {
+  if (open_) open_load_us_ += sim_us;
+}
+
+std::string WorkloadMonitor::RenderReport() const {
+  std::string out;
+  out += "Workload monitor (ST03-style)\n";
+  out += "=============================\n";
+  out += str::Format("  %-20s %6s %14s %12s %12s %12s %12s %7s\n",
+                     "task type", "steps", "total", "wait_us", "load_us",
+                     "db_req_us", "proc_us", "db%");
+  for (const StepStats& s : steps_) {
+    double db_share =
+        s.total_us == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(s.db_request_us) / s.total_us;
+    out += str::Format(
+        "  %-20s %6lld %14s %12lld %12lld %12lld %12lld %6.1f%%\n",
+        s.task_type.c_str(), static_cast<long long>(s.steps),
+        FormatDuration(s.total_us).c_str(), static_cast<long long>(s.wait_us),
+        static_cast<long long>(s.load_us),
+        static_cast<long long>(s.db_request_us),
+        static_cast<long long>(s.processing_us), db_share);
+  }
+  return out;
+}
+
+json::Value WorkloadMonitor::ToJson() const {
+  json::Value steps = json::Value::Array();
+  for (const StepStats& s : steps_) {
+    json::Value o = json::Value::Object();
+    o.Set("task_type", json::Value::Str(s.task_type));
+    o.Set("steps", json::Value::Int(s.steps));
+    o.Set("total_us", json::Value::Int(s.total_us));
+    o.Set("wait_us", json::Value::Int(s.wait_us));
+    o.Set("load_us", json::Value::Int(s.load_us));
+    o.Set("db_request_us", json::Value::Int(s.db_request_us));
+    o.Set("processing_us", json::Value::Int(s.processing_us));
+    steps.Append(std::move(o));
+  }
+  json::Value out = json::Value::Object();
+  out.Set("steps", std::move(steps));
+  return out;
+}
+
+void WorkloadMonitor::Reset() {
+  open_ = false;
+  steps_.clear();
+  index_.clear();
+}
+
+}  // namespace appsys
+}  // namespace r3

@@ -17,6 +17,28 @@ void Histogram::Observe(int64_t value) {
                bounds_.begin();
   counts_[idx].fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::Percentile(double q) const {
+  int64_t total = TotalCount();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(total) + 0.5);
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  int64_t cum = 0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    cum += counts_[i].load(std::memory_order_relaxed);
+    // The bucket's upper bound, clamped to the exact maximum: a sparse
+    // histogram must never report a percentile above its largest value.
+    if (cum >= rank) return std::min(bounds_[i], MaxValue());
+  }
+  return MaxValue();  // rank lands in the overflow bucket
 }
 
 int64_t Histogram::TotalCount() const {
@@ -32,6 +54,7 @@ void Histogram::Reset() {
     counts_[i].store(0, std::memory_order_relaxed);
   }
   sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<int64_t> Histogram::DefaultDurationBoundsUs() {
@@ -104,6 +127,10 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
     } else if (e.histogram) {
       s.value = e.histogram->TotalCount();
       s.sum = e.histogram->Sum();
+      s.p50 = e.histogram->Percentile(0.50);
+      s.p95 = e.histogram->Percentile(0.95);
+      s.p99 = e.histogram->Percentile(0.99);
+      s.max = e.histogram->MaxValue();
       const auto& bounds = e.histogram->bounds();
       for (size_t i = 0; i <= bounds.size(); ++i) {
         int64_t count = e.histogram->BucketCount(i);
@@ -130,9 +157,15 @@ std::string MetricsRegistry::RenderText() const {
         out += buf;
         break;
       case MetricSample::Kind::kHistogram:
-        std::snprintf(buf, sizeof(buf), " count=%lld sum=%lld",
+        std::snprintf(buf, sizeof(buf),
+                      " count=%lld sum=%lld p50=%lld p95=%lld p99=%lld "
+                      "max=%lld",
                       static_cast<long long>(s.value),
-                      static_cast<long long>(s.sum));
+                      static_cast<long long>(s.sum),
+                      static_cast<long long>(s.p50),
+                      static_cast<long long>(s.p95),
+                      static_cast<long long>(s.p99),
+                      static_cast<long long>(s.max));
         out += s.name;
         out += buf;
         for (const auto& b : s.buckets) {
@@ -166,6 +199,28 @@ void MetricsRegistry::ResetAll() {
 MetricsRegistry* GlobalMetrics() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return registry;
+}
+
+bool IsValidMetricName(const std::string& name) {
+  size_t dot = name.find('.');
+  if (dot == std::string::npos) return false;
+  const std::string family = name.substr(0, dot);
+  if (family != "rdbms" && family != "appsys" && family != "columnar") {
+    return false;
+  }
+  bool segment_nonempty = false;
+  for (size_t i = dot + 1; i < name.size(); ++i) {
+    char c = name[i];
+    if (c == '.') {
+      if (!segment_nonempty) return false;  // empty segment ("a..b")
+      segment_nonempty = false;
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+      segment_nonempty = true;
+    } else {
+      return false;
+    }
+  }
+  return segment_nonempty;  // also rejects a trailing '.' and "family."
 }
 
 }  // namespace r3

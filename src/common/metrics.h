@@ -78,6 +78,13 @@ class Histogram {
 
   int64_t TotalCount() const;
   int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Largest value ever observed (0 when empty). Tracked exactly, so the
+  /// overflow bucket still reports a meaningful upper end.
+  int64_t MaxValue() const { return max_.load(std::memory_order_relaxed); }
+  /// Quantile estimate for q in [0,1]: the upper bound of the bucket where
+  /// the cumulative count crosses q * TotalCount(); the overflow bucket
+  /// reports MaxValue(). 0 when the histogram is empty.
+  int64_t Percentile(double q) const;
   /// Count in bucket `i` (the overflow bucket is index bounds().size()).
   int64_t BucketCount(size_t i) const {
     return counts_[i].load(std::memory_order_relaxed);
@@ -93,6 +100,7 @@ class Histogram {
   std::vector<int64_t> bounds_;
   std::unique_ptr<std::atomic<int64_t>[]> counts_;
   std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
 };
 
 /// Point-in-time view of one metric, for rendering and tests.
@@ -102,6 +110,12 @@ struct MetricSample {
   Kind kind = Kind::kCounter;
   int64_t value = 0;  ///< counter/gauge value; histogram total count
   int64_t sum = 0;    ///< histogram only
+  // Histogram percentiles (bucket upper bounds; max is exact). All 0 when
+  // the histogram is empty.
+  int64_t p50 = 0;
+  int64_t p95 = 0;
+  int64_t p99 = 0;
+  int64_t max = 0;
   std::vector<std::pair<int64_t, int64_t>> buckets;  ///< (upper bound, count)
 };
 
@@ -152,6 +166,13 @@ class MetricsRegistry {
 /// Fallback process-wide registry, used by components constructed without
 /// an explicit one.
 MetricsRegistry* GlobalMetrics();
+
+/// The production naming convention (DESIGN.md §12): `family.segment[...]`
+/// with family one of {rdbms, appsys, columnar} and every segment made of
+/// lowercase letters, digits, and underscores. Ad-hoc names in tests are
+/// free to ignore this; every metric registered by src/ must conform
+/// (asserted in tests/observability_test.cc).
+bool IsValidMetricName(const std::string& name);
 
 }  // namespace r3
 

@@ -1,0 +1,100 @@
+#include "common/wait_event.h"
+
+#include "common/str_util.h"
+
+namespace r3 {
+
+const char* WaitClassName(WaitClass c) {
+  switch (c) {
+    case WaitClass::kBufferPoolIo:
+      return "buffer_pool_io";
+    case WaitClass::kLockWait:
+      return "lock_wait";
+    case WaitClass::kWalFlush:
+      return "wal_flush";
+    case WaitClass::kDeadlockAbort:
+      return "deadlock_abort";
+  }
+  return "?";
+}
+
+WaitEventLog::WaitEventLog(SimClock* clock, size_t max_events)
+    : clock_(clock), max_events_(max_events) {
+  clock_->set_wait_log(this);
+}
+
+WaitEventLog::~WaitEventLog() {
+  if (clock_->wait_log() == this) clock_->set_wait_log(nullptr);
+}
+
+void WaitEventLog::Record(WaitClass c, int64_t sim_start_us, int64_t sim_dur_us,
+                          std::string detail) {
+  if (SimClock::active_lane() != nullptr) return;  // worker lane: dropped
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_[static_cast<size_t>(c)] += 1;
+  sim_us_[static_cast<size_t>(c)] += sim_dur_us;
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(WaitEvent{c, sim_start_us, sim_dur_us, std::move(detail)});
+}
+
+std::vector<WaitEvent> WaitEventLog::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<WaitEvent> WaitEventLog::EventsOf(WaitClass c) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WaitEvent> out;
+  for (const WaitEvent& e : events_) {
+    if (e.wait_class == c) out.push_back(e);
+  }
+  return out;
+}
+
+int64_t WaitEventLog::CountOf(WaitClass c) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_[static_cast<size_t>(c)];
+}
+
+int64_t WaitEventLog::SimUsOf(WaitClass c) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sim_us_[static_cast<size_t>(c)];
+}
+
+size_t WaitEventLog::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+size_t WaitEventLog::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void WaitEventLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+  for (size_t i = 0; i < kNumWaitClasses; ++i) {
+    counts_[i] = 0;
+    sim_us_[i] = 0;
+  }
+}
+
+std::string WaitEventLog::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (size_t i = 0; i < kNumWaitClasses; ++i) {
+    if (counts_[i] == 0) continue;
+    out += str::Format("%-16s count=%lld sim_us=%lld\n",
+                       WaitClassName(static_cast<WaitClass>(i)),
+                       static_cast<long long>(counts_[i]),
+                       static_cast<long long>(sim_us_[i]));
+  }
+  return out;
+}
+
+}  // namespace r3

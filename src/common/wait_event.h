@@ -1,0 +1,91 @@
+#ifndef R3DB_COMMON_WAIT_EVENT_H_
+#define R3DB_COMMON_WAIT_EVENT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace r3 {
+
+/// Typed taxonomy of the stalls a statement can suffer inside the RDBMS.
+/// The paper's tuning method depends on attributing response time to a
+/// cause (I/O vs. lock contention vs. log force); this is the class axis
+/// every instrumented wait reports against, both as `rdbms.wait.*` metrics
+/// and as events in an attached WaitEventLog.
+enum class WaitClass : uint8_t {
+  kBufferPoolIo = 0,  ///< physical page transfer (miss in the buffer pool)
+  kLockWait,          ///< blocked on a row/table lock held by another txn
+  kWalFlush,          ///< WAL group flush forced by a commit (log force)
+  kDeadlockAbort,     ///< chosen as deadlock victim (the wait that dies)
+};
+
+constexpr size_t kNumWaitClasses = 4;
+
+/// Stable lowercase name ("buffer_pool_io", "lock_wait", "wal_flush",
+/// "deadlock_abort") — also the metric suffix under `rdbms.wait.`.
+const char* WaitClassName(WaitClass c);
+
+struct WaitEvent {
+  WaitClass wait_class = WaitClass::kBufferPoolIo;
+  /// Simulated time the stall began. Lock waits and deadlock aborts report
+  /// 0: their real duration is wall time (OS scheduling), which would break
+  /// determinism, so only their *count* is attributed on the sim timeline.
+  int64_t sim_start_us = 0;
+  int64_t sim_dur_us = 0;
+  std::string detail;  ///< resource: "page_read.rand", lock key, ...
+};
+
+/// Per-event wait recorder, attached to the shared SimClock exactly like the
+/// Tracer: constructing one lights up every instrumented component at once
+/// (buffer pool, WAL, lock manager), detaching on destruction. Unattached —
+/// the default — each site pays one pointer test and nothing else.
+///
+/// Unlike the Tracer this log is thread-safe (a mutex per Record): lock
+/// waits arrive on whatever session thread blocked, not just the
+/// coordinator. Events recorded while a SimClock worker lane is active are
+/// still dropped, for the same reason the Tracer drops them — worker-side
+/// arrival order is OS scheduling, and the merged critical path already
+/// carries their time.
+class WaitEventLog {
+ public:
+  explicit WaitEventLog(SimClock* clock, size_t max_events = 1u << 20);
+  ~WaitEventLog();
+
+  WaitEventLog(const WaitEventLog&) = delete;
+  WaitEventLog& operator=(const WaitEventLog&) = delete;
+
+  void Record(WaitClass c, int64_t sim_start_us, int64_t sim_dur_us,
+              std::string detail);
+
+  /// Copies of the recorded events, in arrival order.
+  std::vector<WaitEvent> Events() const;
+  /// Events of one class only.
+  std::vector<WaitEvent> EventsOf(WaitClass c) const;
+
+  int64_t CountOf(WaitClass c) const;
+  int64_t SimUsOf(WaitClass c) const;
+
+  size_t event_count() const;
+  size_t dropped_events() const;
+  void Clear();
+
+  /// One line per class with count and attributed simulated time; classes
+  /// with no events are omitted. Deterministic for serial workloads.
+  std::string RenderText() const;
+
+ private:
+  SimClock* clock_;
+  size_t max_events_;
+  mutable std::mutex mu_;
+  std::vector<WaitEvent> events_;
+  int64_t counts_[kNumWaitClasses] = {0, 0, 0, 0};
+  int64_t sim_us_[kNumWaitClasses] = {0, 0, 0, 0};
+  size_t dropped_ = 0;
+};
+
+}  // namespace r3
+
+#endif  // R3DB_COMMON_WAIT_EVENT_H_

@@ -6,6 +6,7 @@
 
 #include "common/str_util.h"
 #include "common/trace.h"
+#include "common/wait_event.h"
 
 namespace r3 {
 namespace rdbms {
@@ -59,6 +60,8 @@ BufferPool::BufferPool(Disk* disk, SimClock* clock, size_t capacity_bytes,
       metrics->GetCounter("rdbms.bufferpool.sequential_reads");
   m_random_reads_ = metrics->GetCounter("rdbms.bufferpool.random_reads");
   m_page_writes_ = metrics->GetCounter("rdbms.bufferpool.page_writes");
+  m_wait_io_ = metrics->GetCounter("rdbms.wait.buffer_pool_io");
+  h_wait_io_us_ = metrics->GetHistogram("rdbms.wait.buffer_pool_io_us");
   size_t n = capacity_bytes / kPageSize;
   if (n < 8) n = 8;
   frames_.resize(n);
@@ -87,11 +90,18 @@ bool BufferPool::ChargeRead(PageId id) {
   int64_t cost_us = sequential ? clock_->model().seq_page_read_us
                                : clock_->model().random_page_read_us;
   clock_->Charge(cost_us);
+  m_wait_io_->Add(1);
+  h_wait_io_us_->Observe(cost_us);
   if (Tracer* t = clock_->tracer()) {
     // Lane-active calls are dropped inside Complete(); the coordinator's
     // Gather span already carries the workers' merged critical path.
     t->Complete("io", sequential ? "page_read.seq" : "page_read.rand",
                 clock_->NowMicros() - cost_us, cost_us);
+  }
+  if (WaitEventLog* wl = clock_->wait_log()) {
+    // Lane-active calls are dropped inside Record() for the same reason.
+    wl->Record(WaitClass::kBufferPoolIo, clock_->NowMicros() - cost_us,
+               cost_us, sequential ? "page_read.seq" : "page_read.rand");
   }
   return sequential;
 }

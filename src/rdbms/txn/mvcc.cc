@@ -12,15 +12,15 @@ std::vector<int64_t> ChainLenBounds() { return {1, 2, 4, 8, 16, 32, 64}; }
 
 MvccManager::MvccManager(MetricsRegistry* metrics) {
   MetricsRegistry* m = metrics != nullptr ? metrics : GlobalMetrics();
-  m_versions_created_ = m->GetCounter("mvcc.versions_created");
-  m_ghosts_created_ = m->GetCounter("mvcc.ghosts_created");
-  m_gc_runs_ = m->GetCounter("mvcc.gc_runs");
-  m_gc_trimmed_ = m->GetCounter("mvcc.versions_trimmed");
-  m_gc_entries_erased_ = m->GetCounter("mvcc.entries_erased");
-  m_snapshots_ = m->GetCounter("mvcc.snapshots_taken");
-  m_alt_reads_ = m->GetCounter("mvcc.alt_version_reads");
-  m_invisible_rows_ = m->GetCounter("mvcc.invisible_rows_skipped");
-  h_chain_len_ = m->GetHistogram("mvcc.chain_length", ChainLenBounds());
+  m_versions_created_ = m->GetCounter("rdbms.mvcc.versions_created");
+  m_ghosts_created_ = m->GetCounter("rdbms.mvcc.ghosts_created");
+  m_gc_runs_ = m->GetCounter("rdbms.mvcc.gc_runs");
+  m_gc_trimmed_ = m->GetCounter("rdbms.mvcc.versions_trimmed");
+  m_gc_entries_erased_ = m->GetCounter("rdbms.mvcc.entries_erased");
+  m_snapshots_ = m->GetCounter("rdbms.mvcc.snapshots_taken");
+  m_alt_reads_ = m->GetCounter("rdbms.mvcc.alt_version_reads");
+  m_invisible_rows_ = m->GetCounter("rdbms.mvcc.invisible_rows_skipped");
+  h_chain_len_ = m->GetHistogram("rdbms.mvcc.chain_length", ChainLenBounds());
 }
 
 void MvccManager::Reset() {

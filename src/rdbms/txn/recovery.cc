@@ -139,9 +139,9 @@ Result<RecoveryStats> RunRecovery(Catalog* catalog, BufferPool* pool, Wal* wal,
   span.ArgInt("scanned", stats.scanned_records);
   span.ArgInt("redone", stats.redone_records);
   span.ArgInt("tables_rebuilt", stats.tables_rebuilt);
-  metrics->GetCounter("recovery.runs")->Add(1);
-  metrics->GetCounter("recovery.redo_records")->Add(stats.redone_records);
-  metrics->GetCounter("recovery.tables_rebuilt")->Add(stats.tables_rebuilt);
+  metrics->GetCounter("rdbms.recovery.runs")->Add(1);
+  metrics->GetCounter("rdbms.recovery.redo_records")->Add(stats.redone_records);
+  metrics->GetCounter("rdbms.recovery.tables_rebuilt")->Add(stats.tables_rebuilt);
   return stats;
 }
 

@@ -14,12 +14,12 @@ TxnManager::TxnManager(BufferPool* pool, SimClock* clock,
     : pool_(pool),
       clock_(clock),
       metrics_(metrics == nullptr ? GlobalMetrics() : metrics),
-      locks_(metrics_),
+      locks_(metrics_, clock),
       mvcc_(metrics_) {
-  m_begins_ = metrics_->GetCounter("txn.begins");
-  m_commits_ = metrics_->GetCounter("txn.commits");
-  m_rollbacks_ = metrics_->GetCounter("txn.rollbacks");
-  m_checkpoints_ = metrics_->GetCounter("txn.checkpoints");
+  m_begins_ = metrics_->GetCounter("rdbms.txn.begins");
+  m_commits_ = metrics_->GetCounter("rdbms.txn.commits");
+  m_rollbacks_ = metrics_->GetCounter("rdbms.txn.rollbacks");
+  m_checkpoints_ = metrics_->GetCounter("rdbms.txn.checkpoints");
 }
 
 Status TxnManager::EnableWal() {

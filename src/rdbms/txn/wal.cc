@@ -1,6 +1,7 @@
 #include "rdbms/txn/wal.h"
 
 #include "common/trace.h"
+#include "common/wait_event.h"
 
 namespace r3 {
 namespace rdbms {
@@ -8,10 +9,12 @@ namespace txn {
 
 Wal::Wal(SimClock* clock, MetricsRegistry* metrics) : clock_(clock) {
   if (metrics == nullptr) metrics = GlobalMetrics();
-  m_appends_ = metrics->GetCounter("wal.appends");
-  m_flushes_ = metrics->GetCounter("wal.flushes");
-  m_flushed_bytes_ = metrics->GetCounter("wal.flushed_bytes");
-  m_flush_pages_ = metrics->GetCounter("wal.flush_pages");
+  m_appends_ = metrics->GetCounter("rdbms.wal.appends");
+  m_flushes_ = metrics->GetCounter("rdbms.wal.flushes");
+  m_flushed_bytes_ = metrics->GetCounter("rdbms.wal.flushed_bytes");
+  m_flush_pages_ = metrics->GetCounter("rdbms.wal.flush_pages");
+  m_wait_flush_ = metrics->GetCounter("rdbms.wait.wal_flush");
+  h_wait_flush_us_ = metrics->GetHistogram("rdbms.wait.wal_flush_us");
 }
 
 uint64_t Wal::Append(LogRecord rec) {
@@ -38,8 +41,14 @@ Status Wal::Flush() {
   if (pages < 1) pages = 1;
   int64_t cost_us = pages * clock_->model().page_write_us;
   clock_->Charge(cost_us);
+  m_wait_flush_->Add(1);
+  h_wait_flush_us_->Observe(cost_us);
   if (Tracer* tracer = clock_->tracer()) {
     tracer->Complete("wal", "flush", clock_->NowMicros() - cost_us, cost_us);
+  }
+  if (WaitEventLog* wl = clock_->wait_log()) {
+    wl->Record(WaitClass::kWalFlush, clock_->NowMicros() - cost_us, cost_us,
+               "group_flush");
   }
   m_flushes_->Add(1);
   m_flushed_bytes_->Add(static_cast<int64_t>(pending_bytes_));

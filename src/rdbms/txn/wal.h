@@ -97,6 +97,9 @@ class Wal {
   Counter* m_flushes_;
   Counter* m_flushed_bytes_;
   Counter* m_flush_pages_;
+  // Wait-event mirrors of the log-force stall (DESIGN.md §12).
+  Counter* m_wait_flush_;
+  Histogram* h_wait_flush_us_;
   std::vector<LogRecord> log_;
   uint64_t next_lsn_ = 1;
   uint64_t flushed_lsn_ = 0;

@@ -76,7 +76,7 @@ uint64_t RunTwoTxnDeadlock() {
   std::thread t2(cross, 2, a);
   t1.join();
   t2.join();
-  EXPECT_EQ(metrics.Value("txn.deadlock_aborts"), 1);
+  EXPECT_EQ(metrics.Value("rdbms.txn.deadlock_aborts"), 1);
   return victim.load();
 }
 
@@ -119,7 +119,7 @@ TEST(DeadlockTest, ThreeTxnCycleAbortsYoungest) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(aborted.load(), 1);
   EXPECT_EQ(victim.load(), 3u);
-  EXPECT_EQ(metrics.Value("txn.deadlock_aborts"), 1);
+  EXPECT_EQ(metrics.Value("rdbms.txn.deadlock_aborts"), 1);
 }
 
 TEST(DeadlockTest, LockWaitMetricsAreRecorded) {
@@ -134,8 +134,8 @@ TEST(DeadlockTest, LockWaitMetricsAreRecorded) {
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   lm.ReleaseAll(1);
   waiter.join();
-  EXPECT_EQ(metrics.Value("txn.lock_waits"), 1);
-  EXPECT_EQ(metrics.Value("txn.deadlock_aborts"), 0);
+  EXPECT_EQ(metrics.Value("rdbms.txn.lock_waits"), 1);
+  EXPECT_EQ(metrics.Value("rdbms.txn.deadlock_aborts"), 0);
 }
 
 // -- Snapshot visibility ------------------------------------------------------
@@ -281,8 +281,8 @@ TEST(MvccGcTest, CommitGcTrimsOnceNoSnapshotNeedsTheVersion) {
   old_snap.reset();  // horizon advances
   EXPECT_GT(m.GarbageCollect(), 0u);
   EXPECT_EQ(m.live_entries(), 0u);
-  EXPECT_GT(metrics.Value("mvcc.versions_trimmed"), 0);
-  EXPECT_GT(metrics.Value("mvcc.entries_erased"), 0);
+  EXPECT_GT(metrics.Value("rdbms.mvcc.versions_trimmed"), 0);
+  EXPECT_GT(metrics.Value("rdbms.mvcc.entries_erased"), 0);
 }
 
 TEST(MvccGcTest, GhostsDieWhenDeletionIsUniversallyVisible) {

@@ -19,9 +19,13 @@
 
 #include "appsys/app_server.h"
 #include "appsys/perf_monitor.h"
+#include "appsys/sql_trace.h"
+#include "appsys/workload_monitor.h"
 #include "common/json.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "common/wait_event.h"
+#include "rdbms/txn/lock_manager.h"
 #include "tpcd/loader.h"
 #include "tpcd/queries.h"
 #include "tpcd/schema.h"
@@ -94,6 +98,90 @@ TEST(MetricsTest, HistogramBucketsAndSum) {
   h->Reset();
   EXPECT_EQ(h->TotalCount(), 0);
   EXPECT_EQ(h->Sum(), 0);
+}
+
+TEST(MetricsTest, HistogramPercentilesAndMax) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("rdbms.test.latency_us", {10, 100, 1000});
+  // Empty histogram: every summary statistic is 0.
+  EXPECT_EQ(h->Percentile(0.50), 0);
+  EXPECT_EQ(h->MaxValue(), 0);
+
+  // 1..20: ten land in the <=10 bucket, ten in the <=100 bucket.
+  for (int i = 1; i <= 20; ++i) h->Observe(i);
+  EXPECT_EQ(h->Percentile(0.50), 10);  // rank 10 = last of bucket 0
+  // Rank 19 lands in the <=100 bucket, but the bound is clamped to the
+  // exact maximum — a percentile never exceeds the largest observation.
+  EXPECT_EQ(h->Percentile(0.95), 20);
+  EXPECT_EQ(h->MaxValue(), 20);  // exact, not a bucket bound
+
+  // An overflow observation: percentiles that land past the last bound
+  // report the exact maximum instead of a made-up bucket edge.
+  h->Observe(5000);
+  EXPECT_EQ(h->Percentile(1.0), 5000);
+  EXPECT_EQ(h->MaxValue(), 5000);
+
+  // The snapshot carries the same summary, and RenderText prints it.
+  // With 21 observations the median rank (11) now lands in the second
+  // bucket, and the p99 rank (21) in the overflow.
+  std::vector<MetricSample> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].p50, 100);
+  EXPECT_EQ(snap[0].p95, 100);
+  EXPECT_EQ(snap[0].p99, 5000);
+  EXPECT_EQ(snap[0].max, 5000);
+  EXPECT_NE(registry.RenderText().find("p95="), std::string::npos);
+
+  h->Reset();
+  EXPECT_EQ(h->MaxValue(), 0);
+  EXPECT_EQ(h->Percentile(0.99), 0);
+}
+
+TEST(MetricsTest, MetricNameConventionIsEnforceable) {
+  // The three metric families, dot-separated lowercase segments.
+  EXPECT_TRUE(IsValidMetricName("rdbms.bufferpool.physical_reads"));
+  EXPECT_TRUE(IsValidMetricName("appsys.connection.round_trips"));
+  EXPECT_TRUE(IsValidMetricName("columnar.segments_read"));
+  EXPECT_TRUE(IsValidMetricName("rdbms.wait.buffer_pool_io_us"));
+
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("rdbms"));          // family alone
+  EXPECT_FALSE(IsValidMetricName("rdbms."));         // empty segment
+  EXPECT_FALSE(IsValidMetricName("rdbms..x"));       // empty segment
+  EXPECT_FALSE(IsValidMetricName("rdbms.foo."));     // trailing dot
+  EXPECT_FALSE(IsValidMetricName("txn.lock_waits"));  // unknown family
+  EXPECT_FALSE(IsValidMetricName("rdbms.Upper"));    // case
+  EXPECT_FALSE(IsValidMetricName("rdbms.foo-bar"));  // bad character
+}
+
+TEST(MetricsTest, EveryRegisteredMetricNameFollowsTheConvention) {
+  // Exercise enough of the system that every subsystem registers its
+  // metrics — app server, Open SQL, buffer pool, WAL, txn/MVCC, locks —
+  // then assert the registry holds no name outside the documented
+  // rdbms.* / appsys.* / columnar.* convention (DESIGN.md §12).
+  MetricsRegistry registry;
+  rdbms::DatabaseOptions db_opts;
+  db_opts.metrics = &registry;
+  appsys::R3System sys(appsys::AppServerOptions{}, db_opts);
+  ASSERT_OK(sys.app.Bootstrap());
+  rdbms::Schema mara({rdbms::ColChar("MANDT", 3), rdbms::ColChar("MATNR", 16),
+                      rdbms::ColDecimal("BRGEW")});
+  ASSERT_OK(sys.app.dictionary()->DefineTransparent("MARA", mara,
+                                                    {"MANDT", "MATNR"}));
+  ASSERT_OK(sys.app.open_sql()->Insert(
+      "MARA", {Value::Str("301"), Value::Str("M1"), Value::Decimal(1.0)}));
+  appsys::OpenSqlQuery q;
+  q.table = "MARA";
+  ASSERT_TRUE(sys.app.open_sql()->Select(q).ok());
+  ASSERT_OK(sys.db.EnableWal());
+  ASSERT_OK(sys.db.Begin());
+  ASSERT_OK(sys.db.Commit());
+
+  std::vector<MetricSample> snap = registry.Snapshot();
+  EXPECT_GT(snap.size(), 20u);
+  for (const MetricSample& s : snap) {
+    EXPECT_TRUE(IsValidMetricName(s.name)) << "bad metric name: " << s.name;
+  }
 }
 
 TEST(MetricsTest, RegistrySnapshotAndRenderAreDeterministic) {
@@ -240,11 +328,11 @@ TEST(TraceTest, TxnWalAndRecoverySpansAppear) {
   EXPECT_TRUE(events.count({"recovery", "redo"}));
   // The subsystem's counters land in the Database's registry, not the
   // global one.
-  EXPECT_GT(registry.Value("wal.flushes"), 0);
-  EXPECT_GT(registry.Value("wal.appends"), 0);
-  EXPECT_EQ(registry.Value("txn.begins"), 1);
-  EXPECT_EQ(registry.Value("txn.commits"), 1);
-  EXPECT_EQ(registry.Value("recovery.runs"), 1);
+  EXPECT_GT(registry.Value("rdbms.wal.flushes"), 0);
+  EXPECT_GT(registry.Value("rdbms.wal.appends"), 0);
+  EXPECT_EQ(registry.Value("rdbms.txn.begins"), 1);
+  EXPECT_EQ(registry.Value("rdbms.txn.commits"), 1);
+  EXPECT_EQ(registry.Value("rdbms.recovery.runs"), 1);
 }
 
 TEST(TraceTest, TracingChargesNoSimulatedTime) {
@@ -419,6 +507,317 @@ TEST(PerfMonitorTest, OperationsDoNotNest) {
   EXPECT_EQ(monitor.operations()[0].name, "outer");
   EXPECT_EQ(monitor.operations()[0].sim_us, 10);
   EXPECT_EQ(monitor.operations()[1].sim_us, 5);
+}
+
+TEST(PerfMonitorTest, ToJsonReportsHistogramPercentiles) {
+  MetricsRegistry registry;
+  rdbms::DatabaseOptions opts;
+  opts.metrics = &registry;
+  rdbms::Database db(nullptr, opts);
+  ASSERT_OK(db.Execute("CREATE TABLE t (a INT)"));
+  for (int i = 0; i < 200; ++i) ASSERT_OK(db.InsertRow("t", {Value::Int(i)}));
+  ASSERT_OK(db.pool()->Reset());  // cold pool: the scan pays physical I/O
+
+  appsys::PerfMonitor monitor(db.clock(), &registry);
+  ASSERT_TRUE(db.Query("SELECT COUNT(*) FROM t").ok());
+
+  json::Value j = monitor.ToJson();
+  ASSERT_TRUE(j.Has("histograms"));
+  const json::Value& hists = j.Get("histograms");
+  ASSERT_TRUE(hists.Has("rdbms.wait.buffer_pool_io_us"));
+  const json::Value& io = hists.Get("rdbms.wait.buffer_pool_io_us");
+  EXPECT_GT(io.Get("count").int_value(), 0);
+  EXPECT_GT(io.Get("p50").int_value(), 0);
+  EXPECT_GE(io.Get("max").int_value(), io.Get("p50").int_value());
+  // Wall-time histograms are excluded: their values depend on OS
+  // scheduling and would break bench-document determinism.
+  for (const auto& [name, v] : hists.members()) {
+    (void)v;
+    EXPECT_EQ(name.find("_wall_us"), std::string::npos) << name;
+  }
+}
+
+// -- Wait events --------------------------------------------------------------
+
+TEST(WaitEventTest, BufferPoolMissRecordsOneIoEvent) {
+  MetricsRegistry registry;
+  rdbms::DatabaseOptions opts;
+  opts.metrics = &registry;
+  rdbms::Database db(nullptr, opts);
+  ASSERT_OK(db.Execute("CREATE TABLE t (a INT)"));
+  for (int i = 0; i < 50; ++i) ASSERT_OK(db.InsertRow("t", {Value::Int(i)}));
+  ASSERT_TRUE(db.Query("SELECT COUNT(*) FROM t").ok());  // warm the pool
+  ASSERT_OK(db.pool()->Reset());  // one data page to re-read, cold
+
+  int64_t phys_before = registry.Value("rdbms.bufferpool.physical_reads");
+  WaitEventLog log(db.clock());
+  ASSERT_TRUE(db.Query("SELECT COUNT(*) FROM t").ok());
+  int64_t misses = registry.Value("rdbms.bufferpool.physical_reads") -
+                   phys_before;
+
+  // Exactly one physical transfer, exactly one correctly-classed event.
+  EXPECT_EQ(misses, 1);
+  EXPECT_EQ(log.CountOf(WaitClass::kBufferPoolIo), misses);
+  std::vector<WaitEvent> events = log.EventsOf(WaitClass::kBufferPoolIo);
+  ASSERT_EQ(events.size(), static_cast<size_t>(misses));
+  EXPECT_GT(events[0].sim_dur_us, 0);
+  EXPECT_EQ(events[0].detail.rfind("page_read.", 0), 0u) << events[0].detail;
+  EXPECT_EQ(log.SimUsOf(WaitClass::kBufferPoolIo), events[0].sim_dur_us);
+  // No other class fired, and the always-on metric mirror agrees.
+  EXPECT_EQ(log.CountOf(WaitClass::kLockWait), 0);
+  EXPECT_EQ(log.CountOf(WaitClass::kWalFlush), 0);
+  EXPECT_EQ(log.CountOf(WaitClass::kDeadlockAbort), 0);
+  EXPECT_EQ(registry.Value("rdbms.wait.buffer_pool_io"),
+            phys_before + misses);
+  EXPECT_NE(log.RenderText().find("buffer_pool_io"), std::string::npos);
+}
+
+TEST(WaitEventTest, CommitGroupFlushRecordsOneWalFlushEvent) {
+  MetricsRegistry registry;
+  rdbms::DatabaseOptions opts;
+  opts.metrics = &registry;
+  rdbms::Database db(nullptr, opts);
+  ASSERT_OK(db.Execute("CREATE TABLE t (a INT, b CHAR(8))"));
+  ASSERT_OK(db.EnableWal());  // its checkpoint flush is before the log
+
+  WaitEventLog log(db.clock());
+  ASSERT_OK(db.Begin());
+  ASSERT_OK(db.InsertRow("t", {Value::Int(1), Value::Str("one")}));
+  ASSERT_OK(db.Commit());
+
+  // The commit's log force: one group flush, one event, and the stall's
+  // simulated duration is the flush's page-write charge exactly.
+  EXPECT_EQ(log.CountOf(WaitClass::kWalFlush), 1);
+  std::vector<WaitEvent> events = log.EventsOf(WaitClass::kWalFlush);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].detail, "group_flush");
+  EXPECT_EQ(events[0].sim_dur_us, db.clock()->model().page_write_us);
+  EXPECT_EQ(log.SimUsOf(WaitClass::kWalFlush), events[0].sim_dur_us);
+  EXPECT_EQ(events[0].sim_start_us + events[0].sim_dur_us,
+            db.clock()->NowMicros());
+  EXPECT_EQ(log.CountOf(WaitClass::kBufferPoolIo), 0);
+  // The metric mirror counts EnableWal's baseline-checkpoint flush too;
+  // the log, attached after EnableWal, saw only the commit's.
+  EXPECT_EQ(registry.Value("rdbms.wait.wal_flush"), 2);
+}
+
+TEST(WaitEventTest, DeadlockVictimRecordsOneAbortEvent) {
+  using rdbms::txn::LockKey;
+  using rdbms::txn::LockManager;
+  using rdbms::txn::LockMode;
+  MetricsRegistry metrics;
+  SimClock clock;
+  LockManager lm(&metrics, &clock);
+  WaitEventLog log(&clock);
+
+  // The classic two-transaction cross acquisition (mvcc_test's pattern).
+  const LockKey a = LockKey::Row(1, 1);
+  const LockKey b = LockKey::Row(1, 2);
+  ASSERT_TRUE(lm.Acquire(1, a, LockMode::kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, b, LockMode::kX).ok());
+  auto cross = [&](uint64_t id, LockKey want) {
+    Status st = lm.Acquire(id, want, LockMode::kX);
+    if (!st.ok()) EXPECT_EQ(st.code(), StatusCode::kAborted);
+    lm.ReleaseAll(id);
+  };
+  std::thread t1(cross, 1, b);
+  std::thread t2(cross, 2, a);
+  t1.join();
+  t2.join();
+
+  // Exactly one victim, exactly one abort event; at least one of the two
+  // blocked acquisitions recorded a lock wait before the cycle closed.
+  EXPECT_EQ(log.CountOf(WaitClass::kDeadlockAbort), 1);
+  EXPECT_GE(log.CountOf(WaitClass::kLockWait), 1);
+  std::vector<WaitEvent> aborts = log.EventsOf(WaitClass::kDeadlockAbort);
+  ASSERT_EQ(aborts.size(), 1u);
+  EXPECT_EQ(aborts[0].detail, "txn2");  // deterministic youngest victim
+  // Lock waits carry no simulated duration (their real duration is wall
+  // time, which would break determinism): counts only.
+  EXPECT_EQ(log.SimUsOf(WaitClass::kLockWait), 0);
+  EXPECT_EQ(log.SimUsOf(WaitClass::kDeadlockAbort), 0);
+  EXPECT_EQ(metrics.Value("rdbms.wait.deadlock_abort"), 1);
+  EXPECT_EQ(metrics.Value("rdbms.wait.lock_wait"),
+            metrics.Value("rdbms.txn.lock_waits"));
+}
+
+TEST(WaitEventTest, RecordingChargesNoSimulatedTime) {
+  rdbms::Database db;
+  ASSERT_OK(db.Execute("CREATE TABLE t (a INT)"));
+  for (int i = 0; i < 500; ++i) ASSERT_OK(db.InsertRow("t", {Value::Int(i)}));
+  const std::string sql = "SELECT COUNT(*) FROM t WHERE a < 250";
+
+  ASSERT_OK(db.pool()->Reset());
+  SimTimer unlogged(*db.clock());
+  ASSERT_TRUE(db.Query(sql).ok());
+  int64_t unlogged_us = unlogged.ElapsedUs();
+
+  ASSERT_OK(db.pool()->Reset());
+  WaitEventLog log(db.clock());
+  SimTimer logged(*db.clock());
+  ASSERT_TRUE(db.Query(sql).ok());
+  EXPECT_EQ(logged.ElapsedUs(), unlogged_us);
+  EXPECT_GT(log.event_count(), 0u);
+}
+
+// -- ST05 SQL trace -----------------------------------------------------------
+
+TEST(SqlTraceTest, BlindCursorTopsTheReportAndIdenticalSelectsAreFlagged) {
+  MetricsRegistry registry;
+  rdbms::DatabaseOptions db_opts;
+  db_opts.metrics = &registry;
+  appsys::R3System sys(appsys::AppServerOptions{}, db_opts);
+  ASSERT_OK(sys.app.Bootstrap());
+  // A miniature VBAP: client + position key, quantity column with a
+  // secondary index — the Table 6 setup at toy scale.
+  rdbms::Schema vbap({rdbms::ColChar("MANDT", 3), rdbms::ColChar("POSNR", 6),
+                      rdbms::ColInt("KWMENG")});
+  ASSERT_OK(sys.app.dictionary()->DefineTransparent("VBAP", vbap,
+                                                    {"MANDT", "POSNR"}));
+  appsys::OpenSql* osql = sys.app.open_sql();
+  for (int i = 0; i < 1500; ++i) {
+    char posnr[8];
+    std::snprintf(posnr, sizeof(posnr), "%06d", i);
+    ASSERT_OK(osql->Insert("VBAP", {Value::Str(sys.app.client()),
+                                    Value::Str(posnr), Value::Int(i)}));
+  }
+  ASSERT_OK(sys.app.dictionary()->CreateSecondaryIndex("VBAP", "Q",
+                                                       {"MANDT", "KWMENG"}));
+  ASSERT_OK(sys.db.Analyze("VBAP"));
+
+  appsys::SqlTrace trace;
+  sys.app.connection()->set_sql_trace(&trace);
+  auto select_lt = [&](int64_t bound) {
+    appsys::OpenSqlQuery q;
+    q.table = "VBAP";
+    q.columns = {"KWMENG"};
+    q.where = {appsys::OsqlCond::Cmp("KWMENG", rdbms::CmpOp::kLt,
+                                     Value::Int(bound))};
+    auto res = osql->Select(q);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+  };
+  // Open SQL parameterizes the literal, so all four runs share one cursor:
+  // a cheap probe (0 rows, pays the hard parse), the expensive full range
+  // twice (an identical-select repeat), and the cheap probe again (now a
+  // cursor hit with trivial cost — the blind cursor's min/max spread).
+  select_lt(0);
+  select_lt(1000000);
+  select_lt(1000000);
+  select_lt(0);
+  // One Native SQL statement to rank against.
+  auto native = sys.app.native_sql()->ExecSql("SELECT COUNT(*) FROM VBAP");
+  ASSERT_TRUE(native.ok()) << native.status().ToString();
+  sys.app.connection()->set_sql_trace(nullptr);
+
+  ASSERT_EQ(trace.dropped_events(), 0u);
+  std::vector<appsys::SqlStatementStats> top = trace.TopStatements();
+  ASSERT_EQ(top.size(), 2u);  // the shared cursor aggregates to one entry
+  const appsys::SqlStatementStats& s = top[0];
+  // The blind cursor is the top db-time consumer, ahead of the native scan.
+  EXPECT_EQ(s.interface_kind, appsys::SqlInterface::kOpenSql);
+  EXPECT_GT(s.total_db_us, top[1].total_db_us);
+  EXPECT_EQ(s.executions, 4);
+  EXPECT_EQ(s.cursor_misses, 1);
+  EXPECT_EQ(s.cursor_hits, 3);
+  // Two bind groups, each executed twice: two identical-select repeats.
+  EXPECT_EQ(s.identical_repeats, 2);
+  EXPECT_EQ(s.rows, 2 * 1500);
+  // The blind-cursor heuristic: cursor-cached, never peeked, and a >=10x
+  // spread between its cheapest and costliest execution.
+  EXPECT_FALSE(s.peeked_any);
+  EXPECT_TRUE(s.blind_cursor_suspect);
+  EXPECT_GE(s.max_exec_us, 10 * s.min_exec_us);
+  EXPECT_FALSE(top[1].blind_cursor_suspect);
+  EXPECT_EQ(top[1].interface_kind, appsys::SqlInterface::kNativeSql);
+
+  std::string report = trace.RenderReport();
+  EXPECT_NE(report.find("[blind-cursor]"), std::string::npos);
+  EXPECT_NE(report.find("[identical-selects]"), std::string::npos);
+  json::Value j = trace.ToJson();
+  ASSERT_OK(json::Validate(j.Dump()));
+  EXPECT_EQ(j.Get("statements").items().size(), 2u);
+  EXPECT_TRUE(
+      j.Get("statements").items()[0].Get("blind_cursor_suspect").bool_value());
+
+  trace.Clear();
+  EXPECT_TRUE(trace.events().empty());
+  EXPECT_TRUE(trace.TopStatements().empty());
+}
+
+// -- ST03 workload monitor ----------------------------------------------------
+
+TEST(WorkloadMonitorTest, StepDecompositionSumsExactly) {
+  MetricsRegistry registry;
+  rdbms::DatabaseOptions db_opts;
+  db_opts.metrics = &registry;
+  appsys::R3System sys(appsys::AppServerOptions{}, db_opts);
+  ASSERT_OK(sys.app.Bootstrap());
+  rdbms::Schema mara({rdbms::ColChar("MANDT", 3), rdbms::ColChar("MATNR", 16),
+                      rdbms::ColDecimal("BRGEW")});
+  ASSERT_OK(sys.app.dictionary()->DefineTransparent("MARA", mara,
+                                                    {"MANDT", "MATNR"}));
+  ASSERT_OK(sys.app.open_sql()->Insert(
+      "MARA", {Value::Str("301"), Value::Str("M1"), Value::Decimal(1.0)}));
+
+  appsys::WorkloadMonitor monitor(sys.app.clock());
+  sys.app.connection()->set_workload_monitor(&monitor);
+
+  SimTimer step_timer(*sys.app.clock());
+  monitor.BeginStep("report");
+  sys.app.clock()->Charge(7);  // dispatcher queue, booked as wait
+  monitor.AddWaitTime(7);
+  sys.app.clock()->Charge(5);  // program load, booked as load
+  monitor.AddLoadTime(5);
+  appsys::OpenSqlQuery q;
+  q.table = "MARA";
+  ASSERT_TRUE(sys.app.open_sql()->Select(q).ok());  // db-request time
+  sys.app.clock()->Charge(100);  // ABAP processing: the unbooked residual
+  monitor.EndStep();
+  int64_t step_total = step_timer.ElapsedUs();
+
+  ASSERT_EQ(monitor.steps().size(), 1u);
+  const appsys::WorkloadMonitor::StepStats& s = monitor.steps()[0];
+  EXPECT_EQ(s.task_type, "report");
+  EXPECT_EQ(s.steps, 1);
+  // The ST03 identity: the decomposition sums *exactly* to the step's
+  // end-to-end simulated time, with every component where it belongs.
+  EXPECT_EQ(s.total_us, step_total);
+  EXPECT_EQ(s.wait_us + s.load_us + s.db_request_us + s.processing_us,
+            s.total_us);
+  EXPECT_EQ(s.wait_us, 7);
+  EXPECT_EQ(s.load_us, 5);
+  EXPECT_GT(s.db_request_us, 0);
+  EXPECT_GE(s.processing_us, 100);
+
+  // A second step of the same task type aggregates; a different type gets
+  // its own line, and steps never nest (Begin closes the open step).
+  {
+    appsys::WorkloadMonitor::Scope scope(&monitor, "report");
+    ASSERT_TRUE(sys.app.open_sql()->Select(q).ok());
+  }
+  monitor.BeginStep("dialog");
+  monitor.BeginStep("dialog");  // closes the first "dialog" step
+  monitor.EndStep();
+  monitor.EndStep();  // no-op: nothing open
+  ASSERT_EQ(monitor.steps().size(), 2u);
+  EXPECT_EQ(monitor.steps()[0].steps, 2);
+  EXPECT_EQ(monitor.steps()[1].task_type, "dialog");
+  EXPECT_EQ(monitor.steps()[1].steps, 2);
+
+  std::string report = monitor.RenderReport();
+  EXPECT_NE(report.find("report"), std::string::npos);
+  EXPECT_NE(report.find("dialog"), std::string::npos);
+  json::Value j = monitor.ToJson();
+  ASSERT_OK(json::Validate(j.Dump()));
+  ASSERT_EQ(j.Get("steps").items().size(), 2u);
+  const json::Value& js = j.Get("steps").items()[0];
+  EXPECT_EQ(js.Get("wait_us").int_value() + js.Get("load_us").int_value() +
+                js.Get("db_request_us").int_value() +
+                js.Get("processing_us").int_value(),
+            js.Get("total_us").int_value());
+
+  monitor.Reset();
+  EXPECT_TRUE(monitor.steps().empty());
 }
 
 // -- The headline guarantee ---------------------------------------------------

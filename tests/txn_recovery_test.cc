@@ -64,19 +64,19 @@ TEST(WalTest, GroupFlushChargesOnePageWritePerStartedPage) {
   EXPECT_EQ(wal.flushed_lsn(), 3u);
   EXPECT_GT(clock.NowMicros(), before_us);
   // Three small records share one log page: the group commit.
-  EXPECT_EQ(registry.Value("wal.flush_pages"), 1);
-  EXPECT_EQ(registry.Value("wal.flushes"), 1);
+  EXPECT_EQ(registry.Value("rdbms.wal.flush_pages"), 1);
+  EXPECT_EQ(registry.Value("rdbms.wal.flushes"), 1);
 
   // Nothing pending: not an I/O, not a flush boundary.
   ASSERT_OK(wal.Flush());
-  EXPECT_EQ(registry.Value("wal.flushes"), 1);
+  EXPECT_EQ(registry.Value("rdbms.wal.flushes"), 1);
   EXPECT_EQ(wal.flush_attempts(), 1);
 
   // A large batch pays one write per started 8 KiB page.
   rec.payload = std::string(20000, 'y');
   wal.Append(std::move(rec));
   ASSERT_OK(wal.Flush());
-  EXPECT_EQ(registry.Value("wal.flush_pages"), 1 + 3);
+  EXPECT_EQ(registry.Value("rdbms.wal.flush_pages"), 1 + 3);
 }
 
 TEST(WalTest, CrashInjectionLatchesAndDropUnflushedClears) {

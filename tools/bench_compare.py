@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Perf-trajectory comparison of bench result files.
+
+Diffs a bench run's --out JSON document against a committed baseline
+(BENCH_<name>.json at the repo root) and fails on regressions:
+
+  tools/bench_compare.py BENCH_table6_plan_choice.json run/table6.json
+
+Comparison rules, applied recursively over the document tree:
+  * wall-clock and environment keys (real_us, trace_file, trace_events) are
+    ignored: they vary run to run by construction;
+  * integer keys ending in `_us` (simulated durations) and all floats are
+    compared with a relative tolerance (--tol, default 5%);
+  * all other integers, strings (plans!), and bools must match exactly;
+  * a key missing from the run, or new in the run, is a failure — the
+    baseline must be regenerated deliberately, not drift silently.
+
+Exit status: 0 = within tolerance, 1 = regression/mismatch, 2 = usage or
+input error (unreadable file, schema_version mismatch).
+"""
+
+import argparse
+import json
+import sys
+
+# Keys whose values are wall time or environment specific, never compared.
+IGNORED_KEYS = {"real_us", "trace_file", "trace_events"}
+
+
+def is_tolerant_key(key):
+    """Simulated-duration keys get a relative tolerance, exact otherwise."""
+    return key.endswith("_us")
+
+
+def compare(baseline, run, tol, path="$", key=""):
+    """Returns a list of human-readable difference strings."""
+    diffs = []
+    if type(baseline) is not type(run) and not (
+        isinstance(baseline, (int, float)) and isinstance(run, (int, float))
+    ):
+        diffs.append(
+            f"{path}: type changed {type(baseline).__name__} -> "
+            f"{type(run).__name__}"
+        )
+        return diffs
+    if isinstance(baseline, dict):
+        for k in baseline:
+            if k in IGNORED_KEYS:
+                continue
+            if k not in run:
+                diffs.append(f"{path}.{k}: missing from run")
+                continue
+            diffs.extend(compare(baseline[k], run[k], tol, f"{path}.{k}", k))
+        for k in run:
+            if k not in baseline and k not in IGNORED_KEYS:
+                diffs.append(f"{path}.{k}: not in baseline (regenerate it?)")
+    elif isinstance(baseline, list):
+        if len(baseline) != len(run):
+            diffs.append(
+                f"{path}: length {len(baseline)} -> {len(run)}"
+            )
+            return diffs
+        for i, (b, r) in enumerate(zip(baseline, run)):
+            diffs.extend(compare(b, r, tol, f"{path}[{i}]", key))
+    elif isinstance(baseline, bool) or isinstance(run, bool):
+        # bool is an int subclass; compare exactly and before the number case.
+        if baseline != run:
+            diffs.append(f"{path}: {baseline} -> {run}")
+    elif isinstance(baseline, float) or isinstance(run, float) or (
+        isinstance(baseline, int) and is_tolerant_key(key)
+    ):
+        b, r = float(baseline), float(run)
+        bound = tol * max(abs(b), 1.0)
+        if abs(r - b) > bound:
+            rel = (r - b) / b * 100.0 if b != 0 else float("inf")
+            diffs.append(f"{path}: {baseline} -> {run} ({rel:+.1f}%, tol {tol:.0%})")
+    else:
+        if baseline != run:
+            diffs.append(f"{path}: {baseline!r} -> {run!r}")
+    return diffs
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare a bench result file against its baseline."
+    )
+    parser.add_argument("baseline", help="committed BENCH_<name>.json")
+    parser.add_argument("run", help="fresh --out result file")
+    parser.add_argument(
+        "--tol",
+        type=float,
+        default=0.05,
+        help="relative tolerance for *_us and float metrics (default 0.05)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    run = load(args.run)
+    for doc, name in ((baseline, args.baseline), (run, args.run)):
+        if not isinstance(doc, dict) or "schema_version" not in doc:
+            print(f"bench_compare: {name}: not a bench result file "
+                  "(no schema_version)", file=sys.stderr)
+            sys.exit(2)
+    if baseline["schema_version"] != run["schema_version"]:
+        print(
+            f"bench_compare: schema_version mismatch: "
+            f"{baseline['schema_version']} vs {run['schema_version']}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+    diffs = compare(baseline, run, args.tol)
+    bench = baseline.get("bench", "?")
+    if diffs:
+        print(f"REGRESSION: {bench}: {len(diffs)} difference(s) vs "
+              f"{args.baseline}:")
+        for d in diffs:
+            print(f"  {d}")
+        sys.exit(1)
+    print(f"OK: {bench}: within {args.tol:.0%} of {args.baseline}")
+
+
+if __name__ == "__main__":
+    main()

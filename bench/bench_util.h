@@ -24,6 +24,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "appsys/app_server.h"
 #include "common/json.h"
@@ -61,7 +62,70 @@ struct Flags {
   int saved_stdout = -1;    ///< original stdout fd while json reroutes it
 };
 
-inline Flags ParseFlags(int argc, char** argv) {
+/// A bench's extra flags, registered with the shared parser so every binary
+/// spells options identically (--flag for booleans, --flag=<v> otherwise),
+/// shows them in --help, and rejects unknown flags the same way:
+///
+///   bench::FlagSet extras;
+///   extras.Bool("st05", &st05);
+///   extras.Str("streams", &streams);
+///   bench::Flags flags = bench::ParseFlags(argc, argv, &extras);
+class FlagSet {
+ public:
+  void Bool(const char* name, bool* target) {
+    entries_.push_back({name, target, nullptr, nullptr});
+  }
+  void Int(const char* name, int64_t* target) {
+    entries_.push_back({name, nullptr, target, nullptr});
+  }
+  void Str(const char* name, std::string* target) {
+    entries_.push_back({name, nullptr, nullptr, target});
+  }
+
+  /// Consumes `arg` if it matches a registered flag.
+  bool TryParse(const char* arg) {
+    if (std::strncmp(arg, "--", 2) != 0) return false;
+    for (Entry& e : entries_) {
+      size_t n = e.name.size();
+      if (e.bool_target != nullptr) {
+        if (std::strcmp(arg + 2, e.name.c_str()) == 0) {
+          *e.bool_target = true;
+          return true;
+        }
+        continue;
+      }
+      if (std::strncmp(arg + 2, e.name.c_str(), n) != 0 || arg[2 + n] != '=')
+        continue;
+      const char* value = arg + 2 + n + 1;
+      if (e.int_target != nullptr) {
+        *e.int_target = std::strtoll(value, nullptr, 10);
+      } else {
+        *e.str_target = value;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  std::string Usage() const {
+    std::string out;
+    for (const Entry& e : entries_) {
+      out += " [--" + e.name + (e.bool_target != nullptr ? "]" : "=<v>]");
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    bool* bool_target;
+    int64_t* int_target;
+    std::string* str_target;
+  };
+  std::vector<Entry> entries_;
+};
+
+inline Flags ParseFlags(int argc, char** argv, FlagSet* extras = nullptr) {
   Flags f;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--sf=", 5) == 0) {
@@ -79,9 +143,14 @@ inline Flags ParseFlags(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--sf=<double>] [--seed=<n>] [--json] "
-          "[--trace-json=<path>] [--out=<path>] [--engine=row|columnar]\n",
-          argv[0]);
+          "[--trace-json=<path>] [--out=<path>] [--engine=row|columnar]%s\n",
+          argv[0], extras != nullptr ? extras->Usage().c_str() : "");
       std::exit(0);
+    } else if (extras != nullptr && extras->TryParse(argv[i])) {
+      // consumed by the bench's registered extras
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "warning: unknown flag %s (see --help)\n",
+                   argv[i]);
     }
   }
   if (f.json) {

@@ -95,28 +95,27 @@ struct Stream {
 };
 
 int Run(int argc, char** argv) {
-  Flags flags = ParseFlags(argc, argv);
-  int num_query_streams = 4;
+  int64_t num_query_streams = 4;
+  std::string lock_model = "mvcc";
+  FlagSet extras;
+  extras.Int("streams", &num_query_streams);
+  extras.Str("lock-model", &lock_model);
+  Flags flags = ParseFlags(argc, argv, &extras);
   bool mvcc_model = true;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--streams=", 10) == 0) {
-      num_query_streams = std::atoi(argv[i] + 10);
-    } else if (std::strncmp(argv[i], "--lock-model=", 13) == 0) {
-      const char* m = argv[i] + 13;
-      if (std::strcmp(m, "mvcc") == 0) {
-        mvcc_model = true;
-      } else if (std::strcmp(m, "table") == 0) {
-        mvcc_model = false;
-      } else {
-        std::fprintf(stderr, "unknown --lock-model=%s (mvcc|table)\n", m);
-        return 1;
-      }
-    }
+  if (lock_model == "mvcc") {
+    mvcc_model = true;
+  } else if (lock_model == "table") {
+    mvcc_model = false;
+  } else {
+    std::fprintf(stderr, "unknown --lock-model=%s (mvcc|table)\n",
+                 lock_model.c_str());
+    return 1;
   }
   if (num_query_streams < 1) num_query_streams = 1;
   PrintHeader("Table 11: TPC-D throughput test (beyond the paper)", flags);
-  std::printf("%d query streams + 1 update stream, lock model: %s\n",
-              num_query_streams, mvcc_model ? "mvcc" : "table");
+  std::printf("%lld query streams + 1 update stream, lock model: %s\n",
+              static_cast<long long>(num_query_streams),
+              mvcc_model ? "mvcc" : "table");
 
   tpcd::DbGen gen(flags.sf, flags.seed);
   auto db = BuildRdbmsSystem(&gen);
@@ -302,8 +301,9 @@ int Run(int argc, char** argv) {
   jmvcc.Set("deadlock_aborts",
             json::Value::Int(metrics->Value("rdbms.txn.deadlock_aborts")));
   doc.Set("mvcc", std::move(jmvcc));
-  std::printf("\nspan %s, throughput %.2f Qph@SF (S=%d, %s locks)\n",
-              FormatDuration(span_us).c_str(), qph, num_query_streams,
+  std::printf("\nspan %s, throughput %.2f Qph@SF (S=%lld, %s locks)\n",
+              FormatDuration(span_us).c_str(), qph,
+              static_cast<long long>(num_query_streams),
               mvcc_model ? "mvcc row" : "table");
   std::printf(
       "reader lock waits %lld (%s); engine: snapshots=%lld versions=%lld "

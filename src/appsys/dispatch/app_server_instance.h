@@ -1,0 +1,88 @@
+#ifndef R3DB_APPSYS_DISPATCH_APP_SERVER_INSTANCE_H_
+#define R3DB_APPSYS_DISPATCH_APP_SERVER_INSTANCE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "appsys/data_dictionary.h"
+#include "appsys/dispatch/dispatcher.h"
+#include "appsys/release.h"
+#include "appsys/table_buffer.h"
+#include "appsys/workload_monitor.h"
+#include "common/status.h"
+#include "rdbms/db.h"
+#include "rdbms/session_pool.h"
+
+namespace r3 {
+namespace appsys {
+namespace dispatch {
+
+struct InstanceOptions {
+  /// Instance name; SystemLandscape::Start treats it as a prefix and
+  /// appends the instance number ("as" -> "as01", "as02", ...).
+  std::string name = "as";
+  Release release = Release::kRelease30;
+  /// Per-instance table buffer (each app server caches independently —
+  /// the paper's weak "periodic sync" coherency is per server).
+  size_t table_buffer_bytes = 2u << 20;
+  std::vector<std::string> buffered_tables = {"MARA", "MAKT", "KNA1"};
+  int dialog_wps = 6;
+  int batch_wps = 2;
+  int update_wps = 2;
+  DispatcherOptions dispatcher;
+  bool st05 = false;  ///< per-WP SQL traces (merged landscape-wide)
+};
+
+/// One application-server instance of a landscape: its own dispatcher and
+/// work-process pool, its own table buffer and per-WP cursor caches and
+/// program buffer, sharing the one Database (and its DataDictionary) with
+/// every other instance — the paper's Figure 1 drawn with N boxes in
+/// layer 2.
+class AppServerInstance {
+ public:
+  AppServerInstance(rdbms::Database* db, DataDictionary* dict,
+                    rdbms::SessionPool* sessions, InstanceOptions options);
+
+  AppServerInstance(const AppServerInstance&) = delete;
+  AppServerInstance& operator=(const AppServerInstance&) = delete;
+
+  /// Creates the work processes (one session lease + connection each).
+  /// Fails when the session pool cannot cover the configured pool sizes.
+  Status Start();
+
+  /// The Open SQL interface of `wp` for one client (MANDT) — created on
+  /// first use; the interface object is what injects the client predicate,
+  /// so tenancy isolation holds per (work process, client) pair.
+  OpenSql* OpenSqlFor(WorkProcess* wp, const std::string& client);
+
+  /// Charges (and books as ST03 load time) the one-time program load of
+  /// `tcode` on this instance's program buffer.
+  void EnsureProgramLoaded(const std::string& tcode);
+
+  const std::string& name() const { return options_.name; }
+  const InstanceOptions& options() const { return options_; }
+  rdbms::Database* db() { return db_; }
+  SimClock* clock() { return db_->clock(); }
+  DataDictionary* dictionary() { return dict_; }
+  TableBuffer* buffer() { return buffer_.get(); }
+  WorkloadMonitor* monitor() { return monitor_.get(); }
+  Dispatcher* dispatcher() { return dispatcher_.get(); }
+
+ private:
+  rdbms::Database* db_;
+  DataDictionary* dict_;
+  rdbms::SessionPool* sessions_;
+  InstanceOptions options_;
+  std::unique_ptr<TableBuffer> buffer_;
+  std::unique_ptr<WorkloadMonitor> monitor_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+  std::set<std::string> loaded_programs_;
+};
+
+}  // namespace dispatch
+}  // namespace appsys
+}  // namespace r3
+
+#endif  // R3DB_APPSYS_DISPATCH_APP_SERVER_INSTANCE_H_

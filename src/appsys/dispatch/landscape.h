@@ -1,0 +1,156 @@
+#ifndef R3DB_APPSYS_DISPATCH_LANDSCAPE_H_
+#define R3DB_APPSYS_DISPATCH_LANDSCAPE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "appsys/dispatch/app_server_instance.h"
+#include "appsys/dispatch/request.h"
+#include "appsys/sql_trace.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "rdbms/db.h"
+#include "rdbms/session_pool.h"
+
+namespace r3 {
+namespace appsys {
+namespace dispatch {
+
+/// What one executed script reports back to the event loop.
+struct ScriptResult {
+  int64_t rows = 0;  ///< rows shipped/processed (reporting only)
+  bool ok = true;    ///< false = business-level failure (missing data, ...)
+  /// A request to schedule at this step's completion time — VA01's
+  /// asynchronous update posting. The runner fills everything except
+  /// arrival_us and seq (the landscape stamps those).
+  std::optional<PlannedRequest> followup;
+};
+
+/// Executes one script on one work process. Supplied by the workload layer
+/// (sap/dialog_workload.h) so this subsystem stays free of SAP content; a
+/// hard (engine) error aborts the run, business failures go in
+/// ScriptResult::ok.
+using ScriptRunner = std::function<Status(
+    AppServerInstance*, WorkProcess*, const PlannedRequest&, ScriptResult*)>;
+
+struct LandscapeOptions {
+  int num_instances = 1;
+  /// Template for every instance (names get a per-instance suffix).
+  InstanceOptions instance;
+  /// RDBMS session cap shared by all instances (0 = unlimited). Every work
+  /// process holds one session for its whole lifetime, so this must cover
+  /// num_instances × (dialog+batch+update) or Start() fails.
+  int64_t max_sessions = 0;
+  /// Logon groups: client (MANDT) -> instance indices serving it. A client
+  /// not listed may log on anywhere. Users hash onto their group round-
+  /// robin by user id — sticky (a user's steps all run on one instance),
+  /// like real R/3 logon load balancing.
+  std::map<std::string, std::vector<int>> logon_groups;
+};
+
+/// A multi-app-server R/3 installation over one shared Database, plus the
+/// discrete-event loop that runs an open-loop workload against it.
+///
+/// Simulation model: requests arrive on a virtual timeline (generated
+/// offline, think times included). The event loop dispatches each arrival
+/// to its routed instance; a free work process executes the script
+/// *atomically* against the real engine — the script's charges to the
+/// shared SimClock are measured with a SimTimer and become the step's
+/// service time on the virtual timeline; the work process is then busy
+/// until dispatch + service. Queue wait is virtual-timeline time between
+/// arrival and dispatch. Because event order is a deterministic function of
+/// (requests, options) and the engine itself is deterministic, the whole
+/// run — percentiles included — is byte-reproducible regardless of host
+/// threading (exec_threads changes wall clock only, never simulated time).
+class SystemLandscape {
+ public:
+  SystemLandscape(rdbms::Database* db, DataDictionary* dict,
+                  LandscapeOptions options);
+
+  SystemLandscape(const SystemLandscape&) = delete;
+  SystemLandscape& operator=(const SystemLandscape&) = delete;
+
+  /// Builds the instances and their work-process pools.
+  Status Start();
+
+  int num_instances() const { return static_cast<int>(instances_.size()); }
+  AppServerInstance* instance(int i) { return instances_[i].get(); }
+  rdbms::SessionPool* sessions() { return sessions_.get(); }
+
+  /// Which instance serves (client, user) — logon-group routing.
+  int Route(const std::string& client, int32_t user) const;
+
+  /// Aggregates of one work-process class across the landscape.
+  struct ClassStats {
+    int64_t wps = 0;
+    int64_t completed = 0;
+    int64_t rejected = 0;
+    int64_t queued = 0;            ///< went through a queue before dispatch
+    int64_t busy_us = 0;
+    int64_t total_wait_us = 0;
+    int64_t peak_queue_depth = 0;  ///< max over instances
+    /// Time-weighted landscape-total depth: summed queue-depth integrals of
+    /// all instances over the makespan (i.e. the expected number of queued
+    /// requests of this class at a random virtual instant).
+    double mean_queue_depth = 0;
+    double utilization = 0;        ///< busy_us / (wps × makespan)
+  };
+
+  struct RunResult {
+    int64_t offered = 0;    ///< planned requests + scheduled followups
+    int64_t completed = 0;
+    int64_t rejected = 0;
+    int64_t script_errors = 0;  ///< completed with ScriptResult::ok == false
+    int64_t makespan_us = 0;    ///< virtual time of the last completion
+    // Dialog-step response time (wait + service), completed kDialog steps.
+    int64_t dialog_steps = 0;
+    int64_t dialog_p50_us = 0;
+    int64_t dialog_p95_us = 0;
+    int64_t dialog_p99_us = 0;
+    int64_t dialog_mean_us = 0;
+    int64_t dialog_max_us = 0;
+    ClassStats per_class[kNumWpClasses];
+    std::vector<RequestOutcome> outcomes;  ///< in dispatch order
+
+    /// Deterministic document (no wall-clock, no addresses): the bench's
+    /// per-point record and the determinism test's byte-comparison unit.
+    json::Value ToJson() const;
+  };
+
+  /// Runs the workload to completion (arrivals stop with the input; queues
+  /// drain). `requests` must be sorted by (arrival_us, seq).
+  Result<RunResult> Run(std::vector<PlannedRequest> requests,
+                        const ScriptRunner& runner);
+
+  /// Landscape-wide ST05: merges every work process's trace into `out`
+  /// (only meaningful when InstanceOptions::st05 was set).
+  void CombineTraces(SqlTrace* out) const;
+
+  /// ST03 reports of every instance, as one JSON array.
+  json::Value St03Json() const;
+
+ private:
+  struct Event;
+
+  void StartExecution(int inst_idx, WorkProcess* wp, PlannedRequest req,
+                      int64_t now_us, const ScriptRunner& runner,
+                      std::vector<Event>* heap, RunResult* result,
+                      Status* error);
+
+  rdbms::Database* db_;
+  DataDictionary* dict_;
+  LandscapeOptions options_;
+  std::unique_ptr<rdbms::SessionPool> sessions_;
+  std::vector<std::unique_ptr<AppServerInstance>> instances_;
+  int64_t next_seq_ = 0;
+};
+
+}  // namespace dispatch
+}  // namespace appsys
+}  // namespace r3
+
+#endif  // R3DB_APPSYS_DISPATCH_LANDSCAPE_H_

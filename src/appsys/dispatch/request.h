@@ -1,0 +1,92 @@
+#ifndef R3DB_APPSYS_DISPATCH_REQUEST_H_
+#define R3DB_APPSYS_DISPATCH_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace r3 {
+namespace appsys {
+namespace dispatch {
+
+/// R/3 work-process classes. A request carries the class it must run on;
+/// the dispatcher keeps one typed pool (and one bounded queue) per class,
+/// exactly like rdisp's DIA/BTC/UPD process tables.
+enum class WpClass : uint8_t {
+  kDialog = 0,  ///< interactive dialog steps (screens, displays, lists)
+  kBatch,       ///< background report jobs (no screen, long-running)
+  kUpdate,      ///< asynchronous posting (the V1/V2 update task)
+};
+
+constexpr size_t kNumWpClasses = 3;
+
+inline const char* WpClassName(WpClass c) {
+  switch (c) {
+    case WpClass::kDialog:
+      return "dialog";
+    case WpClass::kBatch:
+      return "batch";
+    case WpClass::kUpdate:
+      return "update";
+  }
+  return "?";
+}
+
+/// What a dialog step actually does once a work process picks it up. The
+/// scripts are the Table-8-style transactions of the repro: master-data
+/// displays, document displays, list reports, and order entry with its
+/// asynchronous update posting.
+enum class ScriptKind : uint8_t {
+  kVa03DisplayOrder,     ///< VA03: order header + items + per-item material
+  kMm03DisplayMaterial,  ///< MM03: material master + description
+  kVa05ListOrders,       ///< VA05: order list for one customer (VBAK~K)
+  kVa01CreateOrder,      ///< VA01: entry screens + checks; posts via update
+  kVa01UpdatePost,       ///< the V1 posting VA01 hands to an update WP
+  kSdReport,             ///< background SD report over a document range
+};
+
+/// One dialog step's parameters, fixed at workload-generation time so a run
+/// is a pure function of (seed, options). `parts` carries the material keys
+/// of an order entry; `orderkey` doubles as the pre-allocated document
+/// number of an update posting.
+struct DialogScript {
+  std::string tcode;  ///< ST03 task-type label ("VA03", "MM03", ...)
+  ScriptKind kind = ScriptKind::kMm03DisplayMaterial;
+  int64_t orderkey = 0;
+  int64_t orderkey_hi = 0;  ///< kSdReport: upper bound of the document range
+  int64_t partkey = 0;
+  int64_t custkey = 0;
+  std::vector<int64_t> parts;  ///< kVa01*: the materials being ordered
+};
+
+/// One request on the dispatcher's timeline: a simulated user (of one
+/// client/MANDT) submitting one dialog step at a virtual arrival time.
+struct PlannedRequest {
+  int64_t arrival_us = 0;
+  int64_t seq = 0;  ///< tie-break for identical arrival times (determinism)
+  int32_t user = 0;
+  std::string client;  ///< MANDT the step runs under
+  WpClass wp_class = WpClass::kDialog;
+  DialogScript script;
+};
+
+/// What happened to one request, on the virtual timeline.
+struct RequestOutcome {
+  int64_t arrival_us = 0;
+  int64_t dispatch_us = 0;  ///< when a work process picked it up
+  int64_t wait_us = 0;      ///< dispatch - arrival (queue wait)
+  int64_t service_us = 0;   ///< simulated execution time on the WP
+  int64_t rows = 0;         ///< rows the script shipped/processed
+  int32_t instance = -1;    ///< app-server instance that ran it
+  int32_t wp = -1;          ///< work-process id within the instance
+  WpClass wp_class = WpClass::kDialog;
+  bool rejected = false;  ///< admission control: queue full on arrival
+  bool ok = true;         ///< script status (false = script error)
+  int64_t response_us() const { return wait_us + service_us; }
+};
+
+}  // namespace dispatch
+}  // namespace appsys
+}  // namespace r3
+
+#endif  // R3DB_APPSYS_DISPATCH_REQUEST_H_

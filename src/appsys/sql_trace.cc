@@ -32,6 +32,13 @@ void SqlTrace::RecordEvent(SqlTraceEvent e) {
   events_.push_back(std::move(e));
 }
 
+void SqlTrace::Combine(const SqlTrace& other) {
+  for (const SqlTraceEvent& e : other.events_) {
+    RecordEvent(e);
+  }
+  dropped_ += other.dropped_;
+}
+
 std::vector<SqlStatementStats> SqlTrace::TopStatements(size_t limit) const {
   // Aggregate by statement text (std::map: deterministic iteration).
   std::map<std::string, SqlStatementStats> by_sql;

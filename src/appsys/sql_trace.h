@@ -75,6 +75,12 @@ class SqlTrace {
 
   void RecordEvent(SqlTraceEvent e);
 
+  /// Appends another trace's events (landscape-wide ST05: one trace per
+  /// work process, merged for a system-wide top-statements ranking). Events
+  /// beyond this trace's capacity count as dropped; the source's dropped
+  /// count carries over too, so totals stay honest across the merge.
+  void Combine(const SqlTrace& other);
+
   const std::vector<SqlTraceEvent>& events() const { return events_; }
   size_t dropped_events() const { return dropped_; }
 

@@ -11,6 +11,7 @@ void WorkloadMonitor::BeginStep(const std::string& task_type) {
   open_task_ = task_type;
   open_start_us_ = clock_->NowMicros();
   open_wait_us_ = 0;
+  open_dispatch_wait_us_ = 0;
   open_load_us_ = 0;
   open_db_us_ = 0;
 }
@@ -18,11 +19,15 @@ void WorkloadMonitor::BeginStep(const std::string& task_type) {
 void WorkloadMonitor::EndStep() {
   if (!open_) return;
   open_ = false;
-  int64_t total = clock_->NowMicros() - open_start_us_;
+  // Dispatch wait happened before the step's clock span began (it is
+  // virtual-timeline queueing, never charged to the shared clock), so it
+  // extends the total; on-clock waits are already inside the span.
+  int64_t total = clock_->NowMicros() - open_start_us_ + open_dispatch_wait_us_;
   // The residual is processing time; clamp so a mis-booked component can
   // never drive it negative (the sum identity still holds via the clamp of
   // the booked parts against total).
-  int64_t booked = open_wait_us_ + open_load_us_ + open_db_us_;
+  int64_t booked =
+      open_wait_us_ + open_dispatch_wait_us_ + open_load_us_ + open_db_us_;
   int64_t processing = total - booked;
   if (processing < 0) processing = 0;
 
@@ -35,7 +40,7 @@ void WorkloadMonitor::EndStep() {
   StepStats& s = steps_[it->second];
   s.steps += 1;
   s.total_us += total;
-  s.wait_us += open_wait_us_;
+  s.wait_us += open_wait_us_ + open_dispatch_wait_us_;
   s.load_us += open_load_us_;
   s.db_request_us += open_db_us_;
   s.processing_us += processing;
@@ -47,6 +52,10 @@ void WorkloadMonitor::AddDbRequestTime(int64_t sim_us) {
 
 void WorkloadMonitor::AddWaitTime(int64_t sim_us) {
   if (open_) open_wait_us_ += sim_us;
+}
+
+void WorkloadMonitor::AddDispatchWait(int64_t sim_us) {
+  if (open_) open_dispatch_wait_us_ += sim_us;
 }
 
 void WorkloadMonitor::AddLoadTime(int64_t sim_us) {

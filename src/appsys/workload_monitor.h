@@ -58,10 +58,17 @@ class WorkloadMonitor {
   /// Books `sim_us` of the open step as database-request time (called by
   /// the DbConnection per db call); dropped when no step is open.
   void AddDbRequestTime(int64_t sim_us);
-  /// Books dispatcher-queue wait time. No dispatcher is modeled today, so
-  /// nothing calls this in production; it exists so the decomposition's
-  /// shape matches ST03's and a queue model can light it up later.
+  /// Books wait time that elapsed *on the clock* while the step was open
+  /// (the time is part of the step's clock span and is re-attributed from
+  /// processing to wait).
   void AddWaitTime(int64_t sim_us);
+  /// Books dispatcher-queue wait that happened *before* the work process
+  /// picked the step up — off-clock virtual-timeline time (the discrete-
+  /// event scheduler charges queueing on its own timeline, not the shared
+  /// SimClock), so it *extends* the step's total instead of re-attributing
+  /// part of the clock span. Response time = queue wait + service, exactly
+  /// like the real ST03's "wait time" column.
+  void AddDispatchWait(int64_t sim_us);
   /// Books program/statement load time (ST03's "load time" column).
   void AddLoadTime(int64_t sim_us);
 
@@ -96,6 +103,7 @@ class WorkloadMonitor {
   std::string open_task_;
   int64_t open_start_us_ = 0;
   int64_t open_wait_us_ = 0;
+  int64_t open_dispatch_wait_us_ = 0;
   int64_t open_load_us_ = 0;
   int64_t open_db_us_ = 0;
 

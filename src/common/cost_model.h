@@ -54,6 +54,16 @@ struct CostModel {
   /// (decode a dictionary code or read a fixed-width slot — a few dozen
   /// instructions, vs. ~3000 to slot-probe and copy a whole heap tuple).
   int64_t columnar_value_cpu_us = 1;
+  /// Processing one interactive dynpro screen on a dialog work process —
+  /// field transport, input conversion, screen flow logic — excluding the
+  /// SQL calls it issues (charged separately). Interactive screens are
+  /// lighter than batch-input replays: no transaction restart per record,
+  /// no batch-session bookkeeping.
+  int64_t dialog_screen_us = 250000;
+  /// Loading (and generating, on a cold load) an ABAP program/dynpro into a
+  /// work process's program buffer — ST03's "load time" column. Paid once
+  /// per (app server, program): later steps hit the shared program buffer.
+  int64_t program_load_us = 120000;
   /// Executing one dynpro screen of a batch-input dialog transaction —
   /// field transport, validation logic, document-flow bookkeeping —
   /// excluding the SQL calls it issues (charged separately). Real R/3

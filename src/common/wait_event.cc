@@ -14,6 +14,8 @@ const char* WaitClassName(WaitClass c) {
       return "wal_flush";
     case WaitClass::kDeadlockAbort:
       return "deadlock_abort";
+    case WaitClass::kDispatchQueue:
+      return "dispatch_queue";
   }
   return "?";
 }

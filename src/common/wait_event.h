@@ -10,22 +10,25 @@
 
 namespace r3 {
 
-/// Typed taxonomy of the stalls a statement can suffer inside the RDBMS.
+/// Typed taxonomy of the stalls a statement can suffer inside the system.
 /// The paper's tuning method depends on attributing response time to a
-/// cause (I/O vs. lock contention vs. log force); this is the class axis
-/// every instrumented wait reports against, both as `rdbms.wait.*` metrics
-/// and as events in an attached WaitEventLog.
+/// cause (I/O vs. lock contention vs. log force vs. dispatcher queueing);
+/// this is the class axis every instrumented wait reports against, both as
+/// `rdbms.wait.*` / `appsys.wait.*` metrics and as events in an attached
+/// WaitEventLog.
 enum class WaitClass : uint8_t {
   kBufferPoolIo = 0,  ///< physical page transfer (miss in the buffer pool)
   kLockWait,          ///< blocked on a row/table lock held by another txn
   kWalFlush,          ///< WAL group flush forced by a commit (log force)
   kDeadlockAbort,     ///< chosen as deadlock victim (the wait that dies)
+  kDispatchQueue,     ///< queued in an app-server dispatcher for a free WP
 };
 
-constexpr size_t kNumWaitClasses = 4;
+constexpr size_t kNumWaitClasses = 5;
 
 /// Stable lowercase name ("buffer_pool_io", "lock_wait", "wal_flush",
-/// "deadlock_abort") — also the metric suffix under `rdbms.wait.`.
+/// "deadlock_abort", "dispatch_queue") — also the metric suffix under
+/// `rdbms.wait.` (RDBMS classes) or `appsys.wait.` (app-tier classes).
 const char* WaitClassName(WaitClass c);
 
 struct WaitEvent {
@@ -81,8 +84,8 @@ class WaitEventLog {
   size_t max_events_;
   mutable std::mutex mu_;
   std::vector<WaitEvent> events_;
-  int64_t counts_[kNumWaitClasses] = {0, 0, 0, 0};
-  int64_t sim_us_[kNumWaitClasses] = {0, 0, 0, 0};
+  int64_t counts_[kNumWaitClasses] = {};
+  int64_t sim_us_[kNumWaitClasses] = {};
   size_t dropped_ = 0;
 };
 

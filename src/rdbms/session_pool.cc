@@ -1,0 +1,48 @@
+#include "rdbms/session_pool.h"
+
+#include "common/str_util.h"
+#include "rdbms/db.h"
+
+namespace r3 {
+namespace rdbms {
+
+SessionPool::SessionPool(Database* db, int64_t max_sessions)
+    : db_(db), max_sessions_(max_sessions < 0 ? 0 : max_sessions) {
+  MetricsRegistry* metrics = db_->metrics();
+  m_acquired_ = metrics->GetCounter("rdbms.sessions.acquired");
+  m_denied_ = metrics->GetCounter("rdbms.sessions.denied");
+  g_active_ = metrics->GetGauge("rdbms.sessions.active");
+  g_peak_ = metrics->GetGauge("rdbms.sessions.peak");
+}
+
+Result<SessionPool::Lease> SessionPool::Acquire() {
+  if (max_sessions_ > 0 && active_ >= max_sessions_) {
+    ++denied_;
+    m_denied_->Add(1);
+    return Status::OutOfRange(
+        str::Format("session pool exhausted (%lld of %lld in use)",
+                    static_cast<long long>(active_),
+                    static_cast<long long>(max_sessions_)));
+  }
+  ++active_;
+  if (active_ > peak_) peak_ = active_;
+  m_acquired_->Add(1);
+  g_active_->Set(active_);
+  g_peak_->Set(peak_);
+  return Lease(this);
+}
+
+void SessionPool::ReleaseOne() {
+  if (active_ > 0) --active_;
+  g_active_->Set(active_);
+}
+
+void SessionPool::Lease::Release() {
+  if (pool_ != nullptr) {
+    pool_->ReleaseOne();
+    pool_ = nullptr;
+  }
+}
+
+}  // namespace rdbms
+}  // namespace r3

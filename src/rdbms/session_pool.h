@@ -1,0 +1,92 @@
+#ifndef R3DB_RDBMS_SESSION_POOL_H_
+#define R3DB_RDBMS_SESSION_POOL_H_
+
+#include <cstdint>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace r3 {
+namespace rdbms {
+
+class Database;
+
+/// Hands out database sessions to the application tier.
+///
+/// The embedded Database executes one statement at a time (DESIGN.md: "one
+/// session"), but the real back-end RDBMS of the paper served one shadow
+/// process per R/3 work process. This pool models that contract: every work
+/// process must hold a session lease before it may issue calls, the DBA-
+/// configured `max_sessions` caps how many leases exist at once, and the
+/// `rdbms.sessions.*` metrics expose the handout (active/peak/denied) the
+/// way ST04 exposes the shadow-process table. Statements of the lease
+/// holders still *execute* serially on the shared engine — the discrete-
+/// event scheduler interleaves whole statements, so the single-session
+/// engine is never re-entered (and determinism is preserved).
+class SessionPool {
+ public:
+  /// `max_sessions` 0 = unlimited (the engine imposes no hard cap).
+  SessionPool(Database* db, int64_t max_sessions = 0);
+
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  /// RAII session lease; releases its slot on destruction. Movable so a
+  /// work process can hold it by value.
+  class Lease {
+   public:
+    Lease() = default;
+    ~Lease() { Release(); }
+    Lease(Lease&& other) noexcept : pool_(other.pool_) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    bool valid() const { return pool_ != nullptr; }
+    void Release();
+
+   private:
+    friend class SessionPool;
+    explicit Lease(SessionPool* pool) : pool_(pool) {}
+    SessionPool* pool_ = nullptr;
+  };
+
+  /// Acquires a session slot; an OutOfRange error once `max_sessions`
+  /// leases are outstanding (the paper-era failure mode: an app server
+  /// configured for more work processes than the RDBMS allows connections).
+  Result<Lease> Acquire();
+
+  Database* db() { return db_; }
+  int64_t max_sessions() const { return max_sessions_; }
+  int64_t active() const { return active_; }
+  int64_t peak() const { return peak_; }
+  int64_t denied() const { return denied_; }
+
+ private:
+  friend class Lease;
+  void ReleaseOne();
+
+  Database* db_;
+  int64_t max_sessions_;
+  int64_t active_ = 0;
+  int64_t peak_ = 0;
+  int64_t denied_ = 0;
+  Counter* m_acquired_;
+  Counter* m_denied_;
+  Gauge* g_active_;
+  Gauge* g_peak_;
+};
+
+}  // namespace rdbms
+}  // namespace r3
+
+#endif  // R3DB_RDBMS_SESSION_POOL_H_

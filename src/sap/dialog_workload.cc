@@ -1,0 +1,326 @@
+#include "sap/dialog_workload.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "appsys/open_sql.h"
+#include "common/rng.h"
+#include "sap/schema.h"
+
+namespace r3 {
+namespace sap {
+
+namespace {
+
+using appsys::OpenSql;
+using appsys::OsqlCond;
+using appsys::OpenSqlQuery;
+using appsys::dispatch::AppServerInstance;
+using appsys::dispatch::DialogScript;
+using appsys::dispatch::PlannedRequest;
+using appsys::dispatch::ScriptKind;
+using appsys::dispatch::ScriptResult;
+using appsys::dispatch::WorkProcess;
+using appsys::dispatch::WpClass;
+using rdbms::Value;
+
+// The spec's sparse order numbering: 8 used keys per 32-key block.
+int64_t SparseOrderKey(int64_t i) { return (i - 1) / 8 * 32 + (i - 1) % 8 + 1; }
+
+// Integer-only think time: uniform in [mean/2, 3*mean/2] (mean = mean_us).
+int64_t ThinkUs(Rng* rng, int64_t mean_us) {
+  return mean_us / 2 + rng->Uniform(0, mean_us);
+}
+
+DialogScript RollDialogScript(Rng* rng, const SapKeySpace& keys) {
+  DialogScript s;
+  const int64_t roll = rng->Uniform(0, 99);
+  if (roll < 35) {  // VA03: display one sales order
+    s.tcode = "VA03";
+    s.kind = ScriptKind::kVa03DisplayOrder;
+    s.orderkey = SparseOrderKey(rng->Uniform(1, keys.orders));
+  } else if (roll < 60) {  // MM03: display one material master
+    s.tcode = "MM03";
+    s.kind = ScriptKind::kMm03DisplayMaterial;
+    s.partkey = rng->Uniform(1, keys.parts);
+  } else if (roll < 75) {  // VA05: list one customer's orders
+    s.tcode = "VA05";
+    s.kind = ScriptKind::kVa05ListOrders;
+    s.custkey = rng->Uniform(1, keys.customers);
+  } else {  // VA01: create a sales order (posts via the update task)
+    s.tcode = "VA01";
+    s.kind = ScriptKind::kVa01CreateOrder;
+    s.custkey = rng->Uniform(1, keys.customers);
+    const int64_t items = rng->Uniform(1, 3);
+    for (int64_t i = 0; i < items; ++i) {
+      s.parts.push_back(rng->Uniform(1, keys.parts));
+    }
+  }
+  return s;
+}
+
+// -- Script implementations ---------------------------------------------------
+
+Status RunVa03(AppServerInstance* inst, OpenSql* osql,
+               const DialogScript& script, ScriptResult* out) {
+  inst->clock()->Charge(inst->clock()->model().dialog_screen_us);
+  const std::string vbeln = Vbeln(script.orderkey);
+  auto header = osql->SelectSingle(
+      "VBAK", {OsqlCond::Eq("VBELN", Value::Str(vbeln))});
+  R3_RETURN_IF_ERROR(header.status());
+  if (!header.value().has_value()) {
+    out->ok = false;
+    return Status::OK();
+  }
+  out->rows += 1;
+  OpenSqlQuery items;
+  items.table = "VBAP";
+  items.where = {OsqlCond::Eq("VBELN", Value::Str(vbeln))};
+  auto positions = osql->Select(items);
+  R3_RETURN_IF_ERROR(positions.status());
+  for (const rdbms::Row& r : positions.value().rows) {
+    // VBAP: MANDT, VBELN, POSNR, MATNR, ... — per-item material lookup,
+    // served from the (buffered) material master.
+    auto mara = osql->SelectSingle(
+        "MARA", {OsqlCond::Eq("MATNR", Value::Str(r[3].string_value()))});
+    R3_RETURN_IF_ERROR(mara.status());
+    out->rows += 1 + (mara.value().has_value() ? 1 : 0);
+  }
+  return Status::OK();
+}
+
+Status RunMm03(AppServerInstance* inst, OpenSql* osql,
+               const DialogScript& script, ScriptResult* out) {
+  inst->clock()->Charge(inst->clock()->model().dialog_screen_us);
+  const std::string matnr = Matnr(script.partkey);
+  auto mara = osql->SelectSingle(
+      "MARA", {OsqlCond::Eq("MATNR", Value::Str(matnr))});
+  R3_RETURN_IF_ERROR(mara.status());
+  if (!mara.value().has_value()) {
+    out->ok = false;
+    return Status::OK();
+  }
+  auto makt = osql->SelectSingle(
+      "MAKT", {OsqlCond::Eq("MATNR", Value::Str(matnr)),
+               OsqlCond::Eq("SPRAS", Value::Str("E"))});
+  R3_RETURN_IF_ERROR(makt.status());
+  out->rows = 1 + (makt.value().has_value() ? 1 : 0);
+  return Status::OK();
+}
+
+Status RunVa05(AppServerInstance* inst, OpenSql* osql,
+               const DialogScript& script, ScriptResult* out) {
+  inst->clock()->Charge(inst->clock()->model().dialog_screen_us);
+  OpenSqlQuery list;
+  list.table = "VBAK";
+  list.where = {OsqlCond::Eq("KUNNR", Value::Str(Kunnr(script.custkey)))};
+  list.up_to = 20;  // the list screen shows one page
+  auto orders = osql->Select(list);
+  R3_RETURN_IF_ERROR(orders.status());
+  out->rows = static_cast<int64_t>(orders.value().rows.size());
+  return Status::OK();
+}
+
+Status RunVa01(AppServerInstance* inst, OpenSql* osql,
+               const PlannedRequest& req, int64_t new_orderkey,
+               ScriptResult* out) {
+  // Entry screen + item/pricing screen.
+  inst->clock()->Charge(inst->clock()->model().dialog_screen_us);
+  const DialogScript& script = req.script;
+  auto customer = osql->SelectSingle(
+      "KNA1", {OsqlCond::Eq("KUNNR", Value::Str(Kunnr(script.custkey)))});
+  R3_RETURN_IF_ERROR(customer.status());
+  if (!customer.value().has_value()) {
+    out->ok = false;  // order entry refused: unknown sold-to party
+    return Status::OK();
+  }
+  out->rows += 1;
+  for (int64_t partkey : script.parts) {
+    auto mara = osql->SelectSingle(
+        "MARA", {OsqlCond::Eq("MATNR", Value::Str(Matnr(partkey)))});
+    R3_RETURN_IF_ERROR(mara.status());
+    out->rows += 1;
+  }
+  inst->clock()->Charge(inst->clock()->model().dialog_screen_us);
+
+  // Saving hands the document to the asynchronous update task: the dialog
+  // step ends here; the posting runs later on an update work process.
+  PlannedRequest post;
+  post.user = req.user;
+  post.client = req.client;
+  post.wp_class = WpClass::kUpdate;
+  post.script.tcode = "VA01U";
+  post.script.kind = ScriptKind::kVa01UpdatePost;
+  post.script.orderkey = new_orderkey;
+  post.script.custkey = script.custkey;
+  post.script.parts = script.parts;
+  out->followup = std::move(post);
+  return Status::OK();
+}
+
+Status RunVa01UpdatePost(OpenSql* osql, const SapKeySpace& keys,
+                         const DialogScript& script, ScriptResult* out) {
+  const std::string vbeln = Vbeln(script.orderkey);
+  const int64_t total_cents =
+      static_cast<int64_t>(script.parts.size()) * 10000;
+  // MANDT (column 0) is overwritten with the session client by Open SQL.
+  R3_RETURN_IF_ERROR(osql->Insert(
+      "VBAK",
+      WithFiller(rdbms::Row{Value::Str(""), Value::Str(vbeln),
+                            Value::Date(9496), Value::Str("DIALOG"),
+                            Value::Date(9496), Value::Str("A"),
+                            Value::Str("TA"),
+                            Value::DecimalFromCents(total_cents),
+                            Value::Str("USD"),
+                            Value::Str(Kunnr(script.custkey)),
+                            Value::Str(Knumv(script.orderkey)),
+                            Value::Str("O"), Value::Str("3-MEDIUM"),
+                            Value::Str("00")},
+                 FillerCounts::kVbak)));
+  out->rows += 1;
+  int64_t posnr = 0;
+  for (int64_t partkey : script.parts) {
+    const int64_t suppkey = (partkey - 1) % keys.suppliers + 1;
+    posnr += 1;
+    R3_RETURN_IF_ERROR(osql->Insert(
+        "VBAP",
+        WithFiller(rdbms::Row{Value::Str(""), Value::Str(vbeln),
+                              Value::Str(Posnr(posnr)),
+                              Value::Str(Matnr(partkey)),
+                              Value::Str(Lifnr(suppkey)),
+                              Value::DecimalFromCents(100), Value::Str("ST"),
+                              Value::DecimalFromCents(10000),
+                              Value::Str("USD"), Value::Str("N"),
+                              Value::Str("O"), Value::Str("TRUCK"),
+                              Value::Str("NONE")},
+                   FillerCounts::kVbap)));
+    out->rows += 1;
+  }
+  return Status::OK();
+}
+
+Status RunSdReport(OpenSql* osql, const DialogScript& script,
+                   ScriptResult* out) {
+  OpenSqlQuery scan;
+  scan.table = "VBAP";
+  scan.where = {OsqlCond::Between("VBELN",
+                                  Value::Str(Vbeln(script.orderkey)),
+                                  Value::Str(Vbeln(script.orderkey_hi)))};
+  auto positions = osql->Select(scan);
+  R3_RETURN_IF_ERROR(positions.status());
+  out->rows = static_cast<int64_t>(positions.value().rows.size());
+  // The report resolves each distinct material once (buffered lookups).
+  std::vector<std::string> seen;
+  for (const rdbms::Row& r : positions.value().rows) {
+    const std::string& matnr = r[3].string_value();
+    if (std::find(seen.begin(), seen.end(), matnr) != seen.end()) continue;
+    seen.push_back(matnr);
+    auto mara = osql->SelectSingle(
+        "MARA", {OsqlCond::Eq("MATNR", Value::Str(matnr))});
+    R3_RETURN_IF_ERROR(mara.status());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<PlannedRequest> GenerateDialogWorkload(
+    const SapKeySpace& keys, const DialogWorkloadOptions& options) {
+  std::vector<PlannedRequest> plan;
+  const int64_t horizon_us = options.duration_s * 1000000;
+  const int64_t ramp_us = options.ramp_s * 1000000;
+  const int64_t mean_think_us = options.mean_think_ms * 1000;
+  const size_t num_clients = std::max<size_t>(options.clients.size(), 1);
+
+  for (int user = 0; user < options.users; ++user) {
+    // Per-user stream: an independent generator makes the plan insensitive
+    // to the user count ordering (user k's steps are the same whether 10 or
+    // 5000 users run).
+    Rng rng(options.seed + 0x9e3779b97f4a7c15ULL *
+                               static_cast<uint64_t>(user + 1));
+    const int64_t logon_us =
+        options.users > 0 ? ramp_us * user / options.users : 0;
+    int64_t t = logon_us + ThinkUs(&rng, mean_think_us);
+    while (t < horizon_us) {
+      PlannedRequest req;
+      req.arrival_us = t;
+      req.user = user;
+      req.client = options.clients.empty()
+                       ? "301"
+                       : options.clients[user % num_clients];
+      req.wp_class = WpClass::kDialog;
+      req.script = RollDialogScript(&rng, keys);
+      plan.push_back(std::move(req));
+      t += ThinkUs(&rng, mean_think_us);
+    }
+  }
+
+  // Background report streams: periodic SD reports on batch work processes,
+  // staggered so streams do not align.
+  const int64_t interval_us = options.report_interval_s * 1000000;
+  const int64_t orders = keys.orders;
+  const int64_t span = std::max<int64_t>(orders / 50, 8) * 4;  // sparse keys
+  const int64_t keyspace = orders * 4;
+  for (int s = 0; s < options.report_streams; ++s) {
+    Rng rng(options.seed ^ (0xb5297a4d3f84d5b5ULL *
+                            static_cast<uint64_t>(s + 1)));
+    int64_t t = interval_us * (2 * s + 1) /
+                (2 * std::max(options.report_streams, 1));
+    while (t < horizon_us) {
+      PlannedRequest req;
+      req.arrival_us = t;
+      req.user = options.users + s;
+      req.client = options.clients.empty()
+                       ? "301"
+                       : options.clients[s % num_clients];
+      req.wp_class = WpClass::kBatch;
+      req.script.tcode = "SDRPT";
+      req.script.kind = ScriptKind::kSdReport;
+      req.script.orderkey = rng.Uniform(1, std::max<int64_t>(keyspace - span, 1));
+      req.script.orderkey_hi = req.script.orderkey + span;
+      plan.push_back(std::move(req));
+      t += interval_us;
+    }
+  }
+
+  std::sort(plan.begin(), plan.end(),
+            [](const PlannedRequest& a, const PlannedRequest& b) {
+              if (a.arrival_us != b.arrival_us)
+                return a.arrival_us < b.arrival_us;
+              return a.user < b.user;
+            });
+  for (size_t i = 0; i < plan.size(); ++i) {
+    plan[i].seq = static_cast<int64_t>(i);
+  }
+  return plan;
+}
+
+appsys::dispatch::ScriptRunner MakeSapScriptRunner(const SapKeySpace& keys) {
+  // Created documents number upward from above the generated keyspace;
+  // allocation order is deterministic because execution order is.
+  auto next_vbeln = std::make_shared<int64_t>(100000000);
+  return [keys, next_vbeln](AppServerInstance* inst, WorkProcess* wp,
+                           const PlannedRequest& req,
+                           ScriptResult* out) -> Status {
+    OpenSql* osql = inst->OpenSqlFor(wp, req.client);
+    switch (req.script.kind) {
+      case ScriptKind::kVa03DisplayOrder:
+        return RunVa03(inst, osql, req.script, out);
+      case ScriptKind::kMm03DisplayMaterial:
+        return RunMm03(inst, osql, req.script, out);
+      case ScriptKind::kVa05ListOrders:
+        return RunVa05(inst, osql, req.script, out);
+      case ScriptKind::kVa01CreateOrder:
+        return RunVa01(inst, osql, req, ++*next_vbeln, out);
+      case ScriptKind::kVa01UpdatePost:
+        return RunVa01UpdatePost(osql, keys, req.script, out);
+      case ScriptKind::kSdReport:
+        return RunSdReport(osql, req.script, out);
+    }
+    return Status::InvalidArgument("unknown script kind");
+  };
+}
+
+}  // namespace sap
+}  // namespace r3

@@ -1,0 +1,58 @@
+#ifndef R3DB_SAP_DIALOG_WORKLOAD_H_
+#define R3DB_SAP_DIALOG_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "appsys/dispatch/landscape.h"
+#include "appsys/dispatch/request.h"
+
+namespace r3 {
+namespace sap {
+
+/// The business-data key spaces the workload draws from — a copy of the
+/// generator's counts (sap sits *below* tpcd in the layering, so this file
+/// cannot see tpcd::DbGen; callers fill this from it):
+///   {gen.NumOrders(), gen.NumParts(), gen.NumCustomers(), gen.NumSuppliers()}
+struct SapKeySpace {
+  int64_t orders = 0;     ///< order *count*; keys are spec-sparse (x4 space)
+  int64_t parts = 0;
+  int64_t customers = 0;
+  int64_t suppliers = 0;
+};
+
+/// Parameters of the open-loop interactive workload: `users` simulated
+/// dialog users logging on over a ramp, each submitting Table-8-style
+/// transactions separated by think times, plus background report streams.
+/// A plan is a pure function of these options (integer arithmetic only), so
+/// runs are byte-reproducible across hosts.
+struct DialogWorkloadOptions {
+  int users = 100;
+  int64_t duration_s = 600;       ///< arrival horizon (virtual seconds)
+  int64_t ramp_s = 60;            ///< logons spread uniformly over the ramp
+  int64_t mean_think_ms = 10000;  ///< uniform in [mean/2, 3*mean/2]
+  int report_streams = 1;         ///< background SDRPT job streams
+  int64_t report_interval_s = 120;
+  uint64_t seed = 42;
+  /// Clients (MANDTs) users are spread across, round-robin by user id.
+  std::vector<std::string> clients = {"301"};
+};
+
+/// Generates the full arrival plan, sorted by (arrival_us, seq). Update
+/// postings are NOT planned here — VA01 steps schedule them as followups at
+/// execution time, like the real asynchronous update task.
+std::vector<appsys::dispatch::PlannedRequest> GenerateDialogWorkload(
+    const SapKeySpace& keys, const DialogWorkloadOptions& options);
+
+/// The script implementations: a ScriptRunner executing VA03/MM03/VA05/
+/// VA01 (+ its update posting) and the SD report against an instance's
+/// Open SQL interface. Order numbers for created orders are allocated from
+/// a counter above the generated keyspace; the returned runner owns that
+/// state, so use one runner per landscape run.
+appsys::dispatch::ScriptRunner MakeSapScriptRunner(const SapKeySpace& keys);
+
+}  // namespace sap
+}  // namespace r3
+
+#endif  // R3DB_SAP_DIALOG_WORKLOAD_H_
